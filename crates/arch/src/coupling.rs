@@ -1,0 +1,411 @@
+//! The coupling map of Definition 2.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Error for invalid coupling-map edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingError {
+    control: usize,
+    target: usize,
+    num_qubits: usize,
+}
+
+impl fmt::Display for CouplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "edge ({}, {}) is invalid for a device with {} physical qubits",
+            self.control, self.target, self.num_qubits
+        )
+    }
+}
+
+impl Error for CouplingError {}
+
+/// A coupling map `CM ⊆ P × P` over `m` physical qubits (Definition 2):
+/// `(p_i, p_j) ∈ CM` means a CNOT with control `p_i` and target `p_j` can be
+/// applied directly.
+///
+/// Physical qubits are indexed `0..m`; the paper's `p_1..p_m` are one-based.
+///
+/// ```
+/// use qxmap_arch::CouplingMap;
+///
+/// let mut cm = CouplingMap::new(3).named("v-chain");
+/// cm.add_edge(0, 1)?;
+/// cm.add_edge(1, 2)?;
+/// assert!(cm.has_edge(0, 1));
+/// assert!(!cm.has_edge(1, 0));
+/// assert!(cm.connected_either(1, 0));
+/// assert_eq!(cm.distance(0, 2), Some(2));
+/// # Ok::<(), qxmap_arch::CouplingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    edges: BTreeSet<(usize, usize)>,
+    name: String,
+}
+
+impl CouplingMap {
+    /// Creates an edgeless coupling map over `num_qubits` physical qubits.
+    pub fn new(num_qubits: usize) -> CouplingMap {
+        CouplingMap {
+            num_qubits,
+            edges: BTreeSet::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Creates a coupling map from a directed edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CouplingError`] if an edge is out of range or a self-loop.
+    pub fn from_edges(
+        num_qubits: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<CouplingMap, CouplingError> {
+        let mut cm = CouplingMap::new(num_qubits);
+        for (c, t) in edges {
+            cm.add_edge(c, t)?;
+        }
+        Ok(cm)
+    }
+
+    /// Sets a device name (builder style).
+    pub fn named(mut self, name: impl Into<String>) -> CouplingMap {
+        self.name = name.into();
+        self
+    }
+
+    /// The device name ("" when unnamed).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds the directed edge `(control, target)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CouplingError`] for out-of-range endpoints or self-loops.
+    pub fn add_edge(&mut self, control: usize, target: usize) -> Result<(), CouplingError> {
+        if control >= self.num_qubits || target >= self.num_qubits || control == target {
+            return Err(CouplingError {
+                control,
+                target,
+                num_qubits: self.num_qubits,
+            });
+        }
+        self.edges.insert((control, target));
+        Ok(())
+    }
+
+    /// Number of physical qubits `m`.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether a CNOT with control `c` and target `t` is directly allowed.
+    pub fn has_edge(&self, c: usize, t: usize) -> bool {
+        self.edges.contains(&(c, t))
+    }
+
+    /// Whether `a` and `b` may interact in either orientation (possibly via
+    /// the 4-H direction reversal).
+    pub fn connected_either(&self, a: usize, b: usize) -> bool {
+        self.has_edge(a, b) || self.has_edge(b, a)
+    }
+
+    /// Whether the edge `(c, t)` exists *only* in the reverse orientation,
+    /// i.e. executing CNOT(c→t) requires the 4-H reversal.
+    pub fn requires_reversal(&self, c: usize, t: usize) -> bool {
+        !self.has_edge(c, t) && self.has_edge(t, c)
+    }
+
+    /// Iterator over directed edges `(control, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The undirected edge set (`a < b`).
+    pub fn undirected_edges(&self) -> Vec<(usize, usize)> {
+        let mut set = BTreeSet::new();
+        for &(c, t) in &self.edges {
+            set.insert((c.min(t), c.max(t)));
+        }
+        set.into_iter().collect()
+    }
+
+    /// Undirected neighbors of `q`.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        let mut out = BTreeSet::new();
+        for &(c, t) in &self.edges {
+            if c == q {
+                out.insert(t);
+            }
+            if t == q {
+                out.insert(c);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Undirected degree of `q`.
+    pub fn degree(&self, q: usize) -> usize {
+        self.neighbors(q).len()
+    }
+
+    /// Undirected BFS distance between `a` and `b` (`None` if disconnected).
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.num_qubits];
+        dist[a] = 0;
+        let mut queue = VecDeque::from([a]);
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    if v == b {
+                        return Some(dist[v]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Full all-pairs undirected distance matrix; unreachable pairs are
+    /// `usize::MAX`.
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        let m = self.num_qubits;
+        let mut mat = vec![vec![usize::MAX; m]; m];
+        for s in 0..m {
+            mat[s][s] = 0;
+            let mut queue = VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for v in self.neighbors(u) {
+                    if mat[s][v] == usize::MAX {
+                        mat[s][v] = mat[s][u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        mat
+    }
+
+    /// Whether the whole device graph is (undirectedly) connected.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        self.is_connected_subset(&(0..self.num_qubits).collect::<Vec<_>>())
+    }
+
+    /// Whether the induced subgraph on `subset` is connected. An isolated
+    /// vertex in the subset (the paper's Section 4.1 `O(n)` check) makes
+    /// this false.
+    pub fn is_connected_subset(&self, subset: &[usize]) -> bool {
+        if subset.is_empty() {
+            return true;
+        }
+        let inset = |q: usize| subset.contains(&q);
+        let mut seen = BTreeSet::from([subset[0]]);
+        let mut queue = VecDeque::from([subset[0]]);
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if inset(v) && seen.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen.len() == subset.len()
+    }
+
+    /// The induced sub-coupling-map on `subset` with *local* indices
+    /// `0..subset.len()`; `subset[i]` is the physical qubit of local index
+    /// `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` contains duplicates or out-of-range qubits.
+    pub fn subgraph(&self, subset: &[usize]) -> CouplingMap {
+        let mut local = vec![usize::MAX; self.num_qubits];
+        for (i, &p) in subset.iter().enumerate() {
+            assert!(p < self.num_qubits, "subset qubit out of range");
+            assert_eq!(local[p], usize::MAX, "duplicate subset qubit");
+            local[p] = i;
+        }
+        let mut cm = CouplingMap::new(subset.len()).named(format!("{}[{subset:?}]", self.name));
+        for &(c, t) in &self.edges {
+            if local[c] != usize::MAX && local[t] != usize::MAX {
+                cm.edges.insert((local[c], local[t]));
+            }
+        }
+        cm
+    }
+
+    /// All 3-cliques of the undirected graph (the "triangles" of
+    /// Section 4.2's qubit-triangle strategy), each sorted ascending.
+    pub fn triangles(&self) -> Vec<[usize; 3]> {
+        let mut out = Vec::new();
+        let und = self.undirected_edges();
+        let has = |a: usize, b: usize| und.binary_search(&(a.min(b), a.max(b))).is_ok();
+        for a in 0..self.num_qubits {
+            for b in (a + 1)..self.num_qubits {
+                if !has(a, b) {
+                    continue;
+                }
+                for c in (b + 1)..self.num_qubits {
+                    if has(a, c) && has(b, c) {
+                        out.push([a, b, c]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum undirected degree over all qubits.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_qubits).map(|q| self.degree(q)).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CouplingMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.name.is_empty() {
+            write!(f, "{} ", self.name)?;
+        }
+        write!(f, "(m={}): {{", self.num_qubits)?;
+        for (i, (c, t)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "p{}→p{}", c + 1, t + 1)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qx4() -> CouplingMap {
+        crate::devices::ibm_qx4()
+    }
+
+    #[test]
+    fn qx4_matches_paper_fig2() {
+        // CM = {(p2,p1),(p3,p1),(p3,p2),(p4,p3),(p4,p5),(p5,p3)}, one-based.
+        let cm = qx4();
+        let expected = [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)];
+        assert_eq!(cm.num_edges(), 6);
+        for (c, t) in expected {
+            assert!(cm.has_edge(c, t), "missing ({c},{t})");
+            assert!(!cm.has_edge(t, c), "unexpected reverse ({t},{c})");
+        }
+    }
+
+    #[test]
+    fn add_edge_validates() {
+        let mut cm = CouplingMap::new(2);
+        assert!(cm.add_edge(0, 0).is_err());
+        assert!(cm.add_edge(0, 5).is_err());
+        assert!(cm.add_edge(0, 1).is_ok());
+        let err = cm.add_edge(9, 9).unwrap_err();
+        assert!(err.to_string().contains("(9, 9)"));
+    }
+
+    #[test]
+    fn requires_reversal_logic() {
+        let cm = qx4();
+        assert!(cm.requires_reversal(0, 1)); // only (1,0) exists
+        assert!(!cm.requires_reversal(1, 0));
+        assert!(!cm.requires_reversal(0, 3)); // not connected at all
+    }
+
+    #[test]
+    fn distances_on_qx4() {
+        let cm = qx4();
+        assert_eq!(cm.distance(0, 1), Some(1));
+        assert_eq!(cm.distance(0, 3), Some(2)); // 0-2-3
+        assert_eq!(cm.distance(1, 4), Some(2)); // 1-2-4
+        assert_eq!(cm.distance(2, 2), Some(0));
+        let mat = cm.distance_matrix();
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(mat[a][b], cm.distance(a, b).unwrap());
+                assert_eq!(mat[a][b], mat[b][a]);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_distance_is_none() {
+        let cm = CouplingMap::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(cm.distance(0, 3), None);
+        assert!(!cm.is_connected());
+        assert!(cm.is_connected_subset(&[0, 1]));
+        assert!(!cm.is_connected_subset(&[0, 2]));
+    }
+
+    #[test]
+    fn subset_connectivity_on_qx4() {
+        let cm = qx4();
+        // Example 9: every connected 4-subset must contain p3 (index 2).
+        assert!(cm.is_connected_subset(&[0, 1, 2, 3]));
+        assert!(!cm.is_connected_subset(&[0, 1, 3, 4]));
+    }
+
+    #[test]
+    fn subgraph_uses_local_indices() {
+        let cm = qx4();
+        let sub = cm.subgraph(&[2, 3, 4]); // p3, p4, p5
+        assert_eq!(sub.num_qubits(), 3);
+        // (3,2) → local (1,0); (3,4) → (1,2); (4,2) → (2,0)
+        assert!(sub.has_edge(1, 0));
+        assert!(sub.has_edge(1, 2));
+        assert!(sub.has_edge(2, 0));
+        assert_eq!(sub.num_edges(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn subgraph_rejects_duplicates() {
+        let _ = qx4().subgraph(&[0, 0]);
+    }
+
+    #[test]
+    fn qx4_has_two_triangles() {
+        // {p1,p2,p3} and {p3,p4,p5} (zero-based {0,1,2} and {2,3,4}).
+        let tris = qx4().triangles();
+        assert_eq!(tris, vec![[0, 1, 2], [2, 3, 4]]);
+    }
+
+    #[test]
+    fn neighbors_are_undirected() {
+        let cm = qx4();
+        assert_eq!(cm.neighbors(2), vec![0, 1, 3, 4]);
+        assert_eq!(cm.degree(2), 4);
+        assert_eq!(cm.max_degree(), 4);
+    }
+
+    #[test]
+    fn display_lists_edges_one_based() {
+        let cm = CouplingMap::from_edges(2, [(1, 0)]).unwrap().named("tiny");
+        assert_eq!(cm.to_string(), "tiny (m=2): {p2→p1}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Concrete device coupling maps.
+//!
+//! The IBM QX maps follow the published backend specifications of the
+//! 2017–2018 cloud devices; the paper's evaluation targets [`ibm_qx4`]
+//! (IBM Q 5 "Tenerife", Fig. 2). Synthetic generators are provided for
+//! scaling studies.
+
+use crate::coupling::CouplingMap;
+
+/// IBM QX2 (IBM Q 5 "Yorktown/Sparrow"): 5 qubits.
+///
+/// `CM = {(0,1),(0,2),(1,2),(3,2),(3,4),(4,2)}` (zero-based).
+pub fn ibm_qx2() -> CouplingMap {
+    CouplingMap::from_edges(5, [(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 2)])
+        .expect("static edge list is valid")
+        .named("IBM QX2")
+}
+
+/// IBM QX4 (IBM Q 5 "Tenerife") — the evaluation architecture of the paper
+/// (Fig. 2).
+///
+/// One-based, as printed: `CM = {(p2,p1),(p3,p1),(p3,p2),(p4,p3),(p4,p5),
+/// (p5,p3)}`; zero-based here.
+///
+/// ```
+/// let cm = qxmap_arch::devices::ibm_qx4();
+/// assert_eq!(cm.num_qubits(), 5);
+/// assert_eq!(cm.num_edges(), 6);
+/// assert!(cm.has_edge(4, 2)); // p5 → p3
+/// ```
+pub fn ibm_qx4() -> CouplingMap {
+    CouplingMap::from_edges(5, [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)])
+        .expect("static edge list is valid")
+        .named("IBM QX4")
+}
+
+/// IBM QX5 (IBM Q 16 "Rueschlikon"): 16 qubits in a 2×8 ladder.
+pub fn ibm_qx5() -> CouplingMap {
+    CouplingMap::from_edges(
+        16,
+        [
+            (1, 0),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (3, 14),
+            (5, 4),
+            (6, 5),
+            (6, 7),
+            (6, 11),
+            (7, 10),
+            (8, 7),
+            (9, 8),
+            (9, 10),
+            (11, 10),
+            (12, 5),
+            (12, 11),
+            (12, 13),
+            (13, 4),
+            (13, 14),
+            (15, 0),
+            (15, 2),
+            (15, 14),
+        ],
+    )
+    .expect("static edge list is valid")
+    .named("IBM QX5")
+}
+
+/// IBM Q 20 "Tokyo": 20 qubits, *bidirectional* couplings (every edge in
+/// both orientations), 4×5 grid with diagonals.
+///
+/// Bidirectional edges exercise the refined `z^k` encoding (see DESIGN.md):
+/// no H-reversal cost is ever needed on this device.
+pub fn ibm_tokyo() -> CouplingMap {
+    let undirected: &[(usize, usize)] = &[
+        // horizontal rows
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (10, 11),
+        (11, 12),
+        (12, 13),
+        (13, 14),
+        (15, 16),
+        (16, 17),
+        (17, 18),
+        (18, 19),
+        // vertical columns
+        (0, 5),
+        (1, 6),
+        (2, 7),
+        (3, 8),
+        (4, 9),
+        (5, 10),
+        (6, 11),
+        (7, 12),
+        (8, 13),
+        (9, 14),
+        (10, 15),
+        (11, 16),
+        (12, 17),
+        (13, 18),
+        (14, 19),
+        // diagonals
+        (1, 7),
+        (2, 6),
+        (3, 9),
+        (4, 8),
+        (5, 11),
+        (6, 10),
+        (7, 13),
+        (8, 12),
+        (11, 17),
+        (12, 16),
+        (13, 19),
+        (14, 18),
+    ];
+    let mut edges = Vec::with_capacity(undirected.len() * 2);
+    for &(a, b) in undirected {
+        edges.push((a, b));
+        edges.push((b, a));
+    }
+    CouplingMap::from_edges(20, edges)
+        .expect("static edge list is valid")
+        .named("IBM Q20 Tokyo")
+}
+
+/// A directed line `0 → 1 → … → n-1`.
+pub fn linear(n: usize) -> CouplingMap {
+    CouplingMap::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+        .expect("static edge list is valid")
+        .named(format!("linear-{n}"))
+}
+
+/// A directed ring `0 → 1 → … → n-1 → 0`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> CouplingMap {
+    assert!(n >= 3, "a ring needs at least 3 qubits");
+    CouplingMap::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+        .expect("static edge list is valid")
+        .named(format!("ring-{n}"))
+}
+
+/// An `rows × cols` grid with bidirectional nearest-neighbor couplings.
+pub fn grid(rows: usize, cols: usize) -> CouplingMap {
+    let n = rows * cols;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let q = r * cols + c;
+            if c + 1 < cols {
+                edges.push((q, q + 1));
+                edges.push((q + 1, q));
+            }
+            if r + 1 < rows {
+                edges.push((q, q + cols));
+                edges.push((q + cols, q));
+            }
+        }
+    }
+    CouplingMap::from_edges(n, edges)
+        .expect("static edge list is valid")
+        .named(format!("grid-{rows}x{cols}"))
+}
+
+/// A star: qubit 0 targets every other qubit.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> CouplingMap {
+    assert!(n >= 2, "a star needs at least 2 qubits");
+    CouplingMap::from_edges(n, (1..n).map(|i| (0, i)))
+        .expect("static edge list is valid")
+        .named(format!("star-{n}"))
+}
+
+/// The complete directed graph on `n` qubits (no mapping overhead ever
+/// needed — useful as a control in experiments).
+pub fn fully_connected(n: usize) -> CouplingMap {
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                edges.push((a, b));
+            }
+        }
+    }
+    CouplingMap::from_edges(n, edges)
+        .expect("static edge list is valid")
+        .named(format!("K{n}"))
+}
+
+/// Looks a device up by (case-insensitive) name: `qx2`, `qx4`, `qx5`,
+/// `tokyo`.
+pub fn by_name(name: &str) -> Option<CouplingMap> {
+    match name.to_ascii_lowercase().as_str() {
+        "qx2" | "ibmqx2" | "yorktown" => Some(ibm_qx2()),
+        "qx4" | "ibmqx4" | "tenerife" => Some(ibm_qx4()),
+        "qx5" | "ibmqx5" | "rueschlikon" => Some(ibm_qx5()),
+        "tokyo" | "q20" => Some(ibm_tokyo()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ibm_devices_are_connected() {
+        for cm in [ibm_qx2(), ibm_qx4(), ibm_qx5(), ibm_tokyo()] {
+            assert!(cm.is_connected(), "{} disconnected", cm.name());
+        }
+    }
+
+    #[test]
+    fn device_sizes() {
+        assert_eq!(ibm_qx2().num_qubits(), 5);
+        assert_eq!(ibm_qx4().num_qubits(), 5);
+        assert_eq!(ibm_qx5().num_qubits(), 16);
+        assert_eq!(ibm_tokyo().num_qubits(), 20);
+    }
+
+    #[test]
+    fn qx5_is_degree_three_ladder() {
+        let cm = ibm_qx5();
+        assert_eq!(cm.num_edges(), 22);
+        assert!(cm.max_degree() <= 3);
+    }
+
+    #[test]
+    fn tokyo_is_bidirectional() {
+        let cm = ibm_tokyo();
+        for (c, t) in cm.edges().collect::<Vec<_>>() {
+            assert!(cm.has_edge(t, c), "({t},{c}) missing");
+            assert!(!cm.requires_reversal(c, t));
+        }
+    }
+
+    #[test]
+    fn linear_and_ring() {
+        let l = linear(4);
+        assert!(l.has_edge(0, 1) && l.has_edge(2, 3));
+        assert_eq!(l.num_edges(), 3);
+        let r = ring(4);
+        assert!(r.has_edge(3, 0));
+        assert_eq!(r.num_edges(), 4);
+    }
+
+    #[test]
+    fn grid_edges() {
+        let g = grid(2, 3);
+        assert_eq!(g.num_qubits(), 6);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.has_edge(0, 3) && g.has_edge(3, 0));
+        assert!(!g.connected_either(0, 4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn star_and_complete() {
+        let s = star(5);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.degree(1), 1);
+        let k = fully_connected(4);
+        assert_eq!(k.num_edges(), 12);
+        assert!(k.has_edge(3, 1) && k.has_edge(1, 3));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("QX4").unwrap().name(), "IBM QX4");
+        assert_eq!(by_name("tenerife").unwrap().name(), "IBM QX4");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn qx2_differs_from_qx4() {
+        assert_ne!(ibm_qx2(), ibm_qx4());
+        assert!(ibm_qx2().has_edge(0, 1));
+        assert!(ibm_qx4().has_edge(1, 0));
+    }
+}

@@ -1,0 +1,343 @@
+//! Logical-to-physical qubit layouts.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::perm::Permutation;
+
+/// Error raised by invalid layout operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A qubit index was out of range.
+    OutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The bound it violated.
+        bound: usize,
+    },
+    /// The requested physical qubit already hosts another logical qubit.
+    Occupied {
+        /// The physical qubit.
+        phys: usize,
+        /// The logical qubit already there.
+        occupant: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::OutOfRange { index, bound } => {
+                write!(f, "qubit index {index} out of range (bound {bound})")
+            }
+            LayoutError::Occupied { phys, occupant } => {
+                write!(f, "physical qubit p{phys} already hosts q{occupant}")
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+/// A partial injective assignment of `n` logical qubits to `m ≥ n` physical
+/// qubits — the object the `x^k_{ij}` variables of the paper describe at
+/// one time step.
+///
+/// ```
+/// use qxmap_arch::Layout;
+///
+/// let mut l = Layout::new(2, 5);
+/// l.assign(0, 3)?;
+/// l.assign(1, 2)?;
+/// assert_eq!(l.phys_of(0), Some(3));
+/// assert_eq!(l.logical_at(2), Some(1));
+/// l.swap_phys(3, 2); // SWAP moves both logical qubits
+/// assert_eq!(l.phys_of(0), Some(2));
+/// # Ok::<(), qxmap_arch::LayoutError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layout {
+    log2phys: Vec<Option<usize>>,
+    phys2log: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// An empty layout for `num_logical` logical and `num_phys` physical
+    /// qubits.
+    pub fn new(num_logical: usize, num_phys: usize) -> Layout {
+        Layout {
+            log2phys: vec![None; num_logical],
+            phys2log: vec![None; num_phys],
+        }
+    }
+
+    /// The identity layout `q_j → p_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_logical > num_phys`.
+    pub fn identity(num_logical: usize, num_phys: usize) -> Layout {
+        assert!(num_logical <= num_phys);
+        let mut l = Layout::new(num_logical, num_phys);
+        for q in 0..num_logical {
+            l.assign(q, q).expect("identity assignment is injective");
+        }
+        l
+    }
+
+    /// Builds a layout from a logical→physical vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if an index is out of range or two logical
+    /// qubits share a physical qubit.
+    pub fn from_log2phys(
+        log2phys: Vec<Option<usize>>,
+        num_phys: usize,
+    ) -> Result<Layout, LayoutError> {
+        let mut l = Layout::new(log2phys.len(), num_phys);
+        for (q, p) in log2phys.iter().enumerate() {
+            if let Some(p) = p {
+                l.assign(q, *p)?;
+            }
+        }
+        Ok(l)
+    }
+
+    /// Number of logical qubits.
+    pub fn num_logical(&self) -> usize {
+        self.log2phys.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn num_phys(&self) -> usize {
+        self.phys2log.len()
+    }
+
+    /// Assigns logical `q` to physical `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if either index is out of range, `q` is
+    /// already placed, or `p` is occupied.
+    pub fn assign(&mut self, q: usize, p: usize) -> Result<(), LayoutError> {
+        if q >= self.log2phys.len() {
+            return Err(LayoutError::OutOfRange {
+                index: q,
+                bound: self.log2phys.len(),
+            });
+        }
+        if p >= self.phys2log.len() {
+            return Err(LayoutError::OutOfRange {
+                index: p,
+                bound: self.phys2log.len(),
+            });
+        }
+        if let Some(occupant) = self.phys2log[p] {
+            return Err(LayoutError::Occupied { phys: p, occupant });
+        }
+        if let Some(old) = self.log2phys[q] {
+            self.phys2log[old] = None;
+        }
+        self.log2phys[q] = Some(p);
+        self.phys2log[p] = Some(q);
+        Ok(())
+    }
+
+    /// Physical position of logical `q` (`None` if unplaced).
+    pub fn phys_of(&self, q: usize) -> Option<usize> {
+        self.log2phys.get(q).copied().flatten()
+    }
+
+    /// Logical occupant of physical `p` (`None` if free).
+    pub fn logical_at(&self, p: usize) -> Option<usize> {
+        self.phys2log.get(p).copied().flatten()
+    }
+
+    /// Whether every logical qubit is placed.
+    pub fn is_complete(&self) -> bool {
+        self.log2phys.iter().all(|p| p.is_some())
+    }
+
+    /// Exchanges whatever occupies physical qubits `a` and `b` — the effect
+    /// of a SWAP gate on the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn swap_phys(&mut self, a: usize, b: usize) {
+        let la = self.phys2log[a];
+        let lb = self.phys2log[b];
+        self.phys2log[a] = lb;
+        self.phys2log[b] = la;
+        if let Some(q) = la {
+            self.log2phys[q] = Some(b);
+        }
+        if let Some(q) = lb {
+            self.log2phys[q] = Some(a);
+        }
+    }
+
+    /// Applies a permutation of physical-qubit states: the occupant of
+    /// physical `i` moves to physical `π(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != num_phys`.
+    pub fn apply_permutation(&mut self, pi: &Permutation) {
+        assert_eq!(pi.len(), self.num_phys());
+        let new_phys2log = {
+            let mut v = vec![None; self.num_phys()];
+            for (i, &occ) in self.phys2log.iter().enumerate() {
+                if let Some(q) = occ {
+                    v[pi.apply(i)] = Some(q);
+                }
+            }
+            v
+        };
+        self.phys2log = new_phys2log;
+        for (p, occ) in self.phys2log.iter().enumerate() {
+            if let Some(q) = *occ {
+                self.log2phys[q] = Some(p);
+            }
+        }
+    }
+
+    /// The logical→physical image as a vector.
+    pub fn as_log2phys(&self) -> &[Option<usize>] {
+        &self.log2phys
+    }
+
+    /// The permutation of physical qubits transforming `self` into `other`
+    /// (both must be complete and place the same logical qubits), with
+    /// unoccupied physical qubits mapped arbitrarily but consistently.
+    ///
+    /// Returns `None` if the layouts place different logical qubit sets.
+    pub fn permutation_to(&self, other: &Layout) -> Option<Permutation> {
+        if self.num_phys() != other.num_phys() || self.num_logical() != other.num_logical() {
+            return None;
+        }
+        let m = self.num_phys();
+        let mut image = vec![usize::MAX; m];
+        let mut used = vec![false; m];
+        for q in 0..self.num_logical() {
+            match (self.phys_of(q), other.phys_of(q)) {
+                (Some(a), Some(b)) => {
+                    image[a] = b;
+                    used[b] = true;
+                }
+                (None, None) => {}
+                _ => return None,
+            }
+        }
+        // Fill unconstrained positions with remaining targets in order.
+        let mut free: Vec<usize> = (0..m).filter(|&p| !used[p]).collect();
+        for slot in image.iter_mut() {
+            if *slot == usize::MAX {
+                *slot = free.remove(0);
+            }
+        }
+        Some(Permutation::from_image(image))
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (q, p) in self.log2phys.iter().enumerate() {
+            if let Some(p) = p {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "q{q}→p{p}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_enforces_injectivity() {
+        let mut l = Layout::new(2, 3);
+        l.assign(0, 1).unwrap();
+        let err = l.assign(1, 1).unwrap_err();
+        assert_eq!(err, LayoutError::Occupied { phys: 1, occupant: 0 });
+        assert!(l.assign(1, 2).is_ok());
+        assert!(l.is_complete());
+    }
+
+    #[test]
+    fn reassign_frees_old_slot() {
+        let mut l = Layout::new(1, 3);
+        l.assign(0, 0).unwrap();
+        l.assign(0, 2).unwrap();
+        assert_eq!(l.logical_at(0), None);
+        assert_eq!(l.phys_of(0), Some(2));
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut l = Layout::new(1, 1);
+        assert!(matches!(
+            l.assign(5, 0),
+            Err(LayoutError::OutOfRange { index: 5, .. })
+        ));
+        assert!(matches!(
+            l.assign(0, 5),
+            Err(LayoutError::OutOfRange { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn swap_phys_moves_occupants() {
+        let mut l = Layout::identity(2, 3);
+        l.swap_phys(0, 2);
+        assert_eq!(l.phys_of(0), Some(2));
+        assert_eq!(l.phys_of(1), Some(1));
+        assert_eq!(l.logical_at(0), None);
+    }
+
+    #[test]
+    fn apply_permutation_matches_swap_chain() {
+        let mut a = Layout::identity(3, 3);
+        let mut b = a.clone();
+        // τ12 ∘ τ01 (swap(0,1) then swap(1,2)) sends p0's occupant to p2:
+        // image = [2, 0, 1].
+        a.swap_phys(0, 1);
+        a.swap_phys(1, 2);
+        b.apply_permutation(&Permutation::from_image(vec![2, 0, 1]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permutation_to_recovers_difference() {
+        let mut from = Layout::identity(3, 5);
+        let mut to = Layout::identity(3, 5);
+        to.swap_phys(0, 3);
+        to.swap_phys(1, 4);
+        let pi = from.permutation_to(&to).unwrap();
+        from.apply_permutation(&pi);
+        for q in 0..3 {
+            assert_eq!(from.phys_of(q), to.phys_of(q));
+        }
+    }
+
+    #[test]
+    fn permutation_to_rejects_mismatched_placement() {
+        let a = Layout::identity(2, 3);
+        let b = Layout::new(2, 3);
+        assert!(a.permutation_to(&b).is_none());
+    }
+
+    #[test]
+    fn display_shows_assignments() {
+        let l = Layout::identity(2, 4);
+        assert_eq!(l.to_string(), "{q0→p0, q1→p1}");
+    }
+}

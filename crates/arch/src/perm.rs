@@ -1,0 +1,284 @@
+//! Permutations of physical-qubit states.
+//!
+//! A [`Permutation`] `π` describes how inserted SWAP operations rearrange
+//! the *states* held by the physical qubits (Definition 5): if the logical
+//! qubit occupying physical qubit `i` before the SWAP block occupies
+//! physical qubit `π(i)` after it, the block realizes `π`.
+
+use std::fmt;
+
+/// A permutation of `{0, …, n−1}`, stored as the image vector
+/// (`perm.apply(i) == image[i]`).
+///
+/// ```
+/// use qxmap_arch::Permutation;
+///
+/// let swap01 = Permutation::transposition(3, 0, 1);
+/// assert_eq!(swap01.apply(0), 1);
+/// assert_eq!(swap01.apply(2), 2);
+/// assert!(swap01.compose(&swap01).is_identity());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Permutation {
+    image: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Permutation {
+        Permutation {
+            image: (0..n).collect(),
+        }
+    }
+
+    /// Builds a permutation from its image vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not a permutation of `0..image.len()`.
+    pub fn from_image(image: Vec<usize>) -> Permutation {
+        let n = image.len();
+        let mut seen = vec![false; n];
+        for &v in &image {
+            assert!(v < n, "image value {v} out of range");
+            assert!(!seen[v], "image value {v} repeated");
+            seen[v] = true;
+        }
+        Permutation { image }
+    }
+
+    /// The transposition exchanging `a` and `b` on `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn transposition(n: usize, a: usize, b: usize) -> Permutation {
+        assert!(a < n && b < n && a != b, "invalid transposition");
+        let mut image: Vec<usize> = (0..n).collect();
+        image.swap(a, b);
+        Permutation { image }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    /// Whether the permutation is over zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    /// Applies the permutation to `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn apply(&self, i: usize) -> usize {
+        self.image[i]
+    }
+
+    /// The image vector.
+    pub fn as_image(&self) -> &[usize] {
+        &self.image
+    }
+
+    /// Composition `self ∘ other` (apply `other` first):
+    /// `(self ∘ other)(i) = self(other(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        Permutation {
+            image: other.image.iter().map(|&i| self.image[i]).collect(),
+        }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut image = vec![0; self.len()];
+        for (i, &v) in self.image.iter().enumerate() {
+            image[v] = i;
+        }
+        Permutation { image }
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.image.iter().enumerate().all(|(i, &v)| i == v)
+    }
+
+    /// Number of cycles (fixed points count as 1-cycles).
+    pub fn num_cycles(&self) -> usize {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut cycles = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            cycles += 1;
+            let mut i = start;
+            while !seen[i] {
+                seen[i] = true;
+                i = self.image[i];
+            }
+        }
+        cycles
+    }
+
+    /// Minimal number of (arbitrary, not necessarily adjacent)
+    /// transpositions whose product equals this permutation:
+    /// `n − #cycles`. This is a lower bound on `swaps(π)` for any coupling
+    /// graph.
+    pub fn min_transpositions(&self) -> usize {
+        self.len() - self.num_cycles()
+    }
+
+    /// Enumerates all `n!` permutations of `n` elements in lexicographic
+    /// order of the image vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10` (guard against accidental factorial blow-up).
+    pub fn all(n: usize) -> Vec<Permutation> {
+        assert!(n <= 10, "refusing to enumerate {n}! permutations");
+        let mut out = Vec::new();
+        let mut image: Vec<usize> = (0..n).collect();
+        loop {
+            out.push(Permutation {
+                image: image.clone(),
+            });
+            // next_permutation in lexicographic order
+            let Some(i) = (0..n.saturating_sub(1)).rev().find(|&i| image[i] < image[i + 1]) else {
+                break;
+            };
+            let j = (i + 1..n).rev().find(|&j| image[j] > image[i]).expect("exists");
+            image.swap(i, j);
+            image[i + 1..].reverse();
+        }
+        out
+    }
+
+    /// The permutation's action on a layout vector: element at position `i`
+    /// moves to position `π(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn permute<T: Clone>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len());
+        let mut out = values.to_vec();
+        for (i, v) in values.iter().enumerate() {
+            out[self.image[i]] = v.clone();
+        }
+        out
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Cycle notation; identity prints as "id".
+        if self.is_identity() {
+            return write!(f, "id");
+        }
+        let n = self.len();
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            if seen[start] || self.image[start] == start {
+                seen[start] = true;
+                continue;
+            }
+            write!(f, "(")?;
+            let mut i = start;
+            let mut first = true;
+            while !seen[i] {
+                seen[i] = true;
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{i}")?;
+                first = false;
+                i = self.image[i];
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let id = Permutation::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.num_cycles(), 4);
+        assert_eq!(id.min_transpositions(), 0);
+        assert_eq!(id.to_string(), "id");
+    }
+
+    #[test]
+    fn compose_applies_right_first() {
+        // other: 0→1 (transposition 01); self: 1→2 (transposition 12)
+        let t01 = Permutation::transposition(3, 0, 1);
+        let t12 = Permutation::transposition(3, 1, 2);
+        let c = t12.compose(&t01);
+        assert_eq!(c.apply(0), 2); // 0 →(t01) 1 →(t12) 2
+        assert_eq!(c.apply(1), 0);
+        assert_eq!(c.apply(2), 1);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = Permutation::from_image(vec![2, 0, 3, 1]);
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn cycle_counting() {
+        let p = Permutation::from_image(vec![1, 0, 3, 2]); // (01)(23)
+        assert_eq!(p.num_cycles(), 2);
+        assert_eq!(p.min_transpositions(), 2);
+        let three = Permutation::from_image(vec![1, 2, 0]); // (012)
+        assert_eq!(three.min_transpositions(), 2);
+    }
+
+    #[test]
+    fn all_enumerates_factorial_many() {
+        assert_eq!(Permutation::all(0).len(), 1);
+        assert_eq!(Permutation::all(1).len(), 1);
+        assert_eq!(Permutation::all(3).len(), 6);
+        assert_eq!(Permutation::all(5).len(), 120);
+        // All distinct.
+        let all = Permutation::all(4);
+        let set: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn from_image_rejects_non_permutation() {
+        let _ = Permutation::from_image(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn permute_moves_values() {
+        let p = Permutation::from_image(vec![1, 2, 0]);
+        // value at 0 moves to position 1, etc.
+        assert_eq!(p.permute(&['a', 'b', 'c']), vec!['c', 'a', 'b']);
+    }
+
+    #[test]
+    fn display_cycle_notation() {
+        let p = Permutation::from_image(vec![1, 0, 2]);
+        assert_eq!(p.to_string(), "(0 1)");
+        let q = Permutation::from_image(vec![1, 2, 0]);
+        assert_eq!(q.to_string(), "(0 1 2)");
+    }
+}

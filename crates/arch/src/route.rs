@@ -1,0 +1,239 @@
+//! Emitting hardware-legal gate sequences (Fig. 3 of the paper).
+//!
+//! Two primitives are needed by every mapper:
+//!
+//! * executing a CNOT whose mapped direction opposes the coupling edge —
+//!   repaired with **4 Hadamards** (cost 4);
+//! * exchanging two adjacent physical qubits' states — a **SWAP**,
+//!   decomposed into 3 CNOTs, one of which must be reversed on
+//!   unidirectional edges, giving the paper's **7** elementary operations
+//!   (3 CNOT + 4 H).
+
+use std::error::Error;
+use std::fmt;
+
+use qxmap_circuit::Circuit;
+
+use crate::coupling::CouplingMap;
+
+/// The paper's cost metric (Section 2.2): "inserting a SWAP operation
+/// increases the cost by 7 … switching the direction of a CNOT gate
+/// increases the cost by 4".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    /// Elementary operations per inserted SWAP.
+    pub swap: u32,
+    /// Elementary operations per direction reversal (H count).
+    pub reverse: u32,
+}
+
+impl CostModel {
+    /// The paper's accounting: SWAP = 7, reversal = 4.
+    pub fn paper() -> CostModel {
+        CostModel { swap: 7, reverse: 4 }
+    }
+
+    /// Cost model for fully bidirectional devices (SWAP = 3 CNOTs, no
+    /// reversal ever needed).
+    pub fn bidirectional() -> CostModel {
+        CostModel { swap: 3, reverse: 0 }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::paper()
+    }
+}
+
+impl fmt::Display for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "swap={}, reverse={}", self.swap, self.reverse)
+    }
+}
+
+/// Error: a routing primitive was asked to act across non-adjacent qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteError {
+    a: usize,
+    b: usize,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "physical qubits p{} and p{} share no coupling edge",
+            self.a, self.b
+        )
+    }
+}
+
+impl Error for RouteError {}
+
+/// Appends a CNOT with mapped control `pc` and target `pt` to `out`,
+/// inserting the 4-H reversal when only the opposite edge exists. Returns
+/// the number of elementary gates appended.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] if `pc` and `pt` share no edge in either
+/// direction.
+///
+/// ```
+/// use qxmap_arch::{devices, route};
+/// use qxmap_circuit::Circuit;
+///
+/// let cm = devices::ibm_qx4();
+/// let mut out = Circuit::new(5);
+/// // (1,0) ∈ CM: direct.
+/// assert_eq!(route::emit_cnot(&mut out, &cm, 1, 0)?, 1);
+/// // (0,1) ∉ CM but (1,0) ∈ CM: 4 H + 1 CNOT.
+/// assert_eq!(route::emit_cnot(&mut out, &cm, 0, 1)?, 5);
+/// # Ok::<(), qxmap_arch::route::RouteError>(())
+/// ```
+pub fn emit_cnot(
+    out: &mut Circuit,
+    cm: &CouplingMap,
+    pc: usize,
+    pt: usize,
+) -> Result<u32, RouteError> {
+    if cm.has_edge(pc, pt) {
+        out.cx(pc, pt);
+        Ok(1)
+    } else if cm.has_edge(pt, pc) {
+        // H ⊗ H · CNOT(pt→pc) · H ⊗ H realizes CNOT(pc→pt).
+        out.h(pc);
+        out.h(pt);
+        out.cx(pt, pc);
+        out.h(pc);
+        out.h(pt);
+        Ok(5)
+    } else {
+        Err(RouteError { a: pc, b: pt })
+    }
+}
+
+/// Appends a SWAP of physical qubits `a` and `b` decomposed into coupling-
+/// legal elementary gates (Fig. 3): `CX·CX·CX` on bidirectional edges
+/// (3 gates), `CX·(H H CX H H)·CX` on unidirectional ones (7 gates).
+/// Returns the number of elementary gates appended.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] if `a` and `b` share no edge.
+pub fn emit_swap(
+    out: &mut Circuit,
+    cm: &CouplingMap,
+    a: usize,
+    b: usize,
+) -> Result<u32, RouteError> {
+    // Orient so that (c, t) is a real edge.
+    let (c, t) = if cm.has_edge(a, b) {
+        (a, b)
+    } else if cm.has_edge(b, a) {
+        (b, a)
+    } else {
+        return Err(RouteError { a, b });
+    };
+    let mut cost = 0;
+    out.cx(c, t);
+    cost += 1;
+    cost += emit_cnot(out, cm, t, c).expect("edge exists");
+    out.cx(c, t);
+    cost += 1;
+    Ok(cost)
+}
+
+/// The cost [`emit_swap`] would report for the edge `{a, b}`, without
+/// emitting anything.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] if `a` and `b` share no edge.
+pub fn swap_cost(cm: &CouplingMap, a: usize, b: usize) -> Result<u32, RouteError> {
+    if cm.has_edge(a, b) && cm.has_edge(b, a) {
+        Ok(3)
+    } else if cm.connected_either(a, b) {
+        Ok(7)
+    } else {
+        Err(RouteError { a, b })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+    use qxmap_circuit::Gate;
+
+    #[test]
+    fn direct_cnot_is_one_gate() {
+        let cm = devices::ibm_qx4();
+        let mut out = Circuit::new(5);
+        assert_eq!(emit_cnot(&mut out, &cm, 2, 0).unwrap(), 1);
+        assert_eq!(out.gates(), &[Gate::cnot(2, 0)]);
+    }
+
+    #[test]
+    fn reversed_cnot_adds_four_h() {
+        let cm = devices::ibm_qx4();
+        let mut out = Circuit::new(5);
+        assert_eq!(emit_cnot(&mut out, &cm, 0, 2).unwrap(), 5);
+        assert_eq!(out.num_single_qubit_gates(), 4);
+        assert_eq!(out.cnot_skeleton(), vec![(2, 0)]);
+    }
+
+    #[test]
+    fn unconnected_cnot_errors() {
+        let cm = devices::ibm_qx4();
+        let mut out = Circuit::new(5);
+        let err = emit_cnot(&mut out, &cm, 0, 3).unwrap_err();
+        assert!(err.to_string().contains("p0"));
+        assert!(out.gates().is_empty());
+    }
+
+    #[test]
+    fn swap_on_unidirectional_edge_costs_seven() {
+        let cm = devices::ibm_qx4();
+        let mut out = Circuit::new(5);
+        let cost = emit_swap(&mut out, &cm, 0, 1).unwrap();
+        assert_eq!(cost, 7);
+        assert_eq!(out.original_cost(), 7);
+        assert_eq!(out.num_cnots(), 3);
+        assert_eq!(out.num_single_qubit_gates(), 4);
+        // Every CNOT must be coupling-legal.
+        for (c, t) in out.cnot_skeleton() {
+            assert!(cm.has_edge(c, t));
+        }
+        assert_eq!(swap_cost(&cm, 0, 1).unwrap(), 7);
+    }
+
+    #[test]
+    fn swap_on_bidirectional_edge_costs_three() {
+        let cm = devices::ibm_tokyo();
+        let mut out = Circuit::new(20);
+        let cost = emit_swap(&mut out, &cm, 0, 1).unwrap();
+        assert_eq!(cost, 3);
+        assert_eq!(out.num_cnots(), 3);
+        assert_eq!(out.num_single_qubit_gates(), 0);
+        assert_eq!(swap_cost(&cm, 0, 1).unwrap(), 3);
+    }
+
+    #[test]
+    fn swap_cost_errors_off_edge() {
+        let cm = devices::ibm_qx4();
+        assert!(swap_cost(&cm, 0, 3).is_err());
+        let mut out = Circuit::new(5);
+        assert!(emit_swap(&mut out, &cm, 0, 3).is_err());
+    }
+
+    #[test]
+    fn cost_model_defaults_to_paper() {
+        assert_eq!(CostModel::default(), CostModel::paper());
+        assert_eq!(CostModel::paper().swap, 7);
+        assert_eq!(CostModel::paper().reverse, 4);
+        assert_eq!(CostModel::bidirectional().swap, 3);
+        assert_eq!(CostModel::paper().to_string(), "swap=7, reverse=4");
+    }
+}

@@ -1,0 +1,125 @@
+//! Physical-qubit subset enumeration (Section 4.1).
+//!
+//! When a circuit uses `n < m` logical qubits, the exact mapper may restrict
+//! itself to `n` of the `m` physical qubits and try every such subset. Only
+//! *connected* subsets can host a mapping; the paper prunes subsets with
+//! isolated qubits — we prune every disconnected subset, which subsumes the
+//! isolation check and never discards a feasible instance (a CNOT between
+//! qubits in different components could never be routed).
+
+use crate::coupling::CouplingMap;
+
+/// Enumerates all size-`size` subsets of physical qubits whose induced
+/// subgraph is connected, in lexicographic order.
+///
+/// Returns the empty vector if `size > m`. For `size == 0` a single empty
+/// subset is returned.
+///
+/// ```
+/// use qxmap_arch::{connected_subsets, devices};
+///
+/// // Example 9 of the paper: of the C(5,4) = 5 subsets of QX4, only the 4
+/// // containing the hub p3 (index 2) are connected.
+/// let subs = connected_subsets(&devices::ibm_qx4(), 4);
+/// assert_eq!(subs.len(), 4);
+/// assert!(subs.iter().all(|s| s.contains(&2)));
+/// ```
+pub fn connected_subsets(cm: &CouplingMap, size: usize) -> Vec<Vec<usize>> {
+    let m = cm.num_qubits();
+    if size > m {
+        return Vec::new();
+    }
+    if size == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = Vec::with_capacity(size);
+    combinations(m, size, 0, &mut current, &mut |subset| {
+        if cm.is_connected_subset(subset) {
+            out.push(subset.to_vec());
+        }
+    });
+    out
+}
+
+fn combinations(
+    m: usize,
+    size: usize,
+    start: usize,
+    current: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    if current.len() == size {
+        visit(current);
+        return;
+    }
+    let needed = size - current.len();
+    for q in start..=(m - needed) {
+        current.push(q);
+        combinations(m, size, q + 1, current, visit);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+
+    #[test]
+    fn full_size_subset_is_whole_device() {
+        let cm = devices::ibm_qx4();
+        let subs = connected_subsets(&cm, 5);
+        assert_eq!(subs, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn qx4_three_subsets() {
+        // Connected 3-subsets of QX4: {0,1,2} (triangle), {0,2,3}, {0,2,4},
+        // {1,2,3}, {1,2,4}, {2,3,4} (triangle) — all must contain p3=2 ...
+        // except none without 2 is connected: {0,1,x}? 0-1 edge exists, but
+        // 3 and 4 connect only through 2.
+        let subs = connected_subsets(&devices::ibm_qx4(), 3);
+        assert_eq!(
+            subs,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 2, 3],
+                vec![0, 2, 4],
+                vec![1, 2, 3],
+                vec![1, 2, 4],
+                vec![2, 3, 4],
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_requests_are_empty() {
+        assert!(connected_subsets(&devices::ibm_qx4(), 6).is_empty());
+    }
+
+    #[test]
+    fn zero_size_is_single_empty_subset() {
+        assert_eq!(connected_subsets(&devices::ibm_qx4(), 0), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn singletons_are_all_connected() {
+        let subs = connected_subsets(&devices::ibm_qx4(), 1);
+        assert_eq!(subs.len(), 5);
+    }
+
+    #[test]
+    fn line_subsets_are_intervals() {
+        let cm = devices::linear(5);
+        let subs = connected_subsets(&cm, 3);
+        assert_eq!(subs, vec![vec![0, 1, 2], vec![1, 2, 3], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn counts_match_paper_example8() {
+        // Example 8/9: C(5,4)=5 subsets, 4 connected ones on QX4.
+        let subs = connected_subsets(&devices::ibm_qx4(), 4);
+        assert_eq!(subs.len(), 4);
+    }
+}

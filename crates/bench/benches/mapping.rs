@@ -1,0 +1,41 @@
+//! Benchmarks the exact mapping methods (Table 1, column groups 1–2):
+//! the guaranteed-minimal Section 3 formulation and the Section 4.1
+//! subset optimization, across small suite instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qxmap_arch::devices;
+use qxmap_benchmarks::{circuit_for, profiles};
+use qxmap_core::{ExactMapper, MapperConfig};
+
+fn bench_exact_methods(c: &mut Criterion) {
+    let cm = devices::ibm_qx4();
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(10);
+    for name in ["ex-1_166", "ham3_102", "4gt11_84", "4mod5-v0_20"] {
+        let profile = profiles::by_name(name).expect("known benchmark");
+        let circuit = circuit_for(&profile);
+        group.bench_with_input(
+            BenchmarkId::new("minimal", name),
+            &circuit,
+            |b, circuit| {
+                let mapper = ExactMapper::with_config(cm.clone(), MapperConfig::minimal());
+                b.iter(|| mapper.map(circuit).expect("mappable"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("subsets-4.1", name),
+            &circuit,
+            |b, circuit| {
+                let mapper = ExactMapper::with_config(
+                    cm.clone(),
+                    MapperConfig::minimal().with_subsets(true),
+                );
+                b.iter(|| mapper.map(circuit).expect("mappable"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_methods);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks the Section 4.2 permutation-restriction strategies and the
+//! paper's prose claim that "the runtime required to solve an instance
+//! indirectly correlates with |G'|": sweeps both the strategy (at fixed
+//! circuit) and the CNOT count (at fixed strategy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qxmap_arch::devices;
+use qxmap_benchmarks::{circuit_for, profiles, synthetic_circuit};
+use qxmap_core::{ExactMapper, MapperConfig, Strategy};
+
+fn bench_strategy_choice(c: &mut Criterion) {
+    let cm = devices::ibm_qx4();
+    let profile = profiles::by_name("4mod5-v0_20").expect("known benchmark");
+    let circuit = circuit_for(&profile);
+    let mut group = c.benchmark_group("strategy/4mod5-v0_20");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("before-every-gate", Strategy::BeforeEveryGate),
+        ("disjoint-qubits", Strategy::DisjointQubits),
+        ("odd-gates", Strategy::OddGates),
+        ("qubit-triangle", Strategy::QubitTriangle),
+    ] {
+        let points = strategy.change_points(&circuit.cnot_skeleton()).len();
+        group.bench_function(BenchmarkId::new(label, format!("Gp{points}")), |b| {
+            let mapper = ExactMapper::with_config(
+                cm.clone(),
+                MapperConfig::minimal()
+                    .with_strategy(strategy.clone())
+                    .with_subsets(true),
+            );
+            b.iter(|| mapper.map(&circuit).expect("mappable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_count_scaling(c: &mut Criterion) {
+    let cm = devices::ibm_qx4();
+    let mut group = c.benchmark_group("scaling/odd-gates");
+    group.sample_size(10);
+    for cnots in [6usize, 10, 14] {
+        let circuit = synthetic_circuit(4, cnots, cnots, 0xC0FFEE);
+        group.bench_with_input(BenchmarkId::from_parameter(cnots), &circuit, |b, circuit| {
+            let mapper = ExactMapper::with_config(
+                cm.clone(),
+                MapperConfig::minimal()
+                    .with_strategy(Strategy::OddGates)
+                    .with_subsets(true),
+            );
+            b.iter(|| mapper.map(circuit).expect("mappable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategy_choice, bench_gate_count_scaling);
+criterion_main!(benches);

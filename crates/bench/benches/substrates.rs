@@ -1,0 +1,81 @@
+//! Benchmarks of the supporting substrates: `swaps(π)` table
+//! construction ("needs to be conducted only once", Section 3.2),
+//! connected-subset enumeration (Section 4.1), QASM parsing, and
+//! statevector simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qxmap_arch::{connected_subsets, devices, CostedSwapTable, SwapTable};
+use qxmap_benchmarks::famous;
+use qxmap_sim::{run, StateVec};
+
+fn bench_swap_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swap-table");
+    let qx4 = devices::ibm_qx4();
+    group.bench_function("qx4-full-120", |b| {
+        b.iter(|| SwapTable::new(&qx4));
+    });
+    group.bench_function("qx4-subset-4", |b| {
+        b.iter(|| SwapTable::for_subset(&qx4, &[0, 1, 2, 3]));
+    });
+    let line7 = devices::linear(7);
+    group.bench_function("line7-5040", |b| {
+        b.iter(|| SwapTable::new(&line7));
+    });
+    // Ablation: count-optimal BFS vs cost-optimal Dijkstra construction.
+    group.bench_function("qx4-costed-120", |b| {
+        b.iter(|| CostedSwapTable::new(&qx4));
+    });
+    group.finish();
+}
+
+fn bench_subset_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subsets");
+    let qx5 = devices::ibm_qx5();
+    for size in [3usize, 5] {
+        group.bench_function(BenchmarkId::new("qx5", size), |b| {
+            b.iter(|| connected_subsets(&qx5, size));
+        });
+    }
+    let tokyo = devices::ibm_tokyo();
+    group.bench_function("tokyo-5", |b| {
+        b.iter(|| connected_subsets(&tokyo, 5));
+    });
+    group.finish();
+}
+
+fn bench_qasm(c: &mut Criterion) {
+    // A Toffoli-heavy program stressing qelib inlining.
+    let mut src = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[5];\n");
+    for i in 0..50 {
+        src.push_str(&format!(
+            "ccx q[{}], q[{}], q[{}];\nh q[{}];\n",
+            i % 5,
+            (i + 1) % 5,
+            (i + 2) % 5,
+            i % 5
+        ));
+    }
+    c.bench_function("qasm/parse-50-toffolis", |b| {
+        b.iter(|| qxmap_qasm::parse(&src).expect("valid program"));
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    for n in [8usize, 12] {
+        let circuit = famous::qft(n).decompose_swaps();
+        group.bench_with_input(BenchmarkId::new("qft", n), &circuit, |b, circuit| {
+            b.iter(|| run(circuit, StateVec::zero(n)).expect("unitary"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_swap_tables,
+    bench_subset_enumeration,
+    bench_qasm,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Prints SAT-instance sizes per benchmark and strategy — the measurable
+//! counterpart of the paper's search-space discussion: Example 5 counts
+//! `n·m·|G|` mapping variables, Section 4.2 argues the search space is
+//! `2^(n·m·(|G'|+1))`, and footnote 6 hints at further strategies (our
+//! `Window(k)`).
+//!
+//! ```bash
+//! cargo run --release -p qxmap-bench --bin encoding_stats
+//! ```
+
+use qxmap_arch::devices;
+use qxmap_benchmarks::{circuit_for, table1_profiles};
+use qxmap_core::{ExactMapper, MapperConfig, Strategy};
+
+fn main() {
+    let cm = devices::ibm_qx4();
+    println!(
+        "{:<12} {:>3} {:>4} | {:<16} {:>5} {:>9} {:>9} {:>8}",
+        "benchmark", "n", "|G|", "strategy", "|G'|", "vars", "clauses", "x-vars"
+    );
+    for profile in table1_profiles() {
+        if profile.cnots > 20 {
+            continue; // keep the report quick; sizes scale linearly anyway
+        }
+        let circuit = circuit_for(&profile);
+        for strategy in [
+            Strategy::BeforeEveryGate,
+            Strategy::DisjointQubits,
+            Strategy::OddGates,
+            Strategy::QubitTriangle,
+            Strategy::Window(4),
+        ] {
+            let mapper = ExactMapper::with_config(
+                cm.clone(),
+                MapperConfig::minimal().with_strategy(strategy.clone()),
+            );
+            let stats = mapper
+                .encoding_stats(&circuit)
+                .expect("suite circuits fit the device");
+            println!(
+                "{:<12} {:>3} {:>4} | {:<16} {:>5} {:>9} {:>9} {:>8}",
+                profile.name,
+                profile.qubits,
+                profile.cnots,
+                strategy.name(),
+                stats.change_points,
+                stats.variables,
+                stats.clauses,
+                stats.mapping_variables,
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # qxmap-bench
+//!
+//! The evaluation harness: regenerates every exhibit of the paper's
+//! Section 5 (see `DESIGN.md` §4 for the experiment index).
+//!
+//! * `cargo run --release -p qxmap-bench --bin table1` — regenerates
+//!   **Table 1** (all column groups + the IBM baseline + the headline
+//!   averages). `--quick` restricts to the smaller rows; `--full` removes
+//!   conflict budgets so every minimal result is *proved* minimal.
+//! * `cargo bench -p qxmap-bench` — Criterion microbenchmarks: mapping
+//!   methods, Section 4.2 strategies (runtime vs `|G'|`), heuristic
+//!   baselines, and substrate ablations (SAT engine, swap tables, QASM,
+//!   simulator).
+//!
+//! Shared helpers for those targets live here.
+
+#![forbid(unsafe_code)]
+
+use qxmap_arch::CouplingMap;
+use qxmap_circuit::Circuit;
+use qxmap_heuristic::{HeuristicResult, Mapper, StochasticSwapMapper};
+
+/// Best of `runs` probabilistic stochastic-swap mappings (Table 1 ran
+/// Qiskit "5 times for each benchmark and list[ed] the observed minimum").
+///
+/// # Panics
+///
+/// Panics if `runs == 0` or the circuit cannot be mapped.
+pub fn best_of_stochastic(circuit: &Circuit, cm: &CouplingMap, runs: u64) -> HeuristicResult {
+    assert!(runs > 0);
+    (0..runs)
+        .map(|seed| {
+            StochasticSwapMapper::with_seed(seed)
+                .map(circuit, cm)
+                .expect("connected device")
+        })
+        .min_by_key(|r| r.mapped_cost())
+        .expect("at least one run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::devices;
+    use qxmap_circuit::paper_example;
+
+    #[test]
+    fn best_of_is_monotone_in_runs() {
+        let cm = devices::ibm_qx4();
+        let c = paper_example();
+        let one = best_of_stochastic(&c, &cm, 1).mapped_cost();
+        let five = best_of_stochastic(&c, &cm, 5).mapped_cost();
+        assert!(five <= one);
+    }
+}

@@ -1,0 +1,147 @@
+//! Classic parameterized circuit families for scaling studies.
+
+use qxmap_circuit::Circuit;
+
+use crate::mct::append_mct;
+
+/// A GHZ-state preparation: `H` on qubit 0 followed by a CNOT chain.
+///
+/// ```
+/// let c = qxmap_benchmarks::famous::ghz(4);
+/// assert_eq!(c.num_cnots(), 3);
+/// assert_eq!(c.num_single_qubit_gates(), 1);
+/// ```
+pub fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::new(n).named(format!("ghz_{n}"));
+    if n == 0 {
+        return c;
+    }
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c
+}
+
+/// The quantum Fourier transform with controlled phases decomposed into
+/// the elementary basis (`cu1 = 2 CNOT + 3 phase gates`) and the final
+/// reversal implemented with SWAP gates.
+///
+/// ```
+/// let c = qxmap_benchmarks::famous::qft(3);
+/// // 3 H + 3 cu1 (2 CNOTs each) + 1 terminal SWAP.
+/// assert_eq!(c.num_single_qubit_gates(), 3 + 3 * 3);
+/// ```
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n).named(format!("qft_{n}"));
+    for i in 0..n {
+        c.h(i);
+        for j in (i + 1)..n {
+            let lambda = std::f64::consts::PI / f64::from(1u32 << (j - i));
+            // cu1(λ) decomposition.
+            c.one(qxmap_circuit::OneQubitKind::Phase(lambda / 2.0), j);
+            c.cx(j, i);
+            c.one(qxmap_circuit::OneQubitKind::Phase(-lambda / 2.0), i);
+            c.cx(j, i);
+            c.one(qxmap_circuit::OneQubitKind::Phase(lambda / 2.0), i);
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap_gate(i, n - 1 - i);
+    }
+    c
+}
+
+/// A chain of `k` Toffolis over `n ≥ 3` qubits, each targeting the next
+/// qubit cyclically — the canonical reversible-netlist stressor.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn toffoli_chain(n: usize, k: usize) -> Circuit {
+    assert!(n >= 3, "Toffoli chain needs at least 3 lines");
+    let mut c = Circuit::new(n).named(format!("toffoli_chain_{n}_{k}"));
+    for i in 0..k {
+        let a = i % n;
+        let b = (i + 1) % n;
+        let t = (i + 2) % n;
+        append_mct(&mut c, &[a, b], t).expect("two controls never need ancillas");
+    }
+    c
+}
+
+/// A Cuccaro-style ripple-carry adder skeleton on `2·bits + 2` qubits
+/// (MAJ / UMA blocks built from Toffolis and CNOTs).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_adder(bits: usize) -> Circuit {
+    assert!(bits > 0);
+    let n = 2 * bits + 2;
+    let mut c = Circuit::new(n).named(format!("adder_{bits}"));
+    // Register layout: c0, a0, b0, a1, b1, …, carry-out at n-1.
+    let a = |i: usize| 1 + 2 * i;
+    let b = |i: usize| 2 + 2 * i;
+    let maj = |c_: &mut Circuit, x: usize, y: usize, z: usize| {
+        c_.cx(z, y);
+        c_.cx(z, x);
+        append_mct(c_, &[x, y], z).expect("spare lines exist");
+    };
+    let uma = |c_: &mut Circuit, x: usize, y: usize, z: usize| {
+        append_mct(c_, &[x, y], z).expect("spare lines exist");
+        c_.cx(z, x);
+        c_.cx(x, y);
+    };
+    maj(&mut c, 0, b(0), a(0));
+    for i in 1..bits {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(bits - 1), n - 1);
+    for i in (1..bits).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, 0, b(0), a(0));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_shapes() {
+        assert_eq!(ghz(0).gates().len(), 0);
+        assert_eq!(ghz(1).num_single_qubit_gates(), 1);
+        let c = ghz(5);
+        assert_eq!(c.num_cnots(), 4);
+        assert_eq!(c.depth(), 5);
+    }
+
+    #[test]
+    fn qft_cnot_count() {
+        // n(n-1)/2 controlled phases, 2 CNOTs each, plus 3 per SWAP.
+        let c = qft(4).decompose_swaps();
+        assert_eq!(c.num_cnots(), 2 * 6 + 3 * 2);
+    }
+
+    #[test]
+    fn toffoli_chain_counts() {
+        let c = toffoli_chain(3, 4);
+        assert_eq!(c.num_cnots(), 4 * 6);
+        assert_eq!(c.num_qubits(), 3);
+    }
+
+    #[test]
+    fn adder_is_buildable() {
+        let c = ripple_adder(2);
+        assert_eq!(c.num_qubits(), 6);
+        assert!(c.num_cnots() > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn toffoli_chain_needs_three() {
+        let _ = toffoli_chain(2, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # qxmap-benchmarks
+//!
+//! The evaluation workloads of the DAC 2019 paper, rebuilt:
+//!
+//! * [`profiles`] — metadata for all 25 Table 1 benchmarks (qubit count,
+//!   single-qubit / CNOT gate counts, and the paper's reported minimal
+//!   cost, runtime and Qiskit cost for comparison in `EXPERIMENTS.md`).
+//! * [`synthetic_circuit`] / [`circuit_for`] — a seeded generator
+//!   producing, for each profile, a circuit with *exactly* the profile's
+//!   gate counts and reversible-netlist-like interaction locality. The
+//!   original RevLib netlists are not redistributable here; DESIGN.md §2
+//!   documents why matching (n, #1q, #CNOT) preserves the evaluation's
+//!   shape.
+//! * [`real`] — a parser for RevLib's `.real` format (Toffoli/Fredkin
+//!   netlists) so genuine benchmark files can be dropped in.
+//! * [`mct`] — multiple-controlled Toffoli decomposition into the
+//!   H/T/CNOT basis (with borrowed-ancilla recursion).
+//! * [`famous`] — classic parameterized families (GHZ, QFT, Toffoli
+//!   chains, ripple adders) for scaling studies.
+//!
+//! ```
+//! let suite = qxmap_benchmarks::table1_profiles();
+//! assert_eq!(suite.len(), 25);
+//! let circuit = qxmap_benchmarks::circuit_for(&suite[0]);
+//! assert_eq!(circuit.num_qubits(), suite[0].qubits);
+//! assert_eq!(circuit.num_cnots(), suite[0].cnots);
+//! assert_eq!(circuit.num_single_qubit_gates(), suite[0].single_qubit_gates);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod famous;
+pub mod mct;
+pub mod profiles;
+pub mod real;
+mod synthetic;
+
+pub use profiles::{table1_profiles, BenchmarkProfile, PaperNumbers};
+pub use synthetic::{circuit_for, synthetic_circuit};

@@ -1,0 +1,308 @@
+//! Multiple-controlled Toffoli (MCT) decomposition into the H/T/CNOT
+//! basis.
+//!
+//! RevLib netlists are Toffoli networks; running them on IBM QX hardware
+//! requires decomposition into elementary gates (the step the paper
+//! assumes already done, citing references [1, 4, 14]). This module
+//! provides it: the textbook 2-control Toffoli (6 CNOT + 9 one-qubit
+//! gates) plus the borrowed-ancilla recursion of Barenco et al. for more
+//! controls.
+
+use std::error::Error;
+use std::fmt;
+
+use qxmap_circuit::Circuit;
+
+/// Error: not enough free lines to decompose a large MCT gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecomposeMctError {
+    controls: usize,
+    available_ancillas: usize,
+}
+
+impl fmt::Display for DecomposeMctError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "a {}-control Toffoli needs a borrowed ancilla line, {} available",
+            self.controls, self.available_ancillas
+        )
+    }
+}
+
+impl Error for DecomposeMctError {}
+
+/// Appends an MCT gate (`controls` ∧ → X on `target`) to `circuit`,
+/// decomposed into the elementary basis. Free lines of the circuit are
+/// borrowed as dirty ancillas when more than two controls are given.
+///
+/// # Errors
+///
+/// Returns [`DecomposeMctError`] if more than two controls are given and
+/// no spare line exists.
+///
+/// # Panics
+///
+/// Panics if qubits repeat or are out of range.
+pub fn append_mct(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    target: usize,
+) -> Result<(), DecomposeMctError> {
+    let n = circuit.num_qubits();
+    let mut used = vec![false; n];
+    for &q in controls.iter().chain([&target]) {
+        assert!(q < n, "qubit out of range");
+        assert!(!used[q], "repeated qubit in MCT");
+        used[q] = true;
+    }
+    let ancillas: Vec<usize> = (0..n).filter(|&q| !used[q]).collect();
+    emit(circuit, controls, target, &ancillas)
+}
+
+fn emit(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    target: usize,
+    ancillas: &[usize],
+) -> Result<(), DecomposeMctError> {
+    match controls.len() {
+        0 => {
+            circuit.x(target);
+            Ok(())
+        }
+        1 => {
+            circuit.cx(controls[0], target);
+            Ok(())
+        }
+        2 => {
+            append_ccx(circuit, controls[0], controls[1], target);
+            Ok(())
+        }
+        k => {
+            // Borrowed-ancilla split: t ^= AND(all controls) via
+            // [MCT(c_hi ∪ {a} → t), MCT(c_lo → a)]², a dirty.
+            let Some((&a, rest)) = ancillas.split_first() else {
+                return Err(DecomposeMctError {
+                    controls: k,
+                    available_ancillas: 0,
+                });
+            };
+            // Ceiling half to `lo` so both halves have < k controls
+            // (hi gets ⌊k/2⌋ + 1 ≤ k−1 for every k ≥ 3).
+            let half = k.div_ceil(2);
+            let lo = &controls[..half];
+            let hi: Vec<usize> = controls[half..].iter().copied().chain([a]).collect();
+            // Ancilla pool for the sub-gates: the other sub-gate's controls
+            // are idle during each half and may be borrowed too.
+            let mut pool_hi: Vec<usize> = rest.iter().copied().chain(lo.iter().copied()).collect();
+            let mut pool_lo: Vec<usize> = rest
+                .iter()
+                .copied()
+                .chain(hi.iter().copied().filter(|&q| q != a))
+                .chain([target])
+                .collect();
+            pool_hi.retain(|&q| q != target);
+            pool_lo.retain(|&q| q != a);
+            emit(circuit, &hi, target, &pool_hi)?;
+            emit(circuit, lo, a, &pool_lo)?;
+            emit(circuit, &hi, target, &pool_hi)?;
+            emit(circuit, lo, a, &pool_lo)?;
+            Ok(())
+        }
+    }
+}
+
+/// The standard 6-CNOT Clifford+T Toffoli.
+pub fn append_ccx(circuit: &mut Circuit, a: usize, b: usize, c: usize) {
+    circuit.h(c);
+    circuit.cx(b, c);
+    circuit.tdg(c);
+    circuit.cx(a, c);
+    circuit.t(c);
+    circuit.cx(b, c);
+    circuit.tdg(c);
+    circuit.cx(a, c);
+    circuit.t(b);
+    circuit.t(c);
+    circuit.h(c);
+    circuit.cx(a, b);
+    circuit.t(a);
+    circuit.tdg(b);
+    circuit.cx(a, b);
+}
+
+/// Appends a Fredkin (controlled-SWAP) gate, decomposed via
+/// `CX(c,b) · CCX(a,b,c) · CX(c,b)`.
+///
+/// # Errors
+///
+/// Propagates [`DecomposeMctError`] (never fails for the 1-control case).
+pub fn append_fredkin(
+    circuit: &mut Circuit,
+    control: usize,
+    x: usize,
+    y: usize,
+) -> Result<(), DecomposeMctError> {
+    circuit.cx(y, x);
+    append_mct(circuit, &[control, x], y)?;
+    circuit.cx(y, x);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classical simulation of the circuit on a basis state (all gates in
+    /// the decomposition are classical on basis states except H/T phases,
+    /// so verify with the statevector-free parity trick only for X/CX; use
+    /// truth-table checks through qxmap-sim in integration tests instead).
+    fn truth_table(circuit: &Circuit, n: usize) -> Vec<usize> {
+        // Use a light-weight permutation check: the decomposition contains
+        // H/T gates, so a classical truth table is only valid for the
+        // *composite* (which is a permutation). Simulate amplitudes naively.
+        use qxmap_circuit::Gate;
+        // Tiny complex arithmetic to avoid a dev-dependency cycle.
+        #[derive(Clone, Copy)]
+        struct C(f64, f64);
+        impl C {
+            fn mul(self, o: C) -> C {
+                C(self.0 * o.0 - self.1 * o.1, self.0 * o.1 + self.1 * o.0)
+            }
+            fn add(self, o: C) -> C {
+                C(self.0 + o.0, self.1 + o.1)
+            }
+            fn scale(self, k: f64) -> C {
+                C(self.0 * k, self.1 * k)
+            }
+        }
+        let size = 1usize << n;
+        let mut table = Vec::new();
+        for basis in 0..size {
+            let mut amps = vec![C(0.0, 0.0); size];
+            amps[basis] = C(1.0, 0.0);
+            for gate in circuit.gates() {
+                match gate {
+                    Gate::Cnot { control, target } => {
+                        for i in 0..size {
+                            if i & (1 << control) != 0 && i & (1 << target) == 0 {
+                                amps.swap(i, i | (1 << target));
+                            }
+                        }
+                    }
+                    Gate::One { kind, qubit } => {
+                        use qxmap_circuit::OneQubitKind as K;
+                        let bit = 1usize << qubit;
+                        for i in 0..size {
+                            if i & bit != 0 {
+                                continue;
+                            }
+                            let (a0, a1) = (amps[i], amps[i | bit]);
+                            let (b0, b1) = match kind {
+                                K::X => (a1, a0),
+                                K::H => {
+                                    let r = std::f64::consts::FRAC_1_SQRT_2;
+                                    (a0.add(a1).scale(r), a0.add(a1.scale(-1.0)).scale(r))
+                                }
+                                K::T => (a0, a1.mul(C((0.25f64 * std::f64::consts::PI).cos(), (0.25 * std::f64::consts::PI).sin()))),
+                                K::Tdg => (a0, a1.mul(C((0.25f64 * std::f64::consts::PI).cos(), -(0.25 * std::f64::consts::PI).sin()))),
+                                other => panic!("unexpected gate {other:?} in MCT decomposition"),
+                            };
+                            amps[i] = b0;
+                            amps[i | bit] = b1;
+                        }
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            // The output must be a basis state (permutation matrix).
+            let mut out = None;
+            for (i, a) in amps.iter().enumerate() {
+                if a.0 * a.0 + a.1 * a.1 > 0.5 {
+                    assert!(out.is_none(), "superposition output");
+                    out = Some(i);
+                }
+            }
+            table.push(out.expect("permutation output"));
+        }
+        table
+    }
+
+    fn mct_reference(n: usize, controls: &[usize], target: usize) -> Vec<usize> {
+        (0..1 << n)
+            .map(|i| {
+                if controls.iter().all(|&c| i & (1 << c) != 0) {
+                    i ^ (1 << target)
+                } else {
+                    i
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        let mut c = Circuit::new(3);
+        append_mct(&mut c, &[0, 1], 2).unwrap();
+        assert_eq!(truth_table(&c, 3), mct_reference(3, &[0, 1], 2));
+        assert_eq!(c.num_cnots(), 6);
+    }
+
+    #[test]
+    fn single_and_zero_control() {
+        let mut c = Circuit::new(2);
+        append_mct(&mut c, &[1], 0).unwrap();
+        assert_eq!(truth_table(&c, 2), mct_reference(2, &[1], 0));
+        let mut c = Circuit::new(1);
+        append_mct(&mut c, &[], 0).unwrap();
+        assert_eq!(truth_table(&c, 1), vec![1, 0]);
+    }
+
+    #[test]
+    fn three_controls_with_borrowed_ancilla() {
+        let mut c = Circuit::new(5);
+        append_mct(&mut c, &[0, 1, 2], 3).unwrap();
+        assert_eq!(truth_table(&c, 5), mct_reference(5, &[0, 1, 2], 3));
+    }
+
+    #[test]
+    fn four_controls_needs_six_lines() {
+        let mut c = Circuit::new(6);
+        append_mct(&mut c, &[0, 1, 2, 3], 4).unwrap();
+        assert_eq!(truth_table(&c, 6), mct_reference(6, &[0, 1, 2, 3], 4));
+    }
+
+    #[test]
+    fn missing_ancilla_is_reported() {
+        let mut c = Circuit::new(4);
+        let err = append_mct(&mut c, &[0, 1, 2], 3).unwrap_err();
+        assert!(err.to_string().contains("ancilla"));
+    }
+
+    #[test]
+    fn fredkin_truth_table() {
+        let mut c = Circuit::new(3);
+        append_fredkin(&mut c, 0, 1, 2).unwrap();
+        let expected: Vec<usize> = (0..8)
+            .map(|i: usize| {
+                if i & 1 != 0 {
+                    // swap bits 1 and 2
+                    let b1 = (i >> 1) & 1;
+                    let b2 = (i >> 2) & 1;
+                    (i & 1) | (b2 << 1) | (b1 << 2)
+                } else {
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(truth_table(&c, 3), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn repeated_qubits_panic() {
+        let mut c = Circuit::new(3);
+        let _ = append_mct(&mut c, &[0, 0], 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Table 1 benchmark metadata.
+//!
+//! One entry per row of the paper's Table 1, including the values the
+//! authors measured (minimal cost, solve time, Qiskit 0.4.15 cost) so the
+//! reproduction can print paper-vs-measured side by side.
+
+/// The paper's reported numbers for one benchmark (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperNumbers {
+    /// Reported minimal mapped gate count `c_min`.
+    pub cmin: usize,
+    /// Reported exact-method runtime in seconds (Intel i7-3930K).
+    pub minimal_seconds: f64,
+    /// Reported best-of-5 Qiskit 0.4.15 mapped gate count.
+    pub qiskit: usize,
+}
+
+/// One evaluation benchmark: the profile the synthetic generator
+/// reproduces plus the paper's reported results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// RevLib benchmark name (as printed in Table 1).
+    pub name: &'static str,
+    /// Logical qubits `n`.
+    pub qubits: usize,
+    /// Single-qubit gate count before mapping.
+    pub single_qubit_gates: usize,
+    /// CNOT count before mapping.
+    pub cnots: usize,
+    /// The paper's measurements.
+    pub paper: PaperNumbers,
+}
+
+impl BenchmarkProfile {
+    /// The paper's "original cost": single-qubit gates + CNOTs.
+    pub fn original_cost(&self) -> usize {
+        self.single_qubit_gates + self.cnots
+    }
+
+    /// The paper's *added* cost at the minimum: `c_min − original`.
+    pub fn paper_added_minimum(&self) -> usize {
+        self.paper.cmin - self.original_cost()
+    }
+}
+
+/// All 25 rows of Table 1.
+pub fn table1_profiles() -> Vec<BenchmarkProfile> {
+    fn row(
+        name: &'static str,
+        qubits: usize,
+        single_qubit_gates: usize,
+        cnots: usize,
+        cmin: usize,
+        minimal_seconds: f64,
+        qiskit: usize,
+    ) -> BenchmarkProfile {
+        BenchmarkProfile {
+            name,
+            qubits,
+            single_qubit_gates,
+            cnots,
+            paper: PaperNumbers {
+                cmin,
+                minimal_seconds,
+                qiskit,
+            },
+        }
+    }
+    vec![
+        row("3_17_13", 3, 19, 17, 59, 29.0, 80),
+        row("ex-1_166", 3, 10, 9, 31, 5.0, 39),
+        row("ham3_102", 3, 9, 11, 36, 10.0, 48),
+        row("miller_11", 3, 27, 23, 82, 231.0, 82),
+        row("4gt11_84", 4, 9, 9, 34, 7.0, 37),
+        row("rd32-v0_66", 4, 18, 16, 63, 281.0, 101),
+        row("rd32-v1_68", 4, 20, 16, 65, 276.0, 99),
+        row("4gt11_82", 5, 9, 18, 62, 133.0, 77),
+        row("4gt11_83", 5, 9, 14, 49, 17.0, 65),
+        row("4gt13_92", 5, 36, 30, 109, 528.0, 126),
+        row("4mod5-v0_19", 5, 19, 16, 64, 256.0, 109),
+        row("4mod5-v0_20", 5, 10, 10, 35, 10.0, 64),
+        row("4mod5-v1_22", 5, 10, 11, 40, 7.0, 52),
+        row("4mod5-v1_24", 5, 20, 16, 63, 54.0, 98),
+        row("alu-v0_27", 5, 19, 17, 63, 74.0, 101),
+        row("alu-v1_28", 5, 19, 18, 64, 94.0, 123),
+        row("alu-v1_29", 5, 20, 17, 64, 351.0, 104),
+        row("alu-v2_33", 5, 20, 17, 64, 42.0, 99),
+        row("alu-v3_34", 5, 28, 24, 90, 719.0, 178),
+        row("alu-v3_35", 5, 19, 18, 64, 103.0, 121),
+        row("alu-v4_37", 5, 19, 18, 64, 119.0, 110),
+        row("mod5d1_63", 5, 9, 13, 48, 14.0, 98),
+        row("mod5mils_65", 5, 19, 16, 64, 96.0, 108),
+        row("qe_qft_4", 5, 44, 27, 94, 136.0, 115),
+        row("qe_qft_5", 5, 69, 38, 135, 401.0, 163),
+    ]
+}
+
+/// Looks a profile up by name.
+pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+    table1_profiles().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_five_rows() {
+        assert_eq!(table1_profiles().len(), 25);
+    }
+
+    #[test]
+    fn original_costs_match_paper_sums() {
+        // Spot-check the "a + b = c" column arithmetic of Table 1.
+        let p = by_name("3_17_13").unwrap();
+        assert_eq!(p.original_cost(), 36);
+        let p = by_name("qe_qft_5").unwrap();
+        assert_eq!(p.original_cost(), 107);
+        let p = by_name("miller_11").unwrap();
+        assert_eq!(p.original_cost(), 50);
+    }
+
+    #[test]
+    fn added_minimum_is_nonnegative_and_mixed_7_4(){
+        // Every paper c_min exceeds the original cost by a sum of 7s
+        // (SWAPs) and 4s (reversals): representable as 7a+4b.
+        fn is_7a_4b(v: usize) -> bool {
+            (0..=v / 7).any(|a| (v - 7 * a) % 4 == 0)
+        }
+        for p in table1_profiles() {
+            let added = p.paper_added_minimum();
+            assert!(is_7a_4b(added), "{}: added {added}", p.name);
+        }
+    }
+
+    #[test]
+    fn qiskit_is_never_below_minimum() {
+        for p in table1_profiles() {
+            assert!(p.paper.qiskit >= p.paper.cmin, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn headline_averages_match_abstract() {
+        // §5: Qiskit ≈ 45 % above the minimum in mapped gate count and
+        // ≈ 104 % above in added gates — computed over the authors' *full*
+        // benchmark set, of which Table 1 "provides a selection"; the
+        // printed subset averages ≈ 51 % / ≈ 119 %, consistent with the
+        // claims. The two named rows are quoted per-row in §5 and match
+        // exactly: alu-v3_35 → 89 %, mod5d1_63 → 104 % (total gates).
+        let profiles = table1_profiles();
+        let row_over = |name: &str| {
+            let p = by_name(name).unwrap();
+            (p.paper.qiskit as f64 - p.paper.cmin as f64) / p.paper.cmin as f64
+        };
+        assert!((row_over("alu-v3_35") - 0.89).abs() < 0.005);
+        assert!((row_over("mod5d1_63") - 1.04).abs() < 0.005);
+        let over_total: f64 = profiles
+            .iter()
+            .map(|p| (p.paper.qiskit as f64 - p.paper.cmin as f64) / p.paper.cmin as f64)
+            .sum::<f64>()
+            / profiles.len() as f64;
+        assert!(
+            (0.40..0.60).contains(&over_total),
+            "total-gate overhead average {over_total:.3} out of the plausible band"
+        );
+        let over_added: f64 = profiles
+            .iter()
+            .filter(|p| p.paper_added_minimum() > 0)
+            .map(|p| {
+                let added_q = p.paper.qiskit as f64 - p.original_cost() as f64;
+                let added_min = p.paper_added_minimum() as f64;
+                (added_q - added_min) / added_min
+            })
+            .sum::<f64>()
+            / profiles
+                .iter()
+                .filter(|p| p.paper_added_minimum() > 0)
+                .count() as f64;
+        assert!(
+            over_added > 1.0,
+            "added-gate overhead average {over_added:.3} should exceed 100%"
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("does-not-exist").is_none());
+    }
+}

@@ -1,0 +1,241 @@
+//! Parser for RevLib's `.real` reversible-netlist format.
+//!
+//! The paper's benchmarks originate from RevLib (reference [20]); this
+//! parser lets genuine `.real` files be used directly: Toffoli (`t<k>`)
+//! and Fredkin (`f<k>`) lines are decomposed into the elementary basis
+//! via [`crate::mct`].
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use qxmap_circuit::Circuit;
+
+use crate::mct::{append_fredkin, append_mct};
+
+/// Error parsing a `.real` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRealError {
+    line: usize,
+    message: String,
+}
+
+impl ParseRealError {
+    fn new(line: usize, message: impl Into<String>) -> ParseRealError {
+        ParseRealError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseRealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseRealError {}
+
+/// Parses `.real` source into an elementary-basis circuit.
+///
+/// Supported directives: `.version`, `.numvars`, `.variables`, `.inputs`,
+/// `.outputs`, `.constants`, `.garbage`, `.begin`, `.end` (unknown
+/// directives are ignored); gates `t<k>` (multiple-controlled Toffoli)
+/// and `f<k>` (Fredkin with `k−2` controls, only `f3` supported).
+///
+/// # Errors
+///
+/// Returns [`ParseRealError`] on malformed input, unknown variables, or
+/// Toffoli gates too large for the register.
+///
+/// ```
+/// let src = "\
+/// .version 1.0
+/// .numvars 3
+/// .variables a b c
+/// .begin
+/// t1 a
+/// t2 a b
+/// t3 a b c
+/// .end
+/// ";
+/// let circuit = qxmap_benchmarks::real::parse_real(src)?;
+/// assert_eq!(circuit.num_qubits(), 3);
+/// // X + CX + decomposed Toffoli (6 CNOTs).
+/// assert_eq!(circuit.num_cnots(), 7);
+/// # Ok::<(), qxmap_benchmarks::real::ParseRealError>(())
+/// ```
+pub fn parse_real(source: &str) -> Result<Circuit, ParseRealError> {
+    let mut num_vars: Option<usize> = None;
+    let mut var_index: HashMap<String, usize> = HashMap::new();
+    let mut circuit: Option<Circuit> = None;
+    let mut in_body = false;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(directive) = line.strip_prefix('.') {
+            let mut parts = directive.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            match key {
+                "numvars" => {
+                    let v: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| ParseRealError::new(lineno, "bad .numvars"))?;
+                    num_vars = Some(v);
+                }
+                "variables" => {
+                    for (i, name) in parts.enumerate() {
+                        var_index.insert(name.to_string(), i);
+                    }
+                }
+                "begin" => {
+                    let n = num_vars
+                        .ok_or_else(|| ParseRealError::new(lineno, ".begin before .numvars"))?;
+                    if var_index.is_empty() {
+                        for i in 0..n {
+                            var_index.insert(format!("x{i}"), i);
+                        }
+                    }
+                    if var_index.len() != n {
+                        return Err(ParseRealError::new(
+                            lineno,
+                            format!(".variables count {} != .numvars {n}", var_index.len()),
+                        ));
+                    }
+                    circuit = Some(Circuit::new(n));
+                    in_body = true;
+                }
+                "end" => {
+                    in_body = false;
+                }
+                _ => {} // .version, .inputs, .outputs, .constants, .garbage …
+            }
+            continue;
+        }
+        if !in_body {
+            return Err(ParseRealError::new(
+                lineno,
+                format!("gate `{line}` outside .begin/.end"),
+            ));
+        }
+        let circuit = circuit.as_mut().expect("in_body implies circuit");
+        let mut parts = line.split_whitespace();
+        let gate = parts.next().expect("non-empty line");
+        let operands: Vec<usize> = parts
+            .map(|name| {
+                var_index.get(name).copied().ok_or_else(|| {
+                    ParseRealError::new(lineno, format!("unknown variable `{name}`"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let arity: usize = gate[1..].parse().map_err(|_| {
+            ParseRealError::new(lineno, format!("bad gate specifier `{gate}`"))
+        })?;
+        if arity != operands.len() {
+            return Err(ParseRealError::new(
+                lineno,
+                format!("`{gate}` expects {arity} operands, got {}", operands.len()),
+            ));
+        }
+        let mut sorted = operands.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ParseRealError::new(
+                lineno,
+                format!("`{gate}` repeats an operand"),
+            ));
+        }
+        match gate.as_bytes()[0] {
+            b't' => {
+                let (target, controls) = operands.split_last().ok_or_else(|| {
+                    ParseRealError::new(lineno, "Toffoli needs at least a target")
+                })?;
+                append_mct(circuit, controls, *target)
+                    .map_err(|e| ParseRealError::new(lineno, e.to_string()))?;
+            }
+            b'f' => {
+                if operands.len() != 3 {
+                    return Err(ParseRealError::new(
+                        lineno,
+                        "only single-control Fredkin (f3) is supported",
+                    ));
+                }
+                append_fredkin(circuit, operands[0], operands[1], operands[2])
+                    .map_err(|e| ParseRealError::new(lineno, e.to_string()))?;
+            }
+            _ => {
+                return Err(ParseRealError::new(
+                    lineno,
+                    format!("unsupported gate `{gate}`"),
+                ))
+            }
+        }
+    }
+    circuit.ok_or_else(|| ParseRealError::new(0, "no .begin block found"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+# example reversible netlist (same shape as RevLib's 3-line functions)
+.version 1.0
+.numvars 3
+.variables a b c
+.inputs a b c
+.outputs a b c
+.begin
+t3 a b c
+t2 b c
+t1 a
+.end
+";
+
+    #[test]
+    fn parses_tofolli_network() {
+        let c = parse_real(SMALL).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        // t3 → 6 CNOT + 9 1q; t2 → 1 CNOT; t1 → 1 X.
+        assert_eq!(c.num_cnots(), 7);
+        assert_eq!(c.num_single_qubit_gates(), 10);
+    }
+
+    #[test]
+    fn fredkin_parses() {
+        let src = ".numvars 3\n.variables a b c\n.begin\nf3 a b c\n.end\n";
+        let c = parse_real(src).unwrap();
+        assert!(c.num_cnots() >= 8); // 2 CX + decomposed CCX
+    }
+
+    #[test]
+    fn default_variable_names() {
+        let src = ".numvars 2\n.begin\nt2 x0 x1\n.end\n";
+        let c = parse_real(src).unwrap();
+        assert_eq!(c.cnot_skeleton(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_real("").is_err());
+        assert!(parse_real(".numvars 2\nt2 a b\n").is_err()); // outside begin
+        assert!(parse_real(".numvars 1\n.variables a\n.begin\nt2 a a\n").is_err());
+        assert!(parse_real(".numvars 2\n.variables a b\n.begin\ng2 a b\n.end\n").is_err());
+        assert!(parse_real(".numvars 2\n.variables a b\n.begin\nt2 a z\n.end\n").is_err());
+        let err = parse_real(".numvars 2\n.variables a b\n.begin\nt3 a b\n.end\n").unwrap_err();
+        assert!(err.to_string().contains("expects 3"));
+    }
+
+    #[test]
+    fn comments_and_unknown_directives_are_ignored() {
+        let src = "# top\n.version 2.0\n.numvars 2\n.variables a b\n.constants --\n.garbage --\n.begin\nt2 a b # inline comment\n.end\n";
+        let c = parse_real(src).unwrap();
+        assert_eq!(c.num_cnots(), 1);
+    }
+}

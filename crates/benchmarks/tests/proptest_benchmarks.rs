@@ -1,0 +1,92 @@
+//! Property-based tests for workload generation and MCT decomposition.
+
+use proptest::prelude::*;
+use qxmap_benchmarks::{mct, real, synthetic_circuit};
+use qxmap_circuit::Circuit;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The synthetic generator hits its gate counts exactly for any shape.
+    #[test]
+    fn generator_counts_are_exact(
+        n in 2usize..7,
+        ones in 0usize..40,
+        cnots in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let c = synthetic_circuit(n, ones, cnots, seed);
+        prop_assert_eq!(c.num_qubits(), n);
+        prop_assert_eq!(c.num_single_qubit_gates(), ones);
+        prop_assert_eq!(c.num_cnots(), cnots);
+        // Determinism.
+        prop_assert_eq!(c, synthetic_circuit(n, ones, cnots, seed));
+    }
+
+    /// MCT decomposition always emits basis gates only, and the CNOT count
+    /// grows with control count.
+    #[test]
+    fn mct_emits_basis_gates(controls in 0usize..4, extra_lines in 1usize..3) {
+        let n = controls + 1 + extra_lines;
+        let mut c = Circuit::new(n);
+        let ctrl: Vec<usize> = (0..controls).collect();
+        mct::append_mct(&mut c, &ctrl, controls).expect("enough ancillas");
+        for g in c.gates() {
+            match g {
+                qxmap_circuit::Gate::One { kind, .. } => {
+                    prop_assert!(matches!(
+                        kind,
+                        qxmap_circuit::OneQubitKind::H
+                            | qxmap_circuit::OneQubitKind::T
+                            | qxmap_circuit::OneQubitKind::Tdg
+                            | qxmap_circuit::OneQubitKind::X
+                    ));
+                }
+                qxmap_circuit::Gate::Cnot { .. } => {}
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+        // 0 controls → X; 1 → CX; 2 → 6 CNOTs; ≥3 → 4 recursive halves.
+        let expected_min = match controls {
+            0 => 0,
+            1 => 1,
+            2 => 6,
+            _ => 12,
+        };
+        prop_assert!(c.num_cnots() >= expected_min);
+    }
+
+    /// A generated `.real` netlist of random t1/t2/t3 gates parses and its
+    /// CNOT count matches the per-gate decomposition sizes.
+    #[test]
+    fn real_roundtrip_counts(gates in prop::collection::vec(0u8..3, 1..15)) {
+        let vars = ["a", "b", "c", "d"];
+        let mut src = String::from(".version 1.0\n.numvars 4\n.variables a b c d\n.begin\n");
+        let mut expected_cnots = 0usize;
+        for (i, &kind) in gates.iter().enumerate() {
+            let start = i % 2; // rotate operands
+            match kind {
+                0 => {
+                    src.push_str(&format!("t1 {}\n", vars[start]));
+                }
+                1 => {
+                    src.push_str(&format!("t2 {} {}\n", vars[start], vars[start + 1]));
+                    expected_cnots += 1;
+                }
+                _ => {
+                    src.push_str(&format!(
+                        "t3 {} {} {}\n",
+                        vars[start],
+                        vars[start + 1],
+                        vars[start + 2]
+                    ));
+                    expected_cnots += 6;
+                }
+            }
+        }
+        src.push_str(".end\n");
+        let c = real::parse_real(&src).expect("generated netlist is valid");
+        prop_assert_eq!(c.num_cnots(), expected_cnots);
+        prop_assert_eq!(c.num_qubits(), 4);
+    }
+}

@@ -1,0 +1,568 @@
+//! The [`Circuit`] container and its statistics.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::{Gate, OneQubitKind};
+
+/// Error returned when a gate refers to qubits or classical bits outside the
+/// circuit's registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitError {
+    gate: String,
+    num_qubits: usize,
+    num_clbits: usize,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate `{}` is out of range for circuit with {} qubits and {} clbits",
+            self.gate, self.num_qubits, self.num_clbits
+        )
+    }
+}
+
+impl Error for CircuitError {}
+
+/// A quantum circuit: an ordered sequence of [`Gate`]s over `n` logical
+/// qubits (Definition 1 of the paper).
+///
+/// ```
+/// use qxmap_circuit::{Circuit, Gate};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.cx(1, 2);
+/// assert_eq!(c.depth(), 3);
+/// assert_eq!(c.gates().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    gates: Vec<Gate>,
+    name: String,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` logical qubits and no
+    /// classical bits.
+    pub fn new(num_qubits: usize) -> Circuit {
+        Circuit {
+            num_qubits,
+            num_clbits: 0,
+            gates: Vec::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Creates an empty circuit with both quantum and classical registers.
+    pub fn with_clbits(num_qubits: usize, num_clbits: usize) -> Circuit {
+        Circuit {
+            num_qubits,
+            num_clbits,
+            gates: Vec::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Sets a human-readable benchmark name (builder style).
+    pub fn named(mut self, name: impl Into<String>) -> Circuit {
+        self.name = name.into();
+        self
+    }
+
+    /// The circuit's name ("" when unnamed).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of logical qubits `n`.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// The gate sequence.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Consumes the circuit, returning the gate sequence.
+    pub fn into_gates(self) -> Vec<Gate> {
+        self.gates
+    }
+
+    /// Appends a gate after validating its operand indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] if any operand is out of range or a
+    /// two-qubit gate references the same qubit twice.
+    pub fn try_push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        let ok = match &gate {
+            Gate::One { qubit, .. } => *qubit < self.num_qubits,
+            Gate::Cnot { control, target } => {
+                *control < self.num_qubits && *target < self.num_qubits && control != target
+            }
+            Gate::Swap { a, b } => *a < self.num_qubits && *b < self.num_qubits && a != b,
+            Gate::Barrier(qs) => qs.iter().all(|q| *q < self.num_qubits),
+            Gate::Measure { qubit, clbit } => {
+                *qubit < self.num_qubits && *clbit < self.num_clbits
+            }
+        };
+        if ok {
+            self.gates.push(gate);
+            Ok(())
+        } else {
+            Err(CircuitError {
+                gate: gate.to_string(),
+                num_qubits: self.num_qubits,
+                num_clbits: self.num_clbits,
+            })
+        }
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate's operands are out of range; use [`Circuit::try_push`]
+    /// for a fallible variant.
+    pub fn push(&mut self, gate: Gate) {
+        self.try_push(gate).expect("gate operands out of range");
+    }
+
+    /// Appends all gates of `other` (registers must be compatible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits or clbits than `self`.
+    pub fn append(&mut self, other: &Circuit) {
+        assert!(other.num_qubits <= self.num_qubits);
+        assert!(other.num_clbits <= self.num_clbits || other.num_clbits == 0);
+        for g in &other.gates {
+            self.push(g.clone());
+        }
+    }
+
+    // --- builder conveniences ------------------------------------------------
+
+    /// Appends a single-qubit gate of the given kind.
+    pub fn one(&mut self, kind: OneQubitKind, q: usize) -> &mut Circuit {
+        self.push(Gate::one(kind, q));
+        self
+    }
+
+    /// Appends an X (NOT) gate.
+    pub fn x(&mut self, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::X, q)
+    }
+
+    /// Appends a Y gate.
+    pub fn y(&mut self, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::Y, q)
+    }
+
+    /// Appends a Z gate.
+    pub fn z(&mut self, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::Z, q)
+    }
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::H, q)
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::S, q)
+    }
+
+    /// Appends an S† gate.
+    pub fn sdg(&mut self, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::Sdg, q)
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::T, q)
+    }
+
+    /// Appends a T† gate.
+    pub fn tdg(&mut self, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::Tdg, q)
+    }
+
+    /// Appends an Rx rotation.
+    pub fn rx(&mut self, angle: f64, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::Rx(angle), q)
+    }
+
+    /// Appends an Ry rotation.
+    pub fn ry(&mut self, angle: f64, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::Ry(angle), q)
+    }
+
+    /// Appends an Rz rotation.
+    pub fn rz(&mut self, angle: f64, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::Rz(angle), q)
+    }
+
+    /// Appends IBM's universal `U(θ, φ, λ)` gate.
+    pub fn u(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> &mut Circuit {
+        self.one(OneQubitKind::U(theta, phi, lambda), q)
+    }
+
+    /// Appends a CNOT gate.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Circuit {
+        self.push(Gate::cnot(control, target));
+        self
+    }
+
+    /// Appends a SWAP gate.
+    pub fn swap_gate(&mut self, a: usize, b: usize) -> &mut Circuit {
+        self.push(Gate::swap(a, b));
+        self
+    }
+
+    /// Appends a barrier over all qubits.
+    pub fn barrier(&mut self) -> &mut Circuit {
+        let qs = (0..self.num_qubits).collect();
+        self.push(Gate::Barrier(qs));
+        self
+    }
+
+    /// Appends a measurement.
+    pub fn measure(&mut self, qubit: usize, clbit: usize) -> &mut Circuit {
+        self.push(Gate::Measure { qubit, clbit });
+        self
+    }
+
+    // --- statistics ----------------------------------------------------------
+
+    /// Number of single-qubit gates.
+    pub fn num_single_qubit_gates(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::One { .. }))
+            .count()
+    }
+
+    /// Number of CNOT gates.
+    pub fn num_cnots(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_cnot()).count()
+    }
+
+    /// The paper's *original cost*: single-qubit gates plus CNOTs
+    /// (Table 1, column "original cost").
+    pub fn original_cost(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_costed()).count()
+    }
+
+    /// Circuit depth: length of the longest chain of gates sharing qubits
+    /// (barriers participate, measurements count as depth-1 operations).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for g in &self.gates {
+            let qs = g.qubits();
+            if qs.is_empty() {
+                continue;
+            }
+            let l = qs.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for &q in &qs {
+                level[q] = l;
+            }
+            depth = depth.max(l);
+        }
+        depth
+    }
+
+    /// Aggregated statistics snapshot.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            num_qubits: self.num_qubits,
+            num_gates: self.gates.len(),
+            num_single_qubit_gates: self.num_single_qubit_gates(),
+            num_cnots: self.num_cnots(),
+            depth: self.depth(),
+        }
+    }
+
+    // --- transformations -----------------------------------------------------
+
+    /// The CNOT skeleton: the ordered list of `(control, target)` pairs of
+    /// all CNOT gates, which is the input of the symbolic formulation
+    /// (Definition 4; "we ignore single qubit gates when formulating the
+    /// mapping problem").
+    pub fn cnot_skeleton(&self) -> Vec<(usize, usize)> {
+        self.gates
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Cnot { control, target } => Some((*control, *target)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Returns a copy without single-qubit gates, barriers or measurements —
+    /// the circuit of Fig. 1b, as used for the symbolic formulation.
+    pub fn without_single_qubit_gates(&self) -> Circuit {
+        let mut c = Circuit::new(self.num_qubits);
+        c.name = self.name.clone();
+        for g in &self.gates {
+            if g.is_two_qubit() {
+                c.gates.push(g.clone());
+            }
+        }
+        c
+    }
+
+    /// Returns a copy where every SWAP gate is decomposed into three CNOTs
+    /// (`CX(a,b) CX(b,a) CX(a,b)`, cf. Fig. 3 of the paper).
+    pub fn decompose_swaps(&self) -> Circuit {
+        let mut c = Circuit::with_clbits(self.num_qubits, self.num_clbits);
+        c.name = self.name.clone();
+        for g in &self.gates {
+            match g {
+                Gate::Swap { a, b } => {
+                    c.cx(*a, *b).cx(*b, *a).cx(*a, *b);
+                }
+                other => c.push(other.clone()),
+            }
+        }
+        c
+    }
+
+    /// Returns the circuit with all qubit indices rewritten through `f`,
+    /// over a register of `new_num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rewritten gate is out of range.
+    pub fn map_qubits(&self, new_num_qubits: usize, mut f: impl FnMut(usize) -> usize) -> Circuit {
+        let mut c = Circuit::with_clbits(new_num_qubits, self.num_clbits);
+        c.name = self.name.clone();
+        for g in &self.gates {
+            c.push(g.map_qubits(&mut f));
+        }
+        c
+    }
+
+    /// The inverse circuit (gates reversed and inverted). Measurements and
+    /// barriers are not invertible and are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the offending gate if the circuit contains a
+    /// measurement.
+    pub fn inverse(&self) -> Result<Circuit, CircuitError> {
+        let mut c = Circuit::new(self.num_qubits);
+        c.name = self.name.clone();
+        for g in self.gates.iter().rev() {
+            match g {
+                Gate::One { kind, qubit } => c.push(Gate::one(kind.inverse(), *qubit)),
+                Gate::Cnot { .. } | Gate::Swap { .. } => c.push(g.clone()),
+                Gate::Barrier(qs) => c.push(Gate::Barrier(qs.clone())),
+                Gate::Measure { .. } => {
+                    return Err(CircuitError {
+                        gate: g.to_string(),
+                        num_qubits: self.num_qubits,
+                        num_clbits: self.num_clbits,
+                    })
+                }
+            }
+        }
+        Ok(c)
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::draw::draw(self))
+    }
+}
+
+/// Aggregated circuit statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CircuitStats {
+    /// Number of logical qubits.
+    pub num_qubits: usize,
+    /// Total gate count (including barriers and measurements).
+    pub num_gates: usize,
+    /// Number of single-qubit gates.
+    pub num_single_qubit_gates: usize,
+    /// Number of CNOTs.
+    pub num_cnots: usize,
+    /// Circuit depth.
+    pub depth: usize,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} qubits, {} gates ({} 1q + {} CNOT), depth {}",
+            self.num_qubits,
+            self.num_gates,
+            self.num_single_qubit_gates,
+            self.num_cnots,
+            self.depth
+        )
+    }
+}
+
+/// Builds the paper's running example (Fig. 1a): 4 qubits, 8 gates —
+/// 5 CNOTs plus T(q1), H(q2), H(q3) — in zero-based indices.
+///
+/// The CNOT skeleton (Fig. 1b / Fig. 4) is
+/// `д1 = CNOT(q3,q4), д2 = CNOT(q1,q2), д3 = CNOT(q2,q3),
+/// д4 = CNOT(q1,q3), д5 = CNOT(q3,q1)`.
+/// (The arXiv rendering of Fig. 1a drops the ⊕ glyphs; the targets of
+/// д4/д5 are reconstructed from the paper's stated facts: minimal cost
+/// F = 4 — Example 7 — achieved with zero SWAPs and a single reversed CNOT
+/// between the q1/q3 pair as drawn in Fig. 5, which on the antisymmetric
+/// QX4 coupling map forces the pair to appear in both orientations.)
+///
+/// ```
+/// let c = qxmap_circuit::paper_example();
+/// assert_eq!(c.num_qubits(), 4);
+/// assert_eq!(c.original_cost(), 8);
+/// assert_eq!(c.cnot_skeleton(),
+///            vec![(2, 3), (0, 1), (1, 2), (0, 2), (2, 0)]);
+/// ```
+pub fn paper_example() -> Circuit {
+    let mut c = Circuit::new(4).named("fig1a");
+    // Zero-based translation of Fig. 1a: q1→0, q2→1, q3→2, q4→3.
+    c.cx(2, 3); // д1 (CNOT skeleton gate 1)
+    c.h(2);
+    c.t(0);
+    c.cx(0, 1); // д2
+    c.h(1);
+    c.cx(1, 2); // д3
+    c.cx(0, 2); // д4
+    c.cx(2, 0); // д5
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_ranges() {
+        let mut c = Circuit::new(2);
+        assert!(c.try_push(Gate::one(OneQubitKind::H, 0)).is_ok());
+        assert!(c.try_push(Gate::one(OneQubitKind::H, 2)).is_err());
+        assert!(c.try_push(Gate::Cnot { control: 0, target: 0 }).is_err());
+        assert!(c
+            .try_push(Gate::Measure { qubit: 0, clbit: 0 })
+            .is_err(), "no clbits declared");
+        assert_eq!(c.gates().len(), 1);
+    }
+
+    #[test]
+    fn error_display_mentions_gate() {
+        let mut c = Circuit::new(1);
+        let err = c.try_push(Gate::one(OneQubitKind::X, 7)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("X q7"), "{msg}");
+        assert!(msg.contains("1 qubits"), "{msg}");
+    }
+
+    #[test]
+    fn counts_and_cost() {
+        let c = paper_example();
+        assert_eq!(c.num_single_qubit_gates(), 3);
+        assert_eq!(c.num_cnots(), 5);
+        assert_eq!(c.original_cost(), 8);
+        assert_eq!(c.stats().num_gates, 8);
+    }
+
+    #[test]
+    fn depth_tracks_longest_chain() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2); // depth 1 (parallel)
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1); // depth 2
+        c.cx(1, 2); // depth 3
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn skeleton_strips_single_qubit_gates() {
+        let c = paper_example();
+        let skel = c.without_single_qubit_gates();
+        assert_eq!(skel.gates().len(), 5);
+        assert_eq!(skel.num_single_qubit_gates(), 0);
+        assert_eq!(
+            c.cnot_skeleton(),
+            vec![(2, 3), (0, 1), (1, 2), (0, 2), (2, 0)]
+        );
+    }
+
+    #[test]
+    fn swap_decomposition_is_three_cnots() {
+        let mut c = Circuit::new(2);
+        c.swap_gate(0, 1);
+        let d = c.decompose_swaps();
+        assert_eq!(d.cnot_skeleton(), vec![(0, 1), (1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn map_qubits_relabels() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let m = c.map_qubits(5, |q| q + 3);
+        assert_eq!(m.cnot_skeleton(), vec![(3, 4)]);
+        assert_eq!(m.num_qubits(), 5);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.t(0);
+        c.cx(0, 1);
+        let inv = c.inverse().unwrap();
+        assert_eq!(inv.gates()[0], Gate::cnot(0, 1));
+        assert_eq!(inv.gates()[1], Gate::one(OneQubitKind::Tdg, 0));
+    }
+
+    #[test]
+    fn inverse_rejects_measurement() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.measure(0, 0);
+        assert!(c.inverse().is_err());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut c = Circuit::new(2);
+        c.extend(vec![Gate::cnot(0, 1), Gate::one(OneQubitKind::H, 1)]);
+        assert_eq!(c.gates().len(), 2);
+    }
+
+    #[test]
+    fn stats_display() {
+        let c = paper_example();
+        let s = c.stats().to_string();
+        assert!(s.contains("4 qubits"));
+        assert!(s.contains("5 CNOT"));
+    }
+}

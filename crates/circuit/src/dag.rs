@@ -1,0 +1,166 @@
+//! Gate dependency DAG.
+//!
+//! Two gates depend on each other iff they share a qubit; the DAG edges go
+//! from each gate to the *next* gate on each of its qubits. The DAG drives
+//! ASAP layering and is exposed for downstream schedulers.
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+
+/// A node of the dependency DAG (one per gate).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DagNode {
+    /// Indices of gates this gate directly depends on.
+    pub predecessors: Vec<usize>,
+    /// Indices of gates directly depending on this gate.
+    pub successors: Vec<usize>,
+    /// ASAP level (0-based).
+    pub level: usize,
+}
+
+/// Dependency DAG over the gates of a [`Circuit`].
+///
+/// ```
+/// use qxmap_circuit::{Circuit, Dag};
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1);
+/// c.cx(1, 2);
+/// c.h(0);
+/// let dag = Dag::new(&c);
+/// assert_eq!(dag.node(1).predecessors, vec![0]); // shares q1 with gate 0
+/// assert_eq!(dag.node(2).predecessors, vec![0]); // shares q0 with gate 0
+/// assert_eq!(dag.depth(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dag {
+    nodes: Vec<DagNode>,
+}
+
+impl Dag {
+    /// Builds the DAG of `circuit`.
+    pub fn new(circuit: &Circuit) -> Dag {
+        let n = circuit.gates().len();
+        let mut nodes = vec![DagNode::default(); n];
+        // Last gate seen on each qubit.
+        let mut frontier: HashMap<usize, usize> = HashMap::new();
+        for (idx, gate) in circuit.gates().iter().enumerate() {
+            let mut level = 0;
+            for q in gate.qubits() {
+                if let Some(&prev) = frontier.get(&q) {
+                    if !nodes[idx].predecessors.contains(&prev) {
+                        nodes[idx].predecessors.push(prev);
+                        nodes[prev].successors.push(idx);
+                    }
+                    level = level.max(nodes[prev].level + 1);
+                }
+                frontier.insert(q, idx);
+            }
+            nodes[idx].level = level;
+        }
+        Dag { nodes }
+    }
+
+    /// The node for gate `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node(&self, idx: usize) -> &DagNode {
+        &self.nodes[idx]
+    }
+
+    /// ASAP level of gate `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn level(&self, idx: usize) -> usize {
+        self.nodes[idx].level
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of ASAP levels (equals circuit depth for barrier-free
+    /// circuits).
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.level + 1).max().unwrap_or(0)
+    }
+
+    /// Gates with no predecessors.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].predecessors.is_empty())
+            .collect()
+    }
+
+    /// Gates with no successors.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].successors.is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::paper_example;
+
+    #[test]
+    fn chain_has_linear_dag() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(0);
+        c.h(0);
+        let dag = Dag::new(&c);
+        assert_eq!(dag.roots(), vec![0]);
+        assert_eq!(dag.leaves(), vec![2]);
+        assert_eq!(dag.depth(), 3);
+    }
+
+    #[test]
+    fn parallel_gates_have_no_edges() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        let dag = Dag::new(&c);
+        assert_eq!(dag.roots(), vec![0, 1]);
+        assert!(dag.node(1).predecessors.is_empty());
+        assert_eq!(dag.depth(), 1);
+    }
+
+    #[test]
+    fn no_duplicate_edges_for_shared_pairs() {
+        // Two CNOTs on the same qubit pair share both qubits; the edge must
+        // be recorded once.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.cx(1, 0);
+        let dag = Dag::new(&c);
+        assert_eq!(dag.node(1).predecessors, vec![0]);
+        assert_eq!(dag.node(0).successors, vec![1]);
+    }
+
+    #[test]
+    fn paper_example_depth_matches_circuit() {
+        let c = paper_example();
+        assert_eq!(Dag::new(&c).depth(), c.depth());
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = Dag::new(&Circuit::new(3));
+        assert!(dag.is_empty());
+        assert_eq!(dag.depth(), 0);
+        assert_eq!(dag.len(), 0);
+    }
+}

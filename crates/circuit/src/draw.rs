@@ -1,0 +1,186 @@
+//! ASCII circuit diagrams in the style of the paper's figures.
+//!
+//! Single-qubit gates render as `[H]`, CNOT controls as `*`, targets as
+//! `(+)`, SWaps as `x`, with `|` connectors — one column per depth slot:
+//!
+//! ```text
+//! q0: ─[T]──*────*───*─
+//! q1: ──────(+)──|──(+)
+//! q2: ──*──[H]──(+)───
+//! q3: ─(+)────────────
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+const WIRE: char = '\u{2500}'; // ─
+
+/// Renders the circuit as a multi-line ASCII diagram.
+///
+/// ```
+/// use qxmap_circuit::{draw, Circuit};
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// let art = draw(&c);
+/// assert!(art.contains("[H]"));
+/// assert!(art.contains("(+)"));
+/// ```
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+    // Assign each gate a column: ASAP scheduling by qubit occupancy.
+    let mut col_of = Vec::with_capacity(circuit.gates().len());
+    let mut next_free = vec![0usize; n];
+    let mut num_cols = 0;
+    for gate in circuit.gates() {
+        let qs = gate.qubits();
+        // Multi-qubit gates block the whole vertical span to keep connectors clear.
+        let (lo, hi) = span(&qs, n);
+        let col = (lo..=hi).map(|q| next_free[q]).max().unwrap_or(0);
+        for q in lo..=hi {
+            next_free[q] = col + 1;
+        }
+        col_of.push(col);
+        num_cols = num_cols.max(col + 1);
+    }
+
+    // cells[q][col] = rendered token.
+    let mut cells: Vec<Vec<String>> = vec![vec![String::new(); num_cols]; n];
+    let mut connect: Vec<Vec<bool>> = vec![vec![false; num_cols]; n];
+    for (idx, gate) in circuit.gates().iter().enumerate() {
+        let col = col_of[idx];
+        match gate {
+            Gate::One { kind, qubit } => {
+                cells[*qubit][col] = format!("[{}]", kind.label());
+            }
+            Gate::Cnot { control, target } => {
+                cells[*control][col] = "*".to_string();
+                cells[*target][col] = "(+)".to_string();
+                mark_connectors(&mut connect, *control, *target, col);
+            }
+            Gate::Swap { a, b } => {
+                cells[*a][col] = "x".to_string();
+                cells[*b][col] = "x".to_string();
+                mark_connectors(&mut connect, *a, *b, col);
+            }
+            Gate::Barrier(qs) => {
+                for &q in qs {
+                    cells[q][col] = "░".to_string();
+                }
+            }
+            Gate::Measure { qubit, .. } => {
+                cells[*qubit][col] = "[M]".to_string();
+            }
+        }
+    }
+
+    // Column widths.
+    let mut widths = vec![1usize; num_cols];
+    for row in &cells {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    for q in 0..n {
+        out.push_str(&format!("q{q:<2}: "));
+        for c in 0..num_cols {
+            let w = widths[c] + 2;
+            let cell = &cells[q][c];
+            let filler = if connect[q][c] && cell.is_empty() {
+                center("|", w, WIRE)
+            } else if cell.is_empty() {
+                WIRE.to_string().repeat(w)
+            } else {
+                center(cell, w, WIRE)
+            };
+            out.push_str(&filler);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn span(qs: &[usize], n: usize) -> (usize, usize) {
+    let lo = qs.iter().copied().min().unwrap_or(0).min(n - 1);
+    let hi = qs.iter().copied().max().unwrap_or(0).min(n - 1);
+    (lo, hi)
+}
+
+fn mark_connectors(connect: &mut [Vec<bool>], a: usize, b: usize, col: usize) {
+    let (lo, hi) = (a.min(b), a.max(b));
+    for row in connect.iter_mut().take(hi).skip(lo + 1) {
+        row[col] = true;
+    }
+}
+
+fn center(s: &str, width: usize, pad: char) -> String {
+    let len = s.chars().count();
+    if len >= width {
+        return s.to_string();
+    }
+    let left = (width - len) / 2;
+    let right = width - len - left;
+    let mut out = String::new();
+    for _ in 0..left {
+        out.push(pad);
+    }
+    out.push_str(s);
+    for _ in 0..right {
+        out.push(pad);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::paper_example;
+
+    #[test]
+    fn draws_every_qubit_line() {
+        let art = draw(&paper_example());
+        assert_eq!(art.lines().count(), 4);
+        for q in 0..4 {
+            assert!(art.contains(&format!("q{q}")));
+        }
+    }
+
+    #[test]
+    fn renders_controls_and_targets() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 0);
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains("(+)"));
+        assert!(lines[1].contains('*'));
+    }
+
+    #[test]
+    fn connector_crosses_middle_qubit() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('|'));
+    }
+
+    #[test]
+    fn empty_circuit_draws_nothing() {
+        assert_eq!(draw(&Circuit::new(0)), "");
+    }
+
+    #[test]
+    fn measure_and_barrier_render() {
+        let mut c = Circuit::with_clbits(2, 2);
+        c.barrier();
+        c.measure(0, 0);
+        let art = draw(&c);
+        assert!(art.contains('░'));
+        assert!(art.contains("[M]"));
+    }
+}

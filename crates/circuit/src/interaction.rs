@@ -1,0 +1,137 @@
+//! Qubit interaction graph.
+//!
+//! Counts how often each (unordered) pair of logical qubits interacts via a
+//! two-qubit gate. Mapping heuristics use this to choose initial layouts and
+//! the exact mapper's subset filter uses it to prune physical-qubit subsets
+//! that cannot host the interaction structure.
+
+use std::collections::BTreeMap;
+
+use crate::circuit::Circuit;
+
+/// Weighted undirected interaction graph of a circuit.
+///
+/// ```
+/// use qxmap_circuit::{Circuit, InteractionGraph};
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1);
+/// c.cx(1, 0);
+/// c.cx(1, 2);
+/// let g = InteractionGraph::new(&c);
+/// assert_eq!(g.weight(0, 1), 2);
+/// assert_eq!(g.weight(2, 1), 1);
+/// assert_eq!(g.weight(0, 2), 0);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InteractionGraph {
+    num_qubits: usize,
+    weights: BTreeMap<(usize, usize), usize>,
+}
+
+impl InteractionGraph {
+    /// Builds the interaction graph of `circuit` (CNOTs and SWAPs count).
+    pub fn new(circuit: &Circuit) -> InteractionGraph {
+        let mut weights = BTreeMap::new();
+        for gate in circuit.gates() {
+            if gate.is_two_qubit() {
+                let qs = gate.qubits();
+                let key = (qs[0].min(qs[1]), qs[0].max(qs[1]));
+                *weights.entry(key).or_insert(0) += 1;
+            }
+        }
+        InteractionGraph {
+            num_qubits: circuit.num_qubits(),
+            weights,
+        }
+    }
+
+    /// Number of qubits in the underlying circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Interaction count between `a` and `b` (order-insensitive).
+    pub fn weight(&self, a: usize, b: usize) -> usize {
+        let key = (a.min(b), a.max(b));
+        self.weights.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct partners of `q`.
+    pub fn degree(&self, q: usize) -> usize {
+        self.weights
+            .keys()
+            .filter(|(a, b)| *a == q || *b == q)
+            .count()
+    }
+
+    /// Iterator over `((a, b), count)` pairs with `a < b`.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), usize)> + '_ {
+        self.weights.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of distinct interacting pairs.
+    pub fn num_edges(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Qubits that take part in at least one two-qubit gate.
+    pub fn active_qubits(&self) -> Vec<usize> {
+        let mut active = vec![false; self.num_qubits];
+        for &(a, b) in self.weights.keys() {
+            active[a] = true;
+            active[b] = true;
+        }
+        (0..self.num_qubits).filter(|&q| active[q]).collect()
+    }
+
+    /// Maximum number of distinct partners over all qubits. If this exceeds
+    /// the maximum degree of a device's coupling graph, no SWAP-free mapping
+    /// can exist — a cheap necessary-condition check.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_qubits).map(|q| self.degree(q)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::paper_example;
+
+    #[test]
+    fn paper_example_interactions() {
+        let g = InteractionGraph::new(&paper_example());
+        // Skeleton: (2,3) (0,1) (1,2) (0,2) (2,0)
+        assert_eq!(g.weight(0, 1), 1);
+        assert_eq!(g.weight(1, 2), 1);
+        assert_eq!(g.weight(0, 2), 2);
+        assert_eq!(g.weight(2, 3), 1);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.max_degree(), 3); // q3 touches q1, q2 and q4
+    }
+
+    #[test]
+    fn swaps_count_as_interactions() {
+        let mut c = Circuit::new(2);
+        c.swap_gate(0, 1);
+        let g = InteractionGraph::new(&c);
+        assert_eq!(g.weight(0, 1), 1);
+    }
+
+    #[test]
+    fn single_qubit_gates_do_not_count() {
+        let mut c = Circuit::new(2);
+        c.h(0).x(1);
+        let g = InteractionGraph::new(&c);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.active_qubits().is_empty());
+    }
+
+    #[test]
+    fn active_qubits_skips_idle() {
+        let mut c = Circuit::new(5);
+        c.cx(1, 3);
+        let g = InteractionGraph::new(&c);
+        assert_eq!(g.active_qubits(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Clustering a circuit into layers of gates acting on disjoint qubits.
+//!
+//! Section 4.2 of the paper ("Disjoint qubits") exploits the fact that gates
+//! acting on disjoint sets of qubits can always be mapped without
+//! intermediate permutations, so the circuit is clustered into sequences of
+//! gates over disjoint qubit sets and layout changes are only allowed before
+//! each sequence. Footnote 7 notes that heuristic mappers call such a
+//! cluster a *layer*.
+
+use std::collections::BTreeSet;
+
+use crate::circuit::Circuit;
+use crate::dag::Dag;
+
+/// A layer: indices (into [`Circuit::gates`]) of gates acting on pairwise
+/// disjoint qubit sets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Layer {
+    /// Gate indices in original circuit order.
+    pub gates: Vec<usize>,
+    /// The union of qubits touched by the layer.
+    pub qubits: BTreeSet<usize>,
+}
+
+impl Layer {
+    /// Whether the layer shares a qubit with `qubits`.
+    fn overlaps(&self, qubits: &[usize]) -> bool {
+        qubits.iter().any(|q| self.qubits.contains(q))
+    }
+}
+
+/// Sequential (order-preserving) clustering: walk the gate list and start a
+/// new layer whenever the next gate shares a qubit with the current layer.
+///
+/// This is the clustering described in Section 4.2: it never reorders gates,
+/// so permutations allowed "before each sequence" are sound irrespective of
+/// gate commutation.
+///
+/// ```
+/// use qxmap_circuit::{paper_example, sequential_layers};
+/// // Fig. 1b: g1=CNOT(2,3) and g2=CNOT(0,1) act on disjoint qubits and fuse;
+/// // g3, g4, g5 each clash with their predecessor.
+/// let skel = paper_example().without_single_qubit_gates();
+/// let layers = sequential_layers(&skel);
+/// let sizes: Vec<usize> = layers.iter().map(|l| l.gates.len()).collect();
+/// assert_eq!(sizes, vec![2, 1, 1, 1]);
+/// ```
+pub fn sequential_layers(circuit: &Circuit) -> Vec<Layer> {
+    let mut layers: Vec<Layer> = Vec::new();
+    for (idx, gate) in circuit.gates().iter().enumerate() {
+        let qs = gate.qubits();
+        let start_new = match layers.last() {
+            None => true,
+            Some(layer) => layer.overlaps(&qs),
+        };
+        if start_new {
+            layers.push(Layer::default());
+        }
+        let layer = layers.last_mut().expect("layer exists");
+        layer.gates.push(idx);
+        layer.qubits.extend(qs);
+    }
+    layers
+}
+
+/// As-soon-as-possible layering driven by the dependency DAG: each gate is
+/// placed at level `1 + max(level of predecessors)`. This may *reorder*
+/// independent gates into the same layer even when they are far apart in the
+/// gate list, matching what heuristic mappers (e.g. Qiskit's swap mapper)
+/// operate on.
+///
+/// ```
+/// use qxmap_circuit::{asap_layers, Circuit};
+/// let mut c = Circuit::new(4);
+/// c.cx(0, 1);
+/// c.cx(0, 2); // depends on the first gate
+/// c.cx(1, 3); // also depends on the first gate, parallel to the second
+/// let layers = asap_layers(&c);
+/// assert_eq!(layers.len(), 2);
+/// assert_eq!(layers[1].gates, vec![1, 2]);
+/// ```
+pub fn asap_layers(circuit: &Circuit) -> Vec<Layer> {
+    let dag = Dag::new(circuit);
+    let mut layers: Vec<Layer> = Vec::new();
+    for (idx, gate) in circuit.gates().iter().enumerate() {
+        let level = dag.level(idx);
+        while layers.len() <= level {
+            layers.push(Layer::default());
+        }
+        layers[level].gates.push(idx);
+        layers[level].qubits.extend(gate.qubits());
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::paper_example;
+
+    #[test]
+    fn sequential_layers_cover_all_gates_in_order() {
+        let c = paper_example();
+        let layers = sequential_layers(&c);
+        let flat: Vec<usize> = layers.iter().flat_map(|l| l.gates.clone()).collect();
+        assert_eq!(flat, (0..c.gates().len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_layers_are_disjoint_within() {
+        let c = paper_example();
+        for layer in sequential_layers(&c) {
+            let mut seen = BTreeSet::new();
+            for &g in &layer.gates {
+                for q in c.gates()[g].qubits() {
+                    assert!(seen.insert(q), "layer reuses qubit {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_disjoint_clustering() {
+        // Example 10: "G' = {g3, g4, g5}, since g1 and g2 operate on disjoint
+        // qubits" — i.e. the CNOT skeleton clusters as [g1 g2][g3][g4][g5].
+        let skel = paper_example().without_single_qubit_gates();
+        let layers = sequential_layers(&skel);
+        assert_eq!(layers.len(), 4);
+        assert_eq!(layers[0].gates, vec![0, 1]);
+    }
+
+    #[test]
+    fn asap_layer_count_equals_depth() {
+        let c = paper_example();
+        assert_eq!(asap_layers(&c).len(), c.depth());
+    }
+
+    #[test]
+    fn empty_circuit_has_no_layers() {
+        let c = Circuit::new(3);
+        assert!(sequential_layers(&c).is_empty());
+        assert!(asap_layers(&c).is_empty());
+    }
+
+    #[test]
+    fn single_gate_is_single_layer() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        assert_eq!(sequential_layers(&c).len(), 1);
+        assert_eq!(asap_layers(&c).len(), 1);
+    }
+}

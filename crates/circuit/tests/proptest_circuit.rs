@@ -1,0 +1,104 @@
+//! Property-based tests for the circuit IR.
+
+use proptest::prelude::*;
+use qxmap_circuit::{asap_layers, sequential_layers, Circuit, Dag, Gate, OneQubitKind};
+
+fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
+    // Distinct operand pairs are built arithmetically (no rejection filter).
+    prop_oneof![
+        (0..n).prop_map(|q| Gate::one(OneQubitKind::H, q)),
+        (0..n).prop_map(|q| Gate::one(OneQubitKind::T, q)),
+        (0..n, 1..n).prop_map(move |(c, d)| Gate::Cnot {
+            control: c,
+            target: (c + d) % n,
+        }),
+        (0..n, 1..n).prop_map(move |(a, d)| Gate::Swap { a, b: (a + d) % n }),
+    ]
+}
+
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    (2usize..6).prop_flat_map(|n| {
+        prop::collection::vec(gate_strategy(n), 0..30).prop_map(move |gates| {
+            let mut c = Circuit::new(n);
+            c.extend(gates);
+            c
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Layers partition the gate list, preserve order, and stay disjoint.
+    #[test]
+    fn sequential_layers_partition(c in circuit_strategy()) {
+        let layers = sequential_layers(&c);
+        let flat: Vec<usize> = layers.iter().flat_map(|l| l.gates.clone()).collect();
+        prop_assert_eq!(flat, (0..c.gates().len()).collect::<Vec<_>>());
+        for layer in &layers {
+            let mut seen = std::collections::BTreeSet::new();
+            for &g in &layer.gates {
+                for q in c.gates()[g].qubits() {
+                    prop_assert!(seen.insert(q));
+                }
+            }
+        }
+    }
+
+    /// ASAP layer count equals circuit depth; layers respect dependencies.
+    #[test]
+    fn asap_layers_match_depth(c in circuit_strategy()) {
+        let layers = asap_layers(&c);
+        prop_assert_eq!(layers.len(), c.depth());
+        let dag = Dag::new(&c);
+        for (level, layer) in layers.iter().enumerate() {
+            for &g in &layer.gates {
+                prop_assert_eq!(dag.level(g), level);
+                for &p in &dag.node(g).predecessors {
+                    prop_assert!(dag.level(p) < level);
+                }
+            }
+        }
+    }
+
+    /// SWAP decomposition preserves qubit count and triples CNOTs.
+    #[test]
+    fn swap_decomposition_counts(c in circuit_strategy()) {
+        let swaps = c.gates().iter().filter(|g| matches!(g, Gate::Swap { .. })).count();
+        let d = c.decompose_swaps();
+        prop_assert_eq!(d.num_qubits(), c.num_qubits());
+        prop_assert_eq!(d.num_cnots(), c.num_cnots() + 3 * swaps);
+        let no_swaps = d.gates().iter().all(|g| !matches!(g, Gate::Swap { .. }));
+        prop_assert!(no_swaps);
+    }
+
+    /// Double inversion is the identity (on measurement-free circuits).
+    #[test]
+    fn inverse_is_involutive(c in circuit_strategy()) {
+        let inv = c.inverse().expect("no measurements");
+        let back = inv.inverse().expect("no measurements");
+        prop_assert_eq!(back.gates(), c.gates());
+    }
+
+    /// The skeleton has exactly the CNOTs, in order.
+    #[test]
+    fn skeleton_matches_gate_list(c in circuit_strategy()) {
+        let skel = c.cnot_skeleton();
+        let expected: Vec<(usize, usize)> = c
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Cnot { control, target } => Some((*control, *target)),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(skel, expected);
+    }
+
+    /// Drawing never panics and has one line per qubit.
+    #[test]
+    fn drawing_is_total(c in circuit_strategy()) {
+        let art = qxmap_circuit::draw(&c);
+        prop_assert_eq!(art.lines().count(), c.num_qubits());
+    }
+}

@@ -1,0 +1,161 @@
+//! Cheap lower bounds on the mapping cost.
+//!
+//! The paper evaluates heuristics against the *exact* minimum; these bounds
+//! give an instant sanity interval without invoking the reasoning engine:
+//! every exact result must lie between [`lower_bound`] and any heuristic's
+//! cost.
+
+use qxmap_arch::{connected_subsets, CostModel, CouplingMap, Permutation};
+
+/// The exact minimum cost over all **swap-free** mappings: the best total
+/// H-repair cost over every placement of the `n` logical qubits onto a
+/// connected physical subset, or `None` if no placement makes every CNOT
+/// adjacent.
+///
+/// With zero SWAPs the layout is constant, so exhaustive enumeration of
+/// `C(m, n)·n!` placements decides this exactly.
+///
+/// # Panics
+///
+/// Panics if `num_logical > 8` (enumeration guard).
+pub fn swap_free_minimum(
+    skeleton: &[(usize, usize)],
+    num_logical: usize,
+    cm: &CouplingMap,
+    cost_model: CostModel,
+) -> Option<u64> {
+    assert!(num_logical <= 8, "enumeration limited to 8 logical qubits");
+    let mut best: Option<u64> = None;
+    for subset in connected_subsets(cm, num_logical) {
+        for perm in Permutation::all(num_logical) {
+            // Logical j sits on subset[perm(j)].
+            let place = |j: usize| subset[perm.apply(j)];
+            let mut cost = 0u64;
+            let mut feasible = true;
+            for &(c, t) in skeleton {
+                let (pc, pt) = (place(c), place(t));
+                if cm.has_edge(pc, pt) {
+                    // free
+                } else if cm.has_edge(pt, pc) {
+                    cost += u64::from(cost_model.reverse);
+                } else {
+                    feasible = false;
+                    break;
+                }
+            }
+            if feasible {
+                best = Some(best.map_or(cost, |b| b.min(cost)));
+                if best == Some(0) {
+                    return best;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// A sound lower bound on the minimal mapping cost `F`:
+///
+/// * if some swap-free placement exists, any solution either uses zero
+///   SWAPs (cost ≥ the exact swap-free minimum) or at least one
+///   (cost ≥ `cost_model.swap`) — the bound is the smaller of the two;
+/// * if no swap-free placement exists, every solution pays for at least
+///   one SWAP.
+///
+/// ```
+/// use qxmap_arch::{devices, CostModel};
+/// use qxmap_circuit::paper_example;
+/// use qxmap_core::bound::lower_bound;
+///
+/// let skel = paper_example().cnot_skeleton();
+/// let lb = lower_bound(&skel, 4, &devices::ibm_qx4(), CostModel::paper());
+/// assert!(lb <= 4); // the true minimum is 4 (Example 7)
+/// ```
+pub fn lower_bound(
+    skeleton: &[(usize, usize)],
+    num_logical: usize,
+    cm: &CouplingMap,
+    cost_model: CostModel,
+) -> u64 {
+    if skeleton.is_empty() {
+        return 0;
+    }
+    match swap_free_minimum(skeleton, num_logical, cm, cost_model) {
+        Some(swap_free) => swap_free.min(u64::from(cost_model.swap)),
+        None => u64::from(cost_model.swap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::devices;
+    use qxmap_circuit::paper_example;
+
+    #[test]
+    fn paper_example_swap_free_minimum_is_four() {
+        // The exact optimum (F = 4, zero swaps) is itself swap-free, so the
+        // swap-free minimum equals 4 and the bound is min(4, 7) = 4: tight.
+        let skel = paper_example().cnot_skeleton();
+        let cm = devices::ibm_qx4();
+        assert_eq!(
+            swap_free_minimum(&skel, 4, &cm, CostModel::paper()),
+            Some(4)
+        );
+        assert_eq!(lower_bound(&skel, 4, &cm, CostModel::paper()), 4);
+    }
+
+    #[test]
+    fn trivially_legal_circuit_bounds_to_zero() {
+        let cm = devices::ibm_qx4();
+        let skel = [(1usize, 0usize)];
+        assert_eq!(lower_bound(&skel, 2, &cm, CostModel::paper()), 0);
+    }
+
+    #[test]
+    fn unembeddable_interaction_forces_a_swap() {
+        // A 5-cycle of interactions cannot embed in QX4's tree-plus-two-
+        // triangles undirected graph? It can: 0-1-2-... actually QX4 has
+        // cycles; use a star interaction of degree 4 from one qubit plus a
+        // ring so every vertex needs degree ≥ 2: K5-minus nothing… use the
+        // complete interaction graph K5: max degree 4 exists (hub), but
+        // every qubit pair must be adjacent, which QX4 (9 undirected edges
+        // missing) cannot host.
+        let cm = devices::ibm_qx4();
+        let mut skel = Vec::new();
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                skel.push((a, b));
+            }
+        }
+        assert_eq!(swap_free_minimum(&skel, 5, &cm, CostModel::paper()), None);
+        assert_eq!(lower_bound(&skel, 5, &cm, CostModel::paper()), 7);
+    }
+
+    #[test]
+    fn empty_skeleton_is_zero() {
+        let cm = devices::ibm_qx4();
+        assert_eq!(lower_bound(&[], 3, &cm, CostModel::paper()), 0);
+    }
+
+    #[test]
+    fn bound_never_exceeds_exact_cost() {
+        use crate::ExactMapper;
+        let cm = devices::ibm_qx4();
+        let circuits: Vec<Vec<(usize, usize)>> = vec![
+            vec![(0, 1), (1, 2), (2, 0)],
+            vec![(0, 1), (2, 3), (0, 3), (1, 2)],
+            vec![(0, 1), (1, 0), (0, 1)],
+        ];
+        for skel in circuits {
+            let n = 4;
+            let mut c = qxmap_circuit::Circuit::new(n);
+            for &(a, b) in &skel {
+                c.cx(a, b);
+            }
+            let exact = ExactMapper::new(cm.clone()).map(&c).unwrap().cost;
+            let lb = lower_bound(&skel, n, &cm, CostModel::paper());
+            assert!(lb <= exact, "lb {lb} > exact {exact} for {skel:?}");
+        }
+    }
+}

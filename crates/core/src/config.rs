@@ -1,0 +1,167 @@
+//! Mapper configuration and errors.
+
+use std::error::Error;
+use std::fmt;
+
+use qxmap_arch::CostModel;
+use qxmap_sat::MinimizeOptions;
+
+use crate::strategy::Strategy;
+
+/// Configuration of the exact mapper.
+///
+/// The default reproduces the paper's Section 3 method: permutations
+/// allowed before every gate, no subset restriction, the 7/4 cost model,
+/// and unbounded linear-descent minimization.
+///
+/// ```
+/// use qxmap_core::{MapperConfig, Strategy};
+///
+/// let cfg = MapperConfig::minimal();
+/// assert_eq!(cfg.strategy, Strategy::BeforeEveryGate);
+/// assert!(!cfg.use_subsets);
+/// let fast = MapperConfig::minimal()
+///     .with_strategy(Strategy::DisjointQubits)
+///     .with_subsets(true);
+/// assert!(fast.use_subsets);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MapperConfig {
+    /// Where layout permutations are allowed (Section 4.2).
+    pub strategy: Strategy,
+    /// Whether to iterate over connected physical-qubit subsets of size `n`
+    /// when `n < m` (Section 4.1). Preserves minimality.
+    pub use_subsets: bool,
+    /// Cost accounting for inserted operations.
+    pub cost_model: CostModel,
+    /// Objective-minimization schedule and budget.
+    pub minimize: MinimizeOptions,
+}
+
+impl MapperConfig {
+    /// The guaranteed-minimal configuration of Section 3.
+    pub fn minimal() -> MapperConfig {
+        MapperConfig::default()
+    }
+
+    /// Sets the permutation-site strategy (builder style).
+    pub fn with_strategy(mut self, strategy: Strategy) -> MapperConfig {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables/disables the subset optimization (builder style).
+    pub fn with_subsets(mut self, on: bool) -> MapperConfig {
+        self.use_subsets = on;
+        self
+    }
+
+    /// Sets the cost model (builder style).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> MapperConfig {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Sets the minimization options (builder style).
+    pub fn with_minimize(mut self, minimize: MinimizeOptions) -> MapperConfig {
+        self.minimize = minimize;
+        self
+    }
+
+    /// Whether this configuration guarantees a minimal result
+    /// (Section 4.2 strategies give up the guarantee; Section 4.1 and the
+    /// full method keep it).
+    pub fn guarantees_minimality(&self) -> bool {
+        self.strategy == Strategy::BeforeEveryGate && self.minimize.conflict_budget.is_none()
+    }
+}
+
+/// Errors of the exact mapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The circuit has more logical qubits than the device has physical
+    /// qubits.
+    TooManyQubits {
+        /// Logical qubits required.
+        logical: usize,
+        /// Physical qubits available.
+        physical: usize,
+    },
+    /// The instance (possibly restricted by a Section 4.2 strategy) admits
+    /// no valid mapping.
+    Infeasible,
+    /// The conflict budget was exhausted before any mapping was found.
+    BudgetExhausted,
+    /// The exact method is exhaustive over permutations; devices (or
+    /// subsets) beyond this size are out of its intended regime.
+    DeviceTooLarge {
+        /// Qubits in the (sub)device.
+        qubits: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::TooManyQubits { logical, physical } => write!(
+                f,
+                "circuit uses {logical} logical qubits but the device has only {physical}"
+            ),
+            MapError::Infeasible => {
+                write!(f, "no valid mapping exists under the chosen restrictions")
+            }
+            MapError::BudgetExhausted => {
+                write!(f, "conflict budget exhausted before a mapping was found")
+            }
+            MapError::DeviceTooLarge { qubits, max } => write!(
+                f,
+                "exact mapping enumerates all qubit permutations; {qubits} qubits exceeds the supported {max}"
+            ),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_minimal() {
+        assert!(MapperConfig::default().guarantees_minimality());
+        assert!(MapperConfig::minimal().guarantees_minimality());
+    }
+
+    #[test]
+    fn strategies_lose_guarantee() {
+        let cfg = MapperConfig::minimal().with_strategy(Strategy::OddGates);
+        assert!(!cfg.guarantees_minimality());
+        // Subsets alone keep it.
+        let cfg = MapperConfig::minimal().with_subsets(true);
+        assert!(cfg.guarantees_minimality());
+    }
+
+    #[test]
+    fn budget_loses_guarantee() {
+        let cfg = MapperConfig::minimal().with_minimize(qxmap_sat::MinimizeOptions {
+            conflict_budget: Some(100),
+            ..Default::default()
+        });
+        assert!(!cfg.guarantees_minimality());
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = MapError::TooManyQubits {
+            logical: 6,
+            physical: 5,
+        };
+        assert!(e.to_string().contains("6 logical"));
+        assert!(MapError::Infeasible.to_string().contains("no valid mapping"));
+        let e = MapError::DeviceTooLarge { qubits: 16, max: 8 };
+        assert!(e.to_string().contains("16"));
+    }
+}

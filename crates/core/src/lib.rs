@@ -1,0 +1,53 @@
+//! # qxmap-core
+//!
+//! Exact mapping of quantum circuits to IBM QX architectures using the
+//! **minimal number of SWAP and H operations** — the primary contribution of
+//! Wille, Burgholzer & Zulehner (DAC 2019), reimplemented on top of the
+//! workspace's own reasoning engine (`qxmap-sat`).
+//!
+//! The mapping task is posed as a symbolic optimization problem
+//! (Section 3.2 of the paper):
+//!
+//! * `x^k_{ij}` — logical qubit `q_j` sits on physical qubit `p_i` right
+//!   before CNOT `g_k`;
+//! * `y^k_π` — permutation `π` (realized by SWAPs) is applied before `g_k`;
+//! * `z^k` — CNOT `g_k` runs against its coupling edge, repaired by 4 H
+//!   gates;
+//! * objective `F = Σ 7·swaps(π)·y^k_π + Σ 4·z^k` (Eq. 5), minimized by the
+//!   CDCL engine's objective minimizer.
+//!
+//! Performance improvements from Section 4 are available through
+//! [`MapperConfig`]: restricting to connected physical-qubit subsets (4.1)
+//! and restricting permutation points with the *disjoint qubits*, *odd
+//! gates* and *qubit triangle* strategies (4.2).
+//!
+//! ## Example: the paper's running example, minimal cost 4
+//!
+//! ```
+//! use qxmap_arch::devices;
+//! use qxmap_circuit::paper_example;
+//! use qxmap_core::ExactMapper;
+//!
+//! let mapper = ExactMapper::new(devices::ibm_qx4());
+//! let result = mapper.map(&paper_example())?;
+//! assert_eq!(result.cost, 4); // Example 7: F = 4 (one reversed CNOT)
+//! assert!(result.proved_optimal);
+//! # Ok::<(), qxmap_core::MapError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bound;
+mod config;
+mod encoding;
+mod solution;
+mod solve;
+mod strategy;
+pub mod verify;
+
+pub use config::{MapError, MapperConfig};
+pub use encoding::EncodingStats;
+pub use solution::{GatePlacement, MappingResult};
+pub use solve::ExactMapper;
+pub use strategy::Strategy;

@@ -1,0 +1,485 @@
+//! The end-to-end exact mapper.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use qxmap_arch::{connected_subsets, CouplingMap, Layout, SwapTable};
+use qxmap_circuit::Circuit;
+use qxmap_sat::{minimize, MinimizeError};
+
+use crate::config::{MapError, MapperConfig};
+use crate::encoding::Encoding;
+use crate::solution::{assemble, MappingResult};
+
+/// Largest (sub)device the exhaustive permutation enumeration supports.
+pub(crate) const MAX_EXACT_QUBITS: usize = 8;
+
+/// Maps circuits to a device with the minimal number of SWAP and H
+/// operations (or close-to-minimal under the Section 4 performance
+/// options).
+///
+/// ```
+/// use qxmap_arch::devices;
+/// use qxmap_circuit::Circuit;
+/// use qxmap_core::{ExactMapper, MapperConfig, Strategy};
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1);
+/// c.cx(1, 2);
+/// let mapper = ExactMapper::with_config(
+///     devices::ibm_qx4(),
+///     MapperConfig::minimal().with_subsets(true),
+/// );
+/// let result = mapper.map(&c)?;
+/// assert_eq!(result.cost, 0); // both CNOTs fit the coupling directly
+/// # Ok::<(), qxmap_core::MapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactMapper {
+    cm: CouplingMap,
+    config: MapperConfig,
+}
+
+impl ExactMapper {
+    /// A mapper for `cm` with the guaranteed-minimal default
+    /// configuration.
+    pub fn new(cm: CouplingMap) -> ExactMapper {
+        ExactMapper {
+            cm,
+            config: MapperConfig::minimal(),
+        }
+    }
+
+    /// A mapper with an explicit configuration.
+    pub fn with_config(cm: CouplingMap, config: MapperConfig) -> ExactMapper {
+        ExactMapper { cm, config }
+    }
+
+    /// The device being mapped to.
+    pub fn coupling_map(&self) -> &CouplingMap {
+        &self.cm
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Builds (without solving) the SAT instance for `circuit` on the full
+    /// device and reports its size — the paper's search-space discussion
+    /// (Examples 5 and 8) made measurable. Subset restriction is ignored
+    /// here; per-subset instances are strictly smaller.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExactMapper::map`], except that infeasibility
+    /// cannot be detected without solving.
+    pub fn encoding_stats(
+        &self,
+        circuit: &Circuit,
+    ) -> Result<crate::encoding::EncodingStats, MapError> {
+        let n = circuit.num_qubits();
+        let m = self.cm.num_qubits();
+        if n > m {
+            return Err(MapError::TooManyQubits {
+                logical: n,
+                physical: m,
+            });
+        }
+        if m > MAX_EXACT_QUBITS {
+            return Err(MapError::DeviceTooLarge {
+                qubits: m,
+                max: MAX_EXACT_QUBITS,
+            });
+        }
+        let circuit = circuit.decompose_swaps();
+        let skeleton = circuit.cnot_skeleton();
+        if skeleton.is_empty() {
+            return Ok(crate::encoding::EncodingStats {
+                variables: 0,
+                clauses: 0,
+                mapping_variables: 0,
+                change_points: 0,
+                permutations: 0,
+                objective_terms: 0,
+            });
+        }
+        let table = SwapTable::new(&self.cm);
+        let change_points = self.config.strategy.change_points(&skeleton);
+        let enc = Encoding::build(
+            &skeleton,
+            n,
+            &self.cm,
+            &table,
+            &change_points,
+            self.config.cost_model,
+        );
+        Ok(enc.stats())
+    }
+
+    /// Maps `circuit`, returning the minimal (or close-to-minimal, per the
+    /// configuration) realization.
+    ///
+    /// Input SWAP gates are decomposed into CNOTs first; barriers and
+    /// measurements are carried through.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::TooManyQubits`] if `n > m`;
+    /// * [`MapError::DeviceTooLarge`] if the (sub)instance would need
+    ///   permutations of more than 8 qubits;
+    /// * [`MapError::Infeasible`] if no valid mapping exists under the
+    ///   configured restrictions;
+    /// * [`MapError::BudgetExhausted`] if a conflict budget ran out before
+    ///   any mapping was found.
+    pub fn map(&self, circuit: &Circuit) -> Result<MappingResult, MapError> {
+        let start = Instant::now();
+        let n = circuit.num_qubits();
+        let m = self.cm.num_qubits();
+        if n > m {
+            return Err(MapError::TooManyQubits {
+                logical: n,
+                physical: m,
+            });
+        }
+        let circuit = circuit.decompose_swaps();
+        let skeleton = circuit.cnot_skeleton();
+
+        if skeleton.is_empty() {
+            return Ok(self.trivial(&circuit, start));
+        }
+
+        // Section 4.1: subsets of physical qubits.
+        let subsets: Vec<Vec<usize>> = if self.config.use_subsets && n < m {
+            connected_subsets(&self.cm, n)
+        } else {
+            vec![(0..m).collect()]
+        };
+        if subsets.is_empty() {
+            return Err(MapError::Infeasible);
+        }
+        if let Some(too_big) = subsets.iter().find(|s| s.len() > MAX_EXACT_QUBITS) {
+            return Err(MapError::DeviceTooLarge {
+                qubits: too_big.len(),
+                max: MAX_EXACT_QUBITS,
+            });
+        }
+
+        let change_points = self.config.strategy.change_points(&skeleton);
+
+        let mut best: Option<MappingResult> = None;
+        let mut saw_budget_exhaustion = false;
+        let mut all_proved = true;
+        for subset in &subsets {
+            let local = self.cm.subgraph(subset);
+            let table = SwapTable::for_subset(&self.cm, subset);
+            let mut enc = Encoding::build(
+                &skeleton,
+                n,
+                &local,
+                &table,
+                &change_points,
+                self.config.cost_model,
+            );
+            let objective = enc.objective.clone();
+            let minimum = match minimize(&mut enc.solver, &objective, self.config.minimize) {
+                Ok(min) => min,
+                Err(MinimizeError::Unsatisfiable) => continue,
+                Err(MinimizeError::BudgetExhausted) => {
+                    saw_budget_exhaustion = true;
+                    all_proved = false;
+                    continue;
+                }
+            };
+            all_proved &= minimum.proved_optimal;
+
+            let layouts = enc.extract_layouts(&minimum.model);
+            let perms: BTreeMap<usize, _> =
+                enc.extract_permutations(&minimum.model).into_iter().collect();
+            let (mapped, initial_layout, final_layout, swaps, reversals, placements) =
+                assemble(&circuit, &self.cm, subset, &layouts, &perms, &table);
+            let added = (mapped.original_cost() - circuit.original_cost()) as u64;
+            let candidate = MappingResult {
+                cost: minimum.cost,
+                added_gates: added,
+                swaps,
+                reversals,
+                mapped,
+                initial_layout,
+                final_layout,
+                subset: subset.clone(),
+                num_change_points: change_points.len(),
+                placements,
+                proved_optimal: minimum.proved_optimal,
+                iterations: minimum.iterations,
+                runtime: start.elapsed(),
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.cost < b.cost,
+            };
+            if better {
+                let zero = candidate.cost == 0;
+                best = Some(candidate);
+                if zero {
+                    break; // cannot improve on 0
+                }
+            }
+        }
+
+        match best {
+            Some(mut result) => {
+                // Optimal overall only if every subinstance was decided.
+                result.proved_optimal &= all_proved || result.cost == 0;
+                result.runtime = start.elapsed();
+                Ok(result)
+            }
+            None if saw_budget_exhaustion => Err(MapError::BudgetExhausted),
+            None => Err(MapError::Infeasible),
+        }
+    }
+
+    /// A circuit with no CNOTs maps 1:1 onto the first `n` physical qubits.
+    fn trivial(&self, circuit: &Circuit, start: Instant) -> MappingResult {
+        let n = circuit.num_qubits();
+        let m = self.cm.num_qubits();
+        let layout = Layout::identity(n, m);
+        let mapped = circuit.map_qubits(m, |q| q);
+        MappingResult {
+            cost: 0,
+            added_gates: 0,
+            swaps: 0,
+            reversals: 0,
+            mapped,
+            initial_layout: layout.clone(),
+            final_layout: layout,
+            subset: (0..m).collect(),
+            num_change_points: 0,
+            placements: Vec::new(),
+            proved_optimal: true,
+            iterations: 0,
+            runtime: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use crate::verify;
+    use qxmap_arch::devices;
+    use qxmap_circuit::paper_example;
+
+    #[test]
+    fn paper_example_is_four() {
+        let mapper = ExactMapper::new(devices::ibm_qx4());
+        let r = mapper.map(&paper_example()).unwrap();
+        assert_eq!(r.cost, 4);
+        assert_eq!(r.added_gates, 4);
+        assert_eq!(r.swaps, 0);
+        assert_eq!(r.reversals, 1);
+        assert!(r.proved_optimal);
+        assert_eq!(r.mapped_cost(), 12); // 8 original + 4 H
+        verify::check_coupling(&r.mapped, mapper.coupling_map()).unwrap();
+    }
+
+    #[test]
+    fn paper_example_with_subsets_matches_minimum() {
+        let mapper = ExactMapper::with_config(
+            devices::ibm_qx4(),
+            MapperConfig::minimal().with_subsets(true),
+        );
+        let r = mapper.map(&paper_example()).unwrap();
+        assert_eq!(r.cost, 4);
+        assert_eq!(r.subset.len(), 4);
+        assert!(r.subset.contains(&2), "connected 4-subsets contain the hub");
+    }
+
+    #[test]
+    fn strategies_are_no_better_than_minimal() {
+        let circuit = paper_example();
+        let minimal = ExactMapper::new(devices::ibm_qx4())
+            .map(&circuit)
+            .unwrap()
+            .cost;
+        for strategy in [
+            Strategy::DisjointQubits,
+            Strategy::OddGates,
+            Strategy::QubitTriangle,
+        ] {
+            let r = ExactMapper::with_config(
+                devices::ibm_qx4(),
+                MapperConfig::minimal().with_strategy(strategy.clone()),
+            )
+            .map(&circuit)
+            .unwrap();
+            assert!(
+                r.cost >= minimal,
+                "{strategy:?} beat the proven minimum?!"
+            );
+            verify::check_coupling(&r.mapped, &devices::ibm_qx4()).unwrap();
+        }
+    }
+
+    #[test]
+    fn example10_strategies_stay_minimal_here() {
+        // The paper notes all three strategies still reach F = 4 on the
+        // running example.
+        let circuit = paper_example();
+        for strategy in [
+            Strategy::DisjointQubits,
+            Strategy::OddGates,
+            Strategy::QubitTriangle,
+        ] {
+            let r = ExactMapper::with_config(
+                devices::ibm_qx4(),
+                MapperConfig::minimal().with_strategy(strategy),
+            )
+            .map(&circuit)
+            .unwrap();
+            assert_eq!(r.cost, 4);
+        }
+    }
+
+    #[test]
+    fn window_strategy_end_to_end() {
+        let circuit = paper_example();
+        let minimal = ExactMapper::new(devices::ibm_qx4())
+            .map(&circuit)
+            .unwrap()
+            .cost;
+        for k in [1usize, 2, 3] {
+            let r = ExactMapper::with_config(
+                devices::ibm_qx4(),
+                MapperConfig::minimal().with_strategy(Strategy::Window(k)),
+            )
+            .map(&circuit)
+            .unwrap();
+            assert!(r.cost >= minimal, "Window({k}) beat the minimum");
+            verify::check_coupling(&r.mapped, &devices::ibm_qx4()).unwrap();
+        }
+        // Window(1) is the unrestricted method: exactly minimal.
+        let r = ExactMapper::with_config(
+            devices::ibm_qx4(),
+            MapperConfig::minimal().with_strategy(Strategy::Window(1)),
+        )
+        .map(&circuit)
+        .unwrap();
+        assert_eq!(r.cost, minimal);
+    }
+
+    #[test]
+    fn placements_describe_every_skeleton_gate() {
+        let circuit = paper_example();
+        let cm = devices::ibm_qx4();
+        let r = ExactMapper::new(cm.clone()).map(&circuit).unwrap();
+        let skeleton = circuit.cnot_skeleton();
+        assert_eq!(r.placements.len(), skeleton.len());
+        for (k, p) in r.placements.iter().enumerate() {
+            assert_eq!(p.gate, k);
+            assert_eq!((p.control, p.target), skeleton[k]);
+            // The physical pair is a legal edge in the executed direction.
+            if p.reversed {
+                assert!(cm.has_edge(p.phys_target, p.phys_control));
+            } else {
+                assert!(cm.has_edge(p.phys_control, p.phys_target));
+            }
+        }
+        assert_eq!(
+            r.placements.iter().filter(|p| p.reversed).count() as u32,
+            r.reversals
+        );
+    }
+
+    #[test]
+    fn encoding_stats_match_example5() {
+        // Example 5: the running example has n·m·|G| = 4·5·5 = 100 mapping
+        // variables on the full device.
+        let mapper = ExactMapper::new(devices::ibm_qx4());
+        let stats = mapper.encoding_stats(&paper_example()).unwrap();
+        assert_eq!(stats.mapping_variables, 100);
+        assert_eq!(stats.change_points, 4);
+        assert_eq!(stats.permutations, 120);
+        // Trivial circuits have empty instances.
+        let mut trivial = Circuit::new(2);
+        trivial.h(0);
+        let stats = mapper.encoding_stats(&trivial).unwrap();
+        assert_eq!(stats.variables, 0);
+    }
+
+    #[test]
+    fn too_many_qubits() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        let err = ExactMapper::new(devices::ibm_qx4()).map(&c).unwrap_err();
+        assert!(matches!(err, MapError::TooManyQubits { logical: 6, physical: 5 }));
+    }
+
+    #[test]
+    fn trivial_circuit_costs_zero() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).x(2);
+        let r = ExactMapper::new(devices::ibm_qx4()).map(&c).unwrap();
+        assert_eq!(r.cost, 0);
+        assert_eq!(r.mapped_cost(), 3);
+        assert!(r.proved_optimal);
+    }
+
+    #[test]
+    fn input_swaps_are_decomposed() {
+        let mut c = Circuit::new(2);
+        c.swap_gate(0, 1);
+        let r = ExactMapper::new(devices::ibm_qx4()).map(&c).unwrap();
+        // Decomposed SWAP = CX(0,1) CX(1,0) CX(0,1); on QX4 one direction
+        // must be repaired: minimal F = 4.
+        assert_eq!(r.cost, 4);
+        verify::check_coupling(&r.mapped, &devices::ibm_qx4()).unwrap();
+    }
+
+    #[test]
+    fn device_too_large_without_subsets() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        let err = ExactMapper::new(devices::ibm_qx5()).map(&c).unwrap_err();
+        assert!(matches!(err, MapError::DeviceTooLarge { qubits: 16, .. }));
+        // With subsets the same instance is fine (3-qubit subgraphs).
+        let r = ExactMapper::with_config(
+            devices::ibm_qx5(),
+            MapperConfig::minimal().with_subsets(true),
+        )
+        .map(&c)
+        .unwrap();
+        assert_eq!(r.cost, 0);
+    }
+
+    #[test]
+    fn cost_equals_recount_on_qx4() {
+        // added_gates must equal the modelled F on QX4 (7/4 cost model is
+        // exact there).
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        c.cx(0, 3);
+        c.cx(1, 2);
+        let r = ExactMapper::new(devices::ibm_qx4()).map(&c).unwrap();
+        assert_eq!(r.cost, r.added_gates);
+        assert_eq!(
+            r.added_gates,
+            7 * u64::from(r.swaps) + 4 * u64::from(r.reversals)
+        );
+    }
+
+    #[test]
+    fn final_layout_consistent_with_swap_count() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.cx(0, 2);
+        let r = ExactMapper::new(devices::ibm_qx4()).map(&c).unwrap();
+        if r.swaps == 0 {
+            assert_eq!(r.initial_layout, r.final_layout);
+        }
+        verify::check_coupling(&r.mapped, &devices::ibm_qx4()).unwrap();
+    }
+}

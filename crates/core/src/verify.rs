@@ -1,0 +1,174 @@
+//! Structural verification of mapped circuits.
+//!
+//! Functional (unitary) equivalence is checked in the integration tests
+//! with the `qxmap-sim` statevector simulator; this module provides the
+//! cheap structural guarantees every mapped circuit must satisfy.
+
+use std::error::Error;
+use std::fmt;
+
+use qxmap_arch::CouplingMap;
+use qxmap_circuit::{Circuit, Gate};
+
+use crate::solution::MappingResult;
+
+/// A structural violation found in a mapped circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A CNOT sits on a pair that is no coupling edge (in that direction).
+    IllegalCnot {
+        /// Gate position in the circuit.
+        position: usize,
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// A SWAP survived in the supposedly decomposed output.
+    ResidualSwap {
+        /// Gate position in the circuit.
+        position: usize,
+    },
+    /// The reported cost disagrees with a recount of the circuit.
+    CostMismatch {
+        /// Cost reported by the solver.
+        reported: u64,
+        /// Cost recounted from the mapped circuit.
+        recounted: u64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::IllegalCnot {
+                position,
+                control,
+                target,
+            } => write!(
+                f,
+                "gate {position}: CNOT({control}, {target}) violates the coupling map"
+            ),
+            VerifyError::ResidualSwap { position } => {
+                write!(f, "gate {position}: undecomposed SWAP in mapped circuit")
+            }
+            VerifyError::CostMismatch {
+                reported,
+                recounted,
+            } => write!(
+                f,
+                "reported cost {reported} but the mapped circuit recounts to {recounted}"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks that every CNOT of `circuit` lies on a directed coupling edge —
+/// the CNOT-constraints of Definition 2.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError::IllegalCnot`] or
+/// [`VerifyError::ResidualSwap`] found.
+pub fn check_coupling(circuit: &Circuit, cm: &CouplingMap) -> Result<(), VerifyError> {
+    for (position, gate) in circuit.gates().iter().enumerate() {
+        match gate {
+            Gate::Cnot { control, target } => {
+                if !cm.has_edge(*control, *target) {
+                    return Err(VerifyError::IllegalCnot {
+                        position,
+                        control: *control,
+                        target: *target,
+                    });
+                }
+            }
+            Gate::Swap { .. } => return Err(VerifyError::ResidualSwap { position }),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Full structural check of a mapping result against the original circuit:
+/// coupling legality plus cost-accounting consistency
+/// (`added_gates == mapped_cost − original_cost`).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_result(
+    original: &Circuit,
+    result: &MappingResult,
+    cm: &CouplingMap,
+) -> Result<(), VerifyError> {
+    check_coupling(&result.mapped, cm)?;
+    let original_cost = original.decompose_swaps().original_cost() as u64;
+    let recounted = result.mapped.original_cost() as u64 - original_cost;
+    if recounted != result.added_gates {
+        return Err(VerifyError::CostMismatch {
+            reported: result.added_gates,
+            recounted,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::devices;
+
+    #[test]
+    fn legal_circuit_passes() {
+        let cm = devices::ibm_qx4();
+        let mut c = Circuit::new(5);
+        c.cx(1, 0);
+        c.h(3);
+        c.cx(4, 2);
+        assert!(check_coupling(&c, &cm).is_ok());
+    }
+
+    #[test]
+    fn illegal_direction_is_flagged() {
+        let cm = devices::ibm_qx4();
+        let mut c = Circuit::new(5);
+        c.cx(0, 1); // only (1,0) exists
+        let err = check_coupling(&c, &cm).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::IllegalCnot {
+                position: 0,
+                control: 0,
+                target: 1
+            }
+        );
+        assert!(err.to_string().contains("violates"));
+    }
+
+    #[test]
+    fn residual_swap_is_flagged() {
+        let cm = devices::ibm_qx4();
+        let mut c = Circuit::new(5);
+        c.swap_gate(0, 1);
+        assert_eq!(
+            check_coupling(&c, &cm).unwrap_err(),
+            VerifyError::ResidualSwap { position: 0 }
+        );
+    }
+
+    #[test]
+    fn check_result_catches_cost_drift() {
+        use crate::ExactMapper;
+        let cm = devices::ibm_qx4();
+        let original = qxmap_circuit::paper_example();
+        let mut r = ExactMapper::new(cm.clone()).map(&original).unwrap();
+        assert!(check_result(&original, &r, &cm).is_ok());
+        r.added_gates += 1;
+        assert!(matches!(
+            check_result(&original, &r, &cm),
+            Err(VerifyError::CostMismatch { .. })
+        ));
+    }
+}

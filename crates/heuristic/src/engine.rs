@@ -1,0 +1,132 @@
+//! Shared layer-routing engine.
+//!
+//! Every heuristic mapper follows the same skeleton — walk the circuit's
+//! ASAP layers, ask a strategy for a SWAP sequence making the layer's CNOT
+//! pairs adjacent, emit the SWAPs and then the layer's gates (repairing
+//! directions with 4 H) — and differs only in how the SWAP sequence is
+//! chosen. The engine owns that skeleton.
+
+use std::time::Instant;
+
+use qxmap_arch::{route, CouplingMap, Layout};
+use qxmap_circuit::{asap_layers, Circuit, Gate};
+
+use crate::traits::{HeuristicError, HeuristicResult};
+
+/// Chooses SWAP edges making all `pairs` (logical control/target) adjacent
+/// under `layout`. Implementors must return edges of `cm`; the engine
+/// applies them in order.
+pub(crate) trait LayerPlanner {
+    fn plan(
+        &mut self,
+        layout: &Layout,
+        pairs: &[(usize, usize)],
+        cm: &CouplingMap,
+        dist: &[Vec<usize>],
+    ) -> Result<Vec<(usize, usize)>, HeuristicError>;
+}
+
+/// Whether every pair is adjacent (either direction) under `layout`.
+pub(crate) fn all_adjacent(
+    layout: &Layout,
+    pairs: &[(usize, usize)],
+    cm: &CouplingMap,
+) -> bool {
+    pairs.iter().all(|&(c, t)| {
+        let pc = layout.phys_of(c).expect("complete layout");
+        let pt = layout.phys_of(t).expect("complete layout");
+        cm.connected_either(pc, pt)
+    })
+}
+
+/// Runs the engine with the given planner.
+pub(crate) fn run_engine(
+    circuit: &Circuit,
+    cm: &CouplingMap,
+    planner: &mut dyn LayerPlanner,
+) -> Result<HeuristicResult, HeuristicError> {
+    let start = Instant::now();
+    let n = circuit.num_qubits();
+    let m = cm.num_qubits();
+    if n > m {
+        return Err(HeuristicError::TooManyQubits {
+            logical: n,
+            physical: m,
+        });
+    }
+    let circuit = circuit.decompose_swaps();
+
+    let dist = cm.distance_matrix();
+    // The layer planners assume a connected device (all IBM QX devices
+    // are); reject disconnected graphs up front when routing is needed.
+    if !cm.is_connected() && circuit.num_cnots() > 0 {
+        return Err(HeuristicError::Unroutable);
+    }
+
+    let mut layout = Layout::identity(n, m); // Qiskit 0.4's trivial layout
+    let initial_layout = layout.clone();
+    let mut out = Circuit::with_clbits(m, circuit.num_clbits());
+    let mut swaps = 0u32;
+    let mut reversals = 0u32;
+
+    for layer in asap_layers(&circuit) {
+        let pairs: Vec<(usize, usize)> = layer
+            .gates
+            .iter()
+            .filter_map(|&g| match circuit.gates()[g] {
+                Gate::Cnot { control, target } => Some((control, target)),
+                _ => None,
+            })
+            .collect();
+        if !pairs.is_empty() && !all_adjacent(&layout, &pairs, cm) {
+            let plan = planner.plan(&layout, &pairs, cm, &dist)?;
+            for (a, b) in plan {
+                route::emit_swap(&mut out, cm, a, b)
+                    .expect("planners must return coupling edges");
+                layout.swap_phys(a, b);
+                swaps += 1;
+            }
+            debug_assert!(all_adjacent(&layout, &pairs, cm), "planner failed layer");
+        }
+        for &g in &layer.gates {
+            match &circuit.gates()[g] {
+                Gate::Cnot { control, target } => {
+                    let pc = layout.phys_of(*control).expect("complete layout");
+                    let pt = layout.phys_of(*target).expect("complete layout");
+                    let emitted =
+                        route::emit_cnot(&mut out, cm, pc, pt).expect("pairs are adjacent");
+                    if emitted > 1 {
+                        reversals += 1;
+                    }
+                }
+                Gate::One { kind, qubit } => {
+                    let p = layout.phys_of(*qubit).expect("complete layout");
+                    out.one(*kind, p);
+                }
+                Gate::Barrier(qs) => {
+                    let mapped: Vec<usize> = qs
+                        .iter()
+                        .map(|&q| layout.phys_of(q).expect("complete layout"))
+                        .collect();
+                    out.push(Gate::Barrier(mapped));
+                }
+                Gate::Measure { qubit, clbit } => {
+                    let p = layout.phys_of(*qubit).expect("complete layout");
+                    out.measure(p, *clbit);
+                }
+                Gate::Swap { .. } => unreachable!("decomposed above"),
+            }
+        }
+    }
+
+    let added = (out.original_cost() - circuit.original_cost()) as u64;
+    Ok(HeuristicResult {
+        mapped: out,
+        initial_layout,
+        final_layout: layout,
+        added_gates: added,
+        swaps,
+        reversals,
+        runtime: start.elapsed(),
+    })
+}

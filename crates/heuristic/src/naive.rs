@@ -1,0 +1,135 @@
+//! Shortest-path per-gate routing: the no-lookahead floor baseline.
+
+use qxmap_arch::{CouplingMap, Layout};
+use qxmap_circuit::Circuit;
+
+use crate::engine::{run_engine, LayerPlanner};
+use crate::traits::{HeuristicError, HeuristicResult, Mapper};
+
+/// Routes each layer by walking every non-adjacent pair's control qubit
+/// along a shortest path towards its target — no randomness, no
+/// lookahead. Serves as a deterministic floor: anything smarter should
+/// beat it on average.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveMapper;
+
+impl NaiveMapper {
+    /// Creates the mapper.
+    pub fn new() -> NaiveMapper {
+        NaiveMapper
+    }
+}
+
+impl Mapper for NaiveMapper {
+    fn name(&self) -> &str {
+        "naive shortest-path"
+    }
+
+    fn map(
+        &self,
+        circuit: &Circuit,
+        cm: &CouplingMap,
+    ) -> Result<HeuristicResult, HeuristicError> {
+        struct Planner;
+        impl LayerPlanner for Planner {
+            fn plan(
+                &mut self,
+                layout: &Layout,
+                pairs: &[(usize, usize)],
+                cm: &CouplingMap,
+                dist: &[Vec<usize>],
+            ) -> Result<Vec<(usize, usize)>, HeuristicError> {
+                shortest_path_plan(layout, pairs, cm, dist)
+            }
+        }
+        run_engine(circuit, cm, &mut Planner)
+    }
+}
+
+/// Deterministic routing used by [`NaiveMapper`] and as the fallback of
+/// the stochastic mapper: repeatedly move the first non-adjacent pair's
+/// control one step along a shortest path to its target.
+pub(crate) fn shortest_path_plan(
+    layout: &Layout,
+    pairs: &[(usize, usize)],
+    cm: &CouplingMap,
+    dist: &[Vec<usize>],
+) -> Result<Vec<(usize, usize)>, HeuristicError> {
+    let mut layout = layout.clone();
+    let mut plan = Vec::new();
+    let limit = 4 * cm.num_qubits() * cm.num_qubits().max(1) * pairs.len().max(1);
+    for _ in 0..limit {
+        let Some(&(c, t)) = pairs.iter().find(|&&(c, t)| {
+            let pc = layout.phys_of(c).expect("complete layout");
+            let pt = layout.phys_of(t).expect("complete layout");
+            !cm.connected_either(pc, pt)
+        }) else {
+            return Ok(plan);
+        };
+        let pc = layout.phys_of(c).expect("complete layout");
+        let pt = layout.phys_of(t).expect("complete layout");
+        if dist[pc][pt] == usize::MAX {
+            return Err(HeuristicError::Unroutable);
+        }
+        // One step along a shortest pc→pt path.
+        let next = cm
+            .neighbors(pc)
+            .into_iter()
+            .min_by_key(|&v| dist[v][pt])
+            .ok_or(HeuristicError::Unroutable)?;
+        plan.push((pc, next));
+        layout.swap_phys(pc, next);
+    }
+    Err(HeuristicError::Unroutable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::devices;
+    use qxmap_circuit::paper_example;
+
+    #[test]
+    fn routes_distant_pair_on_a_line() {
+        let cm = devices::linear(5);
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let r = NaiveMapper::new().map(&c, &cm).unwrap();
+        // Distance 4 needs 3 swaps to become adjacent.
+        assert_eq!(r.swaps, 3);
+        for (pc, pt) in r.mapped.cnot_skeleton() {
+            assert!(cm.has_edge(pc, pt));
+        }
+    }
+
+    #[test]
+    fn already_adjacent_needs_nothing() {
+        let cm = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        let r = NaiveMapper::new().map(&c, &cm).unwrap();
+        assert_eq!(r.swaps, 0);
+        assert_eq!(r.added_gates, 0);
+    }
+
+    #[test]
+    fn paper_example_is_legal_and_above_minimum() {
+        let cm = devices::ibm_qx4();
+        let r = NaiveMapper::new().map(&paper_example(), &cm).unwrap();
+        assert!(r.added_gates >= 4, "cannot beat the exact minimum");
+        for (pc, pt) in r.mapped.cnot_skeleton() {
+            assert!(cm.has_edge(pc, pt));
+        }
+    }
+
+    #[test]
+    fn disconnected_device_is_unroutable() {
+        let cm = qxmap_arch::CouplingMap::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        assert!(matches!(
+            NaiveMapper::new().map(&c, &cm),
+            Err(HeuristicError::Unroutable)
+        ));
+    }
+}

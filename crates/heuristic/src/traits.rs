@@ -1,0 +1,94 @@
+//! The mapper abstraction shared by all baselines.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use qxmap_arch::{CouplingMap, Layout};
+use qxmap_circuit::Circuit;
+
+/// Errors common to the heuristic mappers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeuristicError {
+    /// More logical than physical qubits.
+    TooManyQubits {
+        /// Logical qubits required.
+        logical: usize,
+        /// Physical qubits available.
+        physical: usize,
+    },
+    /// The device graph cannot route the circuit (disconnected).
+    Unroutable,
+}
+
+impl fmt::Display for HeuristicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeuristicError::TooManyQubits { logical, physical } => write!(
+                f,
+                "circuit uses {logical} logical qubits but the device has only {physical}"
+            ),
+            HeuristicError::Unroutable => {
+                write!(f, "the coupling graph cannot route the circuit")
+            }
+        }
+    }
+}
+
+impl Error for HeuristicError {}
+
+/// Outcome of a heuristic mapping.
+#[derive(Debug, Clone)]
+pub struct HeuristicResult {
+    /// The hardware-legal output circuit.
+    pub mapped: Circuit,
+    /// Logical→physical layout before the first gate.
+    pub initial_layout: Layout,
+    /// Logical→physical layout after the last gate.
+    pub final_layout: Layout,
+    /// Gates added relative to the (SWAP-decomposed) input.
+    pub added_gates: u64,
+    /// SWAP operations inserted.
+    pub swaps: u32,
+    /// Direction-reversed CNOTs.
+    pub reversals: u32,
+    /// Wall-clock mapping time.
+    pub runtime: Duration,
+}
+
+impl HeuristicResult {
+    /// Total operation count of the mapped circuit (Table 1's `c`).
+    pub fn mapped_cost(&self) -> usize {
+        self.mapped.original_cost()
+    }
+}
+
+/// A qubit mapper: places logical qubits on a device and inserts
+/// SWAP / H repairs until every CNOT is coupling-legal.
+pub trait Mapper {
+    /// Short human-readable name.
+    fn name(&self) -> &str;
+
+    /// Maps `circuit` onto `cm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeuristicError`] when the instance cannot be mapped.
+    fn map(&self, circuit: &Circuit, cm: &CouplingMap)
+        -> Result<HeuristicResult, HeuristicError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = HeuristicError::TooManyQubits {
+            logical: 7,
+            physical: 5,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(HeuristicError::Unroutable.to_string().contains("route"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Abstract syntax tree for OpenQASM 2.0.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Declared language version (e.g. "2.0").
+    pub version: String,
+    /// Top-level statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `qreg name[size];`
+    QReg {
+        /// Register name.
+        name: String,
+        /// Number of qubits.
+        size: usize,
+    },
+    /// `creg name[size];`
+    CReg {
+        /// Register name.
+        name: String,
+        /// Number of classical bits.
+        size: usize,
+    },
+    /// `gate name(params) qargs { body }`
+    GateDef {
+        /// Gate name.
+        name: String,
+        /// Formal parameter names.
+        params: Vec<String>,
+        /// Formal qubit argument names.
+        qargs: Vec<String>,
+        /// Body operations (over the formal names).
+        body: Vec<GateOp>,
+    },
+    /// A gate application at top level.
+    Apply(GateOp),
+    /// `measure q -> c;`
+    Measure {
+        /// Source qubit argument.
+        qubit: Arg,
+        /// Destination classical argument.
+        clbit: Arg,
+    },
+    /// `barrier args;`
+    Barrier(Vec<Arg>),
+}
+
+/// A gate application: `name(params) args;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOp {
+    /// Gate name.
+    pub name: String,
+    /// Parameter expressions.
+    pub params: Vec<Expr>,
+    /// Qubit arguments.
+    pub args: Vec<Arg>,
+    /// Source line for error reporting.
+    pub line: usize,
+}
+
+/// A register reference, optionally indexed: `q` or `q[3]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arg {
+    /// Register (or formal argument) name.
+    pub register: String,
+    /// Index within the register, if given.
+    pub index: Option<usize>,
+}
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}[{i}]", self.register),
+            None => write!(f, "{}", self.register),
+        }
+    }
+}
+
+/// A parameter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// The constant π.
+    Pi,
+    /// A formal parameter reference (inside gate bodies).
+    Ident(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// `lhs op rhs`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Builtin function call.
+    Func {
+        /// Function name (sin, cos, tan, exp, ln, sqrt).
+        func: String,
+        /// Argument.
+        arg: Box<Expr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Exponentiation.
+    Pow,
+}
+
+/// Error evaluating an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// The unbound identifier or unknown function.
+    pub what: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot evaluate `{}`", self.what)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    /// Evaluates the expression under parameter bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] for unbound identifiers or unknown functions.
+    pub fn eval(&self, bindings: &HashMap<String, f64>) -> Result<f64, EvalError> {
+        match self {
+            Expr::Num(v) => Ok(*v),
+            Expr::Pi => Ok(std::f64::consts::PI),
+            Expr::Ident(name) => bindings.get(name).copied().ok_or_else(|| EvalError {
+                what: name.clone(),
+            }),
+            Expr::Neg(e) => Ok(-e.eval(bindings)?),
+            Expr::Bin { op, lhs, rhs } => {
+                let l = lhs.eval(bindings)?;
+                let r = rhs.eval(bindings)?;
+                Ok(match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => l / r,
+                    BinOp::Pow => l.powf(r),
+                })
+            }
+            Expr::Func { func, arg } => {
+                let v = arg.eval(bindings)?;
+                Ok(match func.as_str() {
+                    "sin" => v.sin(),
+                    "cos" => v.cos(),
+                    "tan" => v.tan(),
+                    "exp" => v.exp(),
+                    "ln" => v.ln(),
+                    "sqrt" => v.sqrt(),
+                    other => {
+                        return Err(EvalError {
+                            what: other.to_string(),
+                        })
+                    }
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_arithmetic() {
+        let e = Expr::Bin {
+            op: BinOp::Div,
+            lhs: Box::new(Expr::Pi),
+            rhs: Box::new(Expr::Num(2.0)),
+        };
+        let v = e.eval(&HashMap::new()).unwrap();
+        assert!((v - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_bindings() {
+        let mut b = HashMap::new();
+        b.insert("theta".to_string(), 0.5);
+        let e = Expr::Neg(Box::new(Expr::Ident("theta".into())));
+        assert_eq!(e.eval(&b).unwrap(), -0.5);
+        let unbound = Expr::Ident("phi".into());
+        assert!(unbound.eval(&b).is_err());
+    }
+
+    #[test]
+    fn eval_functions() {
+        let e = Expr::Func {
+            func: "cos".into(),
+            arg: Box::new(Expr::Num(0.0)),
+        };
+        assert_eq!(e.eval(&HashMap::new()).unwrap(), 1.0);
+        let bad = Expr::Func {
+            func: "sinh".into(),
+            arg: Box::new(Expr::Num(0.0)),
+        };
+        assert!(bad.eval(&HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn eval_pow() {
+        let e = Expr::Bin {
+            op: BinOp::Pow,
+            lhs: Box::new(Expr::Num(2.0)),
+            rhs: Box::new(Expr::Num(10.0)),
+        };
+        assert_eq!(e.eval(&HashMap::new()).unwrap(), 1024.0);
+    }
+
+    #[test]
+    fn arg_display() {
+        let a = Arg {
+            register: "q".into(),
+            index: Some(2),
+        };
+        assert_eq!(a.to_string(), "q[2]");
+        let b = Arg {
+            register: "q".into(),
+            index: None,
+        };
+        assert_eq!(b.to_string(), "q");
+    }
+}

@@ -1,0 +1,307 @@
+//! Tokenizer for OpenQASM 2.0.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    Ident(String),
+    Real(f64),
+    Int(u64),
+    Str(String),
+    // punctuation
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Arrow,
+    Equals2,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Real(v) => write!(f, "{v}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::Equals2 => write!(f, "=="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Caret => write!(f, "^"),
+        }
+    }
+}
+
+/// Lexing failure with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LexError {
+    pub line: usize,
+    pub message: String,
+}
+
+/// Tokenizes `source`; `//` comments run to end of line.
+pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Slash,
+                        line,
+                    });
+                }
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        line,
+                    });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        line,
+                    });
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token {
+                        kind: TokenKind::Equals2,
+                        line,
+                    });
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "single `=` is not a QASM token".into(),
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(LexError {
+                                line,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut s = String::new();
+                let mut is_real = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        chars.next();
+                    } else if c == '.' || c == 'e' || c == 'E' {
+                        is_real = true;
+                        s.push(c);
+                        chars.next();
+                        if (c == 'e' || c == 'E')
+                            && matches!(chars.peek(), Some('+') | Some('-'))
+                        {
+                            s.push(chars.next().expect("peeked"));
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_real {
+                    TokenKind::Real(s.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad real literal `{s}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(s.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad integer literal `{s}`"),
+                    })?)
+                };
+                tokens.push(Token { kind, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
+            }
+            _ => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ';' => TokenKind::Semicolon,
+                    ',' => TokenKind::Comma,
+                    '+' => TokenKind::Plus,
+                    '*' => TokenKind::Star,
+                    '^' => TokenKind::Caret,
+                    other => {
+                        return Err(LexError {
+                            line,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                chars.next();
+                tokens.push(Token { kind, line });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        assert_eq!(
+            kinds("qreg q[5];"),
+            vec![
+                TokenKind::Ident("qreg".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(5),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("// hello\nh q; // tail"), kinds("h q;"));
+    }
+
+    #[test]
+    fn reals_and_ints() {
+        assert_eq!(
+            kinds("1 2.5 3e-2 .5"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Real(2.5),
+                TokenKind::Real(0.03),
+                TokenKind::Real(0.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_minus() {
+        assert_eq!(
+            kinds("a -> b - c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(
+            kinds("include \"qelib1.inc\";"),
+            vec![
+                TokenKind::Ident("include".into()),
+                TokenKind::Str("qelib1.inc".into()),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_tracking() {
+        let toks = tokenize("a;\nb;\n\nc;").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[4].line, 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("a = b").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! # qxmap-qasm
+//!
+//! OpenQASM 2.0 front- and back-end for `qxmap` circuits. The benchmark
+//! circuits the paper evaluates (RevLib functions decomposed to the IBM
+//! basis, per reference [4] — Cross et al., "Open Quantum Assembly
+//! Language") are distributed as QASM; this crate parses that dialect into
+//! the [`qxmap_circuit::Circuit`] IR and serializes circuits back out.
+//!
+//! Supported: `OPENQASM 2.0` headers, `qreg`/`creg`, `include
+//! "qelib1.inc"` (resolved against an embedded copy of the standard
+//! library), hierarchical `gate` definitions with parameter expressions
+//! (π-arithmetic, `sin`/`cos`/`tan`/`exp`/`ln`/`sqrt`, `^`), the builtin
+//! `U`/`CX`, register broadcasting, `barrier` and `measure`.
+//! `if`/`reset`/`opaque` applications are rejected with a clear error (the
+//! mapping IR is purely unitary plus terminal measurement).
+//!
+//! ## Example
+//!
+//! ```
+//! let source = r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[3];
+//!     creg c[3];
+//!     h q[0];
+//!     ccx q[0], q[1], q[2];
+//!     measure q[0] -> c[0];
+//! "#;
+//! let circuit = qxmap_qasm::parse(source)?;
+//! assert_eq!(circuit.num_qubits(), 3);
+//! // The Toffoli inlines to the standard 6-CNOT network.
+//! assert_eq!(circuit.num_cnots(), 6);
+//! # Ok::<(), qxmap_qasm::ParseQasmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod convert;
+mod lex;
+mod parse;
+mod qelib;
+mod write;
+
+pub use ast::{Arg, Expr, GateOp, Program, Statement};
+pub use convert::to_circuit;
+pub use parse::{parse_program, ParseQasmError};
+pub use write::to_qasm;
+
+use qxmap_circuit::Circuit;
+
+/// Parses OpenQASM 2.0 source into a circuit.
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on syntax errors, unknown gates or
+/// registers, arity mismatches, or unsupported statements.
+pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
+    let program = parse_program(source)?;
+    to_circuit(&program)
+}

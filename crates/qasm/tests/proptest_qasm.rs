@@ -1,0 +1,66 @@
+//! Property-based round-trip tests: every circuit the writer can emit is
+//! reparsed bit-identically.
+
+use proptest::prelude::*;
+use qxmap_circuit::{Circuit, Gate, OneQubitKind};
+
+fn kind_strategy() -> impl Strategy<Value = OneQubitKind> {
+    prop_oneof![
+        Just(OneQubitKind::I),
+        Just(OneQubitKind::X),
+        Just(OneQubitKind::Y),
+        Just(OneQubitKind::Z),
+        Just(OneQubitKind::H),
+        Just(OneQubitKind::S),
+        Just(OneQubitKind::Sdg),
+        Just(OneQubitKind::T),
+        Just(OneQubitKind::Tdg),
+        (-10.0f64..10.0).prop_map(OneQubitKind::Rx),
+        (-10.0f64..10.0).prop_map(OneQubitKind::Ry),
+        (-10.0f64..10.0).prop_map(OneQubitKind::Rz),
+        (-10.0f64..10.0).prop_map(OneQubitKind::Phase),
+        (-6.0f64..6.0, -6.0f64..6.0, -6.0f64..6.0)
+            .prop_map(|(t, p, l)| OneQubitKind::U(t, p, l)),
+    ]
+}
+
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    // n ≥ 2 so two-qubit gates always have distinct operands; the pair is
+    // built arithmetically (no rejection filter).
+    (2usize..6).prop_flat_map(|n| {
+        let gate = prop_oneof![
+            (kind_strategy(), 0..n).prop_map(|(k, q)| Gate::one(k, q)),
+            (0..n, 1..n).prop_map(move |(c, d)| Gate::Cnot {
+                control: c,
+                target: (c + d) % n,
+            }),
+            (0..n, 1..n).prop_map(move |(a, d)| Gate::Swap { a, b: (a + d) % n }),
+        ];
+        prop::collection::vec(gate, 0..25).prop_map(move |gates| {
+            let mut c = Circuit::new(n);
+            c.extend(gates);
+            c
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn write_parse_roundtrip(c in circuit_strategy()) {
+        let text = qxmap_qasm::to_qasm(&c);
+        let back = qxmap_qasm::parse(&text)
+            .unwrap_or_else(|e| panic!("exporter emitted invalid QASM: {e}\n{text}"));
+        prop_assert_eq!(back.num_qubits(), c.num_qubits());
+        prop_assert_eq!(back.gates(), c.gates());
+    }
+
+    /// Parsing is deterministic and idempotent through a second roundtrip.
+    #[test]
+    fn double_roundtrip_is_stable(c in circuit_strategy()) {
+        let once = qxmap_qasm::parse(&qxmap_qasm::to_qasm(&c)).expect("valid");
+        let twice = qxmap_qasm::parse(&qxmap_qasm::to_qasm(&once)).expect("valid");
+        prop_assert_eq!(once.gates(), twice.gates());
+    }
+}

@@ -1,0 +1,106 @@
+//! Exhaustive reference solver for validating the CDCL engine.
+//!
+//! Enumerates all `2ⁿ` assignments; usable up to roughly 25 variables.
+//! The property-based tests cross-check [`crate::Solver`] against this
+//! oracle on random formulas.
+
+use crate::lit::Lit;
+
+/// Whether `clauses` (over variables `0..num_vars`) is satisfiable, by
+/// exhaustive enumeration.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 25` (the search would not terminate in reasonable
+/// time).
+pub fn is_satisfiable(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    first_model(num_vars, clauses).is_some()
+}
+
+/// The lexicographically first satisfying assignment, if any.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 25`.
+pub fn first_model(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<Vec<bool>> {
+    assert!(num_vars <= 25, "brute force limited to 25 variables");
+    'outer: for mask in 0u64..(1u64 << num_vars) {
+        for clause in clauses {
+            let sat = clause.iter().any(|l| {
+                let val = mask & (1 << l.var().index()) != 0;
+                val == l.is_positive()
+            });
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return Some((0..num_vars).map(|i| mask & (1 << i) != 0).collect());
+    }
+    None
+}
+
+/// The minimal value of `Σ wᵢ·ℓᵢ` over all satisfying assignments, or
+/// `None` if unsatisfiable.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 25`.
+pub fn minimum_cost(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    objective: &[(u64, Lit)],
+) -> Option<u64> {
+    assert!(num_vars <= 25, "brute force limited to 25 variables");
+    let mut best: Option<u64> = None;
+    'outer: for mask in 0u64..(1u64 << num_vars) {
+        for clause in clauses {
+            let sat = clause.iter().any(|l| {
+                let val = mask & (1 << l.var().index()) != 0;
+                val == l.is_positive()
+            });
+            if !sat {
+                continue 'outer;
+            }
+        }
+        let cost: u64 = objective
+            .iter()
+            .filter(|(_, l)| (mask & (1 << l.var().index()) != 0) == l.is_positive())
+            .map(|(w, _)| *w)
+            .sum();
+        best = Some(best.map_or(cost, |b| b.min(cost)));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn l(v: i64) -> Lit {
+        Lit::from_dimacs(v)
+    }
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        assert!(is_satisfiable(2, &[vec![l(1), l(2)]]));
+        assert!(!is_satisfiable(1, &[vec![l(1)], vec![l(-1)]]));
+        assert!(is_satisfiable(0, &[]));
+        assert!(!is_satisfiable(0, &[vec![]]));
+    }
+
+    #[test]
+    fn first_model_is_lexicographic() {
+        // x1 ∨ x2: first model (counting masks upward) is x1=true, x2=false.
+        let m = first_model(2, &[vec![l(1), l(2)]]).unwrap();
+        assert_eq!(m, vec![true, false]);
+    }
+
+    #[test]
+    fn minimum_cost_basic() {
+        let clauses = vec![vec![l(1), l(2)]];
+        let obj = vec![(7, Var::from_index(0).positive()), (4, Var::from_index(1).positive())];
+        assert_eq!(minimum_cost(2, &clauses, &obj), Some(4));
+        assert_eq!(minimum_cost(1, &[vec![l(1)], vec![l(-1)]], &[]), None);
+    }
+}

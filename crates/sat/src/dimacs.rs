@@ -1,0 +1,182 @@
+//! DIMACS CNF import/export.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+
+/// A parsed DIMACS CNF instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the instance into a fresh solver.
+    pub fn to_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+}
+
+/// Error parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, literals out of the
+/// declared range, or clauses missing their `0` terminator.
+///
+/// ```
+/// let cnf = qxmap_sat::dimacs::parse("p cnf 3 2\n1 -2 0\n2 3 0\n")?;
+/// assert_eq!(cnf.num_vars, 3);
+/// assert_eq!(cnf.clauses.len(), 2);
+/// # Ok::<(), qxmap_sat::dimacs::ParseDimacsError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut declared_clauses = 0usize;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: format!("malformed problem line `{line}`"),
+                });
+            }
+            num_vars = Some(parts[1].parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: "bad variable count".into(),
+            })?);
+            declared_clauses = parts[2].parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: "bad clause count".into(),
+            })?;
+            continue;
+        }
+        let nv = num_vars.ok_or(ParseDimacsError {
+            line: lineno,
+            message: "clause before problem line".into(),
+        })?;
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: format!("bad literal `{tok}`"),
+            })?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if v.unsigned_abs() as usize > nv {
+                    return Err(ParseDimacsError {
+                        line: lineno,
+                        message: format!("literal {v} out of range (max {nv})"),
+                    });
+                }
+                current.push(Lit::from_dimacs(v));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: text.lines().count(),
+            message: "last clause not terminated by 0".into(),
+        });
+    }
+    let num_vars = num_vars.ok_or(ParseDimacsError {
+        line: 0,
+        message: "missing problem line".into(),
+    })?;
+    let _ = declared_clauses; // informative only; actual count may differ
+    Ok(Cnf { num_vars, clauses })
+}
+
+/// Serializes an instance to DIMACS CNF text.
+pub fn write(cnf: &Cnf) -> String {
+    let mut out = format!("p cnf {} {}\n", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for l in c {
+            out.push_str(&l.to_dimacs().to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse("c comment\np cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 2);
+        assert_eq!(cnf.clauses.len(), 2);
+        let mut s = cnf.to_solver();
+        let m = s.solve().model().cloned().unwrap();
+        assert!(m.value(Lit::from_dimacs(2)));
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let cnf = parse("p cnf 3 1\n1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "p cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(write(&cnf), text);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("1 2 0\n").is_err()); // clause before header
+        assert!(parse("p cnf x 1\n").is_err());
+        assert!(parse("p cnf 1 1\n2 0\n").is_err()); // out of range
+        assert!(parse("p cnf 1 1\n1\n").is_err()); // unterminated
+        assert!(parse("").is_err()); // no header
+        let err = parse("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let mut s = parse("p cnf 1 2\n1 0\n-1 0\n").unwrap().to_solver();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,158 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, indexed from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The variable's 0-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a variable from its 0-based index.
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index fits in u32"))
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// ```
+/// use qxmap_sat::{Lit, Var};
+/// let v = Var::from_index(3);
+/// let l = v.positive();
+/// assert_eq!(!l, v.negative());
+/// assert_eq!((!l).var(), v);
+/// assert!(l.is_positive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense code (`2·var` for positive, `2·var+1` for negative), used to
+    /// index watch lists.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    pub fn from_code(code: usize) -> Lit {
+        Lit(u32::try_from(code).expect("literal code fits in u32"))
+    }
+
+    /// Converts from DIMACS convention (non-zero, 1-based, sign = polarity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    pub fn from_dimacs(value: i64) -> Lit {
+        assert_ne!(value, 0, "DIMACS literals are non-zero");
+        let var = Var((value.unsigned_abs() - 1) as u32);
+        if value > 0 {
+            var.positive()
+        } else {
+            var.negative()
+        }
+    }
+
+    /// Converts to DIMACS convention.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.0 >> 1) + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "¬{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Var::from_index(7).positive();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn codes_are_dense() {
+        let v = Var::from_index(2);
+        assert_eq!(v.positive().code(), 4);
+        assert_eq!(v.negative().code(), 5);
+        assert_eq!(Lit::from_code(5), v.negative());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for value in [1i64, -1, 5, -17] {
+            assert_eq!(Lit::from_dimacs(value).to_dimacs(), value);
+        }
+        assert_eq!(Lit::from_dimacs(1), Var::from_index(0).positive());
+        assert_eq!(Lit::from_dimacs(-3), Var::from_index(2).negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(0);
+        assert_eq!(v.positive().to_string(), "x1");
+        assert_eq!(v.negative().to_string(), "¬x1");
+    }
+}

@@ -1,0 +1,430 @@
+//! Objective minimization (the "extended interpretation" of Definition 3).
+//!
+//! Given a satisfiable formula and an objective `F = Σ wᵢ·ℓᵢ`, find a model
+//! minimizing `F`. Two complementary search schedules are provided, both
+//! driven by [`Totalizer`] bound literals assumed incrementally (the clause
+//! database, including everything learnt, is reused across iterations):
+//!
+//! * **linear descent** (default): solve, read off the model cost `C`,
+//!   assume `F ≤ C − 1`, repeat until unsatisfiable — matching the paper's
+//!   "add the objective min: F" usage where each improving model tightens
+//!   the bound;
+//! * **binary search**: bisect on `F ≤ mid` between 0 and the first model's
+//!   cost (the paper's footnote alternative).
+
+use crate::lit::Lit;
+use crate::solver::{Model, SolveResult, Solver};
+use crate::totalizer::{evaluate, Totalizer};
+
+/// Search schedule for [`minimize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MinimizeStrategy {
+    /// Model-improving linear descent from the first model's cost.
+    #[default]
+    LinearDescent,
+    /// Binary search on the bound.
+    BinarySearch,
+}
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinimizeOptions {
+    /// Search schedule.
+    pub strategy: MinimizeStrategy,
+    /// Total conflict budget shared by the whole minimization
+    /// (`None` = unlimited). When it runs out, the best model found so
+    /// far is returned with `proved_optimal = false`.
+    pub conflict_budget: Option<u64>,
+}
+
+/// Why a minimization produced no model at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinimizeError {
+    /// The hard clauses are unsatisfiable.
+    Unsatisfiable,
+    /// The conflict budget ran out before any model was found.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for MinimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinimizeError::Unsatisfiable => write!(f, "hard clauses are unsatisfiable"),
+            MinimizeError::BudgetExhausted => {
+                write!(f, "conflict budget exhausted before a first model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MinimizeError {}
+
+/// Result of a successful minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// The minimal objective value found.
+    pub cost: u64,
+    /// A model attaining [`Minimum::cost`].
+    pub model: Model,
+    /// Whether optimality was proved (always true without a budget).
+    pub proved_optimal: bool,
+    /// Number of `solve` calls performed.
+    pub iterations: u32,
+}
+
+/// Minimizes `Σ wᵢ·ℓᵢ` subject to the clauses already in `solver`.
+///
+/// The solver is left with only the original clauses plus consequences
+/// (bounds are applied via assumptions, never as permanent clauses), so it
+/// can be reused.
+///
+/// # Errors
+///
+/// [`MinimizeError::Unsatisfiable`] if the hard clauses have no model;
+/// [`MinimizeError::BudgetExhausted`] if the conflict budget ran out before
+/// the first model was found (with a budget, a *found* model that merely
+/// could not be proved optimal is still returned, flagged
+/// `proved_optimal: false`).
+///
+/// ```
+/// use qxmap_sat::{minimize, MinimizeOptions, Solver};
+///
+/// // Example 4 of the paper: minimize F = x1 + x2 + x3 subject to
+/// // (x1 ∨ x2 ∨ ¬x3)(¬x1 ∨ x3)(¬x2 ∨ x3): minimum is all-false, F = 0.
+/// let mut s = Solver::new();
+/// let x1 = s.new_lit();
+/// let x2 = s.new_lit();
+/// let x3 = s.new_lit();
+/// s.add_clause([x1, x2, !x3]);
+/// s.add_clause([!x1, x3]);
+/// s.add_clause([!x2, x3]);
+/// let min = minimize(&mut s, &[(1, x1), (1, x2), (1, x3)],
+///                    MinimizeOptions::default()).expect("satisfiable");
+/// assert_eq!(min.cost, 0);
+/// assert!(min.proved_optimal);
+/// ```
+pub fn minimize(
+    solver: &mut Solver,
+    objective: &[(u64, Lit)],
+    options: MinimizeOptions,
+) -> Result<Minimum, MinimizeError> {
+    // The budget is shared by the *whole* minimization: each solve call
+    // receives what remains.
+    let mut remaining = options.conflict_budget;
+    let mut budgeted_solve = |solver: &mut Solver, assumptions: &[Lit]| -> SolveResult {
+        if remaining == Some(0) {
+            return SolveResult::Unknown;
+        }
+        solver.set_conflict_budget(remaining);
+        let before = solver.stats().conflicts;
+        let result = solver.solve_with_assumptions(assumptions);
+        if let Some(rem) = remaining.as_mut() {
+            *rem = rem.saturating_sub(solver.stats().conflicts - before);
+        }
+        result
+    };
+
+    let first = budgeted_solve(solver, &[]);
+    let mut iterations = 1;
+    let mut best = match first {
+        SolveResult::Sat(m) => m,
+        SolveResult::Unsat => {
+            solver.set_conflict_budget(None);
+            return Err(MinimizeError::Unsatisfiable);
+        }
+        SolveResult::Unknown => {
+            solver.set_conflict_budget(None);
+            return Err(MinimizeError::BudgetExhausted);
+        }
+    };
+    let mut best_cost = evaluate(objective, &best);
+    if best_cost == 0 {
+        solver.set_conflict_budget(None);
+        return Ok(Minimum {
+            cost: 0,
+            model: best,
+            proved_optimal: true,
+            iterations,
+        });
+    }
+
+    // Encode the objective once, clamped at the first model's cost: all
+    // future bounds are strictly below it.
+    let totalizer = Totalizer::encode(solver, objective, best_cost);
+    let mut proved = false;
+
+    match options.strategy {
+        MinimizeStrategy::LinearDescent => {
+            loop {
+                let target = best_cost - 1;
+                let Some(bl) = totalizer.bound_literal(target) else {
+                    // No attainable sum exceeds target — cost can't be
+                    // bounded further by this encoding; best is optimal
+                    // among attainable sums.
+                    proved = true;
+                    break;
+                };
+                match budgeted_solve(solver, &[!bl]) {
+                    SolveResult::Sat(m) => {
+                        iterations += 1;
+                        let c = evaluate(objective, &m);
+                        debug_assert!(c < best_cost);
+                        best = m;
+                        best_cost = c;
+                        if best_cost == 0 {
+                            proved = true;
+                            break;
+                        }
+                    }
+                    SolveResult::Unsat => {
+                        iterations += 1;
+                        proved = true;
+                        break;
+                    }
+                    SolveResult::Unknown => {
+                        iterations += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        MinimizeStrategy::BinarySearch => {
+            let mut lo = 0u64; // F ≥ lo is known possible-optimal region floor
+            let mut hi = best_cost; // best known achievable
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let Some(bl) = totalizer.bound_literal(mid) else {
+                    // Nothing attainable above mid: any model has cost ≤ mid.
+                    hi = mid.min(hi);
+                    if hi == 0 {
+                        break;
+                    }
+                    // Without a literal we cannot query below; fall back to
+                    // linear reasoning: attainable sums ≤ mid only.
+                    proved = true;
+                    break;
+                };
+                match budgeted_solve(solver, &[!bl]) {
+                    SolveResult::Sat(m) => {
+                        iterations += 1;
+                        let c = evaluate(objective, &m);
+                        debug_assert!(c <= mid);
+                        best = m;
+                        best_cost = c;
+                        hi = c;
+                    }
+                    SolveResult::Unsat => {
+                        iterations += 1;
+                        lo = mid + 1;
+                    }
+                    SolveResult::Unknown => {
+                        iterations += 1;
+                        lo = hi; // abandon: return best so far, unproved
+                        break;
+                    }
+                }
+            }
+            if lo >= best_cost {
+                proved = true;
+            }
+        }
+    }
+
+    solver.set_conflict_budget(None);
+    Ok(Minimum {
+        cost: best_cost,
+        model: best,
+        proved_optimal: proved,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::exactly_one;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_lit()).collect()
+    }
+
+    #[test]
+    fn unsat_formula_returns_none() {
+        let mut s = Solver::new();
+        let a = s.new_lit();
+        s.add_clause([a]);
+        s.add_clause([!a]);
+        assert_eq!(
+            minimize(&mut s, &[(1, a)], MinimizeOptions::default()),
+            Err(MinimizeError::Unsatisfiable)
+        );
+    }
+
+    #[test]
+    fn picks_cheapest_of_exactly_one() {
+        for strategy in [MinimizeStrategy::LinearDescent, MinimizeStrategy::BinarySearch] {
+            let mut s = Solver::new();
+            let v = lits(&mut s, 4);
+            exactly_one(&mut s, &v);
+            let obj = vec![(9u64, v[0]), (2, v[1]), (5, v[2]), (7, v[3])];
+            let min = minimize(
+                &mut s,
+                &obj,
+                MinimizeOptions {
+                    strategy,
+                    conflict_budget: None,
+                },
+            )
+            .expect("sat");
+            assert_eq!(min.cost, 2, "{strategy:?}");
+            assert!(min.model.value(v[1]));
+            assert!(min.proved_optimal);
+        }
+    }
+
+    #[test]
+    fn forced_positive_cost() {
+        // x1 ∨ x2 with weights 7 and 4: minimum 4.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        let min = minimize(&mut s, &[(7, v[0]), (4, v[1])], MinimizeOptions::default()).unwrap();
+        assert_eq!(min.cost, 4);
+        assert!(!min.model.value(v[0]) && min.model.value(v[1]));
+    }
+
+    #[test]
+    fn zero_cost_shortcut() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]); // free to pick either; obj over other vars
+        let w = s.new_lit();
+        let min = minimize(&mut s, &[(3, w)], MinimizeOptions::default()).unwrap();
+        assert_eq!(min.cost, 0);
+        assert_eq!(min.iterations, 1);
+    }
+
+    #[test]
+    fn solver_reusable_after_minimize() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        exactly_one(&mut s, &v);
+        let obj: Vec<(u64, Lit)> = vec![(1, v[0]), (2, v[1]), (3, v[2])];
+        let min = minimize(&mut s, &obj, MinimizeOptions::default()).unwrap();
+        assert_eq!(min.cost, 1);
+        // The formula is still just "exactly one": forcing v[2] must work.
+        assert!(s.solve_with_assumptions(&[v[2]]).is_sat());
+    }
+
+    #[test]
+    fn binary_and_linear_agree_on_random_instances() {
+        let mut seed = 0x12345u64;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for _ in 0..20 {
+            let n = 8;
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..12 {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    cl.push(((rnd() % n as u64) as usize, rnd() % 2 == 0));
+                }
+                clauses.push(cl);
+            }
+            let weights: Vec<u64> = (0..n).map(|_| rnd() % 9 + 1).collect();
+
+            let run = |strategy: MinimizeStrategy| {
+                let mut s = Solver::new();
+                let v = lits(&mut s, n);
+                for cl in &clauses {
+                    s.add_clause(cl.iter().map(|&(i, pos)| if pos { v[i] } else { !v[i] }));
+                }
+                let obj: Vec<(u64, Lit)> = weights
+                    .iter()
+                    .copied()
+                    .zip(v.iter().copied())
+                    .collect();
+                minimize(
+                    &mut s,
+                    &obj,
+                    MinimizeOptions {
+                        strategy,
+                        conflict_budget: None,
+                    },
+                )
+                .ok()
+                .map(|m| m.cost)
+            };
+            assert_eq!(
+                run(MinimizeStrategy::LinearDescent),
+                run(MinimizeStrategy::BinarySearch)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_reference() {
+        let mut seed = 0x777u64;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for _ in 0..15 {
+            let n = 7usize;
+            let mut clauses: Vec<Vec<i64>> = Vec::new();
+            for _ in 0..10 {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let var = (rnd() % n as u64) as i64 + 1;
+                    cl.push(if rnd() % 2 == 0 { var } else { -var });
+                }
+                clauses.push(cl);
+            }
+            let weights: Vec<u64> = (0..n).map(|_| rnd() % 6).collect();
+
+            // Brute force.
+            let mut brute_best: Option<u64> = None;
+            for mask in 0..(1u32 << n) {
+                let assign = |v: i64| -> bool {
+                    let idx = v.unsigned_abs() as usize - 1;
+                    let val = mask & (1 << idx) != 0;
+                    if v > 0 {
+                        val
+                    } else {
+                        !val
+                    }
+                };
+                if clauses.iter().all(|cl| cl.iter().any(|&l| assign(l))) {
+                    let cost: u64 = (0..n)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| weights[i])
+                        .sum();
+                    brute_best = Some(brute_best.map_or(cost, |b: u64| b.min(cost)));
+                }
+            }
+
+            let mut s = Solver::new();
+            let v = lits(&mut s, n);
+            for cl in &clauses {
+                s.add_clause(cl.iter().map(|&l| {
+                    let idx = l.unsigned_abs() as usize - 1;
+                    if l > 0 {
+                        v[idx]
+                    } else {
+                        !v[idx]
+                    }
+                }));
+            }
+            let obj: Vec<(u64, Lit)> =
+                weights.iter().copied().zip(v.iter().copied()).collect();
+            let got = minimize(&mut s, &obj, MinimizeOptions::default()).ok().map(|m| m.cost);
+            assert_eq!(got, brute_best);
+        }
+    }
+}

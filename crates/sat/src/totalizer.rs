@@ -1,0 +1,285 @@
+//! Generalized totalizer encoding for weighted sums.
+//!
+//! Encodes the objective `F = Σ wᵢ·ℓᵢ` (Eq. 5 of the paper) into CNF as a
+//! balanced merge tree. Each tree node carries the set of *attainable*
+//! partial sums, one fresh output literal per sum with the semantics
+//! "the partial sum is **at least** this value". Sums above a `cap` are
+//! clamped to the cap, keeping the encoding small when only bounds below
+//! the cap will ever be queried.
+//!
+//! The root's output literals let a caller bound the objective
+//! *incrementally*: `F ≤ B` is the single assumption `¬(first output
+//! literal with weight > B)`, thanks to the ordering clauses
+//! `o_{w₊} → o_{w₋}` added at every node.
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+
+/// The root outputs of an encoded weighted sum.
+#[derive(Debug, Clone)]
+pub struct Totalizer {
+    /// `(w, o_w)` sorted ascending by `w`; `o_w` means "sum ≥ w".
+    outputs: Vec<(u64, Lit)>,
+    cap: u64,
+}
+
+impl Totalizer {
+    /// Encodes `terms` (weight, literal) into `solver`, clamping attainable
+    /// sums at `cap`.
+    ///
+    /// Zero-weight terms are ignored. With no (non-trivial) terms the sum
+    /// is constantly 0 and there are no outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn encode(solver: &mut Solver, terms: &[(u64, Lit)], cap: u64) -> Totalizer {
+        assert!(cap > 0, "cap must be positive");
+        let mut leaves: Vec<Vec<(u64, Lit)>> = terms
+            .iter()
+            .filter(|(w, _)| *w > 0)
+            .map(|&(w, l)| vec![(w.min(cap), l)])
+            .collect();
+        if leaves.is_empty() {
+            return Totalizer {
+                outputs: Vec::new(),
+                cap,
+            };
+        }
+        // Balanced bottom-up merge.
+        while leaves.len() > 1 {
+            let mut next = Vec::with_capacity(leaves.len().div_ceil(2));
+            let mut it = leaves.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(merge(solver, &a, &b, cap)),
+                    None => next.push(a),
+                }
+            }
+            leaves = next;
+        }
+        Totalizer {
+            outputs: leaves.pop().expect("one root remains"),
+            cap,
+        }
+    }
+
+    /// The literal to *refute* in order to assert `sum ≤ bound`:
+    /// the output literal of the smallest attainable sum exceeding `bound`.
+    /// Returns `None` if no attainable sum exceeds `bound` (the constraint
+    /// is vacuous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound >= cap` would make the clamped encoding unsound —
+    /// i.e. `bound` must be `< cap`.
+    pub fn bound_literal(&self, bound: u64) -> Option<Lit> {
+        assert!(
+            bound < self.cap,
+            "bound {bound} not representable under cap {}",
+            self.cap
+        );
+        self.outputs
+            .iter()
+            .find(|(w, _)| *w > bound)
+            .map(|&(_, l)| l)
+    }
+
+    /// All `(w, o_w)` outputs, ascending.
+    pub fn outputs(&self) -> &[(u64, Lit)] {
+        &self.outputs
+    }
+
+    /// The clamp value used at encoding time.
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+}
+
+/// Merges two children, producing the parent's `(sum, literal)` list with
+/// implication clauses:
+/// `a_w → o_w`, `b_w → o_w`, `a_u ∧ b_v → o_{min(u+v, cap)}`, plus ordering
+/// clauses `o_{wᵢ₊₁} → o_{wᵢ}`.
+fn merge(
+    solver: &mut Solver,
+    a: &[(u64, Lit)],
+    b: &[(u64, Lit)],
+    cap: u64,
+) -> Vec<(u64, Lit)> {
+    use std::collections::BTreeMap;
+    let mut sums: BTreeMap<u64, Lit> = BTreeMap::new();
+    let fresh = |solver: &mut Solver, sums: &mut BTreeMap<u64, Lit>, w: u64| -> Lit {
+        *sums.entry(w).or_insert_with(|| solver.new_lit())
+    };
+    // Collect all attainable sums first.
+    let mut wanted: Vec<u64> = Vec::new();
+    for &(u, _) in a {
+        wanted.push(u.min(cap));
+    }
+    for &(v, _) in b {
+        wanted.push(v.min(cap));
+    }
+    for &(u, _) in a {
+        for &(v, _) in b {
+            wanted.push((u + v).min(cap));
+        }
+    }
+    wanted.sort_unstable();
+    wanted.dedup();
+    for w in wanted {
+        let _ = fresh(solver, &mut sums, w);
+    }
+    // Implications.
+    for &(u, la) in a {
+        let o = sums[&u.min(cap)];
+        solver.add_clause([!la, o]);
+    }
+    for &(v, lb) in b {
+        let o = sums[&v.min(cap)];
+        solver.add_clause([!lb, o]);
+    }
+    for &(u, la) in a {
+        for &(v, lb) in b {
+            let o = sums[&(u + v).min(cap)];
+            solver.add_clause([!la, !lb, o]);
+        }
+    }
+    let out: Vec<(u64, Lit)> = sums.into_iter().collect();
+    // Ordering: sum ≥ w₊ implies sum ≥ w₋.
+    for pair in out.windows(2) {
+        solver.add_clause([!pair[1].1, pair[0].1]);
+    }
+    out
+}
+
+/// Evaluates `Σ wᵢ·ℓᵢ` under a model.
+pub fn evaluate(terms: &[(u64, Lit)], model: &crate::solver::Model) -> u64 {
+    terms
+        .iter()
+        .filter(|(_, l)| model.value(*l))
+        .map(|(w, _)| *w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_lit()).collect()
+    }
+
+    /// Exhaustively verify: for every assignment of the term literals, the
+    /// formula with assumption `sum ≤ bound` is satisfiable extending that
+    /// assignment iff the true weighted sum is ≤ bound.
+    fn check_bounds_exhaustively(weights: &[u64]) {
+        let cap: u64 = weights.iter().sum::<u64>() + 1;
+        for bound in 0..weights.iter().sum::<u64>() {
+            let mut s = Solver::new();
+            let v = lits(&mut s, weights.len());
+            let terms: Vec<(u64, Lit)> =
+                weights.iter().copied().zip(v.iter().copied()).collect();
+            let tot = Totalizer::encode(&mut s, &terms, cap);
+            let bound_lit = tot.bound_literal(bound);
+            for mask in 0..(1u32 << weights.len()) {
+                let mut assumptions: Vec<Lit> = (0..weights.len())
+                    .map(|i| {
+                        if mask & (1 << i) != 0 {
+                            v[i]
+                        } else {
+                            !v[i]
+                        }
+                    })
+                    .collect();
+                if let Some(bl) = bound_lit {
+                    assumptions.push(!bl);
+                }
+                let sum: u64 = (0..weights.len())
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| weights[i])
+                    .sum();
+                let res = s.solve_with_assumptions(&assumptions);
+                if sum <= bound {
+                    assert!(res.is_sat(), "weights={weights:?} mask={mask:b} bound={bound}");
+                } else {
+                    assert_eq!(
+                        res,
+                        SolveResult::Unsat,
+                        "weights={weights:?} mask={mask:b} bound={bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_behave_like_cardinality() {
+        check_bounds_exhaustively(&[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn paper_weights_seven_and_four() {
+        // The actual weight profile of Eq. 5: multiples of 7 plus 4s.
+        check_bounds_exhaustively(&[7, 7, 14, 4, 4]);
+    }
+
+    #[test]
+    fn mixed_weights() {
+        check_bounds_exhaustively(&[3, 5, 2]);
+        check_bounds_exhaustively(&[10, 1, 1, 1]);
+    }
+
+    #[test]
+    fn zero_weight_terms_are_ignored() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        let tot = Totalizer::encode(&mut s, &[(0, v[0]), (5, v[1])], 10);
+        assert_eq!(tot.outputs().len(), 1);
+    }
+
+    #[test]
+    fn empty_objective_has_no_outputs() {
+        let mut s = Solver::new();
+        let tot = Totalizer::encode(&mut s, &[], 10);
+        assert!(tot.outputs().is_empty());
+        assert_eq!(tot.bound_literal(3), None);
+        assert_eq!(tot.cap(), 10);
+    }
+
+    #[test]
+    fn cap_clamps_large_sums() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let terms = vec![(100u64, v[0]), (100, v[1]), (100, v[2])];
+        let tot = Totalizer::encode(&mut s, &terms, 150);
+        // Attainable clamped sums: 100, 150.
+        let ws: Vec<u64> = tot.outputs().iter().map(|(w, _)| *w).collect();
+        assert_eq!(ws, vec![100, 150]);
+        // Bound 99 refutes "≥ 100": no term may be true.
+        let bl = tot.bound_literal(99).unwrap();
+        let m = s.solve_with_assumptions(&[!bl]).model().cloned().unwrap();
+        assert!(!m.value(v[0]) && !m.value(v[1]) && !m.value(v[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn bound_at_or_above_cap_panics() {
+        let mut s = Solver::new();
+        let v = s.new_lit();
+        let tot = Totalizer::encode(&mut s, &[(5, v)], 6);
+        let _ = tot.bound_literal(6);
+    }
+
+    #[test]
+    fn evaluate_sums_true_terms() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0]]);
+        s.add_clause([!v[1]]);
+        s.add_clause([v[2]]);
+        let m = s.solve().model().cloned().unwrap();
+        let terms = vec![(7u64, v[0]), (4, v[1]), (9, v[2])];
+        assert_eq!(evaluate(&terms, &m), 16);
+    }
+}

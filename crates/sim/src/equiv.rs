@@ -1,0 +1,247 @@
+//! Equivalence checking.
+
+use qxmap_arch::Layout;
+use qxmap_circuit::Circuit;
+
+use crate::complex::Complex;
+use crate::state::{run, NonUnitaryError, StateVec};
+
+/// Whether two circuits over the same register implement the same unitary
+/// up to one global phase.
+///
+/// Runs both circuits on every computational basis state and demands a
+/// *single* phase factor reconciling all columns.
+///
+/// # Errors
+///
+/// Returns [`NonUnitaryError`] if either circuit measures.
+///
+/// # Panics
+///
+/// Panics if the circuits have different register sizes or more than 12
+/// qubits (4096² amplitude comparisons).
+pub fn equivalent_unitaries(
+    a: &Circuit,
+    b: &Circuit,
+    tol: f64,
+) -> Result<bool, NonUnitaryError> {
+    assert_eq!(a.num_qubits(), b.num_qubits(), "register size mismatch");
+    let n = a.num_qubits();
+    assert!(n <= 12, "equivalence check limited to 12 qubits");
+    let mut phase: Option<Complex> = None;
+    for basis in 0..(1usize << n) {
+        let sa = run(a, StateVec::basis(n, basis))?;
+        let sb = run(b, StateVec::basis(n, basis))?;
+        if !columns_match(&sa, &sb, &mut phase, tol) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Layout-aware equivalence: does `mapped` (over `m` physical qubits)
+/// implement `original` (over `n` logical qubits) given the initial and
+/// final logical→physical layouts?
+///
+/// For every logical basis input, the physical input places logical qubit
+/// `j`'s bit on `initial.phys_of(j)` (idle physical qubits start at `|0⟩`);
+/// the physical output must equal the original circuit's output lifted
+/// through `fin`, with one consistent global phase across all inputs.
+///
+/// # Errors
+///
+/// Returns [`NonUnitaryError`] if either circuit measures.
+///
+/// # Panics
+///
+/// Panics if a layout is incomplete, or the instance exceeds 12 logical /
+/// 20 physical qubits.
+pub fn mapped_equivalent(
+    original: &Circuit,
+    mapped: &Circuit,
+    initial: &Layout,
+    fin: &Layout,
+    tol: f64,
+) -> Result<bool, NonUnitaryError> {
+    let n = original.num_qubits();
+    let m = mapped.num_qubits();
+    assert!(n <= 12 && m <= 20, "instance too large for simulation");
+    assert!(initial.is_complete() && fin.is_complete(), "layouts incomplete");
+
+    let mut phase: Option<Complex> = None;
+    for basis in 0..(1usize << n) {
+        // Lift the logical basis through the initial layout.
+        let mut phys_index = 0usize;
+        for j in 0..n {
+            if basis & (1 << j) != 0 {
+                phys_index |= 1 << initial.phys_of(j).expect("complete layout");
+            }
+        }
+        let got = run(mapped, StateVec::basis(m, phys_index))?;
+
+        // Expected: run the original, lift through the final layout.
+        let logical_out = run(original, StateVec::basis(n, basis))?;
+        let mut expected = vec![Complex::zero(); 1 << m];
+        for (idx, amp) in logical_out.amplitudes().iter().enumerate() {
+            if amp.norm_sqr() == 0.0 {
+                continue;
+            }
+            let mut phys = 0usize;
+            for j in 0..n {
+                if idx & (1 << j) != 0 {
+                    phys |= 1 << fin.phys_of(j).expect("complete layout");
+                }
+            }
+            expected[phys] = *amp;
+        }
+
+        for (idx, &e) in expected.iter().enumerate() {
+            let g = got.amplitude(idx);
+            if !amp_matches(g, e, &mut phase, tol) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn columns_match(
+    a: &StateVec,
+    b: &StateVec,
+    phase: &mut Option<Complex>,
+    tol: f64,
+) -> bool {
+    for idx in 0..a.amplitudes().len() {
+        if !amp_matches(a.amplitude(idx), b.amplitude(idx), phase, tol) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks `got ≈ phase · expected`, fixing the phase on the first
+/// significant amplitude.
+fn amp_matches(
+    got: Complex,
+    expected: Complex,
+    phase: &mut Option<Complex>,
+    tol: f64,
+) -> bool {
+    match phase {
+        Some(p) => got.approx_eq(*p * expected, tol),
+        None => {
+            if expected.norm_sqr() < tol {
+                return got.norm_sqr() < tol;
+            }
+            // phase = got / expected (expected is significant here).
+            let denom = expected.norm_sqr();
+            let p = got * expected.conj().scale(1.0 / denom);
+            if (p.norm() - 1.0).abs() > tol {
+                return false;
+            }
+            *phase = Some(p);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::Layout;
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        a.cx(0, 1);
+        assert!(equivalent_unitaries(&a, &a.clone(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn global_phase_is_ignored_but_relative_is_not() {
+        // Z·X = iY: equivalent to Y up to global phase i.
+        let mut zx = Circuit::new(1);
+        zx.x(0);
+        zx.z(0);
+        let mut y = Circuit::new(1);
+        y.y(0);
+        assert!(equivalent_unitaries(&zx, &y, 1e-9).unwrap());
+        // But X is not equivalent to Y.
+        let mut x = Circuit::new(1);
+        x.x(0);
+        assert!(!equivalent_unitaries(&x, &y, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn s_vs_z_differ() {
+        let mut s = Circuit::new(1);
+        s.s(0);
+        let mut z = Circuit::new(1);
+        z.z(0);
+        assert!(!equivalent_unitaries(&s, &z, 1e-9).unwrap());
+        // S·S = Z.
+        let mut ss = Circuit::new(1);
+        ss.s(0);
+        ss.s(0);
+        assert!(equivalent_unitaries(&ss, &z, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn mapped_identity_layout() {
+        let mut original = Circuit::new(2);
+        original.h(0);
+        original.cx(0, 1);
+        let layout = Layout::identity(2, 3);
+        let mapped = original.map_qubits(3, |q| q);
+        assert!(mapped_equivalent(&original, &mapped, &layout, &layout, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn mapped_with_relabeling() {
+        let mut original = Circuit::new(2);
+        original.h(0);
+        original.cx(0, 1);
+        // q0→p2, q1→p0.
+        let mut layout = Layout::new(2, 3);
+        layout.assign(0, 2).unwrap();
+        layout.assign(1, 0).unwrap();
+        let mapped = original.map_qubits(3, |q| [2, 0][q]);
+        assert!(mapped_equivalent(&original, &mapped, &layout, &layout, 1e-9).unwrap());
+        // The wrong layout must fail.
+        let id = Layout::identity(2, 3);
+        assert!(!mapped_equivalent(&original, &mapped, &id, &id, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn mapped_with_swap_updates_final_layout() {
+        // Original: CX(0,1). Mapped: CX(0,1) then SWAP(0,1) with final
+        // layout exchanged.
+        let mut original = Circuit::new(2);
+        original.cx(0, 1);
+        let mut mapped = Circuit::new(2);
+        mapped.cx(0, 1);
+        mapped.swap_gate(0, 1);
+        let init = Layout::identity(2, 2);
+        let mut fin = Layout::new(2, 2);
+        fin.assign(0, 1).unwrap();
+        fin.assign(1, 0).unwrap();
+        assert!(mapped_equivalent(&original, &mapped, &init, &fin, 1e-9).unwrap());
+        // Claiming the layout did not change must fail.
+        assert!(!mapped_equivalent(&original, &mapped, &init, &init, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn phase_consistency_across_columns() {
+        // diag(1, i) (= S) vs diag(i, 1): equal up to global phase? S = e^{iπ/4}·diag(e^{-iπ/4}, e^{iπ/4})
+        // and diag(i,1) = i·diag(1, -i)... The two differ by a *relative*
+        // phase, so they must NOT be equivalent.
+        let mut s = Circuit::new(1);
+        s.s(0);
+        let mut other = Circuit::new(1);
+        other.x(0);
+        other.s(0);
+        other.x(0); // X·S·X = diag(i, 1)
+        assert!(!equivalent_unitaries(&s, &other, 1e-9).unwrap());
+    }
+}

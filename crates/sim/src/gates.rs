@@ -1,0 +1,162 @@
+//! Canonical 2×2 gate matrices.
+
+use qxmap_circuit::OneQubitKind;
+
+use crate::complex::Complex;
+
+/// The unitary matrix of a single-qubit gate kind, row-major.
+///
+/// `U(θ, φ, λ)` uses IBM's `u3` convention
+/// `[[cos(θ/2), −e^{iλ}·sin(θ/2)], [e^{iφ}·sin(θ/2), e^{i(φ+λ)}·cos(θ/2)]]`,
+/// under which `U(π/2, 0, π)` is *exactly* the Hadamard (no global-phase
+/// residue), so circuits round-tripped through QASM compare cleanly.
+pub fn matrix(kind: OneQubitKind) -> [[Complex; 2]; 2] {
+    let o = Complex::one;
+    let z = Complex::zero;
+    let i = Complex::i;
+    match kind {
+        OneQubitKind::I => [[o(), z()], [z(), o()]],
+        OneQubitKind::X => [[z(), o()], [o(), z()]],
+        OneQubitKind::Y => [[z(), -i()], [i(), z()]],
+        OneQubitKind::Z => [[o(), z()], [z(), -o()]],
+        OneQubitKind::H => {
+            let h = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+            [[h, h], [h, -h]]
+        }
+        OneQubitKind::S => [[o(), z()], [z(), i()]],
+        OneQubitKind::Sdg => [[o(), z()], [z(), -i()]],
+        OneQubitKind::T => [[o(), z()], [z(), Complex::from_angle(std::f64::consts::FRAC_PI_4)]],
+        OneQubitKind::Tdg => {
+            [[o(), z()], [z(), Complex::from_angle(-std::f64::consts::FRAC_PI_4)]]
+        }
+        OneQubitKind::Rx(t) => {
+            let c = Complex::new((t / 2.0).cos(), 0.0);
+            let s = Complex::new(0.0, -(t / 2.0).sin());
+            [[c, s], [s, c]]
+        }
+        OneQubitKind::Ry(t) => {
+            let c = Complex::new((t / 2.0).cos(), 0.0);
+            let s = Complex::new((t / 2.0).sin(), 0.0);
+            [[c, -s], [s, c]]
+        }
+        OneQubitKind::Rz(t) => [
+            [Complex::from_angle(-t / 2.0), z()],
+            [z(), Complex::from_angle(t / 2.0)],
+        ],
+        OneQubitKind::Phase(l) => [[o(), z()], [z(), Complex::from_angle(l)]],
+        OneQubitKind::U(t, p, l) => {
+            let c = (t / 2.0).cos();
+            let s = (t / 2.0).sin();
+            [
+                [
+                    Complex::new(c, 0.0),
+                    -(Complex::from_angle(l).scale(s)),
+                ],
+                [
+                    Complex::from_angle(p).scale(s),
+                    Complex::from_angle(p + l).scale(c),
+                ],
+            ]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_unitary(m: [[Complex; 2]; 2]) -> bool {
+        // M · M† = I
+        let mut prod = [[Complex::zero(); 2]; 2];
+        for r in 0..2 {
+            for c in 0..2 {
+                for k in 0..2 {
+                    prod[r][c] += m[r][k] * m[c][k].conj();
+                }
+            }
+        }
+        prod[0][0].approx_eq(Complex::one(), 1e-12)
+            && prod[1][1].approx_eq(Complex::one(), 1e-12)
+            && prod[0][1].approx_eq(Complex::zero(), 1e-12)
+            && prod[1][0].approx_eq(Complex::zero(), 1e-12)
+    }
+
+    #[test]
+    fn all_matrices_are_unitary() {
+        let kinds = [
+            OneQubitKind::I,
+            OneQubitKind::X,
+            OneQubitKind::Y,
+            OneQubitKind::Z,
+            OneQubitKind::H,
+            OneQubitKind::S,
+            OneQubitKind::Sdg,
+            OneQubitKind::T,
+            OneQubitKind::Tdg,
+            OneQubitKind::Rx(0.7),
+            OneQubitKind::Ry(-1.3),
+            OneQubitKind::Rz(2.2),
+            OneQubitKind::Phase(0.4),
+            OneQubitKind::U(0.5, 1.5, -2.5),
+        ];
+        for k in kinds {
+            assert!(is_unitary(matrix(k)), "{k:?} is not unitary");
+        }
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        // U(π/2, 0, π) = H exactly.
+        let u = matrix(OneQubitKind::U(FRAC_PI_2, 0.0, PI));
+        let h = matrix(OneQubitKind::H);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(u[r][c].approx_eq(h[r][c], 1e-12), "H mismatch at {r}{c}");
+            }
+        }
+        // U(π, 0, π) = X exactly.
+        let u = matrix(OneQubitKind::U(PI, 0.0, PI));
+        let x = matrix(OneQubitKind::X);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(u[r][c].approx_eq(x[r][c], 1e-12), "X mismatch at {r}{c}");
+            }
+        }
+        // U(0, 0, λ) = Phase(λ).
+        let u = matrix(OneQubitKind::U(0.0, 0.0, 0.9));
+        let p = matrix(OneQubitKind::Phase(0.9));
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(u[r][c].approx_eq(p[r][c], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_multiply_to_identity() {
+        for k in [
+            OneQubitKind::S,
+            OneQubitKind::T,
+            OneQubitKind::Rx(0.3),
+            OneQubitKind::U(0.4, 0.9, -0.2),
+        ] {
+            let m = matrix(k);
+            let inv = matrix(k.inverse());
+            let mut prod = [[Complex::zero(); 2]; 2];
+            for r in 0..2 {
+                for c in 0..2 {
+                    for j in 0..2 {
+                        prod[r][c] += inv[r][j] * m[j][c];
+                    }
+                }
+            }
+            // Equal to identity up to global phase: off-diagonals vanish and
+            // diagonals match each other.
+            assert!(prod[0][1].approx_eq(Complex::zero(), 1e-12), "{k:?}");
+            assert!(prod[1][0].approx_eq(Complex::zero(), 1e-12), "{k:?}");
+            assert!(prod[0][0].approx_eq(prod[1][1], 1e-12), "{k:?}");
+            assert!((prod[0][0].norm() - 1.0).abs() < 1e-12, "{k:?}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # qxmap-sim
+//!
+//! A statevector simulator used to *verify* that mapped circuits are
+//! functionally equivalent to their originals — a guarantee the paper's
+//! construction provides by design but never machine-checks. Every mapping
+//! produced by `qxmap-core` and `qxmap-heuristic` is validated against
+//! this simulator in the workspace's test suites.
+//!
+//! * [`Complex`] — minimal complex arithmetic (no external dependency).
+//! * [`StateVec`] — a `2ⁿ`-amplitude state with single-qubit / CNOT / SWAP
+//!   application.
+//! * [`run`] — executes a circuit on an initial state.
+//! * [`equivalent_unitaries`] — unitary equivalence up to global phase.
+//! * [`mapped_equivalent`] — layout-aware equivalence between an original
+//!   logical circuit and its mapped physical realization.
+//! * [`Unitary`] — dense matrix extraction with unitarity self-checks and
+//!   Hilbert–Schmidt fidelity.
+//!
+//! ```
+//! use qxmap_circuit::Circuit;
+//! use qxmap_sim::equivalent_unitaries;
+//!
+//! // H·H = I.
+//! let mut a = Circuit::new(1);
+//! a.h(0);
+//! a.h(0);
+//! let identity = Circuit::new(1);
+//! assert!(equivalent_unitaries(&a, &identity, 1e-9).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod equiv;
+mod gates;
+mod state;
+mod unitary;
+
+pub use complex::Complex;
+pub use equiv::{equivalent_unitaries, mapped_equivalent};
+pub use gates::matrix;
+pub use state::{run, NonUnitaryError, StateVec};
+pub use unitary::Unitary;

@@ -1,0 +1,278 @@
+//! Statevector representation and circuit execution.
+
+use std::error::Error;
+use std::fmt;
+
+use qxmap_circuit::{Circuit, Gate};
+
+use crate::complex::Complex;
+use crate::gates::matrix;
+
+/// Error: a non-unitary element (measurement) was executed on a pure
+/// statevector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonUnitaryError {
+    position: usize,
+}
+
+impl fmt::Display for NonUnitaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate {} is a measurement; statevector execution is unitary-only",
+            self.position
+        )
+    }
+}
+
+impl Error for NonUnitaryError {}
+
+/// A `2ⁿ`-amplitude pure state. Qubit `q`'s bit in the amplitude index is
+/// `1 << q` (little-endian).
+///
+/// ```
+/// use qxmap_sim::StateVec;
+/// let s = StateVec::basis(2, 0b10); // |q1=1, q0=0⟩
+/// assert_eq!(s.amplitude(2).re, 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVec {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVec {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 24` (16 M amplitudes).
+    pub fn zero(num_qubits: usize) -> StateVec {
+        StateVec::basis(num_qubits, 0)
+    }
+
+    /// A computational basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 24` or `index >= 2^num_qubits`.
+    pub fn basis(num_qubits: usize, index: usize) -> StateVec {
+        assert!(num_qubits <= 24, "statevector too large");
+        let size = 1usize << num_qubits;
+        assert!(index < size, "basis index out of range");
+        let mut amps = vec![Complex::zero(); size];
+        amps[index] = Complex::one();
+        StateVec { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude of basis index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn amplitude(&self, i: usize) -> Complex {
+        self.amps[i]
+    }
+
+    /// All amplitudes.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// `Σ|aᵢ|²` (1.0 for any valid evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Applies a single-qubit matrix to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_one(&mut self, m: [[Complex; 2]; 2], q: usize) {
+        assert!(q < self.num_qubits);
+        let bit = 1usize << q;
+        for base in 0..self.amps.len() {
+            if base & bit != 0 {
+                continue;
+            }
+            let a0 = self.amps[base];
+            let a1 = self.amps[base | bit];
+            self.amps[base] = m[0][0] * a0 + m[0][1] * a1;
+            self.amps[base | bit] = m[1][0] * a0 + m[1][1] * a1;
+        }
+    }
+
+    /// Applies CNOT with the given control and target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range.
+    pub fn apply_cx(&mut self, control: usize, target: usize) {
+        assert!(control < self.num_qubits && target < self.num_qubits);
+        assert_ne!(control, target);
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        for base in 0..self.amps.len() {
+            if base & cbit != 0 && base & tbit == 0 {
+                self.amps.swap(base, base | tbit);
+            }
+        }
+    }
+
+    /// Applies SWAP between two qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits);
+        assert_ne!(a, b);
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for base in 0..self.amps.len() {
+            if base & abit != 0 && base & bbit == 0 {
+                self.amps.swap(base, base ^ abit ^ bbit);
+            }
+        }
+    }
+
+    /// Fidelity-style overlap `|⟨self|other⟩|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn overlap(&self, other: &StateVec) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        let mut inner = Complex::zero();
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            inner += a.conj() * *b;
+        }
+        inner.norm()
+    }
+}
+
+/// Runs `circuit` on `state` (barriers are no-ops).
+///
+/// # Errors
+///
+/// Returns [`NonUnitaryError`] if the circuit contains a measurement.
+///
+/// # Panics
+///
+/// Panics if the circuit uses more qubits than the state has.
+pub fn run(circuit: &Circuit, mut state: StateVec) -> Result<StateVec, NonUnitaryError> {
+    assert!(circuit.num_qubits() <= state.num_qubits());
+    for (position, gate) in circuit.gates().iter().enumerate() {
+        match gate {
+            Gate::One { kind, qubit } => state.apply_one(matrix(*kind), *qubit),
+            Gate::Cnot { control, target } => state.apply_cx(*control, *target),
+            Gate::Swap { a, b } => state.apply_swap(*a, *b),
+            Gate::Barrier(_) => {}
+            Gate::Measure { .. } => return Err(NonUnitaryError { position }),
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_circuit::OneQubitKind;
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let s = run(&c, StateVec::zero(2)).unwrap();
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(s.amplitude(0b00).approx_eq(Complex::new(r, 0.0), 1e-12));
+        assert!(s.amplitude(0b11).approx_eq(Complex::new(r, 0.0), 1e-12));
+        assert!(s.amplitude(0b01).approx_eq(Complex::zero(), 1e-12));
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        for (input, expected) in [(0b00, 0b00), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)] {
+            // qubit 0 = control (low bit), qubit 1 = target.
+            let mut s = StateVec::basis(2, input);
+            s.apply_cx(0, 1);
+            assert!(
+                s.amplitude(expected).approx_eq(Complex::one(), 1e-12),
+                "input {input:02b}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut s = StateVec::basis(3, 0b001);
+        s.apply_swap(0, 2);
+        assert!(s.amplitude(0b100).approx_eq(Complex::one(), 1e-12));
+        // SWAP = 3 CNOTs.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.cx(1, 0);
+        c.cx(0, 1);
+        for b in 0..4 {
+            let via_cnots = run(&c, StateVec::basis(2, b)).unwrap();
+            let mut direct = StateVec::basis(2, b);
+            direct.apply_swap(0, 1);
+            assert!(via_cnots.overlap(&direct) > 1.0 - 1e-12, "basis {b}");
+        }
+    }
+
+    #[test]
+    fn reversed_cnot_via_hadamards() {
+        // H⊗H · CX(0→1) · H⊗H = CX(1→0).
+        let mut via_h = Circuit::new(2);
+        via_h.h(0);
+        via_h.h(1);
+        via_h.cx(0, 1);
+        via_h.h(0);
+        via_h.h(1);
+        let mut direct = Circuit::new(2);
+        direct.cx(1, 0);
+        for b in 0..4 {
+            let a = run(&via_h, StateVec::basis(2, b)).unwrap();
+            let d = run(&direct, StateVec::basis(2, b)).unwrap();
+            assert!(a.overlap(&d) > 1.0 - 1e-12, "basis {b}");
+        }
+    }
+
+    #[test]
+    fn norm_is_preserved() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.t(1);
+        c.cx(0, 2);
+        c.one(OneQubitKind::U(0.3, 1.1, -0.4), 1);
+        c.cx(2, 1);
+        let s = run(&c, StateVec::zero(3)).unwrap();
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_is_rejected() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.measure(0, 0);
+        let err = run(&c, StateVec::zero(1)).unwrap_err();
+        assert!(err.to_string().contains("measurement"));
+    }
+
+    #[test]
+    fn circuit_on_larger_state() {
+        // A 2-qubit circuit may run on a 3-qubit state (idle high qubit).
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let s = run(&c, StateVec::zero(3)).unwrap();
+        assert!(s.amplitude(0b001).approx_eq(Complex::one(), 1e-12));
+    }
+}

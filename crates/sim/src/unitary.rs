@@ -1,0 +1,156 @@
+//! Dense unitary extraction for small circuits.
+
+use qxmap_circuit::Circuit;
+
+use crate::complex::Complex;
+use crate::state::{run, NonUnitaryError, StateVec};
+
+/// A dense `2ⁿ × 2ⁿ` unitary matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unitary {
+    num_qubits: usize,
+    rows: Vec<Vec<Complex>>,
+}
+
+impl Unitary {
+    /// Extracts the matrix of `circuit` by running each basis column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonUnitaryError`] if the circuit measures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than 10 qubits (1M complex entries).
+    pub fn of(circuit: &Circuit) -> Result<Unitary, NonUnitaryError> {
+        let n = circuit.num_qubits();
+        assert!(n <= 10, "unitary extraction limited to 10 qubits");
+        let size = 1usize << n;
+        let mut rows = vec![vec![Complex::zero(); size]; size];
+        for col in 0..size {
+            let out = run(circuit, StateVec::basis(n, col))?;
+            for (row, amp) in out.amplitudes().iter().enumerate() {
+                rows[row][col] = *amp;
+            }
+        }
+        Ok(Unitary { num_qubits: n, rows })
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Matrix entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn entry(&self, row: usize, col: usize) -> Complex {
+        self.rows[row][col]
+    }
+
+    /// Whether `U·U† = I` holds within `tol` — a self-check that the gate
+    /// set and simulator preserve unitarity.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let size = self.rows.len();
+        for r in 0..size {
+            for c in 0..size {
+                let mut dot = Complex::zero();
+                for k in 0..size {
+                    dot += self.rows[r][k] * self.rows[c][k].conj();
+                }
+                let expected = if r == c { Complex::one() } else { Complex::zero() };
+                if !dot.approx_eq(expected, tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Hilbert–Schmidt fidelity `|tr(U†V)| / 2ⁿ` — 1.0 iff equal up to
+    /// global phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn fidelity(&self, other: &Unitary) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        let size = self.rows.len();
+        let mut trace = Complex::zero();
+        for r in 0..size {
+            for k in 0..size {
+                trace += self.rows[k][r].conj() * other.rows[k][r];
+            }
+        }
+        trace.norm() / size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_circuit::Circuit;
+
+    #[test]
+    fn hadamard_matrix() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let u = Unitary::of(&c).unwrap();
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(u.entry(0, 0).approx_eq(Complex::new(r, 0.0), 1e-12));
+        assert!(u.entry(1, 1).approx_eq(Complex::new(-r, 0.0), 1e-12));
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn cnot_is_a_permutation_matrix() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let u = Unitary::of(&c).unwrap();
+        // control = qubit 0 (low bit): |01⟩(idx 1) ↔ |11⟩(idx 3).
+        assert!(u.entry(3, 1).approx_eq(Complex::one(), 1e-12));
+        assert!(u.entry(1, 3).approx_eq(Complex::one(), 1e-12));
+        assert!(u.entry(0, 0).approx_eq(Complex::one(), 1e-12));
+        assert!(u.entry(2, 2).approx_eq(Complex::one(), 1e-12));
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn fidelity_detects_equivalence_and_difference() {
+        let mut zx = Circuit::new(1);
+        zx.x(0);
+        zx.z(0);
+        let mut y = Circuit::new(1);
+        y.y(0);
+        let uzx = Unitary::of(&zx).unwrap();
+        let uy = Unitary::of(&y).unwrap();
+        assert!((uzx.fidelity(&uy) - 1.0).abs() < 1e-9, "ZX ∝ Y");
+        let mut x = Circuit::new(1);
+        x.x(0);
+        let ux = Unitary::of(&x).unwrap();
+        assert!(ux.fidelity(&uy) < 0.5, "X and Y are far apart");
+    }
+
+    #[test]
+    fn random_circuit_stays_unitary() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.t(1);
+        c.cx(0, 2);
+        c.rx(0.7, 1);
+        c.cx(2, 1);
+        c.u(0.3, -1.2, 2.2, 0);
+        let u = Unitary::of(&c).unwrap();
+        assert!(u.is_unitary(1e-9));
+        assert!((u.fidelity(&u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_is_rejected() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.measure(0, 0);
+        assert!(Unitary::of(&c).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Architecture study: the same circuit mapped across different device
+//! topologies. The paper's method is architecture-generic (any coupling
+//! map of Definition 2); this example measures how topology drives the
+//! minimal SWAP/H cost.
+//!
+//! ```bash
+//! cargo run --release --example device_survey
+//! ```
+
+use qxmap::arch::{devices, CostModel, CouplingMap};
+use qxmap::circuit::paper_example;
+use qxmap::core::{ExactMapper, MapperConfig, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = paper_example();
+    println!(
+        "circuit: {} ({} qubits, {} CNOTs)\n",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.num_cnots()
+    );
+
+    let targets: Vec<(CouplingMap, CostModel)> = vec![
+        (devices::ibm_qx2(), CostModel::paper()),
+        (devices::ibm_qx4(), CostModel::paper()),
+        (devices::linear(4), CostModel::paper()),
+        (devices::ring(4), CostModel::paper()),
+        (devices::grid(2, 2), CostModel::bidirectional()),
+        (devices::star(5), CostModel::paper()),
+        (devices::fully_connected(4), CostModel::bidirectional()),
+    ];
+
+    println!(
+        "{:<12} {:>6} {:>7} {:>7} {:>6} {:>6} {:>9}",
+        "device", "edges", "F", "mapped", "swaps", "4H", "optimal?"
+    );
+    for (cm, cost_model) in targets {
+        let mapper = ExactMapper::with_config(
+            cm.clone(),
+            MapperConfig::minimal()
+                .with_cost_model(cost_model)
+                .with_strategy(Strategy::BeforeEveryGate)
+                .with_subsets(true),
+        );
+        let r = mapper.map(&circuit)?;
+        println!(
+            "{:<12} {:>6} {:>7} {:>7} {:>6} {:>6} {:>9}",
+            cm.name(),
+            cm.num_edges(),
+            r.cost,
+            r.mapped_cost(),
+            r.swaps,
+            r.reversals,
+            if r.proved_optimal { "yes" } else { "no" },
+        );
+    }
+    println!(
+        "\nRicher connectivity monotonically cuts the minimal insertion cost;\n\
+         the complete graph needs nothing (F = 0) by construction."
+    );
+    Ok(())
+}

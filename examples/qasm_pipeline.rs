@@ -1,0 +1,67 @@
+//! The full toolchain on an OpenQASM input: parse → map → re-export →
+//! verify. The input uses a Toffoli, exercising the qelib1 inlining path
+//! the RevLib benchmarks rely on.
+//!
+//! ```bash
+//! cargo run --release --example qasm_pipeline
+//! ```
+
+use qxmap::arch::devices;
+use qxmap::core::{verify, ExactMapper, MapperConfig, Strategy};
+use qxmap::qasm;
+use qxmap::sim::mapped_equivalent;
+
+const INPUT: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+ccx q[0], q[1], q[2];
+tdg q[1];
+cx q[2], q[0];
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = qasm::parse(INPUT)?;
+    println!(
+        "parsed: {} qubits, {} gates ({} CNOT after Toffoli decomposition)",
+        circuit.num_qubits(),
+        circuit.original_cost(),
+        circuit.num_cnots()
+    );
+
+    let cm = devices::ibm_qx4();
+    let mapper = ExactMapper::with_config(
+        cm.clone(),
+        MapperConfig::minimal()
+            .with_subsets(true)
+            .with_strategy(Strategy::DisjointQubits),
+    );
+    let result = mapper.map(&circuit)?;
+    println!(
+        "mapped to {}: F = {} ({} SWAPs, {} reversals), |G'| = {}",
+        cm.name(),
+        result.cost,
+        result.swaps,
+        result.reversals,
+        result.num_change_points
+    );
+
+    verify::check_result(&circuit, &result, &cm)?;
+    let ok = mapped_equivalent(
+        &circuit,
+        &result.mapped,
+        &result.initial_layout,
+        &result.final_layout,
+        1e-9,
+    )?;
+    assert!(ok, "mapped circuit must stay equivalent");
+    println!("verified equivalent; exporting hardware QASM:\n");
+
+    let exported = qasm::to_qasm(&result.mapped);
+    println!("{exported}");
+    // The export round-trips.
+    let reparsed = qasm::parse(&exported)?;
+    assert_eq!(reparsed.gates(), result.mapped.gates());
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # qxmap — Mapping Quantum Circuits to IBM QX Architectures Using the
+//! Minimal Number of SWAP and H Operations
+//!
+//! A complete Rust reproduction of Wille, Burgholzer & Zulehner (DAC
+//! 2019): exact, SAT-based qubit mapping with provably minimal SWAP/H
+//! insertion cost, the paper's performance optimizations, the heuristic
+//! baselines it compares against, and every substrate required to run the
+//! evaluation end to end — circuit IR, OpenQASM 2.0, device models, a
+//! CDCL SAT solver with objective minimization, a statevector simulator,
+//! and the benchmark workloads.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`circuit`] | `qxmap-circuit` | circuit IR, layers, DAG, drawing |
+//! | [`arch`] | `qxmap-arch` | coupling maps, devices, permutations, `swaps(π)` tables, layouts, routing |
+//! | [`sat`] | `qxmap-sat` | CDCL solver, encodings, totalizer, minimizer |
+//! | [`core`] | `qxmap-core` | the exact mapper (the paper's contribution) |
+//! | [`qasm`] | `qxmap-qasm` | OpenQASM 2.0 parser/writer |
+//! | [`heuristic`] | `qxmap-heuristic` | stochastic-swap / A* / naive baselines |
+//! | [`sim`] | `qxmap-sim` | statevector simulation & equivalence checking |
+//! | [`benchmarks`] | `qxmap-benchmarks` | Table 1 profiles, generators, `.real` parser |
+//!
+//! ## Quickstart
+//!
+//! Map the paper's running example (Fig. 1a) to IBM QX4 with provably
+//! minimal cost:
+//!
+//! ```
+//! use qxmap::arch::devices;
+//! use qxmap::circuit::paper_example;
+//! use qxmap::core::ExactMapper;
+//!
+//! let mapper = ExactMapper::new(devices::ibm_qx4());
+//! let result = mapper.map(&paper_example())?;
+//! assert_eq!(result.cost, 4); // Example 7 of the paper
+//! println!("{}", result.mapped);
+//! # Ok::<(), qxmap::core::MapError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use qxmap_arch as arch;
+pub use qxmap_benchmarks as benchmarks;
+pub use qxmap_circuit as circuit;
+pub use qxmap_core as core;
+pub use qxmap_heuristic as heuristic;
+pub use qxmap_qasm as qasm;
+pub use qxmap_sat as sat;
+pub use qxmap_sim as sim;

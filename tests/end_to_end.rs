@@ -1,0 +1,147 @@
+//! End-to-end pipeline tests: exact mapping on the paper's running example
+//! and the evaluation suite, with structural and functional verification.
+
+use qxmap::arch::devices;
+use qxmap::benchmarks::{circuit_for, profiles};
+use qxmap::circuit::paper_example;
+use qxmap::core::{bound, verify, ExactMapper, MapperConfig, Strategy};
+use qxmap::sim::mapped_equivalent;
+
+#[test]
+fn paper_example_full_reproduction() {
+    let circuit = paper_example();
+    let cm = devices::ibm_qx4();
+    let result = ExactMapper::new(cm.clone()).map(&circuit).expect("mappable");
+
+    // Example 7: minimal cost F = 4, realized without SWAPs.
+    assert_eq!(result.cost, 4);
+    assert_eq!(result.swaps, 0);
+    assert_eq!(result.reversals, 1);
+    assert!(result.proved_optimal);
+    // Fig. 5: the resulting circuit has 12 gates (8 original + 4 H).
+    assert_eq!(result.mapped_cost(), 12);
+
+    verify::check_result(&circuit, &result, &cm).expect("structurally sound");
+    assert!(mapped_equivalent(
+        &circuit,
+        &result.mapped,
+        &result.initial_layout,
+        &result.final_layout,
+        1e-9,
+    )
+    .expect("unitary circuits"));
+}
+
+#[test]
+fn small_suite_instances_map_verified() {
+    let cm = devices::ibm_qx4();
+    for name in ["ex-1_166", "4gt11_84"] {
+        let profile = profiles::by_name(name).expect("known");
+        let circuit = circuit_for(&profile);
+        let result = ExactMapper::with_config(
+            cm.clone(),
+            MapperConfig::minimal().with_subsets(true),
+        )
+        .map(&circuit)
+        .expect("mappable");
+        assert!(result.proved_optimal, "{name}");
+        verify::check_result(&circuit, &result, &cm).expect("sound");
+        // The lower bound brackets the optimum from below.
+        let lb = bound::lower_bound(
+            &circuit.cnot_skeleton(),
+            circuit.num_qubits(),
+            &cm,
+            Default::default(),
+        );
+        assert!(lb <= result.cost, "{name}: lb {lb} > {}", result.cost);
+        // Functional equivalence under simulation.
+        assert!(
+            mapped_equivalent(
+                &circuit,
+                &result.mapped,
+                &result.initial_layout,
+                &result.final_layout,
+                1e-9,
+            )
+            .expect("unitary"),
+            "{name} mapped circuit diverged"
+        );
+    }
+}
+
+#[test]
+fn strategies_verified_on_running_example() {
+    let cm = devices::ibm_qx4();
+    let circuit = paper_example();
+    for strategy in [
+        Strategy::DisjointQubits,
+        Strategy::OddGates,
+        Strategy::QubitTriangle,
+    ] {
+        let result = ExactMapper::with_config(
+            cm.clone(),
+            MapperConfig::minimal().with_strategy(strategy.clone()),
+        )
+        .map(&circuit)
+        .expect("mappable");
+        assert!(result.cost >= 4, "{strategy:?} beat the proven minimum");
+        verify::check_result(&circuit, &result, &cm).expect("sound");
+        assert!(
+            mapped_equivalent(
+                &circuit,
+                &result.mapped,
+                &result.initial_layout,
+                &result.final_layout,
+                1e-9,
+            )
+            .expect("unitary"),
+            "{strategy:?} output diverged"
+        );
+    }
+}
+
+#[test]
+fn qx2_and_line_devices_work_too() {
+    // The method is architecture-generic; run the example elsewhere.
+    let circuit = paper_example();
+    for cm in [devices::ibm_qx2(), devices::linear(4), devices::ring(4)] {
+        let result = ExactMapper::with_config(
+            cm.clone(),
+            MapperConfig::minimal().with_strategy(Strategy::OddGates),
+        )
+        .map(&circuit)
+        .expect("mappable");
+        verify::check_coupling(&result.mapped, &cm).expect("legal");
+        assert!(mapped_equivalent(
+            &circuit,
+            &result.mapped,
+            &result.initial_layout,
+            &result.final_layout,
+            1e-9,
+        )
+        .expect("unitary"));
+    }
+}
+
+#[test]
+fn bidirectional_device_has_no_reversals() {
+    // On IBM Q20 Tokyo every edge is bidirectional: the refined z-encoding
+    // must never pay H repairs.
+    let mut circuit = qxmap::circuit::Circuit::new(4);
+    circuit.cx(0, 1);
+    circuit.cx(1, 0);
+    circuit.cx(2, 3);
+    circuit.cx(3, 1);
+    let cm = devices::ibm_tokyo();
+    let result = ExactMapper::with_config(
+        cm.clone(),
+        MapperConfig::minimal()
+            .with_subsets(true)
+            .with_cost_model(qxmap::arch::CostModel::bidirectional()),
+    )
+    .map(&circuit)
+    .expect("mappable");
+    assert_eq!(result.reversals, 0);
+    assert_eq!(result.cost, 0, "adjacent placement exists on Tokyo");
+    verify::check_coupling(&result.mapped, &cm).expect("legal");
+}

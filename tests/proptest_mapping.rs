@@ -1,0 +1,91 @@
+//! Property-based end-to-end validation: random small circuits through
+//! the exact mapper stay hardware-legal, cost-consistent, and
+//! functionally equivalent.
+
+use proptest::prelude::*;
+use qxmap::arch::devices;
+use qxmap::circuit::Circuit;
+use qxmap::core::{verify, ExactMapper, MapperConfig, Strategy as MapStrategy};
+use qxmap::sim::mapped_equivalent;
+
+/// Random circuits with 2–4 qubits and up to 8 gates.
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    (2usize..=4).prop_flat_map(|n| {
+        let gate = prop_oneof![
+            // CNOT with distinct qubits (built arithmetically, no filter).
+            (0..n, 1..n).prop_map(move |(c, d)| (0u8, c, (c + d) % n)),
+            // H / T on one qubit.
+            (0..n).prop_map(|q| (1u8, q, 0usize)),
+            (0..n).prop_map(|q| (2u8, q, 0usize)),
+        ];
+        prop::collection::vec(gate, 1..8).prop_map(move |gates| {
+            let mut c = Circuit::new(n);
+            for (kind, a, b) in gates {
+                match kind {
+                    0 => {
+                        c.cx(a, b);
+                    }
+                    1 => {
+                        c.h(a);
+                    }
+                    _ => {
+                        c.t(a);
+                    }
+                }
+            }
+            c
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_mapping_is_sound(circuit in circuit_strategy()) {
+        let cm = devices::ibm_qx4();
+        let result = ExactMapper::with_config(
+            cm.clone(),
+            MapperConfig::minimal().with_subsets(true),
+        )
+        .map(&circuit)
+        .expect("QX4 maps every small circuit");
+
+        // Structural soundness + cost accounting.
+        verify::check_result(&circuit, &result, &cm).expect("sound");
+        prop_assert_eq!(
+            result.added_gates,
+            7 * u64::from(result.swaps) + 4 * u64::from(result.reversals)
+        );
+        prop_assert_eq!(result.cost, result.added_gates);
+        prop_assert!(result.proved_optimal);
+
+        // Functional equivalence.
+        prop_assert!(mapped_equivalent(
+            &circuit,
+            &result.mapped,
+            &result.initial_layout,
+            &result.final_layout,
+            1e-9,
+        ).expect("unitary"));
+    }
+
+    #[test]
+    fn strategies_never_beat_the_minimum(circuit in circuit_strategy()) {
+        let cm = devices::ibm_qx4();
+        let minimal = ExactMapper::with_config(
+            cm.clone(),
+            MapperConfig::minimal().with_subsets(true),
+        )
+        .map(&circuit)
+        .expect("mappable")
+        .cost;
+        for strategy in [MapStrategy::DisjointQubits, MapStrategy::OddGates, MapStrategy::QubitTriangle] {
+            let cfg = MapperConfig::minimal()
+                .with_strategy(strategy.clone())
+                .with_subsets(true);
+            let r = ExactMapper::with_config(cm.clone(), cfg).map(&circuit).expect("mappable");
+            prop_assert!(r.cost >= minimal, "{:?} {} < {}", strategy, r.cost, minimal);
+        }
+    }
+}

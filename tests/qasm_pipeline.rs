@@ -1,0 +1,94 @@
+//! QASM-in → map → QASM-out pipeline tests.
+
+use qxmap::arch::devices;
+use qxmap::core::{verify, ExactMapper, MapperConfig, Strategy};
+use qxmap::qasm;
+use qxmap::sim::{equivalent_unitaries, mapped_equivalent};
+
+const TOFFOLI_PROGRAM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[2];
+ccx q[0], q[1], q[2];
+t q[0];
+cx q[2], q[1];
+"#;
+
+#[test]
+fn parse_map_export_reparse() {
+    let circuit = qasm::parse(TOFFOLI_PROGRAM).expect("valid program");
+    assert_eq!(circuit.num_qubits(), 3);
+    assert_eq!(circuit.num_cnots(), 7); // 6 (ccx) + 1
+
+    let cm = devices::ibm_qx4();
+    let result = ExactMapper::with_config(
+        cm.clone(),
+        MapperConfig::minimal()
+            .with_subsets(true)
+            .with_strategy(Strategy::DisjointQubits),
+    )
+    .map(&circuit)
+    .expect("mappable");
+    verify::check_result(&circuit, &result, &cm).expect("sound");
+
+    // Export and reparse the hardware circuit: bit-identical gate list.
+    let exported = qasm::to_qasm(&result.mapped);
+    let reparsed = qasm::parse(&exported).expect("exporter emits valid QASM");
+    assert_eq!(reparsed.gates(), result.mapped.gates());
+
+    // Functional equivalence through the whole pipeline.
+    assert!(mapped_equivalent(
+        &circuit,
+        &result.mapped,
+        &result.initial_layout,
+        &result.final_layout,
+        1e-9,
+    )
+    .expect("unitary"));
+}
+
+#[test]
+fn qelib_toffoli_decomposition_is_functionally_toffoli() {
+    // The inlined ccx must implement the textbook Toffoli truth table.
+    let parsed = qasm::parse(
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nccx q[0], q[1], q[2];\n",
+    )
+    .expect("valid");
+    let mut reference = qxmap::circuit::Circuit::new(3);
+    qxmap::benchmarks::mct::append_mct(&mut reference, &[0, 1], 2).expect("two controls");
+    assert!(equivalent_unitaries(&parsed, &reference, 1e-9).expect("unitary"));
+}
+
+#[test]
+fn real_netlist_through_the_mapper() {
+    let src = "\
+.version 1.0
+.numvars 3
+.variables a b c
+.begin
+t3 a b c
+t2 a b
+t1 c
+.end
+";
+    let circuit = qxmap::benchmarks::real::parse_real(src).expect("valid netlist");
+    let cm = devices::ibm_qx4();
+    let result = ExactMapper::with_config(
+        cm.clone(),
+        MapperConfig::minimal()
+            .with_subsets(true)
+            .with_strategy(Strategy::OddGates),
+    )
+    .map(&circuit)
+    .expect("mappable");
+    verify::check_coupling(&result.mapped, &cm).expect("legal");
+    assert!(mapped_equivalent(
+        &circuit,
+        &result.mapped,
+        &result.initial_layout,
+        &result.final_layout,
+        1e-9,
+    )
+    .expect("unitary"));
+}
