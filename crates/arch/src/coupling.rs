@@ -190,13 +190,13 @@ impl CouplingMap {
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
         let m = self.num_qubits;
         let mut mat = vec![vec![usize::MAX; m]; m];
-        for s in 0..m {
-            mat[s][s] = 0;
+        for (s, row) in mat.iter_mut().enumerate() {
+            row[s] = 0;
             let mut queue = VecDeque::from([s]);
             while let Some(u) = queue.pop_front() {
                 for v in self.neighbors(u) {
-                    if mat[s][v] == usize::MAX {
-                        mat[s][v] = mat[s][u] + 1;
+                    if row[v] == usize::MAX {
+                        row[v] = row[u] + 1;
                         queue.push_back(v);
                     }
                 }
@@ -279,7 +279,10 @@ impl CouplingMap {
 
     /// Maximum undirected degree over all qubits.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_qubits).map(|q| self.degree(q)).max().unwrap_or(0)
+        (0..self.num_qubits)
+            .map(|q| self.degree(q))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -345,10 +348,10 @@ mod tests {
         assert_eq!(cm.distance(1, 4), Some(2)); // 1-2-4
         assert_eq!(cm.distance(2, 2), Some(0));
         let mat = cm.distance_matrix();
-        for a in 0..5 {
-            for b in 0..5 {
-                assert_eq!(mat[a][b], cm.distance(a, b).unwrap());
-                assert_eq!(mat[a][b], mat[b][a]);
+        for (a, row) in mat.iter().enumerate() {
+            for (b, &d) in row.iter().enumerate() {
+                assert_eq!(d, cm.distance(a, b).unwrap());
+                assert_eq!(d, mat[b][a]);
             }
         }
     }

@@ -1,0 +1,41 @@
+//! Error-message building blocks shared across the workspace's mapper
+//! error types.
+//!
+//! Every mapping engine — exact, heuristic, and the `qxmap-map` facade —
+//! can fail because a circuit needs more logical qubits than a device has
+//! physical ones. The canonical rendering of that condition lives here,
+//! once, so `qxmap_core::MapError`, `qxmap_heuristic::HeuristicError` and
+//! `qxmap_map::MapperError` all display it identically.
+
+use std::fmt;
+
+/// Writes the canonical "circuit larger than device" message.
+pub fn fmt_too_many_qubits(
+    f: &mut fmt::Formatter<'_>,
+    logical: usize,
+    physical: usize,
+) -> fmt::Result {
+    write!(
+        f,
+        "circuit uses {logical} logical qubits but the device has only {physical}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Render(usize, usize);
+    impl fmt::Display for Render {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt_too_many_qubits(f, self.0, self.1)
+        }
+    }
+
+    #[test]
+    fn message_mentions_both_counts() {
+        let s = Render(6, 5).to_string();
+        assert!(s.contains("6 logical"));
+        assert!(s.contains("only 5"));
+    }
+}

@@ -267,7 +267,13 @@ mod tests {
         let mut l = Layout::new(2, 3);
         l.assign(0, 1).unwrap();
         let err = l.assign(1, 1).unwrap_err();
-        assert_eq!(err, LayoutError::Occupied { phys: 1, occupant: 0 });
+        assert_eq!(
+            err,
+            LayoutError::Occupied {
+                phys: 1,
+                occupant: 0
+            }
+        );
         assert!(l.assign(1, 2).is_ok());
         assert!(l.is_complete());
     }

@@ -33,6 +33,7 @@
 
 mod coupling;
 pub mod devices;
+pub mod errors;
 mod layout;
 mod perm;
 pub mod route;

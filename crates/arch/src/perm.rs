@@ -152,10 +152,16 @@ impl Permutation {
                 image: image.clone(),
             });
             // next_permutation in lexicographic order
-            let Some(i) = (0..n.saturating_sub(1)).rev().find(|&i| image[i] < image[i + 1]) else {
+            let Some(i) = (0..n.saturating_sub(1))
+                .rev()
+                .find(|&i| image[i] < image[i + 1])
+            else {
                 break;
             };
-            let j = (i + 1..n).rev().find(|&j| image[j] > image[i]).expect("exists");
+            let j = (i + 1..n)
+                .rev()
+                .find(|&j| image[j] > image[i])
+                .expect("exists");
             image.swap(i, j);
             image[i + 1..].reverse();
         }

@@ -30,13 +30,19 @@ pub struct CostModel {
 impl CostModel {
     /// The paper's accounting: SWAP = 7, reversal = 4.
     pub fn paper() -> CostModel {
-        CostModel { swap: 7, reverse: 4 }
+        CostModel {
+            swap: 7,
+            reverse: 4,
+        }
     }
 
     /// Cost model for fully bidirectional devices (SWAP = 3 CNOTs, no
     /// reversal ever needed).
     pub fn bidirectional() -> CostModel {
-        CostModel { swap: 3, reverse: 0 }
+        CostModel {
+            swap: 3,
+            reverse: 0,
+        }
     }
 }
 

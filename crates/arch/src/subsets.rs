@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn zero_size_is_single_empty_subset() {
-        assert_eq!(connected_subsets(&devices::ibm_qx4(), 0), vec![Vec::<usize>::new()]);
+        assert_eq!(
+            connected_subsets(&devices::ibm_qx4(), 0),
+            vec![Vec::<usize>::new()]
+        );
     }
 
     #[test]

@@ -14,14 +14,10 @@ fn bench_exact_methods(c: &mut Criterion) {
     for name in ["ex-1_166", "ham3_102", "4gt11_84", "4mod5-v0_20"] {
         let profile = profiles::by_name(name).expect("known benchmark");
         let circuit = circuit_for(&profile);
-        group.bench_with_input(
-            BenchmarkId::new("minimal", name),
-            &circuit,
-            |b, circuit| {
-                let mapper = ExactMapper::with_config(cm.clone(), MapperConfig::minimal());
-                b.iter(|| mapper.map(circuit).expect("mappable"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("minimal", name), &circuit, |b, circuit| {
+            let mapper = ExactMapper::with_config(cm.clone(), MapperConfig::minimal());
+            b.iter(|| mapper.map(circuit).expect("mappable"));
+        });
         group.bench_with_input(
             BenchmarkId::new("subsets-4.1", name),
             &circuit,

@@ -16,10 +16,10 @@ fn pigeonhole(holes: usize) -> Solver {
     for p in &vars {
         s.add_clause(p.iter().copied());
     }
-    for h in 0..holes {
-        for p1 in 0..pigeons {
-            for p2 in (p1 + 1)..pigeons {
-                s.add_clause([!vars[p1][h], !vars[p2][h]]);
+    for p1 in 0..pigeons {
+        for p2 in (p1 + 1)..pigeons {
+            for (&a, &b) in vars[p1].iter().zip(&vars[p2]) {
+                s.add_clause([!a, !b]);
             }
         }
     }
@@ -87,7 +87,10 @@ fn bench_search(c: &mut Criterion) {
 
 fn bench_minimize_schedules(c: &mut Criterion) {
     let mut group = c.benchmark_group("minimize");
-    for strategy in [MinimizeStrategy::LinearDescent, MinimizeStrategy::BinarySearch] {
+    for strategy in [
+        MinimizeStrategy::LinearDescent,
+        MinimizeStrategy::BinarySearch,
+    ] {
         group.bench_function(format!("{strategy:?}"), |b| {
             b.iter_batched(
                 || {
@@ -110,7 +113,7 @@ fn bench_minimize_schedules(c: &mut Criterion) {
                         &obj,
                         MinimizeOptions {
                             strategy,
-                            conflict_budget: None,
+                            ..Default::default()
                         },
                     )
                     .expect("satisfiable")

@@ -40,15 +40,19 @@ fn bench_gate_count_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for cnots in [6usize, 10, 14] {
         let circuit = synthetic_circuit(4, cnots, cnots, 0xC0FFEE);
-        group.bench_with_input(BenchmarkId::from_parameter(cnots), &circuit, |b, circuit| {
-            let mapper = ExactMapper::with_config(
-                cm.clone(),
-                MapperConfig::minimal()
-                    .with_strategy(Strategy::OddGates)
-                    .with_subsets(true),
-            );
-            b.iter(|| mapper.map(circuit).expect("mappable"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cnots),
+            &circuit,
+            |b, circuit| {
+                let mapper = ExactMapper::with_config(
+                    cm.clone(),
+                    MapperConfig::minimal()
+                        .with_strategy(Strategy::OddGates)
+                        .with_subsets(true),
+                );
+                b.iter(|| mapper.map(circuit).expect("mappable"));
+            },
+        );
     }
     group.finish();
 }

@@ -4,13 +4,17 @@
 //! `2^(n·m·(|G'|+1))`, and footnote 6 hints at further strategies (our
 //! `Window(k)`).
 //!
+//! Instances are built through the unified `qxmap-map` surface
+//! ([`ExactEngine::encoding_stats`]).
+//!
 //! ```bash
 //! cargo run --release -p qxmap-bench --bin encoding_stats
 //! ```
 
 use qxmap_arch::devices;
 use qxmap_benchmarks::{circuit_for, table1_profiles};
-use qxmap_core::{ExactMapper, MapperConfig, Strategy};
+use qxmap_core::Strategy;
+use qxmap_map::{ExactEngine, MapRequest};
 
 fn main() {
     let cm = devices::ibm_qx4();
@@ -30,12 +34,10 @@ fn main() {
             Strategy::QubitTriangle,
             Strategy::Window(4),
         ] {
-            let mapper = ExactMapper::with_config(
-                cm.clone(),
-                MapperConfig::minimal().with_strategy(strategy.clone()),
-            );
-            let stats = mapper
-                .encoding_stats(&circuit)
+            let request =
+                MapRequest::new(circuit.clone(), cm.clone()).with_strategy(strategy.clone());
+            let stats = ExactEngine::new()
+                .encoding_stats(&request)
                 .expect("suite circuits fit the device");
             println!(
                 "{:<12} {:>3} {:>4} | {:<16} {:>5} {:>9} {:>9} {:>8}",

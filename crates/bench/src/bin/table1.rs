@@ -1,4 +1,5 @@
-//! Regenerates **Table 1** of the paper on the reproduced workload suite.
+//! Regenerates **Table 1** of the paper on the reproduced workload suite,
+//! driving every mapping method through the unified `qxmap-map` surface.
 //!
 //! Columns, mirroring the paper:
 //!
@@ -25,8 +26,8 @@ use std::time::Instant;
 use qxmap_arch::devices;
 use qxmap_bench::best_of_stochastic;
 use qxmap_benchmarks::{circuit_for, table1_profiles};
-use qxmap_core::{ExactMapper, MapperConfig, Strategy};
-use qxmap_sat::MinimizeOptions;
+use qxmap_core::Strategy;
+use qxmap_map::{Engine, ExactEngine, MapRequest};
 
 struct Cell {
     cost: usize,
@@ -35,20 +36,16 @@ struct Cell {
     proved: bool,
 }
 
-fn run(
-    circuit: &qxmap_circuit::Circuit,
-    cfg: MapperConfig,
-) -> Cell {
-    let cm = devices::ibm_qx4();
+fn run(request: MapRequest) -> Cell {
     let start = Instant::now();
-    let result = ExactMapper::with_config(cm, cfg)
-        .map(circuit)
+    let report = ExactEngine::new()
+        .run(&request)
         .expect("Table 1 instances are mappable");
     Cell {
-        cost: result.mapped_cost(),
+        cost: report.mapped_cost(),
         seconds: start.elapsed().as_secs_f64(),
-        change_points: result.num_change_points,
-        proved: result.proved_optimal,
+        change_points: report.num_change_points.unwrap_or(0),
+        proved: report.proved_optimal,
     }
 }
 
@@ -63,16 +60,13 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(50_000);
 
-    let minimize = |budgeted: bool| MinimizeOptions {
-        conflict_budget: if full || !budgeted { None } else { Some(budget) },
-        ..Default::default()
-    };
-
     let cm = devices::ibm_qx4();
     println!("Reproduction of Table 1 — workload: synthetic profile-matched suite (DESIGN.md §2)");
     println!("device: {cm}");
     if !full {
-        println!("budget: {budget} conflicts/cell (entries marked * hit it; use --full to prove all)");
+        println!(
+            "budget: {budget} conflicts/cell (entries marked * hit it; use --full to prove all)"
+        );
     }
     println!();
     println!(
@@ -95,38 +89,19 @@ fn main() {
         let circuit = circuit_for(&profile);
         // Budget the unrestricted method only on large instances.
         let budgeted = profile.cnots > 16;
+        let base = MapRequest::new(circuit.clone(), cm.clone()).with_conflict_budget(
+            if full || !budgeted {
+                None
+            } else {
+                Some(budget)
+            },
+        );
 
-        let minimal = run(
-            &circuit,
-            MapperConfig::minimal().with_minimize(minimize(budgeted)),
-        );
-        let subsets = run(
-            &circuit,
-            MapperConfig::minimal()
-                .with_subsets(true)
-                .with_minimize(minimize(budgeted)),
-        );
-        let disjoint = run(
-            &circuit,
-            MapperConfig::minimal()
-                .with_strategy(Strategy::DisjointQubits)
-                .with_subsets(true)
-                .with_minimize(minimize(budgeted)),
-        );
-        let odd = run(
-            &circuit,
-            MapperConfig::minimal()
-                .with_strategy(Strategy::OddGates)
-                .with_subsets(true)
-                .with_minimize(minimize(budgeted)),
-        );
-        let triangle = run(
-            &circuit,
-            MapperConfig::minimal()
-                .with_strategy(Strategy::QubitTriangle)
-                .with_subsets(true)
-                .with_minimize(minimize(budgeted)),
-        );
+        let minimal = run(base.clone().with_subsets(false));
+        let subsets = run(base.clone());
+        let disjoint = run(base.clone().with_strategy(Strategy::DisjointQubits));
+        let odd = run(base.clone().with_strategy(Strategy::OddGates));
+        let triangle = run(base.clone().with_strategy(Strategy::QubitTriangle));
         let ibm = best_of_stochastic(&circuit, &cm, 5);
 
         // Reference for Δ: the best exact result of any column. With

@@ -7,18 +7,21 @@
 //!   **Table 1** (all column groups + the IBM baseline + the headline
 //!   averages). `--quick` restricts to the smaller rows; `--full` removes
 //!   conflict budgets so every minimal result is *proved* minimal.
+//! * `cargo run --release -p qxmap-bench --bin encoding_stats` — prints
+//!   SAT-instance sizes per benchmark and strategy.
 //! * `cargo bench -p qxmap-bench` — Criterion microbenchmarks: mapping
 //!   methods, Section 4.2 strategies (runtime vs `|G'|`), heuristic
 //!   baselines, and substrate ablations (SAT engine, swap tables, QASM,
 //!   simulator).
 //!
-//! Shared helpers for those targets live here.
+//! Both binaries drive the mapping engines through the unified
+//! `qxmap-map` request/report surface. Shared helpers live here.
 
 #![forbid(unsafe_code)]
 
 use qxmap_arch::CouplingMap;
 use qxmap_circuit::Circuit;
-use qxmap_heuristic::{HeuristicResult, Mapper, StochasticSwapMapper};
+use qxmap_map::{Engine, HeuristicEngine, MapReport, MapRequest};
 
 /// Best of `runs` probabilistic stochastic-swap mappings (Table 1 ran
 /// Qiskit "5 times for each benchmark and list[ed] the observed minimum").
@@ -26,16 +29,12 @@ use qxmap_heuristic::{HeuristicResult, Mapper, StochasticSwapMapper};
 /// # Panics
 ///
 /// Panics if `runs == 0` or the circuit cannot be mapped.
-pub fn best_of_stochastic(circuit: &Circuit, cm: &CouplingMap, runs: u64) -> HeuristicResult {
+pub fn best_of_stochastic(circuit: &Circuit, cm: &CouplingMap, runs: u64) -> MapReport {
     assert!(runs > 0);
-    (0..runs)
-        .map(|seed| {
-            StochasticSwapMapper::with_seed(seed)
-                .map(circuit, cm)
-                .expect("connected device")
-        })
-        .min_by_key(|r| r.mapped_cost())
-        .expect("at least one run")
+    let request = MapRequest::new(circuit.clone(), cm.clone());
+    HeuristicEngine::stochastic(runs)
+        .run(&request)
+        .expect("connected device")
 }
 
 #[cfg(test)]

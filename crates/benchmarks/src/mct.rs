@@ -205,8 +205,20 @@ mod tests {
                                     let r = std::f64::consts::FRAC_1_SQRT_2;
                                     (a0.add(a1).scale(r), a0.add(a1.scale(-1.0)).scale(r))
                                 }
-                                K::T => (a0, a1.mul(C((0.25f64 * std::f64::consts::PI).cos(), (0.25 * std::f64::consts::PI).sin()))),
-                                K::Tdg => (a0, a1.mul(C((0.25f64 * std::f64::consts::PI).cos(), -(0.25 * std::f64::consts::PI).sin()))),
+                                K::T => (
+                                    a0,
+                                    a1.mul(C(
+                                        (0.25f64 * std::f64::consts::PI).cos(),
+                                        (0.25 * std::f64::consts::PI).sin(),
+                                    )),
+                                ),
+                                K::Tdg => (
+                                    a0,
+                                    a1.mul(C(
+                                        (0.25f64 * std::f64::consts::PI).cos(),
+                                        -(0.25 * std::f64::consts::PI).sin(),
+                                    )),
+                                ),
                                 other => panic!("unexpected gate {other:?} in MCT decomposition"),
                             };
                             amps[i] = b0;

@@ -121,11 +121,11 @@ mod tests {
     }
 
     #[test]
-    fn added_minimum_is_nonnegative_and_mixed_7_4(){
+    fn added_minimum_is_nonnegative_and_mixed_7_4() {
         // Every paper c_min exceeds the original cost by a sum of 7s
         // (SWAPs) and 4s (reversals): representable as 7a+4b.
         fn is_7a_4b(v: usize) -> bool {
-            (0..=v / 7).any(|a| (v - 7 * a) % 4 == 0)
+            (0..=v / 7).any(|a| (v - 7 * a).is_multiple_of(4))
         }
         for p in table1_profiles() {
             let added = p.paper_added_minimum();

@@ -134,9 +134,9 @@ pub fn parse_real(source: &str) -> Result<Circuit, ParseRealError> {
                 })
             })
             .collect::<Result<_, _>>()?;
-        let arity: usize = gate[1..].parse().map_err(|_| {
-            ParseRealError::new(lineno, format!("bad gate specifier `{gate}`"))
-        })?;
+        let arity: usize = gate[1..]
+            .parse()
+            .map_err(|_| ParseRealError::new(lineno, format!("bad gate specifier `{gate}`")))?;
         if arity != operands.len() {
             return Err(ParseRealError::new(
                 lineno,

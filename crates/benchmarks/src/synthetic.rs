@@ -64,8 +64,8 @@ pub fn synthetic_circuit(
         OneQubitKind::X,
     ];
     let mut prev: Option<(usize, usize)> = None;
-    for slot in 0..slots {
-        for _ in 0..one_qubit_at[slot] {
+    for (slot, &ones_here) in one_qubit_at.iter().enumerate() {
+        for _ in 0..ones_here {
             let kind = kinds[rng.gen_range(0..kinds.len())];
             let q = rng.gen_range(0..num_qubits);
             circuit.one(kind, q);

@@ -114,9 +114,7 @@ impl Circuit {
             }
             Gate::Swap { a, b } => *a < self.num_qubits && *b < self.num_qubits && a != b,
             Gate::Barrier(qs) => qs.iter().all(|q| *q < self.num_qubits),
-            Gate::Measure { qubit, clbit } => {
-                *qubit < self.num_qubits && *clbit < self.num_clbits
-            }
+            Gate::Measure { qubit, clbit } => *qubit < self.num_qubits && *clbit < self.num_clbits,
         };
         if ok {
             self.gates.push(gate);
@@ -470,10 +468,16 @@ mod tests {
         let mut c = Circuit::new(2);
         assert!(c.try_push(Gate::one(OneQubitKind::H, 0)).is_ok());
         assert!(c.try_push(Gate::one(OneQubitKind::H, 2)).is_err());
-        assert!(c.try_push(Gate::Cnot { control: 0, target: 0 }).is_err());
         assert!(c
-            .try_push(Gate::Measure { qubit: 0, clbit: 0 })
-            .is_err(), "no clbits declared");
+            .try_push(Gate::Cnot {
+                control: 0,
+                target: 0
+            })
+            .is_err());
+        assert!(
+            c.try_push(Gate::Measure { qubit: 0, clbit: 0 }).is_err(),
+            "no clbits declared"
+        );
         assert_eq!(c.gates().len(), 1);
     }
 

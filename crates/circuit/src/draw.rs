@@ -40,8 +40,8 @@ pub fn draw(circuit: &Circuit) -> String {
         // Multi-qubit gates block the whole vertical span to keep connectors clear.
         let (lo, hi) = span(&qs, n);
         let col = (lo..=hi).map(|q| next_free[q]).max().unwrap_or(0);
-        for q in lo..=hi {
-            next_free[q] = col + 1;
+        for slot in next_free.iter_mut().take(hi + 1).skip(lo) {
+            *slot = col + 1;
         }
         col_of.push(col);
         num_cols = num_cols.max(col + 1);

@@ -236,10 +236,7 @@ impl Gate {
                 control: f(*control),
                 target: f(*target),
             },
-            Gate::Swap { a, b } => Gate::Swap {
-                a: f(*a),
-                b: f(*b),
-            },
+            Gate::Swap { a, b } => Gate::Swap { a: f(*a), b: f(*b) },
             Gate::Barrier(qs) => Gate::Barrier(qs.iter().map(|&q| f(q)).collect()),
             Gate::Measure { qubit, clbit } => Gate::Measure {
                 qubit: f(*qubit),

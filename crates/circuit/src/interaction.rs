@@ -89,7 +89,10 @@ impl InteractionGraph {
     /// the maximum degree of a device's coupling graph, no SWAP-free mapping
     /// can exist — a cheap necessary-condition check.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_qubits).map(|q| self.degree(q)).max().unwrap_or(0)
+        (0..self.num_qubits)
+            .map(|q| self.degree(q))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -34,7 +34,9 @@ pub struct MapperConfig {
     pub use_subsets: bool,
     /// Cost accounting for inserted operations.
     pub cost_model: CostModel,
-    /// Objective-minimization schedule and budget.
+    /// Objective-minimization schedule and budget. With the subset
+    /// optimization enabled, the conflict budget is a *total* shared
+    /// across all per-subset subinstances, not a per-subset allowance.
     pub minimize: MinimizeOptions,
 }
 
@@ -105,10 +107,9 @@ pub enum MapError {
 impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MapError::TooManyQubits { logical, physical } => write!(
-                f,
-                "circuit uses {logical} logical qubits but the device has only {physical}"
-            ),
+            MapError::TooManyQubits { logical, physical } => {
+                qxmap_arch::errors::fmt_too_many_qubits(f, *logical, *physical)
+            }
             MapError::Infeasible => {
                 write!(f, "no valid mapping exists under the chosen restrictions")
             }
@@ -160,7 +161,9 @@ mod tests {
             physical: 5,
         };
         assert!(e.to_string().contains("6 logical"));
-        assert!(MapError::Infeasible.to_string().contains("no valid mapping"));
+        assert!(MapError::Infeasible
+            .to_string()
+            .contains("no valid mapping"));
         let e = MapError::DeviceTooLarge { qubits: 16, max: 8 };
         assert!(e.to_string().contains("16"));
     }

@@ -92,7 +92,7 @@ impl Encoding {
         for step in &x {
             // Each logical qubit on exactly one physical qubit...
             for j in 0..num_logical {
-                let col: Vec<Lit> = (0..m).map(|i| step[i][j]).collect();
+                let col: Vec<Lit> = step.iter().map(|row| row[j]).collect();
                 encode::exactly_one(&mut solver, &col);
             }
             // ... and each physical qubit holds at most one logical qubit.
@@ -103,9 +103,7 @@ impl Encoding {
 
         // --- gate executability, Eq. (2) + refined Eq. (4) ------------------
         // Does the device need direction repairs at all?
-        let has_unidirectional = local_cm
-            .edges()
-            .any(|(a, b)| !local_cm.has_edge(b, a));
+        let has_unidirectional = local_cm.edges().any(|(a, b)| !local_cm.has_edge(b, a));
         for (k, &(c, t)) in skeleton.iter().enumerate() {
             let mut options: Vec<Lit> = Vec::new();
             let z = if has_unidirectional {
@@ -152,8 +150,8 @@ impl Encoding {
                     // transition (footnote 5).
                     for i in 0..m {
                         let pi_i = pi.apply(i);
-                        for j in 0..num_logical {
-                            solver.add_clause([!sel, !x[k - 1][i][j], x[k][pi_i][j]]);
+                        for (&from, &to) in x[k - 1][i].iter().zip(&x[k][pi_i]) {
+                            solver.add_clause([!sel, !from, to]);
                         }
                     }
                     let swaps = table.swaps(pi).expect("perm comes from the table");
@@ -164,9 +162,9 @@ impl Encoding {
                 y.push((k, selectors));
             } else {
                 // Layout frozen across this gate.
-                for i in 0..m {
-                    for j in 0..num_logical {
-                        solver.add_clause([!x[k - 1][i][j], x[k][i][j]]);
+                for (prev_row, next_row) in x[k - 1].iter().zip(&x[k]) {
+                    for (&from, &to) in prev_row.iter().zip(next_row) {
+                        solver.add_clause([!from, to]);
                     }
                 }
             }
@@ -279,8 +277,12 @@ mod tests {
             &BTreeSet::new(),
             CostModel::paper(),
         );
-        let min = minimize(&mut enc.solver, &enc.objective.clone(), MinimizeOptions::default())
-            .expect("satisfiable");
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
         assert_eq!(min.cost, 0);
         let layouts = enc.extract_layouts(&min.model);
         let (pc, pt) = (layouts[0][0], layouts[0][1]);
@@ -294,10 +296,13 @@ mod tests {
         let (cm, table) = qx4_table();
         let skeleton = [(0, 1), (1, 0)];
         let points = [1usize].into_iter().collect();
-        let mut enc =
-            Encoding::build(&skeleton, 2, &cm, &table, &points, CostModel::paper());
-        let min = minimize(&mut enc.solver, &enc.objective.clone(), MinimizeOptions::default())
-            .expect("satisfiable");
+        let mut enc = Encoding::build(&skeleton, 2, &cm, &table, &points, CostModel::paper());
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
         assert_eq!(min.cost, 4);
     }
 
@@ -307,10 +312,13 @@ mod tests {
         let (cm, table) = qx4_table();
         let skeleton = [(2, 3), (0, 1), (1, 2), (0, 2), (2, 0)];
         let points = (1..skeleton.len()).collect();
-        let mut enc =
-            Encoding::build(&skeleton, 4, &cm, &table, &points, CostModel::paper());
-        let min = minimize(&mut enc.solver, &enc.objective.clone(), MinimizeOptions::default())
-            .expect("satisfiable");
+        let mut enc = Encoding::build(&skeleton, 4, &cm, &table, &points, CostModel::paper());
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
         assert_eq!(min.cost, 4);
         assert!(min.proved_optimal);
         // All transitions must be identity (cost 4 = one reversal, no swaps).
@@ -335,8 +343,12 @@ mod tests {
             &BTreeSet::new(),
             CostModel::paper(),
         );
-        let min = minimize(&mut enc.solver, &enc.objective.clone(), MinimizeOptions::default())
-            .expect("satisfiable");
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
         let layouts = enc.extract_layouts(&min.model);
         // Frozen: all steps equal.
         assert_eq!(layouts[0], layouts[1]);
@@ -352,8 +364,7 @@ mod tests {
         let table = SwapTable::new(&cm);
         let skeleton = [(0, 1), (0, 2)];
         let points = (1..2).collect();
-        let mut enc =
-            Encoding::build(&skeleton, 3, &cm, &table, &points, CostModel::paper());
+        let mut enc = Encoding::build(&skeleton, 3, &cm, &table, &points, CostModel::paper());
         let res = minimize(
             &mut enc.solver,
             &enc.objective.clone(),
@@ -377,8 +388,12 @@ mod tests {
             &points,
             CostModel::bidirectional(),
         );
-        let min = minimize(&mut enc.solver, &enc.objective.clone(), MinimizeOptions::default())
-            .expect("satisfiable");
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
         assert_eq!(min.cost, 0);
     }
 
@@ -391,10 +406,13 @@ mod tests {
         let table = SwapTable::new(&cm);
         let skeleton = [(0, 1), (0, 2)];
         let points = (1..2).collect();
-        let mut enc =
-            Encoding::build(&skeleton, 3, &cm, &table, &points, CostModel::paper());
-        let min = minimize(&mut enc.solver, &enc.objective.clone(), MinimizeOptions::default())
-            .expect("satisfiable");
+        let mut enc = Encoding::build(&skeleton, 3, &cm, &table, &points, CostModel::paper());
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
         // Optimal: place q0@p1? (0,1): q0@p1,q1@p2? then edge (1,2): c@1,t@2 ✓;
         // (0,2): q0@p1, q2 must be adjacent: p0 — edge (0,1) reversed: 4 H.
         // So minimum is 4 (one reversal), not 7.
@@ -408,19 +426,18 @@ mod tests {
         let (cm, table) = qx4_table();
         let skeleton = [(0, 1), (2, 3), (0, 3)];
         let points = (1..3).collect();
-        let mut enc =
-            Encoding::build(&skeleton, 4, &cm, &table, &points, CostModel::paper());
-        let min = minimize(&mut enc.solver, &enc.objective.clone(), MinimizeOptions::default())
-            .expect("satisfiable");
+        let mut enc = Encoding::build(&skeleton, 4, &cm, &table, &points, CostModel::paper());
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
         let layouts = enc.extract_layouts(&min.model);
         let perms = enc.extract_permutations(&min.model);
         for (k, pi) in perms {
-            for j in 0..4 {
-                assert_eq!(
-                    pi.apply(layouts[k - 1][j]),
-                    layouts[k][j],
-                    "transition at {k} must follow π"
-                );
+            for (&from, &to) in layouts[k - 1].iter().zip(&layouts[k]) {
+                assert_eq!(pi.apply(from), to, "transition at {k} must follow π");
             }
         }
     }

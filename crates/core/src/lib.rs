@@ -49,5 +49,5 @@ pub mod verify;
 pub use config::{MapError, MapperConfig};
 pub use encoding::EncodingStats;
 pub use solution::{GatePlacement, MappingResult};
-pub use solve::ExactMapper;
+pub use solve::{ExactMapper, MAX_EXACT_QUBITS};
 pub use strategy::Strategy;

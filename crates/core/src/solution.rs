@@ -110,8 +110,7 @@ pub(crate) fn assemble(
                     let seq = table.sequence(pi).expect("chosen perms are realizable");
                     for &(la, lb) in seq {
                         let (ga, gb) = (subset[la], subset[lb]);
-                        route::emit_swap(&mut out, cm, ga, gb)
-                            .expect("witness swaps lie on edges");
+                        route::emit_swap(&mut out, cm, ga, gb).expect("witness swaps lie on edges");
                         layout.swap_phys(ga, gb);
                         swaps += 1;
                     }
@@ -125,8 +124,8 @@ pub(crate) fn assemble(
                 );
                 let pc = layout.phys_of(*control).expect("complete layout");
                 let pt = layout.phys_of(*target).expect("complete layout");
-                let emitted = route::emit_cnot(&mut out, cm, pc, pt)
-                    .expect("solved placements are adjacent");
+                let emitted =
+                    route::emit_cnot(&mut out, cm, pc, pt).expect("solved placements are adjacent");
                 let reversed = emitted > 1;
                 if reversed {
                     reversals += 1;
@@ -205,8 +204,7 @@ mod tests {
         let mut perms = BTreeMap::new();
         perms.insert(1usize, tau);
         let subset: Vec<usize> = (0..5).collect();
-        let (out, init, fin, swaps, revs, _) =
-            assemble(&c, &cm, &subset, &layouts, &perms, &table);
+        let (out, init, fin, swaps, revs, _) = assemble(&c, &cm, &subset, &layouts, &perms, &table);
         assert_eq!(swaps, 1);
         assert_eq!(init.phys_of(0), Some(1));
         assert_eq!(fin.phys_of(0), Some(0));

@@ -5,14 +5,16 @@ use std::time::Instant;
 
 use qxmap_arch::{connected_subsets, CouplingMap, Layout, SwapTable};
 use qxmap_circuit::Circuit;
-use qxmap_sat::{minimize, MinimizeError};
+use qxmap_sat::{minimize, MinimizeError, MinimizeOptions};
 
 use crate::config::{MapError, MapperConfig};
 use crate::encoding::Encoding;
 use crate::solution::{assemble, MappingResult};
 
 /// Largest (sub)device the exhaustive permutation enumeration supports.
-pub(crate) const MAX_EXACT_QUBITS: usize = 8;
+/// Facades (e.g. `qxmap-map`'s portfolio engine) use this to decide when
+/// exact mapping is in regime and when to fall back to heuristics.
+pub const MAX_EXACT_QUBITS: usize = 8;
 
 /// Maps circuits to a device with the minimal number of SWAP and H
 /// operations (or close-to-minimal under the Section 4 performance
@@ -146,6 +148,11 @@ impl ExactMapper {
         let skeleton = circuit.cnot_skeleton();
 
         if skeleton.is_empty() {
+            // The trivial mapping costs 0; only a demand for strictly
+            // below 0 can rule it out.
+            if self.config.minimize.initial_upper_bound == Some(0) {
+                return Err(MapError::Infeasible);
+            }
             return Ok(self.trivial(&circuit, start));
         }
 
@@ -170,7 +177,18 @@ impl ExactMapper {
         let mut best: Option<MappingResult> = None;
         let mut saw_budget_exhaustion = false;
         let mut all_proved = true;
+        // The configured conflict budget is a *total*, shared across the
+        // per-subset subinstances; the best cost found so far tightens the
+        // upper bound for every later subinstance, so subsets that cannot
+        // improve are refuted instead of re-optimized.
+        let mut remaining_budget = self.config.minimize.conflict_budget;
+        let mut current_ub = self.config.minimize.initial_upper_bound;
         for subset in &subsets {
+            if remaining_budget == Some(0) {
+                saw_budget_exhaustion = true;
+                all_proved = false;
+                continue;
+            }
             let local = self.cm.subgraph(subset);
             let table = SwapTable::for_subset(&self.cm, subset);
             let mut enc = Encoding::build(
@@ -182,7 +200,18 @@ impl ExactMapper {
                 self.config.cost_model,
             );
             let objective = enc.objective.clone();
-            let minimum = match minimize(&mut enc.solver, &objective, self.config.minimize) {
+            let options = MinimizeOptions {
+                conflict_budget: remaining_budget,
+                initial_upper_bound: current_ub,
+                ..self.config.minimize
+            };
+            let outcome = minimize(&mut enc.solver, &objective, options);
+            if let Some(rem) = remaining_budget.as_mut() {
+                // Each subset gets a fresh solver, so its total conflict
+                // count is exactly what this minimization spent.
+                *rem = rem.saturating_sub(enc.solver.stats().conflicts);
+            }
+            let minimum = match outcome {
                 Ok(min) => min,
                 Err(MinimizeError::Unsatisfiable) => continue,
                 Err(MinimizeError::BudgetExhausted) => {
@@ -194,8 +223,10 @@ impl ExactMapper {
             all_proved &= minimum.proved_optimal;
 
             let layouts = enc.extract_layouts(&minimum.model);
-            let perms: BTreeMap<usize, _> =
-                enc.extract_permutations(&minimum.model).into_iter().collect();
+            let perms: BTreeMap<usize, _> = enc
+                .extract_permutations(&minimum.model)
+                .into_iter()
+                .collect();
             let (mapped, initial_layout, final_layout, swaps, reversals, placements) =
                 assemble(&circuit, &self.cm, subset, &layouts, &perms, &table);
             let added = (mapped.original_cost() - circuit.original_cost()) as u64;
@@ -220,6 +251,7 @@ impl ExactMapper {
             };
             if better {
                 let zero = candidate.cost == 0;
+                current_ub = Some(candidate.cost);
                 best = Some(candidate);
                 if zero {
                     break; // cannot improve on 0
@@ -314,10 +346,7 @@ mod tests {
             )
             .map(&circuit)
             .unwrap();
-            assert!(
-                r.cost >= minimal,
-                "{strategy:?} beat the proven minimum?!"
-            );
+            assert!(r.cost >= minimal, "{strategy:?} beat the proven minimum?!");
             verify::check_coupling(&r.mapped, &devices::ibm_qx4()).unwrap();
         }
     }
@@ -413,7 +442,13 @@ mod tests {
         let mut c = Circuit::new(6);
         c.cx(0, 5);
         let err = ExactMapper::new(devices::ibm_qx4()).map(&c).unwrap_err();
-        assert!(matches!(err, MapError::TooManyQubits { logical: 6, physical: 5 }));
+        assert!(matches!(
+            err,
+            MapError::TooManyQubits {
+                logical: 6,
+                physical: 5
+            }
+        ));
     }
 
     #[test]

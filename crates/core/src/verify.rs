@@ -75,14 +75,12 @@ impl Error for VerifyError {}
 pub fn check_coupling(circuit: &Circuit, cm: &CouplingMap) -> Result<(), VerifyError> {
     for (position, gate) in circuit.gates().iter().enumerate() {
         match gate {
-            Gate::Cnot { control, target } => {
-                if !cm.has_edge(*control, *target) {
-                    return Err(VerifyError::IllegalCnot {
-                        position,
-                        control: *control,
-                        target: *target,
-                    });
-                }
+            Gate::Cnot { control, target } if !cm.has_edge(*control, *target) => {
+                return Err(VerifyError::IllegalCnot {
+                    position,
+                    control: *control,
+                    target: *target,
+                });
             }
             Gate::Swap { .. } => return Err(VerifyError::ResidualSwap { position }),
             _ => {}

@@ -62,11 +62,7 @@ impl Mapper for AStarMapper {
         "A* layer search"
     }
 
-    fn map(
-        &self,
-        circuit: &Circuit,
-        cm: &CouplingMap,
-    ) -> Result<HeuristicResult, HeuristicError> {
+    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError> {
         let mut planner = AStarPlanner {
             node_limit: self.node_limit,
         };
@@ -150,9 +146,9 @@ impl LayerPlanner for AStarPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::naive::NaiveMapper;
     use qxmap_arch::devices;
     use qxmap_circuit::paper_example;
-    use crate::naive::NaiveMapper;
 
     #[test]
     fn astar_is_deterministic() {
@@ -172,7 +168,12 @@ mod tests {
         c.cx(1, 4);
         let astar = AStarMapper::new().map(&c, &cm).unwrap();
         let naive = NaiveMapper::new().map(&c, &cm).unwrap();
-        assert!(astar.swaps <= naive.swaps, "{} > {}", astar.swaps, naive.swaps);
+        assert!(
+            astar.swaps <= naive.swaps,
+            "{} > {}",
+            astar.swaps,
+            naive.swaps
+        );
     }
 
     #[test]

@@ -27,11 +27,7 @@ pub(crate) trait LayerPlanner {
 }
 
 /// Whether every pair is adjacent (either direction) under `layout`.
-pub(crate) fn all_adjacent(
-    layout: &Layout,
-    pairs: &[(usize, usize)],
-    cm: &CouplingMap,
-) -> bool {
+pub(crate) fn all_adjacent(layout: &Layout, pairs: &[(usize, usize)], cm: &CouplingMap) -> bool {
     pairs.iter().all(|&(c, t)| {
         let pc = layout.phys_of(c).expect("complete layout");
         let pt = layout.phys_of(t).expect("complete layout");
@@ -46,23 +42,11 @@ pub(crate) fn run_engine(
     planner: &mut dyn LayerPlanner,
 ) -> Result<HeuristicResult, HeuristicError> {
     let start = Instant::now();
+    let circuit = prepare(circuit, cm)?;
+    let dist = cm.distance_matrix();
+
     let n = circuit.num_qubits();
     let m = cm.num_qubits();
-    if n > m {
-        return Err(HeuristicError::TooManyQubits {
-            logical: n,
-            physical: m,
-        });
-    }
-    let circuit = circuit.decompose_swaps();
-
-    let dist = cm.distance_matrix();
-    // The layer planners assume a connected device (all IBM QX devices
-    // are); reject disconnected graphs up front when routing is needed.
-    if !cm.is_connected() && circuit.num_cnots() > 0 {
-        return Err(HeuristicError::Unroutable);
-    }
-
     let mut layout = Layout::identity(n, m); // Qiskit 0.4's trivial layout
     let initial_layout = layout.clone();
     let mut out = Circuit::with_clbits(m, circuit.num_clbits());
@@ -81,8 +65,7 @@ pub(crate) fn run_engine(
         if !pairs.is_empty() && !all_adjacent(&layout, &pairs, cm) {
             let plan = planner.plan(&layout, &pairs, cm, &dist)?;
             for (a, b) in plan {
-                route::emit_swap(&mut out, cm, a, b)
-                    .expect("planners must return coupling edges");
+                route::emit_swap(&mut out, cm, a, b).expect("planners must return coupling edges");
                 layout.swap_phys(a, b);
                 swaps += 1;
             }
@@ -99,22 +82,7 @@ pub(crate) fn run_engine(
                         reversals += 1;
                     }
                 }
-                Gate::One { kind, qubit } => {
-                    let p = layout.phys_of(*qubit).expect("complete layout");
-                    out.one(*kind, p);
-                }
-                Gate::Barrier(qs) => {
-                    let mapped: Vec<usize> = qs
-                        .iter()
-                        .map(|&q| layout.phys_of(q).expect("complete layout"))
-                        .collect();
-                    out.push(Gate::Barrier(mapped));
-                }
-                Gate::Measure { qubit, clbit } => {
-                    let p = layout.phys_of(*qubit).expect("complete layout");
-                    out.measure(p, *clbit);
-                }
-                Gate::Swap { .. } => unreachable!("decomposed above"),
+                other => emit_relabeled(&mut out, &layout, other),
             }
         }
     }
@@ -129,4 +97,46 @@ pub(crate) fn run_engine(
         reversals,
         runtime: start.elapsed(),
     })
+}
+
+/// Shared mapper preamble: capacity check, SWAP decomposition, and the
+/// connectivity guard every routing heuristic relies on.
+pub(crate) fn prepare(circuit: &Circuit, cm: &CouplingMap) -> Result<Circuit, HeuristicError> {
+    let n = circuit.num_qubits();
+    let m = cm.num_qubits();
+    if n > m {
+        return Err(HeuristicError::TooManyQubits {
+            logical: n,
+            physical: m,
+        });
+    }
+    let circuit = circuit.decompose_swaps();
+    if !cm.is_connected() && circuit.num_cnots() > 0 {
+        return Err(HeuristicError::Unroutable);
+    }
+    Ok(circuit)
+}
+
+/// Emits a non-routing gate relabeled under `layout`. CNOTs are each
+/// mapper's own business; input SWAPs must already be decomposed.
+pub(crate) fn emit_relabeled(out: &mut Circuit, layout: &Layout, gate: &Gate) {
+    match gate {
+        Gate::One { kind, qubit } => {
+            let p = layout.phys_of(*qubit).expect("complete layout");
+            out.one(*kind, p);
+        }
+        Gate::Barrier(qs) => {
+            let mapped: Vec<usize> = qs
+                .iter()
+                .map(|&q| layout.phys_of(q).expect("complete layout"))
+                .collect();
+            out.push(Gate::Barrier(mapped));
+        }
+        Gate::Measure { qubit, clbit } => {
+            let p = layout.phys_of(*qubit).expect("complete layout");
+            out.measure(p, *clbit);
+        }
+        Gate::Cnot { .. } => unreachable!("CNOT routing is per-mapper"),
+        Gate::Swap { .. } => unreachable!("decomposed by prepare"),
+    }
 }

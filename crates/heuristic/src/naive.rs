@@ -1,15 +1,21 @@
 //! Shortest-path per-gate routing: the no-lookahead floor baseline.
 
-use qxmap_arch::{CouplingMap, Layout};
-use qxmap_circuit::Circuit;
+use std::time::Instant;
 
-use crate::engine::{run_engine, LayerPlanner};
+use qxmap_arch::{route, CouplingMap, Layout};
+use qxmap_circuit::{Circuit, Gate};
+
+use crate::engine;
 use crate::traits::{HeuristicError, HeuristicResult, Mapper};
 
-/// Routes each layer by walking every non-adjacent pair's control qubit
+/// Routes each CNOT as it is encountered by walking its control qubit
 /// along a shortest path towards its target — no randomness, no
-/// lookahead. Serves as a deterministic floor: anything smarter should
-/// beat it on average.
+/// lookahead, one gate at a time. Serves as a deterministic floor:
+/// anything smarter should beat it on average.
+///
+/// Because each gate is routed in isolation, every inserted SWAP strictly
+/// decreases the one remaining coupling distance, so mapping always
+/// terminates on a connected device.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NaiveMapper;
 
@@ -25,62 +31,322 @@ impl Mapper for NaiveMapper {
         "naive shortest-path"
     }
 
-    fn map(
-        &self,
-        circuit: &Circuit,
-        cm: &CouplingMap,
-    ) -> Result<HeuristicResult, HeuristicError> {
-        struct Planner;
-        impl LayerPlanner for Planner {
-            fn plan(
-                &mut self,
-                layout: &Layout,
-                pairs: &[(usize, usize)],
-                cm: &CouplingMap,
-                dist: &[Vec<usize>],
-            ) -> Result<Vec<(usize, usize)>, HeuristicError> {
-                shortest_path_plan(layout, pairs, cm, dist)
+    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError> {
+        let start = Instant::now();
+        let circuit = engine::prepare(circuit, cm)?;
+        let dist = cm.distance_matrix();
+
+        let mut layout = Layout::identity(circuit.num_qubits(), cm.num_qubits());
+        let initial_layout = layout.clone();
+        let mut out = Circuit::with_clbits(cm.num_qubits(), circuit.num_clbits());
+        let mut swaps = 0u32;
+        let mut reversals = 0u32;
+
+        for gate in circuit.gates() {
+            match gate {
+                Gate::Cnot { control, target } => {
+                    loop {
+                        let pc = layout.phys_of(*control).expect("complete layout");
+                        let pt = layout.phys_of(*target).expect("complete layout");
+                        if cm.connected_either(pc, pt) {
+                            break;
+                        }
+                        // One step along a shortest pc→pt path: strictly
+                        // decreases dist(pc, pt).
+                        let next = cm
+                            .neighbors(pc)
+                            .into_iter()
+                            .filter(|&v| dist[v][pt] < dist[pc][pt])
+                            .min_by_key(|&v| dist[v][pt])
+                            .ok_or(HeuristicError::Unroutable)?;
+                        route::emit_swap(&mut out, cm, pc, next)
+                            .expect("neighbors are coupling edges");
+                        layout.swap_phys(pc, next);
+                        swaps += 1;
+                    }
+                    let pc = layout.phys_of(*control).expect("complete layout");
+                    let pt = layout.phys_of(*target).expect("complete layout");
+                    let emitted = route::emit_cnot(&mut out, cm, pc, pt).expect("pair is adjacent");
+                    if emitted > 1 {
+                        reversals += 1;
+                    }
+                }
+                other => engine::emit_relabeled(&mut out, &layout, other),
             }
         }
-        run_engine(circuit, cm, &mut Planner)
+
+        let added = (out.original_cost() - circuit.original_cost()) as u64;
+        Ok(HeuristicResult {
+            mapped: out,
+            initial_layout,
+            final_layout: layout,
+            added_gates: added,
+            swaps,
+            reversals,
+            runtime: start.elapsed(),
+        })
     }
 }
 
-/// Deterministic routing used by [`NaiveMapper`] and as the fallback of
-/// the stochastic mapper: repeatedly move the first non-adjacent pair's
-/// control one step along a shortest path to its target.
+/// Deterministic whole-layer routing used as the last-resort fallback of
+/// the stochastic mapper: pairs are routed to adjacency one at a time, and
+/// the hosting physical qubits of every settled pair are frozen so later
+/// routing cannot disturb them. If freezing walls a pair off, the pair
+/// order is rotated and the plan rebuilt.
 pub(crate) fn shortest_path_plan(
     layout: &Layout,
     pairs: &[(usize, usize)],
     cm: &CouplingMap,
     dist: &[Vec<usize>],
 ) -> Result<Vec<(usize, usize)>, HeuristicError> {
-    let mut layout = layout.clone();
-    let mut plan = Vec::new();
-    let limit = 4 * cm.num_qubits() * cm.num_qubits().max(1) * pairs.len().max(1);
-    for _ in 0..limit {
-        let Some(&(c, t)) = pairs.iter().find(|&&(c, t)| {
-            let pc = layout.phys_of(c).expect("complete layout");
-            let pt = layout.phys_of(t).expect("complete layout");
-            !cm.connected_either(pc, pt)
-        }) else {
+    let k = pairs.len().max(1);
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    for _ in 0..k {
+        if let Some(plan) = plan_in_order(layout, pairs, &order, cm) {
             return Ok(plan);
-        };
+        }
+        order.rotate_left(1);
+    }
+    // Freezing walled a pair off in every order (dense hubs): fall back to
+    // explicit host-edge assignment plus guaranteed token routing.
+    assigned_plan(layout, pairs, cm, dist).ok_or(HeuristicError::Unroutable)
+}
+
+/// Whole-layer plan of last resort: pick vertex-disjoint host edges for
+/// every pair (backtracking), then realize the movement by settling
+/// *every* vertex — deepest in a BFS spanning tree first — with its
+/// designated occupant, where unoccupied slots ("holes") are routed like
+/// tokens. Under that order the unsettled region is always a connected
+/// subtree containing the next designated occupant, so routing provably
+/// never gets stuck; `None` only when no vertex-disjoint hosting exists
+/// at all (e.g. two pairs on a star topology).
+fn assigned_plan(
+    layout: &Layout,
+    pairs: &[(usize, usize)],
+    cm: &CouplingMap,
+    dist: &[Vec<usize>],
+) -> Option<Vec<(usize, usize)>> {
+    let m = cm.num_qubits();
+    let edges = cm.undirected_edges();
+
+    // Backtracking search for vertex-disjoint host edges, greedily
+    // preferring hosts close to each pair's current position.
+    let mut hosts: Vec<(usize, usize)> = Vec::with_capacity(pairs.len());
+    let mut used = vec![false; m];
+    fn search(
+        pairs: &[(usize, usize)],
+        layout: &Layout,
+        dist: &[Vec<usize>],
+        edges: &[(usize, usize)],
+        used: &mut Vec<bool>,
+        hosts: &mut Vec<(usize, usize)>,
+    ) -> bool {
+        let idx = hosts.len();
+        if idx == pairs.len() {
+            return true;
+        }
+        let (c, t) = pairs[idx];
         let pc = layout.phys_of(c).expect("complete layout");
         let pt = layout.phys_of(t).expect("complete layout");
-        if dist[pc][pt] == usize::MAX {
-            return Err(HeuristicError::Unroutable);
+        // Try free edges nearest first; both orientations.
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        for &(u, v) in edges {
+            if used[u] || used[v] {
+                continue;
+            }
+            candidates.push((dist[pc][u].saturating_add(dist[pt][v]), u, v));
+            candidates.push((dist[pc][v].saturating_add(dist[pt][u]), v, u));
         }
-        // One step along a shortest pc→pt path.
-        let next = cm
-            .neighbors(pc)
-            .into_iter()
-            .min_by_key(|&v| dist[v][pt])
-            .ok_or(HeuristicError::Unroutable)?;
-        plan.push((pc, next));
-        layout.swap_phys(pc, next);
+        candidates.sort();
+        for (_, u, v) in candidates {
+            if used[u] || used[v] {
+                continue;
+            }
+            used[u] = true;
+            used[v] = true;
+            hosts.push((u, v));
+            if search(pairs, layout, dist, edges, used, hosts) {
+                return true;
+            }
+            hosts.pop();
+            used[u] = false;
+            used[v] = false;
+        }
+        false
     }
-    Err(HeuristicError::Unroutable)
+    if !search(pairs, layout, dist, &edges, &mut used, &mut hosts) {
+        return None; // no simultaneous hosting exists (e.g. star topologies)
+    }
+
+    // BFS spanning-tree depths from vertex 0.
+    let mut depth = vec![usize::MAX; m];
+    let mut queue = std::collections::VecDeque::new();
+    depth[0] = 0;
+    queue.push_back(0);
+    while let Some(v) = queue.pop_front() {
+        for w in cm.neighbors(v) {
+            if depth[w] == usize::MAX {
+                depth[w] = depth[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+
+    // Designated occupant per vertex: pair qubits go to their hosts,
+    // every other logical qubit keeps its position when free (else takes
+    // any free vertex), and the rest of the vertices are designated empty.
+    let mut occupant: Vec<Option<usize>> = vec![None; m];
+    let mut placed = vec![false; layout.num_logical()];
+    for (&(c, t), &(u, v)) in pairs.iter().zip(&hosts) {
+        occupant[u] = Some(c);
+        occupant[v] = Some(t);
+        placed[c] = true;
+        placed[t] = true;
+    }
+    let unplaced: Vec<usize> = (0..layout.num_logical()).filter(|&q| !placed[q]).collect();
+    for q in unplaced {
+        let cur = layout.phys_of(q).expect("complete layout");
+        let dest = if occupant[cur].is_none() {
+            cur
+        } else {
+            occupant.iter().position(Option::is_none)?
+        };
+        occupant[dest] = Some(q);
+    }
+
+    // Settle every vertex, deepest first. The unsettled region is then
+    // always a connected subtree (each unsettled vertex's BFS parent is
+    // shallower, hence unsettled) that contains the designated occupant.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(depth[v]));
+
+    let mut layout = layout.clone();
+    let mut done = vec![false; m];
+    let mut plan = Vec::new();
+    let walk = |from: usize,
+                to: usize,
+                plan: &mut Vec<(usize, usize)>,
+                layout: &mut Layout,
+                done: &[bool]|
+     -> Option<()> {
+        let path = bfs_avoiding(cm, from, to, done)?;
+        let mut cur = from;
+        for &next in &path[1..] {
+            plan.push((cur, next));
+            layout.swap_phys(cur, next);
+            cur = next;
+        }
+        Some(())
+    };
+    for v in order {
+        match occupant[v] {
+            Some(q) => {
+                let cur = layout.phys_of(q).expect("complete layout");
+                if cur != v {
+                    walk(cur, v, &mut plan, &mut layout, &done)?;
+                }
+            }
+            None => {
+                if layout.logical_at(v).is_some() {
+                    // Route the nearest hole in the unsettled region here;
+                    // holes are interchangeable and at least one remains
+                    // whenever an empty-designated vertex is occupied.
+                    let hole = nearest_hole(cm, v, &layout, &done)?;
+                    walk(hole, v, &mut plan, &mut layout, &done)?;
+                }
+            }
+        }
+        done[v] = true;
+    }
+    Some(plan)
+}
+
+/// The unsettled vertex nearest to `from` (BFS) holding no logical qubit.
+fn nearest_hole(cm: &CouplingMap, from: usize, layout: &Layout, done: &[bool]) -> Option<usize> {
+    let mut seen = vec![false; cm.num_qubits()];
+    let mut queue = std::collections::VecDeque::from([from]);
+    seen[from] = true;
+    while let Some(v) = queue.pop_front() {
+        if layout.logical_at(v).is_none() && !done[v] {
+            return Some(v);
+        }
+        for w in cm.neighbors(v) {
+            if !seen[w] && !done[w] {
+                seen[w] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// One attempt at a freeze-as-you-go plan; `None` when a pair is walled
+/// off by already-frozen qubits.
+fn plan_in_order(
+    layout: &Layout,
+    pairs: &[(usize, usize)],
+    order: &[usize],
+    cm: &CouplingMap,
+) -> Option<Vec<(usize, usize)>> {
+    let m = cm.num_qubits();
+    let mut layout = layout.clone();
+    let mut frozen = vec![false; m];
+    let mut plan = Vec::new();
+
+    for &idx in order {
+        let (c, t) = pairs[idx];
+        let pt = layout.phys_of(t).expect("complete layout");
+        let mut pc = layout.phys_of(c).expect("complete layout");
+        if !cm.connected_either(pc, pt) {
+            // Shortest pc→pt path through unfrozen qubits only.
+            let path = bfs_avoiding(cm, pc, pt, &frozen)?;
+            for &next in &path[1..] {
+                if cm.connected_either(pc, pt) {
+                    break;
+                }
+                plan.push((pc, next));
+                layout.swap_phys(pc, next);
+                pc = next;
+            }
+        }
+        frozen[pc] = true;
+        frozen[pt] = true;
+    }
+    Some(plan)
+}
+
+/// Shortest path `from → to` in the undirected coupling graph whose
+/// interior vertices avoid `frozen` qubits.
+fn bfs_avoiding(cm: &CouplingMap, from: usize, to: usize, frozen: &[bool]) -> Option<Vec<usize>> {
+    if frozen[from] || frozen[to] {
+        return None;
+    }
+    let m = cm.num_qubits();
+    let mut prev: Vec<Option<usize>> = vec![None; m];
+    let mut seen = vec![false; m];
+    let mut queue = std::collections::VecDeque::new();
+    seen[from] = true;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while let Some(p) = prev[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for w in cm.neighbors(v) {
+            if !seen[w] && (!frozen[w] || w == to) {
+                seen[w] = true;
+                prev[w] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -131,5 +397,92 @@ mod tests {
             NaiveMapper::new().map(&c, &cm),
             Err(HeuristicError::Unroutable)
         ));
+    }
+
+    #[test]
+    fn interleaved_disjoint_pairs_terminate() {
+        // Regression: the old whole-layer stepping could ping-pong between
+        // two disjoint pairs forever and report Unroutable.
+        let cm = devices::ibm_qx4();
+        let mut c = Circuit::new(4);
+        c.cx(2, 1);
+        c.cx(1, 2);
+        c.cx(1, 2);
+        c.cx(3, 0);
+        c.cx(3, 0);
+        let r = NaiveMapper::new().map(&c, &cm).unwrap();
+        for (pc, pt) in r.mapped.cnot_skeleton() {
+            assert!(cm.has_edge(pc, pt));
+        }
+    }
+
+    #[test]
+    fn assigned_plan_routes_tokens_out_of_pockets() {
+        // Tree 0-1, 1-2, 2-3, 2-4: vertex 4 is a pocket behind vertex 2.
+        // Whatever hosts get picked, every starting arrangement of two
+        // disjoint pairs must settle — a fixed deepest-first order could
+        // wall a token off behind an already-settled vertex.
+        let cm = qxmap_arch::CouplingMap::from_edges(
+            5,
+            [
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (2, 4),
+                (4, 2),
+            ],
+        )
+        .unwrap();
+        let dist = cm.distance_matrix();
+        let pairs = [(0, 1), (2, 3)];
+        // All placements of 4 logical qubits onto 5 vertices.
+        for perm in 0..120 {
+            let mut avail: Vec<usize> = (0..5).collect();
+            let mut image = Vec::new();
+            let mut p = perm;
+            for k in (2..=5).rev() {
+                image.push(avail.remove(p % k));
+                p /= k;
+            }
+            let mut layout = Layout::new(4, 5);
+            for (q, &v) in image.iter().take(4).enumerate() {
+                layout.assign(q, v).unwrap();
+            }
+            let plan = assigned_plan(&layout, &pairs, &cm, &dist)
+                .unwrap_or_else(|| panic!("walled off for image {image:?}"));
+            let mut l = layout.clone();
+            for (a, b) in plan {
+                assert!(cm.connected_either(a, b));
+                l.swap_phys(a, b);
+            }
+            for (c, t) in pairs {
+                assert!(
+                    cm.connected_either(l.phys_of(c).unwrap(), l.phys_of(t).unwrap()),
+                    "pair ({c},{t}) not adjacent for image {image:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layer_plan_freezes_settled_pairs() {
+        let cm = devices::ibm_qx4();
+        let layout = Layout::identity(4, 5);
+        let pairs = [(2, 1), (3, 0)];
+        let dist = cm.distance_matrix();
+        let plan = shortest_path_plan(&layout, &pairs, &cm, &dist).unwrap();
+        let mut l = layout.clone();
+        for (a, b) in plan {
+            assert!(cm.connected_either(a, b), "plans must use coupling edges");
+            l.swap_phys(a, b);
+        }
+        for (c, t) in pairs {
+            let pc = l.phys_of(c).unwrap();
+            let pt = l.phys_of(t).unwrap();
+            assert!(cm.connected_either(pc, pt), "pair ({c},{t}) not adjacent");
+        }
     }
 }

@@ -70,11 +70,7 @@ impl Mapper for SabreMapper {
         "SABRE-style lookahead"
     }
 
-    fn map(
-        &self,
-        circuit: &Circuit,
-        cm: &CouplingMap,
-    ) -> Result<HeuristicResult, HeuristicError> {
+    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError> {
         let start = std::time::Instant::now();
         let n = circuit.num_qubits();
         let m = cm.num_qubits();
@@ -130,8 +126,9 @@ impl SabreMapper {
     ) -> Result<(Circuit, Layout, u32, u32), HeuristicError> {
         let dag = Dag::new(circuit);
         let gates = circuit.gates();
-        let mut remaining_preds: Vec<usize> =
-            (0..gates.len()).map(|g| dag.node(g).predecessors.len()).collect();
+        let mut remaining_preds: Vec<usize> = (0..gates.len())
+            .map(|g| dag.node(g).predecessors.len())
+            .collect();
         let mut front: VecDeque<usize> = dag.roots().into();
         let mut out = Circuit::with_clbits(cm.num_qubits(), circuit.num_clbits());
         let mut swaps = 0u32;
@@ -161,8 +158,7 @@ impl SabreMapper {
                         Gate::Cnot { control, target } => {
                             let pc = layout.phys_of(*control).expect("complete");
                             let pt = layout.phys_of(*target).expect("complete");
-                            let emitted =
-                                route::emit_cnot(&mut out, cm, pc, pt).expect("adjacent");
+                            let emitted = route::emit_cnot(&mut out, cm, pc, pt).expect("adjacent");
                             if emitted > 1 {
                                 reversals += 1;
                             }
@@ -239,8 +235,7 @@ impl SabreMapper {
                 };
                 layout.swap_phys(a, b);
                 let score = decay[a].max(decay[b])
-                    * (f_cost / front_pairs.len().max(1) as f64
-                        + self.lookahead_weight * l_cost);
+                    * (f_cost / front_pairs.len().max(1) as f64 + self.lookahead_weight * l_cost);
                 if best.is_none_or(|(_, s)| score < s) {
                     best = Some(((a, b), score));
                 }
@@ -333,7 +328,11 @@ mod tests {
         let r = SabreMapper::new().map(&c, &cm).unwrap();
         // (0,3) are distance-2 under the identity; a decent seed avoids
         // swapping three times.
-        assert!(r.swaps <= 2, "seeded layout should cut swaps, got {}", r.swaps);
+        assert!(
+            r.swaps <= 2,
+            "seeded layout should cut swaps, got {}",
+            r.swaps
+        );
     }
 
     #[test]

@@ -68,11 +68,7 @@ impl Mapper for StochasticSwapMapper {
         "stochastic-swap (Qiskit 0.4 style)"
     }
 
-    fn map(
-        &self,
-        circuit: &Circuit,
-        cm: &CouplingMap,
-    ) -> Result<HeuristicResult, HeuristicError> {
+    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError> {
         let mut planner = StochasticPlanner {
             rng: StdRng::seed_from_u64(self.seed),
             trials: self.trials,

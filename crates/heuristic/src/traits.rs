@@ -24,10 +24,9 @@ pub enum HeuristicError {
 impl fmt::Display for HeuristicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HeuristicError::TooManyQubits { logical, physical } => write!(
-                f,
-                "circuit uses {logical} logical qubits but the device has only {physical}"
-            ),
+            HeuristicError::TooManyQubits { logical, physical } => {
+                qxmap_arch::errors::fmt_too_many_qubits(f, *logical, *physical)
+            }
             HeuristicError::Unroutable => {
                 write!(f, "the coupling graph cannot route the circuit")
             }
@@ -74,8 +73,7 @@ pub trait Mapper {
     /// # Errors
     ///
     /// Returns [`HeuristicError`] when the instance cannot be mapped.
-    fn map(&self, circuit: &Circuit, cm: &CouplingMap)
-        -> Result<HeuristicResult, HeuristicError>;
+    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError>;
 }
 
 #[cfg(test)]

@@ -1,0 +1,121 @@
+//! Batch mapping across std threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::Engine;
+use crate::error::MapperError;
+use crate::portfolio::Portfolio;
+use crate::report::MapReport;
+use crate::request::MapRequest;
+
+/// Maps every request with the default [`Portfolio`] engine, in parallel
+/// across std threads. The output preserves input order: `results[i]`
+/// answers `requests[i]`.
+pub fn map_many(requests: &[MapRequest]) -> Vec<Result<MapReport, MapperError>> {
+    map_many_with(&Portfolio::new(), requests)
+}
+
+/// [`map_many`] with an explicit engine.
+///
+/// Requests are distributed over `min(available_parallelism, len)` worker
+/// threads through an atomic work queue; slots are written back by index,
+/// so the output order is the input order regardless of which worker
+/// finishes first.
+pub fn map_many_with<E: Engine + ?Sized>(
+    engine: &E,
+    requests: &[MapRequest],
+) -> Vec<Result<MapReport, MapperError>> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(requests.len());
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<MapReport, MapperError>>>> =
+        requests.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(request) = requests.get(i) else {
+                    break;
+                };
+                let result = engine.run(request);
+                *slots[i].lock().expect("no panics while holding the lock") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("workers have exited")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::HeuristicEngine;
+    use qxmap_arch::devices;
+    use qxmap_circuit::Circuit;
+
+    /// A chain circuit with `n` qubits — distinguishable per request.
+    fn chain(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(map_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn results_align_with_requests() {
+        let requests: Vec<MapRequest> = (2..=5)
+            .map(|n| MapRequest::new(chain(n), devices::ibm_qx4()))
+            .collect();
+        let results = map_many(&requests);
+        assert_eq!(results.len(), requests.len());
+        for (request, result) in requests.iter().zip(&results) {
+            let report = result.as_ref().expect("QX4 maps every chain");
+            assert_eq!(
+                report.mapped.num_qubits(),
+                request.device().num_qubits(),
+                "report does not match its request slot"
+            );
+            report.verify(request.circuit(), request.device()).unwrap();
+        }
+    }
+
+    #[test]
+    fn errors_stay_in_their_slot() {
+        let requests = vec![
+            MapRequest::new(chain(3), devices::ibm_qx4()),
+            MapRequest::new(chain(7), devices::ibm_qx4()), // too many qubits
+            MapRequest::new(chain(2), devices::ibm_qx4()),
+        ];
+        let results = map_many_with(&HeuristicEngine::naive(), &requests);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(MapperError::TooManyQubits {
+                logical: 7,
+                physical: 5
+            })
+        ));
+        assert!(results[2].is_ok());
+    }
+}

@@ -1,0 +1,334 @@
+//! The [`Engine`] abstraction and the adapters over the legacy mappers.
+
+use qxmap_core::{EncodingStats, ExactMapper, MapperConfig, MAX_EXACT_QUBITS};
+use qxmap_heuristic::{AStarMapper, Mapper, NaiveMapper, SabreMapper, StochasticSwapMapper};
+use qxmap_sat::MinimizeOptions;
+
+use crate::error::MapperError;
+use crate::report::MapReport;
+use crate::request::{Guarantee, MapRequest};
+
+/// Anything that can answer a [`MapRequest`] with a [`MapReport`].
+///
+/// Engines are stateless with respect to requests and shareable across
+/// threads, which is what lets [`crate::map_many`] race one engine over a
+/// whole batch.
+pub trait Engine: Send + Sync {
+    /// Short engine name, echoed in [`MapReport::engine`].
+    fn name(&self) -> &str;
+
+    /// Answers one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapperError`] when the request cannot be satisfied.
+    fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError>;
+}
+
+/// The paper's exact SAT-based method behind the unified surface.
+///
+/// Honors the request's strategy, subset flag, cost model, conflict
+/// budget and upper bound. With [`Guarantee::Optimal`] the run fails
+/// unless the result carries a minimality proof.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactEngine;
+
+impl ExactEngine {
+    /// Creates the engine.
+    pub fn new() -> ExactEngine {
+        ExactEngine
+    }
+
+    fn config_for(request: &MapRequest) -> MapperConfig {
+        let n = request.circuit().num_qubits();
+        let m = request.device().num_qubits();
+        MapperConfig::minimal()
+            .with_strategy(request.strategy().clone())
+            .with_subsets(request.use_subsets() && n < m)
+            .with_cost_model(request.cost_model())
+            .with_minimize(MinimizeOptions {
+                conflict_budget: request.conflict_budget(),
+                initial_upper_bound: request.upper_bound(),
+                ..Default::default()
+            })
+    }
+
+    /// Builds (without solving) the SAT instance for the request and
+    /// reports its size — the facade's window into the paper's
+    /// search-space discussion (Examples 5 and 8).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExactEngine::run`], except that infeasibility
+    /// cannot be detected without solving.
+    pub fn encoding_stats(&self, request: &MapRequest) -> Result<EncodingStats, MapperError> {
+        let mapper =
+            ExactMapper::with_config(request.device().clone(), ExactEngine::config_for(request));
+        Ok(mapper.encoding_stats(request.circuit())?)
+    }
+}
+
+impl Engine for ExactEngine {
+    fn name(&self) -> &str {
+        "exact"
+    }
+
+    fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
+        let mapper =
+            ExactMapper::with_config(request.device().clone(), ExactEngine::config_for(request));
+        let result = mapper.map(request.circuit())?;
+        if request.guarantee() == Guarantee::Optimal && !result.proved_optimal {
+            return Err(MapperError::proof_budget_exhausted());
+        }
+        Ok(MapReport::from_exact(result, self.name()))
+    }
+}
+
+/// Which heuristic baseline a [`HeuristicEngine`] wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Per-gate shortest-path chains, no lookahead.
+    Naive,
+    /// Per-layer A* search (reference [22] of the paper).
+    AStar,
+    /// SABRE-style lookahead (reference [13]).
+    Sabre,
+    /// Qiskit-0.4-style stochastic swap (reference [12]); best of
+    /// `trials` seeded runs starting at the request's seed.
+    Stochastic {
+        /// Number of seeded runs to take the minimum over (Table 1 used
+        /// 5).
+        trials: u64,
+    },
+}
+
+/// Any of the four heuristic baselines behind the unified surface.
+///
+/// Heuristics carry no minimality proof: `proved_optimal` is only set
+/// when nothing had to be inserted at all. With [`Guarantee::Optimal`]
+/// requests, unproved runs fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeuristicEngine {
+    baseline: Baseline,
+}
+
+impl HeuristicEngine {
+    /// The naive shortest-path floor baseline.
+    pub fn naive() -> HeuristicEngine {
+        HeuristicEngine {
+            baseline: Baseline::Naive,
+        }
+    }
+
+    /// The A*-search baseline.
+    pub fn astar() -> HeuristicEngine {
+        HeuristicEngine {
+            baseline: Baseline::AStar,
+        }
+    }
+
+    /// The SABRE-style baseline.
+    pub fn sabre() -> HeuristicEngine {
+        HeuristicEngine {
+            baseline: Baseline::Sabre,
+        }
+    }
+
+    /// The stochastic baseline, taking the best of `trials` seeded runs.
+    pub fn stochastic(trials: u64) -> HeuristicEngine {
+        HeuristicEngine {
+            baseline: Baseline::Stochastic {
+                trials: trials.max(1),
+            },
+        }
+    }
+
+    /// The wrapped baseline.
+    pub fn baseline(&self) -> Baseline {
+        self.baseline
+    }
+}
+
+impl Engine for HeuristicEngine {
+    fn name(&self) -> &str {
+        match self.baseline {
+            Baseline::Naive => "naive",
+            Baseline::AStar => "astar",
+            Baseline::Sabre => "sabre",
+            Baseline::Stochastic { .. } => "stochastic",
+        }
+    }
+
+    fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
+        let circuit = request.circuit();
+        let cm = request.device();
+        let result = match self.baseline {
+            Baseline::Naive => NaiveMapper::new().map(circuit, cm)?,
+            Baseline::AStar => AStarMapper::new().map(circuit, cm)?,
+            Baseline::Sabre => SabreMapper::new().map(circuit, cm)?,
+            Baseline::Stochastic { trials } => {
+                // Pick the winner under the *request's* cost model — added
+                // gates only coincide with it for the default 7/4 weights.
+                let model = request.cost_model();
+                let objective = |r: &qxmap_heuristic::HeuristicResult| {
+                    crate::report::heuristic_objective(model, r)
+                };
+                (0..trials)
+                    .map(|offset| {
+                        StochasticSwapMapper::with_seed(request.seed().wrapping_add(offset))
+                            .map(circuit, cm)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+                    .into_iter()
+                    .min_by_key(|r| (objective(r), r.added_gates))
+                    .expect("trials >= 1")
+            }
+        };
+        let report = MapReport::from_heuristic(result, self.name(), request.cost_model());
+        if let Some(bound) = request.upper_bound() {
+            // The declared bound is a hard ceiling for every engine.
+            if report.cost.objective >= bound {
+                return Err(MapperError::BoundUnmet { bound });
+            }
+        }
+        if request.guarantee() == Guarantee::Optimal && !report.proved_optimal {
+            return Err(MapperError::OptimalityUnavailable {
+                reason: format!("the {} baseline cannot prove minimality", self.name()),
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// Whether the exact method is in regime for this request's device.
+pub(crate) fn exact_in_regime(request: &MapRequest) -> bool {
+    let n = request.circuit().num_qubits();
+    let m = request.device().num_qubits();
+    // Without subsets the full device must be enumerable; with subsets the
+    // subinstances have n qubits, but enumerating connected subsets of a
+    // huge device is itself out of regime, so stay conservative.
+    m <= MAX_EXACT_QUBITS && n <= m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::devices;
+    use qxmap_circuit::paper_example;
+
+    #[test]
+    fn exact_engine_reproduces_example7() {
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        let report = ExactEngine::new().run(&request).unwrap();
+        assert_eq!(report.cost.objective, 4);
+        assert_eq!(report.cost.reversals, 1);
+        assert!(report.proved_optimal);
+        assert_eq!(report.engine, "exact");
+        assert_eq!(report.mapped_cost(), 12);
+        report
+            .verify(&paper_example(), &devices::ibm_qx4())
+            .unwrap();
+    }
+
+    #[test]
+    fn exact_engine_respects_upper_bound_certificates() {
+        // Asking for strictly better than the known optimum of 4 is
+        // infeasible — which is exactly the certificate the portfolio
+        // uses.
+        let request =
+            MapRequest::new(paper_example(), devices::ibm_qx4()).with_upper_bound(Some(4));
+        assert_eq!(
+            ExactEngine::new().run(&request).unwrap_err(),
+            MapperError::Infeasible
+        );
+        // A looser bound still finds the optimum, proved.
+        let request =
+            MapRequest::new(paper_example(), devices::ibm_qx4()).with_upper_bound(Some(40));
+        let report = ExactEngine::new().run(&request).unwrap();
+        assert_eq!(report.cost.objective, 4);
+        assert!(report.proved_optimal);
+    }
+
+    #[test]
+    fn heuristic_engines_never_beat_the_minimum() {
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        for engine in [
+            HeuristicEngine::naive(),
+            HeuristicEngine::astar(),
+            HeuristicEngine::sabre(),
+            HeuristicEngine::stochastic(5),
+        ] {
+            let report = engine.run(&request).unwrap();
+            assert!(
+                report.cost.added_gates >= 4,
+                "{} beat the proven minimum",
+                engine.name()
+            );
+            report
+                .verify(&paper_example(), &devices::ibm_qx4())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn heuristic_engines_honor_the_upper_bound() {
+        // The optimum is 4, so no heuristic can come in below a bound of 3.
+        let request =
+            MapRequest::new(paper_example(), devices::ibm_qx4()).with_upper_bound(Some(3));
+        for engine in [
+            HeuristicEngine::naive(),
+            HeuristicEngine::sabre(),
+            HeuristicEngine::stochastic(2),
+        ] {
+            assert_eq!(
+                engine.run(&request).unwrap_err(),
+                MapperError::BoundUnmet { bound: 3 },
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_circuit_cannot_beat_a_zero_bound() {
+        // A circuit with no CNOTs maps at cost 0 — which is not strictly
+        // below 0.
+        let mut c = qxmap_circuit::Circuit::new(2);
+        c.h(0);
+        let request = MapRequest::new(c.clone(), devices::ibm_qx4()).with_upper_bound(Some(0));
+        assert_eq!(
+            ExactEngine::new().run(&request).unwrap_err(),
+            MapperError::Infeasible
+        );
+        // And the portfolio propagates the proof instead of panicking.
+        let request = MapRequest::new(c, devices::ibm_qx4()).with_upper_bound(Some(0));
+        assert_eq!(
+            crate::Portfolio::new().run(&request).unwrap_err(),
+            MapperError::Infeasible
+        );
+    }
+
+    #[test]
+    fn optimal_guarantee_rejects_unprovable_runs() {
+        let request =
+            MapRequest::new(paper_example(), devices::ibm_qx4()).with_guarantee(Guarantee::Optimal);
+        assert!(matches!(
+            HeuristicEngine::sabre().run(&request),
+            Err(MapperError::OptimalityUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn regime_check_tracks_device_size() {
+        let small = MapRequest::new(three_qubit_circuit(), devices::ibm_qx4());
+        assert!(exact_in_regime(&small));
+        let big = MapRequest::new(three_qubit_circuit(), devices::ibm_qx5());
+        assert!(!exact_in_regime(&big));
+    }
+
+    fn three_qubit_circuit() -> qxmap_circuit::Circuit {
+        let mut c = qxmap_circuit::Circuit::new(3);
+        c.cx(0, 1);
+        c
+    }
+}

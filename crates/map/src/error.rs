@@ -1,0 +1,166 @@
+//! The unified mapper error.
+
+use std::error::Error;
+use std::fmt;
+
+use qxmap_core::MapError;
+use qxmap_heuristic::HeuristicError;
+
+/// Any way a mapping request can fail, across every engine.
+///
+/// Replaces the per-layer pair `qxmap_core::MapError` /
+/// `qxmap_heuristic::HeuristicError` at the public surface; both convert
+/// losslessly via `From`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapperError {
+    /// The circuit has more logical qubits than the device has physical
+    /// qubits.
+    TooManyQubits {
+        /// Logical qubits required.
+        logical: usize,
+        /// Physical qubits available.
+        physical: usize,
+    },
+    /// The instance (possibly restricted by a Section 4.2 strategy or an
+    /// upper bound) admits no valid mapping.
+    Infeasible,
+    /// A conflict budget ran out before any mapping was found.
+    BudgetExhausted,
+    /// The exact method is exhaustive over permutations; devices (or
+    /// subsets) beyond this size are out of its regime.
+    DeviceTooLarge {
+        /// Qubits in the (sub)device.
+        qubits: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// The device graph cannot route the circuit (disconnected).
+    Unroutable,
+    /// No mapping strictly below the request's declared upper bound was
+    /// found — without proof that none exists (the search was heuristic,
+    /// restricted, or out of the exact regime). A *proof* of nonexistence
+    /// is reported as [`MapperError::Infeasible`] instead.
+    BoundUnmet {
+        /// The declared upper bound.
+        bound: u64,
+    },
+    /// The caller demanded [`crate::Guarantee::Optimal`] but no engine
+    /// could provide a minimality proof for this instance.
+    OptimalityUnavailable {
+        /// Why the proof is out of reach.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapperError::TooManyQubits { logical, physical } => {
+                qxmap_arch::errors::fmt_too_many_qubits(f, *logical, *physical)
+            }
+            MapperError::Infeasible => {
+                write!(f, "no valid mapping exists under the chosen restrictions")
+            }
+            MapperError::BudgetExhausted => {
+                write!(f, "conflict budget exhausted before a mapping was found")
+            }
+            MapperError::DeviceTooLarge { qubits, max } => write!(
+                f,
+                "exact mapping enumerates all qubit permutations; {qubits} qubits exceeds the supported {max}"
+            ),
+            MapperError::Unroutable => {
+                write!(f, "the coupling graph cannot route the circuit")
+            }
+            MapperError::BoundUnmet { bound } => write!(
+                f,
+                "no mapping strictly below the declared upper bound {bound} was found"
+            ),
+            MapperError::OptimalityUnavailable { reason } => {
+                write!(f, "an optimality proof was demanded but is unavailable: {reason}")
+            }
+        }
+    }
+}
+
+impl MapperError {
+    /// The standard rejection for [`crate::Guarantee::Optimal`] runs whose
+    /// proof did not close before the conflict budget ran out — one
+    /// message, shared by every engine.
+    pub(crate) fn proof_budget_exhausted() -> MapperError {
+        MapperError::OptimalityUnavailable {
+            reason: "the conflict budget ran out before the proof closed".to_string(),
+        }
+    }
+}
+
+impl Error for MapperError {}
+
+impl From<MapError> for MapperError {
+    fn from(e: MapError) -> MapperError {
+        match e {
+            MapError::TooManyQubits { logical, physical } => {
+                MapperError::TooManyQubits { logical, physical }
+            }
+            MapError::Infeasible => MapperError::Infeasible,
+            MapError::BudgetExhausted => MapperError::BudgetExhausted,
+            MapError::DeviceTooLarge { qubits, max } => MapperError::DeviceTooLarge { qubits, max },
+        }
+    }
+}
+
+impl From<HeuristicError> for MapperError {
+    fn from(e: HeuristicError) -> MapperError {
+        match e {
+            HeuristicError::TooManyQubits { logical, physical } => {
+                MapperError::TooManyQubits { logical, physical }
+            }
+            HeuristicError::Unroutable => MapperError::Unroutable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_structure() {
+        let e: MapperError = MapError::TooManyQubits {
+            logical: 6,
+            physical: 5,
+        }
+        .into();
+        assert_eq!(
+            e,
+            MapperError::TooManyQubits {
+                logical: 6,
+                physical: 5
+            }
+        );
+        let e: MapperError = HeuristicError::Unroutable.into();
+        assert_eq!(e, MapperError::Unroutable);
+        let e: MapperError = MapError::BudgetExhausted.into();
+        assert_eq!(e, MapperError::BudgetExhausted);
+    }
+
+    #[test]
+    fn too_many_qubits_text_is_shared_across_all_three_error_types() {
+        let unified = MapperError::TooManyQubits {
+            logical: 6,
+            physical: 5,
+        }
+        .to_string();
+        let core = MapError::TooManyQubits {
+            logical: 6,
+            physical: 5,
+        }
+        .to_string();
+        let heuristic = HeuristicError::TooManyQubits {
+            logical: 6,
+            physical: 5,
+        }
+        .to_string();
+        assert_eq!(unified, core);
+        assert_eq!(unified, heuristic);
+    }
+}

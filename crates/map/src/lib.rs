@@ -1,0 +1,64 @@
+//! # qxmap-map — the unified mapping surface
+//!
+//! The exact SAT-based method and the heuristic baselines answer the same
+//! question — *map this circuit onto this coupling graph with as little
+//! SWAP/H insertion as possible* — but historically exposed incompatible
+//! APIs (`ExactMapper::map(&Circuit)` with the device bound at
+//! construction versus `Mapper::map(&Circuit, &CouplingMap)`). This crate
+//! redesigns the public surface around three types:
+//!
+//! * [`MapRequest`] — a builder bundling the circuit, device, cost model,
+//!   [`Guarantee`] level, permutation strategy, conflict budget and seed;
+//! * [`MapReport`] — one uniform answer: the hardware circuit, both
+//!   layouts, a [`CostBreakdown`], a `proved_optimal` certificate, the
+//!   runtime and the engine that produced it;
+//! * [`MapperError`] — one error type, with `From` conversions from both
+//!   legacy error enums.
+//!
+//! Every mapping method implements the [`Engine`] trait: the exact solver
+//! ([`ExactEngine`]), all four baselines ([`HeuristicEngine`]), and the
+//! [`Portfolio`] engine that runs a cheap heuristic first, feeds its cost
+//! into exact minimization as an initial upper bound, and transparently
+//! falls back to heuristics on devices beyond the exact method's regime.
+//! [`map_many`] batches requests across std threads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qxmap_arch::devices;
+//! use qxmap_circuit::paper_example;
+//! use qxmap_map::{Engine, MapRequest, Portfolio};
+//!
+//! let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+//! let report = Portfolio::new().run(&request)?;
+//! assert_eq!(report.cost.objective, 4); // Example 7 of the paper
+//! assert!(report.proved_optimal);
+//! println!("{} via {}", report.cost, report.engine);
+//! # Ok::<(), qxmap_map::MapperError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod engine;
+mod error;
+mod portfolio;
+mod report;
+mod request;
+
+pub use batch::{map_many, map_many_with};
+pub use engine::{Baseline, Engine, ExactEngine, HeuristicEngine};
+pub use error::MapperError;
+pub use portfolio::Portfolio;
+pub use report::{CostBreakdown, MapReport};
+pub use request::{Guarantee, MapRequest};
+
+/// Maps one request with the default [`Portfolio`] engine.
+///
+/// # Errors
+///
+/// Propagates the engine's [`MapperError`].
+pub fn map_one(request: &MapRequest) -> Result<MapReport, MapperError> {
+    Portfolio::new().run(request)
+}

@@ -1,0 +1,355 @@
+//! The portfolio engine: heuristics first, exact search seeded with their
+//! cost, transparent fallback outside the exact regime.
+
+use crate::engine::{exact_in_regime, Engine, ExactEngine, HeuristicEngine};
+use crate::error::MapperError;
+use crate::report::MapReport;
+use crate::request::{Guarantee, MapRequest};
+
+/// Runs cheap heuristics, then — when the device is within the exact
+/// method's regime — the SAT engine with the best heuristic cost as an
+/// initial upper bound:
+///
+/// * the exact search only explores strictly better solutions, so the
+///   bound prunes from the first solve;
+/// * if nothing better exists, the exact run comes back `Infeasible`,
+///   which — when the request uses the complete `BeforeEveryGate`
+///   formulation — *certifies the heuristic result as optimal*: the
+///   report is upgraded to `proved_optimal` without ever re-deriving the
+///   model. Restricted Section 4.2 strategies search a smaller space, so
+///   their exhaustion upgrades nothing;
+/// * outside the regime (devices beyond
+///   [`qxmap_core::MAX_EXACT_QUBITS`] qubits) the best heuristic result
+///   is returned as-is under [`Guarantee::BestEffort`].
+///
+/// The naive floor baseline is always part of the pool, so a portfolio
+/// report is never worse than `NaiveMapper` on the same instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Portfolio {
+    stochastic_trials: u64,
+}
+
+impl Portfolio {
+    /// The default portfolio: naive + SABRE heuristics, exact when in
+    /// regime.
+    pub fn new() -> Portfolio {
+        Portfolio {
+            stochastic_trials: 0,
+        }
+    }
+
+    /// Additionally races `trials` seeded stochastic-swap runs in the
+    /// heuristic pool.
+    pub fn with_stochastic_trials(mut self, trials: u64) -> Portfolio {
+        self.stochastic_trials = trials;
+        self
+    }
+}
+
+impl Default for Portfolio {
+    fn default() -> Portfolio {
+        Portfolio::new()
+    }
+}
+
+impl Engine for Portfolio {
+    fn name(&self) -> &str {
+        "portfolio"
+    }
+
+    fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
+        // Heuristic pass. Guarantee and upper-bound demands are settled at
+        // the portfolio level, not per baseline — an over-bound heuristic
+        // winner is still useful for seeding the exact search. Structural
+        // errors (too many qubits) are terminal, but Unroutable is not:
+        // the layer heuristics give up on disconnected devices that the
+        // exact engine's connected-subset search may still map.
+        let heuristic_request = request
+            .clone()
+            .with_guarantee(Guarantee::BestEffort)
+            .with_upper_bound(None);
+        let mut pool = vec![HeuristicEngine::naive(), HeuristicEngine::sabre()];
+        if self.stochastic_trials > 0 {
+            pool.push(HeuristicEngine::stochastic(self.stochastic_trials));
+        }
+        let mut pool_best: Option<MapReport> = None;
+        let mut pool_error: Option<MapperError> = None;
+        for engine in pool {
+            match engine.run(&heuristic_request) {
+                Ok(report) => {
+                    if pool_best
+                        .as_ref()
+                        .is_none_or(|b| report.cost.objective < b.cost.objective)
+                    {
+                        pool_best = Some(report);
+                    }
+                }
+                Err(e @ MapperError::Unroutable) => pool_error = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        let had_pool_result = pool_best.is_some();
+        if let Some(b) = pool_best.as_mut() {
+            b.engine = format!("{}/{}", self.name(), b.engine);
+        }
+
+        // A caller-declared upper bound is a hard contract: results at or
+        // above it may not be returned. Heuristic winners that miss it
+        // only serve to tighten the exact search, never as answers.
+        let user_bound = request.upper_bound();
+        let best = match (user_bound, pool_best) {
+            (Some(u), Some(b)) if b.cost.objective >= u => None,
+            (_, b) => b,
+        };
+
+        // Nothing inserted: trivially minimal, no exact run needed.
+        if best.as_ref().is_some_and(|b| b.cost.objective == 0) {
+            let mut best = best.expect("checked above");
+            best.proved_optimal = true;
+            return Ok(best);
+        }
+
+        // Why there is no returnable candidate: the whole pool failed to
+        // route, or the caller's bound pruned every result.
+        let no_candidate = || -> MapperError {
+            if !had_pool_result {
+                return pool_error.clone().expect("pool is never empty");
+            }
+            MapperError::BoundUnmet {
+                bound: user_bound.expect("a result existed, so the bound pruned it"),
+            }
+        };
+
+        if !exact_in_regime(request) {
+            return match (best, request.guarantee()) {
+                (Some(best), Guarantee::BestEffort) => Ok(best),
+                (None, Guarantee::BestEffort) => Err(no_candidate()),
+                (_, Guarantee::Optimal) => Err(MapperError::OptimalityUnavailable {
+                    reason: format!(
+                        "device has {} qubits; exact proofs stop at {}",
+                        request.device().num_qubits(),
+                        qxmap_core::MAX_EXACT_QUBITS
+                    ),
+                }),
+            };
+        }
+
+        // An exhaustive Unsat run only certifies the heuristic winner when
+        // the exact formulation is complete: a restricted Section 4.2
+        // strategy searches a smaller space, so its Infeasible proves
+        // nothing about mappings outside that space.
+        let formulation_complete = *request.strategy() == qxmap_core::Strategy::BeforeEveryGate;
+
+        // Exact pass, pruned to strictly below the tightest bound we hold:
+        // the heuristic winner (which respects any user bound) or the user
+        // bound itself.
+        let seed = best.as_ref().map(|b| b.cost.objective).or(user_bound);
+        let exact_request = request
+            .clone()
+            .with_guarantee(Guarantee::BestEffort)
+            .with_upper_bound(seed);
+        match ExactEngine::new().run(&exact_request) {
+            Ok(mut report) => {
+                debug_assert!(seed.is_none_or(|s| report.cost.objective < s));
+                report.engine = format!("{}/exact", self.name());
+                if request.guarantee() == Guarantee::Optimal && !report.proved_optimal {
+                    return Err(MapperError::proof_budget_exhausted());
+                }
+                Ok(report)
+            }
+            // Nothing strictly below the seed exists *in the searched
+            // space*. With the complete formulation that certifies the
+            // heuristic winner as optimal (or, with no winner, proves the
+            // user bound infeasible); under a restricted strategy it only
+            // means the restricted search found nothing better.
+            Err(MapperError::Infeasible) => match (best, request.guarantee()) {
+                (Some(mut best), guarantee) => {
+                    if formulation_complete {
+                        best.proved_optimal = true;
+                    }
+                    if guarantee == Guarantee::Optimal && !best.proved_optimal {
+                        return Err(MapperError::OptimalityUnavailable {
+                            reason: format!(
+                                "the {:?} strategy restricts the exact search; its \
+                                 exhaustion is no proof of global minimality",
+                                request.strategy()
+                            ),
+                        });
+                    }
+                    Ok(best)
+                }
+                (None, _) if formulation_complete => Err(MapperError::Infeasible),
+                (None, Guarantee::BestEffort) => Err(no_candidate()),
+                (None, Guarantee::Optimal) => Err(MapperError::OptimalityUnavailable {
+                    reason: "the restricted exact search found nothing below the bound".to_string(),
+                }),
+            },
+            // Budget ran out before the certificate: keep the heuristic
+            // result, honestly unproved.
+            Err(MapperError::BudgetExhausted) => match (best, request.guarantee()) {
+                (Some(best), Guarantee::BestEffort) => Ok(best),
+                (None, Guarantee::BestEffort) => Err(no_candidate()),
+                (_, Guarantee::Optimal) => Err(MapperError::proof_budget_exhausted()),
+            },
+            // A subset slipped past the regime check (e.g. subsets
+            // disabled on a mid-size device): fall back to the heuristic.
+            Err(MapperError::DeviceTooLarge { .. }) => match (best, request.guarantee()) {
+                (Some(best), Guarantee::BestEffort) => Ok(best),
+                (None, Guarantee::BestEffort) => Err(no_candidate()),
+                (_, Guarantee::Optimal) => Err(MapperError::OptimalityUnavailable {
+                    reason: "the instance exceeds the exact method's regime".to_string(),
+                }),
+            },
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::devices;
+    use qxmap_circuit::{paper_example, Circuit};
+
+    #[test]
+    fn paper_example_is_proved_minimal() {
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        let report = Portfolio::new().run(&request).unwrap();
+        assert_eq!(report.cost.objective, 4);
+        assert!(report.proved_optimal);
+        assert!(report.engine.starts_with("portfolio/"));
+        report
+            .verify(&paper_example(), &devices::ibm_qx4())
+            .unwrap();
+    }
+
+    #[test]
+    fn large_device_falls_back_without_error() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        c.cx(3, 4);
+        for cm in [devices::ibm_qx5(), devices::ibm_tokyo()] {
+            let request = MapRequest::new(c.clone(), cm.clone());
+            let report = Portfolio::new().run(&request).unwrap();
+            assert!(!report.engine.contains("exact"));
+            report.verify(&c, &cm).unwrap();
+        }
+    }
+
+    #[test]
+    fn large_device_with_optimal_demand_is_an_error() {
+        // q0 interacts with 7 partners; Tokyo's max degree is 6, so every
+        // layout needs insertions and nothing can be trivially proved.
+        let mut c = Circuit::new(8);
+        for t in 1..8 {
+            c.cx(0, t);
+        }
+        let request = MapRequest::new(c, devices::ibm_tokyo()).with_guarantee(Guarantee::Optimal);
+        assert!(matches!(
+            Portfolio::new().run(&request),
+            Err(MapperError::OptimalityUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_insertion_is_proved_without_exact_run() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 0); // a QX4 edge: nothing to insert
+        let request = MapRequest::new(c, devices::ibm_qx4());
+        let report = Portfolio::new().run(&request).unwrap();
+        assert_eq!(report.cost.objective, 0);
+        assert!(report.proved_optimal);
+    }
+
+    #[test]
+    fn stochastic_trials_join_the_pool() {
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        let report = Portfolio::new()
+            .with_stochastic_trials(3)
+            .run(&request)
+            .unwrap();
+        assert_eq!(report.cost.objective, 4);
+        assert!(report.proved_optimal);
+    }
+
+    #[test]
+    fn restricted_strategy_exhaustion_is_no_certificate() {
+        // The interaction graph of this circuit cannot embed in QX4, so
+        // with no permutation points the exact formulation is Infeasible
+        // for structural reasons — which must NOT be read as a proof that
+        // the heuristic fallback is optimal.
+        let mut c = Circuit::new(5);
+        for t in 1..5 {
+            c.cx(0, t);
+        }
+        c.cx(1, 3);
+        c.cx(1, 4);
+        let request = MapRequest::new(c, devices::ibm_qx4())
+            .with_strategy(qxmap_core::Strategy::Custom(vec![]));
+        let report = Portfolio::new().run(&request).unwrap();
+        assert!(
+            !report.proved_optimal,
+            "a restricted search's exhaustion certified a heuristic result"
+        );
+        // The same instance under the complete default formulation *is*
+        // certifiable.
+        let request = MapRequest::new(
+            {
+                let mut c = Circuit::new(5);
+                for t in 1..5 {
+                    c.cx(0, t);
+                }
+                c.cx(1, 3);
+                c.cx(1, 4);
+                c
+            },
+            devices::ibm_qx4(),
+        );
+        let report = Portfolio::new().run(&request).unwrap();
+        assert!(report.proved_optimal);
+    }
+
+    #[test]
+    fn caller_upper_bound_is_a_hard_contract() {
+        // The known optimum is 4. Asking for strictly better must never
+        // hand back the (worse) heuristic result — it is Infeasible, with
+        // the exhaustive run as certificate.
+        let request =
+            MapRequest::new(paper_example(), devices::ibm_qx4()).with_upper_bound(Some(4));
+        assert_eq!(
+            Portfolio::new().run(&request).unwrap_err(),
+            MapperError::Infeasible
+        );
+        // A looser caller bound lets the portfolio answer below it.
+        let request =
+            MapRequest::new(paper_example(), devices::ibm_qx4()).with_upper_bound(Some(5));
+        let report = Portfolio::new().run(&request).unwrap();
+        assert_eq!(report.cost.objective, 4);
+        assert!(report.proved_optimal);
+        // Out of the exact regime, a bound the heuristics cannot beat is
+        // an error, not a silently-worse report.
+        let mut big = Circuit::new(9);
+        for q in 0..8 {
+            big.cx(q, q + 1);
+        }
+        let request = MapRequest::new(big, devices::ibm_tokyo()).with_upper_bound(Some(1));
+        assert_eq!(
+            Portfolio::new().run(&request).unwrap_err(),
+            MapperError::BoundUnmet { bound: 1 }
+        );
+    }
+
+    #[test]
+    fn too_many_qubits_is_terminal() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        let request = MapRequest::new(c, devices::ibm_qx4());
+        assert!(matches!(
+            Portfolio::new().run(&request),
+            Err(MapperError::TooManyQubits {
+                logical: 6,
+                physical: 5
+            })
+        ));
+    }
+}

@@ -1,0 +1,169 @@
+//! The unified mapping report.
+
+use std::fmt;
+use std::time::Duration;
+
+use qxmap_arch::{CostModel, CouplingMap, Layout};
+use qxmap_circuit::Circuit;
+use qxmap_core::verify::{self, VerifyError};
+use qxmap_core::MappingResult;
+use qxmap_heuristic::HeuristicResult;
+
+/// Where the insertion cost of a mapping went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// The modelled objective `F = swap·#SWAP + reverse·#reversal`
+    /// (Eq. 5 of the paper under the request's cost model).
+    pub objective: u64,
+    /// SWAP operations inserted.
+    pub swaps: u32,
+    /// Direction-reversed CNOTs (repaired with 4 H each).
+    pub reversals: u32,
+    /// Gates actually added relative to the (SWAP-decomposed) input.
+    pub added_gates: u64,
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "F = {} ({} SWAPs, {} reversals, {} gates added)",
+            self.objective, self.swaps, self.reversals, self.added_gates
+        )
+    }
+}
+
+/// One uniform answer to a [`crate::MapRequest`], whichever engine
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct MapReport {
+    /// Short name of the engine that produced this result (e.g. `exact`,
+    /// `sabre`, `portfolio/exact`).
+    pub engine: String,
+    /// The hardware-legal output circuit.
+    pub mapped: Circuit,
+    /// Logical→physical layout before the first gate.
+    pub initial_layout: Layout,
+    /// Logical→physical layout after the last gate.
+    pub final_layout: Layout,
+    /// Cost of the insertion, broken down.
+    pub cost: CostBreakdown,
+    /// Whether the reported cost is provably minimal for the requested
+    /// formulation — the paper's headline certificate.
+    pub proved_optimal: bool,
+    /// Wall-clock time of the mapping call.
+    pub runtime: Duration,
+    /// Physical qubits the mapping was restricted to (exact engines with
+    /// the Section 4.1 optimization).
+    pub subset: Option<Vec<usize>>,
+    /// Number of permutation points `|G'|` (exact engines).
+    pub num_change_points: Option<usize>,
+    /// Solver iterations spent in minimization (exact engines).
+    pub iterations: Option<u32>,
+}
+
+impl MapReport {
+    /// The mapped circuit's total operation count (the paper's column
+    /// `c`).
+    pub fn mapped_cost(&self) -> usize {
+        self.mapped.original_cost()
+    }
+
+    /// Structural verification against the original circuit and device:
+    /// every CNOT coupling-legal, no residual SWAPs, and the added-gate
+    /// accounting consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found.
+    pub fn verify(&self, original: &Circuit, cm: &CouplingMap) -> Result<(), VerifyError> {
+        verify::check_coupling(&self.mapped, cm)?;
+        let original_cost = original.decompose_swaps().original_cost() as u64;
+        // A mapped circuit smaller than its input is itself a mismatch the
+        // checker must report, not underflow on.
+        let recounted = (self.mapped.original_cost() as u64).checked_sub(original_cost);
+        if recounted != Some(self.cost.added_gates) {
+            return Err(VerifyError::CostMismatch {
+                reported: self.cost.added_gates,
+                recounted: recounted.unwrap_or(0),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds a report from an exact-engine result.
+    pub(crate) fn from_exact(result: MappingResult, engine: &str) -> MapReport {
+        MapReport {
+            engine: engine.to_string(),
+            cost: CostBreakdown {
+                objective: result.cost,
+                swaps: result.swaps,
+                reversals: result.reversals,
+                added_gates: result.added_gates,
+            },
+            proved_optimal: result.proved_optimal,
+            runtime: result.runtime,
+            subset: Some(result.subset),
+            num_change_points: Some(result.num_change_points),
+            iterations: Some(result.iterations),
+            mapped: result.mapped,
+            initial_layout: result.initial_layout,
+            final_layout: result.final_layout,
+        }
+    }
+
+    /// Builds a report from a heuristic result, recomputing the objective
+    /// under `cost_model`. A heuristic that inserted nothing is trivially
+    /// optimal.
+    pub(crate) fn from_heuristic(
+        result: HeuristicResult,
+        engine: &str,
+        cost_model: CostModel,
+    ) -> MapReport {
+        let objective = heuristic_objective(cost_model, &result);
+        MapReport {
+            engine: engine.to_string(),
+            cost: CostBreakdown {
+                objective,
+                swaps: result.swaps,
+                reversals: result.reversals,
+                added_gates: result.added_gates,
+            },
+            proved_optimal: result.added_gates == 0,
+            runtime: result.runtime,
+            subset: None,
+            num_change_points: None,
+            iterations: None,
+            mapped: result.mapped,
+            initial_layout: result.initial_layout,
+            final_layout: result.final_layout,
+        }
+    }
+}
+
+/// The Eq. 5 objective of a heuristic result under `cost_model` — the
+/// single source of truth for scoring heuristic runs (report building and
+/// best-of-trials selection alike).
+pub(crate) fn heuristic_objective(cost_model: CostModel, result: &HeuristicResult) -> u64 {
+    u64::from(cost_model.swap) * u64::from(result.swaps)
+        + u64::from(cost_model.reverse) * u64::from(result.reversals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_breakdown_renders_all_fields() {
+        let c = CostBreakdown {
+            objective: 11,
+            swaps: 1,
+            reversals: 1,
+            added_gates: 11,
+        };
+        let s = c.to_string();
+        assert!(s.contains("F = 11"));
+        assert!(s.contains("1 SWAPs"));
+        assert!(s.contains("1 reversals"));
+    }
+}

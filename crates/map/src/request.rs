@@ -1,0 +1,188 @@
+//! The unified mapping request.
+
+use qxmap_arch::{CostModel, CouplingMap};
+use qxmap_circuit::Circuit;
+use qxmap_core::Strategy;
+
+/// How strong a result the caller demands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Guarantee {
+    /// The result must carry a proof of minimality; engines error out when
+    /// they cannot provide one (e.g. the device exceeds the exact method's
+    /// regime).
+    Optimal,
+    /// Best result obtainable within the request's budgets; engines may
+    /// fall back to heuristics and `proved_optimal` may be `false`.
+    #[default]
+    BestEffort,
+}
+
+/// Everything a mapping engine needs to answer one mapping question.
+///
+/// Built in builder style; every knob has a sensible default:
+///
+/// ```
+/// use qxmap_arch::devices;
+/// use qxmap_circuit::paper_example;
+/// use qxmap_map::{Guarantee, MapRequest};
+///
+/// let request = MapRequest::new(paper_example(), devices::ibm_qx4())
+///     .with_guarantee(Guarantee::Optimal)
+///     .with_conflict_budget(Some(50_000))
+///     .with_seed(7);
+/// assert_eq!(request.device().num_qubits(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MapRequest {
+    circuit: Circuit,
+    device: CouplingMap,
+    cost_model: CostModel,
+    guarantee: Guarantee,
+    strategy: Strategy,
+    use_subsets: bool,
+    conflict_budget: Option<u64>,
+    upper_bound: Option<u64>,
+    seed: u64,
+}
+
+impl MapRequest {
+    /// A request with default settings: the paper's 7/4 cost model,
+    /// [`Guarantee::BestEffort`], permutations before every gate, the
+    /// Section 4.1 subset optimization enabled, no budgets, seed 0.
+    pub fn new(circuit: Circuit, device: CouplingMap) -> MapRequest {
+        MapRequest {
+            circuit,
+            device,
+            cost_model: CostModel::default(),
+            guarantee: Guarantee::default(),
+            strategy: Strategy::default(),
+            use_subsets: true,
+            conflict_budget: None,
+            upper_bound: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets the cost accounting for inserted operations.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> MapRequest {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Sets the demanded guarantee level.
+    pub fn with_guarantee(mut self, guarantee: Guarantee) -> MapRequest {
+        self.guarantee = guarantee;
+        self
+    }
+
+    /// Sets the permutation-site strategy used by exact engines
+    /// (Section 4.2 of the paper).
+    pub fn with_strategy(mut self, strategy: Strategy) -> MapRequest {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables/disables the connected-subset optimization (Section 4.1).
+    pub fn with_subsets(mut self, on: bool) -> MapRequest {
+        self.use_subsets = on;
+        self
+    }
+
+    /// Caps the total SAT conflicts exact engines may spend.
+    pub fn with_conflict_budget(mut self, budget: Option<u64>) -> MapRequest {
+        self.conflict_budget = budget;
+        self
+    }
+
+    /// Declares an externally known achievable cost: engines only return
+    /// results with cost **strictly below** it. Exact engines prune their
+    /// search with it from the first solve; the [`crate::Portfolio`]
+    /// engine additionally tightens it with its own heuristic pass and
+    /// never falls back to a result at or above it.
+    pub fn with_upper_bound(mut self, bound: Option<u64>) -> MapRequest {
+        self.upper_bound = bound;
+        self
+    }
+
+    /// Seeds randomized engines (the stochastic baseline).
+    pub fn with_seed(mut self, seed: u64) -> MapRequest {
+        self.seed = seed;
+        self
+    }
+
+    /// The circuit to map.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &CouplingMap {
+        &self.device
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+
+    /// The demanded guarantee level.
+    pub fn guarantee(&self) -> Guarantee {
+        self.guarantee
+    }
+
+    /// The permutation-site strategy for exact engines.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Whether the subset optimization is enabled.
+    pub fn use_subsets(&self) -> bool {
+        self.use_subsets
+    }
+
+    /// The exact engines' conflict budget.
+    pub fn conflict_budget(&self) -> Option<u64> {
+        self.conflict_budget
+    }
+
+    /// The externally known achievable cost, if any.
+    pub fn upper_bound(&self) -> Option<u64> {
+        self.upper_bound
+    }
+
+    /// The seed for randomized engines.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::devices;
+
+    #[test]
+    fn defaults_are_best_effort_with_subsets() {
+        let req = MapRequest::new(Circuit::new(2), devices::ibm_qx4());
+        assert_eq!(req.guarantee(), Guarantee::BestEffort);
+        assert!(req.use_subsets());
+        assert_eq!(req.conflict_budget(), None);
+        assert_eq!(req.upper_bound(), None);
+        assert_eq!(req.seed(), 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let req = MapRequest::new(Circuit::new(2), devices::ibm_qx4())
+            .with_guarantee(Guarantee::Optimal)
+            .with_subsets(false)
+            .with_conflict_budget(Some(10))
+            .with_upper_bound(Some(4))
+            .with_seed(3);
+        assert_eq!(req.guarantee(), Guarantee::Optimal);
+        assert!(!req.use_subsets());
+        assert_eq!(req.conflict_budget(), Some(10));
+        assert_eq!(req.upper_bound(), Some(4));
+        assert_eq!(req.seed(), 3);
+    }
+}

@@ -153,9 +153,10 @@ impl Expr {
         match self {
             Expr::Num(v) => Ok(*v),
             Expr::Pi => Ok(std::f64::consts::PI),
-            Expr::Ident(name) => bindings.get(name).copied().ok_or_else(|| EvalError {
-                what: name.clone(),
-            }),
+            Expr::Ident(name) => bindings
+                .get(name)
+                .copied()
+                .ok_or_else(|| EvalError { what: name.clone() }),
             Expr::Neg(e) => Ok(-e.eval(bindings)?),
             Expr::Bin { op, lhs, rhs } => {
                 let l = lhs.eval(bindings)?;

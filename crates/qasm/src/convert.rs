@@ -153,7 +153,13 @@ impl Converter {
         for lane_idx in 0..width {
             let qubits: Vec<usize> = expanded
                 .iter()
-                .map(|lane| if lane.len() == 1 { lane[0] } else { lane[lane_idx] })
+                .map(|lane| {
+                    if lane.len() == 1 {
+                        lane[0]
+                    } else {
+                        lane[lane_idx]
+                    }
+                })
                 .collect();
             self.emit(circuit, &op.name, &params, &qubits, op.line, 0)?;
         }
@@ -185,7 +191,10 @@ impl Converter {
         let param_err = |expected: usize| {
             ParseQasmError::new(
                 Some(line),
-                format!("`{name}` expects {expected} parameter(s), got {}", params.len()),
+                format!(
+                    "`{name}` expects {expected} parameter(s), got {}",
+                    params.len()
+                ),
             )
         };
         let one = |kind: OneQubitKind| -> Result<Gate, ParseQasmError> {
@@ -269,9 +278,10 @@ impl Converter {
             return Ok(());
         }
         // User-defined (or qelib-only) gate: inline its body.
-        let def = self.gates.get(name).ok_or_else(|| {
-            ParseQasmError::new(Some(line), format!("unknown gate `{name}`"))
-        })?;
+        let def = self
+            .gates
+            .get(name)
+            .ok_or_else(|| ParseQasmError::new(Some(line), format!("unknown gate `{name}`")))?;
         if def.qargs.len() != qubits.len() {
             return Err(arity_err(def.qargs.len()));
         }
@@ -296,10 +306,7 @@ impl Converter {
                 .iter()
                 .map(|e| {
                     e.eval(&bindings).map_err(|err| {
-                        ParseQasmError::new(
-                            Some(body_op.line),
-                            format!("in `{name}`: {err}"),
-                        )
+                        ParseQasmError::new(Some(body_op.line), format!("in `{name}`: {err}"))
                     })
                 })
                 .collect::<Result<_, _>>()?;
@@ -315,7 +322,14 @@ impl Converter {
                     })
                 })
                 .collect::<Result<_, _>>()?;
-            self.emit(circuit, &body_op.name, &sub_params, &sub_qubits, line, depth + 1)?;
+            self.emit(
+                circuit,
+                &body_op.name,
+                &sub_params,
+                &sub_qubits,
+                line,
+                depth + 1,
+            )?;
         }
         Ok(())
     }
@@ -388,10 +402,7 @@ mod tests {
         ));
         assert_eq!(c.num_clbits(), 2);
         assert!(matches!(c.gates()[0], Gate::Barrier(_)));
-        assert_eq!(
-            c.gates()[2],
-            Gate::Measure { qubit: 1, clbit: 1 }
-        );
+        assert_eq!(c.gates()[2], Gate::Measure { qubit: 1, clbit: 1 });
     }
 
     #[test]

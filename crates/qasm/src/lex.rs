@@ -158,9 +158,7 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                         is_real = true;
                         s.push(c);
                         chars.next();
-                        if (c == 'e' || c == 'E')
-                            && matches!(chars.peek(), Some('+') | Some('-'))
-                        {
+                        if (c == 'e' || c == 'E') && matches!(chars.peek(), Some('+') | Some('-')) {
                             s.push(chars.next().expect("peeked"));
                         }
                     } else {

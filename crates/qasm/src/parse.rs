@@ -48,8 +48,7 @@ impl Error for ParseQasmError {}
 ///
 /// Returns [`ParseQasmError`] with line information on malformed input.
 pub fn parse_program(source: &str) -> Result<Program, ParseQasmError> {
-    let tokens = tokenize(source)
-        .map_err(|e| ParseQasmError::new(Some(e.line), e.message))?;
+    let tokens = tokenize(source).map_err(|e| ParseQasmError::new(Some(e.line), e.message))?;
     let mut parser = Parser {
         tokens,
         pos: 0,
@@ -185,7 +184,9 @@ impl Parser {
                 self.expect(TokenKind::Arrow)?;
                 let clbit = self.arg()?;
                 self.expect(TokenKind::Semicolon)?;
-                self.program.statements.push(Statement::Measure { qubit, clbit });
+                self.program
+                    .statements
+                    .push(Statement::Measure { qubit, clbit });
             }
             "barrier" => {
                 self.next();

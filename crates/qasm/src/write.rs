@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn roundtrip_angles_exactly() {
         let mut c = Circuit::new(1);
-        c.rz(0.1234567890123456789, 0);
+        c.rz(0.123_456_789_012_345_68, 0);
         c.rx(-std::f64::consts::PI / 3.0, 0);
         c.u(1.0e-10, 2.5, -0.75, 0);
         let back = parse(&to_qasm(&c)).unwrap();

@@ -19,8 +19,7 @@ fn kind_strategy() -> impl Strategy<Value = OneQubitKind> {
         (-10.0f64..10.0).prop_map(OneQubitKind::Ry),
         (-10.0f64..10.0).prop_map(OneQubitKind::Rz),
         (-10.0f64..10.0).prop_map(OneQubitKind::Phase),
-        (-6.0f64..6.0, -6.0f64..6.0, -6.0f64..6.0)
-            .prop_map(|(t, p, l)| OneQubitKind::U(t, p, l)),
+        (-6.0f64..6.0, -6.0f64..6.0, -6.0f64..6.0).prop_map(|(t, p, l)| OneQubitKind::U(t, p, l)),
     ]
 }
 

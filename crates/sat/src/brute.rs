@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn minimum_cost_basic() {
         let clauses = vec![vec![l(1), l(2)]];
-        let obj = vec![(7, Var::from_index(0).positive()), (4, Var::from_index(1).positive())];
+        let obj = vec![
+            (7, Var::from_index(0).positive()),
+            (4, Var::from_index(1).positive()),
+        ];
         assert_eq!(minimum_cost(2, &clauses, &obj), Some(4));
         assert_eq!(minimum_cost(1, &[vec![l(1)], vec![l(-1)]], &[]), None);
     }

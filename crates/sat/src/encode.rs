@@ -107,8 +107,8 @@ pub fn at_most_k(solver: &mut Solver, lits: &[Lit], k: usize) {
         r.push((0..k).map(|_| solver.new_lit()).collect());
     }
     solver.add_clause([!lits[0], r[0][0]]);
-    for j in 1..k {
-        solver.add_clause([!r[0][j]]);
+    for &rj in &r[0][1..k] {
+        solver.add_clause([!rj]);
     }
     for i in 1..n {
         solver.add_clause([!lits[i], r[i][0]]);
@@ -169,19 +169,14 @@ mod tests {
     /// blocking clauses (small n only).
     fn count_models(s: &mut Solver, over: &[Lit]) -> usize {
         let mut count = 0;
-        loop {
-            match s.solve() {
-                SolveResult::Sat(m) => {
-                    count += 1;
-                    let block: Vec<Lit> = over
-                        .iter()
-                        .map(|&l| if m.value(l) { !l } else { l })
-                        .collect();
-                    if !s.add_clause(block) {
-                        break;
-                    }
-                }
-                _ => break,
+        while let SolveResult::Sat(m) = s.solve() {
+            count += 1;
+            let block: Vec<Lit> = over
+                .iter()
+                .map(|&l| if m.value(l) { !l } else { l })
+                .collect();
+            if !s.add_clause(block) {
+                break;
             }
         }
         count

@@ -35,6 +35,12 @@ pub struct MinimizeOptions {
     /// (`None` = unlimited). When it runs out, the best model found so
     /// far is returned with `proved_optimal = false`.
     pub conflict_budget: Option<u64>,
+    /// An externally known achievable cost (e.g. from a heuristic run):
+    /// the search only looks for models with cost **strictly below** this
+    /// bound, pruning from the very first solve. When no such model
+    /// exists, [`MinimizeError::Unsatisfiable`] is returned — which then
+    /// certifies the external solution as optimal.
+    pub initial_upper_bound: Option<u64>,
 }
 
 /// Why a minimization produced no model at all.
@@ -124,7 +130,24 @@ pub fn minimize(
         result
     };
 
-    let first = budgeted_solve(solver, &[]);
+    // With an external upper bound, encode the objective up front and
+    // assume `F ≤ ub − 1` from the very first solve: the solver propagates
+    // the bound instead of rediscovering it model by model.
+    let mut totalizer: Option<Totalizer> = None;
+    let mut base_assumptions: Vec<Lit> = Vec::new();
+    if let Some(ub) = options.initial_upper_bound {
+        if ub == 0 {
+            // Nothing can cost strictly less than 0.
+            return Err(MinimizeError::Unsatisfiable);
+        }
+        let t = Totalizer::encode(solver, objective, ub);
+        if let Some(bl) = t.bound_literal(ub - 1) {
+            base_assumptions.push(!bl);
+        }
+        totalizer = Some(t);
+    }
+
+    let first = budgeted_solve(solver, &base_assumptions);
     let mut iterations = 1;
     let mut best = match first {
         SolveResult::Sat(m) => m,
@@ -148,9 +171,10 @@ pub fn minimize(
         });
     }
 
-    // Encode the objective once, clamped at the first model's cost: all
-    // future bounds are strictly below it.
-    let totalizer = Totalizer::encode(solver, objective, best_cost);
+    // Encode the objective once (unless the upper bound already did),
+    // clamped at the first model's cost: all future bounds are strictly
+    // below it.
+    let totalizer = totalizer.unwrap_or_else(|| Totalizer::encode(solver, objective, best_cost));
     let mut proved = false;
 
     match options.strategy {
@@ -262,7 +286,10 @@ mod tests {
 
     #[test]
     fn picks_cheapest_of_exactly_one() {
-        for strategy in [MinimizeStrategy::LinearDescent, MinimizeStrategy::BinarySearch] {
+        for strategy in [
+            MinimizeStrategy::LinearDescent,
+            MinimizeStrategy::BinarySearch,
+        ] {
             let mut s = Solver::new();
             let v = lits(&mut s, 4);
             exactly_one(&mut s, &v);
@@ -272,7 +299,7 @@ mod tests {
                 &obj,
                 MinimizeOptions {
                     strategy,
-                    conflict_budget: None,
+                    ..Default::default()
                 },
             )
             .expect("sat");
@@ -302,6 +329,62 @@ mod tests {
         let min = minimize(&mut s, &[(3, w)], MinimizeOptions::default()).unwrap();
         assert_eq!(min.cost, 0);
         assert_eq!(min.iterations, 1);
+    }
+
+    #[test]
+    fn upper_bound_prunes_but_preserves_the_minimum() {
+        for strategy in [
+            MinimizeStrategy::LinearDescent,
+            MinimizeStrategy::BinarySearch,
+        ] {
+            let mut s = Solver::new();
+            let v = lits(&mut s, 4);
+            exactly_one(&mut s, &v);
+            let obj = vec![(9u64, v[0]), (2, v[1]), (5, v[2]), (7, v[3])];
+            let min = minimize(
+                &mut s,
+                &obj,
+                MinimizeOptions {
+                    strategy,
+                    initial_upper_bound: Some(6),
+                    ..Default::default()
+                },
+            )
+            .expect("cost 2 < 6 exists");
+            assert_eq!(min.cost, 2, "{strategy:?}");
+            assert!(min.proved_optimal);
+        }
+    }
+
+    #[test]
+    fn tight_upper_bound_certifies_external_optimum() {
+        // Minimum is 4; asking for strictly better must be Unsatisfiable.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        let err = minimize(
+            &mut s,
+            &[(7, v[0]), (4, v[1])],
+            MinimizeOptions {
+                initial_upper_bound: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, MinimizeError::Unsatisfiable);
+        // A zero bound can never be beaten.
+        let err = minimize(
+            &mut s,
+            &[(7, v[0]), (4, v[1])],
+            MinimizeOptions {
+                initial_upper_bound: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, MinimizeError::Unsatisfiable);
+        // The solver survives bound assumptions and stays reusable.
+        assert!(s.solve_with_assumptions(&[v[0]]).is_sat());
     }
 
     #[test]
@@ -343,17 +426,13 @@ mod tests {
                 for cl in &clauses {
                     s.add_clause(cl.iter().map(|&(i, pos)| if pos { v[i] } else { !v[i] }));
                 }
-                let obj: Vec<(u64, Lit)> = weights
-                    .iter()
-                    .copied()
-                    .zip(v.iter().copied())
-                    .collect();
+                let obj: Vec<(u64, Lit)> = weights.iter().copied().zip(v.iter().copied()).collect();
                 minimize(
                     &mut s,
                     &obj,
                     MinimizeOptions {
                         strategy,
-                        conflict_budget: None,
+                        ..Default::default()
                     },
                 )
                 .ok()
@@ -421,9 +500,10 @@ mod tests {
                     }
                 }));
             }
-            let obj: Vec<(u64, Lit)> =
-                weights.iter().copied().zip(v.iter().copied()).collect();
-            let got = minimize(&mut s, &obj, MinimizeOptions::default()).ok().map(|m| m.cost);
+            let obj: Vec<(u64, Lit)> = weights.iter().copied().zip(v.iter().copied()).collect();
+            let got = minimize(&mut s, &obj, MinimizeOptions::default())
+                .ok()
+                .map(|m| m.cost);
             assert_eq!(got, brute_best);
         }
     }

@@ -569,8 +569,7 @@ impl Solver {
             0
         } else {
             let mut max_i = 1;
-            for i
-                in 2..learnt.len() {
+            for i in 2..learnt.len() {
                 if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
                     max_i = i;
                 }
@@ -634,8 +633,7 @@ impl Solver {
 
     fn is_locked(&self, ci: usize) -> bool {
         let first = self.clauses[ci].lits[0];
-        self.lit_value(first) == Some(true)
-            && self.reason[first.var().index()] == Some(ci as u32)
+        self.lit_value(first) == Some(true) && self.reason[first.var().index()] == Some(ci as u32)
     }
 
     /// Solves the current formula.
@@ -719,11 +717,7 @@ impl Solver {
                     self.unchecked_enqueue(lit, None);
                 } else {
                     // All variables assigned: SAT.
-                    let values = self
-                        .assign
-                        .iter()
-                        .map(|a| a.unwrap_or(false))
-                        .collect();
+                    let values = self.assign.iter().map(|a| a.unwrap_or(false)).collect();
                     break SolveResult::Sat(Model { values });
                 }
             }
@@ -813,19 +807,16 @@ mod tests {
     fn pigeonhole(holes: usize) -> Solver {
         let pigeons = holes + 1;
         let mut s = Solver::new();
-        let mut var = vec![vec![Lit(0); holes]; pigeons];
-        for p in 0..pigeons {
-            for h in 0..holes {
-                var[p][h] = s.new_lit();
-            }
+        let var: Vec<Vec<Lit>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_lit()).collect())
+            .collect();
+        for row in &var {
+            s.add_clause(row.clone());
         }
-        for p in 0..pigeons {
-            s.add_clause(var[p].clone());
-        }
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in (p1 + 1)..pigeons {
-                    s.add_clause([!var[p1][h], !var[p2][h]]);
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                for (&a, &b) in var[p1].iter().zip(&var[p2]) {
+                    s.add_clause([!a, !b]);
                 }
             }
         }
@@ -905,7 +896,9 @@ mod tests {
         // Deterministic LCG-generated planted-solution instances.
         let mut seed = 0xdeadbeefu64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _ in 0..10 {
@@ -927,7 +920,11 @@ mod tests {
                 if !sat_by_planted {
                     // Flip one literal to satisfy it.
                     let l = clause[0];
-                    clause[0] = if planted[l.var().index()] { l.var().positive() } else { l.var().negative() };
+                    clause[0] = if planted[l.var().index()] {
+                        l.var().positive()
+                    } else {
+                        l.var().negative()
+                    };
                 }
                 s.add_clause(clause);
             }

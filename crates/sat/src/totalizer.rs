@@ -100,12 +100,7 @@ impl Totalizer {
 /// implication clauses:
 /// `a_w → o_w`, `b_w → o_w`, `a_u ∧ b_v → o_{min(u+v, cap)}`, plus ordering
 /// clauses `o_{wᵢ₊₁} → o_{wᵢ}`.
-fn merge(
-    solver: &mut Solver,
-    a: &[(u64, Lit)],
-    b: &[(u64, Lit)],
-    cap: u64,
-) -> Vec<(u64, Lit)> {
+fn merge(solver: &mut Solver, a: &[(u64, Lit)], b: &[(u64, Lit)], cap: u64) -> Vec<(u64, Lit)> {
     use std::collections::BTreeMap;
     let mut sums: BTreeMap<u64, Lit> = BTreeMap::new();
     let fresh = |solver: &mut Solver, sums: &mut BTreeMap<u64, Lit>, w: u64| -> Lit {
@@ -178,19 +173,12 @@ mod tests {
         for bound in 0..weights.iter().sum::<u64>() {
             let mut s = Solver::new();
             let v = lits(&mut s, weights.len());
-            let terms: Vec<(u64, Lit)> =
-                weights.iter().copied().zip(v.iter().copied()).collect();
+            let terms: Vec<(u64, Lit)> = weights.iter().copied().zip(v.iter().copied()).collect();
             let tot = Totalizer::encode(&mut s, &terms, cap);
             let bound_lit = tot.bound_literal(bound);
             for mask in 0..(1u32 << weights.len()) {
                 let mut assumptions: Vec<Lit> = (0..weights.len())
-                    .map(|i| {
-                        if mask & (1 << i) != 0 {
-                            v[i]
-                        } else {
-                            !v[i]
-                        }
-                    })
+                    .map(|i| if mask & (1 << i) != 0 { v[i] } else { !v[i] })
                     .collect();
                 if let Some(bl) = bound_lit {
                     assumptions.push(!bl);
@@ -201,7 +189,10 @@ mod tests {
                     .sum();
                 let res = s.solve_with_assumptions(&assumptions);
                 if sum <= bound {
-                    assert!(res.is_sat(), "weights={weights:?} mask={mask:b} bound={bound}");
+                    assert!(
+                        res.is_sat(),
+                        "weights={weights:?} mask={mask:b} bound={bound}"
+                    );
                 } else {
                     assert_eq!(
                         res,

@@ -20,11 +20,7 @@ use crate::state::{run, NonUnitaryError, StateVec};
 ///
 /// Panics if the circuits have different register sizes or more than 12
 /// qubits (4096² amplitude comparisons).
-pub fn equivalent_unitaries(
-    a: &Circuit,
-    b: &Circuit,
-    tol: f64,
-) -> Result<bool, NonUnitaryError> {
+pub fn equivalent_unitaries(a: &Circuit, b: &Circuit, tol: f64) -> Result<bool, NonUnitaryError> {
     assert_eq!(a.num_qubits(), b.num_qubits(), "register size mismatch");
     let n = a.num_qubits();
     assert!(n <= 12, "equivalence check limited to 12 qubits");
@@ -66,7 +62,10 @@ pub fn mapped_equivalent(
     let n = original.num_qubits();
     let m = mapped.num_qubits();
     assert!(n <= 12 && m <= 20, "instance too large for simulation");
-    assert!(initial.is_complete() && fin.is_complete(), "layouts incomplete");
+    assert!(
+        initial.is_complete() && fin.is_complete(),
+        "layouts incomplete"
+    );
 
     let mut phase: Option<Complex> = None;
     for basis in 0..(1usize << n) {
@@ -105,12 +104,7 @@ pub fn mapped_equivalent(
     Ok(true)
 }
 
-fn columns_match(
-    a: &StateVec,
-    b: &StateVec,
-    phase: &mut Option<Complex>,
-    tol: f64,
-) -> bool {
+fn columns_match(a: &StateVec, b: &StateVec, phase: &mut Option<Complex>, tol: f64) -> bool {
     for idx in 0..a.amplitudes().len() {
         if !amp_matches(a.amplitude(idx), b.amplitude(idx), phase, tol) {
             return false;
@@ -121,12 +115,7 @@ fn columns_match(
 
 /// Checks `got ≈ phase · expected`, fixing the phase on the first
 /// significant amplitude.
-fn amp_matches(
-    got: Complex,
-    expected: Complex,
-    phase: &mut Option<Complex>,
-    tol: f64,
-) -> bool {
+fn amp_matches(got: Complex, expected: Complex, phase: &mut Option<Complex>, tol: f64) -> bool {
     match phase {
         Some(p) => got.approx_eq(*p * expected, tol),
         None => {

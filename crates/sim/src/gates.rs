@@ -25,10 +25,14 @@ pub fn matrix(kind: OneQubitKind) -> [[Complex; 2]; 2] {
         }
         OneQubitKind::S => [[o(), z()], [z(), i()]],
         OneQubitKind::Sdg => [[o(), z()], [z(), -i()]],
-        OneQubitKind::T => [[o(), z()], [z(), Complex::from_angle(std::f64::consts::FRAC_PI_4)]],
-        OneQubitKind::Tdg => {
-            [[o(), z()], [z(), Complex::from_angle(-std::f64::consts::FRAC_PI_4)]]
-        }
+        OneQubitKind::T => [
+            [o(), z()],
+            [z(), Complex::from_angle(std::f64::consts::FRAC_PI_4)],
+        ],
+        OneQubitKind::Tdg => [
+            [o(), z()],
+            [z(), Complex::from_angle(-std::f64::consts::FRAC_PI_4)],
+        ],
         OneQubitKind::Rx(t) => {
             let c = Complex::new((t / 2.0).cos(), 0.0);
             let s = Complex::new(0.0, -(t / 2.0).sin());
@@ -48,10 +52,7 @@ pub fn matrix(kind: OneQubitKind) -> [[Complex; 2]; 2] {
             let c = (t / 2.0).cos();
             let s = (t / 2.0).sin();
             [
-                [
-                    Complex::new(c, 0.0),
-                    -(Complex::from_angle(l).scale(s)),
-                ],
+                [Complex::new(c, 0.0), -(Complex::from_angle(l).scale(s))],
                 [
                     Complex::from_angle(p).scale(s),
                     Complex::from_angle(p + l).scale(c),
@@ -70,8 +71,8 @@ mod tests {
         let mut prod = [[Complex::zero(); 2]; 2];
         for r in 0..2 {
             for c in 0..2 {
-                for k in 0..2 {
-                    prod[r][c] += m[r][k] * m[c][k].conj();
+                for (&a, &b) in m[r].iter().zip(&m[c]) {
+                    prod[r][c] += a * b.conj();
                 }
             }
         }

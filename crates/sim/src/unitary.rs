@@ -27,13 +27,18 @@ impl Unitary {
         assert!(n <= 10, "unitary extraction limited to 10 qubits");
         let size = 1usize << n;
         let mut rows = vec![vec![Complex::zero(); size]; size];
+        // Column-major writes into row-major storage: indexed on purpose.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..size {
             let out = run(circuit, StateVec::basis(n, col))?;
             for (row, amp) in out.amplitudes().iter().enumerate() {
                 rows[row][col] = *amp;
             }
         }
-        Ok(Unitary { num_qubits: n, rows })
+        Ok(Unitary {
+            num_qubits: n,
+            rows,
+        })
     }
 
     /// Number of qubits.
@@ -60,7 +65,11 @@ impl Unitary {
                 for k in 0..size {
                     dot += self.rows[r][k] * self.rows[c][k].conj();
                 }
-                let expected = if r == c { Complex::one() } else { Complex::zero() };
+                let expected = if r == c {
+                    Complex::one()
+                } else {
+                    Complex::zero()
+                };
                 if !dot.approx_eq(expected, tol) {
                     return false;
                 }

@@ -9,7 +9,7 @@
 
 use qxmap::arch::{devices, CostModel, CouplingMap};
 use qxmap::circuit::paper_example;
-use qxmap::core::{ExactMapper, MapperConfig, Strategy};
+use qxmap::map::{Engine, ExactEngine, MapRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = paper_example();
@@ -35,22 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "device", "edges", "F", "mapped", "swaps", "4H", "optimal?"
     );
     for (cm, cost_model) in targets {
-        let mapper = ExactMapper::with_config(
-            cm.clone(),
-            MapperConfig::minimal()
-                .with_cost_model(cost_model)
-                .with_strategy(Strategy::BeforeEveryGate)
-                .with_subsets(true),
-        );
-        let r = mapper.map(&circuit)?;
+        let request = MapRequest::new(circuit.clone(), cm.clone()).with_cost_model(cost_model);
+        let r = ExactEngine::new().run(&request)?;
         println!(
             "{:<12} {:>6} {:>7} {:>7} {:>6} {:>6} {:>9}",
             cm.name(),
             cm.num_edges(),
-            r.cost,
+            r.cost.objective,
             r.mapped_cost(),
-            r.swaps,
-            r.reversals,
+            r.cost.swaps,
+            r.cost.reversals,
             if r.proved_optimal { "yes" } else { "no" },
         );
     }

@@ -2,21 +2,39 @@
 //! of the evaluation suite — a miniature of the paper's headline result
 //! ("IBM's heuristic exceeds the lower bound by more than 100%").
 //!
+//! Every engine answers the *same* `MapRequest` through the unified
+//! `qxmap-map` surface; no per-engine glue required.
+//!
 //! ```bash
 //! cargo run --release --example exact_vs_heuristic
 //! ```
 
 use qxmap::arch::devices;
 use qxmap::benchmarks::{circuit_for, profiles};
-use qxmap::core::{bound, ExactMapper, MapperConfig};
-use qxmap::heuristic::{AStarMapper, Mapper, NaiveMapper, SabreMapper, StochasticSwapMapper};
+use qxmap::core::bound;
+use qxmap::map::{Engine, ExactEngine, HeuristicEngine, MapRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cm = devices::ibm_qx4();
-    let names = ["ex-1_166", "ham3_102", "4gt11_84", "4mod5-v0_20", "4mod5-v1_22", "mod5d1_63"];
+    let names = [
+        "ex-1_166",
+        "ham3_102",
+        "4gt11_84",
+        "4mod5-v0_20",
+        "4mod5-v1_22",
+        "mod5d1_63",
+    ];
+
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(ExactEngine::new()),
+        Box::new(HeuristicEngine::stochastic(5)), // best of 5, as in Table 1
+        Box::new(HeuristicEngine::sabre()),
+        Box::new(HeuristicEngine::astar()),
+        Box::new(HeuristicEngine::naive()),
+    ];
 
     println!(
-        "{:<14} {:>4} {:>6} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "{:<14} {:>4} {:>6} {:>6} {:>12} {:>8} {:>8} {:>8} {:>8}",
         "benchmark", "n", "orig", "LB", "exact", "qiskit*", "sabre", "A*", "naive"
     );
     let mut total_exact_added = 0u64;
@@ -31,41 +49,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Default::default(),
         );
 
-        let exact = ExactMapper::with_config(cm.clone(), MapperConfig::minimal().with_subsets(true))
-            .map(&circuit)?;
+        let request = MapRequest::new(circuit.clone(), cm.clone());
+        let reports: Vec<_> = engines
+            .iter()
+            .map(|e| e.run(&request).expect("QX4 maps the whole suite"))
+            .collect();
+        let exact = &reports[0];
 
-        // Best of 5 probabilistic runs, as in Table 1's last column.
-        let stochastic = (0..5)
-            .map(|seed| {
-                StochasticSwapMapper::with_seed(seed)
-                    .map(&circuit, &cm)
-                    .expect("mappable")
-            })
-            .min_by_key(|r| r.mapped_cost())
-            .expect("five runs");
-        let sabre = SabreMapper::new().map(&circuit, &cm)?;
-        let astar = AStarMapper::new().map(&circuit, &cm)?;
-        let naive = NaiveMapper::new().map(&circuit, &cm)?;
-
-        assert!(lb <= exact.cost, "lower bound may never exceed the optimum");
-        assert!(exact.added_gates <= stochastic.added_gates);
-        assert!(exact.added_gates <= sabre.added_gates);
-        assert!(exact.added_gates <= astar.added_gates);
-        assert!(exact.added_gates <= naive.added_gates);
-        total_exact_added += exact.added_gates;
-        total_stoch_added += stochastic.added_gates;
+        assert!(
+            lb <= exact.cost.objective,
+            "lower bound may never exceed the optimum"
+        );
+        for heuristic in &reports[1..] {
+            assert!(
+                exact.cost.added_gates <= heuristic.cost.added_gates,
+                "{} beat the exact minimum",
+                heuristic.engine
+            );
+        }
+        total_exact_added += exact.cost.added_gates;
+        total_stoch_added += reports[1].cost.added_gates;
 
         println!(
-            "{:<14} {:>4} {:>6} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            "{:<14} {:>4} {:>6} {:>6} {:>12} {:>8} {:>8} {:>8} {:>8}",
             name,
             circuit.num_qubits(),
             circuit.original_cost(),
             lb,
-            format!("{} (F={})", exact.mapped_cost(), exact.cost),
-            stochastic.mapped_cost(),
-            sabre.mapped_cost(),
-            astar.mapped_cost(),
-            naive.mapped_cost(),
+            format!("{} (F={})", exact.mapped_cost(), exact.cost.objective),
+            reports[1].mapped_cost(),
+            reports[2].mapped_cost(),
+            reports[3].mapped_cost(),
+            reports[4].mapped_cost(),
         );
     }
     println!(

@@ -13,7 +13,8 @@
 
 use qxmap::arch::{connected_subsets, devices};
 use qxmap::circuit::{draw, paper_example, sequential_layers};
-use qxmap::core::{ExactMapper, MapperConfig, Strategy};
+use qxmap::core::Strategy;
+use qxmap::map::{Engine, ExactEngine, Guarantee, MapRequest};
 use qxmap::sim::mapped_equivalent;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -59,27 +60,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let points = strategy.change_points(&skeleton);
         // Print 1-based gate names like the paper (g2, g3, …).
         let named: Vec<String> = points.iter().map(|k| format!("g{}", k + 1)).collect();
-        println!("  {:16} |G'| = {}  G' = {{{}}}", strategy.name(), points.len(), named.join(", "));
+        println!(
+            "  {:16} |G'| = {}  G' = {{{}}}",
+            strategy.name(),
+            points.len(),
+            named.join(", ")
+        );
     }
 
     println!("\n=== Example 7 / Fig. 5: the minimal mapping ===");
-    let mapper = ExactMapper::with_config(cm.clone(), MapperConfig::minimal());
-    let result = mapper.map(&circuit)?;
+    let request = MapRequest::new(circuit.clone(), cm.clone())
+        .with_guarantee(Guarantee::Optimal)
+        .with_subsets(false); // the unrestricted Section 3 formulation
+    let report = ExactEngine::new().run(&request)?;
     println!(
         "F = {} (SWAPs: {}, reversed CNOTs: {}), proved optimal: {}",
-        result.cost, result.swaps, result.reversals, result.proved_optimal
+        report.cost.objective, report.cost.swaps, report.cost.reversals, report.proved_optimal
     );
-    assert_eq!(result.cost, 4, "the paper's minimum is 4");
-    println!("initial layout: {}", result.initial_layout);
-    println!("mapped circuit ({} gates):", result.mapped_cost());
-    println!("{}", draw(&result.mapped));
+    assert_eq!(report.cost.objective, 4, "the paper's minimum is 4");
+    println!("initial layout: {}", report.initial_layout);
+    println!("mapped circuit ({} gates):", report.mapped_cost());
+    println!("{}", draw(&report.mapped));
 
     // The paper asserts functional equivalence by construction; we check it.
     let ok = mapped_equivalent(
         &circuit,
-        &result.mapped,
-        &result.initial_layout,
-        &result.final_layout,
+        &report.mapped,
+        &report.initial_layout,
+        &report.final_layout,
         1e-9,
     )?;
     assert!(ok, "mapped circuit must be equivalent to the original");

@@ -7,7 +7,8 @@
 //! ```
 
 use qxmap::arch::devices;
-use qxmap::core::{verify, ExactMapper, MapperConfig, Strategy};
+use qxmap::core::Strategy;
+use qxmap::map::{Engine, ExactEngine, MapRequest};
 use qxmap::qasm;
 use qxmap::sim::mapped_equivalent;
 
@@ -31,37 +32,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let cm = devices::ibm_qx4();
-    let mapper = ExactMapper::with_config(
-        cm.clone(),
-        MapperConfig::minimal()
-            .with_subsets(true)
-            .with_strategy(Strategy::DisjointQubits),
-    );
-    let result = mapper.map(&circuit)?;
+    let request =
+        MapRequest::new(circuit.clone(), cm.clone()).with_strategy(Strategy::DisjointQubits);
+    let report = ExactEngine::new().run(&request)?;
     println!(
         "mapped to {}: F = {} ({} SWAPs, {} reversals), |G'| = {}",
         cm.name(),
-        result.cost,
-        result.swaps,
-        result.reversals,
-        result.num_change_points
+        report.cost.objective,
+        report.cost.swaps,
+        report.cost.reversals,
+        report.num_change_points.unwrap_or(0)
     );
 
-    verify::check_result(&circuit, &result, &cm)?;
+    report.verify(&circuit, &cm)?;
     let ok = mapped_equivalent(
         &circuit,
-        &result.mapped,
-        &result.initial_layout,
-        &result.final_layout,
+        &report.mapped,
+        &report.initial_layout,
+        &report.final_layout,
         1e-9,
     )?;
     assert!(ok, "mapped circuit must stay equivalent");
     println!("verified equivalent; exporting hardware QASM:\n");
 
-    let exported = qasm::to_qasm(&result.mapped);
+    let exported = qasm::to_qasm(&report.mapped);
     println!("{exported}");
     // The export round-trips.
     let reparsed = qasm::parse(&exported)?;
-    assert_eq!(reparsed.gates(), result.mapped.gates());
+    assert_eq!(reparsed.gates(), report.mapped.gates());
     Ok(())
 }

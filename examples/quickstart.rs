@@ -1,4 +1,5 @@
-//! Quickstart: build a circuit, inspect the device, map it exactly.
+//! Quickstart: build a circuit, inspect the device, map it through the
+//! unified request/report surface.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -6,7 +7,7 @@
 
 use qxmap::arch::{devices, SwapTable};
 use qxmap::circuit::Circuit;
-use qxmap::core::{verify, ExactMapper, MapperConfig};
+use qxmap::map::{Engine, MapRequest, Portfolio};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The device the paper evaluates on: IBM QX4 (Fig. 2).
@@ -37,24 +38,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     circuit.cx(2, 3);
     println!("Original ({} gates):\n{circuit}", circuit.original_cost());
 
-    // Map with the guaranteed-minimal method plus the subset optimization.
-    let mapper = ExactMapper::with_config(
-        cm.clone(),
-        MapperConfig::minimal().with_subsets(true),
-    );
-    let result = mapper.map(&circuit)?;
+    // One request, one report: the portfolio engine runs a cheap
+    // heuristic, seeds the exact SAT search with its cost, and comes back
+    // with a provably minimal mapping.
+    let request = MapRequest::new(circuit.clone(), cm.clone());
+    let report = Portfolio::new().run(&request)?;
 
     println!(
-        "Minimal mapping: F = {} ({} SWAPs, {} reversed CNOTs), proved optimal: {}",
-        result.cost, result.swaps, result.reversals, result.proved_optimal
+        "Minimal mapping via {}: {} — proved optimal: {}",
+        report.engine, report.cost, report.proved_optimal
     );
-    println!("  initial layout: {}", result.initial_layout);
-    println!("  final layout:   {}", result.final_layout);
-    println!("  physical qubits used: {:?}", result.subset);
-    println!("\nMapped ({} gates):\n{}", result.mapped_cost(), result.mapped);
+    println!("  initial layout: {}", report.initial_layout);
+    println!("  final layout:   {}", report.final_layout);
+    if let Some(subset) = &report.subset {
+        println!("  physical qubits used: {subset:?}");
+    }
+    println!(
+        "\nMapped ({} gates):\n{}",
+        report.mapped_cost(),
+        report.mapped
+    );
 
     // Every CNOT in the output respects the coupling map.
-    verify::check_result(&circuit, &result, &cm)?;
+    report.verify(&circuit, &cm)?;
     println!("verified: output is hardware-legal and cost-consistent");
     Ok(())
 }

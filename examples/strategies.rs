@@ -10,7 +10,8 @@ use std::time::Instant;
 
 use qxmap::arch::devices;
 use qxmap::benchmarks::{circuit_for, profiles};
-use qxmap::core::{ExactMapper, MapperConfig, Strategy};
+use qxmap::core::Strategy;
+use qxmap::map::{Engine, ExactEngine, MapRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cm = devices::ibm_qx4();
@@ -24,29 +25,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.num_cnots()
     );
 
-    let configs: Vec<(&str, MapperConfig)> = vec![
-        ("minimal (Sec. 3)", MapperConfig::minimal()),
-        (
-            "subsets (Sec. 4.1)",
-            MapperConfig::minimal().with_subsets(true),
-        ),
+    let base = MapRequest::new(circuit.clone(), cm.clone());
+    let configs: Vec<(&str, MapRequest)> = vec![
+        ("minimal (Sec. 3)", base.clone().with_subsets(false)),
+        ("subsets (Sec. 4.1)", base.clone()),
         (
             "disjoint qubits",
-            MapperConfig::minimal()
-                .with_strategy(Strategy::DisjointQubits)
-                .with_subsets(true),
+            base.clone().with_strategy(Strategy::DisjointQubits),
         ),
-        (
-            "odd gates",
-            MapperConfig::minimal()
-                .with_strategy(Strategy::OddGates)
-                .with_subsets(true),
-        ),
+        ("odd gates", base.clone().with_strategy(Strategy::OddGates)),
         (
             "qubit triangle",
-            MapperConfig::minimal()
-                .with_strategy(Strategy::QubitTriangle)
-                .with_subsets(true),
+            base.clone().with_strategy(Strategy::QubitTriangle),
         ),
     ];
 
@@ -55,19 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "method", "c", "Δmin", "|G'|", "iters", "time"
     );
     let mut minimum = None;
-    for (label, cfg) in configs {
+    for (label, request) in configs {
         let start = Instant::now();
-        let result = ExactMapper::with_config(cm.clone(), cfg).map(&circuit)?;
+        let report = ExactEngine::new().run(&request)?;
         let elapsed = start.elapsed();
-        let c = result.mapped_cost();
+        let c = report.mapped_cost();
         let min = *minimum.get_or_insert(c);
         println!(
             "{:<20} {:>6} {:>6} {:>6} {:>6} {:>10.3?}",
             label,
             c,
             format!("+{}", c - min),
-            result.num_change_points,
-            result.iterations,
+            report.num_change_points.unwrap_or(0),
+            report.iterations.unwrap_or(0),
             elapsed
         );
     }

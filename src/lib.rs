@@ -18,26 +18,33 @@
 //! | [`sat`] | `qxmap-sat` | CDCL solver, encodings, totalizer, minimizer |
 //! | [`core`] | `qxmap-core` | the exact mapper (the paper's contribution) |
 //! | [`qasm`] | `qxmap-qasm` | OpenQASM 2.0 parser/writer |
-//! | [`heuristic`] | `qxmap-heuristic` | stochastic-swap / A* / naive baselines |
+//! | [`heuristic`] | `qxmap-heuristic` | stochastic-swap / A* / SABRE / naive baselines |
+//! | [`map`] | `qxmap-map` | **the unified mapping surface**: `MapRequest` → `MapReport` over every engine, portfolio runner, batch entry point |
 //! | [`sim`] | `qxmap-sim` | statevector simulation & equivalence checking |
 //! | [`benchmarks`] | `qxmap-benchmarks` | Table 1 profiles, generators, `.real` parser |
 //!
 //! ## Quickstart
 //!
-//! Map the paper's running example (Fig. 1a) to IBM QX4 with provably
-//! minimal cost:
+//! Map the paper's running example (Fig. 1a) to IBM QX4 through the
+//! unified surface. The portfolio engine runs a cheap heuristic, seeds
+//! the exact SAT search with its cost, and returns a provably minimal
+//! result whenever the device is in the exact method's regime:
 //!
 //! ```
 //! use qxmap::arch::devices;
 //! use qxmap::circuit::paper_example;
-//! use qxmap::core::ExactMapper;
+//! use qxmap::map::{Engine, MapRequest, Portfolio};
 //!
-//! let mapper = ExactMapper::new(devices::ibm_qx4());
-//! let result = mapper.map(&paper_example())?;
-//! assert_eq!(result.cost, 4); // Example 7 of the paper
-//! println!("{}", result.mapped);
-//! # Ok::<(), qxmap::core::MapError>(())
+//! let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+//! let report = Portfolio::new().run(&request)?;
+//! assert_eq!(report.cost.objective, 4); // Example 7 of the paper
+//! assert!(report.proved_optimal);
+//! println!("{}", report.mapped);
+//! # Ok::<(), qxmap::map::MapperError>(())
 //! ```
+//!
+//! Batches go through [`map::map_many`], which fans requests out across
+//! std threads and returns one report per request, in order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +54,7 @@ pub use qxmap_benchmarks as benchmarks;
 pub use qxmap_circuit as circuit;
 pub use qxmap_core as core;
 pub use qxmap_heuristic as heuristic;
+pub use qxmap_map as map;
 pub use qxmap_qasm as qasm;
 pub use qxmap_sat as sat;
 pub use qxmap_sim as sim;

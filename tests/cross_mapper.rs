@@ -1,11 +1,10 @@
-//! Cross-mapper invariants: the exact optimum is a true floor for every
-//! heuristic, and every mapper's output is hardware-legal and functionally
-//! equivalent to its input.
+//! Cross-engine invariants through the unified `qxmap-map` surface: the
+//! exact optimum is a true floor for every heuristic, and every engine's
+//! report is hardware-legal and functionally equivalent to its input.
 
 use qxmap::arch::devices;
 use qxmap::circuit::Circuit;
-use qxmap::core::{verify, ExactMapper, MapperConfig};
-use qxmap::heuristic::{AStarMapper, Mapper, NaiveMapper, SabreMapper, StochasticSwapMapper};
+use qxmap::map::{Engine, ExactEngine, HeuristicEngine, MapRequest};
 use qxmap::sim::mapped_equivalent;
 
 /// A deterministic family of small test circuits.
@@ -22,64 +21,43 @@ fn test_circuits() -> Vec<Circuit> {
     out
 }
 
+fn heuristic_engines() -> Vec<(&'static str, HeuristicEngine)> {
+    vec![
+        ("stochastic", HeuristicEngine::stochastic(1)),
+        ("astar", HeuristicEngine::astar()),
+        ("sabre", HeuristicEngine::sabre()),
+        ("naive", HeuristicEngine::naive()),
+    ]
+}
+
 #[test]
 fn exact_is_a_floor_for_all_heuristics() {
     let cm = devices::ibm_qx4();
     for (idx, circuit) in test_circuits().iter().enumerate() {
-        let exact = ExactMapper::with_config(
-            cm.clone(),
-            MapperConfig::minimal().with_subsets(true),
-        )
-        .map(circuit)
-        .expect("mappable");
+        let request = MapRequest::new(circuit.clone(), cm.clone()).with_seed(idx as u64);
+        let exact = ExactEngine::new().run(&request).expect("mappable");
         assert!(exact.proved_optimal, "circuit {idx}");
 
-        let heuristics: Vec<(&str, u64)> = vec![
-            (
-                "stochastic",
-                StochasticSwapMapper::with_seed(idx as u64)
-                    .map(circuit, &cm)
-                    .expect("mappable")
-                    .added_gates,
-            ),
-            (
-                "astar",
-                AStarMapper::new().map(circuit, &cm).expect("mappable").added_gates,
-            ),
-            (
-                "sabre",
-                SabreMapper::new().map(circuit, &cm).expect("mappable").added_gates,
-            ),
-            (
-                "naive",
-                NaiveMapper::new().map(circuit, &cm).expect("mappable").added_gates,
-            ),
-        ];
-        for (name, added) in heuristics {
+        for (name, engine) in heuristic_engines() {
+            let added = engine.run(&request).expect("mappable").cost.added_gates;
             assert!(
-                exact.added_gates <= added,
+                exact.cost.added_gates <= added,
                 "circuit {idx}: {name} added {added} < exact {}",
-                exact.added_gates
+                exact.cost.added_gates
             );
         }
     }
 }
 
 #[test]
-fn every_mapper_output_is_equivalent_and_legal() {
+fn every_engine_report_is_equivalent_and_legal() {
     let cm = devices::ibm_qx4();
     for (idx, circuit) in test_circuits().iter().enumerate() {
-        // Heuristic outputs.
-        let mappers: Vec<Box<dyn Mapper>> = vec![
-            Box::new(StochasticSwapMapper::with_seed(99)),
-            Box::new(AStarMapper::new()),
-            Box::new(NaiveMapper::new()),
-            Box::new(SabreMapper::new()),
-        ];
-        for mapper in mappers {
-            let r = mapper.map(circuit, &cm).expect("mappable");
-            verify::check_coupling(&r.mapped, &cm)
-                .unwrap_or_else(|e| panic!("circuit {idx}, {}: {e}", mapper.name()));
+        let request = MapRequest::new(circuit.clone(), cm.clone()).with_seed(99);
+        for (name, engine) in heuristic_engines() {
+            let r = engine.run(&request).expect("mappable");
+            r.verify(circuit, &cm)
+                .unwrap_or_else(|e| panic!("circuit {idx}, {name}: {e}"));
             assert!(
                 mapped_equivalent(
                     &circuit.decompose_swaps(),
@@ -89,16 +67,15 @@ fn every_mapper_output_is_equivalent_and_legal() {
                     1e-9,
                 )
                 .expect("unitary"),
-                "circuit {idx}: {} output diverged",
-                mapper.name()
+                "circuit {idx}: {name} output diverged"
             );
             // Cost accounting: added gates decompose into 7/4 units.
             assert_eq!(
-                r.added_gates,
-                7 * u64::from(r.swaps) + 4 * u64::from(r.reversals),
-                "circuit {idx}: {}",
-                mapper.name()
+                r.cost.added_gates,
+                7 * u64::from(r.cost.swaps) + 4 * u64::from(r.cost.reversals),
+                "circuit {idx}: {name}"
             );
+            assert_eq!(r.engine, name, "engine must sign its report");
         }
     }
 }
@@ -107,17 +84,17 @@ fn every_mapper_output_is_equivalent_and_legal() {
 fn heuristic_cost_model_identity_on_qx4() {
     // On QX4 every edge is unidirectional: each SWAP is 7 gates, each
     // reversal 4 — so mapped_cost − original = 7s + 4r exactly, for every
-    // mapper on every circuit. (Already asserted above per-mapper; this
+    // engine on every circuit. (Already asserted above per-engine; this
     // aggregates as a final sanity sum.)
     let cm = devices::ibm_qx4();
+    let engine = HeuristicEngine::stochastic(1);
     let mut total_added = 0u64;
     let mut total_units = 0u64;
     for circuit in test_circuits() {
-        let r = StochasticSwapMapper::with_seed(5)
-            .map(&circuit, &cm)
-            .expect("mappable");
-        total_added += r.added_gates;
-        total_units += 7 * u64::from(r.swaps) + 4 * u64::from(r.reversals);
+        let request = MapRequest::new(circuit, cm.clone()).with_seed(5);
+        let r = engine.run(&request).expect("mappable");
+        total_added += r.cost.added_gates;
+        total_units += 7 * u64::from(r.cost.swaps) + 4 * u64::from(r.cost.reversals);
     }
     assert_eq!(total_added, total_units);
 }

@@ -1,32 +1,38 @@
-//! End-to-end pipeline tests: exact mapping on the paper's running example
-//! and the evaluation suite, with structural and functional verification.
+//! End-to-end pipeline tests through the unified surface: exact mapping
+//! on the paper's running example and the evaluation suite, with
+//! structural and functional verification.
 
 use qxmap::arch::devices;
 use qxmap::benchmarks::{circuit_for, profiles};
 use qxmap::circuit::paper_example;
-use qxmap::core::{bound, verify, ExactMapper, MapperConfig, Strategy};
+use qxmap::core::{bound, Strategy};
+use qxmap::map::{Engine, ExactEngine, Guarantee, MapRequest};
 use qxmap::sim::mapped_equivalent;
 
 #[test]
 fn paper_example_full_reproduction() {
     let circuit = paper_example();
     let cm = devices::ibm_qx4();
-    let result = ExactMapper::new(cm.clone()).map(&circuit).expect("mappable");
+    let request = MapRequest::new(circuit.clone(), cm.clone())
+        .with_guarantee(Guarantee::Optimal)
+        .with_subsets(false);
+    let report = ExactEngine::new().run(&request).expect("mappable");
 
     // Example 7: minimal cost F = 4, realized without SWAPs.
-    assert_eq!(result.cost, 4);
-    assert_eq!(result.swaps, 0);
-    assert_eq!(result.reversals, 1);
-    assert!(result.proved_optimal);
+    assert_eq!(report.cost.objective, 4);
+    assert_eq!(report.cost.swaps, 0);
+    assert_eq!(report.cost.reversals, 1);
+    assert!(report.proved_optimal);
+    assert_eq!(report.engine, "exact");
     // Fig. 5: the resulting circuit has 12 gates (8 original + 4 H).
-    assert_eq!(result.mapped_cost(), 12);
+    assert_eq!(report.mapped_cost(), 12);
 
-    verify::check_result(&circuit, &result, &cm).expect("structurally sound");
+    report.verify(&circuit, &cm).expect("structurally sound");
     assert!(mapped_equivalent(
         &circuit,
-        &result.mapped,
-        &result.initial_layout,
-        &result.final_layout,
+        &report.mapped,
+        &report.initial_layout,
+        &report.final_layout,
         1e-9,
     )
     .expect("unitary circuits"));
@@ -38,14 +44,11 @@ fn small_suite_instances_map_verified() {
     for name in ["ex-1_166", "4gt11_84"] {
         let profile = profiles::by_name(name).expect("known");
         let circuit = circuit_for(&profile);
-        let result = ExactMapper::with_config(
-            cm.clone(),
-            MapperConfig::minimal().with_subsets(true),
-        )
-        .map(&circuit)
-        .expect("mappable");
-        assert!(result.proved_optimal, "{name}");
-        verify::check_result(&circuit, &result, &cm).expect("sound");
+        let request =
+            MapRequest::new(circuit.clone(), cm.clone()).with_guarantee(Guarantee::Optimal);
+        let report = ExactEngine::new().run(&request).expect("mappable");
+        assert!(report.proved_optimal, "{name}");
+        report.verify(&circuit, &cm).expect("sound");
         // The lower bound brackets the optimum from below.
         let lb = bound::lower_bound(
             &circuit.cnot_skeleton(),
@@ -53,14 +56,18 @@ fn small_suite_instances_map_verified() {
             &cm,
             Default::default(),
         );
-        assert!(lb <= result.cost, "{name}: lb {lb} > {}", result.cost);
+        assert!(
+            lb <= report.cost.objective,
+            "{name}: lb {lb} > {}",
+            report.cost.objective
+        );
         // Functional equivalence under simulation.
         assert!(
             mapped_equivalent(
                 &circuit,
-                &result.mapped,
-                &result.initial_layout,
-                &result.final_layout,
+                &report.mapped,
+                &report.initial_layout,
+                &report.final_layout,
                 1e-9,
             )
             .expect("unitary"),
@@ -78,20 +85,21 @@ fn strategies_verified_on_running_example() {
         Strategy::OddGates,
         Strategy::QubitTriangle,
     ] {
-        let result = ExactMapper::with_config(
-            cm.clone(),
-            MapperConfig::minimal().with_strategy(strategy.clone()),
-        )
-        .map(&circuit)
-        .expect("mappable");
-        assert!(result.cost >= 4, "{strategy:?} beat the proven minimum");
-        verify::check_result(&circuit, &result, &cm).expect("sound");
+        let request = MapRequest::new(circuit.clone(), cm.clone())
+            .with_strategy(strategy.clone())
+            .with_subsets(false);
+        let report = ExactEngine::new().run(&request).expect("mappable");
+        assert!(
+            report.cost.objective >= 4,
+            "{strategy:?} beat the proven minimum"
+        );
+        report.verify(&circuit, &cm).expect("sound");
         assert!(
             mapped_equivalent(
                 &circuit,
-                &result.mapped,
-                &result.initial_layout,
-                &result.final_layout,
+                &report.mapped,
+                &report.initial_layout,
+                &report.final_layout,
                 1e-9,
             )
             .expect("unitary"),
@@ -105,18 +113,16 @@ fn qx2_and_line_devices_work_too() {
     // The method is architecture-generic; run the example elsewhere.
     let circuit = paper_example();
     for cm in [devices::ibm_qx2(), devices::linear(4), devices::ring(4)] {
-        let result = ExactMapper::with_config(
-            cm.clone(),
-            MapperConfig::minimal().with_strategy(Strategy::OddGates),
-        )
-        .map(&circuit)
-        .expect("mappable");
-        verify::check_coupling(&result.mapped, &cm).expect("legal");
+        let request = MapRequest::new(circuit.clone(), cm.clone())
+            .with_strategy(Strategy::OddGates)
+            .with_subsets(false);
+        let report = ExactEngine::new().run(&request).expect("mappable");
+        report.verify(&circuit, &cm).expect("legal");
         assert!(mapped_equivalent(
             &circuit,
-            &result.mapped,
-            &result.initial_layout,
-            &result.final_layout,
+            &report.mapped,
+            &report.initial_layout,
+            &report.final_layout,
             1e-9,
         )
         .expect("unitary"));
@@ -133,15 +139,13 @@ fn bidirectional_device_has_no_reversals() {
     circuit.cx(2, 3);
     circuit.cx(3, 1);
     let cm = devices::ibm_tokyo();
-    let result = ExactMapper::with_config(
-        cm.clone(),
-        MapperConfig::minimal()
-            .with_subsets(true)
-            .with_cost_model(qxmap::arch::CostModel::bidirectional()),
-    )
-    .map(&circuit)
-    .expect("mappable");
-    assert_eq!(result.reversals, 0);
-    assert_eq!(result.cost, 0, "adjacent placement exists on Tokyo");
-    verify::check_coupling(&result.mapped, &cm).expect("legal");
+    let request = MapRequest::new(circuit.clone(), cm.clone())
+        .with_cost_model(qxmap::arch::CostModel::bidirectional());
+    let report = ExactEngine::new().run(&request).expect("mappable");
+    assert_eq!(report.cost.reversals, 0);
+    assert_eq!(
+        report.cost.objective, 0,
+        "adjacent placement exists on Tokyo"
+    );
+    report.verify(&circuit, &cm).expect("legal");
 }

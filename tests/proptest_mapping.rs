@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use qxmap::arch::devices;
 use qxmap::circuit::Circuit;
-use qxmap::core::{verify, ExactMapper, MapperConfig, Strategy as MapStrategy};
+use qxmap::core::Strategy as MapStrategy;
+use qxmap::map::{Engine, ExactEngine, MapRequest};
 use qxmap::sim::mapped_equivalent;
 
 /// Random circuits with 2–4 qubits and up to 8 gates.
@@ -44,28 +45,26 @@ proptest! {
     #[test]
     fn exact_mapping_is_sound(circuit in circuit_strategy()) {
         let cm = devices::ibm_qx4();
-        let result = ExactMapper::with_config(
-            cm.clone(),
-            MapperConfig::minimal().with_subsets(true),
-        )
-        .map(&circuit)
-        .expect("QX4 maps every small circuit");
+        let request = MapRequest::new(circuit.clone(), cm.clone());
+        let report = ExactEngine::new()
+            .run(&request)
+            .expect("QX4 maps every small circuit");
 
         // Structural soundness + cost accounting.
-        verify::check_result(&circuit, &result, &cm).expect("sound");
+        report.verify(&circuit, &cm).expect("sound");
         prop_assert_eq!(
-            result.added_gates,
-            7 * u64::from(result.swaps) + 4 * u64::from(result.reversals)
+            report.cost.added_gates,
+            7 * u64::from(report.cost.swaps) + 4 * u64::from(report.cost.reversals)
         );
-        prop_assert_eq!(result.cost, result.added_gates);
-        prop_assert!(result.proved_optimal);
+        prop_assert_eq!(report.cost.objective, report.cost.added_gates);
+        prop_assert!(report.proved_optimal);
 
         // Functional equivalence.
         prop_assert!(mapped_equivalent(
             &circuit,
-            &result.mapped,
-            &result.initial_layout,
-            &result.final_layout,
+            &report.mapped,
+            &report.initial_layout,
+            &report.final_layout,
             1e-9,
         ).expect("unitary"));
     }
@@ -73,19 +72,20 @@ proptest! {
     #[test]
     fn strategies_never_beat_the_minimum(circuit in circuit_strategy()) {
         let cm = devices::ibm_qx4();
-        let minimal = ExactMapper::with_config(
-            cm.clone(),
-            MapperConfig::minimal().with_subsets(true),
-        )
-        .map(&circuit)
-        .expect("mappable")
-        .cost;
+        let request = MapRequest::new(circuit.clone(), cm.clone());
+        let minimal = ExactEngine::new()
+            .run(&request)
+            .expect("mappable")
+            .cost
+            .objective;
         for strategy in [MapStrategy::DisjointQubits, MapStrategy::OddGates, MapStrategy::QubitTriangle] {
-            let cfg = MapperConfig::minimal()
-                .with_strategy(strategy.clone())
-                .with_subsets(true);
-            let r = ExactMapper::with_config(cm.clone(), cfg).map(&circuit).expect("mappable");
-            prop_assert!(r.cost >= minimal, "{:?} {} < {}", strategy, r.cost, minimal);
+            let r = ExactEngine::new()
+                .run(&request.clone().with_strategy(strategy.clone()))
+                .expect("mappable");
+            prop_assert!(
+                r.cost.objective >= minimal,
+                "{:?} {} < {}", strategy, r.cost.objective, minimal
+            );
         }
     }
 }

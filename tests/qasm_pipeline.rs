@@ -1,7 +1,8 @@
 //! QASM-in → map → QASM-out pipeline tests.
 
 use qxmap::arch::devices;
-use qxmap::core::{verify, ExactMapper, MapperConfig, Strategy};
+use qxmap::core::Strategy;
+use qxmap::map::{Engine, ExactEngine, MapRequest};
 use qxmap::qasm;
 use qxmap::sim::{equivalent_unitaries, mapped_equivalent};
 
@@ -22,27 +23,22 @@ fn parse_map_export_reparse() {
     assert_eq!(circuit.num_cnots(), 7); // 6 (ccx) + 1
 
     let cm = devices::ibm_qx4();
-    let result = ExactMapper::with_config(
-        cm.clone(),
-        MapperConfig::minimal()
-            .with_subsets(true)
-            .with_strategy(Strategy::DisjointQubits),
-    )
-    .map(&circuit)
-    .expect("mappable");
-    verify::check_result(&circuit, &result, &cm).expect("sound");
+    let request =
+        MapRequest::new(circuit.clone(), cm.clone()).with_strategy(Strategy::DisjointQubits);
+    let report = ExactEngine::new().run(&request).expect("mappable");
+    report.verify(&circuit, &cm).expect("sound");
 
     // Export and reparse the hardware circuit: bit-identical gate list.
-    let exported = qasm::to_qasm(&result.mapped);
+    let exported = qasm::to_qasm(&report.mapped);
     let reparsed = qasm::parse(&exported).expect("exporter emits valid QASM");
-    assert_eq!(reparsed.gates(), result.mapped.gates());
+    assert_eq!(reparsed.gates(), report.mapped.gates());
 
     // Functional equivalence through the whole pipeline.
     assert!(mapped_equivalent(
         &circuit,
-        &result.mapped,
-        &result.initial_layout,
-        &result.final_layout,
+        &report.mapped,
+        &report.initial_layout,
+        &report.final_layout,
         1e-9,
     )
     .expect("unitary"));
@@ -51,10 +47,9 @@ fn parse_map_export_reparse() {
 #[test]
 fn qelib_toffoli_decomposition_is_functionally_toffoli() {
     // The inlined ccx must implement the textbook Toffoli truth table.
-    let parsed = qasm::parse(
-        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nccx q[0], q[1], q[2];\n",
-    )
-    .expect("valid");
+    let parsed =
+        qasm::parse("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nccx q[0], q[1], q[2];\n")
+            .expect("valid");
     let mut reference = qxmap::circuit::Circuit::new(3);
     qxmap::benchmarks::mct::append_mct(&mut reference, &[0, 1], 2).expect("two controls");
     assert!(equivalent_unitaries(&parsed, &reference, 1e-9).expect("unitary"));
@@ -74,20 +69,14 @@ t1 c
 ";
     let circuit = qxmap::benchmarks::real::parse_real(src).expect("valid netlist");
     let cm = devices::ibm_qx4();
-    let result = ExactMapper::with_config(
-        cm.clone(),
-        MapperConfig::minimal()
-            .with_subsets(true)
-            .with_strategy(Strategy::OddGates),
-    )
-    .map(&circuit)
-    .expect("mappable");
-    verify::check_coupling(&result.mapped, &cm).expect("legal");
+    let request = MapRequest::new(circuit.clone(), cm.clone()).with_strategy(Strategy::OddGates);
+    let report = ExactEngine::new().run(&request).expect("mappable");
+    report.verify(&circuit, &cm).expect("legal");
     assert!(mapped_equivalent(
         &circuit,
-        &result.mapped,
-        &result.initial_layout,
-        &result.final_layout,
+        &report.mapped,
+        &report.initial_layout,
+        &report.final_layout,
         1e-9,
     )
     .expect("unitary"));

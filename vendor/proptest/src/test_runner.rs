@@ -1,0 +1,63 @@
+//! Test configuration and the deterministic case generator.
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The per-test PRNG cases are drawn from (SplitMix64).
+///
+/// Seeded from the test's name so distinct properties explore distinct
+/// streams, yet every run of the suite is reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded deterministically from `label`.
+    pub fn deterministic(label: &str) -> TestRng {
+        // FNV-1a over the label.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot index an empty domain");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
