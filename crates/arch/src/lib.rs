@@ -9,7 +9,9 @@
 //! * [`SwapTable`] — minimal `swaps(π)` counts *and* witness SWAP sequences
 //!   for every permutation realizable on a coupling (sub)graph, computed by
 //!   breadth-first search exactly as the paper prescribes ("determined …
-//!   by using an exhaustive search").
+//!   by using an exhaustive search"). [`SwapTable::shared`] memoizes
+//!   tables in a process-wide cache keyed by the induced subgraph, so
+//!   per-subset exact solves and request batches build each table once.
 //! * [`connected_subsets`] — the Section 4.1 physical-qubit subset
 //!   enumeration with the isolation filter.
 //! * [`Layout`] — a (partial) assignment of logical to physical qubits.
@@ -45,4 +47,4 @@ pub use layout::{Layout, LayoutError};
 pub use perm::Permutation;
 pub use route::CostModel;
 pub use subsets::connected_subsets;
-pub use swaps::{CostedSwapTable, SwapTable};
+pub use swaps::{CostedSwapTable, SwapTable, SwapTableCacheStats};

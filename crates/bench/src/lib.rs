@@ -24,7 +24,7 @@ use qxmap_circuit::Circuit;
 use qxmap_map::{Engine, HeuristicEngine, MapReport, MapRequest};
 
 /// Best of `runs` probabilistic stochastic-swap mappings (Table 1 ran
-/// Qiskit "5 times for each benchmark and list[ed] the observed minimum").
+/// Qiskit "5 times for each benchmark and listed the observed minimum").
 ///
 /// # Panics
 ///

@@ -1,6 +1,6 @@
 //! Parser for RevLib's `.real` reversible-netlist format.
 //!
-//! The paper's benchmarks originate from RevLib (reference [20]); this
+//! The paper's benchmarks originate from RevLib (reference \[20\]); this
 //! parser lets genuine `.real` files be used directly: Toffoli (`t<k>`)
 //! and Fredkin (`f<k>`) lines are decomposed into the elementary basis
 //! via [`crate::mct`].

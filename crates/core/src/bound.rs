@@ -1,11 +1,84 @@
-//! Cheap lower bounds on the mapping cost.
+//! Bounds on the mapping cost.
 //!
-//! The paper evaluates heuristics against the *exact* minimum; these bounds
-//! give an instant sanity interval without invoking the reasoning engine:
-//! every exact result must lie between [`lower_bound`] and any heuristic's
-//! cost.
+//! Two kinds live here:
+//!
+//! * cheap *lower* bounds ([`lower_bound`], [`swap_free_minimum`]): the
+//!   paper evaluates heuristics against the exact minimum; these give an
+//!   instant sanity interval without invoking the reasoning engine —
+//!   every exact result must lie between [`lower_bound`] and any
+//!   heuristic's cost;
+//! * a thread-shared, monotonically tightening *upper* bound
+//!   ([`SharedBound`]): the best achievable cost any concurrent searcher
+//!   has found so far, used by the parallel per-subset solves and by
+//!   `qxmap-map`'s racing portfolio to prune each other's searches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use qxmap_arch::{connected_subsets, CostModel, CouplingMap, Permutation};
+
+/// A monotonically tightening upper bound on the objective, shared across
+/// threads.
+///
+/// The stored value is *exclusive*: searchers must only look for (and
+/// [`SharedBound::tighten`] only with) results **strictly below** it —
+/// the same contract as `MinimizeOptions::initial_upper_bound`. Clones
+/// share one cell; the bound only ever decreases.
+///
+/// ```
+/// use qxmap_core::SharedBound;
+///
+/// let bound = SharedBound::unbounded();
+/// assert_eq!(bound.get(), None);
+/// assert!(bound.tighten(10));
+/// assert!(bound.tighten(4));
+/// assert!(!bound.tighten(7), "a looser value never loosens the bound");
+/// assert_eq!(bound.get(), Some(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedBound {
+    // `u64::MAX` encodes "unbounded".
+    cell: Arc<AtomicU64>,
+}
+
+impl SharedBound {
+    /// An unbounded bound (every cost is admissible).
+    pub fn unbounded() -> SharedBound {
+        SharedBound {
+            cell: Arc::new(AtomicU64::new(u64::MAX)),
+        }
+    }
+
+    /// A bound starting at `initial` (`None` = unbounded).
+    pub fn new(initial: Option<u64>) -> SharedBound {
+        let bound = SharedBound::unbounded();
+        if let Some(v) = initial {
+            bound.tighten(v);
+        }
+        bound
+    }
+
+    /// The current bound, or `None` when still unbounded.
+    pub fn get(&self) -> Option<u64> {
+        match self.cell.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            v => Some(v),
+        }
+    }
+
+    /// Lowers the bound to `value` if that is strictly tighter; returns
+    /// whether it was. (`u64::MAX` itself cannot be stored: it is the
+    /// "unbounded" sentinel, and no real objective reaches it.)
+    pub fn tighten(&self, value: u64) -> bool {
+        self.cell.fetch_min(value, Ordering::Relaxed) > value
+    }
+}
+
+impl Default for SharedBound {
+    fn default() -> SharedBound {
+        SharedBound::unbounded()
+    }
+}
 
 /// The exact minimum cost over all **swap-free** mappings: the best total
 /// H-repair cost over every placement of the `n` logical qubits onto a
@@ -130,6 +203,19 @@ mod tests {
         }
         assert_eq!(swap_free_minimum(&skel, 5, &cm, CostModel::paper()), None);
         assert_eq!(lower_bound(&skel, 5, &cm, CostModel::paper()), 7);
+    }
+
+    #[test]
+    fn shared_bound_tightens_monotonically_across_clones() {
+        let bound = SharedBound::new(Some(9));
+        let clone = bound.clone();
+        assert_eq!(clone.get(), Some(9));
+        assert!(clone.tighten(3));
+        assert_eq!(bound.get(), Some(3), "clones share one cell");
+        assert!(!bound.tighten(3), "equal values do not tighten");
+        assert!(!bound.tighten(8));
+        assert_eq!(bound.get(), Some(3));
+        assert_eq!(SharedBound::default().get(), None);
     }
 
     #[test]

@@ -1,12 +1,69 @@
-//! Mapper configuration and errors.
+//! Mapper configuration, the shared solve-control handle, and errors.
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use qxmap_arch::CostModel;
 use qxmap_sat::MinimizeOptions;
 
+use crate::bound::SharedBound;
 use crate::strategy::Strategy;
+
+/// A handle shared between a mapping run and whoever supervises it
+/// (other engines racing it, a batch driver, a caller with a kill
+/// switch). Clones share the same state.
+///
+/// It carries two things:
+///
+/// * a **cancel flag** — once [`SolveControl::cancel`] is called, every
+///   solver and encoding build holding this handle winds down at its
+///   next check and the run reports budget exhaustion;
+/// * a **shared upper bound** ([`SharedBound`]) — achievable costs the
+///   *supervisor* holds results for (e.g. a racing heuristic's, the
+///   moment it finishes). The exact mapper reads it before every
+///   subinstance, pruning subsets that cannot improve on it; it never
+///   writes it, so the handle's state is exactly what its holder put
+///   there.
+///
+/// Whoever tightens the bound asserts that a result of that cost is
+/// actually in hand: solves pruned by it report honestly (a refutation
+/// against the bound is a proof only down to the bound, and a run whose
+/// own best is worse than the bound forfeits its optimality claim).
+#[derive(Debug, Clone, Default)]
+pub struct SolveControl {
+    cancel: Arc<AtomicBool>,
+    bound: SharedBound,
+}
+
+impl SolveControl {
+    /// A fresh handle: not cancelled, unbounded.
+    pub fn new() -> SolveControl {
+        SolveControl::default()
+    }
+
+    /// Asks every participating solve to stop at its next check.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`SolveControl::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The shared upper bound.
+    pub fn bound(&self) -> &SharedBound {
+        &self.bound
+    }
+
+    /// The raw cancel flag, in the form solvers attach.
+    pub(crate) fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+}
 
 /// Configuration of the exact mapper.
 ///
@@ -36,8 +93,25 @@ pub struct MapperConfig {
     pub cost_model: CostModel,
     /// Objective-minimization schedule and budget. With the subset
     /// optimization enabled, the conflict budget is a *total* shared
-    /// across all per-subset subinstances, not a per-subset allowance.
+    /// across all per-subset subinstances (enforced through one atomic
+    /// pool even when they solve in parallel), not a per-subset allowance.
     pub minimize: MinimizeOptions,
+    /// Wall-clock budget for the whole `map` call. When it fires, the
+    /// best mapping found so far is returned with `proved_optimal =
+    /// false` (or `MapError::BudgetExhausted` if none was found yet).
+    /// Checked cooperatively — at solver conflicts and between encoding
+    /// phases — so a run overshoots the deadline by at most one such
+    /// step.
+    pub deadline: Option<Duration>,
+    /// Worker threads for the per-subset solves (`None` = the machine's
+    /// available parallelism, capped by the number of subsets). The
+    /// workers share the conflict budget and the upper bound, so more
+    /// threads never search more than the sequential loop would.
+    pub solve_threads: Option<usize>,
+    /// Cancellation and shared-bound handle. Give several concurrent
+    /// runs clones of one handle to let them prune (and stop) each
+    /// other; the default handle is private to this configuration.
+    pub control: SolveControl,
 }
 
 impl MapperConfig {
@@ -70,11 +144,32 @@ impl MapperConfig {
         self
     }
 
+    /// Sets the wall-clock deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> MapperConfig {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the per-subset worker-thread count (builder style).
+    pub fn with_solve_threads(mut self, threads: Option<usize>) -> MapperConfig {
+        self.solve_threads = threads;
+        self
+    }
+
+    /// Attaches a shared cancellation/bound handle (builder style).
+    pub fn with_control(mut self, control: SolveControl) -> MapperConfig {
+        self.control = control;
+        self
+    }
+
     /// Whether this configuration guarantees a minimal result
-    /// (Section 4.2 strategies give up the guarantee; Section 4.1 and the
-    /// full method keep it).
+    /// (Section 4.2 strategies give up the guarantee, as does any
+    /// conflict or wall-clock budget; Section 4.1 and the full method
+    /// keep it).
     pub fn guarantees_minimality(&self) -> bool {
-        self.strategy == Strategy::BeforeEveryGate && self.minimize.conflict_budget.is_none()
+        self.strategy == Strategy::BeforeEveryGate
+            && self.minimize.conflict_budget.is_none()
+            && self.deadline.is_none()
     }
 }
 
@@ -92,7 +187,8 @@ pub enum MapError {
     /// The instance (possibly restricted by a Section 4.2 strategy) admits
     /// no valid mapping.
     Infeasible,
-    /// The conflict budget was exhausted before any mapping was found.
+    /// A solve budget — the conflict budget, the wall-clock deadline, or
+    /// an external cancellation — ran out before any mapping was found.
     BudgetExhausted,
     /// The exact method is exhaustive over permutations; devices (or
     /// subsets) beyond this size are out of its intended regime.
@@ -114,7 +210,10 @@ impl fmt::Display for MapError {
                 write!(f, "no valid mapping exists under the chosen restrictions")
             }
             MapError::BudgetExhausted => {
-                write!(f, "conflict budget exhausted before a mapping was found")
+                write!(
+                    f,
+                    "the solve budget (conflicts or deadline) ran out before a mapping was found"
+                )
             }
             MapError::DeviceTooLarge { qubits, max } => write!(
                 f,

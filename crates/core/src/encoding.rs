@@ -72,6 +72,33 @@ impl Encoding {
         change_points: &BTreeSet<usize>,
         cost_model: CostModel,
     ) -> Encoding {
+        Encoding::build_interruptible(
+            skeleton,
+            num_logical,
+            local_cm,
+            table,
+            change_points,
+            cost_model,
+            &mut || false,
+        )
+        .expect("uninterruptible build always completes")
+    }
+
+    /// [`Encoding::build`] with a cooperative stop check, polled between
+    /// permutations of the transition encoding — for an 8-qubit subset
+    /// that is one check per ~40 000 clause batches, so a deadline or
+    /// cancellation lands long before the multi-million-clause instance
+    /// finishes building. Returns `None` when `interrupted` fired.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_interruptible(
+        skeleton: &[(usize, usize)],
+        num_logical: usize,
+        local_cm: &CouplingMap,
+        table: &SwapTable,
+        change_points: &BTreeSet<usize>,
+        cost_model: CostModel,
+        interrupted: &mut dyn FnMut() -> bool,
+    ) -> Option<Encoding> {
         assert!(!skeleton.is_empty(), "trivial circuits bypass the encoding");
         let k_gates = skeleton.len();
         let m = local_cm.num_qubits();
@@ -105,6 +132,9 @@ impl Encoding {
         // Does the device need direction repairs at all?
         let has_unidirectional = local_cm.edges().any(|(a, b)| !local_cm.has_edge(b, a));
         for (k, &(c, t)) in skeleton.iter().enumerate() {
+            if interrupted() {
+                return None;
+            }
             let mut options: Vec<Lit> = Vec::new();
             let z = if has_unidirectional {
                 Some(solver.new_lit())
@@ -144,6 +174,9 @@ impl Encoding {
                 let selectors: Vec<Lit> = (0..perms.len()).map(|_| solver.new_lit()).collect();
                 encode::exactly_one(&mut solver, &selectors);
                 for (pi_idx, pi) in perms.iter().enumerate() {
+                    if interrupted() {
+                        return None;
+                    }
                     let sel = selectors[pi_idx];
                     // y^k_π ∧ x^{k-1}_{ij} → x^k_{π(i)j}; with the
                     // exactly-one column constraints this pins the whole
@@ -170,7 +203,7 @@ impl Encoding {
             }
         }
 
-        Encoding {
+        Some(Encoding {
             solver,
             x,
             y,
@@ -178,7 +211,7 @@ impl Encoding {
             objective,
             num_logical,
             num_phys: m,
-        }
+        })
     }
 
     /// Size statistics of this instance.

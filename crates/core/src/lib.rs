@@ -21,6 +21,20 @@
 //! and restricting permutation points with the *disjoint qubits*, *odd
 //! gates* and *qubit triangle* strategies (4.2).
 //!
+//! ## Concurrency
+//!
+//! The Section 4.1 subinstances solve in parallel on a scoped worker
+//! pool ([`MapperConfig::solve_threads`]); the workers share the total
+//! conflict budget through one atomic pool and prune each other through
+//! a [`SharedBound`] — the best achievable cost any of them has found,
+//! searched strictly below. A [`SolveControl`] handle
+//! ([`MapperConfig::control`]) exposes the same bound to external racers
+//! (e.g. `qxmap-map`'s portfolio heuristics) and carries a cooperative
+//! cancel flag; [`MapperConfig::deadline`] adds a wall-clock budget.
+//! Deadlines and cancellation are polled at solver conflicts and between
+//! encoding phases, so even 8-qubit instances (40 320 permutations per
+//! change point) wind down promptly.
+//!
 //! ## Example: the paper's running example, minimal cost 4
 //!
 //! ```
@@ -46,7 +60,8 @@ mod solve;
 mod strategy;
 pub mod verify;
 
-pub use config::{MapError, MapperConfig};
+pub use bound::SharedBound;
+pub use config::{MapError, MapperConfig, SolveControl};
 pub use encoding::EncodingStats;
 pub use solution::{GatePlacement, MappingResult};
 pub use solve::{ExactMapper, MAX_EXACT_QUBITS};

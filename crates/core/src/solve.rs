@@ -1,6 +1,24 @@
 //! The end-to-end exact mapper.
+//!
+//! The per-subset subinstances of Section 4.1 are independent
+//! optimization problems, so [`ExactMapper::map`] distributes them over a
+//! scoped worker pool. The workers cooperate through shared atomics:
+//!
+//! * the best achievable cost so far — the tighter of a call-local
+//!   [`crate::SharedBound`] (this run's own candidates) and the bound of
+//!   [`MapperConfig::control`], which an external racer tightens with
+//!   costs whose results it holds (this run only reads it). Each
+//!   subinstance starts strictly below the effective bound, so subsets
+//!   that cannot improve are refuted instead of re-optimized, exactly
+//!   like the sequential loop;
+//! * the total conflict budget, drawn from one atomic pool so the
+//!   configured total stays strict regardless of thread count;
+//! * the wall-clock deadline and the cancel flag, checked at solver
+//!   conflicts and between encoding phases.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use qxmap_arch::{connected_subsets, CouplingMap, Layout, SwapTable};
@@ -106,7 +124,7 @@ impl ExactMapper {
                 objective_terms: 0,
             });
         }
-        let table = SwapTable::new(&self.cm);
+        let table = SwapTable::shared(&self.cm, &(0..m).collect::<Vec<_>>());
         let change_points = self.config.strategy.change_points(&skeleton);
         let enc = Encoding::build(
             &skeleton,
@@ -132,8 +150,9 @@ impl ExactMapper {
     ///   permutations of more than 8 qubits;
     /// * [`MapError::Infeasible`] if no valid mapping exists under the
     ///   configured restrictions;
-    /// * [`MapError::BudgetExhausted`] if a conflict budget ran out before
-    ///   any mapping was found.
+    /// * [`MapError::BudgetExhausted`] if the conflict budget, the
+    ///   wall-clock deadline, or an external cancellation stopped the
+    ///   search before any mapping was found.
     pub fn map(&self, circuit: &Circuit) -> Result<MappingResult, MapError> {
         let start = Instant::now();
         let n = circuit.num_qubits();
@@ -147,10 +166,20 @@ impl ExactMapper {
         let circuit = circuit.decompose_swaps();
         let skeleton = circuit.cnot_skeleton();
 
+        // Two "search strictly below this" bounds compose, each read at
+        // every subinstance start: the *local* bound, private to this
+        // call and tightened by its own candidates (so one `map` call
+        // never poisons the next on a reused mapper), and the *external*
+        // bound of the attached control, which a racing supervisor
+        // tightens with costs whose results it holds itself — this call
+        // only reads it, never writes it.
+        let local_bound = crate::bound::SharedBound::new(self.config.minimize.initial_upper_bound);
+        let external_bound = self.config.control.bound().clone();
+
         if skeleton.is_empty() {
             // The trivial mapping costs 0; only a demand for strictly
             // below 0 can rule it out.
-            if self.config.minimize.initial_upper_bound == Some(0) {
+            if opt_min(local_bound.get(), external_bound.get()) == Some(0) {
                 return Err(MapError::Infeasible);
             }
             return Ok(self.trivial(&circuit, start));
@@ -174,53 +203,157 @@ impl ExactMapper {
 
         let change_points = self.config.strategy.change_points(&skeleton);
 
-        let mut best: Option<MappingResult> = None;
-        let mut saw_budget_exhaustion = false;
-        let mut all_proved = true;
-        // The configured conflict budget is a *total*, shared across the
-        // per-subset subinstances; the best cost found so far tightens the
-        // upper bound for every later subinstance, so subsets that cannot
-        // improve are refuted instead of re-optimized.
-        let mut remaining_budget = self.config.minimize.conflict_budget;
-        let mut current_ub = self.config.minimize.initial_upper_bound;
-        for subset in &subsets {
-            if remaining_budget == Some(0) {
-                saw_budget_exhaustion = true;
-                all_proved = false;
-                continue;
+        let shared = SharedSolveState {
+            subsets: &subsets,
+            next: AtomicUsize::new(0),
+            undecided: AtomicBool::new(false),
+            candidates: subsets.iter().map(|_| Mutex::new(None)).collect(),
+            local_bound,
+            external_bound,
+            refutation_floor: AtomicU64::new(u64::MAX),
+            // The configured total stays strict under parallelism: every
+            // solver draws its conflicts from this one pool.
+            budget_pool: self
+                .config
+                .minimize
+                .conflict_budget
+                .map(|b| Arc::new(AtomicU64::new(b))),
+            cancel: self.config.control.cancel_flag(),
+            deadline: self.config.deadline.map(|d| start + d),
+            start,
+        };
+        let workers = self
+            .config
+            .solve_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, subsets.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| self.solve_subsets(&circuit, &skeleton, &change_points, &shared));
             }
+        });
+
+        let undecided = shared.undecided.into_inner();
+        let refutation_floor = shared.refutation_floor.into_inner();
+        let best = shared
+            .candidates
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let candidate = slot.into_inner().expect("workers have exited");
+                candidate.map(|c| (i, c))
+            })
+            // Workers discard strictly-worse candidates, but equal-cost
+            // ones can land in several slots; the lowest subset index
+            // wins, matching the sequential iteration order.
+            .min_by(|(i, a), (j, b)| (a.cost, i).cmp(&(b.cost, j)))
+            .map(|(_, c)| c);
+
+        match best {
+            Some(mut result) => {
+                // Optimal overall only if every subinstance was decided
+                // *for this cost*: a subset refuted against an externally
+                // tightened bound below the returned cost proves nothing
+                // about the gap in between.
+                result.proved_optimal &= !undecided || result.cost == 0;
+                result.proved_optimal &= result.cost <= refutation_floor;
+                result.runtime = start.elapsed();
+                Ok(result)
+            }
+            None if undecided => Err(MapError::BudgetExhausted),
+            None => Err(MapError::Infeasible),
+        }
+    }
+
+    /// One worker of the per-subset pool: claims subset indices from the
+    /// shared queue and solves each subinstance strictly below the
+    /// effective (local ∧ external) bound, until the queue drains, the
+    /// run cannot improve (bound 0), or a budget/deadline/cancellation
+    /// stops it.
+    fn solve_subsets(
+        &self,
+        circuit: &Circuit,
+        skeleton: &[(usize, usize)],
+        change_points: &std::collections::BTreeSet<usize>,
+        shared: &SharedSolveState<'_>,
+    ) {
+        let n = circuit.num_qubits();
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            let Some(subset) = shared.subsets.get(i) else {
+                return; // queue drained
+            };
+            if shared.stopped() {
+                // This claimed subset (and whatever the other workers are
+                // about to claim) stays unprocessed: the run is undecided.
+                shared.undecided.store(true, Ordering::Relaxed);
+                return;
+            }
+            // The effective bound composes the call-local and external
+            // bounds, re-read at each subinstance start.
+            let ub = shared.effective_bound();
+            if ub == Some(0) {
+                // Nothing beats 0: the remaining subsets are vacuously
+                // refuted, the run stays decided.
+                return;
+            }
+
             let local = self.cm.subgraph(subset);
-            let table = SwapTable::for_subset(&self.cm, subset);
-            let mut enc = Encoding::build(
-                &skeleton,
+            let table = SwapTable::shared(&self.cm, subset);
+            let Some(mut enc) = Encoding::build_interruptible(
+                skeleton,
                 n,
                 &local,
                 &table,
-                &change_points,
+                change_points,
                 self.config.cost_model,
-            );
+                &mut || shared.stopped(),
+            ) else {
+                shared.undecided.store(true, Ordering::Relaxed);
+                continue; // the next claim's stop check winds the worker down
+            };
             let objective = enc.objective.clone();
+            enc.solver.set_interrupt(Some(Arc::clone(&shared.cancel)));
+            enc.solver.set_deadline(shared.deadline);
+            enc.solver
+                .set_shared_conflict_pool(shared.budget_pool.clone());
             let options = MinimizeOptions {
-                conflict_budget: remaining_budget,
-                initial_upper_bound: current_ub,
+                // The shared pool governs; no per-call cap on top of it.
+                conflict_budget: None,
+                initial_upper_bound: ub,
                 ..self.config.minimize
             };
-            let outcome = minimize(&mut enc.solver, &objective, options);
-            if let Some(rem) = remaining_budget.as_mut() {
-                // Each subset gets a fresh solver, so its total conflict
-                // count is exactly what this minimization spent.
-                *rem = rem.saturating_sub(enc.solver.stats().conflicts);
-            }
-            let minimum = match outcome {
+            let minimum = match minimize(&mut enc.solver, &objective, options) {
                 Ok(min) => min,
-                Err(MinimizeError::Unsatisfiable) => continue,
+                // Refuted strictly below `ub`: decided, but only *down to
+                // `ub`* — the floor records how far refutations reach, so
+                // the final result can't claim a proof across the gap an
+                // externally tightened bound left open.
+                Err(MinimizeError::Unsatisfiable) => {
+                    if let Some(b) = ub {
+                        shared.refutation_floor.fetch_min(b, Ordering::Relaxed);
+                    }
+                    continue;
+                }
                 Err(MinimizeError::BudgetExhausted) => {
-                    saw_budget_exhaustion = true;
-                    all_proved = false;
+                    shared.undecided.store(true, Ordering::Relaxed);
                     continue;
                 }
             };
-            all_proved &= minimum.proved_optimal;
+            if !minimum.proved_optimal {
+                shared.undecided.store(true, Ordering::Relaxed);
+            }
+            // Publish the cost before the (comparatively slow) circuit
+            // assembly so peers prune against it as early as possible. A
+            // failed tighten means a peer already holds a candidate at
+            // least this good — drop ours.
+            if !shared.local_bound.tighten(minimum.cost) {
+                continue;
+            }
 
             let layouts = enc.extract_layouts(&minimum.model);
             let perms: BTreeMap<usize, _> = enc
@@ -228,9 +361,11 @@ impl ExactMapper {
                 .into_iter()
                 .collect();
             let (mapped, initial_layout, final_layout, swaps, reversals, placements) =
-                assemble(&circuit, &self.cm, subset, &layouts, &perms, &table);
+                assemble(circuit, &self.cm, subset, &layouts, &perms, &table);
             let added = (mapped.original_cost() - circuit.original_cost()) as u64;
-            let candidate = MappingResult {
+            *shared.candidates[i]
+                .lock()
+                .expect("no panics under the lock") = Some(MappingResult {
                 cost: minimum.cost,
                 added_gates: added,
                 swaps,
@@ -243,31 +378,8 @@ impl ExactMapper {
                 placements,
                 proved_optimal: minimum.proved_optimal,
                 iterations: minimum.iterations,
-                runtime: start.elapsed(),
-            };
-            let better = match &best {
-                None => true,
-                Some(b) => candidate.cost < b.cost,
-            };
-            if better {
-                let zero = candidate.cost == 0;
-                current_ub = Some(candidate.cost);
-                best = Some(candidate);
-                if zero {
-                    break; // cannot improve on 0
-                }
-            }
-        }
-
-        match best {
-            Some(mut result) => {
-                // Optimal overall only if every subinstance was decided.
-                result.proved_optimal &= all_proved || result.cost == 0;
-                result.runtime = start.elapsed();
-                Ok(result)
-            }
-            None if saw_budget_exhaustion => Err(MapError::BudgetExhausted),
-            None => Err(MapError::Infeasible),
+                runtime: shared.start.elapsed(),
+            });
         }
     }
 
@@ -292,6 +404,68 @@ impl ExactMapper {
             iterations: 0,
             runtime: start.elapsed(),
         }
+    }
+}
+
+/// Everything the per-subset workers share, by reference, for one
+/// [`ExactMapper::map`] call.
+struct SharedSolveState<'a> {
+    /// The Section 4.1 subinstances, in lexicographic order.
+    subsets: &'a [Vec<usize>],
+    /// Work queue: the next unclaimed subset index.
+    next: AtomicUsize,
+    /// Whether any subinstance went unprocessed or unproved — if so, the
+    /// final result cannot claim optimality and an empty result set means
+    /// budget exhaustion rather than infeasibility.
+    undecided: AtomicBool,
+    /// One slot per subset; workers only fill slots whose candidate
+    /// tightened the local bound.
+    candidates: Vec<Mutex<Option<MappingResult>>>,
+    /// Best candidate cost this call has found (exclusive). Private to
+    /// the call, so a reused mapper starts every `map` fresh.
+    local_bound: crate::bound::SharedBound,
+    /// The attached control's bound, tightened by an external racer that
+    /// holds results of its own. Read-only here.
+    external_bound: crate::bound::SharedBound,
+    /// The lowest bound any subset was refuted against (`u64::MAX` when
+    /// nothing was refuted under a bound): refutations prove nothing
+    /// below this, so a final cost above it forfeits the proof.
+    refutation_floor: AtomicU64,
+    /// Remaining total conflicts, drawn per conflict by every solver.
+    budget_pool: Option<Arc<AtomicU64>>,
+    /// External cancellation, checked at conflicts and between phases.
+    cancel: Arc<AtomicBool>,
+    /// Wall-clock cutoff derived from [`MapperConfig::deadline`].
+    deadline: Option<Instant>,
+    /// When the `map` call began (for per-candidate runtimes).
+    start: Instant,
+}
+
+/// `min` over optional exclusive bounds, where `None` is unbounded.
+fn opt_min(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+impl SharedSolveState<'_> {
+    /// The bound subinstances search strictly below: the tighter of the
+    /// call-local and external bounds.
+    fn effective_bound(&self) -> Option<u64> {
+        opt_min(self.local_bound.get(), self.external_bound.get())
+    }
+
+    /// Whether the run should stop before investing in more work:
+    /// cancelled, past the deadline, or out of conflicts.
+    fn stopped(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self
+                .budget_pool
+                .as_ref()
+                .is_some_and(|p| p.load(Ordering::Relaxed) == 0)
     }
 }
 
@@ -435,6 +609,55 @@ mod tests {
         trivial.h(0);
         let stats = mapper.encoding_stats(&trivial).unwrap();
         assert_eq!(stats.variables, 0);
+    }
+
+    #[test]
+    fn mapper_is_reusable_across_calls() {
+        // Candidate bounds are call-local: a second map() on the same
+        // mapper must not be pruned by the first call's result.
+        let mapper = ExactMapper::new(devices::ibm_qx4());
+        let first = mapper.map(&paper_example()).unwrap();
+        let second = mapper.map(&paper_example()).unwrap();
+        assert_eq!(first.cost, 4);
+        assert_eq!(second.cost, 4);
+        assert!(second.proved_optimal);
+    }
+
+    #[test]
+    fn external_control_bound_prunes_but_is_never_written() {
+        use crate::config::SolveControl;
+
+        // A bound at the known optimum: nothing strictly better exists.
+        let control = SolveControl::new();
+        control.bound().tighten(4);
+        let mapper = ExactMapper::with_config(
+            devices::ibm_qx4(),
+            MapperConfig::minimal().with_control(control.clone()),
+        );
+        assert!(matches!(
+            mapper.map(&paper_example()),
+            Err(MapError::Infeasible)
+        ));
+        assert_eq!(
+            control.bound().get(),
+            Some(4),
+            "the mapper reads the external bound but never writes it"
+        );
+
+        // A looser bound admits the proven optimum — and still stays
+        // untouched, whatever the per-subset interleaving.
+        let control = SolveControl::new();
+        control.bound().tighten(5);
+        let mapper = ExactMapper::with_config(
+            devices::ibm_qx4(),
+            MapperConfig::minimal()
+                .with_subsets(true)
+                .with_control(control.clone()),
+        );
+        let r = mapper.map(&paper_example()).unwrap();
+        assert_eq!(r.cost, 4);
+        assert!(r.proved_optimal);
+        assert_eq!(control.bound().get(), Some(5));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! A*-search layer mapper in the spirit of Zulehner, Paler & Wille
-//! (reference [22] of the paper).
+//! (reference \[22\] of the paper).
 //!
 //! For each layer whose CNOT pairs are not all adjacent, searches the
 //! space of SWAP sequences with A*: `g` = SWAPs applied so far, `h` =

@@ -4,15 +4,15 @@
 //! evaluation:
 //!
 //! * [`StochasticSwapMapper`] — a reimplementation of the algorithm class
-//!   behind IBM Qiskit 0.4.x's `swap_mapper` (reference [12] of the
+//!   behind IBM Qiskit 0.4.x's `swap_mapper` (reference \[12\] of the
 //!   paper): layer-by-layer randomized greedy SWAP insertion driven by a
 //!   perturbed distance matrix, best of several trials. Like the
 //!   original, it is probabilistic; Table 1 reports the minimum over 5
 //!   runs.
 //! * [`AStarMapper`] — an A*-search per-layer mapper in the spirit of
-//!   Zulehner, Paler & Wille (reference [22]).
+//!   Zulehner, Paler & Wille (reference \[22\]).
 //! * [`SabreMapper`] — a SABRE-style lookahead mapper with reverse-pass
-//!   layout seeding (Li, Ding & Xie, reference [13]).
+//!   layout seeding (Li, Ding & Xie, reference \[13\]).
 //! * [`NaiveMapper`] — shortest-path SWAP chains per gate with no
 //!   lookahead; a floor baseline.
 //!

@@ -1,5 +1,5 @@
 //! A SABRE-style swap mapper (Li, Ding & Xie, "Tackling the Qubit Mapping
-//! Problem for NISQ-Era Quantum Devices" — reference [13] of the paper).
+//! Problem for NISQ-Era Quantum Devices" — reference \[13\] of the paper).
 //!
 //! Three ingredients distinguish SABRE from the older stochastic mapper:
 //!

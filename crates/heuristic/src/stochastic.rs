@@ -1,4 +1,4 @@
-//! The Qiskit-0.4-style stochastic swap mapper (reference [12]).
+//! The Qiskit-0.4-style stochastic swap mapper (reference \[12\]).
 //!
 //! Per layer: several randomized trials, each greedily choosing the edge
 //! SWAP that most decreases a randomly perturbed total coupling distance

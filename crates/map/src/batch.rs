@@ -12,6 +12,37 @@ use crate::request::MapRequest;
 /// Maps every request with the default [`Portfolio`] engine, in parallel
 /// across std threads. The output preserves input order: `results[i]`
 /// answers `requests[i]`.
+///
+/// Repeated (device, subset) pairs across a batch hit the process-wide
+/// `SwapTable` cache (see `qxmap_arch::SwapTable::shared`), so identical
+/// requests stop paying the table-construction cost after the first.
+/// Per-request budgets compose with batching — here every request gets
+/// its own deadline and conflict budget:
+///
+/// ```
+/// use std::time::Duration;
+/// use qxmap_arch::devices;
+/// use qxmap_circuit::Circuit;
+/// use qxmap_map::{map_many, MapRequest};
+///
+/// let requests: Vec<MapRequest> = (2..=4)
+///     .map(|n| {
+///         let mut c = Circuit::new(n);
+///         for q in 0..n - 1 {
+///             c.cx(q, q + 1);
+///         }
+///         MapRequest::new(c, devices::ibm_qx4())
+///             .with_conflict_budget(Some(200_000))
+///             .with_deadline(Duration::from_secs(30))
+///     })
+///     .collect();
+/// let reports = map_many(&requests);
+/// assert_eq!(reports.len(), 3); // input order, one answer per request
+/// for report in &reports {
+///     let report = report.as_ref().expect("chains map on QX4");
+///     println!("{} via {} in {:?}", report.cost, report.engine, report.elapsed);
+/// }
+/// ```
 pub fn map_many(requests: &[MapRequest]) -> Vec<Result<MapReport, MapperError>> {
     map_many_with(&Portfolio::new(), requests)
 }

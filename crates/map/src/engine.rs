@@ -1,6 +1,6 @@
 //! The [`Engine`] abstraction and the adapters over the legacy mappers.
 
-use qxmap_core::{EncodingStats, ExactMapper, MapperConfig, MAX_EXACT_QUBITS};
+use qxmap_core::{EncodingStats, ExactMapper, MapperConfig, SolveControl, MAX_EXACT_QUBITS};
 use qxmap_heuristic::{AStarMapper, Mapper, NaiveMapper, SabreMapper, StochasticSwapMapper};
 use qxmap_sat::MinimizeOptions;
 
@@ -28,24 +28,38 @@ pub trait Engine: Send + Sync {
 /// The paper's exact SAT-based method behind the unified surface.
 ///
 /// Honors the request's strategy, subset flag, cost model, conflict
-/// budget and upper bound. With [`Guarantee::Optimal`] the run fails
-/// unless the result carries a minimality proof.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExactEngine;
+/// budget, deadline and upper bound; per-subset subinstances solve on a
+/// parallel worker pool sharing those budgets. With
+/// [`Guarantee::Optimal`] the run fails unless the result carries a
+/// minimality proof.
+#[derive(Debug, Clone, Default)]
+pub struct ExactEngine {
+    control: Option<SolveControl>,
+}
 
 impl ExactEngine {
     /// Creates the engine.
     pub fn new() -> ExactEngine {
-        ExactEngine
+        ExactEngine::default()
     }
 
-    fn config_for(request: &MapRequest) -> MapperConfig {
+    /// Attaches a shared [`SolveControl`]: a racing supervisor (like
+    /// [`crate::Portfolio`]) cancels the run and feeds it achievable-cost
+    /// bounds through this handle. One handle is good for one request.
+    pub fn with_control(mut self, control: SolveControl) -> ExactEngine {
+        self.control = Some(control);
+        self
+    }
+
+    fn config_for(&self, request: &MapRequest) -> MapperConfig {
         let n = request.circuit().num_qubits();
         let m = request.device().num_qubits();
         MapperConfig::minimal()
             .with_strategy(request.strategy().clone())
             .with_subsets(request.use_subsets() && n < m)
             .with_cost_model(request.cost_model())
+            .with_deadline(request.deadline())
+            .with_control(self.control.clone().unwrap_or_default())
             .with_minimize(MinimizeOptions {
                 conflict_budget: request.conflict_budget(),
                 initial_upper_bound: request.upper_bound(),
@@ -62,8 +76,7 @@ impl ExactEngine {
     /// Same conditions as [`ExactEngine::run`], except that infeasibility
     /// cannot be detected without solving.
     pub fn encoding_stats(&self, request: &MapRequest) -> Result<EncodingStats, MapperError> {
-        let mapper =
-            ExactMapper::with_config(request.device().clone(), ExactEngine::config_for(request));
+        let mapper = ExactMapper::with_config(request.device().clone(), self.config_for(request));
         Ok(mapper.encoding_stats(request.circuit())?)
     }
 }
@@ -74,8 +87,7 @@ impl Engine for ExactEngine {
     }
 
     fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
-        let mapper =
-            ExactMapper::with_config(request.device().clone(), ExactEngine::config_for(request));
+        let mapper = ExactMapper::with_config(request.device().clone(), self.config_for(request));
         let result = mapper.map(request.circuit())?;
         if request.guarantee() == Guarantee::Optimal && !result.proved_optimal {
             return Err(MapperError::proof_budget_exhausted());
@@ -89,11 +101,11 @@ impl Engine for ExactEngine {
 pub enum Baseline {
     /// Per-gate shortest-path chains, no lookahead.
     Naive,
-    /// Per-layer A* search (reference [22] of the paper).
+    /// Per-layer A* search (reference \[22\] of the paper).
     AStar,
-    /// SABRE-style lookahead (reference [13]).
+    /// SABRE-style lookahead (reference \[13\]).
     Sabre,
-    /// Qiskit-0.4-style stochastic swap (reference [12]); best of
+    /// Qiskit-0.4-style stochastic swap (reference \[12\]); best of
     /// `trials` seeded runs starting at the request's seed.
     Stochastic {
         /// Number of seeded runs to take the minimum over (Table 1 used

@@ -24,7 +24,8 @@ pub enum MapperError {
     /// The instance (possibly restricted by a Section 4.2 strategy or an
     /// upper bound) admits no valid mapping.
     Infeasible,
-    /// A conflict budget ran out before any mapping was found.
+    /// A solve budget — the conflict budget, the request's deadline, or
+    /// an external cancellation — ran out before any mapping was found.
     BudgetExhausted,
     /// The exact method is exhaustive over permutations; devices (or
     /// subsets) beyond this size are out of its regime.
@@ -62,7 +63,10 @@ impl fmt::Display for MapperError {
                 write!(f, "no valid mapping exists under the chosen restrictions")
             }
             MapperError::BudgetExhausted => {
-                write!(f, "conflict budget exhausted before a mapping was found")
+                write!(
+                    f,
+                    "the solve budget (conflicts or deadline) ran out before a mapping was found"
+                )
             }
             MapperError::DeviceTooLarge { qubits, max } => write!(
                 f,
@@ -84,11 +88,12 @@ impl fmt::Display for MapperError {
 
 impl MapperError {
     /// The standard rejection for [`crate::Guarantee::Optimal`] runs whose
-    /// proof did not close before the conflict budget ran out — one
-    /// message, shared by every engine.
+    /// proof did not close before a budget (conflicts or deadline) ran
+    /// out — one message, shared by every engine.
     pub(crate) fn proof_budget_exhausted() -> MapperError {
         MapperError::OptimalityUnavailable {
-            reason: "the conflict budget ran out before the proof closed".to_string(),
+            reason: "the solve budget (conflicts or deadline) ran out before the proof closed"
+                .to_string(),
         }
     }
 }

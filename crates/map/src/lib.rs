@@ -16,11 +16,17 @@
 //!   legacy error enums.
 //!
 //! Every mapping method implements the [`Engine`] trait: the exact solver
-//! ([`ExactEngine`]), all four baselines ([`HeuristicEngine`]), and the
-//! [`Portfolio`] engine that runs a cheap heuristic first, feeds its cost
-//! into exact minimization as an initial upper bound, and transparently
-//! falls back to heuristics on devices beyond the exact method's regime.
-//! [`map_many`] batches requests across std threads.
+//! ([`ExactEngine`], whose per-subset subinstances solve on a parallel
+//! worker pool), all four baselines ([`HeuristicEngine`]), and the
+//! [`Portfolio`] engine that *races* the heuristics against the exact
+//! search on threads — coupled through a shared best-cost bound and
+//! cooperative cancellation — and transparently falls back to heuristics
+//! on devices beyond the exact method's regime. Requests carry both a
+//! conflict budget and a wall-clock [`MapRequest::with_deadline`]; when a
+//! budget fires, the race answers with the best verified result in hand
+//! and [`MapReport::winner`] names the engine that produced it.
+//! [`map_many`] batches requests across std threads, with repeated
+//! (device, subset) pairs served from a process-wide `SwapTable` cache.
 //!
 //! ## Quickstart
 //!
@@ -38,7 +44,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod batch;
 mod engine;

@@ -1,29 +1,58 @@
-//! The portfolio engine: heuristics first, exact search seeded with their
-//! cost, transparent fallback outside the exact regime.
+//! The portfolio engine: heuristics and the exact engine racing on
+//! threads, coupled through a shared best-cost bound and cooperative
+//! cancellation, with transparent fallback outside the exact regime.
+
+use std::time::Instant;
+
+use qxmap_core::SolveControl;
 
 use crate::engine::{exact_in_regime, Engine, ExactEngine, HeuristicEngine};
 use crate::error::MapperError;
 use crate::report::MapReport;
 use crate::request::{Guarantee, MapRequest};
 
-/// Runs cheap heuristics, then — when the device is within the exact
-/// method's regime — the SAT engine with the best heuristic cost as an
-/// initial upper bound:
+/// Races the heuristic baselines and — when the device is within the
+/// exact method's regime — the SAT engine, all on scoped threads sharing
+/// one [`SolveControl`]:
 ///
-/// * the exact search only explores strictly better solutions, so the
-///   bound prunes from the first solve;
-/// * if nothing better exists, the exact run comes back `Infeasible`,
-///   which — when the request uses the complete `BeforeEveryGate`
-///   formulation — *certifies the heuristic result as optimal*: the
-///   report is upgraded to `proved_optimal` without ever re-deriving the
-///   model. Restricted Section 4.2 strategies search a smaller space, so
-///   their exhaustion upgrades nothing;
+/// * each heuristic tightens the shared best-cost bound the moment it
+///   finishes, so the exact search prunes to strictly better solutions
+///   without waiting for the pool (and a zero-cost heuristic win cancels
+///   the exact run outright — nothing can improve on 0);
+/// * if nothing better than the heuristic winner exists, the exact run
+///   comes back `Infeasible`, which — when the request uses the complete
+///   `BeforeEveryGate` formulation — *certifies the heuristic result as
+///   optimal*: the report is upgraded to `proved_optimal` without ever
+///   re-deriving the model. Restricted Section 4.2 strategies search a
+///   smaller space, so their exhaustion upgrades nothing;
+/// * a [`MapRequest::with_deadline`] budget stops the exact side
+///   cooperatively; the race then answers with the best verified result
+///   in hand, and [`MapReport::winner`] says which engine produced it;
 /// * outside the regime (devices beyond
 ///   [`qxmap_core::MAX_EXACT_QUBITS`] qubits) the best heuristic result
 ///   is returned as-is under [`Guarantee::BestEffort`].
 ///
 /// The naive floor baseline is always part of the pool, so a portfolio
-/// report is never worse than `NaiveMapper` on the same instance.
+/// report is never worse than `NaiveMapper` on the same instance —
+/// deadline or not.
+///
+/// ```
+/// use std::time::Duration;
+/// use qxmap_arch::devices;
+/// use qxmap_circuit::paper_example;
+/// use qxmap_map::{Engine, MapRequest, Portfolio};
+///
+/// let request = MapRequest::new(paper_example(), devices::ibm_qx4())
+///     .with_conflict_budget(Some(100_000))
+///     .with_deadline(Duration::from_secs(30));
+/// let report = Portfolio::new().run(&request)?;
+/// // Whichever engine won, the racing path never loses to the naive
+/// // floor (its proven minimum here is 4).
+/// assert!(report.cost.objective >= 4);
+/// assert!(report.engine.starts_with("portfolio/"));
+/// println!("won by {} in {:?}", report.winner, report.elapsed);
+/// # Ok::<(), qxmap_map::MapperError>(())
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Portfolio {
     stochastic_trials: u64,
@@ -58,12 +87,22 @@ impl Engine for Portfolio {
     }
 
     fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
-        // Heuristic pass. Guarantee and upper-bound demands are settled at
-        // the portfolio level, not per baseline — an over-bound heuristic
-        // winner is still useful for seeding the exact search. Structural
-        // errors (too many qubits) are terminal, but Unroutable is not:
-        // the layer heuristics give up on disconnected devices that the
-        // exact engine's connected-subset search may still map.
+        let start = Instant::now();
+        // One control handle couples the whole race: heuristics tighten
+        // its bound as they finish, the exact engine prunes against it
+        // mid-run and stops on its cancel flag.
+        let control = SolveControl::new();
+        if let Some(u) = request.upper_bound() {
+            control.bound().tighten(u);
+        }
+
+        // Heuristic side of the race. Guarantee and upper-bound demands
+        // are settled at the portfolio level, not per baseline — an
+        // over-bound heuristic winner is still useful for seeding the
+        // exact search. Structural errors (too many qubits) are terminal,
+        // but Unroutable is not: the layer heuristics give up on
+        // disconnected devices that the exact engine's connected-subset
+        // search may still map.
         let heuristic_request = request
             .clone()
             .with_guarantee(Guarantee::BestEffort)
@@ -72,10 +111,55 @@ impl Engine for Portfolio {
         if self.stochastic_trials > 0 {
             pool.push(HeuristicEngine::stochastic(self.stochastic_trials));
         }
+
+        // Exact side, racing concurrently when the device is in regime.
+        // It starts from the caller's bound alone and picks up heuristic
+        // costs subinstance by subinstance as they land in the shared
+        // bound; its deadline comes straight from the request.
+        let in_regime = exact_in_regime(request);
+        let mut pool_results: Vec<Result<MapReport, MapperError>> = Vec::new();
+        let mut exact_outcome: Option<Result<MapReport, MapperError>> = None;
+        std::thread::scope(|scope| {
+            let exact_handle = in_regime.then(|| {
+                let control = control.clone();
+                scope.spawn(|| {
+                    let exact_request = request
+                        .clone()
+                        .with_guarantee(Guarantee::BestEffort)
+                        .with_upper_bound(None);
+                    ExactEngine::new().with_control(control).run(&exact_request)
+                })
+            });
+            let handles: Vec<_> = pool
+                .iter()
+                .map(|engine| {
+                    let control = &control;
+                    let heuristic_request = &heuristic_request;
+                    scope.spawn(move || {
+                        let result = engine.run(heuristic_request);
+                        if let Ok(report) = &result {
+                            control.bound().tighten(report.cost.objective);
+                            if report.cost.objective == 0 {
+                                // Provably unbeatable: stop the exact run.
+                                control.cancel();
+                            }
+                        }
+                        result
+                    })
+                })
+                .collect();
+            pool_results = handles
+                .into_iter()
+                .map(|h| h.join().expect("heuristic engines do not panic"))
+                .collect();
+            exact_outcome =
+                exact_handle.map(|h| h.join().expect("the exact engine does not panic"));
+        });
+
         let mut pool_best: Option<MapReport> = None;
         let mut pool_error: Option<MapperError> = None;
-        for engine in pool {
-            match engine.run(&heuristic_request) {
+        for result in pool_results {
+            match result {
                 Ok(report) => {
                     if pool_best
                         .as_ref()
@@ -95,18 +179,25 @@ impl Engine for Portfolio {
 
         // A caller-declared upper bound is a hard contract: results at or
         // above it may not be returned. Heuristic winners that miss it
-        // only serve to tighten the exact search, never as answers.
+        // only served to tighten the exact search, never as answers.
         let user_bound = request.upper_bound();
         let best = match (user_bound, pool_best) {
             (Some(u), Some(b)) if b.cost.objective >= u => None,
             (_, b) => b,
         };
 
-        // Nothing inserted: trivially minimal, no exact run needed.
+        // The caller waited for the whole race, not just the winner.
+        let finish = |mut report: MapReport| {
+            report.elapsed = start.elapsed();
+            report
+        };
+
+        // Nothing inserted: trivially minimal. (The winning heuristic
+        // already cancelled the exact run — nothing beats 0.)
         if best.as_ref().is_some_and(|b| b.cost.objective == 0) {
             let mut best = best.expect("checked above");
             best.proved_optimal = true;
-            return Ok(best);
+            return Ok(finish(best));
         }
 
         // Why there is no returnable candidate: the whole pool failed to
@@ -120,9 +211,9 @@ impl Engine for Portfolio {
             }
         };
 
-        if !exact_in_regime(request) {
+        if !in_regime {
             return match (best, request.guarantee()) {
-                (Some(best), Guarantee::BestEffort) => Ok(best),
+                (Some(best), Guarantee::BestEffort) => Ok(finish(best)),
                 (None, Guarantee::BestEffort) => Err(no_candidate()),
                 (_, Guarantee::Optimal) => Err(MapperError::OptimalityUnavailable {
                     reason: format!(
@@ -140,28 +231,31 @@ impl Engine for Portfolio {
         // nothing about mappings outside that space.
         let formulation_complete = *request.strategy() == qxmap_core::Strategy::BeforeEveryGate;
 
-        // Exact pass, pruned to strictly below the tightest bound we hold:
-        // the heuristic winner (which respects any user bound) or the user
-        // bound itself.
-        let seed = best.as_ref().map(|b| b.cost.objective).or(user_bound);
-        let exact_request = request
-            .clone()
-            .with_guarantee(Guarantee::BestEffort)
-            .with_upper_bound(seed);
-        match ExactEngine::new().run(&exact_request) {
+        match exact_outcome.expect("in regime, so the exact racer ran") {
             Ok(mut report) => {
-                debug_assert!(seed.is_none_or(|s| report.cost.objective < s));
-                report.engine = format!("{}/exact", self.name());
-                if request.guarantee() == Guarantee::Optimal && !report.proved_optimal {
+                report.engine = format!("{}/{}", self.name(), report.winner);
+                // The exact racer can come back *worse* than the pool: a
+                // candidate found early (before the heuristics tightened
+                // the shared bound) survives a deadline or budget cut.
+                // The race answers with whichever result is cheaper; the
+                // exact result wins ties because it may carry a proof.
+                let chosen = match best {
+                    Some(b) if b.cost.objective < report.cost.objective => b,
+                    _ => report,
+                };
+                if request.guarantee() == Guarantee::Optimal && !chosen.proved_optimal {
                     return Err(MapperError::proof_budget_exhausted());
                 }
-                Ok(report)
+                Ok(finish(chosen))
             }
-            // Nothing strictly below the seed exists *in the searched
-            // space*. With the complete formulation that certifies the
-            // heuristic winner as optimal (or, with no winner, proves the
-            // user bound infeasible); under a restricted strategy it only
-            // means the restricted search found nothing better.
+            // Nothing strictly below the shared bound exists *in the
+            // searched space* — and every value that bound took during the
+            // race (the caller's bound, heuristic costs) is at or above
+            // the returnable winner's cost. With the complete formulation
+            // that certifies the heuristic winner as optimal (or, with no
+            // winner, proves the user bound infeasible); under a
+            // restricted strategy it only means the restricted search
+            // found nothing better.
             Err(MapperError::Infeasible) => match (best, request.guarantee()) {
                 (Some(mut best), guarantee) => {
                     if formulation_complete {
@@ -176,7 +270,7 @@ impl Engine for Portfolio {
                             ),
                         });
                     }
-                    Ok(best)
+                    Ok(finish(best))
                 }
                 (None, _) if formulation_complete => Err(MapperError::Infeasible),
                 (None, Guarantee::BestEffort) => Err(no_candidate()),
@@ -184,17 +278,17 @@ impl Engine for Portfolio {
                     reason: "the restricted exact search found nothing below the bound".to_string(),
                 }),
             },
-            // Budget ran out before the certificate: keep the heuristic
-            // result, honestly unproved.
+            // A budget (conflicts or deadline) ran out before the
+            // certificate: keep the heuristic result, honestly unproved.
             Err(MapperError::BudgetExhausted) => match (best, request.guarantee()) {
-                (Some(best), Guarantee::BestEffort) => Ok(best),
+                (Some(best), Guarantee::BestEffort) => Ok(finish(best)),
                 (None, Guarantee::BestEffort) => Err(no_candidate()),
                 (_, Guarantee::Optimal) => Err(MapperError::proof_budget_exhausted()),
             },
             // A subset slipped past the regime check (e.g. subsets
             // disabled on a mid-size device): fall back to the heuristic.
             Err(MapperError::DeviceTooLarge { .. }) => match (best, request.guarantee()) {
-                (Some(best), Guarantee::BestEffort) => Ok(best),
+                (Some(best), Guarantee::BestEffort) => Ok(finish(best)),
                 (None, Guarantee::BestEffort) => Err(no_candidate()),
                 (_, Guarantee::Optimal) => Err(MapperError::OptimalityUnavailable {
                     reason: "the instance exceeds the exact method's regime".to_string(),

@@ -40,6 +40,10 @@ pub struct MapReport {
     /// Short name of the engine that produced this result (e.g. `exact`,
     /// `sabre`, `portfolio/exact`).
     pub engine: String,
+    /// The engine that actually won the race, without any composite
+    /// prefix: for a `portfolio/exact` report this is `exact`; for
+    /// single-engine runs it equals [`MapReport::engine`].
+    pub winner: String,
     /// The hardware-legal output circuit.
     pub mapped: Circuit,
     /// Logical→physical layout before the first gate.
@@ -51,8 +55,12 @@ pub struct MapReport {
     /// Whether the reported cost is provably minimal for the requested
     /// formulation — the paper's headline certificate.
     pub proved_optimal: bool,
-    /// Wall-clock time of the mapping call.
+    /// Wall-clock time the *winning engine* spent on its own run.
     pub runtime: Duration,
+    /// Wall-clock time of the whole request, racing included — what the
+    /// caller actually waited. Always at least [`MapReport::runtime`] for
+    /// composite engines; equal to it for single-engine runs.
+    pub elapsed: Duration,
     /// Physical qubits the mapping was restricted to (exact engines with
     /// the Section 4.1 optimization).
     pub subset: Option<Vec<usize>>,
@@ -95,6 +103,7 @@ impl MapReport {
     pub(crate) fn from_exact(result: MappingResult, engine: &str) -> MapReport {
         MapReport {
             engine: engine.to_string(),
+            winner: engine.to_string(),
             cost: CostBreakdown {
                 objective: result.cost,
                 swaps: result.swaps,
@@ -103,6 +112,7 @@ impl MapReport {
             },
             proved_optimal: result.proved_optimal,
             runtime: result.runtime,
+            elapsed: result.runtime,
             subset: Some(result.subset),
             num_change_points: Some(result.num_change_points),
             iterations: Some(result.iterations),
@@ -123,6 +133,7 @@ impl MapReport {
         let objective = heuristic_objective(cost_model, &result);
         MapReport {
             engine: engine.to_string(),
+            winner: engine.to_string(),
             cost: CostBreakdown {
                 objective,
                 swaps: result.swaps,
@@ -131,6 +142,7 @@ impl MapReport {
             },
             proved_optimal: result.added_gates == 0,
             runtime: result.runtime,
+            elapsed: result.runtime,
             subset: None,
             num_change_points: None,
             iterations: None,

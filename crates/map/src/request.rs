@@ -1,5 +1,7 @@
 //! The unified mapping request.
 
+use std::time::Duration;
+
 use qxmap_arch::{CostModel, CouplingMap};
 use qxmap_circuit::Circuit;
 use qxmap_core::Strategy;
@@ -19,9 +21,13 @@ pub enum Guarantee {
 
 /// Everything a mapping engine needs to answer one mapping question.
 ///
-/// Built in builder style; every knob has a sensible default:
+/// Built in builder style; every knob has a sensible default. The two
+/// budgets compose: the conflict budget caps solver *work*, the deadline
+/// caps *wall-clock* — whichever fires first ends the exact search, and
+/// a best-effort engine then answers with the best result in hand:
 ///
 /// ```
+/// use std::time::Duration;
 /// use qxmap_arch::devices;
 /// use qxmap_circuit::paper_example;
 /// use qxmap_map::{Guarantee, MapRequest};
@@ -29,8 +35,10 @@ pub enum Guarantee {
 /// let request = MapRequest::new(paper_example(), devices::ibm_qx4())
 ///     .with_guarantee(Guarantee::Optimal)
 ///     .with_conflict_budget(Some(50_000))
+///     .with_deadline(Duration::from_millis(250))
 ///     .with_seed(7);
 /// assert_eq!(request.device().num_qubits(), 5);
+/// assert_eq!(request.deadline(), Some(Duration::from_millis(250)));
 /// ```
 #[derive(Debug, Clone)]
 pub struct MapRequest {
@@ -41,6 +49,7 @@ pub struct MapRequest {
     strategy: Strategy,
     use_subsets: bool,
     conflict_budget: Option<u64>,
+    deadline: Option<Duration>,
     upper_bound: Option<u64>,
     seed: u64,
 }
@@ -58,6 +67,7 @@ impl MapRequest {
             strategy: Strategy::default(),
             use_subsets: true,
             conflict_budget: None,
+            deadline: None,
             upper_bound: None,
             seed: 0,
         }
@@ -91,6 +101,16 @@ impl MapRequest {
     /// Caps the total SAT conflicts exact engines may spend.
     pub fn with_conflict_budget(mut self, budget: Option<u64>) -> MapRequest {
         self.conflict_budget = budget;
+        self
+    }
+
+    /// Caps the wall-clock time of the request. Exact searches (including
+    /// a racing [`crate::Portfolio`]'s) stop cooperatively when it fires
+    /// and the best verified result found so far is returned —
+    /// `proved_optimal` only if the proof closed in time. Heuristic
+    /// engines are fast and run to completion regardless.
+    pub fn with_deadline(mut self, deadline: Duration) -> MapRequest {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -145,6 +165,11 @@ impl MapRequest {
         self.conflict_budget
     }
 
+    /// The wall-clock budget, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
     /// The externally known achievable cost, if any.
     pub fn upper_bound(&self) -> Option<u64> {
         self.upper_bound
@@ -167,6 +192,7 @@ mod tests {
         assert_eq!(req.guarantee(), Guarantee::BestEffort);
         assert!(req.use_subsets());
         assert_eq!(req.conflict_budget(), None);
+        assert_eq!(req.deadline(), None);
         assert_eq!(req.upper_bound(), None);
         assert_eq!(req.seed(), 0);
     }
@@ -177,11 +203,13 @@ mod tests {
             .with_guarantee(Guarantee::Optimal)
             .with_subsets(false)
             .with_conflict_budget(Some(10))
+            .with_deadline(Duration::from_secs(1))
             .with_upper_bound(Some(4))
             .with_seed(3);
         assert_eq!(req.guarantee(), Guarantee::Optimal);
         assert!(!req.use_subsets());
         assert_eq!(req.conflict_budget(), Some(10));
+        assert_eq!(req.deadline(), Some(Duration::from_secs(1)));
         assert_eq!(req.upper_bound(), Some(4));
         assert_eq!(req.seed(), 3);
     }

@@ -2,7 +2,7 @@
 //!
 //! OpenQASM 2.0 front- and back-end for `qxmap` circuits. The benchmark
 //! circuits the paper evaluates (RevLib functions decomposed to the IBM
-//! basis, per reference [4] — Cross et al., "Open Quantum Assembly
+//! basis, per reference \[4\] — Cross et al., "Open Quantum Assembly
 //! Language") are distributed as QASM; this crate parses that dialect into
 //! the [`qxmap_circuit::Circuit`] IR and serializes circuits back out.
 //!
@@ -43,7 +43,7 @@ mod parse;
 mod qelib;
 mod write;
 
-pub use ast::{Arg, Expr, GateOp, Program, Statement};
+pub use ast::{Arg, EvalError, Expr, GateOp, Program, Statement};
 pub use convert::to_circuit;
 pub use parse::{parse_program, ParseQasmError};
 pub use write::to_qasm;

@@ -11,7 +11,11 @@
 //! * [`Solver`] — CDCL with two-watched-literal propagation, VSIDS
 //!   branching, first-UIP learning with clause minimization, phase saving,
 //!   Luby restarts, activity-based learnt-clause deletion and incremental
-//!   solving under assumptions.
+//!   solving under assumptions. Searches are cooperatively boundable:
+//!   besides the per-call conflict budget, a solver can carry a wall-clock
+//!   deadline, a shared interrupt flag, and a conflict pool shared with
+//!   other solvers (one atomic drawn from per conflict) — the primitives
+//!   behind `qxmap`'s parallel per-subset solves and racing portfolio.
 //! * [`encode`] — at-most-one / exactly-one / cardinality encodings.
 //! * [`totalizer`] — a *generalized totalizer* for weighted sums, whose
 //!   output literals can be assumed to bound the objective incrementally.

@@ -6,8 +6,19 @@
 //! saving, Luby restarts and activity-driven learnt-clause garbage
 //! collection. Incremental use is supported through solving under
 //! assumptions; the clause database persists across calls.
+//!
+//! Concurrent callers can bound and interrupt a search cooperatively:
+//! besides the per-call conflict budget, a solver can carry a wall-clock
+//! [`Solver::set_deadline`], a shared [`Solver::set_interrupt`] flag, and
+//! a [`Solver::set_shared_conflict_pool`] drawn from by every solver that
+//! holds it — the primitives behind `qxmap-core`'s parallel per-subset
+//! solves and `qxmap-map`'s racing portfolio. All three are checked at
+//! conflict granularity and surface as [`SolveResult::Unknown`].
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::lit::{Lit, Var};
 
@@ -237,6 +248,9 @@ pub struct Solver {
     num_learnts: usize,
     max_learnts: f64,
     conflict_budget: Option<u64>,
+    shared_conflict_pool: Option<Arc<AtomicU64>>,
+    interrupt: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
 }
 
 impl Solver {
@@ -297,6 +311,52 @@ impl Solver {
     /// [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Attaches a conflict pool shared with other solvers (typically one
+    /// per worker thread): every conflict consumes one unit, and a solver
+    /// that finds the pool empty returns [`SolveResult::Unknown`]. Unlike
+    /// [`Solver::set_conflict_budget`] this makes a *total* budget strict
+    /// across concurrent searches.
+    pub fn set_shared_conflict_pool(&mut self, pool: Option<Arc<AtomicU64>>) {
+        self.shared_conflict_pool = pool;
+    }
+
+    /// Attaches a cooperative interrupt flag. Once another thread stores
+    /// `true`, the next conflict (or the next `solve` entry) returns
+    /// [`SolveResult::Unknown`]. The flag is never cleared by the solver.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// Sets a wall-clock deadline; a search past it returns
+    /// [`SolveResult::Unknown`] at the next conflict.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Whether an attached interrupt flag, deadline, or exhausted shared
+    /// pool asks this search to stop (does not consume from the pool).
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self
+                .shared_conflict_pool
+                .as_ref()
+                .is_some_and(|p| p.load(Ordering::Relaxed) == 0)
+    }
+
+    /// Consumes one conflict from the shared pool; `false` if the pool is
+    /// already empty.
+    fn consume_shared_conflict(&self) -> bool {
+        match &self.shared_conflict_pool {
+            None => true,
+            Some(pool) => pool
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                .is_ok(),
+        }
     }
 
     /// Adds a clause (an iterator of literals).
@@ -648,6 +708,9 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        if self.interrupted() {
+            return SolveResult::Unknown;
+        }
         debug_assert_eq!(self.decision_level(), 0);
         let budget_start = self.stats.conflicts;
         let mut restart_idx = 0u64;
@@ -677,6 +740,9 @@ impl Solver {
                     if self.stats.conflicts - budget_start >= budget {
                         break SolveResult::Unknown;
                     }
+                }
+                if !self.consume_shared_conflict() || self.interrupted() {
+                    break SolveResult::Unknown;
                 }
                 if self.num_learnts as f64 > self.max_learnts {
                     self.reduce_db();
@@ -859,6 +925,41 @@ mod tests {
         s.set_conflict_budget(Some(5));
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn shared_pool_is_a_strict_total_budget() {
+        let pool = Arc::new(AtomicU64::new(5));
+        let mut a = pigeonhole(7);
+        let mut b = pigeonhole(7);
+        a.set_shared_conflict_pool(Some(pool.clone()));
+        b.set_shared_conflict_pool(Some(pool.clone()));
+        assert_eq!(a.solve(), SolveResult::Unknown);
+        // The first solver drained the pool; the second cannot even start.
+        assert_eq!(pool.load(Ordering::Relaxed), 0);
+        assert_eq!(b.solve(), SolveResult::Unknown);
+        // Detaching the pool restores unbounded search.
+        b.set_shared_conflict_pool(None);
+        assert_eq!(b.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn interrupt_flag_stops_before_and_during_search() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut s = pigeonhole(7);
+        s.set_interrupt(Some(flag.clone()));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_returns_unknown() {
+        let mut s = pigeonhole(7);
+        s.set_deadline(Some(Instant::now()));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_deadline(None);
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
