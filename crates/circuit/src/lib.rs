@@ -35,7 +35,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod circuit;
 mod dag;
@@ -43,6 +43,7 @@ mod draw;
 mod gate;
 mod interaction;
 mod layers;
+mod skeleton;
 
 pub use circuit::{paper_example, Circuit, CircuitError, CircuitStats};
 pub use dag::{Dag, DagNode};
@@ -50,3 +51,4 @@ pub use draw::draw;
 pub use gate::{Gate, OneQubitKind};
 pub use interaction::InteractionGraph;
 pub use layers::{asap_layers, sequential_layers, Layer};
+pub use skeleton::CircuitSkeleton;

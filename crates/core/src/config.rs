@@ -59,8 +59,12 @@ impl SolveControl {
         &self.bound
     }
 
-    /// The raw cancel flag, in the form solvers attach.
-    pub(crate) fn cancel_flag(&self) -> Arc<AtomicBool> {
+    /// The raw cancel flag as a shareable atomic handle — the form
+    /// engines outside the SAT stack (e.g. heuristic trial loops) poll
+    /// between units of work. Reading the handle is equivalent to
+    /// [`SolveControl::is_cancelled`]; storing `true` is equivalent to
+    /// [`SolveControl::cancel`].
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.cancel)
     }
 }

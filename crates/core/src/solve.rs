@@ -218,7 +218,7 @@ impl ExactMapper {
                 .minimize
                 .conflict_budget
                 .map(|b| Arc::new(AtomicU64::new(b))),
-            cancel: self.config.control.cancel_flag(),
+            cancel: self.config.control.cancel_handle(),
             deadline: self.config.deadline.map(|d| start + d),
             start,
         };

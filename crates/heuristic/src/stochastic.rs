@@ -8,6 +8,10 @@
 //! the paper ran it 5 times per benchmark and reports the observed
 //! minimum, which the harness reproduces by varying [`StochasticSwapMapper::with_seed`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use qxmap_arch::{CouplingMap, Layout};
 use qxmap_circuit::Circuit;
 use rand::rngs::StdRng;
@@ -17,6 +21,13 @@ use crate::engine::{all_adjacent, run_engine, LayerPlanner};
 use crate::traits::{HeuristicError, HeuristicResult, Mapper};
 
 /// The stochastic swap mapper.
+///
+/// The mapper is deadline-aware: [`StochasticSwapMapper::with_deadline`]
+/// and [`StochasticSwapMapper::with_stop`] are polled *between per-layer
+/// trials*. When either fires, every remaining layer takes its first
+/// trial's plan instead of the best of `trials` — the output stays a
+/// complete, hardware-legal circuit (quality degrades, validity never
+/// does) and the run winds down within one trial's latency.
 ///
 /// ```
 /// use qxmap_arch::devices;
@@ -35,6 +46,8 @@ use crate::traits::{HeuristicError, HeuristicResult, Mapper};
 pub struct StochasticSwapMapper {
     trials: usize,
     seed: u64,
+    deadline: Option<Duration>,
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl StochasticSwapMapper {
@@ -47,12 +60,35 @@ impl StochasticSwapMapper {
     /// Sets the RNG seed — distinct seeds model the probabilistic reruns
     /// of Table 1.
     pub fn with_seed(seed: u64) -> StochasticSwapMapper {
-        StochasticSwapMapper { trials: 20, seed }
+        StochasticSwapMapper {
+            trials: 20,
+            seed,
+            deadline: None,
+            stop: None,
+        }
     }
 
     /// Overrides the per-layer trial count.
     pub fn with_trials(mut self, trials: usize) -> StochasticSwapMapper {
         self.trials = trials.max(1);
+        self
+    }
+
+    /// Caps the wall-clock time of one `map` call (measured from its
+    /// entry). Polled between per-layer trials; at least one trial per
+    /// layer always runs, so the result is valid and the overshoot is
+    /// bounded by a single trial.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> StochasticSwapMapper {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a cooperative stop flag (e.g. a racing supervisor's
+    /// cancel handle, `qxmap_core::SolveControl::cancel_handle`). Polled
+    /// between per-layer trials, with the same at-least-one-trial
+    /// guarantee as [`StochasticSwapMapper::with_deadline`].
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> StochasticSwapMapper {
+        self.stop = Some(stop);
         self
     }
 }
@@ -72,6 +108,8 @@ impl Mapper for StochasticSwapMapper {
         let mut planner = StochasticPlanner {
             rng: StdRng::seed_from_u64(self.seed),
             trials: self.trials,
+            cutoff: self.deadline.map(|d| Instant::now() + d),
+            stop: self.stop.clone(),
         };
         run_engine(circuit, cm, &mut planner)
     }
@@ -80,6 +118,22 @@ impl Mapper for StochasticSwapMapper {
 struct StochasticPlanner {
     rng: StdRng,
     trials: usize,
+    /// Wall-clock cutoff of the whole `map` call, if any.
+    cutoff: Option<Instant>,
+    /// External cooperative stop flag, if any.
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl StochasticPlanner {
+    /// Whether the deadline or the external stop flag asks the remaining
+    /// trials to be skipped.
+    fn stopped(&self) -> bool {
+        self.cutoff.is_some_and(|c| Instant::now() >= c)
+            || self
+                .stop
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
 }
 
 impl LayerPlanner for StochasticPlanner {
@@ -94,7 +148,13 @@ impl LayerPlanner for StochasticPlanner {
         let m = cm.num_qubits();
         let mut best: Option<Vec<(usize, usize)>> = None;
 
-        for _ in 0..self.trials {
+        for trial in 0..self.trials {
+            // Deadline/stop observance between trials: the first trial of
+            // every layer always runs (the plan must exist for the output
+            // to be valid), later ones are skipped once a budget fires.
+            if trial > 0 && self.stopped() {
+                break;
+            }
             // Perturbed distance matrix: dist · (1 + small noise), as the
             // original used randomly scaled distances to escape ties.
             let noisy: Vec<Vec<f64>> = (0..m)
@@ -230,6 +290,54 @@ mod tests {
             StochasticSwapMapper::new().map(&c, &cm),
             Err(HeuristicError::TooManyQubits { .. })
         ));
+    }
+
+    #[test]
+    fn expired_deadline_still_yields_a_valid_circuit() {
+        // A zero deadline skips every trial past the first: the output
+        // must still be complete and coupling-legal.
+        let cm = devices::ibm_qx4();
+        let c = paper_example();
+        let r = StochasticSwapMapper::with_seed(3)
+            .with_trials(50)
+            .with_deadline(Some(Duration::ZERO))
+            .map(&c, &cm)
+            .unwrap();
+        for (pc, pt) in r.mapped.cnot_skeleton() {
+            assert!(cm.has_edge(pc, pt), "illegal CNOT ({pc},{pt})");
+        }
+        assert!(r.added_gates >= 4, "cannot beat the exact minimum");
+    }
+
+    #[test]
+    fn pre_set_stop_flag_skips_extra_trials() {
+        let cm = devices::ibm_qx4();
+        let c = paper_example();
+        let flag = Arc::new(AtomicBool::new(true));
+        let stopped = StochasticSwapMapper::with_seed(3)
+            .with_trials(50)
+            .with_stop(Arc::clone(&flag))
+            .map(&c, &cm)
+            .unwrap();
+        // With the flag raised from the start, the run degenerates to one
+        // trial per layer — identical to a single-trial run.
+        let single = StochasticSwapMapper::with_seed(3)
+            .with_trials(1)
+            .map(&c, &cm)
+            .unwrap();
+        assert_eq!(stopped.mapped, single.mapped);
+        // A lowered flag restores the full (deterministic) search.
+        flag.store(false, Ordering::Relaxed);
+        let full = StochasticSwapMapper::with_seed(3)
+            .with_trials(50)
+            .with_stop(flag)
+            .map(&c, &cm)
+            .unwrap();
+        let reference = StochasticSwapMapper::with_seed(3)
+            .with_trials(50)
+            .map(&c, &cm)
+            .unwrap();
+        assert_eq!(full.mapped, reference.mapped);
     }
 
     #[test]

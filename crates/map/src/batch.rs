@@ -1,8 +1,10 @@
-//! Batch mapping across std threads.
+//! Batch mapping across std threads, with whole-solve deduplication.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::cache;
 use crate::engine::Engine;
 use crate::error::MapperError;
 use crate::portfolio::Portfolio;
@@ -13,11 +15,18 @@ use crate::request::MapRequest;
 /// across std threads. The output preserves input order: `results[i]`
 /// answers `requests[i]`.
 ///
-/// Repeated (device, subset) pairs across a batch hit the process-wide
-/// `SwapTable` cache (see `qxmap_arch::SwapTable::shared`), so identical
-/// requests stop paying the table-construction cost after the first.
-/// Per-request budgets compose with batching — here every request gets
-/// its own deadline and conflict budget:
+/// Batches deduplicate before spawning threads: requests whose canonical
+/// circuit skeletons, devices, options and budgets coincide (including
+/// relabeled-register equivalents) are grouped, one representative per
+/// group is solved on the worker pool through the process-wide
+/// [`crate::SolveCache`], and the rest are served from the
+/// representative's result — so a batch of a thousand identical
+/// subcircuits pays for one solve, and repeated *batches* stop solving
+/// entirely. Below the whole-solve layer,
+/// repeated (device, subset) pairs still hit the `SwapTable` cache (see
+/// `qxmap_arch::SwapTable::shared`). Per-request budgets compose with
+/// batching — here every request gets its own deadline and conflict
+/// budget:
 ///
 /// ```
 /// use std::time::Duration;
@@ -49,10 +58,19 @@ pub fn map_many(requests: &[MapRequest]) -> Vec<Result<MapReport, MapperError>> 
 
 /// [`map_many`] with an explicit engine.
 ///
-/// Requests are distributed over `min(available_parallelism, len)` worker
-/// threads through an atomic work queue; slots are written back by index,
-/// so the output order is the input order regardless of which worker
-/// finishes first.
+/// Unique requests (after skeleton-level deduplication — see
+/// [`map_many`]) are distributed over `min(available_parallelism, len)`
+/// worker threads through an atomic work queue; slots are written back by
+/// index, so the output order is the input order regardless of which
+/// worker finishes first. Duplicate slots are then answered — also in
+/// parallel — directly from their group representative's result (marked
+/// [`MapReport::served_from_cache`], layouts translated for relabeled
+/// equivalents) or, if the representative failed, by cloning its error.
+///
+/// Every answer goes through [`Engine::run_cached`]: custom engines whose
+/// configuration changes their answers must override
+/// [`Engine::cache_signature`], or differently-configured instances
+/// sharing a [`Engine::name`] would serve each other's cached results.
 pub fn map_many_with<E: Engine + ?Sized>(
     engine: &E,
     requests: &[MapRequest],
@@ -60,26 +78,85 @@ pub fn map_many_with<E: Engine + ?Sized>(
     if requests.is_empty() {
         return Vec::new();
     }
+    // Group identical work before spawning anything, under the *same*
+    // typed key the SolveCache uses (grouping and cache identity can
+    // never drift apart). The first index of each group is its
+    // representative; the rest are served after the representatives. The
+    // keys are kept: their skeletons translate duplicate answers in
+    // phase 2 without recanonicalizing anything.
+    let signature = engine.cache_signature();
+    let keys: Vec<cache::CacheKey> = requests
+        .iter()
+        .map(|request| cache::request_key(&signature, request))
+        .collect();
+    let mut groups: HashMap<&cache::CacheKey, usize> = HashMap::new();
+    let mut representative: Vec<usize> = Vec::with_capacity(requests.len());
+    for (i, key) in keys.iter().enumerate() {
+        representative.push(*groups.entry(key).or_insert(i));
+    }
+
+    let unique: Vec<usize> = representative
+        .iter()
+        .enumerate()
+        .filter(|&(i, &r)| i == r)
+        .map(|(i, _)| i)
+        .collect();
+    let duplicates: Vec<usize> = representative
+        .iter()
+        .enumerate()
+        .filter(|&(i, &r)| i != r)
+        .map(|(i, _)| i)
+        .collect();
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(requests.len());
 
-    let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<MapReport, MapperError>>>> =
         requests.iter().map(|_| Mutex::new(None)).collect();
+    let run_pool = |indices: &[usize], work: &(dyn Fn(usize) + Sync)| {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(indices.len()) {
+                scope.spawn(|| loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = indices.get(u) else {
+                        break;
+                    };
+                    work(i);
+                });
+            }
+        });
+    };
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(request) = requests.get(i) else {
-                    break;
-                };
-                let result = engine.run(request);
-                *slots[i].lock().expect("no panics while holding the lock") = Some(result);
-            });
-        }
+    // Phase 1: solve one representative per group.
+    run_pool(&unique, &|i| {
+        let result = engine.run_cached(&requests[i]);
+        *slots[i].lock().expect("no panics while holding the lock") = Some(result);
+    });
+    // Phase 2: serve the duplicates straight from their representative's
+    // result (layouts translated for relabeled equivalents) — not via the
+    // cache, whose LRU could have evicted the entry under a batch wider
+    // than its capacity. A failed representative's error is cloned:
+    // re-deriving an infeasibility proof per duplicate would defeat the
+    // dedup.
+    run_pool(&duplicates, &|i| {
+        let rep = representative[i];
+        let rep_outcome = slots[rep]
+            .lock()
+            .expect("no panics while holding the lock")
+            .clone()
+            .expect("representatives were solved in phase 1");
+        let result = match rep_outcome {
+            Ok(report) => {
+                Ok(
+                    cache::serve_duplicate(&keys[rep].skeleton, report, &keys[i].skeleton)
+                        .expect("one dedup group implies equal canonical skeletons"),
+                )
+            }
+            Err(e) => Err(e),
+        };
+        *slots[i].lock().expect("no panics while holding the lock") = Some(result);
     });
 
     slots
@@ -87,7 +164,7 @@ pub fn map_many_with<E: Engine + ?Sized>(
         .map(|slot| {
             slot.into_inner()
                 .expect("workers have exited")
-                .expect("every index was claimed exactly once")
+                .expect("every slot was filled")
         })
         .collect()
 }
@@ -128,6 +205,28 @@ mod tests {
                 "report does not match its request slot"
             );
             report.verify(request.circuit(), request.device()).unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicates_are_served_from_their_representative() {
+        let base = chain(4);
+        // The same circuit with registers reversed: same dedup group.
+        let relabeled = base.map_qubits(4, |q| 3 - q);
+        let cm = devices::ibm_qx4();
+        let requests = vec![
+            MapRequest::new(base.clone(), cm.clone()),
+            MapRequest::new(relabeled.clone(), cm.clone()),
+            MapRequest::new(base.clone(), cm.clone()),
+        ];
+        let results = map_many_with(&HeuristicEngine::naive(), &requests);
+        let rep = results[0].as_ref().expect("mappable");
+        for (i, circuit) in [(1usize, &relabeled), (2, &base)] {
+            let served = results[i].as_ref().expect("mappable");
+            assert!(served.served_from_cache, "slot {i} was re-solved");
+            assert!(served.winner.starts_with("cache/"), "{}", served.winner);
+            assert_eq!(served.cost, rep.cost);
+            served.verify(circuit, &cm).expect("translated layouts");
         }
     }
 

@@ -1,0 +1,510 @@
+//! The whole-solve result cache.
+//!
+//! The paper frames mapping cost as a function of the circuit's
+//! interaction structure and the device's coupling graph alone — which is
+//! exactly a cache key. [`SolveCache`] memoizes *verified* [`MapReport`]s
+//! keyed by (canonical circuit skeleton, device coupling graph, request
+//! options, budget class, engine signature), so a repeated request — or a
+//! relabeled-register equivalent of one — is answered from memory in
+//! microseconds instead of re-running a heuristic race or a SAT solver.
+//!
+//! ## Key anatomy
+//!
+//! * **Skeleton** — [`qxmap_circuit::CircuitSkeleton`], the circuit up to
+//!   qubit renaming. Two QASM files with renamed registers share one
+//!   entry; the hit is served by translating the stored layouts through
+//!   the register correspondence (the physical circuit itself is
+//!   label-free and reused verbatim).
+//! * **Device** — size plus the exact directed edge list. A different
+//!   coupling graph can change both cost and circuit, so it always
+//!   misses.
+//! * **Options** — cost model, strategy, subset flag, guarantee, declared
+//!   upper bound, and seed: everything that steers an engine's answer.
+//! * **Budget class** — the (conflict budget, deadline) pair. Results
+//!   computed under one budget are only reused for requests with the
+//!   *same* budgets — except proved-optimal results, which are published
+//!   to every budget class of the same key (an optimum is an optimum, no
+//!   matter how much time the asker was willing to spend).
+//! * **Engine signature** — [`crate::Engine::cache_signature`]: different
+//!   engines (or differently configured ones) answer differently and
+//!   never share entries.
+//!
+//! ## Bounds, stats, invalidation
+//!
+//! The cache is a bounded LRU (least-recently-*used*, where lookups and
+//! inserts both refresh recency); overflowing evicts the stalest entry
+//! and counts it in [`SolveCacheStats::evictions`]. Entries are immutable
+//! and verified before insertion ([`MapReport::verify`]), so there is no
+//! other invalidation: a key pins everything the answer depends on.
+//! Errors are never cached — an `Infeasible` proof is cheap to re-derive
+//! relative to the risk of serving it to a subtly different request.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use qxmap_arch::Layout;
+use qxmap_circuit::CircuitSkeleton;
+use qxmap_core::Strategy;
+
+use crate::report::MapReport;
+use crate::request::{Guarantee, MapRequest};
+
+/// Default capacity of the process-wide [`SolveCache::shared`] instance.
+pub const DEFAULT_SOLVE_CACHE_CAPACITY: usize = 256;
+
+/// Hit/miss/eviction counters and the current size of a [`SolveCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to solve.
+    pub misses: u64,
+    /// Entries evicted to make room (LRU order).
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// Everything besides the skeleton that pins an engine's answer. Also
+/// used by `map_many`'s batch dedup so grouping and cache identity can
+/// never drift apart.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// [`crate::Engine::cache_signature`] of the answering engine.
+    engine: String,
+    /// The circuit up to qubit relabeling (read by `map_many`'s dedup to
+    /// translate duplicate answers without recanonicalizing).
+    pub(crate) skeleton: CircuitSkeleton,
+    /// Device size and exact directed edge list.
+    device: (usize, Vec<(usize, usize)>),
+    /// Encoded permutation-site strategy (variant tag + parameters).
+    strategy: Vec<usize>,
+    use_subsets: bool,
+    /// (swap, reverse) weights of the cost model.
+    cost_model: (u32, u32),
+    optimal_demanded: bool,
+    upper_bound: Option<u64>,
+    seed: u64,
+    /// `Some((conflict_budget, deadline))` identifies a budget class;
+    /// `None` is the proved tier, where optimality certificates are
+    /// published for every budget class of the same key.
+    budgets: Option<(Option<u64>, Option<Duration>)>,
+}
+
+/// The cache key of `request` under `engine`'s signature — the identity
+/// `map_many` groups duplicates by.
+pub(crate) fn request_key(engine: &str, request: &MapRequest) -> CacheKey {
+    CacheKey::of(engine, request, CircuitSkeleton::of(request.circuit()))
+}
+
+/// Serves a duplicate request directly from an already-solved sibling:
+/// `solved` is the verified answer to the circuit canonicalized by
+/// `solved_skeleton`, and `request_skeleton` canonicalizes the duplicate
+/// (the skeletons must be equal — `map_many`'s dedup grouping guarantees
+/// it, and both were already computed for that grouping). The report
+/// comes back with the same cache-served contract as a
+/// [`SolveCache::lookup`] hit — translated layouts, flag, `cache/`
+/// winner prefix, lookup-time `elapsed` — but independently of the
+/// cache's eviction policy, so a batch wider than the cache never falls
+/// back to re-solving its duplicates. Returns `None` when the canonical
+/// skeletons differ (the requests were not grouped together).
+pub(crate) fn serve_duplicate(
+    solved_skeleton: &CircuitSkeleton,
+    solved: MapReport,
+    request_skeleton: &CircuitSkeleton,
+) -> Option<MapReport> {
+    let start = Instant::now();
+    let sigma = request_skeleton.correspondence_to(solved_skeleton)?;
+    let mut report = solved;
+    if sigma.iter().enumerate().any(|(q, &s)| q != s) {
+        report.initial_layout = remap_layout(&report.initial_layout, &sigma);
+        report.final_layout = remap_layout(&report.final_layout, &sigma);
+    }
+    if !report.served_from_cache {
+        // A representative that was itself cache-served already carries
+        // the prefix; never stack cache/cache/.
+        report.winner = format!("cache/{}", report.winner);
+    }
+    report.served_from_cache = true;
+    report.elapsed = start.elapsed();
+    Some(report)
+}
+
+impl CacheKey {
+    fn of(engine: &str, request: &MapRequest, skeleton: CircuitSkeleton) -> CacheKey {
+        let strategy = match request.strategy() {
+            Strategy::BeforeEveryGate => vec![0],
+            Strategy::DisjointQubits => vec![1],
+            Strategy::OddGates => vec![2],
+            Strategy::QubitTriangle => vec![3],
+            Strategy::Window(k) => vec![4, *k],
+            Strategy::Custom(points) => {
+                let mut v = Vec::with_capacity(points.len() + 1);
+                v.push(5);
+                v.extend(points.iter().copied());
+                v
+            }
+        };
+        let mut device_edges: Vec<(usize, usize)> = request.device().edges().collect();
+        device_edges.sort_unstable();
+        CacheKey {
+            engine: engine.to_string(),
+            skeleton,
+            device: (request.device().num_qubits(), device_edges),
+            strategy,
+            use_subsets: request.use_subsets(),
+            cost_model: (request.cost_model().swap, request.cost_model().reverse),
+            optimal_demanded: request.guarantee() == Guarantee::Optimal,
+            upper_bound: request.upper_bound(),
+            seed: request.seed(),
+            budgets: Some((request.conflict_budget(), request.deadline())),
+        }
+    }
+
+    /// The budget-erased variant under which proved-optimal results are
+    /// published.
+    fn proved_tier(&self) -> CacheKey {
+        CacheKey {
+            budgets: None,
+            ..self.clone()
+        }
+    }
+}
+
+struct Entry {
+    /// The stored report, unmarked (cache bookkeeping is applied to the
+    /// clone served to the caller, never to the stored original). Behind
+    /// `Arc` so the copy made under the cache lock is a pointer bump, not
+    /// a deep clone of a circuit.
+    report: Arc<MapReport>,
+    /// `canon_to_original[l]` is the solved circuit's qubit carrying the
+    /// canonical label `l` — composed with a hitting request's own
+    /// canonicalization, this translates layouts between register
+    /// namings.
+    canon_to_original: Vec<usize>,
+    /// Recency stamp for LRU eviction.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe, whole-solve result cache, keyed by (canonical
+/// circuit skeleton, device coupling graph, request options, budget
+/// class, engine signature) — see the module-level documentation above
+/// for the key anatomy. The [process-wide instance](SolveCache::shared)
+/// is shared by every [`crate::Engine::run_cached`] and
+/// [`crate::map_many`] call.
+pub struct SolveCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl SolveCache {
+    /// A fresh cache holding at most `capacity` entries (at least one).
+    pub fn with_capacity(capacity: usize) -> SolveCache {
+        SolveCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The process-wide instance (capacity
+    /// [`DEFAULT_SOLVE_CACHE_CAPACITY`]) behind
+    /// [`crate::Engine::run_cached`], [`crate::map_one`] and
+    /// [`crate::map_many`].
+    pub fn shared() -> &'static SolveCache {
+        static SHARED: OnceLock<SolveCache> = OnceLock::new();
+        SHARED.get_or_init(|| SolveCache::with_capacity(DEFAULT_SOLVE_CACHE_CAPACITY))
+    }
+
+    /// Looks `request` up under `engine`'s signature. On a hit, returns
+    /// the stored report translated to the request's register naming and
+    /// marked cache-served: [`MapReport::served_from_cache`] set,
+    /// [`MapReport::winner`] prefixed with `cache/`, and
+    /// [`MapReport::elapsed`] reporting this lookup's own (near-zero)
+    /// wall-clock rather than the original solve's.
+    pub fn lookup(&self, engine: &str, request: &MapRequest) -> Option<MapReport> {
+        let start = Instant::now();
+        let skeleton = CircuitSkeleton::of(request.circuit());
+        let labels: Vec<usize> = skeleton.canonical_labels().to_vec();
+        let mut key = CacheKey::of(engine, request, skeleton);
+        let (stored, canon_to_original) = {
+            let mut inner = self.inner.lock().expect("no panics under the lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            // The proved tier first (a certificate serves every budget
+            // class), then the exact budget class — probed by flipping
+            // the key's budget field in place, so no key is cloned and
+            // the copy taken under the lock is an `Arc` pointer bump.
+            let budgets = key.budgets.take();
+            let probe = |inner: &mut Inner, key: &CacheKey| {
+                let entry = inner.map.get_mut(key)?;
+                entry.last_used = tick;
+                Some((Arc::clone(&entry.report), entry.canon_to_original.clone()))
+            };
+            let hit = probe(&mut inner, &key).or_else(|| {
+                key.budgets = budgets;
+                probe(&mut inner, &key)
+            });
+            match hit {
+                Some(found) => {
+                    inner.hits += 1;
+                    found
+                }
+                None => {
+                    inner.misses += 1;
+                    return None;
+                }
+            }
+        };
+        // Deep-clone outside the lock, then translate the layouts into
+        // the request's register naming: qubit `q` of the request plays
+        // the solved circuit's qubit `canon_to_original[label(q)]` (key
+        // equality guarantees the canonical forms agree, so the
+        // composition is a permutation).
+        let mut report = (*stored).clone();
+        let sigma: Vec<usize> = labels.iter().map(|&l| canon_to_original[l]).collect();
+        if sigma.iter().enumerate().any(|(q, &s)| q != s) {
+            report.initial_layout = remap_layout(&report.initial_layout, &sigma);
+            report.final_layout = remap_layout(&report.final_layout, &sigma);
+        }
+        report.served_from_cache = true;
+        report.winner = format!("cache/{}", report.winner);
+        report.elapsed = start.elapsed();
+        Some(report)
+    }
+
+    /// Stores `report` as the answer to `request` under `engine`'s
+    /// signature. The report is structurally verified against the request
+    /// first ([`MapReport::verify`]); unverifiable or already
+    /// cache-served reports are dropped silently. Proved-optimal reports
+    /// are additionally published to the budget-erased tier, serving
+    /// every budget class of the same key.
+    pub fn insert(&self, engine: &str, request: &MapRequest, report: &MapReport) {
+        if report.served_from_cache || report.verify(request.circuit(), request.device()).is_err() {
+            return;
+        }
+        let skeleton = CircuitSkeleton::of(request.circuit());
+        // canonical label -> the solved circuit's qubit.
+        let mut canon_to_original = vec![0usize; skeleton.num_qubits()];
+        for (q, &l) in skeleton.canonical_labels().iter().enumerate() {
+            canon_to_original[l] = q;
+        }
+        let key = CacheKey::of(engine, request, skeleton);
+        let shared_report = Arc::new(report.clone());
+        let mut inner = self.inner.lock().expect("no panics under the lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = || Entry {
+            report: Arc::clone(&shared_report),
+            canon_to_original: canon_to_original.clone(),
+            last_used: tick,
+        };
+        if report.proved_optimal {
+            inner.map.insert(key.proved_tier(), entry());
+        }
+        inner.map.insert(key, entry());
+        // Evict least-recently-used entries down to capacity.
+        while inner.map.len() > self.capacity {
+            let stalest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity map is non-empty");
+            inner.map.remove(&stalest);
+            inner.evictions += 1;
+        }
+    }
+
+    /// Cumulative counters and the current entry count.
+    pub fn stats(&self) -> SolveCacheStats {
+        let inner = self.inner.lock().expect("no panics under the lock");
+        SolveCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Drops every entry (counters are kept; they are cumulative).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("no panics under the lock")
+            .map
+            .clear();
+    }
+}
+
+impl std::fmt::Debug for SolveCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// `layout` with its logical axis relabeled: the result places request
+/// qubit `q` where `layout` places solved qubit `sigma[q]`.
+fn remap_layout(layout: &Layout, sigma: &[usize]) -> Layout {
+    let mut remapped = Layout::new(sigma.len(), layout.num_phys());
+    for (q, &s) in sigma.iter().enumerate() {
+        if let Some(p) = layout.phys_of(s) {
+            remapped
+                .assign(q, p)
+                .expect("sigma is a permutation, so the image stays injective");
+        }
+    }
+    remapped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, HeuristicEngine};
+    use qxmap_arch::devices;
+    use qxmap_circuit::{paper_example, Circuit};
+
+    fn solve_and_insert(cache: &SolveCache, request: &MapRequest) -> MapReport {
+        let engine = HeuristicEngine::naive();
+        let report = engine.run(request).expect("mappable");
+        cache.insert(&engine.cache_signature(), request, &report);
+        report
+    }
+
+    #[test]
+    fn identical_requests_hit() {
+        let cache = SolveCache::with_capacity(8);
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        assert!(cache.lookup("naive", &request).is_none());
+        let solved = solve_and_insert(&cache, &request);
+        let hit = cache.lookup("naive", &request).expect("second lookup hits");
+        assert!(hit.served_from_cache);
+        assert_eq!(hit.winner, "cache/naive");
+        assert_eq!(hit.cost, solved.cost);
+        assert_eq!(hit.mapped, solved.mapped);
+        assert_eq!(hit.runtime, solved.runtime, "original solve time kept");
+        assert!(hit.elapsed < Duration::from_millis(10), "{:?}", hit.elapsed);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn relabeled_registers_hit_with_translated_layouts() {
+        let cache = SolveCache::with_capacity(8);
+        let circuit = paper_example();
+        let cm = devices::ibm_qx4();
+        let request = MapRequest::new(circuit.clone(), cm.clone());
+        solve_and_insert(&cache, &request);
+
+        // The same circuit with renamed registers (q -> sigma[q]).
+        let sigma = [2usize, 0, 3, 1];
+        let renamed = circuit.map_qubits(circuit.num_qubits(), |q| sigma[q]);
+        let renamed_request = MapRequest::new(renamed.clone(), cm.clone());
+        let hit = cache
+            .lookup("naive", &renamed_request)
+            .expect("relabeled equivalents share the entry");
+        assert!(hit.served_from_cache);
+        // The served report must be valid *for the renamed circuit*.
+        hit.verify(&renamed, &cm).expect("translated layouts");
+        assert_eq!(hit.mapped.num_qubits(), cm.num_qubits());
+    }
+
+    #[test]
+    fn different_device_and_options_miss() {
+        let cache = SolveCache::with_capacity(8);
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        solve_and_insert(&cache, &request);
+        // Different coupling graph.
+        let other = MapRequest::new(paper_example(), devices::ibm_qx2());
+        assert!(cache.lookup("naive", &other).is_none());
+        // Different engine signature.
+        assert!(cache.lookup("sabre", &request).is_none());
+        // Different seed.
+        let reseeded = MapRequest::new(paper_example(), devices::ibm_qx4()).with_seed(7);
+        assert!(cache.lookup("naive", &reseeded).is_none());
+    }
+
+    #[test]
+    fn budget_classes_are_separate_but_proofs_serve_all() {
+        let cache = SolveCache::with_capacity(8);
+        let unbudgeted = MapRequest::new(paper_example(), devices::ibm_qx4());
+        let budgeted = MapRequest::new(paper_example(), devices::ibm_qx4())
+            .with_deadline(Duration::from_millis(50));
+
+        // An unproved heuristic answer stays in its own budget class.
+        solve_and_insert(&cache, &unbudgeted);
+        assert!(cache.lookup("naive", &budgeted).is_none());
+
+        // A proved answer is published to every budget class.
+        let engine = crate::engine::ExactEngine::new();
+        let proved = engine.run(&unbudgeted).expect("in regime");
+        assert!(proved.proved_optimal);
+        cache.insert(&engine.cache_signature(), &unbudgeted, &proved);
+        let hit = cache
+            .lookup("exact", &budgeted)
+            .expect("a certificate serves any deadline class");
+        assert!(hit.proved_optimal && hit.served_from_cache);
+    }
+
+    #[test]
+    fn lru_eviction_is_counted_and_bounded() {
+        let cache = SolveCache::with_capacity(2);
+        let cm = devices::ibm_qx4();
+        let requests: Vec<MapRequest> = (2..=5)
+            .map(|n| {
+                let mut c = Circuit::new(n);
+                for q in 0..n - 1 {
+                    c.cx(q, q + 1);
+                }
+                MapRequest::new(c, cm.clone())
+            })
+            .collect();
+        for r in &requests {
+            solve_and_insert(&cache, r);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 2);
+        assert!(stats.evictions >= 2, "{stats:?}");
+        // The most recent insert survives; the oldest is gone.
+        assert!(cache.lookup("naive", &requests[3]).is_some());
+        assert!(cache.lookup("naive", &requests[0]).is_none());
+    }
+
+    #[test]
+    fn errors_and_cache_served_reports_are_not_stored() {
+        let cache = SolveCache::with_capacity(8);
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        solve_and_insert(&cache, &request);
+        let hit = cache.lookup("naive", &request).expect("hit");
+        // Re-inserting the served clone is a no-op (no self-amplifying
+        // cache/cache/... winners).
+        cache.insert("naive", &request, &hit);
+        let again = cache.lookup("naive", &request).expect("hit");
+        assert_eq!(again.winner, "cache/naive");
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = SolveCache::with_capacity(8);
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        solve_and_insert(&cache, &request);
+        assert!(cache.lookup("naive", &request).is_some());
+        cache.clear();
+        assert!(cache.lookup("naive", &request).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert!(stats.hits >= 1 && stats.misses >= 1);
+    }
+}

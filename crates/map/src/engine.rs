@@ -1,9 +1,16 @@
 //! The [`Engine`] abstraction and the adapters over the legacy mappers.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
 use qxmap_core::{EncodingStats, ExactMapper, MapperConfig, SolveControl, MAX_EXACT_QUBITS};
-use qxmap_heuristic::{AStarMapper, Mapper, NaiveMapper, SabreMapper, StochasticSwapMapper};
+use qxmap_heuristic::{
+    AStarMapper, HeuristicResult, Mapper, NaiveMapper, SabreMapper, StochasticSwapMapper,
+};
 use qxmap_sat::MinimizeOptions;
 
+use crate::cache::SolveCache;
 use crate::error::MapperError;
 use crate::report::MapReport;
 use crate::request::{Guarantee, MapRequest};
@@ -23,6 +30,56 @@ pub trait Engine: Send + Sync {
     ///
     /// Returns a [`MapperError`] when the request cannot be satisfied.
     fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError>;
+
+    /// The engine's identity in [`SolveCache`] keys. Defaults to
+    /// [`Engine::name`]; engines whose configuration changes their
+    /// answers (trial counts, pool composition) must extend it so
+    /// distinct configurations never share cache entries.
+    fn cache_signature(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Whether this engine's answers are pure functions of the request
+    /// and may be cached. Engines coupled to external state — like an
+    /// [`ExactEngine`] with an attached racing [`SolveControl`], whose
+    /// supervisor can cancel or bound a run mid-flight — must return
+    /// `false`, or a degraded answer would be served to callers with no
+    /// such supervisor. [`Engine::run_cached`] falls back to a plain
+    /// [`Engine::run`] when this is `false`.
+    fn cacheable(&self) -> bool {
+        true
+    }
+
+    /// [`Engine::run`] through the process-wide [`SolveCache`]: a request
+    /// whose (canonical circuit skeleton, device, options, budget class)
+    /// was already answered by this engine returns the cached, verified
+    /// report — flagged [`MapReport::served_from_cache`], with
+    /// [`MapReport::elapsed`] reporting the lookup time — without
+    /// touching a solver. Relabeled-register equivalents hit the same
+    /// entry (their layouts are translated through the register
+    /// correspondence). Misses run the engine and populate the cache.
+    ///
+    /// Engines whose answers are not pure functions of the request
+    /// ([`Engine::cacheable`] is `false`, e.g. an [`ExactEngine`] with an
+    /// attached [`SolveControl`]) bypass the cache entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapperError`] when the request cannot be satisfied;
+    /// errors are never cached.
+    fn run_cached(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
+        if !self.cacheable() {
+            return self.run(request);
+        }
+        let cache = SolveCache::shared();
+        let signature = self.cache_signature();
+        if let Some(hit) = cache.lookup(&signature, request) {
+            return Ok(hit);
+        }
+        let report = self.run(request)?;
+        cache.insert(&signature, request, &report);
+        Ok(report)
+    }
 }
 
 /// The paper's exact SAT-based method behind the unified surface.
@@ -86,6 +143,13 @@ impl Engine for ExactEngine {
         "exact"
     }
 
+    fn cacheable(&self) -> bool {
+        // A racing supervisor can cancel or bound this engine mid-run
+        // through the attached control: such answers are not pure
+        // functions of the request and must never be cached.
+        self.control.is_none()
+    }
+
     fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
         let mapper = ExactMapper::with_config(request.device().clone(), self.config_for(request));
         let result = mapper.map(request.circuit())?;
@@ -119,6 +183,13 @@ pub enum Baseline {
 /// Heuristics carry no minimality proof: `proved_optimal` is only set
 /// when nothing had to be inserted at all. With [`Guarantee::Optimal`]
 /// requests, unproved runs fail.
+///
+/// The stochastic baseline is deadline-aware: its seeded trials run on a
+/// scoped worker pool, the pool polls [`MapRequest::with_deadline`] (and,
+/// under a racing [`crate::Portfolio`], the shared cancel flag) between
+/// trials, and each trial winds itself down per layer once the budget
+/// fires. At least one trial always completes, so a deadline degrades
+/// quality — never validity — and is honored within one trial's latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeuristicEngine {
     baseline: Baseline,
@@ -161,40 +232,22 @@ impl HeuristicEngine {
     }
 }
 
-impl Engine for HeuristicEngine {
-    fn name(&self) -> &str {
-        match self.baseline {
-            Baseline::Naive => "naive",
-            Baseline::AStar => "astar",
-            Baseline::Sabre => "sabre",
-            Baseline::Stochastic { .. } => "stochastic",
-        }
-    }
-
-    fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
+impl HeuristicEngine {
+    /// The shared implementation behind [`Engine::run`]: `control`, when
+    /// present, is the racing supervisor's handle whose cancel flag stops
+    /// stochastic trials early (the [`crate::Portfolio`] passes its own).
+    pub(crate) fn run_inner(
+        &self,
+        request: &MapRequest,
+        control: Option<&SolveControl>,
+    ) -> Result<MapReport, MapperError> {
         let circuit = request.circuit();
         let cm = request.device();
         let result = match self.baseline {
             Baseline::Naive => NaiveMapper::new().map(circuit, cm)?,
             Baseline::AStar => AStarMapper::new().map(circuit, cm)?,
             Baseline::Sabre => SabreMapper::new().map(circuit, cm)?,
-            Baseline::Stochastic { trials } => {
-                // Pick the winner under the *request's* cost model — added
-                // gates only coincide with it for the default 7/4 weights.
-                let model = request.cost_model();
-                let objective = |r: &qxmap_heuristic::HeuristicResult| {
-                    crate::report::heuristic_objective(model, r)
-                };
-                (0..trials)
-                    .map(|offset| {
-                        StochasticSwapMapper::with_seed(request.seed().wrapping_add(offset))
-                            .map(circuit, cm)
-                    })
-                    .collect::<Result<Vec<_>, _>>()?
-                    .into_iter()
-                    .min_by_key(|r| (objective(r), r.added_gates))
-                    .expect("trials >= 1")
-            }
+            Baseline::Stochastic { trials } => run_stochastic_pool(request, trials, control)?,
         };
         let report = MapReport::from_heuristic(result, self.name(), request.cost_model());
         if let Some(bound) = request.upper_bound() {
@@ -210,6 +263,112 @@ impl Engine for HeuristicEngine {
         }
         Ok(report)
     }
+}
+
+impl Engine for HeuristicEngine {
+    fn name(&self) -> &str {
+        match self.baseline {
+            Baseline::Naive => "naive",
+            Baseline::AStar => "astar",
+            Baseline::Sabre => "sabre",
+            Baseline::Stochastic { .. } => "stochastic",
+        }
+    }
+
+    fn cache_signature(&self) -> String {
+        match self.baseline {
+            Baseline::Stochastic { trials } => format!("stochastic:{trials}"),
+            _ => self.name().to_string(),
+        }
+    }
+
+    fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
+        self.run_inner(request, None)
+    }
+}
+
+/// The stochastic baseline's seeded trials, distributed over a scoped
+/// worker pool. Trial `t` uses seed `request.seed() + t`, exactly like
+/// the sequential loop did; results land in per-trial slots so the
+/// winner selection stays deterministic whenever every trial completes.
+///
+/// Deadline/cancellation observance: trial 0 always runs (a valid answer
+/// must exist), later trials are skipped once the request's deadline or
+/// the supervisor's cancel flag fires, and every trial additionally winds
+/// itself down per layer through the mapper's own deadline/stop hooks.
+fn run_stochastic_pool(
+    request: &MapRequest,
+    trials: u64,
+    control: Option<&SolveControl>,
+) -> Result<HeuristicResult, MapperError> {
+    let circuit = request.circuit();
+    let cm = request.device();
+    let cutoff = request.deadline().map(|d| Instant::now() + d);
+    let cancel = control.map(SolveControl::cancel_handle);
+    let stopped = || {
+        cutoff.is_some_and(|c| Instant::now() >= c)
+            || cancel.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+    };
+
+    let trials_usize = usize::try_from(trials).unwrap_or(usize::MAX);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials_usize)
+        .max(1);
+    let next = AtomicUsize::new(0);
+    // Completed trials only (skipped ones allocate nothing, so absurd
+    // trial counts cost time, never memory), tagged with their index to
+    // keep winner selection deterministic.
+    let completed: Mutex<
+        Vec<(
+            usize,
+            Result<HeuristicResult, qxmap_heuristic::HeuristicError>,
+        )>,
+    > = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= trials_usize || (t > 0 && stopped()) {
+                    break;
+                }
+                let mut mapper =
+                    StochasticSwapMapper::with_seed(request.seed().wrapping_add(t as u64))
+                        .with_deadline(cutoff.map(|c| c.saturating_duration_since(Instant::now())));
+                if let Some(cancel) = &cancel {
+                    mapper = mapper.with_stop(cancel.clone());
+                }
+                let result = mapper.map(circuit, cm);
+                completed
+                    .lock()
+                    .expect("no panics under the lock")
+                    .push((t, result));
+            });
+        }
+    });
+
+    // Winner: minimal objective under the *request's* cost model — added
+    // gates only coincide with it for the default 7/4 weights — with
+    // added-gate count and then the lowest trial index as tie-breaks
+    // (matching the sequential loop's first-wins order).
+    let model = request.cost_model();
+    let objective = |r: &HeuristicResult| crate::report::heuristic_objective(model, r);
+    let mut completed = completed.into_inner().expect("workers have exited");
+    completed.sort_by_key(|(t, _)| *t);
+    let mut best: Option<HeuristicResult> = None;
+    for (_, result) in completed {
+        // Structural failures (capacity, routability) are identical
+        // across seeds: any one of them describes the instance.
+        let result = result?;
+        if best.as_ref().is_none_or(|b| {
+            (objective(&result), result.added_gates) < (objective(b), b.added_gates)
+        }) {
+            best = Some(result);
+        }
+    }
+    Ok(best.expect("trial 0 always runs"))
 }
 
 /// Whether the exact method is in regime for this request's device.

@@ -25,8 +25,15 @@
 //! conflict budget and a wall-clock [`MapRequest::with_deadline`]; when a
 //! budget fires, the race answers with the best verified result in hand
 //! and [`MapReport::winner`] names the engine that produced it.
-//! [`map_many`] batches requests across std threads, with repeated
-//! (device, subset) pairs served from a process-wide `SwapTable` cache.
+//! [`map_many`] batches requests across std threads, deduplicating
+//! identical subcircuits against the process-wide [`SolveCache`] — a
+//! bounded LRU of verified reports keyed by the circuit's canonical
+//! (qubit-relabel-invariant) skeleton, the device's coupling graph, the
+//! request options and the budget class. Repeated requests, including
+//! relabeled-register equivalents, are answered in microseconds with
+//! [`MapReport::served_from_cache`] set ([`Engine::run_cached`] is the
+//! single-request entry). Below it, repeated (device, subset) pairs are
+//! served from the process-wide `SwapTable` cache.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +54,7 @@
 #![deny(missing_docs)]
 
 mod batch;
+mod cache;
 mod engine;
 mod error;
 mod portfolio;
@@ -54,17 +62,35 @@ mod report;
 mod request;
 
 pub use batch::{map_many, map_many_with};
+pub use cache::{SolveCache, SolveCacheStats, DEFAULT_SOLVE_CACHE_CAPACITY};
 pub use engine::{Baseline, Engine, ExactEngine, HeuristicEngine};
 pub use error::MapperError;
 pub use portfolio::Portfolio;
 pub use report::{CostBreakdown, MapReport};
 pub use request::{Guarantee, MapRequest};
 
-/// Maps one request with the default [`Portfolio`] engine.
+/// Maps one request with the default [`Portfolio`] engine, answered from
+/// the process-wide [`SolveCache`] when the same request (or a
+/// relabeled-register equivalent) was solved before — see
+/// [`Engine::run_cached`].
+///
+/// ```
+/// use qxmap_arch::devices;
+/// use qxmap_circuit::paper_example;
+/// use qxmap_map::{map_one, MapRequest};
+///
+/// let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+/// let first = map_one(&request)?;
+/// let second = map_one(&request)?;
+/// assert_eq!(first.cost, second.cost);
+/// assert!(second.served_from_cache);
+/// assert!(second.winner.starts_with("cache/"));
+/// # Ok::<(), qxmap_map::MapperError>(())
+/// ```
 ///
 /// # Errors
 ///
 /// Propagates the engine's [`MapperError`].
 pub fn map_one(request: &MapRequest) -> Result<MapReport, MapperError> {
-    Portfolio::new().run(request)
+    Portfolio::new().run_cached(request)
 }

@@ -86,6 +86,12 @@ impl Engine for Portfolio {
         "portfolio"
     }
 
+    fn cache_signature(&self) -> String {
+        // The pool's composition changes the race's answers: distinct
+        // configurations must never share cache entries.
+        format!("portfolio:s{}", self.stochastic_trials)
+    }
+
     fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
         let start = Instant::now();
         // One control handle couples the whole race: heuristics tighten
@@ -136,7 +142,11 @@ impl Engine for Portfolio {
                     let control = &control;
                     let heuristic_request = &heuristic_request;
                     scope.spawn(move || {
-                        let result = engine.run(heuristic_request);
+                        // Heuristics receive the race's control handle:
+                        // the stochastic trial pool stops early when a
+                        // zero-cost win cancels the race (and observes
+                        // the request's deadline on its own).
+                        let result = engine.run_inner(heuristic_request, Some(control));
                         if let Ok(report) = &result {
                             control.bound().tighten(report.cost.objective);
                             if report.cost.objective == 0 {

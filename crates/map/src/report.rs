@@ -42,7 +42,9 @@ pub struct MapReport {
     pub engine: String,
     /// The engine that actually won the race, without any composite
     /// prefix: for a `portfolio/exact` report this is `exact`; for
-    /// single-engine runs it equals [`MapReport::engine`].
+    /// single-engine runs it equals [`MapReport::engine`]. Cache-served
+    /// answers are marked with a `cache/` prefix (e.g. `cache/exact`), so
+    /// the winner always names who did the work *for this request*.
     pub winner: String,
     /// The hardware-legal output circuit.
     pub mapped: Circuit,
@@ -55,12 +57,20 @@ pub struct MapReport {
     /// Whether the reported cost is provably minimal for the requested
     /// formulation — the paper's headline certificate.
     pub proved_optimal: bool,
-    /// Wall-clock time the *winning engine* spent on its own run.
+    /// Wall-clock time the *winning engine* spent on its own run — for a
+    /// cache-served answer, the time the original solve spent, preserved
+    /// so the report still says what the result cost to produce.
     pub runtime: Duration,
     /// Wall-clock time of the whole request, racing included — what the
     /// caller actually waited. Always at least [`MapReport::runtime`] for
-    /// composite engines; equal to it for single-engine runs.
+    /// composite engines and equal to it for single-engine runs — except
+    /// on a cache hit, where it is the (near-zero) lookup time, not the
+    /// original solve's wall-clock.
     pub elapsed: Duration,
+    /// Whether this answer came from the process-wide
+    /// [`crate::SolveCache`] instead of a fresh solve. Cache-served
+    /// reports also carry a `cache/` prefix on [`MapReport::winner`].
+    pub served_from_cache: bool,
     /// Physical qubits the mapping was restricted to (exact engines with
     /// the Section 4.1 optimization).
     pub subset: Option<Vec<usize>>,
@@ -113,6 +123,7 @@ impl MapReport {
             proved_optimal: result.proved_optimal,
             runtime: result.runtime,
             elapsed: result.runtime,
+            served_from_cache: false,
             subset: Some(result.subset),
             num_change_points: Some(result.num_change_points),
             iterations: Some(result.iterations),
@@ -143,6 +154,7 @@ impl MapReport {
             proved_optimal: result.added_gates == 0,
             runtime: result.runtime,
             elapsed: result.runtime,
+            served_from_cache: false,
             subset: None,
             num_change_points: None,
             iterations: None,

@@ -132,7 +132,9 @@ pub fn minimize(
 
     // With an external upper bound, encode the objective up front and
     // assume `F ≤ ub − 1` from the very first solve: the solver propagates
-    // the bound instead of rediscovering it model by model.
+    // the bound instead of rediscovering it model by model. The encoding
+    // itself observes the solver's deadline/interrupt/pool state, so a
+    // budget that fires mid-encoding surfaces as exhaustion, not overrun.
     let mut totalizer: Option<Totalizer> = None;
     let mut base_assumptions: Vec<Lit> = Vec::new();
     if let Some(ub) = options.initial_upper_bound {
@@ -140,7 +142,9 @@ pub fn minimize(
             // Nothing can cost strictly less than 0.
             return Err(MinimizeError::Unsatisfiable);
         }
-        let t = Totalizer::encode(solver, objective, ub);
+        let Some(t) = Totalizer::encode_interruptible(solver, objective, ub) else {
+            return Err(MinimizeError::BudgetExhausted);
+        };
         if let Some(bl) = t.bound_literal(ub - 1) {
             base_assumptions.push(!bl);
         }
@@ -173,8 +177,25 @@ pub fn minimize(
 
     // Encode the objective once (unless the upper bound already did),
     // clamped at the first model's cost: all future bounds are strictly
-    // below it.
-    let totalizer = totalizer.unwrap_or_else(|| Totalizer::encode(solver, objective, best_cost));
+    // below it. On a large objective this encoding can dwarf a deadline
+    // that the first model only just beat — when the solver's stop state
+    // fires mid-encoding, the first model is returned, honestly unproved,
+    // instead of overshooting the budget.
+    let totalizer = match totalizer {
+        Some(t) => t,
+        None => match Totalizer::encode_interruptible(solver, objective, best_cost) {
+            Some(t) => t,
+            None => {
+                solver.set_conflict_budget(None);
+                return Ok(Minimum {
+                    cost: best_cost,
+                    model: best,
+                    proved_optimal: false,
+                    iterations,
+                });
+            }
+        },
+    };
     let mut proved = false;
 
     match options.strategy {
@@ -385,6 +406,30 @@ mod tests {
         assert_eq!(err, MinimizeError::Unsatisfiable);
         // The solver survives bound assumptions and stays reusable.
         assert!(s.solve_with_assumptions(&[v[0]]).is_sat());
+    }
+
+    #[test]
+    fn interrupted_upfront_encoding_is_budget_exhaustion() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // With an initial upper bound, the totalizer is encoded before the
+        // first solve; a stop request during that encoding must surface as
+        // budget exhaustion instead of a completed (overshot) encoding.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]);
+        s.set_interrupt(Some(Arc::new(AtomicBool::new(true))));
+        let err = minimize(
+            &mut s,
+            &[(1, v[0]), (1, v[1]), (1, v[2])],
+            MinimizeOptions {
+                initial_upper_bound: Some(3),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, MinimizeError::BudgetExhausted);
     }
 
     #[test]

@@ -335,6 +335,16 @@ impl Solver {
         self.deadline = deadline;
     }
 
+    /// Whether an attached interrupt flag, an expired deadline, or an
+    /// exhausted shared conflict pool asks work on this solver to stop.
+    /// This is the same check `solve` performs at every conflict, exposed
+    /// so that *encoding* work against this solver (e.g.
+    /// [`crate::totalizer::Totalizer::encode_interruptible`]) can wind
+    /// down under the same budgets as the search itself.
+    pub fn stop_requested(&self) -> bool {
+        self.interrupted()
+    }
+
     /// Whether an attached interrupt flag, deadline, or exhausted shared
     /// pool asks this search to stop (does not consume from the pool).
     fn interrupted(&self) -> bool {

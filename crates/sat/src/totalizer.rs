@@ -34,6 +34,38 @@ impl Totalizer {
     ///
     /// Panics if `cap == 0`.
     pub fn encode(solver: &mut Solver, terms: &[(u64, Lit)], cap: u64) -> Totalizer {
+        Totalizer::encode_impl(solver, terms, cap, false)
+            .expect("uninterruptible encoding always completes")
+    }
+
+    /// [`Totalizer::encode`] with cooperative interruption: the solver's
+    /// own stop state ([`Solver::stop_requested`] — its interrupt flag,
+    /// deadline, and shared conflict pool) is polled between merge nodes,
+    /// and `None` is returned when it fires. A large objective found just
+    /// before a deadline therefore cannot overshoot it while encoding; the
+    /// caller keeps the model it has, honestly unproved.
+    ///
+    /// Clauses added before the interruption stay in the solver; they are
+    /// sound (pure implications over fresh literals) and harmless without
+    /// the bound assumptions that would have used them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn encode_interruptible(
+        solver: &mut Solver,
+        terms: &[(u64, Lit)],
+        cap: u64,
+    ) -> Option<Totalizer> {
+        Totalizer::encode_impl(solver, terms, cap, true)
+    }
+
+    fn encode_impl(
+        solver: &mut Solver,
+        terms: &[(u64, Lit)],
+        cap: u64,
+        interruptible: bool,
+    ) -> Option<Totalizer> {
         assert!(cap > 0, "cap must be positive");
         let mut leaves: Vec<Vec<(u64, Lit)>> = terms
             .iter()
@@ -41,27 +73,34 @@ impl Totalizer {
             .map(|&(w, l)| vec![(w.min(cap), l)])
             .collect();
         if leaves.is_empty() {
-            return Totalizer {
+            return Some(Totalizer {
                 outputs: Vec::new(),
                 cap,
-            };
+            });
         }
-        // Balanced bottom-up merge.
+        // Balanced bottom-up merge. The per-node work is bounded by the
+        // cap-clamped sum count, so the per-merge stop check bounds the
+        // overshoot to one node's clauses.
         while leaves.len() > 1 {
             let mut next = Vec::with_capacity(leaves.len().div_ceil(2));
             let mut it = leaves.into_iter();
             while let Some(a) = it.next() {
                 match it.next() {
-                    Some(b) => next.push(merge(solver, &a, &b, cap)),
+                    Some(b) => {
+                        if interruptible && solver.stop_requested() {
+                            return None;
+                        }
+                        next.push(merge(solver, &a, &b, cap));
+                    }
                     None => next.push(a),
                 }
             }
             leaves = next;
         }
-        Totalizer {
+        Some(Totalizer {
             outputs: leaves.pop().expect("one root remains"),
             cap,
-        }
+        })
     }
 
     /// The literal to *refute* in order to assert `sum ≤ bound`:
@@ -260,6 +299,41 @@ mod tests {
         let v = s.new_lit();
         let tot = Totalizer::encode(&mut s, &[(5, v)], 6);
         let _ = tot.bound_literal(6);
+    }
+
+    #[test]
+    fn interrupted_encoding_returns_none_and_plain_encode_ignores_stops() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        let terms: Vec<(u64, Lit)> = v.iter().map(|&l| (1, l)).collect();
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Some(flag.clone()));
+        assert!(s.stop_requested());
+        // The interruptible form winds down at the first merge node...
+        assert!(Totalizer::encode_interruptible(&mut s, &terms, 5).is_none());
+        // ... the plain form completes regardless (it promises a result).
+        let tot = Totalizer::encode(&mut s, &terms, 5);
+        assert_eq!(tot.outputs().len(), 4);
+        // With the flag cleared, the interruptible form completes too.
+        flag.store(false, std::sync::atomic::Ordering::Relaxed);
+        let tot = Totalizer::encode_interruptible(&mut s, &terms, 5).expect("not stopped");
+        assert_eq!(tot.outputs().len(), 4);
+    }
+
+    #[test]
+    fn single_term_encoding_survives_interruption() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // One leaf means no merge: nothing to interrupt.
+        let mut s = Solver::new();
+        let v = s.new_lit();
+        s.set_interrupt(Some(Arc::new(AtomicBool::new(true))));
+        let tot = Totalizer::encode_interruptible(&mut s, &[(3, v)], 5).expect("no merges");
+        assert_eq!(tot.outputs().len(), 1);
     }
 
     #[test]

@@ -43,11 +43,16 @@
 //! # Ok::<(), qxmap::map::MapperError>(())
 //! ```
 //!
-//! Batches go through [`map::map_many`], which fans requests out across
-//! std threads and returns one report per request, in order.
+//! Batches go through [`map::map_many`], which deduplicates identical
+//! subcircuits against the process-wide solve cache and fans the rest
+//! out across std threads, returning one report per request, in order.
+//! The repository-level `GUIDE.md` walks the whole surface — quickstart,
+//! guarantees, deadlines, batching, caching — and its snippets compile
+//! as this crate's doctests (see the hidden `guide` module), so the
+//! guide cannot drift from the API.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use qxmap_arch as arch;
 pub use qxmap_benchmarks as benchmarks;
@@ -58,3 +63,15 @@ pub use qxmap_map as map;
 pub use qxmap_qasm as qasm;
 pub use qxmap_sat as sat;
 pub use qxmap_sim as sim;
+
+/// `GUIDE.md`, compiled: every ```rust snippet in the user guide runs as
+/// a doctest of this crate, so `cargo test --doc` fails on guide drift.
+#[cfg(doctest)]
+#[doc = include_str!("../GUIDE.md")]
+pub mod guide_doctests {}
+
+/// `README.md`, compiled: the README's quickstart runs as a doctest of
+/// this crate, so `cargo test --doc` fails on README drift.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub mod readme_doctests {}
