@@ -184,6 +184,58 @@ pub fn star(n: usize) -> CouplingMap {
         .named(format!("star-{n}"))
 }
 
+/// An IBM-style **heavy-hex** lattice over a `rows × cols` brick-wall
+/// grid: hexagonal connectivity (all horizontal neighbors, vertical rungs
+/// at alternating columns) with every edge subdivided by a flag qubit, so
+/// no qubit exceeds degree 3 — the topology of IBM's Falcon/Eagle
+/// generation. All couplings are bidirectional, like those backends.
+///
+/// Qubits `0 .. rows·cols` are the grid vertices (`r·cols + c`); the
+/// remaining qubits are the edge-subdividing flags, appended in a
+/// deterministic order.
+///
+/// ```
+/// let hh = qxmap_arch::devices::heavy_hex(2, 2);
+/// assert_eq!(hh.num_qubits(), 7); // 4 grid vertices + 3 flags
+/// assert!(hh.is_connected());
+/// assert!(hh.max_degree() <= 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rows < 2` or `cols < 2`.
+pub fn heavy_hex(rows: usize, cols: usize) -> CouplingMap {
+    assert!(
+        rows >= 2 && cols >= 2,
+        "a heavy-hex lattice needs a 2x2 grid"
+    );
+    let mut base: Vec<(usize, usize)> = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let q = r * cols + c;
+            if c + 1 < cols {
+                base.push((q, q + 1));
+            }
+            // Vertical rungs at alternating columns form the hexagons.
+            if r + 1 < rows && (r + c) % 2 == 0 {
+                base.push((q, q + cols));
+            }
+        }
+    }
+    let n = rows * cols + base.len();
+    let mut edges = Vec::with_capacity(base.len() * 4);
+    for (i, &(u, v)) in base.iter().enumerate() {
+        let flag = rows * cols + i;
+        for (a, b) in [(u, flag), (flag, v)] {
+            edges.push((a, b));
+            edges.push((b, a));
+        }
+    }
+    CouplingMap::from_edges(n, edges)
+        .expect("static construction is valid")
+        .named(format!("heavy-hex-{rows}x{cols}"))
+}
+
 /// The complete directed graph on `n` qubits (no mapping overhead ever
 /// needed — useful as a control in experiments).
 pub fn fully_connected(n: usize) -> CouplingMap {
@@ -200,16 +252,60 @@ pub fn fully_connected(n: usize) -> CouplingMap {
         .named(format!("K{n}"))
 }
 
-/// Looks a device up by (case-insensitive) name: `qx2`, `qx4`, `qx5`,
-/// `tokyo`.
+/// Looks a device up by (case-insensitive) name.
+///
+/// Fixed backends: `qx2`, `qx4`, `qx5`, `tokyo`. Generated families are
+/// parsed from suffixed names, so the whole topology library is reachable
+/// from CLI flags and config files:
+///
+/// * `linear-N`, `ring-N`, `star-N`, `k-N` (complete graph);
+/// * `grid-RxC`;
+/// * `heavy-hex-N` (an `(N+1) × (N+1)`-cell lattice) or
+///   `heavy-hex-RxC`.
+///
+/// ```
+/// use qxmap_arch::devices::by_name;
+/// assert_eq!(by_name("ring-6").unwrap().num_qubits(), 6);
+/// assert_eq!(by_name("grid-2x3").unwrap().num_qubits(), 6);
+/// assert_eq!(by_name("heavy-hex-1").unwrap().num_qubits(), 7);
+/// assert!(by_name("nope").is_none());
+/// ```
 pub fn by_name(name: &str) -> Option<CouplingMap> {
-    match name.to_ascii_lowercase().as_str() {
-        "qx2" | "ibmqx2" | "yorktown" => Some(ibm_qx2()),
-        "qx4" | "ibmqx4" | "tenerife" => Some(ibm_qx4()),
-        "qx5" | "ibmqx5" | "rueschlikon" => Some(ibm_qx5()),
-        "tokyo" | "q20" => Some(ibm_tokyo()),
-        _ => None,
+    let lower = name.to_ascii_lowercase();
+    match lower.as_str() {
+        "qx2" | "ibmqx2" | "yorktown" => return Some(ibm_qx2()),
+        "qx4" | "ibmqx4" | "tenerife" => return Some(ibm_qx4()),
+        "qx5" | "ibmqx5" | "rueschlikon" => return Some(ibm_qx5()),
+        "tokyo" | "q20" => return Some(ibm_tokyo()),
+        _ => {}
     }
+    let dims = |spec: &str| -> Option<(usize, usize)> {
+        let (r, c) = spec.split_once('x')?;
+        Some((r.parse().ok()?, c.parse().ok()?))
+    };
+    if let Some(spec) = lower.strip_prefix("heavy-hex-") {
+        if let Some((r, c)) = dims(spec) {
+            return (r >= 2 && c >= 2).then(|| heavy_hex(r, c));
+        }
+        let n: usize = spec.parse().ok()?;
+        return (n >= 1).then(|| heavy_hex(n + 1, n + 1));
+    }
+    if let Some(spec) = lower.strip_prefix("grid-") {
+        let (r, c) = dims(spec)?;
+        return (r * c > 0).then(|| grid(r, c));
+    }
+    for (prefix, min, build) in [
+        ("linear-", 1usize, linear as fn(usize) -> CouplingMap),
+        ("ring-", 3, ring),
+        ("star-", 2, star),
+        ("k-", 1, fully_connected),
+    ] {
+        if let Some(spec) = lower.strip_prefix(prefix) {
+            let n: usize = spec.parse().ok()?;
+            return (n >= min).then(|| build(n));
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -282,6 +378,39 @@ mod tests {
         assert_eq!(by_name("QX4").unwrap().name(), "IBM QX4");
         assert_eq!(by_name("tenerife").unwrap().name(), "IBM QX4");
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn lookup_parses_generated_families() {
+        assert_eq!(by_name("linear-4").unwrap(), linear(4));
+        assert_eq!(by_name("ring-5").unwrap(), ring(5));
+        assert_eq!(by_name("star-3").unwrap(), star(3));
+        assert_eq!(by_name("k-4").unwrap(), fully_connected(4));
+        assert_eq!(by_name("grid-3x2").unwrap(), grid(3, 2));
+        assert_eq!(by_name("heavy-hex-2x3").unwrap(), heavy_hex(2, 3));
+        assert_eq!(by_name("heavy-hex-2").unwrap(), heavy_hex(3, 3));
+        // Out-of-range parameters are rejected, not panicked on.
+        assert!(by_name("ring-2").is_none());
+        assert!(by_name("heavy-hex-0").is_none());
+        assert!(by_name("grid-0x4").is_none());
+        assert!(by_name("grid-x").is_none());
+    }
+
+    #[test]
+    fn heavy_hex_is_degree_three_and_bidirectional() {
+        for (r, c) in [(2, 2), (2, 3), (3, 3), (4, 5)] {
+            let hh = heavy_hex(r, c);
+            assert!(hh.is_connected(), "{r}x{c} disconnected");
+            assert!(hh.max_degree() <= 3, "{r}x{c} exceeds degree 3");
+            for (a, b) in hh.edges().collect::<Vec<_>>() {
+                assert!(hh.has_edge(b, a), "({a},{b}) not bidirectional");
+            }
+            // Flags subdivide edges: every flag qubit has degree exactly 2.
+            for q in r * c..hh.num_qubits() {
+                assert_eq!(hh.degree(q), 2, "flag {q} in {r}x{c}");
+            }
+        }
+        assert_eq!(heavy_hex(2, 2).num_qubits(), 7);
     }
 
     #[test]

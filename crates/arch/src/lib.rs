@@ -4,7 +4,16 @@
 //! by the exact and heuristic mappers of the `qxmap` workspace:
 //!
 //! * [`CouplingMap`] — the directed CNOT-constraint graph of Definition 2.
-//! * [`devices`] — IBM QX2 / QX4 / QX5 / Tokyo plus synthetic topologies.
+//! * [`DeviceModel`] — **the authoritative device/cost layer**: a coupling
+//!   map plus per-edge directed costs (CNOT / SWAP / 4-H reversal,
+//!   defaulting to the paper's 7-and-4 model, calibration overrides
+//!   accepted), precomputed hop and cost-weighted distance matrices,
+//!   scheduler statistics, and a stable content fingerprint used as the
+//!   device identity in cache keys. Exact and heuristic engines read every
+//!   cost from here instead of re-deriving their own.
+//! * [`devices`] — IBM QX2 / QX4 / QX5 / Tokyo plus a topology library of
+//!   synthetic generators (linear, ring, grid, star, heavy-hex, complete),
+//!   all reachable by name via [`devices::by_name`].
 //! * [`Permutation`] — elements of the symmetric group on physical qubits.
 //! * [`SwapTable`] — minimal `swaps(π)` counts *and* witness SWAP sequences
 //!   for every permutation realizable on a coupling (sub)graph, computed by
@@ -37,6 +46,7 @@ mod coupling;
 pub mod devices;
 pub mod errors;
 mod layout;
+mod model;
 mod perm;
 pub mod route;
 mod subsets;
@@ -44,6 +54,7 @@ mod swaps;
 
 pub use coupling::{CouplingError, CouplingMap};
 pub use layout::{Layout, LayoutError};
+pub use model::{DeviceModel, DeviceStats};
 pub use perm::Permutation;
 pub use route::CostModel;
 pub use subsets::connected_subsets;

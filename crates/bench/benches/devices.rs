@@ -1,0 +1,76 @@
+//! The `devices` profile: the same workload mapped across the topology
+//! library — fixed QX backends, ring, grid, heavy-hex and all-to-all —
+//! so topology-generator and scheduler regressions show up as benchmark
+//! cliffs. Also measures the [`DeviceModel`] construction itself (one
+//! BFS + Dijkstra sweep per model), which every engine now amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qxmap_arch::{devices, DeviceModel};
+use qxmap_bench::device_suite;
+use qxmap_circuit::Circuit;
+use qxmap_heuristic::{Mapper, NaiveMapper, SabreMapper};
+use qxmap_map::{Engine, MapRequest, Portfolio};
+
+/// A fixed 5-qubit workload every suite device can host.
+fn workload() -> Circuit {
+    let mut c = Circuit::new(5);
+    for i in 0..12 {
+        c.cx(i % 5, (i + 2) % 5);
+        c.h((i + 1) % 5);
+    }
+    c
+}
+
+fn bench_model_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device-model/build");
+    for (name, cm) in [
+        ("qx4", devices::ibm_qx4()),
+        ("tokyo", devices::ibm_tokyo()),
+        ("heavy-hex-4x5", devices::heavy_hex(4, 5)),
+    ] {
+        group.bench_function(name, |b| b.iter(|| DeviceModel::new(cm.clone())));
+    }
+    group.finish();
+}
+
+fn bench_heuristics_across_topologies(c: &mut Criterion) {
+    let circuit = workload();
+    let mut group = c.benchmark_group("devices/heuristics");
+    for model in device_suite() {
+        let name = model.coupling_map().name().to_string();
+        group.bench_function(BenchmarkId::new("naive", &name), |b| {
+            b.iter(|| NaiveMapper::new().map_model(&circuit, &model).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("sabre", &name), |b| {
+            b.iter(|| SabreMapper::new().map_model(&circuit, &model).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_portfolio_scheduling(c: &mut Criterion) {
+    // The scheduler's skip path: an all-to-all device races only the
+    // naive floor, so this pair of bars quantifies the saved work.
+    let circuit = workload();
+    let mut group = c.benchmark_group("devices/portfolio");
+    for model in [
+        DeviceModel::new(devices::fully_connected(6)),
+        DeviceModel::new(devices::heavy_hex(2, 2)),
+    ] {
+        let name = model.coupling_map().name().to_string();
+        let request =
+            MapRequest::for_model(circuit.clone(), model).with_conflict_budget(Some(20_000));
+        group.bench_function(name.as_str(), |b| {
+            b.iter(|| Portfolio::new().run(&request).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_construction,
+    bench_heuristics_across_topologies,
+    bench_portfolio_scheduling
+);
+criterion_main!(benches);

@@ -19,15 +19,22 @@
 //!   minimal (runtimes grow accordingly, like the paper's hours-long
 //!   runs);
 //! * `--budget N` — total conflict budget per table cell (default 50000);
-//!   entries that hit the budget are marked `*` (best found, unproved).
+//!   entries that hit the budget are marked `*` (best found, unproved);
+//! * `--smoke` — first 3 rows with a tight budget: the CI regression
+//!   gate, not a faithful reproduction;
+//! * `--device NAME` — any [`qxmap_arch::devices::by_name`] device
+//!   (e.g. `heavy-hex-1`, `ring-6`, `tokyo`). On QX4 the paper's full
+//!   exact table is printed; on every other topology a portfolio table
+//!   (racing exact-with-subsets where in regime) exercises the topology
+//!   library end to end.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use qxmap_arch::devices;
+use qxmap_arch::{devices, CouplingMap, DeviceModel};
 use qxmap_bench::best_of_stochastic;
-use qxmap_benchmarks::{circuit_for, table1_profiles};
+use qxmap_benchmarks::{circuit_for, table1_profiles, BenchmarkProfile};
 use qxmap_core::Strategy;
-use qxmap_map::{Engine, ExactEngine, MapRequest};
+use qxmap_map::{Engine, ExactEngine, HeuristicEngine, MapRequest, Portfolio};
 
 struct Cell {
     cost: usize,
@@ -49,18 +56,109 @@ fn run(request: MapRequest) -> Cell {
     }
 }
 
+/// The reduced table for non-QX4 topologies: portfolio (exact racing
+/// within its regime) next to the heuristic baselines, all reading costs
+/// from the device's hardware-derived model.
+fn device_table(cm: &CouplingMap, profiles: &[BenchmarkProfile], budget: u64) {
+    let model = DeviceModel::new(cm.clone());
+    println!(
+        "Topology-library run — device: {model} (fingerprint {:016x})",
+        model.fingerprint()
+    );
+    println!("portfolio races naive/SABRE against exact-with-subsets; budget {budget} conflicts");
+    let probe = MapRequest::for_model(qxmap_circuit::Circuit::new(1), model.clone());
+    for (engine, reason) in Portfolio::new().skipped_baselines(&probe) {
+        println!("scheduler skips {engine}: {reason}");
+    }
+    println!();
+    println!(
+        "{:<12} {:>2} {:>5} | {:>9} {:>8} {:>18} {:>7} | {:>9} | {:>9} | {:>9}",
+        "benchmark",
+        "n",
+        "orig",
+        "portf c",
+        "t[s]",
+        "winner",
+        "proved",
+        "naive c",
+        "sabre c",
+        "IBM c"
+    );
+    for profile in profiles {
+        let circuit = circuit_for(profile);
+        if circuit.num_qubits() > cm.num_qubits() {
+            println!(
+                "{:<12} skipped: needs {} qubits",
+                profile.name,
+                circuit.num_qubits()
+            );
+            continue;
+        }
+        let request = MapRequest::for_model(circuit.clone(), model.clone())
+            .with_conflict_budget(Some(budget))
+            .with_deadline(Duration::from_secs(20));
+        let start = Instant::now();
+        let portfolio = Portfolio::new()
+            .run(&request)
+            .expect("suite circuits map on connected devices");
+        let seconds = start.elapsed().as_secs_f64();
+        portfolio
+            .verify(&circuit, cm)
+            .expect("portfolio reports verify");
+        let naive = HeuristicEngine::naive().run(&request).expect("mappable");
+        let sabre = HeuristicEngine::sabre().run(&request).expect("mappable");
+        let ibm = best_of_stochastic(&circuit, cm, 5);
+        println!(
+            "{:<12} {:>2} {:>5} | {:>9} {:>8.2} {:>18} {:>7} | {:>9} | {:>9} | {:>9}",
+            profile.name,
+            profile.qubits,
+            profile.original_cost(),
+            portfolio.mapped_cost(),
+            seconds,
+            portfolio.winner,
+            if portfolio.proved_optimal {
+                "yes"
+            } else {
+                "no"
+            },
+            naive.mapped_cost(),
+            sabre.mapped_cost(),
+            ibm.mapped_cost(),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let full = args.iter().any(|a| a == "--full");
     let budget: u64 = args
         .iter()
         .position(|a| a == "--budget")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-        .unwrap_or(50_000);
+        .unwrap_or(if smoke { 5_000 } else { 50_000 });
+    let device_name = args
+        .iter()
+        .position(|a| a == "--device")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "qx4".to_string());
 
-    let cm = devices::ibm_qx4();
+    let cm = devices::by_name(&device_name).unwrap_or_else(|| {
+        eprintln!("unknown device {device_name:?}; try qx4, tokyo, ring-6, grid-3x3, heavy-hex-1");
+        std::process::exit(2);
+    });
+    let profiles: Vec<BenchmarkProfile> = if smoke {
+        table1_profiles().into_iter().take(3).collect()
+    } else {
+        table1_profiles()
+    };
+    if cm.name() != "IBM QX4" {
+        device_table(&cm, &profiles, budget);
+        return;
+    }
     println!("Reproduction of Table 1 — workload: synthetic profile-matched suite (DESIGN.md §2)");
     println!("device: {cm}");
     if !full {
@@ -82,7 +180,7 @@ fn main() {
     );
 
     let mut measured: Vec<(usize, usize, usize)> = Vec::new(); // (orig, cmin, qiskit)
-    for profile in table1_profiles() {
+    for profile in profiles {
         if quick && profile.cnots > 14 && profile.qubits > 4 {
             continue;
         }

@@ -9,14 +9,18 @@
 //!   implications — correct for all `n ≤ m` and smaller than the printed
 //!   equivalence),
 //! * edge-use selectors `u^k_{e,o}` Tseitin-encoding Eq. (2)'s disjunction,
-//! * direction-switch flags `z^k` (Eq. 4, refined to ignore bidirectional
-//!   edges — see DESIGN.md),
+//!   with the reversed-orientation selectors carrying the per-edge 4-H
+//!   repair weight directly (generalizing the paper's per-gate `z^k` flag
+//!   to calibration-aware costs),
 //!
-//! and the weighted objective of Eq. (5).
+//! and the weighted objective of Eq. (5). Every weight — the SWAP cost of
+//! each permutation and the reversal surcharge of each edge — is read from
+//! the [`DeviceModel`], the workspace's single authority on device costs;
+//! the paper's uniform 7/4 accounting is simply the default model.
 
 use std::collections::BTreeSet;
 
-use qxmap_arch::{CostModel, CouplingMap, Permutation, SwapTable};
+use qxmap_arch::{CostedSwapTable, DeviceModel, Permutation};
 use qxmap_sat::{encode, Lit, Model, Solver};
 
 /// Size statistics of one built SAT instance — the quantities behind the
@@ -61,24 +65,24 @@ impl Encoding {
     ///
     /// * `skeleton` — CNOT list over logical qubits `0..num_logical`
     ///   (must be non-empty; trivial circuits are handled by the caller);
-    /// * `local_cm` — coupling map of the chosen subset, in local indices;
-    /// * `table` — `swaps(π)` table of the same subgraph;
+    /// * `local_model` — device model of the chosen subset, in local
+    ///   indices (supplies the coupling map and every objective weight);
+    /// * `table` — cost-weighted `swaps(π)` table of the same subgraph,
+    ///   priced under the same model;
     /// * `change_points` — `G'` (0-based skeleton indices, none equal 0).
     pub fn build(
         skeleton: &[(usize, usize)],
         num_logical: usize,
-        local_cm: &CouplingMap,
-        table: &SwapTable,
+        local_model: &DeviceModel,
+        table: &CostedSwapTable,
         change_points: &BTreeSet<usize>,
-        cost_model: CostModel,
     ) -> Encoding {
         Encoding::build_interruptible(
             skeleton,
             num_logical,
-            local_cm,
+            local_model,
             table,
             change_points,
-            cost_model,
             &mut || false,
         )
         .expect("uninterruptible build always completes")
@@ -89,17 +93,16 @@ impl Encoding {
     /// that is one check per ~40 000 clause batches, so a deadline or
     /// cancellation lands long before the multi-million-clause instance
     /// finishes building. Returns `None` when `interrupted` fired.
-    #[allow(clippy::too_many_arguments)]
     pub fn build_interruptible(
         skeleton: &[(usize, usize)],
         num_logical: usize,
-        local_cm: &CouplingMap,
-        table: &SwapTable,
+        local_model: &DeviceModel,
+        table: &CostedSwapTable,
         change_points: &BTreeSet<usize>,
-        cost_model: CostModel,
         interrupted: &mut dyn FnMut() -> bool,
     ) -> Option<Encoding> {
         assert!(!skeleton.is_empty(), "trivial circuits bypass the encoding");
+        let local_cm = local_model.coupling_map();
         let k_gates = skeleton.len();
         let m = local_cm.num_qubits();
         assert!(num_logical <= m, "subset smaller than logical register");
@@ -129,41 +132,49 @@ impl Encoding {
         }
 
         // --- gate executability, Eq. (2) + refined Eq. (4) ------------------
-        // Does the device need direction repairs at all?
-        let has_unidirectional = local_cm.edges().any(|(a, b)| !local_cm.has_edge(b, a));
         for (k, &(c, t)) in skeleton.iter().enumerate() {
             if interrupted() {
                 return None;
             }
             let mut options: Vec<Lit> = Vec::new();
-            let z = if has_unidirectional {
-                Some(solver.new_lit())
-            } else {
-                None
-            };
             for (a, b) in local_cm.edges().collect::<Vec<_>>() {
-                // Forward use: control on a, target on b.
+                // Forward use: control on a, target on b. The selector
+                // carries the hosting edge's execution overhead — the
+                // CNOT cost above the baseline 1, zero under the default
+                // models — so a calibrated dear edge repels placements.
                 let u = solver.new_lit();
                 solver.add_clause([!u, x[k][a][c]]);
                 solver.add_clause([!u, x[k][b][t]]);
+                let w = local_model
+                    .execution_overhead(a, b)
+                    .expect("(a,b) is an edge");
+                if w > 0 {
+                    objective.push((w, u));
+                }
                 options.push(u);
                 // Reversed use (only when the opposite edge is absent;
                 // otherwise that placement is the opposite edge's forward
-                // use and costs nothing).
+                // use and costs nothing). The selector carries the edge's
+                // own 4-H repair weight plus its CNOT surcharge, so
+                // calibration-skewed costs price each hosting edge
+                // differently; a minimal model never pays for more than
+                // one cost-bearing selector per gate (clearing an
+                // unneeded one only lowers cost).
                 if !local_cm.has_edge(b, a) {
                     let ur = solver.new_lit();
                     solver.add_clause([!ur, x[k][b][c]]);
                     solver.add_clause([!ur, x[k][a][t]]);
-                    let zk = z.expect("unidirectional edge implies z exists");
-                    solver.add_clause([!ur, zk]);
+                    let w = local_model
+                        .execution_overhead(b, a)
+                        .expect("(a,b) exists and (b,a) does not");
+                    if w > 0 {
+                        objective.push((w, ur));
+                    }
                     options.push(ur);
                 }
             }
             // Eq. (2): some edge hosts the gate.
             encode::at_least_one(&mut solver, &options);
-            if let (Some(zk), true) = (z, cost_model.reverse > 0) {
-                objective.push((u64::from(cost_model.reverse), zk));
-            }
         }
 
         // --- transitions: frame equality or selected permutation ------------
@@ -187,9 +198,9 @@ impl Encoding {
                             solver.add_clause([!sel, !from, to]);
                         }
                     }
-                    let swaps = table.swaps(pi).expect("perm comes from the table");
-                    if swaps > 0 && cost_model.swap > 0 {
-                        objective.push((u64::from(cost_model.swap) * u64::from(swaps), sel));
+                    let cost = table.cost(pi).expect("perm comes from the table");
+                    if cost > 0 {
+                        objective.push((cost, sel));
                     }
                 }
                 y.push((k, selectors));
@@ -273,21 +284,21 @@ impl Encoding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qxmap_arch::devices;
+    use qxmap_arch::{devices, CouplingMap};
     use qxmap_sat::{minimize, MinimizeOptions};
 
-    fn qx4_table() -> (CouplingMap, SwapTable) {
-        let cm = devices::ibm_qx4();
-        let table = SwapTable::new(&cm);
-        (cm, table)
+    fn qx4_model() -> (DeviceModel, CostedSwapTable) {
+        let model = DeviceModel::new(devices::ibm_qx4());
+        let table = CostedSwapTable::new(model.coupling_map());
+        (model, table)
     }
 
     #[test]
     fn stats_report_instance_sizes() {
-        let (cm, table) = qx4_table();
+        let (model, table) = qx4_model();
         let skeleton = [(2, 3), (0, 1), (1, 2), (0, 2), (2, 0)];
         let points = (1..skeleton.len()).collect();
-        let enc = Encoding::build(&skeleton, 4, &cm, &table, &points, CostModel::paper());
+        let enc = Encoding::build(&skeleton, 4, &model, &table, &points);
         let st = enc.stats();
         // Example 5: n·m·|G| = 4·5·5 = 100 mapping variables.
         assert_eq!(st.mapping_variables, 100);
@@ -300,16 +311,9 @@ mod tests {
 
     #[test]
     fn single_legal_gate_costs_zero() {
-        let (cm, table) = qx4_table();
+        let (model, table) = qx4_model();
         // CNOT(q0, q1) can sit directly on edge (1,0) etc.
-        let mut enc = Encoding::build(
-            &[(0, 1)],
-            2,
-            &cm,
-            &table,
-            &BTreeSet::new(),
-            CostModel::paper(),
-        );
+        let mut enc = Encoding::build(&[(0, 1)], 2, &model, &table, &BTreeSet::new());
         let min = minimize(
             &mut enc.solver,
             &enc.objective.clone(),
@@ -319,17 +323,96 @@ mod tests {
         assert_eq!(min.cost, 0);
         let layouts = enc.extract_layouts(&min.model);
         let (pc, pt) = (layouts[0][0], layouts[0][1]);
-        assert!(cm.has_edge(pc, pt), "direct edge chosen at zero cost");
+        assert!(
+            model.coupling_map().has_edge(pc, pt),
+            "direct edge chosen at zero cost"
+        );
     }
 
     #[test]
     fn forced_reversal_costs_four() {
         // Two opposed CNOTs on the same pair: one must be reversed (or a
         // SWAP inserted, which is dearer).
-        let (cm, table) = qx4_table();
+        let (model, table) = qx4_model();
         let skeleton = [(0, 1), (1, 0)];
         let points = [1usize].into_iter().collect();
-        let mut enc = Encoding::build(&skeleton, 2, &cm, &table, &points, CostModel::paper());
+        let mut enc = Encoding::build(&skeleton, 2, &model, &table, &points);
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
+        assert_eq!(min.cost, 4);
+    }
+
+    #[test]
+    fn calibrated_reversal_costs_reprice_the_repair() {
+        // Same instance, but reversing against p2→p1 is made dear: the
+        // minimum moves to another hosting edge's (default) price.
+        let cm = devices::ibm_qx4();
+        let model = DeviceModel::new(cm).with_reversal_cost(1, 2, 100);
+        let table = CostedSwapTable::new(model.coupling_map());
+        let skeleton = [(0, 1), (1, 0)];
+        let points = [1usize].into_iter().collect();
+        let mut enc = Encoding::build(&skeleton, 2, &model, &table, &points);
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
+        // Other pairs still repair for 4; only (1 → 2) costs 100.
+        assert_eq!(min.cost, 4);
+
+        // Shrink the device to one edge: the opposed pair is repaired by
+        // whichever of (calibrated) SWAP and reversal is cheaper.
+        let tiny = CouplingMap::from_edges(2, [(1, 0)]).unwrap();
+        let base = DeviceModel::new(tiny).with_reversal_cost(0, 1, 100);
+        // Default SWAP (7) now beats the dear reversal (100)...
+        let table = CostedSwapTable::new(base.coupling_map());
+        let mut enc = Encoding::build(&skeleton, 2, &base, &table, &points);
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
+        assert_eq!(min.cost, 7);
+        // ... until the SWAP is calibrated dearer still.
+        let model = base.with_swap_cost(0, 1, 300);
+        let table = model.costed_table(&[0, 1]);
+        let mut enc = Encoding::build(&skeleton, 2, &model, &table, &points);
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
+        assert_eq!(min.cost, 100);
+    }
+
+    #[test]
+    fn cnot_surcharge_steers_and_prices_placement() {
+        // Two coupled pairs; surcharging one CNOT edge moves the gate to
+        // the other for free.
+        let cm = devices::linear(3); // edges (0,1), (1,2)
+        let model = DeviceModel::new(cm).with_cnot_cost(0, 1, 5);
+        let table = CostedSwapTable::new(model.coupling_map());
+        let mut enc = Encoding::build(&[(0, 1)], 2, &model, &table, &BTreeSet::new());
+        let min = minimize(
+            &mut enc.solver,
+            &enc.objective.clone(),
+            MinimizeOptions::default(),
+        )
+        .expect("satisfiable");
+        assert_eq!(min.cost, 0, "the uncalibrated edge hosts the gate");
+
+        // With a single edge the surcharge is unavoidable: a forward
+        // placement pays cnot−1 = 4, beating the reversed 4 + 4.
+        let model = DeviceModel::new(devices::linear(2)).with_cnot_cost(0, 1, 5);
+        let table = CostedSwapTable::new(model.coupling_map());
+        let mut enc = Encoding::build(&[(0, 1)], 2, &model, &table, &BTreeSet::new());
         let min = minimize(
             &mut enc.solver,
             &enc.objective.clone(),
@@ -342,10 +425,10 @@ mod tests {
     #[test]
     fn paper_example_minimal_cost_is_four() {
         // Example 7: F = 4 for the Fig. 1 circuit on QX4.
-        let (cm, table) = qx4_table();
+        let (model, table) = qx4_model();
         let skeleton = [(2, 3), (0, 1), (1, 2), (0, 2), (2, 0)];
         let points = (1..skeleton.len()).collect();
-        let mut enc = Encoding::build(&skeleton, 4, &cm, &table, &points, CostModel::paper());
+        let mut enc = Encoding::build(&skeleton, 4, &model, &table, &points);
         let min = minimize(
             &mut enc.solver,
             &enc.objective.clone(),
@@ -362,20 +445,13 @@ mod tests {
 
     #[test]
     fn no_change_points_freezes_layout() {
-        let (cm, table) = qx4_table();
+        let (model, table) = qx4_model();
         // Two gates needing different neighbourhoods with a frozen layout:
         // CNOT(0,1), CNOT(0,2), CNOT(0,3) — q0 needs 3 distinct partners.
         // On QX4, only p3 (index 2) has degree ≥ 3, so a frozen layout
         // exists (q0→p3); cost = reversals only.
         let skeleton = [(0, 1), (0, 2), (0, 3)];
-        let mut enc = Encoding::build(
-            &skeleton,
-            4,
-            &cm,
-            &table,
-            &BTreeSet::new(),
-            CostModel::paper(),
-        );
+        let mut enc = Encoding::build(&skeleton, 4, &model, &table, &BTreeSet::new());
         let min = minimize(
             &mut enc.solver,
             &enc.objective.clone(),
@@ -393,11 +469,11 @@ mod tests {
     fn impossible_instance_is_unsat() {
         // A 3-qubit circuit on a 3-qubit *disconnected* device where q0
         // must talk to both others but has no second neighbour.
-        let cm = CouplingMap::from_edges(3, [(0, 1)]).unwrap();
-        let table = SwapTable::new(&cm);
+        let model = DeviceModel::new(CouplingMap::from_edges(3, [(0, 1)]).unwrap());
+        let table = CostedSwapTable::new(model.coupling_map());
         let skeleton = [(0, 1), (0, 2)];
         let points = (1..2).collect();
-        let mut enc = Encoding::build(&skeleton, 3, &cm, &table, &points, CostModel::paper());
+        let mut enc = Encoding::build(&skeleton, 3, &model, &table, &points);
         let res = minimize(
             &mut enc.solver,
             &enc.objective.clone(),
@@ -409,18 +485,11 @@ mod tests {
     #[test]
     fn bidirectional_edges_never_pay_reversal() {
         // On a bidirectional pair, opposed CNOTs are free.
-        let cm = CouplingMap::from_edges(2, [(0, 1), (1, 0)]).unwrap();
-        let table = SwapTable::new(&cm);
+        let model = DeviceModel::new(CouplingMap::from_edges(2, [(0, 1), (1, 0)]).unwrap());
+        let table = CostedSwapTable::new(model.coupling_map());
         let skeleton = [(0, 1), (1, 0)];
         let points = (1..2).collect();
-        let mut enc = Encoding::build(
-            &skeleton,
-            2,
-            &cm,
-            &table,
-            &points,
-            CostModel::bidirectional(),
-        );
+        let mut enc = Encoding::build(&skeleton, 2, &model, &table, &points);
         let min = minimize(
             &mut enc.solver,
             &enc.objective.clone(),
@@ -435,11 +504,11 @@ mod tests {
         // Line 0→1→2, circuit CNOT(0,1), CNOT(0,2), permutation allowed
         // before g2: one SWAP (7) beats nothing else; reversals impossible
         // to avoid it.
-        let cm = devices::linear(3);
-        let table = SwapTable::new(&cm);
+        let model = DeviceModel::new(devices::linear(3));
+        let table = CostedSwapTable::new(model.coupling_map());
         let skeleton = [(0, 1), (0, 2)];
         let points = (1..2).collect();
-        let mut enc = Encoding::build(&skeleton, 3, &cm, &table, &points, CostModel::paper());
+        let mut enc = Encoding::build(&skeleton, 3, &model, &table, &points);
         let min = minimize(
             &mut enc.solver,
             &enc.objective.clone(),
@@ -456,10 +525,10 @@ mod tests {
 
     #[test]
     fn extraction_is_consistent_with_transitions() {
-        let (cm, table) = qx4_table();
+        let (model, table) = qx4_model();
         let skeleton = [(0, 1), (2, 3), (0, 3)];
         let points = (1..3).collect();
-        let mut enc = Encoding::build(&skeleton, 4, &cm, &table, &points, CostModel::paper());
+        let mut enc = Encoding::build(&skeleton, 4, &model, &table, &points);
         let min = minimize(
             &mut enc.solver,
             &enc.objective.clone(),

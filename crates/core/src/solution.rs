@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use qxmap_arch::{route, CouplingMap, Layout, Permutation, SwapTable};
+use qxmap_arch::{route, CostedSwapTable, CouplingMap, Layout, Permutation};
 use qxmap_circuit::{Circuit, Gate};
 
 /// Where one skeleton CNOT ended up on hardware.
@@ -77,14 +77,16 @@ impl MappingResult {
 /// * `layouts[k][j]` — local physical position of logical `j` before
 ///   skeleton gate `k`;
 /// * `perms` — permutation applied before gate `k` (change points only);
-/// * `subset[i]` — global physical qubit of local index `i`.
+/// * `subset[i]` — global physical qubit of local index `i`;
+/// * `table` — the cost-weighted table whose witness sequences realize
+///   each permutation at the model's cheapest SWAP-chain price.
 pub(crate) fn assemble(
     circuit: &Circuit,
     cm: &CouplingMap,
     subset: &[usize],
     layouts: &[Vec<usize>],
     perms: &BTreeMap<usize, Permutation>,
-    table: &SwapTable,
+    table: &CostedSwapTable,
 ) -> (Circuit, Layout, Layout, u32, u32, Vec<GatePlacement>) {
     let n = circuit.num_qubits();
     let m = cm.num_qubits();
@@ -173,7 +175,7 @@ mod tests {
     fn assemble_identity_no_insertions() {
         // CNOT(0,1) placed on edge (1,0): q0→p1, q1→p0; no perms.
         let cm = devices::ibm_qx4();
-        let table = SwapTable::new(&cm);
+        let table = CostedSwapTable::new(&cm);
         let mut c = Circuit::new(2);
         c.h(0);
         c.cx(0, 1);
@@ -194,7 +196,7 @@ mod tests {
     #[test]
     fn assemble_with_permutation_inserts_swaps() {
         let cm = devices::ibm_qx4();
-        let table = SwapTable::new(&cm);
+        let table = CostedSwapTable::new(&cm);
         let mut c = Circuit::new(2);
         c.cx(0, 1);
         c.cx(0, 1);
@@ -216,7 +218,7 @@ mod tests {
     #[test]
     fn assemble_maps_measurements_and_barriers() {
         let cm = devices::ibm_qx4();
-        let table = SwapTable::new(&cm);
+        let table = CostedSwapTable::new(&cm);
         let mut c = Circuit::with_clbits(2, 2);
         c.cx(0, 1);
         c.barrier();

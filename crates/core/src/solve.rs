@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use qxmap_arch::{connected_subsets, CouplingMap, Layout, SwapTable};
+use qxmap_arch::{connected_subsets, CouplingMap, DeviceModel, Layout};
 use qxmap_circuit::Circuit;
 use qxmap_sat::{minimize, MinimizeError, MinimizeOptions};
 
@@ -56,28 +56,43 @@ pub const MAX_EXACT_QUBITS: usize = 8;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExactMapper {
-    cm: CouplingMap,
+    model: DeviceModel,
     config: MapperConfig,
 }
 
 impl ExactMapper {
     /// A mapper for `cm` with the guaranteed-minimal default
-    /// configuration.
+    /// configuration (and the paper's uniform cost model).
     pub fn new(cm: CouplingMap) -> ExactMapper {
-        ExactMapper {
-            cm,
-            config: MapperConfig::minimal(),
-        }
+        ExactMapper::with_config(cm, MapperConfig::minimal())
     }
 
-    /// A mapper with an explicit configuration.
+    /// A mapper with an explicit configuration; the device is priced
+    /// uniformly under the configuration's [`MapperConfig::cost_model`]
+    /// (the seed accounting). Use [`ExactMapper::for_model`] for
+    /// calibration-aware per-edge costs.
     pub fn with_config(cm: CouplingMap, config: MapperConfig) -> ExactMapper {
-        ExactMapper { cm, config }
+        let model = DeviceModel::uniform(cm, config.cost_model);
+        ExactMapper { model, config }
+    }
+
+    /// A mapper over an explicit [`DeviceModel`]: every objective weight —
+    /// per-permutation SWAP costs and per-edge reversal surcharges — is
+    /// read from the model, so calibration overrides steer the optimum.
+    /// The configuration's [`MapperConfig::cost_model`] is ignored (the
+    /// model *is* the cost model).
+    pub fn for_model(model: DeviceModel, config: MapperConfig) -> ExactMapper {
+        ExactMapper { model, config }
     }
 
     /// The device being mapped to.
     pub fn coupling_map(&self) -> &CouplingMap {
-        &self.cm
+        self.model.coupling_map()
+    }
+
+    /// The device/cost model every objective weight is read from.
+    pub fn device_model(&self) -> &DeviceModel {
+        &self.model
     }
 
     /// The active configuration.
@@ -99,7 +114,7 @@ impl ExactMapper {
         circuit: &Circuit,
     ) -> Result<crate::encoding::EncodingStats, MapError> {
         let n = circuit.num_qubits();
-        let m = self.cm.num_qubits();
+        let m = self.model.num_qubits();
         if n > m {
             return Err(MapError::TooManyQubits {
                 logical: n,
@@ -124,16 +139,10 @@ impl ExactMapper {
                 objective_terms: 0,
             });
         }
-        let table = SwapTable::shared(&self.cm, &(0..m).collect::<Vec<_>>());
+        let all: Vec<usize> = (0..m).collect();
+        let table = self.model.costed_table(&all);
         let change_points = self.config.strategy.change_points(&skeleton);
-        let enc = Encoding::build(
-            &skeleton,
-            n,
-            &self.cm,
-            &table,
-            &change_points,
-            self.config.cost_model,
-        );
+        let enc = Encoding::build(&skeleton, n, &self.model, &table, &change_points);
         Ok(enc.stats())
     }
 
@@ -156,7 +165,7 @@ impl ExactMapper {
     pub fn map(&self, circuit: &Circuit) -> Result<MappingResult, MapError> {
         let start = Instant::now();
         let n = circuit.num_qubits();
-        let m = self.cm.num_qubits();
+        let m = self.model.num_qubits();
         if n > m {
             return Err(MapError::TooManyQubits {
                 logical: n,
@@ -187,7 +196,7 @@ impl ExactMapper {
 
         // Section 4.1: subsets of physical qubits.
         let subsets: Vec<Vec<usize>> = if self.config.use_subsets && n < m {
-            connected_subsets(&self.cm, n)
+            connected_subsets(self.model.coupling_map(), n)
         } else {
             vec![(0..m).collect()]
         };
@@ -302,15 +311,14 @@ impl ExactMapper {
                 return;
             }
 
-            let local = self.cm.subgraph(subset);
-            let table = SwapTable::shared(&self.cm, subset);
+            let local_model = self.model.subgraph_model(subset);
+            let table = self.model.costed_table(subset);
             let Some(mut enc) = Encoding::build_interruptible(
                 skeleton,
                 n,
-                &local,
+                &local_model,
                 &table,
                 change_points,
-                self.config.cost_model,
                 &mut || shared.stopped(),
             ) else {
                 shared.undecided.store(true, Ordering::Relaxed);
@@ -360,8 +368,14 @@ impl ExactMapper {
                 .extract_permutations(&minimum.model)
                 .into_iter()
                 .collect();
-            let (mapped, initial_layout, final_layout, swaps, reversals, placements) =
-                assemble(circuit, &self.cm, subset, &layouts, &perms, &table);
+            let (mapped, initial_layout, final_layout, swaps, reversals, placements) = assemble(
+                circuit,
+                self.model.coupling_map(),
+                subset,
+                &layouts,
+                &perms,
+                &table,
+            );
             let added = (mapped.original_cost() - circuit.original_cost()) as u64;
             *shared.candidates[i]
                 .lock()
@@ -386,7 +400,7 @@ impl ExactMapper {
     /// A circuit with no CNOTs maps 1:1 onto the first `n` physical qubits.
     fn trivial(&self, circuit: &Circuit, start: Instant) -> MappingResult {
         let n = circuit.num_qubits();
-        let m = self.cm.num_qubits();
+        let m = self.model.num_qubits();
         let layout = Layout::identity(n, m);
         let mapped = circuit.map_qubits(m, |q| q);
         MappingResult {

@@ -11,15 +11,29 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use qxmap_arch::{CouplingMap, Layout};
+use qxmap_arch::{DeviceModel, Layout};
 use qxmap_circuit::Circuit;
 
 use crate::engine::{all_adjacent, run_engine, LayerPlanner};
 use crate::naive::shortest_path_plan;
 use crate::traits::{HeuristicError, HeuristicResult, Mapper};
 
+/// How often the A* expansion loop polls the deadline/stop flag.
+const STOP_POLL_INTERVAL: usize = 256;
+
 /// The A* layer mapper.
+///
+/// The mapper is deadline-aware: [`AStarMapper::with_deadline`] and
+/// [`AStarMapper::with_stop`] are polled between layers and every few
+/// hundred node expansions. When either fires, every remaining layer is
+/// routed with the deterministic shortest-path fallback instead of the
+/// search — the output stays a complete, hardware-legal circuit (quality
+/// degrades, validity never does), and a losing racer on a huge device
+/// winds down instead of running its search to completion.
 ///
 /// ```
 /// use qxmap_arch::devices;
@@ -33,6 +47,8 @@ use crate::traits::{HeuristicError, HeuristicResult, Mapper};
 #[derive(Debug, Clone)]
 pub struct AStarMapper {
     node_limit: usize,
+    deadline: Option<Duration>,
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl AStarMapper {
@@ -40,6 +56,8 @@ impl AStarMapper {
     pub fn new() -> AStarMapper {
         AStarMapper {
             node_limit: 200_000,
+            deadline: None,
+            stop: None,
         }
     }
 
@@ -47,6 +65,22 @@ impl AStarMapper {
     /// mapper falls back to shortest-path routing for that layer.
     pub fn with_node_limit(mut self, node_limit: usize) -> AStarMapper {
         self.node_limit = node_limit.max(1);
+        self
+    }
+
+    /// Caps the wall-clock time of one `map` call (measured from its
+    /// entry). Once it fires, remaining layers route via the
+    /// shortest-path fallback — valid output, bounded wind-down.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> AStarMapper {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a cooperative stop flag (e.g. a racing supervisor's
+    /// cancel handle, `qxmap_core::SolveControl::cancel_handle`), polled
+    /// like the deadline.
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> AStarMapper {
+        self.stop = Some(stop);
         self
     }
 }
@@ -62,16 +96,38 @@ impl Mapper for AStarMapper {
         "A* layer search"
     }
 
-    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError> {
+    fn map_model(
+        &self,
+        circuit: &Circuit,
+        model: &DeviceModel,
+    ) -> Result<HeuristicResult, HeuristicError> {
         let mut planner = AStarPlanner {
             node_limit: self.node_limit,
+            cutoff: self.deadline.map(|d| Instant::now() + d),
+            stop: self.stop.clone(),
         };
-        run_engine(circuit, cm, &mut planner)
+        run_engine(circuit, model, &mut planner)
     }
 }
 
 struct AStarPlanner {
     node_limit: usize,
+    /// Wall-clock cutoff of the whole `map` call, if any.
+    cutoff: Option<Instant>,
+    /// External cooperative stop flag, if any.
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl AStarPlanner {
+    /// Whether the deadline or the external stop flag asks the search to
+    /// wind down.
+    fn stopped(&self) -> bool {
+        self.cutoff.is_some_and(|c| Instant::now() >= c)
+            || self
+                .stop
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
 }
 
 impl LayerPlanner for AStarPlanner {
@@ -79,9 +135,15 @@ impl LayerPlanner for AStarPlanner {
         &mut self,
         layout: &Layout,
         pairs: &[(usize, usize)],
-        cm: &CouplingMap,
-        dist: &[Vec<usize>],
+        model: &DeviceModel,
     ) -> Result<Vec<(usize, usize)>, HeuristicError> {
+        let cm = model.coupling_map();
+        let dist = model.hops();
+        // A fired budget skips the search outright: the fallback is the
+        // cheap, always-terminating wind-down path.
+        if self.stopped() {
+            return shortest_path_plan(layout, pairs, cm, dist);
+        }
         let edges = cm.undirected_edges();
         let h = |l: &Layout| -> usize {
             pairs
@@ -117,6 +179,13 @@ impl LayerPlanner for AStarPlanner {
             }
             expanded += 1;
             if expanded > self.node_limit {
+                break;
+            }
+            // Deadline/race-cancel observance inside the expansion loop:
+            // on huge generated devices a single layer can dominate the
+            // run, so a losing racer must not wait for the next layer
+            // boundary to wind down.
+            if expanded.is_multiple_of(STOP_POLL_INTERVAL) && self.stopped() {
                 break;
             }
             if best_g.get(&key(&l)).copied().unwrap_or(usize::MAX) < g {
@@ -205,5 +274,56 @@ mod tests {
         for (pc, pt) in r.mapped.cnot_skeleton() {
             assert!(cm.has_edge(pc, pt));
         }
+    }
+
+    #[test]
+    fn stop_flag_and_deadline_degrade_not_invalidate() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let cm = devices::linear(6);
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        c.cx(1, 4);
+        c.cx(0, 3);
+        // A pre-raised stop flag makes every layer take the shortest-path
+        // fallback — the result must still be complete and legal.
+        let flag = Arc::new(AtomicBool::new(true));
+        let stopped = AStarMapper::new()
+            .with_stop(Arc::clone(&flag))
+            .map(&c, &cm)
+            .unwrap();
+        for (pc, pt) in stopped.mapped.cnot_skeleton() {
+            assert!(cm.has_edge(pc, pt));
+        }
+        assert_eq!(
+            stopped.mapped.cnot_skeleton().len() as u32,
+            3 * stopped.swaps + 3
+        );
+        // An expired deadline behaves the same way.
+        let timed = AStarMapper::new()
+            .with_deadline(Some(Duration::ZERO))
+            .map(&c, &cm)
+            .unwrap();
+        for (pc, pt) in timed.mapped.cnot_skeleton() {
+            assert!(cm.has_edge(pc, pt));
+        }
+        // A lowered flag restores the full deterministic search.
+        flag.store(false, std::sync::atomic::Ordering::Relaxed);
+        let resumed = AStarMapper::new().with_stop(flag).map(&c, &cm).unwrap();
+        let reference = AStarMapper::new().map(&c, &cm).unwrap();
+        assert_eq!(resumed.mapped, reference.mapped);
+    }
+
+    #[test]
+    fn model_cost_matches_paper_accounting_on_qx4() {
+        let cm = devices::ibm_qx4();
+        let r = AStarMapper::new().map(&paper_example(), &cm).unwrap();
+        assert_eq!(
+            r.model_cost,
+            7 * u64::from(r.swaps) + 4 * u64::from(r.reversals)
+        );
+        assert_eq!(r.model_cost, r.added_gates);
     }
 }

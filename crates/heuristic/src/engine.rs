@@ -4,25 +4,27 @@
 //! ASAP layers, ask a strategy for a SWAP sequence making the layer's CNOT
 //! pairs adjacent, emit the SWAPs and then the layer's gates (repairing
 //! directions with 4 H) — and differs only in how the SWAP sequence is
-//! chosen. The engine owns that skeleton.
+//! chosen. The engine owns that skeleton, reads distances from the
+//! [`DeviceModel`]'s precomputed tables (one BFS per *model*, not one per
+//! `map` call), and prices every insertion with the model's per-edge
+//! costs.
 
 use std::time::Instant;
 
-use qxmap_arch::{route, CouplingMap, Layout};
+use qxmap_arch::{route, CouplingMap, DeviceModel, Layout};
 use qxmap_circuit::{asap_layers, Circuit, Gate};
 
 use crate::traits::{HeuristicError, HeuristicResult};
 
 /// Chooses SWAP edges making all `pairs` (logical control/target) adjacent
-/// under `layout`. Implementors must return edges of `cm`; the engine
-/// applies them in order.
+/// under `layout`. Implementors must return edges of the model's coupling
+/// map; the engine applies them in order.
 pub(crate) trait LayerPlanner {
     fn plan(
         &mut self,
         layout: &Layout,
         pairs: &[(usize, usize)],
-        cm: &CouplingMap,
-        dist: &[Vec<usize>],
+        model: &DeviceModel,
     ) -> Result<Vec<(usize, usize)>, HeuristicError>;
 }
 
@@ -38,12 +40,12 @@ pub(crate) fn all_adjacent(layout: &Layout, pairs: &[(usize, usize)], cm: &Coupl
 /// Runs the engine with the given planner.
 pub(crate) fn run_engine(
     circuit: &Circuit,
-    cm: &CouplingMap,
+    model: &DeviceModel,
     planner: &mut dyn LayerPlanner,
 ) -> Result<HeuristicResult, HeuristicError> {
     let start = Instant::now();
+    let cm = model.coupling_map();
     let circuit = prepare(circuit, cm)?;
-    let dist = cm.distance_matrix();
 
     let n = circuit.num_qubits();
     let m = cm.num_qubits();
@@ -52,6 +54,7 @@ pub(crate) fn run_engine(
     let mut out = Circuit::with_clbits(m, circuit.num_clbits());
     let mut swaps = 0u32;
     let mut reversals = 0u32;
+    let mut model_cost = 0u64;
 
     for layer in asap_layers(&circuit) {
         let pairs: Vec<(usize, usize)> = layer
@@ -63,11 +66,12 @@ pub(crate) fn run_engine(
             })
             .collect();
         if !pairs.is_empty() && !all_adjacent(&layout, &pairs, cm) {
-            let plan = planner.plan(&layout, &pairs, cm, &dist)?;
+            let plan = planner.plan(&layout, &pairs, model)?;
             for (a, b) in plan {
                 route::emit_swap(&mut out, cm, a, b).expect("planners must return coupling edges");
                 layout.swap_phys(a, b);
                 swaps += 1;
+                model_cost += u64::from(model.swap_cost(a, b).expect("coupling edge"));
             }
             debug_assert!(all_adjacent(&layout, &pairs, cm), "planner failed layer");
         }
@@ -81,6 +85,9 @@ pub(crate) fn run_engine(
                     if emitted > 1 {
                         reversals += 1;
                     }
+                    // Reversal surcharge + any calibrated CNOT overhead,
+                    // the same per-edge price the SAT objective charges.
+                    model_cost += model.execution_overhead(pc, pt).expect("adjacent pair");
                 }
                 other => emit_relabeled(&mut out, &layout, other),
             }
@@ -95,6 +102,7 @@ pub(crate) fn run_engine(
         added_gates: added,
         swaps,
         reversals,
+        model_cost,
         runtime: start.elapsed(),
     })
 }

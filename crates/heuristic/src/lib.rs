@@ -18,7 +18,15 @@
 //!
 //! All mappers implement [`Mapper`], produce hardware-legal circuits
 //! (validated against the coupling map), and repair CNOT directions with
-//! 4 H gates exactly like the exact mapper.
+//! 4 H gates exactly like the exact mapper. Every mapper routes through
+//! [`Mapper::map_model`]: distances come from the
+//! [`qxmap_arch::DeviceModel`]'s precomputed tables (no per-call BFS) and
+//! insertions are priced with its per-edge costs
+//! ([`HeuristicResult::model_cost`]). A*, SABRE and the stochastic mapper
+//! additionally observe wall-clock deadlines and cooperative stop flags
+//! (`with_deadline` / `with_stop`), degrading to cheap deterministic
+//! routing — never to invalid output — when a racing supervisor cancels
+//! them.
 //!
 //! ```
 //! use qxmap_arch::devices;

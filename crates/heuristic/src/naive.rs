@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use qxmap_arch::{route, CouplingMap, Layout};
+use qxmap_arch::{route, CouplingMap, DeviceModel, Layout};
 use qxmap_circuit::{Circuit, Gate};
 
 use crate::engine;
@@ -31,16 +31,22 @@ impl Mapper for NaiveMapper {
         "naive shortest-path"
     }
 
-    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError> {
+    fn map_model(
+        &self,
+        circuit: &Circuit,
+        model: &DeviceModel,
+    ) -> Result<HeuristicResult, HeuristicError> {
         let start = Instant::now();
+        let cm = model.coupling_map();
         let circuit = engine::prepare(circuit, cm)?;
-        let dist = cm.distance_matrix();
+        let dist = model.hops();
 
         let mut layout = Layout::identity(circuit.num_qubits(), cm.num_qubits());
         let initial_layout = layout.clone();
         let mut out = Circuit::with_clbits(cm.num_qubits(), circuit.num_clbits());
         let mut swaps = 0u32;
         let mut reversals = 0u32;
+        let mut model_cost = 0u64;
 
         for gate in circuit.gates() {
             match gate {
@@ -63,6 +69,7 @@ impl Mapper for NaiveMapper {
                             .expect("neighbors are coupling edges");
                         layout.swap_phys(pc, next);
                         swaps += 1;
+                        model_cost += u64::from(model.swap_cost(pc, next).expect("edge"));
                     }
                     let pc = layout.phys_of(*control).expect("complete layout");
                     let pt = layout.phys_of(*target).expect("complete layout");
@@ -70,6 +77,7 @@ impl Mapper for NaiveMapper {
                     if emitted > 1 {
                         reversals += 1;
                     }
+                    model_cost += model.execution_overhead(pc, pt).expect("adjacent pair");
                 }
                 other => engine::emit_relabeled(&mut out, &layout, other),
             }
@@ -83,6 +91,7 @@ impl Mapper for NaiveMapper {
             added_gates: added,
             swaps,
             reversals,
+            model_cost,
             runtime: start.elapsed(),
         })
     }

@@ -17,13 +17,24 @@
 //! so costs are directly comparable.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use qxmap_arch::{route, CouplingMap, Layout};
+use qxmap_arch::{route, DeviceModel, Layout};
 use qxmap_circuit::{Circuit, Dag, Gate};
 
 use crate::traits::{HeuristicError, HeuristicResult, Mapper};
 
 /// The SABRE-style mapper.
+///
+/// The mapper is deadline-aware: [`SabreMapper::with_deadline`] and
+/// [`SabreMapper::with_stop`] are polled at every routing step. Once a
+/// budget fires, the scored lookahead search is replaced by plain
+/// shortest-path stepping toward the first blocked pair (and a pending
+/// reverse seeding pass is skipped), so a losing racer on a huge device
+/// winds down quickly while still emitting a complete, hardware-legal
+/// circuit.
 ///
 /// ```
 /// use qxmap_arch::devices;
@@ -39,6 +50,8 @@ pub struct SabreMapper {
     lookahead: usize,
     lookahead_weight: f64,
     decay: f64,
+    deadline: Option<Duration>,
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl SabreMapper {
@@ -49,6 +62,8 @@ impl SabreMapper {
             lookahead: 20,
             lookahead_weight: 0.5,
             decay: 0.001,
+            deadline: None,
+            stop: None,
         }
     }
 
@@ -56,6 +71,32 @@ impl SabreMapper {
     pub fn with_lookahead(mut self, lookahead: usize) -> SabreMapper {
         self.lookahead = lookahead;
         self
+    }
+
+    /// Caps the wall-clock time of one `map` call (measured from its
+    /// entry). Once it fires, the run degrades to cheap shortest-path
+    /// stepping — valid output, bounded wind-down.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> SabreMapper {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a cooperative stop flag (e.g. a racing supervisor's
+    /// cancel handle, `qxmap_core::SolveControl::cancel_handle`), polled
+    /// like the deadline.
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> SabreMapper {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Whether the deadline or the external stop flag asks the search to
+    /// wind down.
+    fn stopped(&self, cutoff: Option<Instant>) -> bool {
+        cutoff.is_some_and(|c| Instant::now() >= c)
+            || self
+                .stop
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 }
 
@@ -70,8 +111,13 @@ impl Mapper for SabreMapper {
         "SABRE-style lookahead"
     }
 
-    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError> {
-        let start = std::time::Instant::now();
+    fn map_model(
+        &self,
+        circuit: &Circuit,
+        model: &DeviceModel,
+    ) -> Result<HeuristicResult, HeuristicError> {
+        let start = Instant::now();
+        let cm = model.coupling_map();
         let n = circuit.num_qubits();
         let m = cm.num_qubits();
         if n > m {
@@ -84,24 +130,29 @@ impl Mapper for SabreMapper {
         if !cm.is_connected() && circuit.num_cnots() > 0 {
             return Err(HeuristicError::Unroutable);
         }
-        let dist = cm.distance_matrix();
+        let cutoff = self.deadline.map(|d| start + d);
 
         // Reverse pass seeds the forward pass's initial layout. Only the
         // CNOT structure matters for routing, so measurements/barriers are
-        // dropped and gate kinds kept as-is.
-        let mut reversed = Circuit::new(n);
-        for g in circuit.gates().iter().rev() {
-            match g {
-                Gate::One { .. } | Gate::Cnot { .. } => reversed.push(g.clone()),
-                _ => {}
+        // dropped and gate kinds kept as-is. A budget that already fired
+        // skips the seeding round trip entirely (wind-down path).
+        let initial = if self.stopped(cutoff) {
+            Layout::identity(n, m)
+        } else {
+            let mut reversed = Circuit::new(n);
+            for g in circuit.gates().iter().rev() {
+                match g {
+                    Gate::One { .. } | Gate::Cnot { .. } => reversed.push(g.clone()),
+                    _ => {}
+                }
             }
-        }
-        let seed = Layout::identity(n, m);
-        let (_, reverse_final, ..) = self.route(&reversed, cm, &dist, seed)?;
-        let initial = reverse_final;
+            let seed = Layout::identity(n, m);
+            let (_, reverse_final, ..) = self.route(&reversed, model, cutoff, seed)?;
+            reverse_final
+        };
 
-        let (out, final_layout, swaps, reversals) =
-            self.route(&circuit, cm, &dist, initial.clone())?;
+        let (out, final_layout, swaps, reversals, model_cost) =
+            self.route(&circuit, model, cutoff, initial.clone())?;
         let added = (out.original_cost() - circuit.original_cost()) as u64;
         Ok(HeuristicResult {
             mapped: out,
@@ -110,20 +161,30 @@ impl Mapper for SabreMapper {
             added_gates: added,
             swaps,
             reversals,
+            model_cost,
             runtime: start.elapsed(),
         })
     }
 }
 
 impl SabreMapper {
-    /// One routing pass; returns (circuit, final layout, swaps, reversals).
+    /// One routing pass; returns (circuit, final layout, swaps,
+    /// reversals, model cost).
     fn route(
         &self,
         circuit: &Circuit,
-        cm: &CouplingMap,
-        dist: &[Vec<usize>],
+        model: &DeviceModel,
+        cutoff: Option<Instant>,
         mut layout: Layout,
-    ) -> Result<(Circuit, Layout, u32, u32), HeuristicError> {
+    ) -> Result<(Circuit, Layout, u32, u32, u64), HeuristicError> {
+        let cm = model.coupling_map();
+        let dist = model.hops();
+        // Scoring reads the cost-weighted distances: under uniform costs
+        // every entry is a constant multiple of the hop count (identical
+        // choices), while calibrated models steer lookahead toward cheap
+        // edges. Termination logic (the wind-down stepping below) stays
+        // on hops, whose strict decrease is the progress guarantee.
+        let wdist = model.swap_distances();
         let dag = Dag::new(circuit);
         let gates = circuit.gates();
         let mut remaining_preds: Vec<usize> = (0..gates.len())
@@ -133,6 +194,7 @@ impl SabreMapper {
         let mut out = Circuit::with_clbits(cm.num_qubits(), circuit.num_clbits());
         let mut swaps = 0u32;
         let mut reversals = 0u32;
+        let mut model_cost = 0u64;
         let mut decay = vec![1.0f64; cm.num_qubits()];
         let edges = cm.undirected_edges();
         // Safety valve: strictly more swaps than any solvable instance needs.
@@ -162,6 +224,7 @@ impl SabreMapper {
                             if emitted > 1 {
                                 reversals += 1;
                             }
+                            model_cost += model.execution_overhead(pc, pt).expect("adjacent pair");
                         }
                         Gate::One { kind, qubit } => {
                             let p = layout.phys_of(*qubit).expect("complete");
@@ -207,6 +270,29 @@ impl SabreMapper {
                     _ => None,
                 })
                 .collect();
+
+            // Deadline/race-cancel wind-down: once a budget fires, skip
+            // the scored lookahead over every edge and instead step the
+            // first blocked pair's control one hop along a shortest path
+            // to its target — the naive routing move, which strictly
+            // decreases that pair's distance, so the pass provably
+            // terminates while doing O(degree) work per step.
+            if self.stopped(cutoff) {
+                let &(c, t) = front_pairs.first().expect("blocked front has a CNOT");
+                let pc = layout.phys_of(c).expect("complete");
+                let pt = layout.phys_of(t).expect("complete");
+                let next = cm
+                    .neighbors(pc)
+                    .into_iter()
+                    .filter(|&v| dist[v][pt] < dist[pc][pt])
+                    .min_by_key(|&v| dist[v][pt])
+                    .ok_or(HeuristicError::Unroutable)?;
+                route::emit_swap(&mut out, cm, pc, next).expect("neighbor edge");
+                layout.swap_phys(pc, next);
+                swaps += 1;
+                model_cost += u64::from(model.swap_cost(pc, next).expect("edge"));
+                continue;
+            }
             let look_pairs = self.lookahead_pairs(&dag, gates, &front, &remaining_preds);
 
             let mut best: Option<((usize, usize), f64)> = None;
@@ -217,7 +303,7 @@ impl SabreMapper {
                     .map(|&(c, t)| {
                         let pc = layout.phys_of(c).expect("complete");
                         let pt = layout.phys_of(t).expect("complete");
-                        dist[pc][pt] as f64
+                        wdist[pc][pt] as f64
                     })
                     .sum();
                 let l_cost: f64 = if look_pairs.is_empty() {
@@ -228,7 +314,7 @@ impl SabreMapper {
                         .map(|&(c, t)| {
                             let pc = layout.phys_of(c).expect("complete");
                             let pt = layout.phys_of(t).expect("complete");
-                            dist[pc][pt] as f64
+                            wdist[pc][pt] as f64
                         })
                         .sum::<f64>()
                         / look_pairs.len() as f64
@@ -244,6 +330,7 @@ impl SabreMapper {
             route::emit_swap(&mut out, cm, a, b).expect("edge swap");
             layout.swap_phys(a, b);
             swaps += 1;
+            model_cost += u64::from(model.swap_cost(a, b).expect("edge"));
             decay[a] += self.decay;
             decay[b] += self.decay;
 
@@ -252,7 +339,7 @@ impl SabreMapper {
                 return Err(HeuristicError::Unroutable);
             }
         }
-        Ok((out, layout, swaps, reversals))
+        Ok((out, layout, swaps, reversals, model_cost))
     }
 
     /// The next `lookahead` CNOTs beyond the front (by gate index order).
@@ -370,5 +457,53 @@ mod tests {
             SabreMapper::new().map(&c, &cm),
             Err(HeuristicError::TooManyQubits { .. })
         ));
+    }
+
+    #[test]
+    fn stop_flag_and_deadline_degrade_not_invalidate() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let cm = devices::linear(6);
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        c.cx(1, 4);
+        c.cx(0, 3);
+        // A pre-raised stop flag: no reverse seeding pass, shortest-path
+        // stepping only — still a complete, coupling-legal circuit.
+        let flag = Arc::new(AtomicBool::new(true));
+        let stopped = SabreMapper::new()
+            .with_stop(Arc::clone(&flag))
+            .map(&c, &cm)
+            .unwrap();
+        for (pc, pt) in stopped.mapped.cnot_skeleton() {
+            assert!(cm.has_edge(pc, pt));
+        }
+        // An expired deadline behaves the same way.
+        let timed = SabreMapper::new()
+            .with_deadline(Some(Duration::ZERO))
+            .map(&c, &cm)
+            .unwrap();
+        for (pc, pt) in timed.mapped.cnot_skeleton() {
+            assert!(cm.has_edge(pc, pt));
+        }
+        assert_eq!(stopped.mapped, timed.mapped, "both wind-down paths agree");
+        // A lowered flag restores the full scored search.
+        flag.store(false, std::sync::atomic::Ordering::Relaxed);
+        let resumed = SabreMapper::new().with_stop(flag).map(&c, &cm).unwrap();
+        let reference = SabreMapper::new().map(&c, &cm).unwrap();
+        assert_eq!(resumed.mapped, reference.mapped);
+    }
+
+    #[test]
+    fn model_cost_matches_paper_accounting_on_qx4() {
+        let cm = devices::ibm_qx4();
+        let r = SabreMapper::new().map(&paper_example(), &cm).unwrap();
+        assert_eq!(
+            r.model_cost,
+            7 * u64::from(r.swaps) + 4 * u64::from(r.reversals)
+        );
+        assert_eq!(r.model_cost, r.added_gates);
     }
 }

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use qxmap_arch::{CouplingMap, Layout};
+use qxmap_arch::{DeviceModel, Layout};
 use qxmap_circuit::Circuit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,14 +104,18 @@ impl Mapper for StochasticSwapMapper {
         "stochastic-swap (Qiskit 0.4 style)"
     }
 
-    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError> {
+    fn map_model(
+        &self,
+        circuit: &Circuit,
+        model: &DeviceModel,
+    ) -> Result<HeuristicResult, HeuristicError> {
         let mut planner = StochasticPlanner {
             rng: StdRng::seed_from_u64(self.seed),
             trials: self.trials,
             cutoff: self.deadline.map(|d| Instant::now() + d),
             stop: self.stop.clone(),
         };
-        run_engine(circuit, cm, &mut planner)
+        run_engine(circuit, model, &mut planner)
     }
 }
 
@@ -141,9 +145,14 @@ impl LayerPlanner for StochasticPlanner {
         &mut self,
         layout: &Layout,
         pairs: &[(usize, usize)],
-        cm: &CouplingMap,
-        dist: &[Vec<usize>],
+        model: &DeviceModel,
     ) -> Result<Vec<(usize, usize)>, HeuristicError> {
+        let cm = model.coupling_map();
+        let dist = model.hops();
+        // The potential perturbs the *cost-weighted* distances: a
+        // constant multiple of the hop counts under uniform costs (same
+        // trials as before), calibration-aware on skewed models.
+        let wdist = model.swap_distances();
         let edges = cm.undirected_edges();
         let m = cm.num_qubits();
         let mut best: Option<Vec<(usize, usize)>> = None;
@@ -161,10 +170,10 @@ impl LayerPlanner for StochasticPlanner {
                 .map(|a| {
                     (0..m)
                         .map(|b| {
-                            if dist[a][b] == usize::MAX {
+                            if wdist[a][b] == u64::MAX {
                                 f64::INFINITY
                             } else {
-                                dist[a][b] as f64 * (1.0 + 0.1 * self.rng.gen::<f64>())
+                                wdist[a][b] as f64 * (1.0 + 0.1 * self.rng.gen::<f64>())
                             }
                         })
                         .collect()

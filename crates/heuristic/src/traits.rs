@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::Duration;
 
-use qxmap_arch::{CouplingMap, Layout};
+use qxmap_arch::{CouplingMap, DeviceModel, Layout};
 use qxmap_circuit::Circuit;
 
 /// Errors common to the heuristic mappers.
@@ -51,6 +51,12 @@ pub struct HeuristicResult {
     pub swaps: u32,
     /// Direction-reversed CNOTs.
     pub reversals: u32,
+    /// The insertions priced under the run's [`DeviceModel`] — the sum of
+    /// each inserted SWAP's per-edge cost and each reversal's per-edge
+    /// surcharge. Equals `7·swaps + 4·reversals` under the paper's
+    /// uniform default; calibration overrides shift it without changing
+    /// the gate counts.
+    pub model_cost: u64,
     /// Wall-clock mapping time.
     pub runtime: Duration,
 }
@@ -68,12 +74,31 @@ pub trait Mapper {
     /// Short human-readable name.
     fn name(&self) -> &str;
 
-    /// Maps `circuit` onto `cm`.
+    /// Maps `circuit` onto the device described by `model`, reading
+    /// adjacency and distances from the model's precomputed tables
+    /// (instead of re-running BFS per call) and pricing insertions with
+    /// its per-edge costs ([`HeuristicResult::model_cost`]).
     ///
     /// # Errors
     ///
     /// Returns [`HeuristicError`] when the instance cannot be mapped.
-    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError>;
+    fn map_model(
+        &self,
+        circuit: &Circuit,
+        model: &DeviceModel,
+    ) -> Result<HeuristicResult, HeuristicError>;
+
+    /// Convenience wrapper over [`Mapper::map_model`] that prices `cm`
+    /// with the hardware-derived default model ([`DeviceModel::new`]).
+    /// Callers mapping against one device repeatedly should build the
+    /// model once and use [`Mapper::map_model`] directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeuristicError`] when the instance cannot be mapped.
+    fn map(&self, circuit: &Circuit, cm: &CouplingMap) -> Result<HeuristicResult, HeuristicError> {
+        self.map_model(circuit, &DeviceModel::new(cm.clone()))
+    }
 }
 
 #[cfg(test)]

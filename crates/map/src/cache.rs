@@ -15,11 +15,13 @@
 //!   entry; the hit is served by translating the stored layouts through
 //!   the register correspondence (the physical circuit itself is
 //!   label-free and reused verbatim).
-//! * **Device** — size plus the exact directed edge list. A different
-//!   coupling graph can change both cost and circuit, so it always
-//!   misses.
-//! * **Options** — cost model, strategy, subset flag, guarantee, declared
-//!   upper bound, and seed: everything that steers an engine's answer.
+//! * **Device** — the [`qxmap_arch::DeviceModel`] fingerprint: size,
+//!   directed edge list *and every per-edge cost* in one stable hash. A
+//!   different coupling graph — or the same graph under a different
+//!   calibration — can change both cost and circuit, so it always misses.
+//! * **Options** — strategy, subset flag, guarantee, declared upper
+//!   bound, and seed: everything else that steers an engine's answer
+//!   (the cost model itself is part of the device fingerprint).
 //! * **Budget class** — the (conflict budget, deadline) pair. Results
 //!   computed under one budget are only reused for requests with the
 //!   *same* budgets — except proved-optimal results, which are published
@@ -50,8 +52,20 @@ use qxmap_core::Strategy;
 use crate::report::MapReport;
 use crate::request::{Guarantee, MapRequest};
 
-/// Default capacity of the process-wide [`SolveCache::shared`] instance.
+/// Default capacity of the process-wide [`SolveCache::shared`] instance,
+/// used when [`SOLVE_CACHE_CAPACITY_ENV`] is unset or unparsable.
 pub const DEFAULT_SOLVE_CACHE_CAPACITY: usize = 256;
+
+/// Environment variable overriding the process-wide
+/// [`SolveCache::shared`] capacity at startup (a positive integer entry
+/// count). Read once, when the shared cache is first touched.
+pub const SOLVE_CACHE_CAPACITY_ENV: &str = "QXMAP_SOLVE_CACHE_CAPACITY";
+
+/// Parses a capacity override out of an environment value; rejects
+/// non-numbers and zero (the cache must hold at least one entry).
+fn capacity_override(value: Option<&str>) -> Option<usize> {
+    value?.trim().parse::<usize>().ok().filter(|&c| c > 0)
+}
 
 /// Hit/miss/eviction counters and the current size of a [`SolveCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +78,11 @@ pub struct SolveCacheStats {
     pub evictions: u64,
     /// Entries currently held.
     pub entries: usize,
+    /// Approximate heap footprint of the held entries, in bytes —
+    /// per-entry size accounting (gates, layouts, correspondence tables)
+    /// summed on insert and released on eviction. An estimate for
+    /// capacity planning, not an allocator measurement.
+    pub approx_bytes: usize,
 }
 
 /// Everything besides the skeleton that pins an engine's answer. Also
@@ -76,13 +95,14 @@ pub(crate) struct CacheKey {
     /// The circuit up to qubit relabeling (read by `map_many`'s dedup to
     /// translate duplicate answers without recanonicalizing).
     pub(crate) skeleton: CircuitSkeleton,
-    /// Device size and exact directed edge list.
-    device: (usize, Vec<(usize, usize)>),
+    /// The device identity: [`qxmap_arch::DeviceModel::fingerprint`],
+    /// covering size, directed edges and every per-edge cost (so a
+    /// calibration override is a different device as far as the cache is
+    /// concerned).
+    device: u64,
     /// Encoded permutation-site strategy (variant tag + parameters).
     strategy: Vec<usize>,
     use_subsets: bool,
-    /// (swap, reverse) weights of the cost model.
-    cost_model: (u32, u32),
     optimal_demanded: bool,
     upper_bound: Option<u64>,
     seed: u64,
@@ -146,15 +166,12 @@ impl CacheKey {
                 v
             }
         };
-        let mut device_edges: Vec<(usize, usize)> = request.device().edges().collect();
-        device_edges.sort_unstable();
         CacheKey {
             engine: engine.to_string(),
             skeleton,
-            device: (request.device().num_qubits(), device_edges),
+            device: request.device_model().fingerprint(),
             strategy,
             use_subsets: request.use_subsets(),
-            cost_model: (request.cost_model().swap, request.cost_model().reverse),
             optimal_demanded: request.guarantee() == Guarantee::Optimal,
             upper_bound: request.upper_bound(),
             seed: request.seed(),
@@ -183,8 +200,22 @@ struct Entry {
     /// canonicalization, this translates layouts between register
     /// namings.
     canon_to_original: Vec<usize>,
+    /// Approximate heap footprint of this entry, charged to
+    /// [`SolveCacheStats::approx_bytes`] while it lives.
+    approx_bytes: usize,
     /// Recency stamp for LRU eviction.
     last_used: u64,
+}
+
+/// Rough per-entry size: the dominant members are the mapped circuit's
+/// gate list and the layout/correspondence vectors. Good enough for the
+/// capacity-planning stat; no attempt at allocator-exact numbers.
+fn approx_entry_bytes(report: &MapReport, canon_to_original: &[usize]) -> usize {
+    const WORD: usize = std::mem::size_of::<usize>();
+    let circuit = report.mapped.gates().len() * 4 * WORD;
+    let layouts = 4 * report.mapped.num_qubits() * WORD;
+    let correspondence = canon_to_original.len() * WORD;
+    std::mem::size_of::<MapReport>() + circuit + layouts + correspondence
 }
 
 #[derive(Default)]
@@ -194,6 +225,8 @@ struct Inner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Sum of the live entries' `approx_bytes`.
+    approx_bytes: usize,
 }
 
 /// A bounded, thread-safe, whole-solve result cache, keyed by (canonical
@@ -216,13 +249,25 @@ impl SolveCache {
         }
     }
 
-    /// The process-wide instance (capacity
-    /// [`DEFAULT_SOLVE_CACHE_CAPACITY`]) behind
-    /// [`crate::Engine::run_cached`], [`crate::map_one`] and
-    /// [`crate::map_many`].
+    /// The process-wide instance behind [`crate::Engine::run_cached`],
+    /// [`crate::map_one`] and [`crate::map_many`]. Its capacity is a
+    /// runtime knob: the [`SOLVE_CACHE_CAPACITY_ENV`] environment
+    /// variable (read once, at first touch), falling back to
+    /// [`DEFAULT_SOLVE_CACHE_CAPACITY`]; embedders wanting programmatic
+    /// control build their own [`SolveCache::with_capacity`] instance.
     pub fn shared() -> &'static SolveCache {
         static SHARED: OnceLock<SolveCache> = OnceLock::new();
-        SHARED.get_or_init(|| SolveCache::with_capacity(DEFAULT_SOLVE_CACHE_CAPACITY))
+        SHARED.get_or_init(|| {
+            let env = std::env::var(SOLVE_CACHE_CAPACITY_ENV).ok();
+            let capacity =
+                capacity_override(env.as_deref()).unwrap_or(DEFAULT_SOLVE_CACHE_CAPACITY);
+            SolveCache::with_capacity(capacity)
+        })
+    }
+
+    /// The most entries this cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Looks `request` up under `engine`'s signature. On a hit, returns
@@ -300,18 +345,26 @@ impl SolveCache {
         }
         let key = CacheKey::of(engine, request, skeleton);
         let shared_report = Arc::new(report.clone());
+        let bytes = approx_entry_bytes(report, &canon_to_original);
         let mut inner = self.inner.lock().expect("no panics under the lock");
         inner.tick += 1;
         let tick = inner.tick;
         let entry = || Entry {
             report: Arc::clone(&shared_report),
             canon_to_original: canon_to_original.clone(),
+            approx_bytes: bytes,
             last_used: tick,
         };
+        let store = |inner: &mut Inner, key: CacheKey, entry: Entry| {
+            inner.approx_bytes += entry.approx_bytes;
+            if let Some(replaced) = inner.map.insert(key, entry) {
+                inner.approx_bytes -= replaced.approx_bytes;
+            }
+        };
         if report.proved_optimal {
-            inner.map.insert(key.proved_tier(), entry());
+            store(&mut inner, key.proved_tier(), entry());
         }
-        inner.map.insert(key, entry());
+        store(&mut inner, key, entry());
         // Evict least-recently-used entries down to capacity.
         while inner.map.len() > self.capacity {
             let stalest = inner
@@ -320,12 +373,14 @@ impl SolveCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
                 .expect("over-capacity map is non-empty");
-            inner.map.remove(&stalest);
+            let evicted = inner.map.remove(&stalest).expect("key came from the map");
+            inner.approx_bytes -= evicted.approx_bytes;
             inner.evictions += 1;
         }
     }
 
-    /// Cumulative counters and the current entry count.
+    /// Cumulative counters, the current entry count, and the entries'
+    /// approximate byte footprint.
     pub fn stats(&self) -> SolveCacheStats {
         let inner = self.inner.lock().expect("no panics under the lock");
         SolveCacheStats {
@@ -333,16 +388,15 @@ impl SolveCache {
             misses: inner.misses,
             evictions: inner.evictions,
             entries: inner.map.len(),
+            approx_bytes: inner.approx_bytes,
         }
     }
 
     /// Drops every entry (counters are kept; they are cumulative).
     pub fn clear(&self) {
-        self.inner
-            .lock()
-            .expect("no panics under the lock")
-            .map
-            .clear();
+        let mut inner = self.inner.lock().expect("no panics under the lock");
+        inner.map.clear();
+        inner.approx_bytes = 0;
     }
 }
 
@@ -493,6 +547,62 @@ mod tests {
         cache.insert("naive", &request, &hit);
         let again = cache.lookup("naive", &request).expect("hit");
         assert_eq!(again.winner, "cache/naive");
+    }
+
+    #[test]
+    fn capacity_override_parses_positive_integers_only() {
+        assert_eq!(capacity_override(Some("8")), Some(8));
+        assert_eq!(capacity_override(Some(" 12 ")), Some(12));
+        assert_eq!(capacity_override(Some("0")), None, "zero capacity rejected");
+        assert_eq!(capacity_override(Some("lots")), None);
+        assert_eq!(capacity_override(None), None);
+    }
+
+    #[test]
+    fn byte_accounting_follows_inserts_evictions_and_clear() {
+        let cache = SolveCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        assert_eq!(cache.stats().approx_bytes, 0);
+        let cm = devices::ibm_qx4();
+        let requests: Vec<MapRequest> = (2..=4)
+            .map(|n| {
+                let mut c = Circuit::new(n);
+                for q in 0..n - 1 {
+                    c.cx(q, q + 1);
+                }
+                MapRequest::new(c, cm.clone())
+            })
+            .collect();
+        solve_and_insert(&cache, &requests[0]);
+        let one = cache.stats();
+        assert!(one.approx_bytes > 0, "{one:?}");
+        solve_and_insert(&cache, &requests[1]);
+        let two = cache.stats();
+        assert!(two.approx_bytes > one.approx_bytes);
+        // Overflow evicts and releases the evicted entry's bytes: the
+        // footprint stays bounded by the two largest entries ever held.
+        solve_and_insert(&cache, &requests[2]);
+        let three = cache.stats();
+        assert!(three.evictions >= 1);
+        assert!(three.entries <= 2);
+        assert!(three.approx_bytes > 0);
+        assert!(three.approx_bytes < one.approx_bytes + two.approx_bytes);
+        cache.clear();
+        assert_eq!(cache.stats().approx_bytes, 0);
+    }
+
+    #[test]
+    fn calibration_overrides_are_cache_misses() {
+        use qxmap_arch::DeviceModel;
+        let cache = SolveCache::with_capacity(8);
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        solve_and_insert(&cache, &request);
+        assert!(cache.lookup("naive", &request).is_some());
+        // The same device under a skewed calibration is a different
+        // fingerprint — the cached answer may not serve it.
+        let skewed = DeviceModel::new(devices::ibm_qx4()).with_swap_cost(3, 4, 70);
+        let calibrated = MapRequest::for_model(paper_example(), skewed);
+        assert!(cache.lookup("naive", &calibrated).is_none());
     }
 
     #[test]

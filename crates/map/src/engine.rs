@@ -111,17 +111,27 @@ impl ExactEngine {
     fn config_for(&self, request: &MapRequest) -> MapperConfig {
         let n = request.circuit().num_qubits();
         let m = request.device().num_qubits();
+        // No `.with_cost_model(...)`: the mapper is built via
+        // `ExactMapper::for_model`, where the request's device model is
+        // the cost authority and the config's cost model is ignored.
         MapperConfig::minimal()
             .with_strategy(request.strategy().clone())
             .with_subsets(request.use_subsets() && n < m)
-            .with_cost_model(request.cost_model())
             .with_deadline(request.deadline())
             .with_control(self.control.clone().unwrap_or_default())
-            .with_minimize(MinimizeOptions {
-                conflict_budget: request.conflict_budget(),
-                initial_upper_bound: request.upper_bound(),
-                ..Default::default()
-            })
+            .with_minimize(
+                MinimizeOptions::default()
+                    .with_conflict_budget(request.conflict_budget())
+                    // The bound is priced under the same device model as
+                    // the objective weights the mapper will read.
+                    .with_initial_upper_bound(request.upper_bound()),
+            )
+    }
+
+    fn mapper_for(&self, request: &MapRequest) -> ExactMapper {
+        // The request's device model is the single cost authority: the
+        // exact objective reads every weight from it.
+        ExactMapper::for_model(request.device_model().clone(), self.config_for(request))
     }
 
     /// Builds (without solving) the SAT instance for the request and
@@ -133,8 +143,7 @@ impl ExactEngine {
     /// Same conditions as [`ExactEngine::run`], except that infeasibility
     /// cannot be detected without solving.
     pub fn encoding_stats(&self, request: &MapRequest) -> Result<EncodingStats, MapperError> {
-        let mapper = ExactMapper::with_config(request.device().clone(), self.config_for(request));
-        Ok(mapper.encoding_stats(request.circuit())?)
+        Ok(self.mapper_for(request).encoding_stats(request.circuit())?)
     }
 }
 
@@ -151,8 +160,7 @@ impl Engine for ExactEngine {
     }
 
     fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
-        let mapper = ExactMapper::with_config(request.device().clone(), self.config_for(request));
-        let result = mapper.map(request.circuit())?;
+        let result = self.mapper_for(request).map(request.circuit())?;
         if request.guarantee() == Guarantee::Optimal && !result.proved_optimal {
             return Err(MapperError::proof_budget_exhausted());
         }
@@ -242,14 +250,27 @@ impl HeuristicEngine {
         control: Option<&SolveControl>,
     ) -> Result<MapReport, MapperError> {
         let circuit = request.circuit();
-        let cm = request.device();
+        let model = request.device_model();
+        let cancel = control.map(SolveControl::cancel_handle);
         let result = match self.baseline {
-            Baseline::Naive => NaiveMapper::new().map(circuit, cm)?,
-            Baseline::AStar => AStarMapper::new().map(circuit, cm)?,
-            Baseline::Sabre => SabreMapper::new().map(circuit, cm)?,
+            Baseline::Naive => NaiveMapper::new().map_model(circuit, model)?,
+            Baseline::AStar => {
+                let mut mapper = AStarMapper::new().with_deadline(request.deadline());
+                if let Some(cancel) = cancel {
+                    mapper = mapper.with_stop(cancel);
+                }
+                mapper.map_model(circuit, model)?
+            }
+            Baseline::Sabre => {
+                let mut mapper = SabreMapper::new().with_deadline(request.deadline());
+                if let Some(cancel) = cancel {
+                    mapper = mapper.with_stop(cancel);
+                }
+                mapper.map_model(circuit, model)?
+            }
             Baseline::Stochastic { trials } => run_stochastic_pool(request, trials, control)?,
         };
-        let report = MapReport::from_heuristic(result, self.name(), request.cost_model());
+        let report = MapReport::from_heuristic(result, self.name());
         if let Some(bound) = request.upper_bound() {
             // The declared bound is a hard ceiling for every engine.
             if report.cost.objective >= bound {
@@ -302,7 +323,7 @@ fn run_stochastic_pool(
     control: Option<&SolveControl>,
 ) -> Result<HeuristicResult, MapperError> {
     let circuit = request.circuit();
-    let cm = request.device();
+    let model = request.device_model();
     let cutoff = request.deadline().map(|d| Instant::now() + d);
     let cancel = control.map(SolveControl::cancel_handle);
     let stopped = || {
@@ -340,7 +361,7 @@ fn run_stochastic_pool(
                 if let Some(cancel) = &cancel {
                     mapper = mapper.with_stop(cancel.clone());
                 }
-                let result = mapper.map(circuit, cm);
+                let result = mapper.map_model(circuit, model);
                 completed
                     .lock()
                     .expect("no panics under the lock")
@@ -349,12 +370,10 @@ fn run_stochastic_pool(
         }
     });
 
-    // Winner: minimal objective under the *request's* cost model — added
-    // gates only coincide with it for the default 7/4 weights — with
+    // Winner: minimal objective under the request's *device model* —
+    // each trial already priced its own insertions per edge — with
     // added-gate count and then the lowest trial index as tie-breaks
     // (matching the sequential loop's first-wins order).
-    let model = request.cost_model();
-    let objective = |r: &HeuristicResult| crate::report::heuristic_objective(model, r);
     let mut completed = completed.into_inner().expect("workers have exited");
     completed.sort_by_key(|(t, _)| *t);
     let mut best: Option<HeuristicResult> = None;
@@ -362,9 +381,10 @@ fn run_stochastic_pool(
         // Structural failures (capacity, routability) are identical
         // across seeds: any one of them describes the instance.
         let result = result?;
-        if best.as_ref().is_none_or(|b| {
-            (objective(&result), result.added_gates) < (objective(b), b.added_gates)
-        }) {
+        if best
+            .as_ref()
+            .is_none_or(|b| (result.model_cost, result.added_gates) < (b.model_cost, b.added_gates))
+        {
             best = Some(result);
         }
     }

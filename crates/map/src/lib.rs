@@ -15,13 +15,21 @@
 //! * [`MapperError`] — one error type, with `From` conversions from both
 //!   legacy error enums.
 //!
-//! Every mapping method implements the [`Engine`] trait: the exact solver
-//! ([`ExactEngine`], whose per-subset subinstances solve on a parallel
-//! worker pool), all four baselines ([`HeuristicEngine`]), and the
-//! [`Portfolio`] engine that *races* the heuristics against the exact
-//! search on threads — coupled through a shared best-cost bound and
-//! cooperative cancellation — and transparently falls back to heuristics
-//! on devices beyond the exact method's regime. Requests carry both a
+//! Every request answers under one [`qxmap_arch::DeviceModel`] — the
+//! workspace's single authority on per-edge costs, precomputed distances
+//! and the device fingerprint ([`MapRequest::for_model`] /
+//! [`MapRequest::with_device_model`] attach calibration-aware models; the
+//! default is the paper's uniform 7/4 accounting). Every mapping method
+//! implements the [`Engine`] trait: the exact solver ([`ExactEngine`],
+//! whose per-subset subinstances solve on a parallel worker pool and read
+//! their SAT objective weights from the model), all four baselines
+//! ([`HeuristicEngine`]), and the [`Portfolio`] engine that *races* the
+//! heuristics against the exact search on threads — coupled through a
+//! shared best-cost bound and cooperative cancellation — transparently
+//! falls back to heuristics on devices beyond the exact method's regime,
+//! and schedules the pool cost-model-aware: cheap model statistics
+//! (all-to-all-ness, directedness) prove some baselines dominated, and
+//! those never start. Requests carry both a
 //! conflict budget and a wall-clock [`MapRequest::with_deadline`]; when a
 //! budget fires, the race answers with the best verified result in hand
 //! and [`MapReport::winner`] names the engine that produced it.
@@ -62,7 +70,9 @@ mod report;
 mod request;
 
 pub use batch::{map_many, map_many_with};
-pub use cache::{SolveCache, SolveCacheStats, DEFAULT_SOLVE_CACHE_CAPACITY};
+pub use cache::{
+    SolveCache, SolveCacheStats, DEFAULT_SOLVE_CACHE_CAPACITY, SOLVE_CACHE_CAPACITY_ENV,
+};
 pub use engine::{Baseline, Engine, ExactEngine, HeuristicEngine};
 pub use error::MapperError;
 pub use portfolio::Portfolio;

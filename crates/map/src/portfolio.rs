@@ -81,6 +81,94 @@ impl Default for Portfolio {
     }
 }
 
+/// What the cost-model-aware scheduler decided to race for one request:
+/// the heuristic pool, whether the exact engine joins, and which
+/// baselines were skipped as dominated (with the model-derived reason).
+#[derive(Debug)]
+pub(crate) struct RacePlan {
+    pub(crate) pool: Vec<HeuristicEngine>,
+    pub(crate) run_exact: bool,
+    pub(crate) skipped: Vec<(&'static str, &'static str)>,
+}
+
+impl Portfolio {
+    /// Which engines the cost-model-aware scheduler would *skip* for
+    /// `request`, as `(engine, reason)` pairs — the decisions
+    /// [`Portfolio::run`] acts on, exposed for tooling and capacity
+    /// planning. An empty answer means the full pool races.
+    ///
+    /// ```
+    /// use qxmap_arch::devices;
+    /// use qxmap_circuit::Circuit;
+    /// use qxmap_map::{MapRequest, Portfolio};
+    ///
+    /// let k6 = MapRequest::new(Circuit::new(3), devices::fully_connected(6));
+    /// let skipped = Portfolio::new().skipped_baselines(&k6);
+    /// assert!(skipped.iter().any(|(engine, _)| *engine == "sabre"));
+    ///
+    /// let qx4 = MapRequest::new(Circuit::new(3), devices::ibm_qx4());
+    /// assert!(Portfolio::new().skipped_baselines(&qx4).is_empty());
+    /// ```
+    pub fn skipped_baselines(&self, request: &MapRequest) -> Vec<(&'static str, &'static str)> {
+        self.plan_race(request).skipped
+    }
+}
+
+impl Portfolio {
+    /// The cost-model-aware scheduler: reads the cheap
+    /// [`DeviceStats`](qxmap_arch::DeviceStats) off the request's device
+    /// model and skips baselines the statistics prove dominated, instead
+    /// of always racing the full pool.
+    ///
+    /// * On an **all-to-all** device every pair is already adjacent, so
+    ///   no router ever inserts a SWAP: SABRE and the stochastic mapper
+    ///   reduce to exactly the naive floor's output and are skipped.
+    /// * On an all-to-all device with **no unidirectional edges** the
+    ///   naive floor provably inserts nothing at all (cost 0), so the
+    ///   exact engine cannot improve on it and is skipped too — the
+    ///   zero-cost result certifies itself.
+    ///
+    /// The naive floor always races: the portfolio's "never worse than
+    /// naive" contract is scheduler-independent.
+    pub(crate) fn plan_race(&self, request: &MapRequest) -> RacePlan {
+        let stats = request.device_model().stats();
+        let mut pool = vec![HeuristicEngine::naive()];
+        let mut skipped: Vec<(&'static str, &'static str)> = Vec::new();
+        if stats.all_to_all {
+            skipped.push((
+                "sabre",
+                "all-to-all device: every pair is adjacent, lookahead routing \
+                 cannot beat the shortest-path floor",
+            ));
+            if self.stochastic_trials > 0 {
+                skipped.push((
+                    "stochastic",
+                    "all-to-all device: randomized SWAP search has no SWAPs to choose",
+                ));
+            }
+        } else {
+            pool.push(HeuristicEngine::sabre());
+            if self.stochastic_trials > 0 {
+                pool.push(HeuristicEngine::stochastic(self.stochastic_trials));
+            }
+        }
+        let mut run_exact = exact_in_regime(request);
+        if run_exact && stats.all_to_all && !stats.has_unidirectional {
+            run_exact = false;
+            skipped.push((
+                "exact",
+                "bidirectional all-to-all device: the naive floor achieves cost 0, \
+                 which nothing improves on",
+            ));
+        }
+        RacePlan {
+            pool,
+            run_exact,
+            skipped,
+        }
+    }
+}
+
 impl Engine for Portfolio {
     fn name(&self) -> &str {
         "portfolio"
@@ -113,16 +201,18 @@ impl Engine for Portfolio {
             .clone()
             .with_guarantee(Guarantee::BestEffort)
             .with_upper_bound(None);
-        let mut pool = vec![HeuristicEngine::naive(), HeuristicEngine::sabre()];
-        if self.stochastic_trials > 0 {
-            pool.push(HeuristicEngine::stochastic(self.stochastic_trials));
-        }
+        // The cost-model-aware scheduler prunes the pool before any
+        // thread spawns: dominated baselines (and a provably unhelpful
+        // exact run) never start.
+        let plan = self.plan_race(request);
+        let pool = plan.pool;
 
-        // Exact side, racing concurrently when the device is in regime.
-        // It starts from the caller's bound alone and picks up heuristic
-        // costs subinstance by subinstance as they land in the shared
-        // bound; its deadline comes straight from the request.
-        let in_regime = exact_in_regime(request);
+        // Exact side, racing concurrently when the device is in regime
+        // and the scheduler found it worth starting. It begins from the
+        // caller's bound alone and picks up heuristic costs subinstance
+        // by subinstance as they land in the shared bound; its deadline
+        // comes straight from the request.
+        let in_regime = plan.run_exact;
         let mut pool_results: Vec<Result<MapReport, MapperError>> = Vec::new();
         let mut exact_outcome: Option<Result<MapReport, MapperError>> = None;
         std::thread::scope(|scope| {
@@ -441,6 +531,47 @@ mod tests {
             Portfolio::new().run(&request).unwrap_err(),
             MapperError::BoundUnmet { bound: 1 }
         );
+    }
+
+    #[test]
+    fn scheduler_skips_dominated_baselines_on_all_to_all_devices() {
+        // K6 (bidirectional all-to-all): SABRE, stochastic AND the exact
+        // engine are all dominated by the naive floor's guaranteed-zero
+        // result.
+        let request = MapRequest::new(Circuit::new(4), devices::fully_connected(6));
+        let plan = Portfolio::new()
+            .with_stochastic_trials(3)
+            .plan_race(&request);
+        assert_eq!(plan.pool.len(), 1, "only the naive floor races");
+        assert!(!plan.run_exact);
+        let skipped: Vec<&str> = plan.skipped.iter().map(|(e, _)| *e).collect();
+        assert_eq!(skipped, vec!["sabre", "stochastic", "exact"]);
+
+        // QX4 keeps the full pool and the exact racer.
+        let request = MapRequest::new(Circuit::new(4), devices::ibm_qx4());
+        let plan = Portfolio::new()
+            .with_stochastic_trials(3)
+            .plan_race(&request);
+        assert_eq!(plan.pool.len(), 3);
+        assert!(plan.run_exact);
+        assert!(plan.skipped.is_empty());
+    }
+
+    #[test]
+    fn all_to_all_run_still_returns_a_verified_proved_result() {
+        // The acceptance scenario: dominated baselines are skipped, yet
+        // the race still answers — verified and proved optimal.
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        c.cx(3, 1);
+        c.cx(2, 0);
+        let cm = devices::fully_connected(6);
+        let request = MapRequest::new(c.clone(), cm.clone());
+        let report = Portfolio::new().run(&request).unwrap();
+        assert_eq!(report.cost.objective, 0);
+        assert!(report.proved_optimal);
+        report.verify(&c, &cm).unwrap();
+        assert!(report.engine.starts_with("portfolio/"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use qxmap_arch::{CostModel, CouplingMap, Layout};
+use qxmap_arch::{CouplingMap, Layout};
 use qxmap_circuit::Circuit;
 use qxmap_core::verify::{self, VerifyError};
 use qxmap_core::MappingResult;
@@ -133,15 +133,11 @@ impl MapReport {
         }
     }
 
-    /// Builds a report from a heuristic result, recomputing the objective
-    /// under `cost_model`. A heuristic that inserted nothing is trivially
-    /// optimal.
-    pub(crate) fn from_heuristic(
-        result: HeuristicResult,
-        engine: &str,
-        cost_model: CostModel,
-    ) -> MapReport {
-        let objective = heuristic_objective(cost_model, &result);
+    /// Builds a report from a heuristic result; the objective is the
+    /// result's per-edge price under the run's device model. A heuristic
+    /// that inserted nothing is trivially optimal.
+    pub(crate) fn from_heuristic(result: HeuristicResult, engine: &str) -> MapReport {
+        let objective = result.model_cost;
         MapReport {
             engine: engine.to_string(),
             winner: engine.to_string(),
@@ -163,14 +159,6 @@ impl MapReport {
             final_layout: result.final_layout,
         }
     }
-}
-
-/// The Eq. 5 objective of a heuristic result under `cost_model` — the
-/// single source of truth for scoring heuristic runs (report building and
-/// best-of-trials selection alike).
-pub(crate) fn heuristic_objective(cost_model: CostModel, result: &HeuristicResult) -> u64 {
-    u64::from(cost_model.swap) * u64::from(result.swaps)
-        + u64::from(cost_model.reverse) * u64::from(result.reversals)
 }
 
 #[cfg(test)]

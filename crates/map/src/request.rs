@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use qxmap_arch::{CostModel, CouplingMap};
+use qxmap_arch::{CostModel, CouplingMap, DeviceModel};
 use qxmap_circuit::Circuit;
 use qxmap_core::Strategy;
 
@@ -43,7 +43,13 @@ pub enum Guarantee {
 #[derive(Debug, Clone)]
 pub struct MapRequest {
     circuit: Circuit,
-    device: CouplingMap,
+    /// The device/cost model every engine answers under. For requests
+    /// built with [`MapRequest::new`] this is the uniform model derived
+    /// from the device and [`MapRequest::cost_model`]; explicit models
+    /// ([`MapRequest::for_model`] / [`MapRequest::with_device_model`])
+    /// carry per-edge calibration and win over the uniform derivation.
+    model: DeviceModel,
+    explicit_model: bool,
     cost_model: CostModel,
     guarantee: Guarantee,
     strategy: Strategy,
@@ -59,9 +65,43 @@ impl MapRequest {
     /// [`Guarantee::BestEffort`], permutations before every gate, the
     /// Section 4.1 subset optimization enabled, no budgets, seed 0.
     pub fn new(circuit: Circuit, device: CouplingMap) -> MapRequest {
+        let cost_model = CostModel::default();
         MapRequest {
             circuit,
-            device,
+            model: DeviceModel::uniform(device, cost_model),
+            explicit_model: false,
+            cost_model,
+            guarantee: Guarantee::default(),
+            strategy: Strategy::default(),
+            use_subsets: true,
+            conflict_budget: None,
+            deadline: None,
+            upper_bound: None,
+            seed: 0,
+        }
+    }
+
+    /// A request against an explicit [`DeviceModel`] — per-edge
+    /// calibration costs, precomputed distances and the device
+    /// fingerprint all come from the model. Everything else defaults like
+    /// [`MapRequest::new`].
+    ///
+    /// ```
+    /// use qxmap_arch::{devices, DeviceModel};
+    /// use qxmap_circuit::paper_example;
+    /// use qxmap_map::MapRequest;
+    ///
+    /// let model = DeviceModel::new(devices::ibm_qx4()).with_swap_cost(3, 4, 21);
+    /// let request = MapRequest::for_model(paper_example(), model);
+    /// assert_eq!(request.device_model().swap_cost(3, 4), Some(21));
+    /// ```
+    pub fn for_model(circuit: Circuit, model: DeviceModel) -> MapRequest {
+        // Built directly — going through `MapRequest::new` would compute
+        // a uniform model (BFS + Dijkstra sweeps) only to discard it.
+        MapRequest {
+            circuit,
+            model,
+            explicit_model: true,
             cost_model: CostModel::default(),
             guarantee: Guarantee::default(),
             strategy: Strategy::default(),
@@ -73,9 +113,25 @@ impl MapRequest {
         }
     }
 
-    /// Sets the cost accounting for inserted operations.
+    /// Replaces the request's device model (builder style) — the explicit
+    /// model's coupling map becomes the request's device and its per-edge
+    /// costs price every engine's answer from here on.
+    pub fn with_device_model(mut self, model: DeviceModel) -> MapRequest {
+        self.model = model;
+        self.explicit_model = true;
+        self
+    }
+
+    /// Sets the cost accounting for inserted operations. On requests
+    /// without an explicit device model this re-derives the uniform model
+    /// from the new weights; an explicit model keeps pricing the run (the
+    /// model *is* the cost model), and this only records the headline
+    /// weights.
     pub fn with_cost_model(mut self, cost_model: CostModel) -> MapRequest {
         self.cost_model = cost_model;
+        if !self.explicit_model {
+            self.model = DeviceModel::uniform(self.model.coupling_map().clone(), cost_model);
+        }
         self
     }
 
@@ -137,7 +193,14 @@ impl MapRequest {
 
     /// The target device.
     pub fn device(&self) -> &CouplingMap {
-        &self.device
+        self.model.coupling_map()
+    }
+
+    /// The device/cost model every engine answers under — the single
+    /// authority on per-edge costs, precomputed distances and the
+    /// fingerprint that identifies the device in cache keys.
+    pub fn device_model(&self) -> &DeviceModel {
+        &self.model
     }
 
     /// The cost model.
@@ -195,6 +258,30 @@ mod tests {
         assert_eq!(req.deadline(), None);
         assert_eq!(req.upper_bound(), None);
         assert_eq!(req.seed(), 0);
+    }
+
+    #[test]
+    fn cost_model_rederives_the_uniform_model() {
+        let req = MapRequest::new(Circuit::new(2), devices::ibm_qx4());
+        assert_eq!(req.device_model().swap_cost(0, 1), Some(7));
+        let req = req.with_cost_model(CostModel::bidirectional());
+        assert_eq!(req.device_model().swap_cost(0, 1), Some(3));
+    }
+
+    #[test]
+    fn explicit_model_wins_over_cost_model() {
+        use qxmap_arch::DeviceModel;
+        let model = DeviceModel::new(devices::ibm_qx4()).with_swap_cost(0, 1, 70);
+        let req = MapRequest::for_model(Circuit::new(2), model.clone())
+            .with_cost_model(CostModel::bidirectional());
+        // The calibrated model keeps pricing the run.
+        assert_eq!(req.device_model().swap_cost(0, 1), Some(70));
+        assert_eq!(req.device_model().fingerprint(), model.fingerprint());
+        assert_eq!(req.device().name(), "IBM QX4");
+        // with_device_model is the builder-style equivalent.
+        let req = MapRequest::new(Circuit::new(2), devices::ibm_qx2()).with_device_model(model);
+        assert_eq!(req.device().name(), "IBM QX4");
+        assert_eq!(req.device_model().swap_cost(0, 1), Some(70));
     }
 
     #[test]

@@ -43,6 +43,29 @@ pub struct MinimizeOptions {
     pub initial_upper_bound: Option<u64>,
 }
 
+impl MinimizeOptions {
+    /// Sets the search schedule (builder style).
+    pub fn with_strategy(mut self, strategy: MinimizeStrategy) -> MinimizeOptions {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the total conflict budget (builder style).
+    pub fn with_conflict_budget(mut self, budget: Option<u64>) -> MinimizeOptions {
+        self.conflict_budget = budget;
+        self
+    }
+
+    /// Sets the externally known achievable cost the search stays
+    /// strictly below (builder style). Callers typically derive the bound
+    /// from a result priced under the same device cost model as the
+    /// objective weights — mixing models breaks the certificate.
+    pub fn with_initial_upper_bound(mut self, bound: Option<u64>) -> MinimizeOptions {
+        self.initial_upper_bound = bound;
+        self
+    }
+}
+
 /// Why a minimization produced no model at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MinimizeError {

@@ -1,15 +1,16 @@
 //! Architecture study: the same circuit mapped across different device
 //! topologies. The paper's method is architecture-generic (any coupling
 //! map of Definition 2); this example measures how topology drives the
-//! minimal SWAP/H cost.
+//! minimal SWAP/H cost, and how a calibration override steers the
+//! optimum without changing the topology at all.
 //!
 //! ```bash
 //! cargo run --release --example device_survey
 //! ```
 
-use qxmap::arch::{devices, CostModel, CouplingMap};
+use qxmap::arch::{devices, DeviceModel};
 use qxmap::circuit::paper_example;
-use qxmap::map::{Engine, ExactEngine, MapRequest};
+use qxmap::map::{Engine, ExactEngine, MapRequest, Portfolio};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = paper_example();
@@ -20,27 +21,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.num_cnots()
     );
 
-    let targets: Vec<(CouplingMap, CostModel)> = vec![
-        (devices::ibm_qx2(), CostModel::paper()),
-        (devices::ibm_qx4(), CostModel::paper()),
-        (devices::linear(4), CostModel::paper()),
-        (devices::ring(4), CostModel::paper()),
-        (devices::grid(2, 2), CostModel::bidirectional()),
-        (devices::star(5), CostModel::paper()),
-        (devices::fully_connected(4), CostModel::bidirectional()),
-    ];
+    // The topology library: fixed QX backends next to generated
+    // families, every one priced by its hardware-derived DeviceModel.
+    let targets: Vec<DeviceModel> = [
+        devices::ibm_qx2(),
+        devices::ibm_qx4(),
+        devices::linear(4),
+        devices::ring(4),
+        devices::grid(2, 2),
+        devices::star(5),
+        devices::heavy_hex(2, 2),
+        devices::fully_connected(4),
+    ]
+    .into_iter()
+    .map(DeviceModel::new)
+    .collect();
 
     println!(
-        "{:<12} {:>6} {:>7} {:>7} {:>6} {:>6} {:>9}",
-        "device", "edges", "F", "mapped", "swaps", "4H", "optimal?"
+        "{:<16} {:>5} {:>4} {:>5} {:>7} {:>7} {:>6} {:>6} {:>9}",
+        "device", "edges", "diam", "a2a?", "F", "mapped", "swaps", "4H", "optimal?"
     );
-    for (cm, cost_model) in targets {
-        let request = MapRequest::new(circuit.clone(), cm.clone()).with_cost_model(cost_model);
+    for model in targets {
+        let stats = *model.stats();
+        let request = MapRequest::for_model(circuit.clone(), model.clone());
         let r = ExactEngine::new().run(&request)?;
         println!(
-            "{:<12} {:>6} {:>7} {:>7} {:>6} {:>6} {:>9}",
-            cm.name(),
-            cm.num_edges(),
+            "{:<16} {:>5} {:>4} {:>5} {:>7} {:>7} {:>6} {:>6} {:>9}",
+            model.coupling_map().name(),
+            stats.num_edges,
+            stats.diameter,
+            if stats.all_to_all { "yes" } else { "no" },
             r.cost.objective,
             r.mapped_cost(),
             r.cost.swaps,
@@ -51,6 +61,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nRicher connectivity monotonically cuts the minimal insertion cost;\n\
          the complete graph needs nothing (F = 0) by construction."
+    );
+
+    // Calibration: same topology, different optima. Pricing QX4's
+    // {p4,p5} SWAPs up makes every permutation through that edge dearer,
+    // and the exact engine routes around it.
+    let base = DeviceModel::new(devices::ibm_qx4());
+    let skewed = base.clone().with_swap_cost(3, 4, 70);
+    println!(
+        "\ncalibration study on {} (cost skew {:.1}):",
+        base.coupling_map().name(),
+        skewed.stats().cost_skew()
+    );
+    for (label, model) in [("uniform 7/4", base), ("swap{p4,p5}=70", skewed)] {
+        let r = ExactEngine::new().run(&MapRequest::for_model(circuit.clone(), model.clone()))?;
+        println!(
+            "  {:<14} fingerprint {:016x}  F = {:<3} ({} swaps, {} reversals)",
+            label,
+            model.fingerprint(),
+            r.cost.objective,
+            r.cost.swaps,
+            r.cost.reversals,
+        );
+    }
+
+    // The scheduler reads the same statistics: on an all-to-all device
+    // the dominated baselines never start.
+    let k5 = MapRequest::new(circuit.clone(), devices::fully_connected(5));
+    println!("\nportfolio scheduling on K5:");
+    for (engine, reason) in Portfolio::new().skipped_baselines(&k5) {
+        println!("  skips {engine}: {reason}");
+    }
+    let report = Portfolio::new().run(&k5)?;
+    println!(
+        "  race answered by {} at F = {} (proved: {})",
+        report.winner, report.cost.objective, report.proved_optimal
     );
     Ok(())
 }
