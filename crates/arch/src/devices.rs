@@ -260,8 +260,8 @@ pub fn fully_connected(n: usize) -> CouplingMap {
 ///
 /// * `linear-N`, `ring-N`, `star-N`, `k-N` (complete graph);
 /// * `grid-RxC`;
-/// * `heavy-hex-N` (an `(N+1) × (N+1)`-cell lattice) or
-///   `heavy-hex-RxC`.
+/// * `heavy-hex-N` (a lattice over an `(N+1) × (N+1)`-**vertex** grid,
+///   i.e. `N × N` bricks) or `heavy-hex-RxC` (an `R × C`-vertex grid).
 ///
 /// ```
 /// use qxmap_arch::devices::by_name;

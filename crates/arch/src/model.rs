@@ -58,6 +58,9 @@ pub struct DeviceStats {
     pub min_swap_cost: u32,
     /// Dearest per-pair SWAP cost (0 on edgeless devices).
     pub max_swap_cost: u32,
+    /// Dearest per-edge CNOT cost (0 on edgeless devices; the
+    /// uncalibrated baseline is 1).
+    pub max_cnot_cost: u32,
 }
 
 impl DeviceStats {
@@ -69,6 +72,15 @@ impl DeviceStats {
         } else {
             f64::from(self.max_swap_cost) / f64::from(self.min_swap_cost)
         }
+    }
+
+    /// Whether any CNOT edge is calibrated above the baseline cost of 1 —
+    /// i.e. whether [`DeviceModel::execution_overhead`] can be nonzero on
+    /// a correctly oriented edge, making layout choice matter even where
+    /// no SWAP or reversal is ever needed. Schedulers must not treat a
+    /// zero-insertion result as free while this holds.
+    pub fn has_cnot_surcharge(&self) -> bool {
+        self.max_cnot_cost > 1
     }
 }
 
@@ -140,6 +152,21 @@ impl DeviceModel {
     /// orientation. This reproduces the seed objective the exact engine
     /// historically charged for any [`CostModel`].
     pub fn uniform(cm: CouplingMap, cost_model: CostModel) -> DeviceModel {
+        let (cnot, swap, reverse) = DeviceModel::uniform_tables(&cm, cost_model);
+        DeviceModel::assemble(cm, cnot, swap, reverse)
+    }
+
+    /// The per-edge cost tables [`DeviceModel::uniform`] derives from a
+    /// cost model.
+    #[allow(clippy::type_complexity)]
+    fn uniform_tables(
+        cm: &CouplingMap,
+        cost_model: CostModel,
+    ) -> (
+        BTreeMap<(usize, usize), u32>,
+        BTreeMap<(usize, usize), u32>,
+        BTreeMap<(usize, usize), u32>,
+    ) {
         let mut cnot = BTreeMap::new();
         let mut swap = BTreeMap::new();
         let mut reverse = BTreeMap::new();
@@ -152,7 +179,16 @@ impl DeviceModel {
         for (a, b) in cm.undirected_edges() {
             swap.insert((a, b), cost_model.swap);
         }
-        DeviceModel::assemble(cm, cnot, swap, reverse)
+        (cnot, swap, reverse)
+    }
+
+    /// The fingerprint [`DeviceModel::uniform`] would carry, computed
+    /// without building the model's distance matrices — for callers (e.g.
+    /// cache lookups) that need the device's identity but not its
+    /// distances.
+    pub fn uniform_fingerprint(cm: &CouplingMap, cost_model: CostModel) -> u64 {
+        let (cnot, swap, reverse) = DeviceModel::uniform_tables(cm, cost_model);
+        fingerprint_of(cm, &cnot, &swap, &reverse)
     }
 
     /// The paper's uniform 7-and-4 model ([`CostModel::paper`]).
@@ -231,18 +267,38 @@ impl DeviceModel {
     /// execution overhead wherever a mapper places a logical CNOT on
     /// the edge ([`DeviceModel::execution_overhead`]), so dear edges
     /// repel placements in the exact objective and in heuristic
-    /// pricing alike.
+    /// pricing alike. See [`DeviceModel::with_cnot_costs`] for batch
+    /// application.
     ///
     /// # Panics
     ///
     /// Panics if `(c, t)` is not a coupling edge.
-    pub fn with_cnot_cost(mut self, c: usize, t: usize, cost: u32) -> DeviceModel {
-        assert!(
-            self.cm.has_edge(c, t),
-            "(p{c}, p{t}) is not a coupling edge"
-        );
-        self.cnot.insert((c, t), cost);
-        self.refresh()
+    pub fn with_cnot_cost(self, c: usize, t: usize, cost: u32) -> DeviceModel {
+        self.with_cnot_costs([(c, t, cost)])
+    }
+
+    /// Applies a batch of CNOT-cost overrides `(c, t, cost)` — a whole
+    /// backend calibration. CNOT costs feed only the statistics and the
+    /// fingerprint (routing is priced by the SWAP table), so unlike the
+    /// SWAP/reversal builders this recomputes no distance matrix at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `(c, t)` is not a coupling edge.
+    pub fn with_cnot_costs(
+        mut self,
+        costs: impl IntoIterator<Item = (usize, usize, u32)>,
+    ) -> DeviceModel {
+        for (c, t, cost) in costs {
+            assert!(
+                self.cm.has_edge(c, t),
+                "(p{c}, p{t}) is not a coupling edge"
+            );
+            self.cnot.insert((c, t), cost);
+        }
+        self.stats.max_cnot_cost = self.cnot.values().copied().max().unwrap_or(0);
+        self.fingerprint = self.compute_fingerprint();
+        self
     }
 
     fn assemble(
@@ -269,6 +325,7 @@ impl DeviceModel {
                 has_unidirectional: false,
                 min_swap_cost: 0,
                 max_swap_cost: 0,
+                max_cnot_cost: 0,
             },
             fingerprint: 0,
         }
@@ -333,6 +390,7 @@ impl DeviceModel {
             has_unidirectional: !self.reverse.is_empty(),
             min_swap_cost: self.swap.values().copied().min().unwrap_or(0),
             max_swap_cost: self.swap.values().copied().max().unwrap_or(0),
+            max_cnot_cost: self.cnot.values().copied().max().unwrap_or(0),
         };
         self.fingerprint = self.compute_fingerprint();
         self
@@ -343,34 +401,7 @@ impl DeviceModel {
     /// identically shaped, identically calibrated devices share cached
     /// results whatever they are called.
     fn compute_fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |v: u64| {
-            for byte in v.to_le_bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        eat(self.cm.num_qubits() as u64);
-        for (c, t) in self.cm.edges() {
-            eat(c as u64);
-            eat(t as u64);
-            eat(u64::from(self.cnot.get(&(c, t)).copied().unwrap_or(1)));
-        }
-        eat(0xffff_ffff); // section separator
-        for (&(a, b), &w) in &self.swap {
-            eat(a as u64);
-            eat(b as u64);
-            eat(u64::from(w));
-        }
-        eat(0xffff_fffe);
-        for (&(c, t), &w) in &self.reverse {
-            eat(c as u64);
-            eat(t as u64);
-            eat(u64::from(w));
-        }
-        h
+        fingerprint_of(&self.cm, &self.cnot, &self.swap, &self.reverse)
     }
 
     /// The underlying coupling map.
@@ -543,8 +574,13 @@ impl DeviceModel {
         // Build outside the lock, like `SwapTable::shared`.
         let built = Arc::new(CostedSwapTable::for_weighted_edges(subset.len(), &key.1));
         let mut cache = cache.lock().expect("cache lock");
+        cache.tick += 1;
         let tick = cache.tick;
-        let table = Arc::clone(&cache.map.entry(key).or_insert((built, tick)).0);
+        // A racing thread may have inserted meanwhile; either way this
+        // access is a use, so stamp the entry with the fresh tick.
+        let entry = cache.map.entry(key).or_insert((built, tick));
+        entry.1 = tick;
+        let table = Arc::clone(&entry.0);
         // Unlike the topology-only `SwapTable::shared` memo (whose key
         // universe is tiny), weighted keys are unbounded under drifting
         // calibrations: evict least-recently-used entries past the cap
@@ -560,6 +596,45 @@ impl DeviceModel {
         }
         table
     }
+}
+
+/// The shared FNV-1a content hash behind [`DeviceModel::fingerprint`]
+/// and [`DeviceModel::uniform_fingerprint`]: size, directed edge list,
+/// and all three cost tables, name excluded.
+fn fingerprint_of(
+    cm: &CouplingMap,
+    cnot: &BTreeMap<(usize, usize), u32>,
+    swap: &BTreeMap<(usize, usize), u32>,
+    reverse: &BTreeMap<(usize, usize), u32>,
+) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(cm.num_qubits() as u64);
+    for (c, t) in cm.edges() {
+        eat(c as u64);
+        eat(t as u64);
+        eat(u64::from(cnot.get(&(c, t)).copied().unwrap_or(1)));
+    }
+    eat(0xffff_ffff); // section separator
+    for (&(a, b), &w) in swap {
+        eat(a as u64);
+        eat(b as u64);
+        eat(u64::from(w));
+    }
+    eat(0xffff_fffe);
+    for (&(c, t), &w) in reverse {
+        eat(c as u64);
+        eat(t as u64);
+        eat(u64::from(w));
+    }
+    h
 }
 
 /// Key of the process-wide costed-table cache: subset size plus the
@@ -684,6 +759,22 @@ mod tests {
     }
 
     #[test]
+    fn uniform_fingerprint_matches_the_built_model() {
+        for cm in [
+            devices::ibm_qx4(),
+            devices::ibm_tokyo(),
+            devices::grid(3, 3),
+        ] {
+            for cost_model in [CostModel::paper(), CostModel::bidirectional()] {
+                assert_eq!(
+                    DeviceModel::uniform_fingerprint(&cm, cost_model),
+                    DeviceModel::uniform(cm.clone(), cost_model).fingerprint(),
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fingerprint_tracks_content_not_name() {
         let a = DeviceModel::new(devices::ibm_qx4());
         let renamed = DeviceModel::new(
@@ -704,6 +795,32 @@ mod tests {
             a.fingerprint(),
             a.clone().with_cnot_cost(1, 0, 2).fingerprint()
         );
+    }
+
+    #[test]
+    fn stats_flag_cnot_surcharge() {
+        let model = DeviceModel::new(devices::fully_connected(4));
+        assert_eq!(model.stats().max_cnot_cost, 1);
+        assert!(!model.stats().has_cnot_surcharge());
+        let calibrated = model.with_cnot_cost(0, 1, 5);
+        assert_eq!(calibrated.stats().max_cnot_cost, 5);
+        assert!(calibrated.stats().has_cnot_surcharge());
+    }
+
+    #[test]
+    fn cnot_cost_batches_skip_the_matrix_recompute() {
+        let base = DeviceModel::new(devices::ibm_qx4());
+        let batched = base.clone().with_cnot_costs([(1, 0, 3), (3, 4, 2)]);
+        let sequential = base.clone().with_cnot_cost(1, 0, 3).with_cnot_cost(3, 4, 2);
+        assert_eq!(batched, sequential);
+        // CNOT edits reprice nothing the matrices hold: distances stay
+        // exactly the base model's, only stats + fingerprint move.
+        assert_eq!(batched.hops(), base.hops());
+        assert_eq!(batched.swap_distances(), base.swap_distances());
+        assert_ne!(batched.fingerprint(), base.fingerprint());
+        assert_eq!(batched.stats().max_cnot_cost, 3);
+        assert_eq!(batched.cnot_cost(1, 0), Some(3));
+        assert_eq!(batched.cnot_cost(3, 4), Some(2));
     }
 
     #[test]

@@ -54,4 +54,4 @@ pub use astar::AStarMapper;
 pub use naive::NaiveMapper;
 pub use sabre::SabreMapper;
 pub use stochastic::StochasticSwapMapper;
-pub use traits::{HeuristicError, HeuristicResult, Mapper};
+pub use traits::{HeuristicError, HeuristicResult, Mapper, StopCheck};

@@ -17,14 +17,14 @@
 //! so costs are directly comparable.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qxmap_arch::{route, DeviceModel, Layout};
 use qxmap_circuit::{Circuit, Dag, Gate};
 
-use crate::traits::{HeuristicError, HeuristicResult, Mapper};
+use crate::traits::{HeuristicError, HeuristicResult, Mapper, StopCheck};
 
 /// The SABRE-style mapper.
 ///
@@ -88,16 +88,6 @@ impl SabreMapper {
         self.stop = Some(stop);
         self
     }
-
-    /// Whether the deadline or the external stop flag asks the search to
-    /// wind down.
-    fn stopped(&self, cutoff: Option<Instant>) -> bool {
-        cutoff.is_some_and(|c| Instant::now() >= c)
-            || self
-                .stop
-                .as_ref()
-                .is_some_and(|f| f.load(Ordering::Relaxed))
-    }
 }
 
 impl Default for SabreMapper {
@@ -130,13 +120,13 @@ impl Mapper for SabreMapper {
         if !cm.is_connected() && circuit.num_cnots() > 0 {
             return Err(HeuristicError::Unroutable);
         }
-        let cutoff = self.deadline.map(|d| start + d);
+        let check = StopCheck::arm(self.deadline, self.stop.clone());
 
         // Reverse pass seeds the forward pass's initial layout. Only the
         // CNOT structure matters for routing, so measurements/barriers are
         // dropped and gate kinds kept as-is. A budget that already fired
         // skips the seeding round trip entirely (wind-down path).
-        let initial = if self.stopped(cutoff) {
+        let initial = if check.stopped() {
             Layout::identity(n, m)
         } else {
             let mut reversed = Circuit::new(n);
@@ -147,12 +137,12 @@ impl Mapper for SabreMapper {
                 }
             }
             let seed = Layout::identity(n, m);
-            let (_, reverse_final, ..) = self.route(&reversed, model, cutoff, seed)?;
+            let (_, reverse_final, ..) = self.route(&reversed, model, &check, seed)?;
             reverse_final
         };
 
         let (out, final_layout, swaps, reversals, model_cost) =
-            self.route(&circuit, model, cutoff, initial.clone())?;
+            self.route(&circuit, model, &check, initial.clone())?;
         let added = (out.original_cost() - circuit.original_cost()) as u64;
         Ok(HeuristicResult {
             mapped: out,
@@ -174,7 +164,7 @@ impl SabreMapper {
         &self,
         circuit: &Circuit,
         model: &DeviceModel,
-        cutoff: Option<Instant>,
+        check: &StopCheck,
         mut layout: Layout,
     ) -> Result<(Circuit, Layout, u32, u32, u64), HeuristicError> {
         let cm = model.coupling_map();
@@ -277,7 +267,7 @@ impl SabreMapper {
             // to its target — the naive routing move, which strictly
             // decreases that pair's distance, so the pass provably
             // terminates while doing O(degree) work per step.
-            if self.stopped(cutoff) {
+            if check.stopped() {
                 let &(c, t) = front_pairs.first().expect("blocked front has a CNOT");
                 let pc = layout.phys_of(c).expect("complete");
                 let pt = layout.phys_of(t).expect("complete");

@@ -8,9 +8,9 @@
 //! the paper ran it 5 times per benchmark and reports the observed
 //! minimum, which the harness reproduces by varying [`StochasticSwapMapper::with_seed`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use qxmap_arch::{DeviceModel, Layout};
 use qxmap_circuit::Circuit;
@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::engine::{all_adjacent, run_engine, LayerPlanner};
-use crate::traits::{HeuristicError, HeuristicResult, Mapper};
+use crate::traits::{HeuristicError, HeuristicResult, Mapper, StopCheck};
 
 /// The stochastic swap mapper.
 ///
@@ -112,8 +112,7 @@ impl Mapper for StochasticSwapMapper {
         let mut planner = StochasticPlanner {
             rng: StdRng::seed_from_u64(self.seed),
             trials: self.trials,
-            cutoff: self.deadline.map(|d| Instant::now() + d),
-            stop: self.stop.clone(),
+            check: StopCheck::arm(self.deadline, self.stop.clone()),
         };
         run_engine(circuit, model, &mut planner)
     }
@@ -122,21 +121,13 @@ impl Mapper for StochasticSwapMapper {
 struct StochasticPlanner {
     rng: StdRng,
     trials: usize,
-    /// Wall-clock cutoff of the whole `map` call, if any.
-    cutoff: Option<Instant>,
-    /// External cooperative stop flag, if any.
-    stop: Option<Arc<AtomicBool>>,
+    /// The shared deadline/stop wind-down signal, armed at `map` entry.
+    check: StopCheck,
 }
 
 impl StochasticPlanner {
-    /// Whether the deadline or the external stop flag asks the remaining
-    /// trials to be skipped.
     fn stopped(&self) -> bool {
-        self.cutoff.is_some_and(|c| Instant::now() >= c)
-            || self
-                .stop
-                .as_ref()
-                .is_some_and(|f| f.load(Ordering::Relaxed))
+        self.check.stopped()
     }
 }
 
@@ -155,7 +146,16 @@ impl LayerPlanner for StochasticPlanner {
         let wdist = model.swap_distances();
         let edges = cm.undirected_edges();
         let m = cm.num_qubits();
-        let mut best: Option<Vec<(usize, usize)>> = None;
+        // Cross-trial winner by modeled SWAP cost (length as tie-break):
+        // under uniform costs this is the old fewest-swaps pick, while a
+        // calibrated model keeps a longer-but-cheaper plan — consistent
+        // with the weighted potential steering each trial.
+        let plan_cost = |seq: &[(usize, usize)]| -> u64 {
+            seq.iter()
+                .map(|&(a, b)| u64::from(model.swap_cost(a, b).expect("edge")))
+                .sum()
+        };
+        let mut best: Option<(u64, Vec<(usize, usize)>)> = None;
 
         for trial in 0..self.trials {
             // Deadline/stop observance between trials: the first trial of
@@ -227,9 +227,12 @@ impl LayerPlanner for StochasticPlanner {
                 }
             }
             if ok || all_adjacent(&trial_layout, pairs, cm) {
-                let better = best.as_ref().is_none_or(|b| seq.len() < b.len());
+                let cost = plan_cost(&seq);
+                let better = best
+                    .as_ref()
+                    .is_none_or(|(bc, b)| (cost, seq.len()) < (*bc, b.len()));
                 if better {
-                    best = Some(seq);
+                    best = Some((cost, seq));
                 }
             }
         }
@@ -238,7 +241,7 @@ impl LayerPlanner for StochasticPlanner {
         // failed (pathological graphs); mirrors the original's behaviour of
         // never giving up on connected devices.
         match best {
-            Some(seq) => Ok(seq),
+            Some((_, seq)) => Ok(seq),
             None => crate::naive::shortest_path_plan(layout, pairs, cm, dist),
         }
     }
@@ -336,7 +339,7 @@ mod tests {
             .unwrap();
         assert_eq!(stopped.mapped, single.mapped);
         // A lowered flag restores the full (deterministic) search.
-        flag.store(false, Ordering::Relaxed);
+        flag.store(false, std::sync::atomic::Ordering::Relaxed);
         let full = StochasticSwapMapper::with_seed(3)
             .with_trials(50)
             .with_stop(flag)

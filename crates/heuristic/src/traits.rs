@@ -2,7 +2,9 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use qxmap_arch::{CouplingMap, DeviceModel, Layout};
 use qxmap_circuit::Circuit;
@@ -65,6 +67,39 @@ impl HeuristicResult {
     /// Total operation count of the mapped circuit (Table 1's `c`).
     pub fn mapped_cost(&self) -> usize {
         self.mapped.original_cost()
+    }
+}
+
+/// The cooperative wind-down signal shared by the deadline-aware
+/// mappers: a wall-clock cutoff plus an optional external stop flag
+/// (e.g. a racing supervisor's cancel handle), polled together. One
+/// home for the predicate keeps every planner's wind-down behavior in
+/// step.
+#[derive(Debug, Clone, Default)]
+pub struct StopCheck {
+    cutoff: Option<Instant>,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl StopCheck {
+    /// Arms the check at a `map` call's entry: the deadline counts from
+    /// now, and either signal may be absent (an unarmed check never
+    /// stops).
+    pub fn arm(deadline: Option<Duration>, stop: Option<Arc<AtomicBool>>) -> StopCheck {
+        StopCheck {
+            cutoff: deadline.map(|d| Instant::now() + d),
+            stop,
+        }
+    }
+
+    /// Whether the deadline or the external stop flag asks the search to
+    /// wind down.
+    pub fn stopped(&self) -> bool {
+        self.cutoff.is_some_and(|c| Instant::now() >= c)
+            || self
+                .stop
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 }
 

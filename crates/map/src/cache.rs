@@ -169,7 +169,9 @@ impl CacheKey {
         CacheKey {
             engine: engine.to_string(),
             skeleton,
-            device: request.device_model().fingerprint(),
+            // The cheap fingerprint path: a cache hit must not pay for
+            // the model's all-pairs matrices it will never use.
+            device: request.device_fingerprint(),
             strategy,
             use_subsets: request.use_subsets(),
             optimal_demanded: request.guarantee() == Guarantee::Optimal,

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use qxmap_core::{EncodingStats, ExactMapper, MapperConfig, SolveControl, MAX_EXACT_QUBITS};
 use qxmap_heuristic::{
-    AStarMapper, HeuristicResult, Mapper, NaiveMapper, SabreMapper, StochasticSwapMapper,
+    AStarMapper, HeuristicResult, Mapper, NaiveMapper, SabreMapper, StochasticSwapMapper, StopCheck,
 };
 use qxmap_sat::MinimizeOptions;
 
@@ -189,8 +189,10 @@ pub enum Baseline {
 /// Any of the four heuristic baselines behind the unified surface.
 ///
 /// Heuristics carry no minimality proof: `proved_optimal` is only set
-/// when nothing had to be inserted at all. With [`Guarantee::Optimal`]
-/// requests, unproved runs fail.
+/// when the modelled objective is zero (costs are non-negative, so
+/// nothing beats 0 — merely inserting nothing proves nothing under a
+/// calibrated model). With [`Guarantee::Optimal`] requests, unproved
+/// runs fail.
 ///
 /// The stochastic baseline is deadline-aware: its seeded trials run on a
 /// scoped worker pool, the pool polls [`MapRequest::with_deadline`] (and,
@@ -326,10 +328,9 @@ fn run_stochastic_pool(
     let model = request.device_model();
     let cutoff = request.deadline().map(|d| Instant::now() + d);
     let cancel = control.map(SolveControl::cancel_handle);
-    let stopped = || {
-        cutoff.is_some_and(|c| Instant::now() >= c)
-            || cancel.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
-    };
+    // The planners' shared wind-down predicate, polled between trials.
+    let check = StopCheck::arm(request.deadline(), cancel.clone());
+    let stopped = || check.stopped();
 
     let trials_usize = usize::try_from(trials).unwrap_or(usize::MAX);
     let workers = std::thread::available_parallelism()

@@ -120,13 +120,15 @@ impl Portfolio {
     /// model and skips baselines the statistics prove dominated, instead
     /// of always racing the full pool.
     ///
-    /// * On an **all-to-all** device every pair is already adjacent, so
-    ///   no router ever inserts a SWAP: SABRE and the stochastic mapper
-    ///   reduce to exactly the naive floor's output and are skipped.
-    /// * On an all-to-all device with **no unidirectional edges** the
-    ///   naive floor provably inserts nothing at all (cost 0), so the
-    ///   exact engine cannot improve on it and is skipped too — the
-    ///   zero-cost result certifies itself.
+    /// The skips fire only on a **provably free** device — all-to-all,
+    /// bidirectional, and with no CNOT-cost calibration above the
+    /// baseline — where *every* layout executes every gate at cost 0:
+    /// SABRE and the stochastic mapper reduce to exactly the naive
+    /// floor's output, and the exact engine cannot improve on the
+    /// floor's self-certifying zero. On a merely all-to-all device the
+    /// full pool still races: unidirectional edges make reversals
+    /// layout-dependent, and calibrated CNOT costs make dear edges worth
+    /// steering around — both are exactly what the other engines find.
     ///
     /// The naive floor always races: the portfolio's "never worse than
     /// naive" contract is scheduler-independent.
@@ -134,16 +136,18 @@ impl Portfolio {
         let stats = request.device_model().stats();
         let mut pool = vec![HeuristicEngine::naive()];
         let mut skipped: Vec<(&'static str, &'static str)> = Vec::new();
-        if stats.all_to_all {
+        let provably_free =
+            stats.all_to_all && !stats.has_unidirectional && !stats.has_cnot_surcharge();
+        if provably_free {
             skipped.push((
                 "sabre",
-                "all-to-all device: every pair is adjacent, lookahead routing \
-                 cannot beat the shortest-path floor",
+                "free all-to-all device: every pair is adjacent in both directions \
+                 at baseline cost, so no layout beats the shortest-path floor",
             ));
             if self.stochastic_trials > 0 {
                 skipped.push((
                     "stochastic",
-                    "all-to-all device: randomized SWAP search has no SWAPs to choose",
+                    "free all-to-all device: randomized SWAP search has no SWAPs to choose",
                 ));
             }
         } else {
@@ -153,11 +157,11 @@ impl Portfolio {
             }
         }
         let mut run_exact = exact_in_regime(request);
-        if run_exact && stats.all_to_all && !stats.has_unidirectional {
+        if run_exact && provably_free {
             run_exact = false;
             skipped.push((
                 "exact",
-                "bidirectional all-to-all device: the naive floor achieves cost 0, \
+                "free all-to-all device: the naive floor achieves cost 0, \
                  which nothing improves on",
             ));
         }
@@ -190,6 +194,14 @@ impl Engine for Portfolio {
             control.bound().tighten(u);
         }
 
+        // The cost-model-aware scheduler prunes the pool before any
+        // thread spawns: dominated baselines (and a provably unhelpful
+        // exact run) never start. Planning first also forces the lazily
+        // built device model, so the clone below carries it instead of
+        // rebuilding the all-pairs matrices on the heuristic side.
+        let plan = self.plan_race(request);
+        let pool = plan.pool;
+
         // Heuristic side of the race. Guarantee and upper-bound demands
         // are settled at the portfolio level, not per baseline — an
         // over-bound heuristic winner is still useful for seeding the
@@ -201,22 +213,17 @@ impl Engine for Portfolio {
             .clone()
             .with_guarantee(Guarantee::BestEffort)
             .with_upper_bound(None);
-        // The cost-model-aware scheduler prunes the pool before any
-        // thread spawns: dominated baselines (and a provably unhelpful
-        // exact run) never start.
-        let plan = self.plan_race(request);
-        let pool = plan.pool;
 
         // Exact side, racing concurrently when the device is in regime
         // and the scheduler found it worth starting. It begins from the
         // caller's bound alone and picks up heuristic costs subinstance
         // by subinstance as they land in the shared bound; its deadline
         // comes straight from the request.
-        let in_regime = plan.run_exact;
+        let run_exact = plan.run_exact;
         let mut pool_results: Vec<Result<MapReport, MapperError>> = Vec::new();
         let mut exact_outcome: Option<Result<MapReport, MapperError>> = None;
         std::thread::scope(|scope| {
-            let exact_handle = in_regime.then(|| {
+            let exact_handle = run_exact.then(|| {
                 let control = control.clone();
                 scope.spawn(|| {
                     let exact_request = request
@@ -292,8 +299,9 @@ impl Engine for Portfolio {
             report
         };
 
-        // Nothing inserted: trivially minimal. (The winning heuristic
-        // already cancelled the exact run — nothing beats 0.)
+        // A zero objective is unbeatable under non-negative costs —
+        // trivially minimal, whatever was or wasn't inserted. (The
+        // winning heuristic already cancelled the exact run.)
         if best.as_ref().is_some_and(|b| b.cost.objective == 0) {
             let mut best = best.expect("checked above");
             best.proved_optimal = true;
@@ -311,7 +319,7 @@ impl Engine for Portfolio {
             }
         };
 
-        if !in_regime {
+        if !exact_in_regime(request) {
             return match (best, request.guarantee()) {
                 (Some(best), Guarantee::BestEffort) => Ok(finish(best)),
                 (None, Guarantee::BestEffort) => Err(no_candidate()),
@@ -325,13 +333,29 @@ impl Engine for Portfolio {
             };
         }
 
+        // In regime but scheduler-skipped: the skip fires only when the
+        // model proves nothing below the naive floor's zero exists — a
+        // model-level certificate independent of the SAT formulation. A
+        // zero-cost winner already returned above, so reaching here means
+        // the caller's bound pruned it (nothing strictly below it exists:
+        // Infeasible, whatever the strategy) or the whole pool failed.
+        let Some(outcome) = exact_outcome else {
+            return match best {
+                // Unreachable in practice — the naive floor achieves 0 on
+                // any provably-free device — but an honest fallback.
+                Some(best) => Ok(finish(best)),
+                None if user_bound.is_some() => Err(MapperError::Infeasible),
+                None => Err(no_candidate()),
+            };
+        };
+
         // An exhaustive Unsat run only certifies the heuristic winner when
         // the exact formulation is complete: a restricted Section 4.2
         // strategy searches a smaller space, so its Infeasible proves
         // nothing about mappings outside that space.
         let formulation_complete = *request.strategy() == qxmap_core::Strategy::BeforeEveryGate;
 
-        match exact_outcome.expect("in regime, so the exact racer ran") {
+        match outcome {
             Ok(mut report) => {
                 report.engine = format!("{}/{}", self.name(), report.winner);
                 // The exact racer can come back *worse* than the pool: a
@@ -558,6 +582,59 @@ mod tests {
     }
 
     #[test]
+    fn directed_or_calibrated_all_to_all_keeps_the_full_race() {
+        use qxmap_arch::{CouplingMap, DeviceModel};
+        // A *directed* all-to-all device: reversals depend on the layout,
+        // so neither SABRE nor the exact racer is dominated by the naive
+        // floor's identity layout.
+        let mut edges = Vec::new();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                edges.push((a, b));
+            }
+        }
+        let directed = CouplingMap::from_edges(4, edges).unwrap();
+        let request = MapRequest::new(Circuit::new(3), directed);
+        let plan = Portfolio::new().plan_race(&request);
+        assert_eq!(plan.pool.len(), 2, "sabre still races");
+        assert!(plan.run_exact);
+        assert!(plan.skipped.is_empty());
+
+        // A bidirectional all-to-all device with one dear calibrated CNOT
+        // edge: the identity layout is no longer free, so the exact racer
+        // must stay in (it can find a layout avoiding the dear edge).
+        let model = DeviceModel::new(devices::fully_connected(4)).with_cnot_cost(0, 1, 5);
+        let request = MapRequest::for_model(Circuit::new(3), model);
+        let plan = Portfolio::new().plan_race(&request);
+        assert!(plan.run_exact);
+        assert!(plan.skipped.is_empty());
+    }
+
+    #[test]
+    fn calibrated_overhead_is_no_certificate_and_exact_recovers_the_optimum() {
+        use qxmap_arch::DeviceModel;
+        // Zero insertions is not zero cost: on a CNOT-calibrated model the
+        // naive identity layout pays the dear edge's execution overhead,
+        // must not claim a minimality proof, and the exact racer finds the
+        // genuinely free placement one edge over.
+        let model = DeviceModel::new(devices::linear(3)).with_cnot_cost(0, 1, 5);
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let request = MapRequest::for_model(c.clone(), model);
+        let naive = HeuristicEngine::naive().run(&request).unwrap();
+        assert_eq!(naive.cost.added_gates, 0);
+        assert_eq!(naive.cost.objective, 4, "the dear edge's overhead");
+        assert!(!naive.proved_optimal, "a costly run certified itself");
+        let report = Portfolio::new().run(&request).unwrap();
+        assert_eq!(
+            report.cost.objective, 0,
+            "logical pair placed on the free edge"
+        );
+        assert!(report.proved_optimal);
+        report.verify(&c, request.device()).unwrap();
+    }
+
+    #[test]
     fn all_to_all_run_still_returns_a_verified_proved_result() {
         // The acceptance scenario: dominated baselines are skipped, yet
         // the race still answers — verified and proved optimal.
@@ -572,6 +649,38 @@ mod tests {
         assert!(report.proved_optimal);
         report.verify(&c, &cm).unwrap();
         assert!(report.engine.starts_with("portfolio/"));
+    }
+
+    #[test]
+    fn scheduler_skip_keeps_the_infeasibility_certificate() {
+        // The optimum on a free all-to-all device is 0; a bound of 0
+        // demands strictly better, which is Infeasible — certified by
+        // the scheduler's skip itself, not mislabeled as an
+        // out-of-regime error (K6 is well inside the exact regime).
+        let request =
+            MapRequest::new(Circuit::new(3), devices::fully_connected(6)).with_upper_bound(Some(0));
+        assert_eq!(
+            Portfolio::new().run(&request).unwrap_err(),
+            MapperError::Infeasible
+        );
+        let request = MapRequest::new(Circuit::new(3), devices::fully_connected(6))
+            .with_upper_bound(Some(0))
+            .with_guarantee(Guarantee::Optimal);
+        assert_eq!(
+            Portfolio::new().run(&request).unwrap_err(),
+            MapperError::Infeasible
+        );
+        // The certificate is model-level, independent of the SAT
+        // formulation: restricted strategies get it too (no exact search
+        // ran to be "restricted").
+        let request = MapRequest::new(Circuit::new(3), devices::fully_connected(6))
+            .with_upper_bound(Some(0))
+            .with_strategy(qxmap_core::Strategy::Custom(vec![]))
+            .with_guarantee(Guarantee::Optimal);
+        assert_eq!(
+            Portfolio::new().run(&request).unwrap_err(),
+            MapperError::Infeasible
+        );
     }
 
     #[test]

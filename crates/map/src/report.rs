@@ -134,8 +134,12 @@ impl MapReport {
     }
 
     /// Builds a report from a heuristic result; the objective is the
-    /// result's per-edge price under the run's device model. A heuristic
-    /// that inserted nothing is trivially optimal.
+    /// result's per-edge price under the run's device model. Only a
+    /// zero-objective result is claimed optimal: costs are non-negative,
+    /// so nothing beats 0 — whereas a zero-*insertion* run can still pay
+    /// calibration overheads (dear CNOT edges, reversal surcharges) that
+    /// a better layout avoids, so `added_gates == 0` alone certifies
+    /// nothing.
     pub(crate) fn from_heuristic(result: HeuristicResult, engine: &str) -> MapReport {
         let objective = result.model_cost;
         MapReport {
@@ -147,7 +151,7 @@ impl MapReport {
                 reversals: result.reversals,
                 added_gates: result.added_gates,
             },
-            proved_optimal: result.added_gates == 0,
+            proved_optimal: objective == 0,
             runtime: result.runtime,
             elapsed: result.runtime,
             served_from_cache: false,

@@ -1,5 +1,6 @@
 //! The unified mapping request.
 
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use qxmap_arch::{CostModel, CouplingMap, DeviceModel};
@@ -43,12 +44,20 @@ pub enum Guarantee {
 #[derive(Debug, Clone)]
 pub struct MapRequest {
     circuit: Circuit,
+    /// The device of a uniform-model request (always `Some` while
+    /// `model` is unbuilt). Explicit-model requests store `None` and
+    /// read the map off the model instead of keeping a second copy.
+    device: Option<CouplingMap>,
     /// The device/cost model every engine answers under. For requests
     /// built with [`MapRequest::new`] this is the uniform model derived
-    /// from the device and [`MapRequest::cost_model`]; explicit models
-    /// ([`MapRequest::for_model`] / [`MapRequest::with_device_model`])
-    /// carry per-edge calibration and win over the uniform derivation.
-    model: DeviceModel,
+    /// from the device and [`MapRequest::cost_model`] — built lazily on
+    /// first [`MapRequest::device_model`] access, so builder chains that
+    /// end in an explicit model never pay for the discarded derivation
+    /// (the model's all-pairs matrices are real work on large devices).
+    /// Explicit models ([`MapRequest::for_model`] /
+    /// [`MapRequest::with_device_model`]) carry per-edge calibration,
+    /// win over the uniform derivation, and are stored here eagerly.
+    model: OnceLock<DeviceModel>,
     explicit_model: bool,
     cost_model: CostModel,
     guarantee: Guarantee,
@@ -65,12 +74,12 @@ impl MapRequest {
     /// [`Guarantee::BestEffort`], permutations before every gate, the
     /// Section 4.1 subset optimization enabled, no budgets, seed 0.
     pub fn new(circuit: Circuit, device: CouplingMap) -> MapRequest {
-        let cost_model = CostModel::default();
         MapRequest {
             circuit,
-            model: DeviceModel::uniform(device, cost_model),
+            device: Some(device),
+            model: OnceLock::new(),
             explicit_model: false,
-            cost_model,
+            cost_model: CostModel::default(),
             guarantee: Guarantee::default(),
             strategy: Strategy::default(),
             use_subsets: true,
@@ -96,11 +105,10 @@ impl MapRequest {
     /// assert_eq!(request.device_model().swap_cost(3, 4), Some(21));
     /// ```
     pub fn for_model(circuit: Circuit, model: DeviceModel) -> MapRequest {
-        // Built directly — going through `MapRequest::new` would compute
-        // a uniform model (BFS + Dijkstra sweeps) only to discard it.
         MapRequest {
             circuit,
-            model,
+            device: None,
+            model: OnceLock::from(model),
             explicit_model: true,
             cost_model: CostModel::default(),
             guarantee: Guarantee::default(),
@@ -117,20 +125,21 @@ impl MapRequest {
     /// model's coupling map becomes the request's device and its per-edge
     /// costs price every engine's answer from here on.
     pub fn with_device_model(mut self, model: DeviceModel) -> MapRequest {
-        self.model = model;
+        self.device = None;
+        self.model = OnceLock::from(model);
         self.explicit_model = true;
         self
     }
 
     /// Sets the cost accounting for inserted operations. On requests
-    /// without an explicit device model this re-derives the uniform model
-    /// from the new weights; an explicit model keeps pricing the run (the
-    /// model *is* the cost model), and this only records the headline
-    /// weights.
+    /// without an explicit device model the uniform model is re-derived
+    /// from the new weights (lazily, on next [`MapRequest::device_model`]
+    /// access); an explicit model keeps pricing the run (the model *is*
+    /// the cost model), and this only records the headline weights.
     pub fn with_cost_model(mut self, cost_model: CostModel) -> MapRequest {
         self.cost_model = cost_model;
         if !self.explicit_model {
-            self.model = DeviceModel::uniform(self.model.coupling_map().clone(), cost_model);
+            self.model = OnceLock::new();
         }
         self
     }
@@ -193,14 +202,41 @@ impl MapRequest {
 
     /// The target device.
     pub fn device(&self) -> &CouplingMap {
-        self.model.coupling_map()
+        match &self.device {
+            Some(device) => device,
+            None => self
+                .model
+                .get()
+                .expect("explicit-model requests always hold their model")
+                .coupling_map(),
+        }
     }
 
     /// The device/cost model every engine answers under — the single
     /// authority on per-edge costs, precomputed distances and the
-    /// fingerprint that identifies the device in cache keys.
+    /// fingerprint that identifies the device in cache keys. Built on
+    /// first access for uniform-model requests (then reused; cloning a
+    /// request carries the built model along), already present for
+    /// explicit-model ones.
     pub fn device_model(&self) -> &DeviceModel {
-        &self.model
+        self.model.get_or_init(|| {
+            let device = self
+                .device
+                .clone()
+                .expect("uniform-model requests always hold their device");
+            DeviceModel::uniform(device, self.cost_model)
+        })
+    }
+
+    /// The device model's content fingerprint — the device's identity in
+    /// cache keys. Answered without building the distance matrices when
+    /// the uniform model has not been needed yet, so a cache *hit* on a
+    /// large device stays a sub-millisecond lookup.
+    pub fn device_fingerprint(&self) -> u64 {
+        match self.model.get() {
+            Some(model) => model.fingerprint(),
+            None => DeviceModel::uniform_fingerprint(self.device(), self.cost_model),
+        }
     }
 
     /// The cost model.
