@@ -1,0 +1,288 @@
+//! Calibration ingestion: measured per-edge error rates → integer cost
+//! overrides for a [`DeviceModel`].
+//!
+//! Real backends publish *error rates* per two-qubit gate, not gate
+//! counts. The exact objective and the heuristics, however, price
+//! insertions in integer per-edge costs. The bridge is negative-log-
+//! fidelity scaling: the probability that a routing sequence succeeds is
+//! the product of its gates' fidelities, so maximizing success
+//! probability is minimizing `Σ -ln(1 - e)` — an additive, non-negative
+//! weight per edge, exactly what the cost tables hold.
+//!
+//! [`swap_costs_from_error_rates`] turns a calibration table into SWAP
+//! cost overrides by scaling each pair's *default* cost with the ratio of
+//! its negative-log-fidelity to the best (lowest-error) pair's: the most
+//! reliable pair keeps the model's structural cost (7 on unidirectional
+//! pairs, 3 on bidirectional ones — gate counts still matter), and every
+//! other pair is priced proportionally dearer. Costs round to the
+//! nearest integer and never drop below the structural cost, so a
+//! calibrated model is always at least as expensive as the uncalibrated
+//! one — calibration adds penalties, it never manufactures discounts.
+
+use std::fmt;
+
+use crate::model::DeviceModel;
+
+/// Why a calibration table was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrationError {
+    /// An error rate referenced a pair of qubits that shares no coupling
+    /// edge on the device.
+    UnknownPair {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// An error rate was not a probability in `[0, 1)` (a rate of 1
+    /// means the edge never succeeds — delete the edge instead of
+    /// pricing it).
+    BadRate {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// The table listed the same coupled pair more than once (backend
+    /// dumps often report per-direction rates; SWAP costs are
+    /// undirected, and silently letting the last entry win would make
+    /// the result depend on table order). Aggregate per-direction rates
+    /// before ingestion.
+    DuplicatePair {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::UnknownPair { a, b } => {
+                write!(f, "no coupling edge between p{a} and p{b}")
+            }
+            CalibrationError::BadRate { a, b, rate } => write!(
+                f,
+                "error rate {rate} for pair (p{a}, p{b}) is not a probability in [0, 1)"
+            ),
+            CalibrationError::DuplicatePair { a, b } => write!(
+                f,
+                "the pair {{p{a}, p{b}}} appears more than once in the calibration table \
+                 (SWAP costs are undirected; aggregate per-direction rates first)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Error rates below this floor are clamped up to it before taking the
+/// negative log: a reported rate of exactly 0 (common in stale
+/// calibration dumps) would otherwise make every other edge infinitely
+/// dear relative to it.
+const MIN_RATE: f64 = 1e-6;
+
+/// Derives integer SWAP-cost overrides from per-pair two-qubit error
+/// rates by negative-log-fidelity scaling (see the module docs for the
+/// derivation). The result feeds [`DeviceModel::with_swap_costs`] — or
+/// use the one-step [`with_swap_error_rates`].
+///
+/// Each pair's override is
+/// `max(base, round(base · w / w_best))` where `base` is the model's
+/// current SWAP cost for the pair, `w = -ln(1 - e)` its negative log
+/// fidelity, and `w_best` the lowest `w` in the table. Pairs absent from
+/// the table keep their current cost.
+///
+/// ```
+/// use qxmap_arch::{calibration, devices, DeviceModel};
+///
+/// let model = DeviceModel::new(devices::ibm_qx4());
+/// let overrides = calibration::swap_costs_from_error_rates(
+///     &model,
+///     [(0, 1, 0.01), (1, 2, 0.05)],
+/// )
+/// .unwrap();
+/// // The most reliable pair keeps its structural cost of 7; the five
+/// // times noisier pair is priced about five times dearer.
+/// assert!(overrides.contains(&(0, 1, 7)));
+/// assert!(overrides.iter().any(|&(a, b, c)| (a, b) == (1, 2) && c > 30));
+/// ```
+///
+/// # Errors
+///
+/// Rejects rates outside `[0, 1)` and pairs without a coupling edge.
+pub fn swap_costs_from_error_rates(
+    model: &DeviceModel,
+    rates: impl IntoIterator<Item = (usize, usize, f64)>,
+) -> Result<Vec<(usize, usize, u32)>, CalibrationError> {
+    let mut weighted: Vec<(usize, usize, u32, f64)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (a, b, rate) in rates {
+        let base = model
+            .swap_cost(a, b)
+            .ok_or(CalibrationError::UnknownPair { a, b })?;
+        if !(0.0..1.0).contains(&rate) || rate.is_nan() {
+            return Err(CalibrationError::BadRate { a, b, rate });
+        }
+        if !seen.insert((a.min(b), a.max(b))) {
+            return Err(CalibrationError::DuplicatePair { a, b });
+        }
+        let weight = -(1.0 - rate.max(MIN_RATE)).ln();
+        weighted.push((a, b, base, weight));
+    }
+    let best = weighted
+        .iter()
+        .map(|&(_, _, _, w)| w)
+        .fold(f64::INFINITY, f64::min);
+    Ok(weighted
+        .into_iter()
+        .map(|(a, b, base, weight)| {
+            let scaled = (f64::from(base) * weight / best).round();
+            // Never cheaper than the structural cost, never overflowing.
+            let cost = scaled.clamp(f64::from(base), f64::from(u32::MAX)) as u32;
+            (a, b, cost)
+        })
+        .collect())
+}
+
+/// [`swap_costs_from_error_rates`] applied in one step: the calibrated
+/// model, with the derived matrices refreshed once.
+///
+/// # Errors
+///
+/// Same conditions as [`swap_costs_from_error_rates`]; the model is
+/// returned unchanged alongside no error only on success.
+pub fn with_swap_error_rates(
+    model: DeviceModel,
+    rates: impl IntoIterator<Item = (usize, usize, f64)>,
+) -> Result<DeviceModel, CalibrationError> {
+    let overrides = swap_costs_from_error_rates(&model, rates)?;
+    Ok(model.with_swap_costs(overrides))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupling::CouplingMap;
+    use crate::devices;
+
+    /// The skewed two-path device: a diamond 0—1—3 / 0—2—3 where the
+    /// upper path is measurably noisier than the lower one.
+    fn diamond() -> DeviceModel {
+        let cm = CouplingMap::from_edges(
+            4,
+            [
+                (0, 1),
+                (1, 0),
+                (1, 3),
+                (3, 1),
+                (0, 2),
+                (2, 0),
+                (2, 3),
+                (3, 2),
+            ],
+        )
+        .unwrap();
+        DeviceModel::new(cm)
+    }
+
+    #[test]
+    fn skewed_two_path_device_prices_the_noisy_path_dearer() {
+        let model = diamond();
+        // Upper path (via p1): 5% error per pair; lower (via p2): 0.5%.
+        let calibrated = with_swap_error_rates(
+            model,
+            [(0, 1, 0.05), (1, 3, 0.05), (0, 2, 0.005), (2, 3, 0.005)],
+        )
+        .unwrap();
+        // The reliable path keeps the structural cost (bidirectional: 3);
+        // the ~10x noisier path is ~10x dearer.
+        assert_eq!(calibrated.swap_cost(0, 2), Some(3));
+        assert_eq!(calibrated.swap_cost(2, 3), Some(3));
+        let dear = calibrated.swap_cost(0, 1).unwrap();
+        assert!((28..=34).contains(&dear), "{dear}");
+        // Routing p0 → p3 takes the reliable path: cost 6, not 2·dear.
+        assert_eq!(calibrated.swap_distance(0, 3), Some(6));
+        // The skew is visible to the scheduler's statistics.
+        assert!(calibrated.stats().cost_skew() > 5.0);
+    }
+
+    #[test]
+    fn uniform_rates_keep_structural_costs() {
+        let model = DeviceModel::new(devices::ibm_qx4());
+        let rates: Vec<(usize, usize, f64)> = model
+            .coupling_map()
+            .undirected_edges()
+            .into_iter()
+            .map(|(a, b)| (a, b, 0.02))
+            .collect();
+        let calibrated = with_swap_error_rates(model.clone(), rates).unwrap();
+        // Equal noise everywhere scales nothing: gate counts still rule.
+        assert_eq!(calibrated.fingerprint(), model.fingerprint());
+    }
+
+    #[test]
+    fn zero_rates_are_floored_not_infinite() {
+        let model = diamond();
+        let calibrated = with_swap_error_rates(
+            model,
+            [(0, 1, 0.0), (1, 3, 0.01), (0, 2, 0.01), (2, 3, 0.01)],
+        )
+        .unwrap();
+        // The zero-rate pair is the best; the others are finite (≈ 4
+        // orders of magnitude above the floor) rather than infinite.
+        assert_eq!(calibrated.swap_cost(0, 1), Some(3));
+        let other = calibrated.swap_cost(1, 3).unwrap();
+        assert!(other < u32::MAX, "{other}");
+        assert!(other > 3, "{other}");
+    }
+
+    #[test]
+    fn bad_tables_are_rejected() {
+        let model = diamond();
+        assert_eq!(
+            swap_costs_from_error_rates(&model, [(0, 3, 0.01)]),
+            Err(CalibrationError::UnknownPair { a: 0, b: 3 })
+        );
+        assert_eq!(
+            swap_costs_from_error_rates(&model, [(0, 1, 1.0)]),
+            Err(CalibrationError::BadRate {
+                a: 0,
+                b: 1,
+                rate: 1.0
+            })
+        );
+        assert!(swap_costs_from_error_rates(&model, [(0, 1, -0.5)]).is_err());
+        assert!(swap_costs_from_error_rates(&model, [(0, 1, f64::NAN)]).is_err());
+        // Per-direction duplicates of one undirected pair are rejected
+        // instead of silently letting the later rate win.
+        assert_eq!(
+            swap_costs_from_error_rates(&model, [(0, 1, 0.05), (1, 0, 0.005)]),
+            Err(CalibrationError::DuplicatePair { a: 1, b: 0 })
+        );
+        // Errors surface before any model mutation: display is stable.
+        let e = CalibrationError::UnknownPair { a: 0, b: 3 };
+        assert!(e.to_string().contains("p0"));
+    }
+
+    #[test]
+    fn calibration_steers_the_exact_objective() {
+        // End-to-end sanity at the arch layer: the weighted distance
+        // matrix (which the mappers read) reflects the ingestion.
+        let model = diamond();
+        let uncalibrated_dist = model.swap_distance(0, 3);
+        let calibrated = with_swap_error_rates(
+            model,
+            [(0, 1, 0.2), (1, 3, 0.2), (0, 2, 0.001), (2, 3, 0.001)],
+        )
+        .unwrap();
+        assert_eq!(uncalibrated_dist, calibrated.swap_distance(0, 3));
+        assert!(
+            calibrated.swap_distance(0, 1).unwrap() > calibrated.swap_distance(0, 2).unwrap(),
+            "the noisy hop must be dearer than the quiet one"
+        );
+    }
+}

@@ -168,6 +168,52 @@ impl CircuitSkeleton {
         &self.canon
     }
 
+    /// The canonical token stream — the raw form behind equality,
+    /// hashing and [`CircuitSkeleton::fingerprint`]. Exposed (together
+    /// with [`CircuitSkeleton::from_parts`]) so external stores can
+    /// persist skeletons byte-for-byte and reconstruct them in another
+    /// process; the encoding is stable for a given snapshot version.
+    pub fn tokens(&self) -> &[u64] {
+        &self.tokens
+    }
+
+    /// Rebuilds a skeleton from persisted raw parts: the register sizes,
+    /// the canonical token stream, and the canonicalization's label
+    /// permutation (`canonical_labels[q]` = canonical label of original
+    /// qubit `q`).
+    ///
+    /// Returns `None` unless `canonical_labels` is a permutation of
+    /// `0..num_qubits` — the structural invariant every consumer
+    /// (correspondence translation, layout remapping) relies on. The
+    /// token stream itself is taken as-is: it only ever participates in
+    /// equality and hashing, so a corrupted stream yields a key that
+    /// matches nothing, never an out-of-bounds access. Callers keep an
+    /// end-to-end checksum over persisted skeletons (as the solve-cache
+    /// snapshot format does) to reject accidental corruption outright.
+    pub fn from_parts(
+        num_qubits: usize,
+        num_clbits: usize,
+        tokens: Vec<u64>,
+        canonical_labels: Vec<usize>,
+    ) -> Option<CircuitSkeleton> {
+        if canonical_labels.len() != num_qubits {
+            return None;
+        }
+        let mut seen = vec![false; num_qubits];
+        for &l in &canonical_labels {
+            if l >= num_qubits || seen[l] {
+                return None;
+            }
+            seen[l] = true;
+        }
+        Some(CircuitSkeleton {
+            num_qubits,
+            num_clbits,
+            tokens,
+            canon: canonical_labels,
+        })
+    }
+
     /// A stable 64-bit digest of the canonical form (FNV-1a over the
     /// register sizes and the token stream). Equal skeletons have equal
     /// fingerprints; the fingerprint does not depend on process, platform
@@ -390,6 +436,26 @@ mod tests {
         let skel = CircuitSkeleton::of(&a);
         assert_eq!(skel.num_qubits(), 3);
         assert_eq!(skel.canonical_labels().len(), 3);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_and_validate() {
+        let c = paper_example();
+        let skel = CircuitSkeleton::of(&c);
+        let rebuilt = CircuitSkeleton::from_parts(
+            skel.num_qubits(),
+            skel.num_clbits(),
+            skel.tokens().to_vec(),
+            skel.canonical_labels().to_vec(),
+        )
+        .expect("round trip");
+        assert_eq!(skel, rebuilt);
+        assert_eq!(skel.fingerprint(), rebuilt.fingerprint());
+        assert_eq!(skel.canonical_labels(), rebuilt.canonical_labels());
+        // Non-permutation label vectors are rejected.
+        assert!(CircuitSkeleton::from_parts(2, 0, vec![], vec![0, 0]).is_none());
+        assert!(CircuitSkeleton::from_parts(2, 0, vec![], vec![0, 2]).is_none());
+        assert!(CircuitSkeleton::from_parts(2, 0, vec![], vec![0]).is_none());
     }
 
     #[test]

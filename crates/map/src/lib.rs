@@ -68,6 +68,7 @@ mod error;
 mod portfolio;
 mod report;
 mod request;
+mod snapshot;
 
 pub use batch::{map_many, map_many_with};
 pub use cache::{
@@ -78,6 +79,7 @@ pub use error::MapperError;
 pub use portfolio::Portfolio;
 pub use report::{CostBreakdown, MapReport};
 pub use request::{Guarantee, MapRequest};
+pub use snapshot::{snapshot_entry_count, SnapshotError, SNAPSHOT_VERSION};
 
 /// Maps one request with the default [`Portfolio`] engine, answered from
 /// the process-wide [`SolveCache`] when the same request (or a

@@ -115,10 +115,45 @@ impl Portfolio {
 }
 
 impl Portfolio {
+    /// How many stochastic trials the scheduler actually races on a
+    /// device with these statistics, given the configured baseline of
+    /// [`Portfolio::with_stochastic_trials`]. Randomized search earns
+    /// its keep exactly where the choice *between* SWAPs matters:
+    ///
+    /// * tiny, uniform devices (diameter ≤ 2, no cost skew) leave the
+    ///   sampler almost nothing to discover beyond what one trial finds
+    ///   — the configured count is halved (never below one trial);
+    /// * calibrated skew ([`DeviceStats::cost_skew`] ≥ 2) makes SWAP
+    ///   choices price-sensitive, and a wide device (diameter ≥ 6)
+    ///   multiplies the routes per interaction — each doubles the
+    ///   count, capped at 4× the configured baseline.
+    ///
+    /// The scaling only redistributes the caller's budget; a configured
+    /// count of 0 still means no stochastic racer at all.
+    fn scaled_stochastic_trials(&self, stats: &qxmap_arch::DeviceStats) -> u64 {
+        let base = self.stochastic_trials;
+        if base == 0 {
+            return 0;
+        }
+        let skewed = stats.cost_skew() >= 2.0;
+        let wide = stats.diameter >= 6;
+        if stats.diameter <= 2 && !skewed {
+            return (base / 2).max(1);
+        }
+        let factor = match (skewed, wide) {
+            (true, true) => 4,
+            (true, false) | (false, true) => 2,
+            (false, false) => 1,
+        };
+        base.saturating_mul(factor)
+    }
+
     /// The cost-model-aware scheduler: reads the cheap
     /// [`DeviceStats`](qxmap_arch::DeviceStats) off the request's device
     /// model and skips baselines the statistics prove dominated, instead
-    /// of always racing the full pool.
+    /// of always racing the full pool — and scales the stochastic
+    /// racer's trial count to the device (see
+    /// [`Portfolio::scaled_stochastic_trials`]).
     ///
     /// The skips fire only on a **provably free** device — all-to-all,
     /// bidirectional, and with no CNOT-cost calibration above the
@@ -153,7 +188,9 @@ impl Portfolio {
         } else {
             pool.push(HeuristicEngine::sabre());
             if self.stochastic_trials > 0 {
-                pool.push(HeuristicEngine::stochastic(self.stochastic_trials));
+                pool.push(HeuristicEngine::stochastic(
+                    self.scaled_stochastic_trials(stats),
+                ));
             }
         }
         let mut run_exact = exact_in_regime(request);
@@ -579,6 +616,54 @@ mod tests {
         assert_eq!(plan.pool.len(), 3);
         assert!(plan.run_exact);
         assert!(plan.skipped.is_empty());
+    }
+
+    #[test]
+    fn stochastic_trials_scale_with_device_statistics() {
+        use crate::engine::Baseline;
+        use qxmap_arch::DeviceModel;
+        let planned_trials = |request: &MapRequest| -> Option<u64> {
+            let plan = Portfolio::new()
+                .with_stochastic_trials(8)
+                .plan_race(request);
+            plan.pool.iter().find_map(|e| match e.baseline() {
+                Baseline::Stochastic { trials } => Some(trials),
+                _ => None,
+            })
+        };
+
+        // Tiny uniform device (QX4: diameter 2, no skew): half the budget.
+        let tiny = MapRequest::new(Circuit::new(3), devices::ibm_qx4());
+        assert_eq!(planned_trials(&tiny), Some(4));
+
+        // Wide device (linear-8: diameter 7): doubled.
+        let wide = MapRequest::new(Circuit::new(3), devices::linear(8));
+        assert_eq!(planned_trials(&wide), Some(16));
+
+        // Skewed calibration on the same tiny device: doubled, not halved
+        // — price-sensitive SWAP choices are what sampling explores.
+        let skewed_model = DeviceModel::new(devices::ibm_qx4()).with_swap_cost(3, 4, 70);
+        assert!(skewed_model.stats().cost_skew() >= 2.0);
+        let skewed = MapRequest::for_model(Circuit::new(3), skewed_model);
+        assert_eq!(planned_trials(&skewed), Some(16));
+
+        // Skewed *and* wide: the full 4x, capped there.
+        let both_model = DeviceModel::new(devices::linear(8)).with_swap_cost(0, 1, 70);
+        let both = MapRequest::for_model(Circuit::new(3), both_model);
+        assert_eq!(planned_trials(&both), Some(32));
+
+        // A provably free device still races no stochastic trials at all.
+        let free = MapRequest::new(Circuit::new(3), devices::fully_connected(6));
+        assert_eq!(planned_trials(&free), None);
+
+        // And a configured count of one never collapses to zero.
+        let one = Portfolio::new()
+            .with_stochastic_trials(1)
+            .plan_race(&MapRequest::new(Circuit::new(3), devices::ibm_qx4()));
+        assert!(one
+            .pool
+            .iter()
+            .any(|e| matches!(e.baseline(), Baseline::Stochastic { trials: 1 })));
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! # qxmap-serve — the production serving tier
+//!
+//! Everything before this crate is a library: [`qxmap_map::map_one`]
+//! answers one request in one process. This crate is the subsystem that
+//! turns it into a service — a long-running mapping daemon speaking
+//! line-delimited JSON over stdin/stdout or TCP, with:
+//!
+//! * a **wire protocol** ([`proto`]): `map` requests carrying OpenQASM
+//!   source, a device (library name or explicit edge list, either with
+//!   optional per-edge calibration including measured error rates),
+//!   strategy/guarantee options and a per-request deadline; `metrics`
+//!   and `shutdown` requests; structured error responses with stable
+//!   codes (no serde is vendored, so [`json`] ships a small
+//!   self-contained JSON encode/decode module);
+//! * a **server core** ([`server`]): a bounded admission queue feeding a
+//!   fixed worker pool over [`qxmap_map::map_many`]-style batching, with
+//!   explicit `overloaded` rejection instead of unbounded queueing,
+//!   graceful shutdown that drains admitted work, and a `metrics`
+//!   surface exposing [`qxmap_map::SolveCacheStats`], queue depth and
+//!   request latency counters;
+//! * **cache persistence**: the daemon snapshots the process-wide
+//!   [`qxmap_map::SolveCache`] on shutdown and warm-starts from the
+//!   snapshot on boot (the entry keys are stable across processes —
+//!   canonical circuit skeletons × device-model fingerprints), so
+//!   restarts and replicas answer repeated requests in microseconds.
+//!
+//! The `qxmap-serve` binary wires these together; see the repository
+//! `GUIDE.md` ("Running the server") for protocol examples.
+//!
+//! ```
+//! use qxmap_serve::{Handled, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default());
+//! let response = server.handle_line(
+//!     r#"{"type":"map","id":1,
+//!         "qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0], q[1];\n",
+//!         "device":"qx4"}"#,
+//! );
+//! let text = response.response().to_string();
+//! assert!(text.contains("\"type\":\"result\""));
+//! assert!(text.contains("\"id\":1"));
+//! server.finish().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use json::{Json, JsonError};
+pub use proto::{MapJob, Rejection, Request};
+pub use server::{load_snapshot, save_snapshot, Handled, Server, ServerConfig};

@@ -1,0 +1,117 @@
+//! The `qxmap-serve` daemon: a long-running mapping service over the
+//! line-delimited JSON protocol (see `qxmap_serve::proto`).
+//!
+//! ```text
+//! qxmap-serve [--listen ADDR] [--snapshot PATH]
+//!             [--workers N] [--queue-depth N] [--batch N]
+//! ```
+//!
+//! With `--listen` the daemon binds a TCP listener (use port 0 for an
+//! ephemeral port) and announces the bound address on stdout as
+//! `{"type":"listening","addr":"..."}` — machine-readable, so harnesses
+//! can connect without racing the bind. Without `--listen` it serves
+//! stdin/stdout. With `--snapshot` it warm-starts the solve cache from
+//! the file on boot (a missing file is a cold start; a corrupted or
+//! version-mismatched one is reported and skipped) and persists the
+//! cache back on graceful shutdown (a `shutdown` request, or stdin EOF
+//! in stdio mode).
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qxmap_serve::{Server, ServerConfig};
+
+struct Args {
+    listen: Option<String>,
+    config: ServerConfig,
+}
+
+const USAGE: &str = "usage: qxmap-serve [--listen ADDR] [--snapshot PATH] \
+                     [--workers N] [--queue-depth N] [--batch N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: None,
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--snapshot" => args.config.snapshot = Some(PathBuf::from(value("--snapshot")?)),
+            "--workers" => {
+                args.config.workers = parse_positive("--workers", &value("--workers")?)?;
+            }
+            "--queue-depth" => {
+                args.config.queue_depth =
+                    parse_positive("--queue-depth", &value("--queue-depth")?)?;
+            }
+            "--batch" => {
+                args.config.batch_max = parse_positive("--batch", &value("--batch")?)?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_positive(flag: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer, got {value:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let server = Server::start(args.config);
+    match server.warm_start() {
+        Ok(0) => {}
+        Ok(entries) => eprintln!("qxmap-serve: warm start with {entries} cached solves"),
+        Err(message) => eprintln!("qxmap-serve: starting cold: {message}"),
+    }
+
+    let served = match &args.listen {
+        Some(addr) => match TcpListener::bind(addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(addr) => println!("{{\"type\":\"listening\",\"addr\":\"{addr}\"}}"),
+                    Err(e) => eprintln!("qxmap-serve: local_addr: {e}"),
+                }
+                server.serve_tcp(listener)
+            }
+            Err(e) => {
+                eprintln!("qxmap-serve: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => server.serve_stdio(),
+    };
+    if let Err(e) = served {
+        eprintln!("qxmap-serve: serve loop failed: {e}");
+    }
+
+    match server.finish() {
+        Ok(Some(entries)) => eprintln!("qxmap-serve: snapshotted {entries} cached solves"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("qxmap-serve: snapshot write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,687 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, over stdin/stdout
+//! or a TCP connection. Three request types:
+//!
+//! * `{"type": "map", "qasm": "...", "device": ..., ...}` — map an
+//!   OpenQASM 2.0 circuit onto a device. Optional fields: `id` (echoed
+//!   verbatim in the response), `deadline_ms`, `conflict_budget`,
+//!   `guarantee` (`"optimal"` / `"best_effort"`), `strategy`
+//!   (`"before_every_gate"`, `"disjoint_qubits"`, `"odd_gates"`,
+//!   `"qubit_triangle"`, `{"window": k}`, `{"custom": [...]}`),
+//!   `subsets` (bool), `upper_bound`, `seed`.
+//! * `{"type": "metrics"}` — cache statistics, queue state, latency
+//!   counters.
+//! * `{"type": "shutdown"}` — graceful shutdown: queued work finishes,
+//!   the solve cache is snapshotted, the daemon exits.
+//!
+//! The `device` field is either a name from the topology library
+//! (`"qx4"`, `"ring-6"`, `"heavy-hex-1"`, …) or an object
+//! `{"qubits": m, "edges": [[c, t], ...]}`; both accept an optional
+//! `"calibration"` object with per-edge cost overrides (`"swap"`,
+//! `"reversal"`, `"cnot"`: arrays of `[a, b, cost]`) and/or measured
+//! two-qubit error rates (`"swap_errors"`: arrays of `[a, b, rate]`,
+//! ingested by negative-log-fidelity scaling — see
+//! [`qxmap_arch::calibration`]). Any calibration switches the request
+//! onto an explicit hardware-derived [`DeviceModel`].
+//!
+//! Successful maps answer `{"type": "result", ...}` carrying the
+//! [`MapReport`] (cost breakdown, layouts, winner, `served_from_cache`,
+//! elapsed/runtime in microseconds, the mapped circuit as QASM);
+//! failures answer `{"type": "error", "code": ..., "message": ...}`
+//! with one stable code per [`MapperError`] variant plus the transport
+//! codes `parse`, `bad_request`, `overloaded` and `shutting_down`.
+
+use std::time::Duration;
+
+use qxmap_arch::{calibration, devices, CouplingMap, DeviceModel, Layout};
+use qxmap_core::Strategy;
+use qxmap_map::{Guarantee, MapReport, MapRequest, MapperError};
+
+use crate::json::Json;
+
+/// One parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// A mapping job, ready to enqueue.
+    Map(Box<MapJob>),
+    /// An immediate metrics read.
+    Metrics {
+        /// The request's `id`, echoed in the response.
+        id: Option<Json>,
+    },
+    /// A graceful-shutdown demand.
+    Shutdown {
+        /// The request's `id`, echoed in the response.
+        id: Option<Json>,
+    },
+}
+
+/// A fully validated mapping job.
+#[derive(Debug)]
+pub struct MapJob {
+    /// The request's `id` field, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// The engine-ready request.
+    pub request: MapRequest,
+}
+
+/// A structured protocol-level rejection (before any engine ran).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// Stable machine-readable code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// The offending request's `id`, echoed when it was recoverable.
+    pub id: Option<Json>,
+}
+
+impl Rejection {
+    fn bad_request(id: Option<Json>, message: impl Into<String>) -> Rejection {
+        Rejection {
+            code: "bad_request",
+            message: message.into(),
+            id,
+        }
+    }
+}
+
+/// Parses and validates one request line.
+///
+/// # Errors
+///
+/// Returns a [`Rejection`] (code `parse` for malformed JSON, otherwise
+/// `bad_request`) describing the first defect.
+pub fn parse_request(line: &str) -> Result<Request, Rejection> {
+    let value = Json::parse(line).map_err(|e| Rejection {
+        code: "parse",
+        message: format!("malformed JSON: {e}"),
+        id: None,
+    })?;
+    if value.as_object().is_none() {
+        return Err(Rejection::bad_request(
+            None,
+            "request must be a JSON object",
+        ));
+    }
+    let id = value.get("id").cloned();
+    let Some(kind) = value.get("type").and_then(Json::as_str) else {
+        return Err(Rejection::bad_request(
+            id,
+            "missing request field \"type\" (one of \"map\", \"metrics\", \"shutdown\")",
+        ));
+    };
+    match kind {
+        "metrics" => {
+            reject_unknown_keys(&value, &["type", "id"], id.clone())?;
+            Ok(Request::Metrics { id })
+        }
+        "shutdown" => {
+            reject_unknown_keys(&value, &["type", "id"], id.clone())?;
+            Ok(Request::Shutdown { id })
+        }
+        "map" => parse_map(&value, id).map(|job| Request::Map(Box::new(job))),
+        other => Err(Rejection::bad_request(
+            id,
+            format!("unknown request type {other:?}"),
+        )),
+    }
+}
+
+/// Unknown keys are rejected rather than ignored: a production client
+/// typo-ing `"deadine_ms"` should hear about it, not silently run
+/// without a deadline.
+fn reject_unknown_keys(value: &Json, allowed: &[&str], id: Option<Json>) -> Result<(), Rejection> {
+    let Some(pairs) = value.as_object() else {
+        return Err(Rejection::bad_request(id, "request must be a JSON object"));
+    };
+    for (key, _) in pairs {
+        if !allowed.contains(&key.as_str()) {
+            return Err(Rejection::bad_request(
+                id,
+                format!("unknown field {key:?} (allowed: {allowed:?})"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+const MAP_KEYS: &[&str] = &[
+    "type",
+    "id",
+    "qasm",
+    "device",
+    "guarantee",
+    "strategy",
+    "subsets",
+    "deadline_ms",
+    "conflict_budget",
+    "upper_bound",
+    "seed",
+];
+
+fn parse_map(value: &Json, id: Option<Json>) -> Result<MapJob, Rejection> {
+    reject_unknown_keys(value, MAP_KEYS, id.clone())?;
+    let bad = |message: String| Rejection::bad_request(id.clone(), message);
+
+    let Some(qasm) = value.get("qasm").and_then(Json::as_str) else {
+        return Err(bad("missing string field \"qasm\"".to_string()));
+    };
+    let circuit = qxmap_qasm::parse(qasm).map_err(|e| bad(format!("invalid QASM: {e}")))?;
+
+    let Some(device) = value.get("device") else {
+        return Err(bad("missing field \"device\"".to_string()));
+    };
+    let mut request = match parse_device(device).map_err(&bad)? {
+        ParsedDevice::Named(cm) => MapRequest::new(circuit, cm),
+        ParsedDevice::Model(model) => MapRequest::for_model(circuit, model),
+    };
+
+    if let Some(guarantee) = value.get("guarantee") {
+        request = request.with_guarantee(match guarantee.as_str() {
+            Some("optimal") => Guarantee::Optimal,
+            Some("best_effort") => Guarantee::BestEffort,
+            _ => {
+                return Err(bad(
+                    "\"guarantee\" must be \"optimal\" or \"best_effort\"".to_string()
+                ))
+            }
+        });
+    }
+    if let Some(strategy) = value.get("strategy") {
+        request = request.with_strategy(parse_strategy(strategy).map_err(&bad)?);
+    }
+    if let Some(subsets) = value.get("subsets") {
+        let on = subsets
+            .as_bool()
+            .ok_or_else(|| bad("\"subsets\" must be a boolean".to_string()))?;
+        request = request.with_subsets(on);
+    }
+    if let Some(deadline) = value.get("deadline_ms") {
+        let ms = deadline
+            .as_u64()
+            .filter(|&ms| ms > 0)
+            .ok_or_else(|| bad("\"deadline_ms\" must be a positive integer".to_string()))?;
+        request = request.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(budget) = value.get("conflict_budget") {
+        let conflicts = budget
+            .as_u64()
+            .ok_or_else(|| bad("\"conflict_budget\" must be a non-negative integer".to_string()))?;
+        request = request.with_conflict_budget(Some(conflicts));
+    }
+    if let Some(bound) = value.get("upper_bound") {
+        let bound = bound
+            .as_u64()
+            .ok_or_else(|| bad("\"upper_bound\" must be a non-negative integer".to_string()))?;
+        request = request.with_upper_bound(Some(bound));
+    }
+    if let Some(seed) = value.get("seed") {
+        let seed = seed
+            .as_u64()
+            .ok_or_else(|| bad("\"seed\" must be a non-negative integer".to_string()))?;
+        request = request.with_seed(seed);
+    }
+    Ok(MapJob { id, request })
+}
+
+enum ParsedDevice {
+    /// A named library device with no calibration: the request keeps the
+    /// library's uniform paper cost model.
+    Named(CouplingMap),
+    /// An explicit edge list and/or calibration: the request answers
+    /// under a hardware-derived [`DeviceModel`] with the overrides
+    /// applied.
+    Model(DeviceModel),
+}
+
+fn parse_device(device: &Json) -> Result<ParsedDevice, String> {
+    // A bare name: `"device": "qx4"`.
+    if let Some(name) = device.as_str() {
+        return named(name).map(ParsedDevice::Named);
+    }
+    let Some(pairs) = device.as_object() else {
+        return Err("\"device\" must be a name or an object".to_string());
+    };
+    for (key, _) in pairs {
+        if !["name", "qubits", "edges", "calibration"].contains(&key.as_str()) {
+            return Err(format!("unknown device field {key:?}"));
+        }
+    }
+    let cm = match (
+        device.get("name"),
+        device.get("qubits"),
+        device.get("edges"),
+    ) {
+        (Some(name), None, None) => {
+            let name = name.as_str().ok_or("device \"name\" must be a string")?;
+            named(name)?
+        }
+        (None, Some(qubits), Some(edges)) => {
+            let m = qubits
+                .as_usize()
+                .ok_or("device \"qubits\" must be a non-negative integer")?;
+            let edges = parse_pairs(edges, "edges")?;
+            CouplingMap::from_edges(m, edges).map_err(|e| format!("invalid edge list: {e}"))?
+        }
+        _ => {
+            return Err(
+                "device must carry either \"name\" or both \"qubits\" and \"edges\"".to_string(),
+            )
+        }
+    };
+    let Some(cal) = device.get("calibration") else {
+        return Ok(match device.get("name") {
+            Some(_) => ParsedDevice::Named(cm),
+            None => ParsedDevice::Model(DeviceModel::new(cm)),
+        });
+    };
+    Ok(ParsedDevice::Model(apply_calibration(cm, cal)?))
+}
+
+fn named(name: &str) -> Result<CouplingMap, String> {
+    devices::by_name(name).ok_or_else(|| {
+        format!("unknown device {name:?} (try \"qx4\", \"tokyo\", \"ring-6\", \"heavy-hex-1\", …)")
+    })
+}
+
+/// `[[a, b], ...]` → pairs.
+fn parse_pairs(value: &Json, field: &str) -> Result<Vec<(usize, usize)>, String> {
+    value
+        .as_array()
+        .ok_or_else(|| format!("\"{field}\" must be an array of [a, b] pairs"))?
+        .iter()
+        .map(|item| {
+            let pair = item.as_array().filter(|p| p.len() == 2);
+            match pair {
+                Some([a, b]) => match (a.as_usize(), b.as_usize()) {
+                    (Some(a), Some(b)) => Ok((a, b)),
+                    _ => Err(format!("\"{field}\" entries must hold qubit indices")),
+                },
+                _ => Err(format!("\"{field}\" must be an array of [a, b] pairs")),
+            }
+        })
+        .collect()
+}
+
+/// `[[a, b, v], ...]` → triples, with the third element read by `third`.
+fn parse_triples<T>(
+    value: &Json,
+    field: &str,
+    third: impl Fn(&Json) -> Option<T>,
+) -> Result<Vec<(usize, usize, T)>, String> {
+    value
+        .as_array()
+        .ok_or_else(|| format!("\"{field}\" must be an array of [a, b, value] triples"))?
+        .iter()
+        .map(|item| {
+            let triple = item.as_array().filter(|t| t.len() == 3);
+            match triple {
+                Some([a, b, v]) => match (a.as_usize(), b.as_usize(), third(v)) {
+                    (Some(a), Some(b), Some(v)) => Ok((a, b, v)),
+                    _ => Err(format!("invalid \"{field}\" entry")),
+                },
+                _ => Err(format!(
+                    "\"{field}\" must be an array of [a, b, value] triples"
+                )),
+            }
+        })
+        .collect()
+}
+
+/// Applies a calibration object onto the hardware-derived model for
+/// `cm`, validating every referenced edge up front (the model's own
+/// builders panic on unknown edges — the protocol must reject instead).
+fn apply_calibration(cm: CouplingMap, cal: &Json) -> Result<DeviceModel, String> {
+    let Some(pairs) = cal.as_object() else {
+        return Err("\"calibration\" must be an object".to_string());
+    };
+    for (key, _) in pairs {
+        if !["swap", "reversal", "cnot", "swap_errors"].contains(&key.as_str()) {
+            return Err(format!("unknown calibration field {key:?}"));
+        }
+    }
+    let cost = |v: &Json| v.as_u64().and_then(|c| u32::try_from(c).ok());
+    let mut model = DeviceModel::new(cm);
+    if let Some(errors) = cal.get("swap_errors") {
+        let rates = parse_triples(errors, "swap_errors", Json::as_f64)?;
+        model = calibration::with_swap_error_rates(model, rates)
+            .map_err(|e| format!("invalid \"swap_errors\": {e}"))?;
+    }
+    if let Some(swaps) = cal.get("swap") {
+        let overrides = parse_triples(swaps, "swap", cost)?;
+        for &(a, b, _) in &overrides {
+            if model.swap_cost(a, b).is_none() {
+                return Err(format!("\"swap\" override on uncoupled pair ({a}, {b})"));
+            }
+        }
+        model = model.with_swap_costs(overrides);
+    }
+    if let Some(reversals) = cal.get("reversal") {
+        let overrides = parse_triples(reversals, "reversal", cost)?;
+        for &(c, t, _) in &overrides {
+            if !model.coupling_map().requires_reversal(c, t) {
+                return Err(format!(
+                    "\"reversal\" override on ({c}, {t}), which needs no reversal"
+                ));
+            }
+        }
+        model = model.with_reversal_costs(overrides);
+    }
+    if let Some(cnots) = cal.get("cnot") {
+        let overrides = parse_triples(cnots, "cnot", cost)?;
+        for &(c, t, _) in &overrides {
+            if !model.coupling_map().has_edge(c, t) {
+                return Err(format!("\"cnot\" override on missing edge ({c}, {t})"));
+            }
+        }
+        model = model.with_cnot_costs(overrides);
+    }
+    Ok(model)
+}
+
+fn parse_strategy(value: &Json) -> Result<Strategy, String> {
+    if let Some(name) = value.as_str() {
+        return match name {
+            "before_every_gate" => Ok(Strategy::BeforeEveryGate),
+            "disjoint_qubits" => Ok(Strategy::DisjointQubits),
+            "odd_gates" => Ok(Strategy::OddGates),
+            "qubit_triangle" => Ok(Strategy::QubitTriangle),
+            _ => Err(format!("unknown strategy {name:?}")),
+        };
+    }
+    if let Some(k) = value.get("window") {
+        let k = k
+            .as_usize()
+            .filter(|&k| k > 0)
+            .ok_or("\"window\" must be a positive integer")?;
+        return Ok(Strategy::Window(k));
+    }
+    if let Some(points) = value.get("custom") {
+        let points = points
+            .as_array()
+            .ok_or("\"custom\" must be an array of gate indices")?
+            .iter()
+            .map(|p| {
+                p.as_usize()
+                    .ok_or("\"custom\" entries must be gate indices")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Strategy::Custom(points));
+    }
+    Err("strategy must be a name, {\"window\": k} or {\"custom\": [...]}".to_string())
+}
+
+// ---------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------
+
+/// Prepends the echoed `id` when the request carried one.
+fn with_id(id: Option<Json>, mut pairs: Vec<(String, Json)>) -> Json {
+    if let Some(id) = id {
+        pairs.insert(1, ("id".to_string(), id));
+    }
+    Json::Obj(pairs)
+}
+
+fn layout_json(layout: &Layout) -> Json {
+    Json::Arr(
+        layout
+            .as_log2phys()
+            .iter()
+            .map(|slot| match slot {
+                Some(p) => Json::num(*p as u64),
+                None => Json::Null,
+            })
+            .collect(),
+    )
+}
+
+/// Microseconds, saturating — the protocol's duration unit.
+fn micros(d: Duration) -> Json {
+    Json::num(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
+
+/// Builds the `result` response for a completed mapping job.
+pub fn result_response(id: Option<Json>, report: &MapReport) -> Json {
+    let pairs = vec![
+        ("type".to_string(), Json::str("result")),
+        ("engine".to_string(), Json::str(&report.engine)),
+        ("winner".to_string(), Json::str(&report.winner)),
+        (
+            "served_from_cache".to_string(),
+            Json::Bool(report.served_from_cache),
+        ),
+        (
+            "proved_optimal".to_string(),
+            Json::Bool(report.proved_optimal),
+        ),
+        (
+            "cost".to_string(),
+            Json::obj([
+                ("objective", Json::num(report.cost.objective)),
+                ("swaps", Json::num(u64::from(report.cost.swaps))),
+                ("reversals", Json::num(u64::from(report.cost.reversals))),
+                ("added_gates", Json::num(report.cost.added_gates)),
+            ]),
+        ),
+        ("elapsed_us".to_string(), micros(report.elapsed)),
+        ("runtime_us".to_string(), micros(report.runtime)),
+        (
+            "initial_layout".to_string(),
+            layout_json(&report.initial_layout),
+        ),
+        (
+            "final_layout".to_string(),
+            layout_json(&report.final_layout),
+        ),
+        (
+            "mapped_qasm".to_string(),
+            Json::str(qxmap_qasm::to_qasm(&report.mapped)),
+        ),
+    ];
+    with_id(id, pairs)
+}
+
+/// Builds an `error` response from a structured engine error, with one
+/// stable code per [`MapperError`] variant and the variant's fields
+/// carried alongside.
+pub fn error_response(id: Option<Json>, error: &MapperError) -> Json {
+    let (code, extra): (&str, Vec<(&'static str, Json)>) = match error {
+        MapperError::TooManyQubits { logical, physical } => (
+            "too_many_qubits",
+            vec![
+                ("logical", Json::num(*logical as u64)),
+                ("physical", Json::num(*physical as u64)),
+            ],
+        ),
+        MapperError::Infeasible => ("infeasible", vec![]),
+        MapperError::BudgetExhausted => ("budget_exhausted", vec![]),
+        MapperError::DeviceTooLarge { qubits, max } => (
+            "device_too_large",
+            vec![
+                ("qubits", Json::num(*qubits as u64)),
+                ("max", Json::num(*max as u64)),
+            ],
+        ),
+        MapperError::Unroutable => ("unroutable", vec![]),
+        MapperError::BoundUnmet { bound } => ("bound_unmet", vec![("bound", Json::num(*bound))]),
+        MapperError::OptimalityUnavailable { .. } => ("optimality_unavailable", vec![]),
+    };
+    let mut pairs = vec![
+        ("type".to_string(), Json::str("error")),
+        ("code".to_string(), Json::str(code)),
+        ("message".to_string(), Json::str(error.to_string())),
+    ];
+    pairs.extend(extra.into_iter().map(|(k, v)| (k.to_string(), v)));
+    with_id(id, pairs)
+}
+
+/// Builds an `error` response from a protocol-level rejection.
+pub fn rejection_response(rejection: &Rejection) -> Json {
+    with_id(
+        rejection.id.clone(),
+        vec![
+            ("type".to_string(), Json::str("error")),
+            ("code".to_string(), Json::str(rejection.code)),
+            ("message".to_string(), Json::str(&rejection.message)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QASM: &str = r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+cx q[0], q[1];
+cx q[1], q[2];
+"#;
+
+    fn map_line(extra: &str) -> String {
+        format!(
+            "{{\"type\":\"map\",\"qasm\":{},\"device\":\"qx4\"{extra}}}",
+            Json::str(QASM)
+        )
+    }
+
+    #[test]
+    fn minimal_map_request_parses() {
+        let Request::Map(job) = parse_request(&map_line("")).unwrap() else {
+            panic!("not a map request");
+        };
+        assert_eq!(job.request.circuit().num_cnots(), 2);
+        assert_eq!(job.request.device().num_qubits(), 5);
+        assert_eq!(job.request.guarantee(), Guarantee::BestEffort);
+        assert!(job.id.is_none());
+    }
+
+    #[test]
+    fn options_map_onto_the_request() {
+        let line = map_line(
+            ",\"id\":7,\"deadline_ms\":250,\"conflict_budget\":1000,\"guarantee\":\"optimal\",\
+             \"strategy\":{\"window\":2},\"subsets\":false,\"upper_bound\":9,\"seed\":3",
+        );
+        let Request::Map(job) = parse_request(&line).unwrap() else {
+            panic!("not a map request");
+        };
+        assert_eq!(job.id, Some(Json::Num(7.0)));
+        assert_eq!(job.request.deadline(), Some(Duration::from_millis(250)));
+        assert_eq!(job.request.conflict_budget(), Some(1000));
+        assert_eq!(job.request.guarantee(), Guarantee::Optimal);
+        assert_eq!(*job.request.strategy(), Strategy::Window(2));
+        assert!(!job.request.use_subsets());
+        assert_eq!(job.request.upper_bound(), Some(9));
+        assert_eq!(job.request.seed(), 3);
+    }
+
+    #[test]
+    fn explicit_edge_lists_and_calibration_build_models() {
+        let line = format!(
+            "{{\"type\":\"map\",\"qasm\":{},\"device\":{{\"qubits\":3,\
+             \"edges\":[[0,1],[1,0],[1,2],[2,1]],\
+             \"calibration\":{{\"swap\":[[0,1,21]]}}}}}}",
+            Json::str(QASM)
+        );
+        let Request::Map(job) = parse_request(&line).unwrap() else {
+            panic!("not a map request");
+        };
+        assert_eq!(job.request.device_model().swap_cost(0, 1), Some(21));
+        assert_eq!(job.request.device_model().swap_cost(1, 2), Some(3));
+    }
+
+    #[test]
+    fn named_device_with_error_rates_is_calibrated() {
+        let line = format!(
+            "{{\"type\":\"map\",\"qasm\":{},\"device\":{{\"name\":\"qx4\",\
+             \"calibration\":{{\"swap_errors\":[[0,1,0.05],[1,2,0.005]]}}}}}}",
+            Json::str(QASM)
+        );
+        let Request::Map(job) = parse_request(&line).unwrap() else {
+            panic!("not a map request");
+        };
+        let model = job.request.device_model();
+        assert_eq!(model.swap_cost(1, 2), Some(7), "best pair keeps base");
+        assert!(model.swap_cost(0, 1).unwrap() > 30, "noisy pair is dear");
+    }
+
+    #[test]
+    fn defects_reject_with_bad_request() {
+        for (line, needle) in [
+            ("{\"type\":\"map\"}", "qasm"),
+            (map_line(",\"deadine_ms\":5").as_str(), "deadine_ms"),
+            (map_line(",\"deadline_ms\":0").as_str(), "deadline_ms"),
+            (map_line(",\"strategy\":\"nope\"").as_str(), "strategy"),
+            ("{\"type\":\"nope\"}", "unknown request type"),
+            ("{}", "type"),
+            ("[1]", "object"),
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.code, "bad_request", "{line}");
+            assert!(e.message.contains(needle), "{line} -> {}", e.message);
+        }
+        assert_eq!(parse_request("not json").unwrap_err().code, "parse");
+        let bad_device = format!(
+            "{{\"type\":\"map\",\"qasm\":{},\"device\":\"atlantis\"}}",
+            Json::str(QASM)
+        );
+        assert!(parse_request(&bad_device)
+            .unwrap_err()
+            .message
+            .contains("atlantis"));
+        // Calibration on a missing edge is a rejection, not a panic.
+        let bad_cal = format!(
+            "{{\"type\":\"map\",\"qasm\":{},\"device\":{{\"name\":\"qx4\",\
+             \"calibration\":{{\"swap\":[[0,3,9]]}}}}}}",
+            Json::str(QASM)
+        );
+        assert!(parse_request(&bad_cal)
+            .unwrap_err()
+            .message
+            .contains("uncoupled"));
+    }
+
+    #[test]
+    fn responses_carry_ids_and_stable_codes() {
+        let rejection = Rejection {
+            code: "overloaded",
+            message: "queue full".to_string(),
+            id: Some(Json::num(9)),
+        };
+        let r = rejection_response(&rejection);
+        assert_eq!(r.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(r.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(r.get("id").and_then(Json::as_u64), Some(9));
+
+        let e = error_response(
+            None,
+            &MapperError::TooManyQubits {
+                logical: 6,
+                physical: 5,
+            },
+        );
+        assert_eq!(
+            e.get("code").and_then(Json::as_str),
+            Some("too_many_qubits")
+        );
+        assert_eq!(e.get("logical").and_then(Json::as_u64), Some(6));
+    }
+
+    #[test]
+    fn result_response_reflects_the_report() {
+        let request = MapRequest::new(qxmap_circuit::paper_example(), devices::ibm_qx4());
+        let report = qxmap_map::map_one(&request).unwrap();
+        let r = result_response(Some(Json::str("a")), &report);
+        assert_eq!(r.get("type").and_then(Json::as_str), Some("result"));
+        assert_eq!(r.get("id").and_then(Json::as_str), Some("a"));
+        let cost = r.get("cost").unwrap();
+        assert_eq!(cost.get("objective").and_then(Json::as_u64), Some(4));
+        let qasm = r.get("mapped_qasm").and_then(Json::as_str).unwrap();
+        assert!(qasm.contains("OPENQASM 2.0"));
+        // The response line parses back (the protocol is self-consistent).
+        assert!(Json::parse(&r.to_string()).is_ok());
+    }
+}

@@ -1,0 +1,839 @@
+//! The server core: a bounded admission queue feeding a fixed worker
+//! pool, with explicit overload rejection, graceful shutdown, metrics,
+//! and solve-cache snapshot persistence.
+//!
+//! ## Request lifecycle
+//!
+//! A connection thread parses one line into a [`crate::proto::Request`]
+//! and — for mapping jobs — *submits* it to the admission queue. The
+//! queue is bounded: when `queue_depth` jobs are already waiting, the
+//! submission is rejected immediately with a structured `overloaded`
+//! error instead of blocking the client behind an unbounded backlog
+//! (load-shedding at admission keeps tail latency bounded: a client that
+//! gets rejected in microseconds can retry against a replica; a client
+//! stuck in an unbounded queue can only wait).
+//!
+//! Admitted jobs are drained by a fixed pool of worker threads, each
+//! pulling up to `batch_max` jobs at a time and solving them through one
+//! [`qxmap_map::map_many`] call — so a burst of identical requests
+//! landing together is deduplicated into one solve *before* the
+//! process-wide solve cache even sees it, exactly like a library-side
+//! batch.
+//!
+//! ## Shutdown and persistence
+//!
+//! A `shutdown` request (or stdin EOF in stdio mode) begins a graceful
+//! wind-down: admission closes (`shutting_down` rejections), workers
+//! drain every already-admitted job, and [`Server::finish`] snapshots
+//! the solve cache to the configured path — so the next boot (or a
+//! replica seeded from the same file) starts warm and answers repeated
+//! requests in microseconds. Snapshots are written to a temporary file
+//! and renamed into place, so a crash mid-write never corrupts the
+//! previous good snapshot; corrupted or version-mismatched snapshots
+//! are rejected at boot and the daemon starts cold.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qxmap_map::{MapReport, MapRequest, MapperError, SolveCache};
+
+use crate::json::Json;
+use crate::proto::{self, Rejection, Request};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads solving admitted jobs. Defaults to the machine's
+    /// available parallelism.
+    pub workers: usize,
+    /// Most jobs allowed to *wait* for a worker; submissions beyond this
+    /// are rejected as `overloaded`. Defaults to 64.
+    pub queue_depth: usize,
+    /// Most jobs one worker drains into a single [`qxmap_map::map_many`]
+    /// batch. Defaults to 8.
+    pub batch_max: usize,
+    /// Snapshot file for warm starts: imported by
+    /// [`Server::warm_start`], written by [`Server::finish`].
+    pub snapshot: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            queue_depth: 64,
+            batch_max: 8,
+            snapshot: None,
+        }
+    }
+}
+
+/// How one request line was handled, and what the connection should do
+/// after delivering the response.
+#[derive(Debug)]
+pub enum Handled {
+    /// Write the response line; keep serving the connection.
+    Reply(String),
+    /// Write the response line, flush it, then call
+    /// [`Server::begin_shutdown`] — the acknowledgement must reach the
+    /// client before the daemon starts winding down.
+    ReplyAndShutdown(String),
+}
+
+impl Handled {
+    /// The response line, whichever variant.
+    pub fn response(&self) -> &str {
+        match self {
+            Handled::Reply(r) | Handled::ReplyAndShutdown(r) => r,
+        }
+    }
+}
+
+/// One admitted mapping job: the request plus the channel its result
+/// travels back on.
+struct QueuedJob {
+    request: MapRequest,
+    respond: mpsc::Sender<Result<MapReport, MapperError>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+/// Cumulative request counters (see the `metrics` response).
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    rejected_overload: AtomicU64,
+    served_from_cache: AtomicU64,
+    total_latency_us: AtomicU64,
+    max_latency_us: AtomicU64,
+}
+
+/// The batch solver workers run admitted jobs through — injectable so
+/// tests can pin down timing-sensitive behavior (overload, shutdown
+/// draining) with a deterministic solver. Production uses
+/// [`qxmap_map::map_many`].
+type BatchSolver = Box<dyn Fn(&[MapRequest]) -> Vec<Result<MapReport, MapperError>> + Send + Sync>;
+
+/// The mapping daemon: admission queue, worker pool, metrics, snapshot
+/// persistence. Construct with [`Server::start`], feed it request lines
+/// with [`Server::handle_line`] (or let [`Server::serve_tcp`] /
+/// [`Server::serve_stdio`] do it), and call [`Server::finish`] to drain
+/// and persist on the way out.
+pub struct Server {
+    config: ServerConfig,
+    solver: BatchSolver,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    counters: Counters,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Connection threads currently between reading a request line and
+    /// flushing its response — what [`Server::finish`] waits out so an
+    /// answered job's response is not lost to process exit.
+    busy_lines: AtomicU64,
+}
+
+impl Server {
+    /// Boots the worker pool with the production solver
+    /// ([`qxmap_map::map_many`], answering through the process-wide
+    /// [`SolveCache`]).
+    pub fn start(config: ServerConfig) -> Arc<Server> {
+        Server::start_with_solver(config, Box::new(qxmap_map::map_many))
+    }
+
+    /// [`Server::start`] with an injected batch solver (tests).
+    pub fn start_with_solver(config: ServerConfig, solver: BatchSolver) -> Arc<Server> {
+        let server = Arc::new(Server {
+            workers: Mutex::new(Vec::new()),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                in_flight: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            counters: Counters::default(),
+            busy_lines: AtomicU64::new(0),
+            solver,
+            config,
+        });
+        let mut workers = server.workers.lock().expect("no panics under the lock");
+        for _ in 0..server.config.workers.max(1) {
+            let server = Arc::clone(&server);
+            workers.push(std::thread::spawn(move || server.worker_loop()));
+        }
+        drop(workers);
+        server
+    }
+
+    /// One worker: drain up to `batch_max` jobs, solve them as one
+    /// batch, deliver each result, repeat. Exits once shutdown has begun
+    /// *and* the queue is empty — every admitted job is answered.
+    fn worker_loop(&self) {
+        loop {
+            let batch: Vec<QueuedJob> = {
+                let mut q = self.queue.lock().expect("no panics under the lock");
+                loop {
+                    if !q.jobs.is_empty() {
+                        break;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.available.wait(q).expect("no panics under the lock");
+                }
+                let n = q.jobs.len().min(self.config.batch_max.max(1));
+                let batch: Vec<QueuedJob> = q.jobs.drain(..n).collect();
+                q.in_flight += batch.len();
+                batch
+            };
+            let requests: Vec<MapRequest> = batch.iter().map(|j| j.request.clone()).collect();
+            let results = (self.solver)(&requests);
+            debug_assert_eq!(results.len(), batch.len());
+            let n = batch.len();
+            for (job, result) in batch.into_iter().zip(results) {
+                // A disconnected receiver just means the client went
+                // away; the work still warmed the cache.
+                let _ = job.respond.send(result);
+            }
+            self.queue
+                .lock()
+                .expect("no panics under the lock")
+                .in_flight -= n;
+        }
+    }
+
+    /// Admits a job or rejects it without blocking. The rejection is the
+    /// protocol's `overloaded` / `shutting_down` error.
+    fn submit(
+        &self,
+        request: MapRequest,
+        id: Option<Json>,
+    ) -> Result<mpsc::Receiver<Result<MapReport, MapperError>>, Rejection> {
+        let mut q = self.queue.lock().expect("no panics under the lock");
+        if q.shutdown {
+            return Err(Rejection {
+                code: "shutting_down",
+                message: "the server is shutting down and admits no new work".to_string(),
+                id,
+            });
+        }
+        if q.jobs.len() >= self.config.queue_depth {
+            self.counters
+                .rejected_overload
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection {
+                code: "overloaded",
+                message: format!(
+                    "admission queue is full ({} jobs waiting); retry later or against a replica",
+                    q.jobs.len()
+                ),
+                id,
+            });
+        }
+        let (respond, receive) = mpsc::channel();
+        q.jobs.push_back(QueuedJob { request, respond });
+        drop(q);
+        self.available.notify_one();
+        Ok(receive)
+    }
+
+    /// Handles one request line end to end (parse, admit, wait, render),
+    /// returning the response line to write back. Mapping jobs block the
+    /// calling connection thread until their result is ready — the
+    /// protocol is strictly request/response per connection; concurrency
+    /// comes from concurrent connections.
+    pub fn handle_line(&self, line: &str) -> Handled {
+        let request = match proto::parse_request(line) {
+            Ok(request) => request,
+            Err(rejection) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return Handled::Reply(proto::rejection_response(&rejection).to_string());
+            }
+        };
+        match request {
+            Request::Metrics { id } => Handled::Reply(self.metrics_json(id).to_string()),
+            Request::Shutdown { id } => {
+                let ack = Json::Obj(
+                    [
+                        ("type".to_string(), Json::str("ok")),
+                        ("message".to_string(), Json::str("shutting down")),
+                    ]
+                    .into_iter()
+                    .chain(id.map(|id| ("id".to_string(), id)))
+                    .collect(),
+                );
+                Handled::ReplyAndShutdown(ack.to_string())
+            }
+            Request::Map(job) => {
+                self.counters.received.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                let receive = match self.submit(job.request, job.id.clone()) {
+                    Ok(receive) => receive,
+                    Err(rejection) => {
+                        return Handled::Reply(proto::rejection_response(&rejection).to_string())
+                    }
+                };
+                let result = receive
+                    .recv()
+                    .expect("workers answer every admitted job before exiting");
+                let latency = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.counters
+                    .total_latency_us
+                    .fetch_add(latency, Ordering::Relaxed);
+                self.counters
+                    .max_latency_us
+                    .fetch_max(latency, Ordering::Relaxed);
+                Handled::Reply(match result {
+                    Ok(report) => {
+                        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        if report.served_from_cache {
+                            self.counters
+                                .served_from_cache
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        proto::result_response(job.id, &report).to_string()
+                    }
+                    Err(error) => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        proto::error_response(job.id, &error).to_string()
+                    }
+                })
+            }
+        }
+    }
+
+    /// The `metrics` response: solve-cache statistics, queue state, and
+    /// request/latency counters.
+    pub fn metrics_json(&self, id: Option<Json>) -> Json {
+        let cache = SolveCache::shared().stats();
+        let (depth, in_flight) = {
+            let q = self.queue.lock().expect("no panics under the lock");
+            (q.jobs.len(), q.in_flight)
+        };
+        let c = &self.counters;
+        let get = |a: &AtomicU64| Json::num(a.load(Ordering::Relaxed));
+        let mut pairs = vec![("type".to_string(), Json::str("metrics"))];
+        if let Some(id) = id {
+            pairs.push(("id".to_string(), id));
+        }
+        pairs.extend([
+            (
+                "cache".to_string(),
+                Json::obj([
+                    ("hits", Json::num(cache.hits)),
+                    ("misses", Json::num(cache.misses)),
+                    ("evictions", Json::num(cache.evictions)),
+                    ("entries", Json::num(cache.entries as u64)),
+                    ("approx_bytes", Json::num(cache.approx_bytes as u64)),
+                    (
+                        "capacity",
+                        Json::num(SolveCache::shared().capacity() as u64),
+                    ),
+                ]),
+            ),
+            (
+                "queue".to_string(),
+                Json::obj([
+                    ("depth", Json::num(depth as u64)),
+                    ("capacity", Json::num(self.config.queue_depth as u64)),
+                    ("in_flight", Json::num(in_flight as u64)),
+                    ("workers", Json::num(self.config.workers.max(1) as u64)),
+                ]),
+            ),
+            (
+                "requests".to_string(),
+                Json::obj([
+                    ("received", get(&c.received)),
+                    ("completed", get(&c.completed)),
+                    ("errors", get(&c.errors)),
+                    ("rejected_overload", get(&c.rejected_overload)),
+                    ("served_from_cache", get(&c.served_from_cache)),
+                    ("total_latency_us", get(&c.total_latency_us)),
+                    ("max_latency_us", get(&c.max_latency_us)),
+                ]),
+            ),
+        ]);
+        Json::Obj(pairs)
+    }
+
+    /// Closes admission and wakes the workers; already-admitted jobs
+    /// still complete. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.queue
+            .lock()
+            .expect("no panics under the lock")
+            .shutdown = true;
+        self.available.notify_all();
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.queue
+            .lock()
+            .expect("no panics under the lock")
+            .shutdown
+    }
+
+    /// Drains the pool (joining every worker — every admitted job is
+    /// answered first) and snapshots the solve cache to the configured
+    /// path. Returns the number of entries persisted, `None` when no
+    /// snapshot path is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-write I/O errors; the drain itself cannot
+    /// fail.
+    pub fn finish(&self) -> io::Result<Option<usize>> {
+        self.begin_shutdown();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("no panics under the lock"));
+        for worker in workers {
+            worker.join().expect("workers do not panic");
+        }
+        // Workers answered every admitted job; give the (detached)
+        // connection threads a moment to flush those answers to their
+        // sockets before the process exits. Bounded: a client that has
+        // stopped reading must not be able to hold shutdown hostage
+        // through a blocked TCP write.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.busy_lines.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        match &self.config.snapshot {
+            None => Ok(None),
+            Some(path) => save_snapshot(path).map(Some),
+        }
+    }
+
+    /// Imports the configured snapshot into the process-wide
+    /// [`SolveCache`], returning how many entries were admitted. A
+    /// missing file is a cold start (`Ok(0)`); a rejected snapshot
+    /// (corrupted, truncated, version-mismatched) is reported as the
+    /// error string and the cache is left untouched — the daemon should
+    /// log it and start cold rather than refuse to boot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of why the snapshot was rejected.
+    pub fn warm_start(&self) -> Result<usize, String> {
+        let Some(path) = &self.config.snapshot else {
+            return Ok(0);
+        };
+        load_snapshot(path)
+    }
+
+    /// Accept loop: serves connections until shutdown begins, then
+    /// returns (call [`Server::finish`] after). Each connection gets a
+    /// thread handling one request line at a time, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors; per-connection I/O errors only
+    /// end their connection.
+    pub fn serve_tcp(self: &Arc<Server>, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        loop {
+            // Checked every iteration, not only when accept() idles: a
+            // stream of reconnecting clients (each now due a
+            // shutting_down rejection) must not keep the accept loop —
+            // and with it the shutdown snapshot — alive forever.
+            if self.is_shutting_down() {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    let server = Arc::clone(self);
+                    // Connection threads are detached deliberately: one
+                    // may sit in a blocking read for as long as its
+                    // client stays idle, and shutdown must not wait for
+                    // that. Admitted work is still drained by `finish`.
+                    std::thread::spawn(move || server.serve_connection(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn serve_connection(&self, stream: TcpStream) {
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { return };
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.busy_lines.fetch_add(1, Ordering::AcqRel);
+            let handled = self.handle_line(&line);
+            let delivered =
+                writeln!(writer, "{}", handled.response()).is_ok() && writer.flush().is_ok();
+            self.busy_lines.fetch_sub(1, Ordering::AcqRel);
+            if matches!(handled, Handled::ReplyAndShutdown(_)) {
+                // The ack is written *before* wind-down begins so it can
+                // reach the client — but an undeliverable ack (client
+                // already hung up) must not cancel an accepted shutdown.
+                self.begin_shutdown();
+                return;
+            }
+            if !delivered {
+                return;
+            }
+        }
+    }
+
+    /// Stdio loop: one request line per stdin line, one response line on
+    /// stdout; returns on EOF or a `shutdown` request (call
+    /// [`Server::finish`] after).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stdin/stdout I/O errors.
+    pub fn serve_stdio(&self) -> io::Result<()> {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        for line in stdin.lock().lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let handled = self.handle_line(&line);
+            {
+                let mut out = stdout.lock();
+                writeln!(out, "{}", handled.response())?;
+                out.flush()?;
+            }
+            if matches!(handled, Handled::ReplyAndShutdown(_)) {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes the process-wide cache's snapshot to `path` atomically (temp
+/// file + rename), returning the entry count persisted.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_snapshot(path: &Path) -> io::Result<usize> {
+    let bytes = SolveCache::shared().export_snapshot();
+    // Report what the file actually holds — the cache can move between
+    // any two lock acquisitions, so the count comes from the exported
+    // header, not a separate stats() read.
+    let entries = qxmap_map::snapshot_entry_count(&bytes).unwrap_or(0);
+    // The temp name is per-process: replicas legitimately share one
+    // snapshot path, and concurrent shutdowns must each publish a
+    // complete file (last rename wins) rather than racing on one temp.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(entries)
+}
+
+/// Imports the snapshot at `path` into the process-wide cache. A
+/// missing file is a cold start (`Ok(0)`).
+///
+/// # Errors
+///
+/// Returns a description of the I/O failure or snapshot defect; the
+/// cache is untouched on error.
+pub fn load_snapshot(path: &Path) -> Result<usize, String> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    SolveCache::shared()
+        .import_snapshot(&bytes)
+        .map_err(|e| format!("rejected snapshot {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::devices;
+    use qxmap_circuit::paper_example;
+    use qxmap_map::Engine as _;
+
+    const QASM: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncx q[0], q[1];\n";
+
+    fn map_line() -> String {
+        format!(
+            "{{\"type\":\"map\",\"qasm\":{},\"device\":\"qx4\"}}",
+            Json::str(QASM)
+        )
+    }
+
+    /// A solver that blocks until released — pins down overload and
+    /// drain behavior without timing races.
+    fn gated_solver() -> (BatchSolver, mpsc::Sender<()>) {
+        let (release, gate) = mpsc::channel::<()>();
+        let gate = Mutex::new(gate);
+        let solver: BatchSolver = Box::new(move |requests| {
+            gate.lock()
+                .expect("no panics under the lock")
+                .recv()
+                .expect("the test releases the gate once per batch");
+            qxmap_map::map_many(requests)
+        });
+        (solver, release)
+    }
+
+    #[test]
+    fn overload_is_rejected_with_a_structured_error() {
+        let (solver, release) = gated_solver();
+        let server = Server::start_with_solver(
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                batch_max: 1,
+                snapshot: None,
+            },
+            solver,
+        );
+        // First job: admitted, drained by the (gated) worker. Wait until
+        // it actually leaves the queue so the depth accounting below is
+        // deterministic.
+        let first = server
+            .submit(MapRequest::new(paper_example(), devices::ibm_qx4()), None)
+            .expect("admitted");
+        while server.queue.lock().unwrap().in_flight == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Second job: waits in the queue (depth 1/1). Third: overloaded.
+        let _second = server
+            .submit(
+                MapRequest::new(paper_example(), devices::ibm_qx4()).with_seed(1),
+                None,
+            )
+            .expect("queued");
+        let rejected = server
+            .submit(
+                MapRequest::new(paper_example(), devices::ibm_qx4()).with_seed(2),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(rejected.code, "overloaded");
+        assert!(rejected.message.contains("queue is full"));
+        let metrics = server.metrics_json(None);
+        let requests = metrics.get("requests").unwrap();
+        assert_eq!(
+            requests.get("rejected_overload").and_then(Json::as_u64),
+            Some(1)
+        );
+        // Release both batches; graceful shutdown drains everything.
+        release.send(()).unwrap();
+        release.send(()).unwrap();
+        assert!(first.recv().unwrap().is_ok());
+        server.finish().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs_and_rejects_new_ones() {
+        let (solver, release) = gated_solver();
+        let server = Server::start_with_solver(
+            ServerConfig {
+                workers: 1,
+                queue_depth: 8,
+                batch_max: 8,
+                snapshot: None,
+            },
+            solver,
+        );
+        let admitted = server
+            .submit(MapRequest::new(paper_example(), devices::ibm_qx4()), None)
+            .expect("admitted");
+        server.begin_shutdown();
+        let rejected = server
+            .submit(MapRequest::new(paper_example(), devices::ibm_qx4()), None)
+            .unwrap_err();
+        assert_eq!(rejected.code, "shutting_down");
+        release.send(()).unwrap();
+        let report = admitted.recv().unwrap().expect("drained, not dropped");
+        report
+            .verify(&paper_example(), &devices::ibm_qx4())
+            .unwrap();
+        server.finish().unwrap();
+    }
+
+    #[test]
+    fn handle_line_answers_map_metrics_and_shutdown() {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            queue_depth: 8,
+            batch_max: 4,
+            snapshot: None,
+        });
+        let result = server.handle_line(&map_line());
+        let parsed = Json::parse(result.response()).unwrap();
+        assert_eq!(parsed.get("type").and_then(Json::as_str), Some("result"));
+        assert_eq!(
+            parsed
+                .get("cost")
+                .and_then(|c| c.get("objective"))
+                .and_then(Json::as_u64),
+            Some(0),
+            "cx q0,q1 sits on a QX4 edge"
+        );
+
+        let metrics = server.handle_line("{\"type\":\"metrics\",\"id\":1}");
+        let parsed = Json::parse(metrics.response()).unwrap();
+        assert_eq!(parsed.get("type").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(parsed.get("id").and_then(Json::as_u64), Some(1));
+        let requests = parsed.get("requests").unwrap();
+        assert_eq!(requests.get("completed").and_then(Json::as_u64), Some(1));
+
+        let bad = server.handle_line("{\"type\":\"map\"}");
+        let parsed = Json::parse(bad.response()).unwrap();
+        assert_eq!(
+            parsed.get("code").and_then(Json::as_str),
+            Some("bad_request")
+        );
+
+        let down = server.handle_line("{\"type\":\"shutdown\"}");
+        assert!(matches!(down, Handled::ReplyAndShutdown(_)));
+        server.begin_shutdown();
+        server.finish().unwrap();
+        assert!(server.is_shutting_down());
+    }
+
+    #[test]
+    fn tcp_round_trip_overload_and_shutdown() {
+        // End-to-end over a real socket, with the gated solver making
+        // overload deterministic: depth 1, worker 1, so of three
+        // *concurrent* map requests at most two are admitted.
+        let (solver, release) = gated_solver();
+        let server = Server::start_with_solver(
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                batch_max: 1,
+                snapshot: None,
+            },
+            solver,
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve_tcp(listener).unwrap())
+        };
+
+        let request_on = |line: String| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                writeln!(writer, "{line}").unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                Json::parse(&response).unwrap()
+            })
+        };
+
+        // Three concurrent clients; the worker is gated, so at most one
+        // job is in flight and one waiting — every other submission must
+        // be rejected as overloaded. (How many are admitted — one or two
+        // — depends on whether the gated worker dequeued the first job
+        // before the later clients arrived; both splits are correct
+        // load-shedding.)
+        let clients: Vec<_> = (0..3).map(|_| request_on(map_line())).collect();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let admitted = loop {
+            let rejected = server.counters.rejected_overload.load(Ordering::Relaxed) as usize;
+            let queued = {
+                let q = server.queue.lock().unwrap();
+                q.jobs.len() + q.in_flight
+            };
+            if rejected >= 1 && rejected + queued == 3 {
+                break queued;
+            }
+            assert!(Instant::now() < deadline, "admission never saturated");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        for _ in 0..admitted {
+            release.send(()).unwrap();
+        }
+        let responses: Vec<Json> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let codes: Vec<&str> = responses
+            .iter()
+            .map(|r| r.get("type").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            codes.iter().filter(|&&t| t == "result").count(),
+            admitted,
+            "{codes:?}"
+        );
+        let overloaded = responses
+            .iter()
+            .find(|r| r.get("code").and_then(Json::as_str) == Some("overloaded"))
+            .expect("one structured overload rejection");
+        assert!(overloaded
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("queue is full"));
+
+        // Shutdown over the wire: acknowledged, then the accept loop
+        // exits and finish() drains.
+        let down = request_on("{\"type\":\"shutdown\"}".to_string())
+            .join()
+            .unwrap();
+        assert_eq!(down.get("type").and_then(Json::as_str), Some("ok"));
+        acceptor.join().unwrap();
+        server.finish().unwrap();
+    }
+
+    #[test]
+    fn snapshot_files_round_trip_and_reject_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "qxmap-serve-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.qxsnap");
+
+        // Populate the process-wide cache with one solved entry.
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        let engine = qxmap_map::Portfolio::new();
+        let _ = engine.run_cached(&request).unwrap();
+        let persisted = save_snapshot(&path).unwrap();
+        assert!(persisted >= 1);
+        let imported = load_snapshot(&path).unwrap();
+        // Every persisted key is already live in this process's cache.
+        assert_eq!(imported, 0);
+
+        // Corruption is rejected with a description, not a crash.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(err.contains("rejected snapshot"), "{err}");
+
+        // A missing file is a cold start.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(load_snapshot(&path), Ok(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

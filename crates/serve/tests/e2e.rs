@@ -1,0 +1,177 @@
+//! End-to-end test of the `qxmap-serve` binary: boot on a loopback
+//! port, round-trip a QASM mapping request and a metrics request,
+//! shut down (writing the cache snapshot), restart from the snapshot,
+//! and assert the repeated request is a sub-millisecond warm cache hit
+//! with the same layout and cost as the original solve — the serving
+//! tier's whole reason to exist, exercised over the real wire.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use qxmap_serve::Json;
+
+const QASM: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\ncx q[0], q[1];\ncx q[2], q[3];\ncx q[0], q[2];\ncx q[1], q[3];\n";
+
+fn map_line() -> String {
+    format!(
+        "{{\"type\":\"map\",\"id\":\"e2e\",\"qasm\":{},\"device\":\"qx4\",\"deadline_ms\":30000}}",
+        Json::str(QASM)
+    )
+}
+
+/// The daemon under test; killed on drop so a failing assertion never
+/// leaks a process.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn boot(snapshot: &std::path::Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_qxmap-serve"))
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--snapshot",
+                snapshot.to_str().expect("UTF-8 temp path"),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("binary built by cargo");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let announcement = lines
+            .next()
+            .expect("the daemon announces its address")
+            .expect("readable stdout");
+        let parsed = Json::parse(&announcement).expect("announcement is JSON");
+        assert_eq!(
+            parsed.get("type").and_then(Json::as_str),
+            Some("listening"),
+            "{announcement}"
+        );
+        let addr = parsed
+            .get("addr")
+            .and_then(Json::as_str)
+            .expect("announced addr")
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    /// One request line over its own connection; returns the parsed
+    /// response.
+    fn request(&self, line: &str) -> Json {
+        let stream = TcpStream::connect(&self.addr).expect("daemon is listening");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        BufReader::new(stream).read_line(&mut response).unwrap();
+        Json::parse(&response).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+    }
+
+    fn shutdown_and_wait(mut self) {
+        let ack = self.request("{\"type\":\"shutdown\"}");
+        assert_eq!(ack.get("type").and_then(Json::as_str), Some("ok"));
+        let status = self.child.wait().expect("daemon exits after shutdown");
+        assert!(status.success(), "daemon exited with {status}");
+        // Disarm the drop guard's kill (already exited).
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn restart_serves_warm_cache_hits_from_the_snapshot() {
+    let dir = std::env::temp_dir().join(format!("qxmap-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot: PathBuf = dir.join("solves.qxsnap");
+    let _ = std::fs::remove_file(&snapshot);
+
+    // Boot 1: cold. Solve once, check the answer and the metrics.
+    let daemon = Daemon::boot(&snapshot);
+    let first = daemon.request(&map_line());
+    assert_eq!(
+        first.get("type").and_then(Json::as_str),
+        Some("result"),
+        "{first}"
+    );
+    assert_eq!(first.get("id").and_then(Json::as_str), Some("e2e"));
+    assert_eq!(
+        first.get("served_from_cache").and_then(Json::as_bool),
+        Some(false)
+    );
+    let first_cost = first.get("cost").cloned().expect("cost breakdown");
+    let first_layout = first.get("initial_layout").cloned().expect("layout");
+    assert!(first
+        .get("mapped_qasm")
+        .and_then(Json::as_str)
+        .expect("mapped circuit travels as QASM")
+        .contains("OPENQASM 2.0"));
+
+    let metrics = daemon.request("{\"type\":\"metrics\"}");
+    assert_eq!(metrics.get("type").and_then(Json::as_str), Some("metrics"));
+    let cache = metrics.get("cache").expect("cache stats");
+    assert!(cache.get("entries").and_then(Json::as_u64).unwrap() >= 1);
+    let requests = metrics.get("requests").expect("request counters");
+    assert_eq!(requests.get("completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        requests.get("rejected_overload").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    // Graceful shutdown persists the snapshot.
+    daemon.shutdown_and_wait();
+    assert!(snapshot.exists(), "shutdown wrote no snapshot");
+
+    // Boot 2: warm. The identical request is a sub-millisecond cache
+    // hit with the original solve's layout and cost.
+    let daemon = Daemon::boot(&snapshot);
+    let second = daemon.request(&map_line());
+    assert_eq!(
+        second.get("served_from_cache").and_then(Json::as_bool),
+        Some(true),
+        "{second}"
+    );
+    assert_eq!(second.get("cost"), Some(&first_cost));
+    assert_eq!(second.get("initial_layout"), Some(&first_layout));
+    let winner = second.get("winner").and_then(Json::as_str).unwrap();
+    assert!(winner.starts_with("cache/"), "{winner}");
+    // Sub-millisecond warm hits: `elapsed_us` is wall-clock, so a single
+    // preemption on a loaded CI runner could inflate one sample past the
+    // bound. The hit is repeatable, so assert the *best* of a few —
+    // uncontended lookups are single-digit microseconds, three
+    // consecutive >1 ms preemptions would mean a dead machine.
+    let elapsed_us = (0..3)
+        .map(|_| {
+            let hit = daemon.request(&map_line());
+            assert_eq!(
+                hit.get("served_from_cache").and_then(Json::as_bool),
+                Some(true)
+            );
+            hit.get("elapsed_us").and_then(Json::as_u64).unwrap()
+        })
+        .chain(second.get("elapsed_us").and_then(Json::as_u64))
+        .min()
+        .unwrap();
+    assert!(elapsed_us < 1_000, "warm hit took {elapsed_us}us");
+
+    let metrics = daemon.request("{\"type\":\"metrics\"}");
+    let cache = metrics.get("cache").expect("cache stats");
+    assert!(cache.get("hits").and_then(Json::as_u64).unwrap() >= 1);
+    daemon.shutdown_and_wait();
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,183 @@
+//! Property and contract tests for solve-cache snapshot persistence:
+//! export → import round-trips (entries, byte accounting, the
+//! proved-optimal tier), plus rejection of version-bumped and truncated
+//! files — the serving tier's warm-start guarantees, tested at the
+//! library layer.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use qxmap::arch::devices;
+use qxmap::circuit::Circuit;
+use qxmap::map::{
+    Engine, ExactEngine, HeuristicEngine, MapRequest, SnapshotError, SolveCache, SNAPSHOT_VERSION,
+};
+
+/// Builds a small circuit from a proptest-generated gate list.
+fn circuit_from(gates: &[(usize, usize, u8)], n: usize) -> Circuit {
+    let mut circuit = Circuit::new(n);
+    for &(a, d, kind) in gates {
+        match kind {
+            0 => {
+                circuit.cx(a % n, (a + 1 + d) % n);
+            }
+            1 => {
+                circuit.h(a % n);
+            }
+            _ => {
+                circuit.t(a % n);
+            }
+        }
+    }
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Export → import round-trips every entry: each cached request is
+    /// still a hit after the round trip, with identical cost, circuit
+    /// and byte accounting, in a fresh cache instance (which is exactly
+    /// a daemon restart).
+    #[test]
+    fn snapshot_round_trip_preserves_entries_and_accounting(
+        gate_lists in prop::collection::vec(
+            prop::collection::vec((0usize..4, 0usize..2, 0u8..3), 1..8),
+            1..5,
+        ),
+        deadline_ms in 0u64..200,
+    ) {
+        let cache = SolveCache::with_capacity(32);
+        let engine = HeuristicEngine::naive();
+        let cm = devices::ibm_qx4();
+        let mut requests = Vec::new();
+        for gates in &gate_lists {
+            let mut request = MapRequest::new(circuit_from(gates, 4), cm.clone());
+            // Values below 50 mean "no deadline": the budget class is
+            // part of the persisted key either way.
+            if deadline_ms >= 50 {
+                request = request.with_deadline(Duration::from_millis(deadline_ms));
+            }
+            let report = engine.run(&request).expect("QX4 maps 4-qubit circuits");
+            cache.insert(&engine.cache_signature(), &request, &report);
+            requests.push((request, report));
+        }
+
+        let bytes = cache.export_snapshot();
+        let restarted = SolveCache::with_capacity(32);
+        let admitted = restarted.import_snapshot(&bytes).expect("own export imports");
+        prop_assert_eq!(admitted, cache.stats().entries);
+        prop_assert_eq!(
+            restarted.stats().approx_bytes,
+            cache.stats().approx_bytes,
+            "byte accounting must match a live insert's"
+        );
+        for (request, solved) in &requests {
+            let hit = restarted
+                .lookup(&engine.cache_signature(), request)
+                .expect("every persisted request hits after restart");
+            prop_assert!(hit.served_from_cache);
+            prop_assert_eq!(&hit.cost, &solved.cost);
+            prop_assert_eq!(&hit.mapped, &solved.mapped);
+            prop_assert_eq!(hit.proved_optimal, solved.proved_optimal);
+            hit.verify(request.circuit(), request.device())
+                .expect("imported entries still verify");
+        }
+    }
+
+    /// Any single flipped content byte — and any truncation — is
+    /// rejected cleanly, admitting nothing.
+    #[test]
+    fn snapshot_defects_are_rejected_cleanly(
+        flip in 0usize..1000,
+        cut in 0usize..1000,
+    ) {
+        let cache = SolveCache::with_capacity(8);
+        let engine = HeuristicEngine::naive();
+        let request = MapRequest::new(circuit_from(&[(0, 0, 0), (1, 0, 0)], 4), devices::ibm_qx4());
+        let report = engine.run(&request).expect("mappable");
+        cache.insert(&engine.cache_signature(), &request, &report);
+        let bytes = cache.export_snapshot();
+
+        // Truncation at any point is rejected.
+        let cut = cut % bytes.len();
+        let target = SolveCache::with_capacity(8);
+        prop_assert!(target.import_snapshot(&bytes[..cut]).is_err(), "cut {}", cut);
+        prop_assert_eq!(target.stats().entries, 0);
+
+        // A bit flip anywhere is rejected (magic, version, content or
+        // checksum — each layer catches its own).
+        let flip = flip % bytes.len();
+        let mut corrupted = bytes.clone();
+        corrupted[flip] ^= 0x10;
+        let target = SolveCache::with_capacity(8);
+        prop_assert!(target.import_snapshot(&corrupted).is_err(), "flip {}", flip);
+        prop_assert_eq!(target.stats().entries, 0);
+    }
+}
+
+#[test]
+fn proved_optimal_tier_survives_the_round_trip() {
+    let cache = SolveCache::with_capacity(8);
+    let engine = ExactEngine::new();
+    let mut circuit = Circuit::new(4);
+    circuit.cx(0, 1);
+    circuit.cx(1, 2);
+    circuit.cx(0, 3);
+    let unbudgeted = MapRequest::new(circuit.clone(), devices::ibm_qx4());
+    let proved = engine.run(&unbudgeted).expect("in regime");
+    assert!(proved.proved_optimal);
+    cache.insert(&engine.cache_signature(), &unbudgeted, &proved);
+    assert_eq!(cache.stats().entries, 2, "budget entry + proved tier");
+
+    let restarted = SolveCache::with_capacity(8);
+    assert_eq!(restarted.import_snapshot(&cache.export_snapshot()), Ok(2));
+    // The certificate serves budget classes that never ran before the
+    // restart — the tier survived, not just the entry.
+    let budgeted = MapRequest::new(circuit, devices::ibm_qx4())
+        .with_deadline(Duration::from_millis(75))
+        .with_conflict_budget(Some(12_345));
+    let hit = restarted
+        .lookup(&engine.cache_signature(), &budgeted)
+        .expect("proved tier serves any budget class");
+    assert!(hit.proved_optimal && hit.served_from_cache);
+}
+
+#[test]
+fn version_bump_and_capacity_limits_behave() {
+    let cache = SolveCache::with_capacity(8);
+    let engine = HeuristicEngine::naive();
+    let cm = devices::ibm_qx4();
+    for n in 2..=5 {
+        let mut circuit = Circuit::new(n);
+        for q in 0..n - 1 {
+            circuit.cx(q, q + 1);
+        }
+        let request = MapRequest::new(circuit, cm.clone());
+        let report = engine.run(&request).expect("mappable");
+        cache.insert(&engine.cache_signature(), &request, &report);
+    }
+    let bytes = cache.export_snapshot();
+
+    // A future (or past) encoding version is rejected by number, before
+    // any content is trusted.
+    let mut bumped = bytes.clone();
+    bumped[8] = bumped[8].wrapping_add(1); // little-endian version lives after the 8-byte magic
+    assert_eq!(
+        SolveCache::with_capacity(8).import_snapshot(&bumped),
+        Err(SnapshotError::VersionMismatch {
+            found: SNAPSHOT_VERSION + 1,
+            supported: SNAPSHOT_VERSION,
+        })
+    );
+
+    // Importing four entries into a two-entry cache keeps the two the
+    // exporter used most recently, charging evictions like live inserts.
+    let tiny = SolveCache::with_capacity(2);
+    assert_eq!(tiny.import_snapshot(&bytes), Ok(4));
+    let stats = tiny.stats();
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.evictions, 2);
+    assert!(stats.approx_bytes > 0);
+    assert!(stats.approx_bytes < cache.stats().approx_bytes);
+}
