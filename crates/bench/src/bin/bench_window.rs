@@ -1,0 +1,139 @@
+//! Windowed-vs-heuristic benchmark on large circuits: maps a fixed
+//! corpus of ≥50-qubit workloads from `qxmap-benchmarks` onto a
+//! heavy-hex lattice through the windowed engine and every pure
+//! heuristic, verifies each result against the full circuit, and emits
+//! `BENCH_window.json` with per-circuit cost and latency — the perf
+//! trajectory record for the window decomposition subsystem.
+//!
+//! Flags:
+//!
+//! * `--device NAME` — any [`qxmap_arch::devices::by_name`] device
+//!   (default `heavy-hex-4`, 55 qubits);
+//! * `--out PATH` — output path (default `BENCH_window.json`);
+//! * `--deadline-ms N` — wall-clock deadline per windowed map
+//!   (default 30000).
+
+use std::time::{Duration, Instant};
+
+use qxmap_arch::{devices, CouplingMap};
+use qxmap_benchmarks::famous;
+use qxmap_circuit::Circuit;
+use qxmap_map::{Engine, HeuristicEngine, MapRequest};
+use qxmap_window::WindowedEngine;
+
+/// One engine's measured answer on one circuit.
+struct Sample {
+    objective: u64,
+    millis: f64,
+}
+
+fn sample(
+    engine: &dyn Engine,
+    request: &MapRequest,
+    circuit: &Circuit,
+    cm: &CouplingMap,
+) -> Sample {
+    let start = Instant::now();
+    let report = engine
+        .run(request)
+        .expect("corpus circuits map on connected devices");
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    report
+        .verify(circuit, cm)
+        .expect("every benchmark result verifies");
+    Sample {
+        objective: report.cost.objective,
+        millis,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let device_name = flag("--device").unwrap_or_else(|| "heavy-hex-4".to_string());
+    let out = flag("--out").unwrap_or_else(|| "BENCH_window.json".to_string());
+    let deadline_ms: u64 = flag("--deadline-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000);
+
+    let cm = devices::by_name(&device_name).unwrap_or_else(|| {
+        eprintln!("unknown device {device_name:?}; try heavy-hex-4, grid-8x8");
+        std::process::exit(2);
+    });
+
+    // The fixed corpus: large circuits spanning the structures that
+    // matter past the exact regime — a ladder (GHZ), a deep arithmetic
+    // workload (ripple adder), a Toffoli chain (wide multi-qubit
+    // interactions after decomposition), and strided disjoint QFT
+    // blocks (dense local structure with no label locality, where
+    // placement-aware windowing pays off).
+    let corpus: Vec<Circuit> = vec![
+        famous::ghz(52),
+        famous::ripple_adder(24),
+        famous::toffoli_chain(50, 25),
+        famous::qft_blocks(9, 4),
+    ];
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut wins = 0usize;
+    println!("windowed-vs-heuristic on {cm} (deadline {deadline_ms} ms/map)");
+    for circuit in &corpus {
+        let name = circuit.name().to_string();
+        let request = MapRequest::new(circuit.clone(), cm.clone())
+            .with_deadline(Duration::from_millis(deadline_ms));
+        let windowed_engine = WindowedEngine::new();
+        let windowed = sample(&windowed_engine, &request, circuit, &cm);
+        let naive = sample(&HeuristicEngine::naive(), &request, circuit, &cm);
+        let sabre = sample(&HeuristicEngine::sabre(), &request, circuit, &cm);
+        let stochastic = sample(&HeuristicEngine::stochastic(5), &request, circuit, &cm);
+
+        let best_heuristic = naive
+            .objective
+            .min(sabre.objective)
+            .min(stochastic.objective);
+        let beats = windowed.objective < best_heuristic;
+        wins += usize::from(beats);
+        println!(
+            "{name:<22} orig {:>5} | windowed {:>6} ({:>8.1} ms) | naive {:>6} | sabre {:>6} | stochastic {:>6} | {}",
+            circuit.original_cost(),
+            windowed.objective,
+            windowed.millis,
+            naive.objective,
+            sabre.objective,
+            stochastic.objective,
+            if beats { "windowed wins" } else { "heuristic wins" },
+        );
+        let entry = |s: &Sample| {
+            format!(
+                "{{\"objective\": {}, \"millis\": {:.1}}}",
+                s.objective, s.millis
+            )
+        };
+        rows.push(format!(
+            "    {{\n      \"circuit\": \"{name}\",\n      \"qubits\": {},\n      \"original_cost\": {},\n      \"windowed\": {},\n      \"naive\": {},\n      \"sabre\": {},\n      \"stochastic_best_of_5\": {},\n      \"best_heuristic_objective\": {best_heuristic},\n      \"windowed_beats_best_heuristic\": {beats}\n    }}",
+            circuit.num_qubits(),
+            circuit.original_cost(),
+            entry(&windowed),
+            entry(&naive),
+            entry(&sabre),
+            entry(&stochastic),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"device\": \"{device_name}\",\n  \"device_qubits\": {},\n  \"deadline_ms\": {deadline_ms},\n  \"windowed_wins\": {wins},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        cm.num_qubits(),
+        rows.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("writable output path");
+    println!("wrote {out} ({wins}/{} windowed wins)", corpus.len());
+    assert!(
+        wins >= 1,
+        "the windowed engine must beat the best pure heuristic on at least one corpus circuit"
+    );
+}

@@ -52,6 +52,34 @@ pub fn qft(n: usize) -> Circuit {
     c
 }
 
+/// `blocks` independent copies of [`qft`] on `k` qubits each, with the
+/// copies' qubit labels *strided* across the `blocks·k` register: copy
+/// `i` acts on `{i, blocks+i, 2·blocks+i, …}`.
+///
+/// The striding models netlists whose logical labels carry no physical
+/// locality — a trivial (identity) initial layout scatters every copy
+/// across the device, so routing-only mappers pay to gather each block
+/// while placement-aware mappers can seat each copy on a compact
+/// subgraph for free. Past the exact regime this is the canonical
+/// workload where window decomposition beats pure heuristics.
+///
+/// ```
+/// let c = qxmap_benchmarks::famous::qft_blocks(3, 4);
+/// assert_eq!(c.num_qubits(), 12);
+/// // Copies are disjoint: 3 × the gate count of one QFT-4.
+/// assert_eq!(c.gates().len(), 3 * qxmap_benchmarks::famous::qft(4).gates().len());
+/// ```
+pub fn qft_blocks(blocks: usize, k: usize) -> Circuit {
+    let inner = qft(k);
+    let mut c = Circuit::new(blocks * k).named(format!("qft_blocks_{blocks}x{k}"));
+    for i in 0..blocks {
+        for gate in inner.gates() {
+            c.push(gate.map_qubits(|j| j * blocks + i));
+        }
+    }
+    c
+}
+
 /// A chain of `k` Toffolis over `n ≥ 3` qubits, each targeting the next
 /// qubit cyclically — the canonical reversible-netlist stressor.
 ///
@@ -123,6 +151,22 @@ mod tests {
         // n(n-1)/2 controlled phases, 2 CNOTs each, plus 3 per SWAP.
         let c = qft(4).decompose_swaps();
         assert_eq!(c.num_cnots(), 2 * 6 + 3 * 2);
+    }
+
+    #[test]
+    fn qft_blocks_are_disjoint_strided_copies() {
+        let c = qft_blocks(3, 4);
+        assert_eq!(c.num_qubits(), 12);
+        // Copy 1 acts exactly on {1, 4, 7, 10}.
+        let mut used: Vec<bool> = vec![false; 12];
+        let per_copy = qft(4).gates().len();
+        for gate in &c.gates()[per_copy..2 * per_copy] {
+            for q in gate.qubits() {
+                used[q] = true;
+            }
+        }
+        let active: Vec<usize> = (0..12).filter(|&q| used[q]).collect();
+        assert_eq!(active, vec![1, 4, 7, 10]);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use qxmap_arch::{route, DeviceModel, Layout};
+use qxmap_arch::{route, DeviceModel, DeviceStats, Layout};
 use qxmap_circuit::{Circuit, Dag, Gate};
 
 use crate::traits::{HeuristicError, HeuristicResult, Mapper, StopCheck};
@@ -71,6 +71,42 @@ impl SabreMapper {
     pub fn with_lookahead(mut self, lookahead: usize) -> SabreMapper {
         self.lookahead = lookahead;
         self
+    }
+
+    /// The lookahead window the classic default of 20 scales to on a
+    /// device with these statistics — the same signals (and the same
+    /// shape: halve on tiny uniform devices, double per signal, cap at
+    /// 4×) that already scale the portfolio's stochastic trial counts:
+    ///
+    /// * diameter ≤ 2 without cost skew: SWAP choices barely differ, a
+    ///   deep scored window is wasted work — halve it;
+    /// * cost skew ≥ 2 (calibrated devices): upcoming gates decide
+    ///   whether a dear edge is worth crossing — double it;
+    /// * diameter ≥ 6 (wide devices): routes span many steps, so the
+    ///   front layer alone is myopic — double it.
+    ///
+    /// The result is a pure function of the device model, so engines
+    /// applying it stay safely cacheable by (circuit, device) keys.
+    pub fn scaled_lookahead(stats: &DeviceStats) -> usize {
+        const BASE: usize = 20;
+        let skewed = stats.cost_skew() >= 2.0;
+        let wide = stats.diameter >= 6;
+        if stats.diameter <= 2 && !skewed {
+            return BASE / 2;
+        }
+        let factor = match (skewed, wide) {
+            (true, true) => 4,
+            (true, false) | (false, true) => 2,
+            (false, false) => 1,
+        };
+        BASE * factor
+    }
+
+    /// Builder form of [`SabreMapper::scaled_lookahead`]: reads the
+    /// statistics off `model` and sizes the lookahead window to it.
+    pub fn with_scaled_lookahead(self, model: &DeviceModel) -> SabreMapper {
+        let lookahead = SabreMapper::scaled_lookahead(model.stats());
+        self.with_lookahead(lookahead)
     }
 
     /// Caps the wall-clock time of one `map` call (measured from its
@@ -369,6 +405,24 @@ mod tests {
     use crate::naive::NaiveMapper;
     use qxmap_arch::devices;
     use qxmap_circuit::paper_example;
+
+    #[test]
+    fn lookahead_scales_with_device_statistics() {
+        // Tiny uniform device: half the classic window.
+        let qx4 = DeviceModel::paper(devices::ibm_qx4());
+        assert_eq!(SabreMapper::scaled_lookahead(qx4.stats()), 10);
+        // Wide device (diameter ≥ 6): doubled.
+        let wide = DeviceModel::paper(devices::linear(10));
+        assert!(wide.stats().diameter >= 6);
+        assert_eq!(SabreMapper::scaled_lookahead(wide.stats()), 40);
+        // Wide *and* skewed (calibrated edge at 3× the floor): capped 4×.
+        let skewed = DeviceModel::paper(devices::linear(10)).with_swap_cost(0, 1, 21);
+        assert!(skewed.stats().cost_skew() >= 2.0);
+        assert_eq!(SabreMapper::scaled_lookahead(skewed.stats()), 80);
+        // The builder wires the scaled value through.
+        let mapper = SabreMapper::new().with_scaled_lookahead(&wide);
+        assert_eq!(mapper.lookahead, 40);
+    }
 
     #[test]
     fn sabre_is_deterministic() {

@@ -282,7 +282,17 @@ fn approx_entry_bytes(report: &MapReport, canon_to_original: &[usize]) -> usize 
     let circuit = report.mapped.gates().len() * 4 * WORD;
     let layouts = 4 * report.mapped.num_qubits() * WORD;
     let correspondence = canon_to_original.len() * WORD;
-    std::mem::size_of::<MapReport>() + circuit + layouts + correspondence
+    let windows = report.windows.as_ref().map_or(0, |certs| {
+        certs
+            .iter()
+            .map(|c| {
+                std::mem::size_of::<crate::report::WindowCertificate>()
+                    + (c.qubits.len() + c.region.len()) * WORD
+                    + c.engine.len()
+            })
+            .sum()
+    });
+    std::mem::size_of::<MapReport>() + circuit + layouts + correspondence + windows
 }
 
 #[derive(Default)]

@@ -264,7 +264,12 @@ impl HeuristicEngine {
                 mapper.map_model(circuit, model)?
             }
             Baseline::Sabre => {
-                let mut mapper = SabreMapper::new().with_deadline(request.deadline());
+                // Lookahead sized to the device's statistics (diameter,
+                // cost skew) — a pure function of the model already in
+                // the cache key, so cacheability is unaffected.
+                let mut mapper = SabreMapper::new()
+                    .with_scaled_lookahead(model)
+                    .with_deadline(request.deadline());
                 if let Some(cancel) = cancel {
                     mapper = mapper.with_stop(cancel);
                 }

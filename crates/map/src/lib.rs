@@ -77,7 +77,7 @@ pub use cache::{
 pub use engine::{Baseline, Engine, ExactEngine, HeuristicEngine};
 pub use error::MapperError;
 pub use portfolio::Portfolio;
-pub use report::{CostBreakdown, MapReport};
+pub use report::{CostBreakdown, MapReport, WindowCertificate};
 pub use request::{Guarantee, MapRequest};
 pub use snapshot::{snapshot_entry_count, SnapshotError, SNAPSHOT_VERSION};
 

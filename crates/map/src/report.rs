@@ -33,6 +33,48 @@ impl fmt::Display for CostBreakdown {
     }
 }
 
+/// Per-window provenance of one slice of a window-decomposed solve.
+///
+/// A windowed engine (e.g. `qxmap_window::WindowedEngine`) breaks a
+/// large circuit into interaction-connected blocks, exact-solves each on
+/// the device subgraph it was placed on, and stitches the pieces with
+/// SWAP bridges. The stitched [`MapReport`] carries no *global*
+/// minimality proof, but each window's local solve does produce one —
+/// this record preserves it, together with where the window ran and what
+/// stitching into it cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowCertificate {
+    /// Position of the window in solve order (0-based).
+    pub index: usize,
+    /// The *logical* qubits (original circuit indices) active in this
+    /// window.
+    pub qubits: Vec<usize>,
+    /// The physical qubits (full-device indices) of the connected
+    /// subgraph the window was solved on.
+    pub region: Vec<usize>,
+    /// Costed gates of the original circuit that fell into this window.
+    pub gates: usize,
+    /// The window's local objective under the request's device model
+    /// (bridging excluded — see [`WindowCertificate::bridge_cost`]).
+    pub objective: u64,
+    /// Whether the window's local solve carries a minimality proof for
+    /// its subcircuit on its subgraph — the per-window certificate.
+    pub proved_optimal: bool,
+    /// Whether the window's solve was answered from the
+    /// [`crate::SolveCache`] (windows probe it by their own skeleton
+    /// fingerprint).
+    pub served_from_cache: bool,
+    /// The engine that won the window's local race (e.g.
+    /// `portfolio/exact`).
+    pub engine: String,
+    /// SWAPs the bridge into this window inserted (0 for the first
+    /// window — its qubits materialize in place).
+    pub bridge_swaps: u32,
+    /// Modeled cost of this window's bridge SWAPs under the request's
+    /// device model.
+    pub bridge_cost: u64,
+}
+
 /// One uniform answer to a [`crate::MapRequest`], whichever engine
 /// produced it.
 #[derive(Debug, Clone)]
@@ -78,6 +120,10 @@ pub struct MapReport {
     pub num_change_points: Option<usize>,
     /// Solver iterations spent in minimization (exact engines).
     pub iterations: Option<u32>,
+    /// Per-window provenance and optimality certificates of a
+    /// window-decomposed solve, in stitch order. `None` for monolithic
+    /// engines.
+    pub windows: Option<Vec<WindowCertificate>>,
 }
 
 impl MapReport {
@@ -127,6 +173,7 @@ impl MapReport {
             subset: Some(result.subset),
             num_change_points: Some(result.num_change_points),
             iterations: Some(result.iterations),
+            windows: None,
             mapped: result.mapped,
             initial_layout: result.initial_layout,
             final_layout: result.final_layout,
@@ -158,6 +205,7 @@ impl MapReport {
             subset: None,
             num_change_points: None,
             iterations: None,
+            windows: None,
             mapped: result.mapped,
             initial_layout: result.initial_layout,
             final_layout: result.final_layout,

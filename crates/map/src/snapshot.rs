@@ -31,7 +31,7 @@ use std::time::Duration;
 use qxmap_arch::Layout;
 use qxmap_circuit::{Circuit, CircuitSkeleton, Gate, OneQubitKind};
 
-use crate::report::{CostBreakdown, MapReport};
+use crate::report::{CostBreakdown, MapReport, WindowCertificate};
 
 /// Magic bytes opening every snapshot.
 pub(crate) const MAGIC: &[u8; 8] = b"QXSNAPSH";
@@ -40,7 +40,7 @@ pub(crate) const MAGIC: &[u8; 8] = b"QXSNAPSH";
 /// to the entry encoding (or to the skeleton token stream it embeds)
 /// must bump this, so stale files are rejected cleanly instead of
 /// misread.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot was rejected. Imports are all-or-nothing: a rejected
 /// snapshot admits no entries.
@@ -488,6 +488,50 @@ pub(crate) fn write_report(w: &mut Writer, report: &MapReport) {
     }
     w.opt_u64(report.num_change_points.map(|v| v as u64));
     w.opt_u64(report.iterations.map(u64::from));
+    match &report.windows {
+        None => w.u8(0),
+        Some(windows) => {
+            w.u8(1);
+            w.usize(windows.len());
+            for cert in windows {
+                write_window_certificate(w, cert);
+            }
+        }
+    }
+}
+
+fn write_window_certificate(w: &mut Writer, cert: &WindowCertificate) {
+    w.usize(cert.index);
+    w.usizes(&cert.qubits);
+    w.usizes(&cert.region);
+    w.usize(cert.gates);
+    w.u64(cert.objective);
+    w.u8(u8::from(cert.proved_optimal));
+    w.u8(u8::from(cert.served_from_cache));
+    w.str(&cert.engine);
+    w.u32(cert.bridge_swaps);
+    w.u64(cert.bridge_cost);
+}
+
+fn read_window_certificate(r: &mut Reader<'_>) -> Result<WindowCertificate, SnapshotError> {
+    let flag = |r: &mut Reader<'_>, what| match r.u8() {
+        Ok(0) => Ok(false),
+        Ok(1) => Ok(true),
+        Ok(_) => Err(SnapshotError::Corrupted(what)),
+        Err(e) => Err(e),
+    };
+    Ok(WindowCertificate {
+        index: r.usize()?,
+        qubits: r.usizes()?,
+        region: r.usizes()?,
+        gates: r.usize()?,
+        objective: r.u64()?,
+        proved_optimal: flag(r, "window proved flag")?,
+        served_from_cache: flag(r, "window cache flag")?,
+        engine: r.str()?,
+        bridge_swaps: r.u32()?,
+        bridge_cost: r.u64()?,
+    })
 }
 
 pub(crate) fn read_report(r: &mut Reader<'_>) -> Result<MapReport, SnapshotError> {
@@ -520,6 +564,20 @@ pub(crate) fn read_report(r: &mut Reader<'_>) -> Result<MapReport, SnapshotError
         .opt_u64()?
         .map(|v| u32::try_from(v).map_err(|_| SnapshotError::Corrupted("iterations")))
         .transpose()?;
+    let windows = match r.u8()? {
+        0 => None,
+        1 => {
+            // Certificates encode in well over 8 bytes each; the length
+            // guard only needs a conservative per-element floor.
+            let n = r.len_of(8)?;
+            let mut certs = Vec::new();
+            for _ in 0..n {
+                certs.push(read_window_certificate(r)?);
+            }
+            Some(certs)
+        }
+        _ => return Err(SnapshotError::Corrupted("windows tag")),
+    };
     Ok(MapReport {
         engine,
         winner,
@@ -541,6 +599,7 @@ pub(crate) fn read_report(r: &mut Reader<'_>) -> Result<MapReport, SnapshotError
         subset,
         num_change_points,
         iterations,
+        windows,
     })
 }
 

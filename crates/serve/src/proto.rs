@@ -9,7 +9,11 @@
 //!   `guarantee` (`"optimal"` / `"best_effort"`), `strategy`
 //!   (`"before_every_gate"`, `"disjoint_qubits"`, `"odd_gates"`,
 //!   `"qubit_triangle"`, `{"window": k}`, `{"custom": [...]}`),
-//!   `subsets` (bool), `upper_bound`, `seed`.
+//!   `subsets` (bool), `upper_bound`, `seed`, and `windowed` — `true`
+//!   (default options) or `{"max_window_qubits": k, "sat_bridges": b}`
+//!   to answer through the window-decomposed engine
+//!   ([`qxmap_window::WindowedEngine`]), whose response carries a
+//!   `windows` array of per-window optimality certificates.
 //! * `{"type": "metrics"}` — cache statistics, queue state, latency
 //!   counters.
 //! * `{"type": "shutdown"}` — graceful shutdown: queued work finishes,
@@ -35,8 +39,9 @@
 use std::time::Duration;
 
 use qxmap_arch::{calibration, devices, CouplingMap, DeviceModel, Layout};
-use qxmap_core::Strategy;
-use qxmap_map::{Guarantee, MapReport, MapRequest, MapperError};
+use qxmap_core::{Strategy, MAX_EXACT_QUBITS};
+use qxmap_map::{Guarantee, MapReport, MapRequest, MapperError, WindowCertificate};
+use qxmap_window::WindowOptions;
 
 use crate::json::Json;
 
@@ -64,6 +69,9 @@ pub struct MapJob {
     pub id: Option<Json>,
     /// The engine-ready request.
     pub request: MapRequest,
+    /// When set, the job answers through the window-decomposed engine
+    /// with these options instead of the monolithic portfolio.
+    pub windowed: Option<WindowOptions>,
 }
 
 /// A structured protocol-level rejection (before any engine ran).
@@ -159,6 +167,7 @@ const MAP_KEYS: &[&str] = &[
     "conflict_budget",
     "upper_bound",
     "seed",
+    "windowed",
 ];
 
 fn parse_map(value: &Json, id: Option<Json>) -> Result<MapJob, Rejection> {
@@ -223,7 +232,43 @@ fn parse_map(value: &Json, id: Option<Json>) -> Result<MapJob, Rejection> {
             .ok_or_else(|| bad("\"seed\" must be a non-negative integer".to_string()))?;
         request = request.with_seed(seed);
     }
-    Ok(MapJob { id, request })
+    let windowed = match value.get("windowed") {
+        Some(w) => parse_windowed(w).map_err(&bad)?,
+        None => None,
+    };
+    Ok(MapJob {
+        id,
+        request,
+        windowed,
+    })
+}
+
+/// `true`, `false`, or `{"max_window_qubits": k, "sat_bridges": b}`.
+fn parse_windowed(value: &Json) -> Result<Option<WindowOptions>, String> {
+    if let Some(on) = value.as_bool() {
+        return Ok(on.then(WindowOptions::default));
+    }
+    let Some(pairs) = value.as_object() else {
+        return Err("\"windowed\" must be a boolean or an options object".to_string());
+    };
+    for (key, _) in pairs {
+        if !["max_window_qubits", "sat_bridges"].contains(&key.as_str()) {
+            return Err(format!("unknown windowed field {key:?}"));
+        }
+    }
+    let mut options = WindowOptions::default();
+    if let Some(k) = value.get("max_window_qubits") {
+        options.max_window_qubits = k
+            .as_usize()
+            .filter(|k| (2..=MAX_EXACT_QUBITS).contains(k))
+            .ok_or(format!(
+                "\"max_window_qubits\" must be an integer in 2..={MAX_EXACT_QUBITS}"
+            ))?;
+    }
+    if let Some(b) = value.get("sat_bridges") {
+        options.sat_bridges = b.as_bool().ok_or("\"sat_bridges\" must be a boolean")?;
+    }
+    Ok(Some(options))
 }
 
 enum ParsedDevice {
@@ -443,9 +488,26 @@ fn micros(d: Duration) -> Json {
     Json::num(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
 }
 
+/// One per-window optimality certificate of a windowed result.
+fn window_json(w: &WindowCertificate) -> Json {
+    let slots = |ps: &[usize]| Json::Arr(ps.iter().map(|&p| Json::num(p as u64)).collect());
+    Json::obj([
+        ("index", Json::num(w.index as u64)),
+        ("qubits", slots(&w.qubits)),
+        ("region", slots(&w.region)),
+        ("gates", Json::num(w.gates as u64)),
+        ("objective", Json::num(w.objective)),
+        ("proved_optimal", Json::Bool(w.proved_optimal)),
+        ("served_from_cache", Json::Bool(w.served_from_cache)),
+        ("engine", Json::str(&w.engine)),
+        ("bridge_swaps", Json::num(u64::from(w.bridge_swaps))),
+        ("bridge_cost", Json::num(w.bridge_cost)),
+    ])
+}
+
 /// Builds the `result` response for a completed mapping job.
 pub fn result_response(id: Option<Json>, report: &MapReport) -> Json {
-    let pairs = vec![
+    let mut pairs = vec![
         ("type".to_string(), Json::str("result")),
         ("engine".to_string(), Json::str(&report.engine)),
         ("winner".to_string(), Json::str(&report.winner)),
@@ -481,6 +543,12 @@ pub fn result_response(id: Option<Json>, report: &MapReport) -> Json {
             Json::str(qxmap_qasm::to_qasm(&report.mapped)),
         ),
     ];
+    if let Some(windows) = &report.windows {
+        pairs.push((
+            "windows".to_string(),
+            Json::Arr(windows.iter().map(window_json).collect()),
+        ));
+    }
     with_id(id, pairs)
 }
 
@@ -557,6 +625,46 @@ cx q[1], q[2];
         assert_eq!(job.request.device().num_qubits(), 5);
         assert_eq!(job.request.guarantee(), Guarantee::BestEffort);
         assert!(job.id.is_none());
+        assert!(job.windowed.is_none());
+    }
+
+    #[test]
+    fn windowed_options_parse_and_validate() {
+        let Request::Map(job) = parse_request(&map_line(",\"windowed\":true")).unwrap() else {
+            panic!("not a map request");
+        };
+        assert_eq!(job.windowed, Some(WindowOptions::default()));
+        let Request::Map(job) = parse_request(&map_line(",\"windowed\":false")).unwrap() else {
+            panic!("not a map request");
+        };
+        assert!(job.windowed.is_none());
+        let line = map_line(",\"windowed\":{\"max_window_qubits\":4,\"sat_bridges\":true}");
+        let Request::Map(job) = parse_request(&line).unwrap() else {
+            panic!("not a map request");
+        };
+        assert_eq!(
+            job.windowed,
+            Some(WindowOptions {
+                max_window_qubits: 4,
+                sat_bridges: true,
+            })
+        );
+        for (extra, needle) in [
+            (",\"windowed\":7", "boolean"),
+            (
+                ",\"windowed\":{\"max_window_qubits\":1}",
+                "max_window_qubits",
+            ),
+            (
+                ",\"windowed\":{\"window_qubits\":4}",
+                "unknown windowed field",
+            ),
+            (",\"windowed\":{\"sat_bridges\":3}", "sat_bridges"),
+        ] {
+            let e = parse_request(&map_line(extra)).unwrap_err();
+            assert_eq!(e.code, "bad_request", "{extra}");
+            assert!(e.message.contains(needle), "{extra} -> {}", e.message);
+        }
     }
 
     #[test]
@@ -681,7 +789,35 @@ cx q[1], q[2];
         assert_eq!(cost.get("objective").and_then(Json::as_u64), Some(4));
         let qasm = r.get("mapped_qasm").and_then(Json::as_str).unwrap();
         assert!(qasm.contains("OPENQASM 2.0"));
+        // A monolithic report has no windows section.
+        assert!(r.get("windows").is_none());
         // The response line parses back (the protocol is self-consistent).
+        assert!(Json::parse(&r.to_string()).is_ok());
+    }
+
+    #[test]
+    fn result_response_carries_window_certificates() {
+        use qxmap_map::Engine as _;
+        let mut circuit = qxmap_circuit::Circuit::new(10);
+        for q in 0..9 {
+            circuit.cx(q, q + 1);
+        }
+        let request = MapRequest::new(circuit, devices::linear(12));
+        let report = qxmap_window::WindowedEngine::new().run(&request).unwrap();
+        let r = result_response(None, &report);
+        assert_eq!(r.get("engine").and_then(Json::as_str), Some("windowed"));
+        let windows = r.get("windows").and_then(Json::as_array).unwrap();
+        assert!(windows.len() >= 2, "{} windows", windows.len());
+        let gates: u64 = windows
+            .iter()
+            .map(|w| w.get("gates").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(gates, 9, "every gate is certified by exactly one window");
+        for w in windows {
+            assert_eq!(w.get("proved_optimal"), Some(&Json::Bool(true)));
+            assert!(w.get("engine").and_then(Json::as_str).is_some());
+            assert!(w.get("region").and_then(Json::as_array).is_some());
+        }
         assert!(Json::parse(&r.to_string()).is_ok());
     }
 }

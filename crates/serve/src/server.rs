@@ -18,7 +18,10 @@
 //! [`qxmap_map::map_many`] call — so a burst of identical requests
 //! landing together is deduplicated into one solve *before* the
 //! process-wide solve cache even sees it, exactly like a library-side
-//! batch.
+//! batch. Jobs that opted into window decomposition (`"windowed"`)
+//! run through [`qxmap_window::WindowedEngine`] instead — the engine
+//! probes the same solve cache per window and parallelizes internally,
+//! so batch deduplication adds nothing there.
 //!
 //! ## Shutdown and persistence
 //!
@@ -41,7 +44,8 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use qxmap_map::{MapReport, MapRequest, MapperError, SolveCache};
+use qxmap_map::{Engine as _, MapReport, MapRequest, MapperError, SolveCache};
+use qxmap_window::{WindowOptions, WindowedEngine};
 
 use crate::json::Json;
 use crate::proto::{self, Rejection, Request};
@@ -101,6 +105,9 @@ impl Handled {
 /// travels back on.
 struct QueuedJob {
     request: MapRequest,
+    /// When set, the job answers through the window-decomposed engine
+    /// with these options instead of the batch solver.
+    windowed: Option<WindowOptions>,
     respond: mpsc::Sender<Result<MapReport, MapperError>>,
 }
 
@@ -199,14 +206,39 @@ impl Server {
                 q.in_flight += batch.len();
                 batch
             };
-            let requests: Vec<MapRequest> = batch.iter().map(|j| j.request.clone()).collect();
-            let results = (self.solver)(&requests);
-            debug_assert_eq!(results.len(), batch.len());
+            // Windowed jobs run through the windowed engine one by one —
+            // it does its own window-level cache probing and parallel
+            // solving, so batch deduplication adds nothing there. Plain
+            // jobs still go through the batch solver together.
+            let mut results: Vec<Option<Result<MapReport, MapperError>>> =
+                batch.iter().map(|_| None).collect();
+            let mut plain: Vec<MapRequest> = Vec::new();
+            let mut plain_at: Vec<usize> = Vec::new();
+            for (i, job) in batch.iter().enumerate() {
+                match job.windowed {
+                    Some(options) => {
+                        results[i] = Some(WindowedEngine::with_options(options).run(&job.request));
+                    }
+                    None => {
+                        plain_at.push(i);
+                        plain.push(job.request.clone());
+                    }
+                }
+            }
+            if !plain.is_empty() {
+                let solved = (self.solver)(&plain);
+                debug_assert_eq!(solved.len(), plain_at.len());
+                for (i, result) in plain_at.into_iter().zip(solved) {
+                    results[i] = Some(result);
+                }
+            }
             let n = batch.len();
             for (job, result) in batch.into_iter().zip(results) {
                 // A disconnected receiver just means the client went
                 // away; the work still warmed the cache.
-                let _ = job.respond.send(result);
+                let _ = job
+                    .respond
+                    .send(result.expect("every admitted job was solved"));
             }
             self.queue
                 .lock()
@@ -220,6 +252,7 @@ impl Server {
     fn submit(
         &self,
         request: MapRequest,
+        windowed: Option<WindowOptions>,
         id: Option<Json>,
     ) -> Result<mpsc::Receiver<Result<MapReport, MapperError>>, Rejection> {
         let mut q = self.queue.lock().expect("no panics under the lock");
@@ -244,7 +277,11 @@ impl Server {
             });
         }
         let (respond, receive) = mpsc::channel();
-        q.jobs.push_back(QueuedJob { request, respond });
+        q.jobs.push_back(QueuedJob {
+            request,
+            windowed,
+            respond,
+        });
         drop(q);
         self.available.notify_one();
         Ok(receive)
@@ -280,7 +317,7 @@ impl Server {
             Request::Map(job) => {
                 self.counters.received.fetch_add(1, Ordering::Relaxed);
                 let start = Instant::now();
-                let receive = match self.submit(job.request, job.id.clone()) {
+                let receive = match self.submit(job.request, job.windowed, job.id.clone()) {
                     Ok(receive) => receive,
                     Err(rejection) => {
                         return Handled::Reply(proto::rejection_response(&rejection).to_string())
@@ -572,7 +609,6 @@ mod tests {
     use super::*;
     use qxmap_arch::devices;
     use qxmap_circuit::paper_example;
-    use qxmap_map::Engine as _;
 
     const QASM: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncx q[0], q[1];\n";
 
@@ -614,7 +650,11 @@ mod tests {
         // it actually leaves the queue so the depth accounting below is
         // deterministic.
         let first = server
-            .submit(MapRequest::new(paper_example(), devices::ibm_qx4()), None)
+            .submit(
+                MapRequest::new(paper_example(), devices::ibm_qx4()),
+                None,
+                None,
+            )
             .expect("admitted");
         while server.queue.lock().unwrap().in_flight == 0 {
             std::thread::sleep(Duration::from_millis(1));
@@ -624,11 +664,13 @@ mod tests {
             .submit(
                 MapRequest::new(paper_example(), devices::ibm_qx4()).with_seed(1),
                 None,
+                None,
             )
             .expect("queued");
         let rejected = server
             .submit(
                 MapRequest::new(paper_example(), devices::ibm_qx4()).with_seed(2),
+                None,
                 None,
             )
             .unwrap_err();
@@ -660,11 +702,19 @@ mod tests {
             solver,
         );
         let admitted = server
-            .submit(MapRequest::new(paper_example(), devices::ibm_qx4()), None)
+            .submit(
+                MapRequest::new(paper_example(), devices::ibm_qx4()),
+                None,
+                None,
+            )
             .expect("admitted");
         server.begin_shutdown();
         let rejected = server
-            .submit(MapRequest::new(paper_example(), devices::ibm_qx4()), None)
+            .submit(
+                MapRequest::new(paper_example(), devices::ibm_qx4()),
+                None,
+                None,
+            )
             .unwrap_err();
         assert_eq!(rejected.code, "shutting_down");
         release.send(()).unwrap();

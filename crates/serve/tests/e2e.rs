@@ -93,6 +93,70 @@ impl Drop for Daemon {
     }
 }
 
+/// A GHZ-style CNOT ladder over `n` qubits as OpenQASM 2.0.
+fn ladder_qasm(n: usize) -> String {
+    let mut qasm = format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{n}];\n");
+    for q in 0..n - 1 {
+        qasm.push_str(&format!("cx q[{}], q[{}];\n", q, q + 1));
+    }
+    qasm
+}
+
+#[test]
+fn windowed_requests_round_trip_with_certificates() {
+    let dir = std::env::temp_dir().join(format!("qxmap-serve-e2e-win-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot: PathBuf = dir.join("solves.qxsnap");
+    let _ = std::fs::remove_file(&snapshot);
+
+    let daemon = Daemon::boot(&snapshot);
+    // A 10-qubit ladder on linear-12: past the exact regime, so the
+    // windowed engine slices, solves and stitches.
+    let line = format!(
+        "{{\"type\":\"map\",\"id\":\"win\",\"qasm\":{},\"device\":\"linear-12\",\
+         \"windowed\":{{\"max_window_qubits\":6}},\"deadline_ms\":30000}}",
+        Json::str(ladder_qasm(10))
+    );
+    let r = daemon.request(&line);
+    assert_eq!(r.get("type").and_then(Json::as_str), Some("result"), "{r}");
+    assert_eq!(r.get("id").and_then(Json::as_str), Some("win"));
+    assert_eq!(r.get("engine").and_then(Json::as_str), Some("windowed"));
+    let windows = r
+        .get("windows")
+        .and_then(Json::as_array)
+        .expect("windowed results carry per-window certificates");
+    assert!(windows.len() >= 2, "{} windows", windows.len());
+    let gates: u64 = windows
+        .iter()
+        .map(|w| w.get("gates").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(gates, 9, "every ladder gate is certified by one window");
+    assert!(
+        windows
+            .iter()
+            .all(|w| w.get("proved_optimal") == Some(&Json::Bool(true))),
+        "every window of the ladder solves exactly"
+    );
+    assert!(r
+        .get("mapped_qasm")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("OPENQASM 2.0"));
+
+    // The same job without the windowed knob answers monolithically,
+    // with no certificate section.
+    let plain = format!(
+        "{{\"type\":\"map\",\"qasm\":{},\"device\":\"linear-12\",\"deadline_ms\":30000}}",
+        Json::str(ladder_qasm(10))
+    );
+    let p = daemon.request(&plain);
+    assert_eq!(p.get("type").and_then(Json::as_str), Some("result"), "{p}");
+    assert!(p.get("windows").is_none());
+
+    daemon.shutdown_and_wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn restart_serves_warm_cache_hits_from_the_snapshot() {
     let dir = std::env::temp_dir().join(format!("qxmap-serve-e2e-{}", std::process::id()));

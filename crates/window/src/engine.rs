@@ -1,0 +1,677 @@
+//! The windowed engine: slice → solve → stitch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use qxmap_arch::{DeviceModel, Layout};
+use qxmap_circuit::Circuit;
+use qxmap_core::{Strategy, MAX_EXACT_QUBITS};
+use qxmap_map::{
+    CostBreakdown, Engine, Guarantee, MapReport, MapRequest, MapperError, Portfolio,
+    WindowCertificate,
+};
+
+use crate::bridge::{self, StitchState};
+use crate::slicer::{self, Item};
+
+/// Default active-qubit cap per window. Six keeps each window's SAT
+/// instance comfortably inside the exact regime while leaving room for
+/// meaningful multi-qubit interaction blocks.
+pub const DEFAULT_WINDOW_QUBITS: usize = 6;
+
+/// Tuning knobs of the [`WindowedEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowOptions {
+    /// Maximum active qubits per window (clamped to
+    /// `2..=`[`MAX_EXACT_QUBITS`] at run time). Smaller windows solve
+    /// faster but stitch more.
+    pub max_window_qubits: usize,
+    /// Realize small window-to-window bridges with the provably cheapest
+    /// SWAP sequence from the device's costed table instead of token
+    /// routing. Optimal per bridge, but pays an exhaustive table build
+    /// per distinct boundary subgraph.
+    pub sat_bridges: bool,
+}
+
+impl Default for WindowOptions {
+    fn default() -> WindowOptions {
+        WindowOptions {
+            max_window_qubits: DEFAULT_WINDOW_QUBITS,
+            sat_bridges: false,
+        }
+    }
+}
+
+/// Window-decomposed mapping: breaks the 8-qubit wall of the exact
+/// method by slicing the circuit into interaction-connected windows of
+/// at most [`WindowOptions::max_window_qubits`] active qubits, solving
+/// each window exactly (through a [`Portfolio`] race) on a connected
+/// device subgraph chosen near the window's qubits, and stitching
+/// consecutive windows with SWAP bridges.
+///
+/// The stitched answer is a single verified [`MapReport`] whose
+/// [`MapReport::windows`] section records, per window, where it ran,
+/// what it cost, and whether its *local* solve is provably minimal — the
+/// global result carries no optimality claim (windowing is a
+/// decomposition heuristic), so [`Guarantee::Optimal`] requests are
+/// refused.
+///
+/// Windows solve in parallel on a scoped worker pool; the request's
+/// wall-clock deadline and conflict budget are split evenly across the
+/// solvable windows (deterministically, so window cache keys stay
+/// stable), and each window probes the process-wide
+/// [`qxmap_map::SolveCache`] by its own subcircuit skeleton — repeated
+/// structure across or within circuits is solved once.
+///
+/// Instances the monolithic engines already handle (devices inside the
+/// exact regime, or disconnected devices where bridges cannot route)
+/// are delegated to the inner [`Portfolio`] unchanged.
+#[derive(Debug, Default)]
+pub struct WindowedEngine {
+    options: WindowOptions,
+    portfolio: Portfolio,
+}
+
+impl WindowedEngine {
+    /// Creates the engine with default options.
+    pub fn new() -> WindowedEngine {
+        WindowedEngine::default()
+    }
+
+    /// Creates the engine with explicit options.
+    pub fn with_options(options: WindowOptions) -> WindowedEngine {
+        WindowedEngine {
+            options,
+            portfolio: Portfolio::new(),
+        }
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> WindowOptions {
+        self.options
+    }
+
+    fn run_windowed(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
+        let started = Instant::now();
+        let circuit = request.circuit();
+        let model = request.device_model();
+        let cm = model.coupling_map();
+        let n = circuit.num_qubits();
+        let m = cm.num_qubits();
+        if n > m {
+            return Err(MapperError::TooManyQubits {
+                logical: n,
+                physical: m,
+            });
+        }
+        if request.guarantee() == Guarantee::Optimal {
+            return Err(MapperError::OptimalityUnavailable {
+                reason: "window decomposition certifies per-window minima, not a global one"
+                    .to_string(),
+            });
+        }
+        // Devices inside the exact regime gain nothing from windowing,
+        // and bridges cannot route across a disconnected device: both go
+        // to the monolithic race unchanged.
+        if m <= MAX_EXACT_QUBITS || !cm.is_connected() {
+            return self.portfolio.run(request);
+        }
+
+        let base = circuit.decompose_swaps();
+        let cap = self.options.max_window_qubits.clamp(2, MAX_EXACT_QUBITS);
+        let items = slicer::slice(&base, cap);
+        let plans = self.plan_regions(request, model, n, &items);
+        let solved = self.solve_windows(&plans)?;
+        let report = self.stitch(request, model, n, m, &base, &items, &plans, solved, started)?;
+        report
+            .verify(circuit, cm)
+            .expect("the stitched mapping verifies against the full circuit");
+        Ok(report)
+    }
+
+    /// The sequential pre-pass: walks the stitch plan once, choosing for
+    /// every solvable block a connected device region near the block's
+    /// (predicted) qubit positions, and builds the block's sub-request.
+    /// Predictions track where each block *will* leave its qubits so
+    /// later blocks anchor their regions realistically.
+    fn plan_regions(
+        &self,
+        request: &MapRequest,
+        model: &DeviceModel,
+        num_logical: usize,
+        items: &[Item],
+    ) -> Vec<(Vec<usize>, MapRequest)> {
+        let m = model.num_qubits();
+        let solvable = items
+            .iter()
+            .filter(|i| matches!(i, Item::Block(b) if b.has_two_qubit))
+            .count();
+        // Even, deterministic budget slices keep window cache keys
+        // stable across runs of the same request.
+        let units = u32::try_from(solvable.max(1)).unwrap_or(u32::MAX);
+        let deadline_slice = request.deadline().map(|d| d / units);
+        let conflict_slice = request
+            .conflict_budget()
+            .map(|b| (b / u64::from(units)).max(1));
+        // Window strategies restrict *within* a block; explicit global
+        // change-point lists are meaningless on a subcircuit.
+        let strategy = match request.strategy() {
+            Strategy::Custom(_) => Strategy::BeforeEveryGate,
+            s => s.clone(),
+        };
+
+        let mut predicted_pos: Vec<Option<usize>> = vec![None; num_logical];
+        let mut predicted_occ: Vec<Option<usize>> = vec![None; m];
+        let mut plans = Vec::with_capacity(solvable);
+        for item in items {
+            let Item::Block(block) = item else { continue };
+            if !block.has_two_qubit {
+                // Mirror the stitcher: lone qubits materialize at the
+                // lowest free slot.
+                for &q in &block.qubits {
+                    if predicted_pos[q].is_none() {
+                        let p = (0..m)
+                            .find(|&p| predicted_occ[p].is_none())
+                            .expect("n <= m leaves a free slot");
+                        predicted_pos[q] = Some(p);
+                        predicted_occ[p] = Some(q);
+                    }
+                }
+                continue;
+            }
+            let region = allocate_region(model, &predicted_occ, &predicted_pos, &block.qubits);
+            // Predict members at the region's slots in sorted order (the
+            // local solve may permute them within the region, which is
+            // exactly the prediction's error bar).
+            for &q in &block.qubits {
+                if let Some(p) = predicted_pos[q].take() {
+                    predicted_occ[p] = None;
+                }
+            }
+            for &p in &region {
+                if let Some(q) = predicted_occ[p].take() {
+                    predicted_pos[q] = None; // displaced bystander, slot unknown
+                }
+            }
+            for (i, &q) in block.qubits.iter().enumerate() {
+                predicted_pos[q] = Some(region[i]);
+                predicted_occ[region[i]] = Some(q);
+            }
+
+            let mut sub =
+                MapRequest::for_model(block.circuit.clone(), model.subgraph_model(&region))
+                    .with_strategy(strategy.clone())
+                    .with_subsets(false)
+                    .with_conflict_budget(conflict_slice)
+                    .with_upper_bound(None)
+                    .with_seed(request.seed());
+            if let Some(d) = deadline_slice {
+                sub = sub.with_deadline(d);
+            }
+            plans.push((region, sub));
+        }
+        plans
+    }
+
+    /// Solves every planned window on a scoped worker pool under the
+    /// sliced budgets. Each window goes through the portfolio's cached
+    /// path, so a window whose subcircuit skeleton was already solved on
+    /// the same subgraph is answered from the [`qxmap_map::SolveCache`].
+    fn solve_windows(
+        &self,
+        plans: &[(Vec<usize>, MapRequest)],
+    ) -> Result<Vec<MapReport>, MapperError> {
+        let count = plans.len();
+        let workers = std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+            .min(count.max(1));
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Result<MapReport, MapperError>)>> =
+            Mutex::new(Vec::with_capacity(count));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = self.portfolio.run_cached(&plans[i].1);
+                    done.lock()
+                        .expect("no panics under the lock")
+                        .push((i, result));
+                });
+            }
+        });
+        let mut done = done.into_inner().expect("workers have exited");
+        done.sort_by_key(|(i, _)| *i);
+        done.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// The sequential stitch: replays the plan in order, bridging each
+    /// solvable block's qubits to its region, emitting the block's
+    /// solved body, and tracking wire provenance so late-materializing
+    /// qubits claim the initial slots their wires actually started on.
+    #[allow(clippy::too_many_arguments)]
+    fn stitch(
+        &self,
+        request: &MapRequest,
+        model: &DeviceModel,
+        n: usize,
+        m: usize,
+        base: &Circuit,
+        items: &[Item],
+        plans: &[(Vec<usize>, MapRequest)],
+        solved: Vec<MapReport>,
+        started: Instant,
+    ) -> Result<MapReport, MapperError> {
+        let mut state = StitchState::new(n, m);
+        let mut out = Circuit::with_clbits(m, base.num_clbits());
+        // Logical qubit → the initial slot its carrier wire started on.
+        let mut claimed: Vec<Option<usize>> = vec![None; n];
+        let mut certs: Vec<WindowCertificate> = Vec::new();
+        let mut objective = 0u64;
+        let mut swaps = 0u32;
+        let mut reversals = 0u32;
+        let mut solved = solved.into_iter();
+        let mut plan = plans.iter();
+
+        for item in items {
+            let block = match item {
+                Item::Barrier => {
+                    out.barrier();
+                    continue;
+                }
+                Item::Block(block) => block,
+            };
+            if !block.has_two_qubit {
+                for &q in &block.qubits {
+                    if state.pos[q].is_none() {
+                        let p = (0..m)
+                            .find(|&p| state.occ[p].is_none())
+                            .expect("n <= m leaves a free slot");
+                        materialize(&mut state, &mut claimed, q, p);
+                    }
+                }
+                for gate in block.circuit.gates() {
+                    out.push(
+                        gate.map_qubits(|lq| {
+                            state.pos[block.qubits[lq]].expect("member is placed")
+                        }),
+                    );
+                }
+                let mut region: Vec<usize> = block
+                    .qubits
+                    .iter()
+                    .map(|&q| state.pos[q].expect("member is placed"))
+                    .collect();
+                region.sort_unstable();
+                certs.push(WindowCertificate {
+                    index: certs.len(),
+                    qubits: block.qubits.clone(),
+                    region,
+                    gates: block.gates,
+                    objective: 0,
+                    proved_optimal: true,
+                    served_from_cache: false,
+                    engine: "trivial".to_string(),
+                    bridge_swaps: 0,
+                    bridge_cost: 0,
+                });
+                continue;
+            }
+
+            let (region, _) = plan.next().expect("one plan per solvable block");
+            let rep = solved.next().expect("one report per solvable block");
+            // Bridge requirement: every member must reach the region
+            // slot the local solve's initial layout put it on.
+            let size = block.qubits.len();
+            let li = &rep.initial_layout;
+            let mut moves = Vec::new();
+            let mut reserved = Vec::new();
+            let mut fresh = Vec::new();
+            for (j, &q) in block.qubits.iter().enumerate() {
+                let t = region[li.phys_of(j).expect("local initial layout is complete")];
+                match state.pos[q] {
+                    Some(f) => moves.push((f, t)),
+                    None => {
+                        reserved.push(t);
+                        fresh.push((q, t));
+                    }
+                }
+            }
+            let outcome = bridge::route_bridge(
+                &mut out,
+                model,
+                &mut state,
+                &moves,
+                &reserved,
+                self.options.sat_bridges,
+            );
+            for (q, t) in fresh {
+                materialize(&mut state, &mut claimed, q, t);
+            }
+            // The block body, translated region-local → device indices.
+            for gate in rep.mapped.gates() {
+                out.push(gate.map_qubits(|lp| region[lp]));
+            }
+            // The body moved member j from its initial to its final
+            // region slot: permute occupancy and provenance to match.
+            // Region slots hold exactly the members here, so a snapshot
+            // of the sources is all the state the rewrite needs.
+            let lf = &rep.final_layout;
+            let from: Vec<usize> = (0..size)
+                .map(|j| region[li.phys_of(j).expect("complete")])
+                .collect();
+            let to: Vec<usize> = (0..size)
+                .map(|j| region[lf.phys_of(j).expect("local final layout is complete")])
+                .collect();
+            let origins: Vec<usize> = from.iter().map(|&f| state.origin[f]).collect();
+            for (j, &q) in block.qubits.iter().enumerate() {
+                state.occ[to[j]] = Some(q);
+                state.origin[to[j]] = origins[j];
+                state.pos[q] = Some(to[j]);
+            }
+
+            objective += rep.cost.objective + outcome.cost;
+            swaps += rep.cost.swaps + outcome.swaps;
+            reversals += rep.cost.reversals;
+            certs.push(WindowCertificate {
+                index: certs.len(),
+                qubits: block.qubits.clone(),
+                region: region.clone(),
+                gates: block.gates,
+                objective: rep.cost.objective,
+                proved_optimal: rep.proved_optimal,
+                served_from_cache: rep.served_from_cache,
+                engine: rep.engine.clone(),
+                bridge_swaps: outcome.swaps,
+                bridge_cost: outcome.cost,
+            });
+        }
+
+        if let Some(bound) = request.upper_bound() {
+            // The declared bound is a hard ceiling for every engine.
+            if objective >= bound {
+                return Err(MapperError::BoundUnmet { bound });
+            }
+        }
+
+        // Initial layout: claimed wires keep their true starting slots;
+        // logicals that never materialized (no gates at all) take the
+        // leftover slots in order.
+        let mut taken = vec![false; m];
+        for &s in claimed.iter().flatten() {
+            taken[s] = true;
+        }
+        let mut leftovers = (0..m).filter(|&s| !taken[s]);
+        let init: Vec<usize> = claimed
+            .into_iter()
+            .map(|c| c.unwrap_or_else(|| leftovers.next().expect("n <= m leaves a slot")))
+            .collect();
+        // Final layout: placed qubits sit where the stitch left them; a
+        // never-placed qubit rides its (untouched, unclaimed) wire, which
+        // provenance locates.
+        let mut wire_at = vec![usize::MAX; m];
+        for p in 0..m {
+            wire_at[state.origin[p]] = p;
+        }
+        let finl: Vec<Option<usize>> = (0..n)
+            .map(|q| Some(state.pos[q].unwrap_or(wire_at[init[q]])))
+            .collect();
+        let initial_layout = Layout::from_log2phys(init.into_iter().map(Some).collect(), m)
+            .expect("initial claims are injective");
+        let final_layout = Layout::from_log2phys(finl, m).expect("final occupancy is injective");
+
+        let added_gates = (out.original_cost() as u64)
+            .checked_sub(base.original_cost() as u64)
+            .expect("stitching only adds gates");
+        let elapsed = started.elapsed();
+        Ok(MapReport {
+            engine: self.name().to_string(),
+            winner: self.name().to_string(),
+            mapped: out,
+            initial_layout,
+            final_layout,
+            cost: CostBreakdown {
+                objective,
+                swaps,
+                reversals,
+                added_gates,
+            },
+            // Costs are non-negative, so a zero objective beats anything;
+            // otherwise windowing is a decomposition heuristic and claims
+            // no global proof (the per-window proofs live in `windows`).
+            proved_optimal: objective == 0,
+            runtime: elapsed,
+            elapsed,
+            served_from_cache: false,
+            subset: None,
+            num_change_points: None,
+            iterations: None,
+            windows: Some(certs),
+        })
+    }
+}
+
+impl Engine for WindowedEngine {
+    fn name(&self) -> &str {
+        "windowed"
+    }
+
+    fn cache_signature(&self) -> String {
+        format!(
+            "windowed:k{}:b{}",
+            self.options.max_window_qubits,
+            u8::from(self.options.sat_bridges)
+        )
+    }
+
+    fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
+        self.run_windowed(request)
+    }
+}
+
+/// Puts logical `q` on free slot `p`, claiming the initial slot of the
+/// carrier wire currently there.
+fn materialize(state: &mut StitchState, claimed: &mut [Option<usize>], q: usize, p: usize) {
+    debug_assert!(state.occ[p].is_none(), "materialization needs a carrier");
+    state.occ[p] = Some(q);
+    state.pos[q] = Some(p);
+    claimed[q] = Some(state.origin[p]);
+}
+
+/// Chooses a connected region of `members.len()` physical qubits for one
+/// block: a handful of candidate anchors near the members' predicted
+/// positions (or the device center for a first block) each grow a region
+/// greedily by the frontier slot minimizing pull toward those positions,
+/// compactness, and an eviction penalty on slots predicted occupied by
+/// non-members; the cheapest grown region wins. Anchoring on a member's
+/// own slot is not always best — when its neighborhood is crowded with
+/// earlier windows' qubits, a region one hop into free space trades a
+/// short member move for zero evictions.
+fn allocate_region(
+    model: &DeviceModel,
+    predicted_occ: &[Option<usize>],
+    predicted_pos: &[Option<usize>],
+    members: &[usize],
+) -> Vec<usize> {
+    let cm = model.coupling_map();
+    let m = cm.num_qubits();
+    let dist = |a: usize, b: usize| model.swap_distance(a, b).unwrap_or(u64::MAX);
+    let placed: Vec<usize> = members.iter().filter_map(|&q| predicted_pos[q]).collect();
+    // Evicting a bystander costs far more than its chain's own swaps:
+    // the displaced qubit lands somewhere arbitrary and later windows
+    // pay to fetch it back. Price it well above a few hops of travel.
+    let evict = u64::from(model.stats().max_swap_cost) * 10;
+    let occupancy = |p: usize| -> u64 {
+        match predicted_occ[p] {
+            Some(q) if !members.contains(&q) => evict,
+            _ => 0,
+        }
+    };
+    let pull = |p: usize| -> u64 {
+        if placed.is_empty() {
+            // First block: center it so later windows have room on all
+            // sides.
+            (0..m).map(|q| dist(p, q)).max().unwrap_or(0)
+        } else {
+            placed.iter().map(|&o| dist(p, o)).sum::<u64>() / placed.len() as u64
+        }
+    };
+
+    let grow = |anchor: usize| -> Vec<usize> {
+        let mut region = vec![anchor];
+        let mut in_region = vec![false; m];
+        in_region[anchor] = true;
+        while region.len() < members.len() {
+            // Pull toward the members' current positions, stay compact
+            // around what is already chosen, and prefer free slots. The
+            // pulls are averaged so the eviction penalty stays on the
+            // same scale regardless of how many members are placed.
+            let score = |p: usize| {
+                let compact: u64 = region.iter().map(|&r| dist(p, r)).sum();
+                pull(p) + compact / region.len() as u64 + occupancy(p)
+            };
+            let mut best: Option<(u64, usize)> = None;
+            for &r in &region {
+                for w in cm.neighbors(r) {
+                    if in_region[w] {
+                        continue;
+                    }
+                    let cand = (score(w), w);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            let (_, w) = best.expect("a connected device always has a frontier");
+            region.push(w);
+            in_region[w] = true;
+        }
+        region
+    };
+    // What a grown region will actually cost the bridge: an eviction
+    // per occupied slot, plus each placed member's travel to the
+    // region's nearest slot.
+    let cost = |region: &[usize]| -> u64 {
+        region.iter().map(|&p| occupancy(p)).sum::<u64>()
+            + placed
+                .iter()
+                .map(|&o| region.iter().map(|&p| dist(p, o)).min().unwrap_or(0))
+                .sum::<u64>()
+    };
+    let mut anchors: Vec<usize> = (0..m).collect();
+    anchors.sort_by_key(|&p| (pull(p) + occupancy(p), p));
+    let mut region = anchors
+        .into_iter()
+        .take(4)
+        .map(grow)
+        .min_by_key(|region| cost(region))
+        .expect("device has qubits");
+    region.sort_unstable();
+    region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxmap_arch::devices;
+    use qxmap_circuit::paper_example;
+
+    fn ladder(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn small_devices_delegate_to_the_portfolio() {
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        let report = WindowedEngine::new().run(&request).unwrap();
+        assert!(report.windows.is_none());
+        assert_eq!(report.cost.objective, 4);
+        report
+            .verify(&paper_example(), &devices::ibm_qx4())
+            .unwrap();
+    }
+
+    #[test]
+    fn windowed_ladder_stitches_and_verifies() {
+        let circuit = ladder(10);
+        let device = devices::linear(12);
+        let request = MapRequest::new(circuit.clone(), device.clone());
+        let report = WindowedEngine::new().run(&request).unwrap();
+        report.verify(&circuit, &device).unwrap();
+        let windows = report.windows.as_ref().unwrap();
+        assert!(windows.len() >= 2, "{} windows", windows.len());
+        assert_eq!(
+            windows.iter().map(|w| w.gates).sum::<usize>(),
+            circuit.original_cost()
+        );
+        // Every solvable window ran exactly and proved its local slice.
+        assert!(windows.iter().all(|w| w.proved_optimal));
+        assert_eq!(report.engine, "windowed");
+    }
+
+    #[test]
+    fn barriers_measures_and_idle_qubits_survive_stitching() {
+        let mut c = Circuit::with_clbits(9, 9);
+        c.h(0).cx(0, 1).cx(1, 2).barrier().cx(3, 4).h(8);
+        c.measure(2, 2).measure(8, 8);
+        let device = devices::grid(3, 4); // 12 qubits, > exact regime
+        let request = MapRequest::new(c.clone(), device.clone());
+        let report = WindowedEngine::new().run(&request).unwrap();
+        report.verify(&c, &device).unwrap();
+        assert!(report.initial_layout.is_complete());
+        assert!(report.final_layout.is_complete());
+        let windows = report.windows.as_ref().unwrap();
+        // The lone h(8)+measure window bypassed the solver.
+        assert!(windows.iter().any(|w| w.engine == "trivial"));
+    }
+
+    #[test]
+    fn long_range_interaction_pays_a_bridge() {
+        let mut c = ladder(10);
+        c.cx(0, 9); // far apart after the ladder's windows
+        let device = devices::linear(12);
+        let request = MapRequest::new(c.clone(), device.clone());
+        let report = WindowedEngine::new().run(&request).unwrap();
+        report.verify(&c, &device).unwrap();
+        let windows = report.windows.as_ref().unwrap();
+        assert!(
+            windows.iter().any(|w| w.bridge_swaps > 0),
+            "stitching a long-range interaction must bridge"
+        );
+        assert!(report.cost.objective > 0);
+        // ... which makes a low upper bound unmeetable.
+        let bounded = MapRequest::new(c, device).with_upper_bound(Some(1));
+        assert_eq!(
+            WindowedEngine::new().run(&bounded).unwrap_err(),
+            MapperError::BoundUnmet { bound: 1 }
+        );
+    }
+
+    #[test]
+    fn optimal_guarantee_is_refused() {
+        let request =
+            MapRequest::new(ladder(10), devices::linear(12)).with_guarantee(Guarantee::Optimal);
+        assert!(matches!(
+            WindowedEngine::new().run(&request),
+            Err(MapperError::OptimalityUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_signature_tracks_options() {
+        let a = WindowedEngine::new();
+        let b = WindowedEngine::with_options(WindowOptions {
+            max_window_qubits: 4,
+            sat_bridges: true,
+        });
+        assert_ne!(a.cache_signature(), b.cache_signature());
+    }
+}

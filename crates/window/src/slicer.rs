@@ -1,0 +1,331 @@
+//! Temporal windowing and interaction-connected block extraction.
+//!
+//! The slicer walks the (SWAP-decomposed) gate stream once, cutting a
+//! new *window* whenever admitting the next gate would push the window's
+//! active-qubit set past the configured cap (or at a barrier, which is a
+//! global scheduling fence and must not be reordered across). Each
+//! window is then split into *blocks* — connected components of the
+//! window's interaction graph. Blocks of one window act on disjoint
+//! qubits, so they commute and can be placed, solved and emitted
+//! independently; each block is what the windowed engine exact-solves on
+//! a device subgraph.
+
+use std::collections::BTreeMap;
+
+use qxmap_circuit::{Circuit, Gate};
+
+/// One interaction-connected subcircuit of a window.
+#[derive(Debug, Clone)]
+pub(crate) struct Block {
+    /// Global logical qubits active in this block, sorted ascending.
+    /// `qubits[i]` is the global identity of the block circuit's local
+    /// qubit `i`.
+    pub qubits: Vec<usize>,
+    /// The block subcircuit over local qubit indices (classical bits
+    /// keep their global indices).
+    pub circuit: Circuit,
+    /// Costed gates of the original circuit that fell into this block.
+    pub gates: usize,
+    /// Whether the block contains a two-qubit gate. Blocks without one
+    /// never need SWAP insertion and bypass the solver entirely.
+    pub has_two_qubit: bool,
+}
+
+/// One element of the stitch plan, in emission order.
+#[derive(Debug, Clone)]
+pub(crate) enum Item {
+    /// A solvable/emittable block.
+    Block(Block),
+    /// A barrier of the input circuit: windows never span it, and it is
+    /// re-emitted as a full-device barrier between them.
+    Barrier,
+}
+
+/// Slices `circuit` (which must already be SWAP-decomposed) into blocks
+/// of at most `max_window_qubits` active qubits each.
+///
+/// `max_window_qubits` must be at least 2 (a two-qubit gate must fit in
+/// one window); the engine clamps before calling.
+pub(crate) fn slice(circuit: &Circuit, max_window_qubits: usize) -> Vec<Item> {
+    debug_assert!(max_window_qubits >= 2);
+    let mut items = Vec::new();
+    let mut window: Vec<&Gate> = Vec::new();
+    let mut active: Vec<bool> = vec![false; circuit.num_qubits()];
+    let mut active_count = 0usize;
+
+    let flush = |window: &mut Vec<&Gate>,
+                 active: &mut Vec<bool>,
+                 active_count: &mut usize,
+                 items: &mut Vec<Item>| {
+        if !window.is_empty() {
+            split_blocks(window, circuit, items);
+            window.clear();
+            active.iter_mut().for_each(|a| *a = false);
+            *active_count = 0;
+        }
+    };
+
+    for gate in circuit.gates() {
+        if let Gate::Barrier(_) = gate {
+            flush(&mut window, &mut active, &mut active_count, &mut items);
+            items.push(Item::Barrier);
+            continue;
+        }
+        debug_assert!(
+            !matches!(gate, Gate::Swap { .. }),
+            "slicer input is SWAP-decomposed"
+        );
+        let qs = gate.qubits();
+        let fresh = qs.iter().filter(|&&q| !active[q]).count();
+        if active_count + fresh > max_window_qubits {
+            flush(&mut window, &mut active, &mut active_count, &mut items);
+        }
+        for &q in &qs {
+            if !active[q] {
+                active[q] = true;
+                active_count += 1;
+            }
+        }
+        window.push(gate);
+    }
+    flush(&mut window, &mut active, &mut active_count, &mut items);
+    coalesce(items, max_window_qubits)
+}
+
+/// Merges each block into the next block that shares a qubit with it
+/// when their union still fits the window cap.
+///
+/// The raw temporal cut is myopic: a window boundary can land in the
+/// middle of a tight interaction cluster, leaving a small prefix block
+/// whose placement is then frozen before the rest of the cluster is
+/// seen — and the follow-up block pays bridge swaps to undo it. Moving
+/// the prefix's gates forward into the later block is legal exactly
+/// when every block between the two touches none of the prefix's qubits
+/// (disjoint subcircuits commute) and no barrier intervenes; the merged
+/// block is then solved once, with the whole cluster visible.
+fn coalesce(mut items: Vec<Item>, max_window_qubits: usize) -> Vec<Item> {
+    'again: loop {
+        for i in 0..items.len() {
+            let Item::Block(x) = &items[i] else { continue };
+            for j in i + 1..items.len() {
+                let Item::Block(y) = &items[j] else {
+                    break; // a barrier fences reordering
+                };
+                if x.qubits.iter().all(|q| !y.qubits.contains(q)) {
+                    continue; // disjoint blocks commute: look further
+                }
+                // First later block sharing a qubit: either absorb the
+                // earlier one or stop (its gates cannot move past it).
+                let mut union = x.qubits.clone();
+                union.extend(y.qubits.iter().copied().filter(|q| !x.qubits.contains(q)));
+                if union.len() <= max_window_qubits {
+                    union.sort_unstable();
+                    let merged = merge_blocks(x, y, union);
+                    items[j] = Item::Block(merged);
+                    items.remove(i);
+                    continue 'again;
+                }
+                break;
+            }
+        }
+        return items;
+    }
+}
+
+/// One merged block: `x`'s gates (which precede `y`'s in the input)
+/// followed by `y`'s, relabeled onto the union qubit set.
+fn merge_blocks(x: &Block, y: &Block, union: Vec<usize>) -> Block {
+    let mut circuit = Circuit::with_clbits(union.len(), x.circuit.num_clbits());
+    let local_of = |q: usize| union.binary_search(&q).expect("qubit is in the union");
+    for (block, gates) in [(x, x.circuit.gates()), (y, y.circuit.gates())] {
+        for gate in gates {
+            circuit.push(gate.map_qubits(|lq| local_of(block.qubits[lq])));
+        }
+    }
+    Block {
+        qubits: union,
+        circuit,
+        gates: x.gates + y.gates,
+        has_two_qubit: x.has_two_qubit || y.has_two_qubit,
+    }
+}
+
+/// Splits one window's gates into interaction-connected blocks
+/// (union-find over two-qubit gates; qubits touched only by one-qubit
+/// gates or measurements form their own singleton blocks) and appends
+/// them to `items` in order of each block's first gate.
+fn split_blocks(window: &[&Gate], circuit: &Circuit, items: &mut Vec<Item>) {
+    let n = circuit.num_qubits();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for gate in window {
+        let qs = gate.qubits();
+        if qs.len() == 2 {
+            let (a, b) = (find(&mut parent, qs[0]), find(&mut parent, qs[1]));
+            if a != b {
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+    }
+    // Group gates by their component root, keyed by first appearance so
+    // blocks come out in the window's own order.
+    let mut blocks: BTreeMap<usize, Vec<&Gate>> = BTreeMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    for gate in window {
+        let root = find(&mut parent, gate.qubits()[0]);
+        if !blocks.contains_key(&root) {
+            order.push(root);
+        }
+        blocks.entry(root).or_default().push(gate);
+    }
+    for root in order {
+        let gates = &blocks[&root];
+        let mut qubits: Vec<usize> = Vec::new();
+        for gate in gates {
+            for q in gate.qubits() {
+                if !qubits.contains(&q) {
+                    qubits.push(q);
+                }
+            }
+        }
+        qubits.sort_unstable();
+        let local_of = |q: usize| qubits.binary_search(&q).expect("qubit is in the block");
+        let mut local = Circuit::with_clbits(qubits.len(), circuit.num_clbits());
+        let mut costed = 0usize;
+        let mut has_two = false;
+        for gate in gates {
+            if gate.is_costed() {
+                costed += 1;
+            }
+            if gate.is_two_qubit() {
+                has_two = true;
+            }
+            local.push(gate.map_qubits(local_of));
+        }
+        items.push(Item::Block(Block {
+            qubits,
+            circuit: local,
+            gates: costed,
+            has_two_qubit: has_two,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(items: &[Item]) -> Vec<&Block> {
+        items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Block(b) => Some(b),
+                Item::Barrier => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn windows_respect_the_qubit_cap() {
+        // A 6-qubit GHZ-style ladder sliced at 3 active qubits.
+        let mut c = Circuit::new(6);
+        for q in 0..5 {
+            c.cx(q, q + 1);
+        }
+        let items = slice(&c, 3);
+        for b in blocks(&items) {
+            assert!(b.qubits.len() <= 3, "{:?}", b.qubits);
+        }
+        // Every gate lands in exactly one block.
+        let total: usize = blocks(&items).iter().map(|b| b.gates).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn disjoint_interactions_split_into_blocks() {
+        // Two independent CNOT pairs in one 4-qubit window.
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3);
+        let items = slice(&c, 4);
+        let bs = blocks(&items);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].qubits, vec![0, 1]);
+        assert_eq!(bs[1].qubits, vec![2, 3]);
+        assert!(bs.iter().all(|b| b.has_two_qubit));
+    }
+
+    #[test]
+    fn lone_single_qubit_gates_form_singleton_blocks() {
+        let mut c = Circuit::new(3);
+        c.h(2).cx(0, 1);
+        let items = slice(&c, 3);
+        let bs = blocks(&items);
+        assert_eq!(bs.len(), 2);
+        let singleton = bs.iter().find(|b| b.qubits == vec![2]).unwrap();
+        assert!(!singleton.has_two_qubit);
+        assert_eq!(singleton.gates, 1);
+    }
+
+    #[test]
+    fn split_clusters_coalesce_into_one_block() {
+        // Two disjoint 4-qubit clusters, interleaved so the 6-qubit cut
+        // lands mid-cluster: the first cluster's 2-qubit prefix would
+        // freeze a placement the rest of the cluster has to undo.
+        let mut c = Circuit::new(8);
+        c.cx(0, 1).cx(4, 5); // window 1 fills up (…)
+        c.cx(1, 2).cx(2, 3); // (…) cluster 0 keeps growing
+        c.cx(5, 6).cx(6, 7);
+        let items = slice(&c, 6);
+        let bs = blocks(&items);
+        assert_eq!(bs.len(), 2, "{bs:?}");
+        assert_eq!(bs[0].qubits, vec![0, 1, 2, 3]);
+        assert_eq!(bs[1].qubits, vec![4, 5, 6, 7]);
+        assert_eq!(bs[0].gates + bs[1].gates, 6);
+        // Relabeled gate streams stay in program order per cluster.
+        assert_eq!(
+            bs[0].circuit.gates(),
+            &[Gate::cnot(0, 1), Gate::cnot(1, 2), Gate::cnot(2, 3)]
+        );
+    }
+
+    #[test]
+    fn oversized_unions_and_barriers_stop_coalescing() {
+        // Same qubit reused across a barrier: blocks must not merge.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).barrier().cx(1, 0);
+        let items = slice(&c, 4);
+        assert_eq!(blocks(&items).len(), 2);
+        // A chain whose union exceeds the cap keeps its cut.
+        let mut c = Circuit::new(6);
+        for q in 0..5 {
+            c.cx(q, q + 1);
+        }
+        let items = slice(&c, 3);
+        assert!(blocks(&items).iter().all(|b| b.qubits.len() <= 3));
+    }
+
+    #[test]
+    fn barriers_fence_windows() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).barrier().cx(1, 0);
+        let items = slice(&c, 2);
+        assert_eq!(items.len(), 3);
+        assert!(matches!(items[1], Item::Barrier));
+    }
+
+    #[test]
+    fn local_indices_relabel_through_sorted_qubits() {
+        let mut c = Circuit::new(5);
+        c.cx(4, 2);
+        let items = slice(&c, 2);
+        let bs = blocks(&items);
+        assert_eq!(bs[0].qubits, vec![2, 4]);
+        assert_eq!(bs[0].circuit.gates(), &[Gate::cnot(1, 0)]);
+    }
+}

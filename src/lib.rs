@@ -20,6 +20,7 @@
 //! | [`qasm`] | `qxmap-qasm` | OpenQASM 2.0 parser/writer |
 //! | [`heuristic`] | `qxmap-heuristic` | stochastic-swap / A* / SABRE / naive baselines |
 //! | [`map`] | `qxmap-map` | **the unified mapping surface**: `MapRequest` → `MapReport` over every engine, portfolio runner, batch entry point |
+//! | [`window`] | `qxmap-window` | window-decomposed mapping past the 8-qubit wall: slice → exact-solve → stitch, with per-window certificates |
 //! | [`serve`] | `qxmap-serve` | **the serving tier**: mapping daemon, JSON wire protocol, solve-cache snapshots |
 //! | [`sim`] | `qxmap-sim` | statevector simulation & equivalence checking |
 //! | [`benchmarks`] | `qxmap-benchmarks` | Table 1 profiles, generators, `.real` parser |
@@ -65,6 +66,7 @@ pub use qxmap_qasm as qasm;
 pub use qxmap_sat as sat;
 pub use qxmap_serve as serve;
 pub use qxmap_sim as sim;
+pub use qxmap_window as window;
 
 /// `GUIDE.md`, compiled: every ```rust snippet in the user guide runs as
 /// a doctest of this crate, so `cargo test --doc` fails on guide drift.

@@ -1,0 +1,139 @@
+//! Property-based validation of the windowed engine: for random
+//! circuits past the exact regime, the stitched result must verify
+//! against the full circuit with every gate certified by exactly one
+//! window, and warm window-level cache hits must reproduce the cold
+//! run's stitched answer bit for bit.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use qxmap::arch::devices;
+use qxmap::benchmarks::famous;
+use qxmap::circuit::Circuit;
+use qxmap::map::{Engine, MapRequest};
+use qxmap::window::WindowedEngine;
+
+/// The large-circuit smoke gate: a 52-qubit workload — 6.5× past the
+/// 8-qubit exact wall — maps end-to-end on a 55-qubit heavy-hex lattice
+/// through the windowed engine, inside the deadline, verifies against
+/// the full circuit, and carries a per-window certificate chain that
+/// accounts for every costed gate.
+#[test]
+fn fifty_two_qubits_map_on_heavy_hex_within_deadline() {
+    let circuit = famous::qft_blocks(13, 4);
+    assert_eq!(circuit.num_qubits(), 52);
+    let device = devices::by_name("heavy-hex-4").expect("library device");
+    let deadline = Duration::from_secs(30);
+    let request = MapRequest::new(circuit.clone(), device.clone()).with_deadline(deadline);
+
+    let started = std::time::Instant::now();
+    let report = WindowedEngine::new()
+        .run(&request)
+        .expect("windowed mapping succeeds past the exact regime");
+    assert!(
+        started.elapsed() < deadline,
+        "windowed map overran its deadline: {:?}",
+        started.elapsed()
+    );
+
+    report
+        .verify(&circuit, &device)
+        .expect("stitched result is sound");
+    let windows = report.windows.expect("windowed reports certify per window");
+    assert!(windows.len() >= 13, "{} windows", windows.len());
+    // The engine SWAP-decomposes before slicing, so the certified gate
+    // count is taken against the decomposed circuit.
+    assert_eq!(
+        windows.iter().map(|w| w.gates).sum::<usize>(),
+        circuit.decompose_swaps().original_cost(),
+        "every costed gate is certified by exactly one window"
+    );
+    assert!(windows
+        .iter()
+        .all(|w| w.qubits.len() <= qxmap::core::MAX_EXACT_QUBITS));
+}
+
+/// Random circuits with 9–12 qubits (past the 8-qubit exact regime)
+/// and up to 14 gates.
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    (9usize..=12).prop_flat_map(|n| {
+        let gate = prop_oneof![
+            // CNOT with distinct qubits (built arithmetically, no filter).
+            (0..n, 1..n).prop_map(move |(c, d)| (0u8, c, (c + d) % n)),
+            // H / T on one qubit.
+            (0..n).prop_map(|q| (1u8, q, 0usize)),
+            (0..n).prop_map(|q| (2u8, q, 0usize)),
+        ];
+        prop::collection::vec(gate, 1..14).prop_map(move |gates| {
+            let mut c = Circuit::new(n);
+            for (kind, a, b) in gates {
+                match kind {
+                    0 => {
+                        c.cx(a, b);
+                    }
+                    1 => {
+                        c.h(a);
+                    }
+                    _ => {
+                        c.t(a);
+                    }
+                }
+            }
+            c
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn stitched_windows_verify_against_the_full_circuit(circuit in circuit_strategy()) {
+        let device = devices::linear(14);
+        let request = MapRequest::new(circuit.clone(), device.clone());
+        let report = WindowedEngine::new()
+            .run(&request)
+            .expect("a connected line maps every circuit");
+
+        // The stitched whole is hardware-legal and gate-complete.
+        report.verify(&circuit, &device).expect("sound");
+        prop_assert_eq!(report.cost.objective, report.cost.added_gates);
+
+        // Every costed gate of the input is certified by exactly one
+        // window, and each window's local solve carries its proof.
+        let windows = report.windows.expect("past the exact regime");
+        prop_assert_eq!(
+            windows.iter().map(|w| w.gates).sum::<usize>(),
+            circuit.original_cost()
+        );
+        for w in &windows {
+            prop_assert!(w.qubits.len() <= qxmap::core::MAX_EXACT_QUBITS);
+            prop_assert_eq!(w.qubits.len(), w.region.len());
+        }
+    }
+
+    #[test]
+    fn warm_window_cache_hits_reproduce_the_stitched_answer(circuit in circuit_strategy()) {
+        let device = devices::linear(14);
+        let request = MapRequest::new(circuit.clone(), device.clone());
+        let engine = WindowedEngine::new();
+        let cold = engine.run(&request).expect("cold run maps");
+        let warm = engine.run(&request).expect("warm run maps");
+
+        // The warm run answers its windows from the process-wide solve
+        // cache, and the stitched result is identical: same cost, same
+        // layouts, same mapped circuit.
+        prop_assert_eq!(cold.cost, warm.cost);
+        prop_assert_eq!(&cold.initial_layout, &warm.initial_layout);
+        prop_assert_eq!(&cold.final_layout, &warm.final_layout);
+        prop_assert_eq!(&cold.mapped, &warm.mapped);
+        let warm_windows = warm.windows.expect("past the exact regime");
+        prop_assert!(
+            warm_windows
+                .iter()
+                .filter(|w| w.engine != "trivial")
+                .all(|w| w.served_from_cache),
+            "every solvable window of the warm run is a cache hit"
+        );
+    }
+}
