@@ -1,0 +1,313 @@
+//! The perf-trajectory harness: runs the fixed, versioned
+//! [`qxmap_benchmarks::corpus`] through cold and warm solves and writes
+//! `BENCH_corpus.json` — per-row solve cost, cold latency, warm
+//! p50/p95/p99 and winner engine, plus aggregate latency percentiles and
+//! the solve-cache hit rate. Windowed rows additionally race the
+//! windowed engine against every pure heuristic and emit the
+//! windowed-vs-heuristic trajectory as `BENCH_window.json` (absorbing
+//! the former one-off `bench_window` binary).
+//!
+//! Flags:
+//!
+//! * `--smoke` — run only the marked CI subset of the corpus;
+//! * `--out PATH` — corpus artifact path (default `BENCH_corpus.json`);
+//! * `--window-out PATH` — windowed artifact path (default
+//!   `BENCH_window.json`);
+//! * `--warm-repeats N` — warm solves per row (default 8).
+
+use std::time::{Duration, Instant};
+
+use qxmap_arch::{devices, CouplingMap};
+use qxmap_bench::stats;
+use qxmap_benchmarks::corpus::{
+    corpus, manifest_hash, smoke_corpus, CorpusClass, CorpusEntry, CORPUS_SCHEMA_VERSION,
+};
+use qxmap_circuit::Circuit;
+use qxmap_map::{map_one, Engine, HeuristicEngine, MapReport, MapRequest, SolveCache};
+use qxmap_serve::Json;
+use qxmap_window::WindowedEngine;
+
+/// The artifact's own schema identity (distinct from the corpus
+/// manifest's version: this one covers the JSON shape).
+const ARTIFACT_SCHEMA: &str = "qxmap.bench_corpus";
+const ARTIFACT_SCHEMA_VERSION: u64 = 1;
+
+struct Flags {
+    smoke: bool,
+    out: String,
+    window_out: String,
+    warm_repeats: usize,
+}
+
+fn parse_flags() -> Flags {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    Flags {
+        smoke: args.iter().any(|a| a == "--smoke"),
+        out: value("--out").unwrap_or_else(|| "BENCH_corpus.json".to_string()),
+        window_out: value("--window-out").unwrap_or_else(|| "BENCH_window.json".to_string()),
+        warm_repeats: value("--warm-repeats")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
+    }
+}
+
+/// One timed engine run, verified against the full circuit.
+fn timed(
+    engine: &dyn Engine,
+    request: &MapRequest,
+    circuit: &Circuit,
+    cm: &CouplingMap,
+) -> (MapReport, f64) {
+    let start = Instant::now();
+    let report = engine
+        .run(request)
+        .expect("corpus circuits map on connected devices");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    report
+        .verify(circuit, cm)
+        .expect("every corpus result verifies");
+    (report, ms)
+}
+
+/// The windowed-vs-heuristic comparison one `Windowed` row carries into
+/// `BENCH_window.json`.
+struct WindowRow {
+    json: Json,
+    beats: bool,
+}
+
+fn window_row(entry: &CorpusEntry, request: &MapRequest, cm: &CouplingMap) -> WindowRow {
+    let circuit = &entry.circuit;
+    let (windowed, windowed_ms) = timed(&WindowedEngine::new(), request, circuit, cm);
+    let (naive, naive_ms) = timed(&HeuristicEngine::naive(), request, circuit, cm);
+    let (sabre, sabre_ms) = timed(&HeuristicEngine::sabre(), request, circuit, cm);
+    let (stochastic, stochastic_ms) = timed(&HeuristicEngine::stochastic(5), request, circuit, cm);
+    let best_heuristic = naive
+        .cost
+        .objective
+        .min(sabre.cost.objective)
+        .min(stochastic.cost.objective);
+    let beats = windowed.cost.objective < best_heuristic;
+    println!(
+        "  windowed {:>6} ({:>8.1} ms) | naive {:>6} | sabre {:>6} | stochastic {:>6} | {}",
+        windowed.cost.objective,
+        windowed_ms,
+        naive.cost.objective,
+        sabre.cost.objective,
+        stochastic.cost.objective,
+        if beats {
+            "windowed wins"
+        } else {
+            "heuristic wins"
+        },
+    );
+    let sample = |r: &MapReport, ms: f64| {
+        Json::obj([
+            ("objective", Json::num(r.cost.objective)),
+            ("millis", Json::Num(stats::round_ms(ms))),
+        ])
+    };
+    WindowRow {
+        json: Json::obj([
+            ("circuit", Json::str(entry.name.clone())),
+            ("qubits", Json::num(circuit.num_qubits() as u64)),
+            ("original_cost", Json::num(circuit.original_cost() as u64)),
+            ("windowed", sample(&windowed, windowed_ms)),
+            ("naive", sample(&naive, naive_ms)),
+            ("sabre", sample(&sabre, sabre_ms)),
+            ("stochastic_best_of_5", sample(&stochastic, stochastic_ms)),
+            ("best_heuristic_objective", Json::num(best_heuristic)),
+            ("windowed_beats_best_heuristic", Json::Bool(beats)),
+        ]),
+        beats,
+    }
+}
+
+fn main() {
+    let flags = parse_flags();
+    let entries = if flags.smoke {
+        smoke_corpus()
+    } else {
+        corpus()
+    };
+    let hash = format!("{:#018x}", manifest_hash());
+
+    // Measurements start from a cold process-wide cache so "cold" means
+    // cold regardless of what ran earlier in this process.
+    SolveCache::shared().clear();
+    let stats_before = SolveCache::shared().stats();
+    let run_start = Instant::now();
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut window_rows: Vec<Json> = Vec::new();
+    let mut windowed_wins = 0usize;
+    let mut windowed_total = 0usize;
+    let mut cold_samples: Vec<f64> = Vec::new();
+    let mut warm_samples: Vec<f64> = Vec::new();
+
+    println!(
+        "corpus run: {} rows ({}), manifest {hash}",
+        entries.len(),
+        if flags.smoke { "smoke subset" } else { "full" },
+    );
+    for entry in &entries {
+        let cm = devices::by_name(entry.device).expect("corpus devices are library names");
+        let request = MapRequest::new(entry.circuit.clone(), cm.clone())
+            .with_deadline(Duration::from_millis(entry.deadline_ms));
+
+        // Cold solve: first sight of this (circuit, device, options) key.
+        let start = Instant::now();
+        let (cold, cold_ms) = match entry.class {
+            CorpusClass::Windowed => timed(&WindowedEngine::new(), &request, &entry.circuit, &cm),
+            _ => {
+                let report = map_one(&request).expect("corpus circuits map");
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                report
+                    .verify(&entry.circuit, &cm)
+                    .expect("every corpus result verifies");
+                (report, ms)
+            }
+        };
+        assert!(
+            !cold.served_from_cache,
+            "{}: cold solve answered from cache — corpus rows must be distinct",
+            entry.name
+        );
+        cold_samples.push(cold_ms);
+
+        // Warm solves: repeats of the identical request. Monolithic rows
+        // hit the solve cache whole; windowed rows re-stitch but probe
+        // the cache per window.
+        let mut row_warm: Vec<f64> = Vec::new();
+        let mut warm_hits = 0usize;
+        for _ in 0..flags.warm_repeats {
+            let start = Instant::now();
+            let report = match entry.class {
+                CorpusClass::Windowed => WindowedEngine::new()
+                    .run(&request)
+                    .expect("corpus circuits map"),
+                _ => map_one(&request).expect("corpus circuits map"),
+            };
+            row_warm.push(start.elapsed().as_secs_f64() * 1e3);
+            warm_hits += usize::from(report.served_from_cache);
+        }
+        warm_samples.extend_from_slice(&row_warm);
+
+        println!(
+            "{:<28} {:>8} cold {:>9.1} ms | warm p95 {:>9.3} ms | objective {:>6} | {}",
+            entry.name,
+            entry.class.tag(),
+            cold_ms,
+            stats::percentile(&row_warm, 0.95),
+            cold.cost.objective,
+            cold.winner,
+        );
+
+        if entry.class == CorpusClass::Windowed {
+            let row = window_row(entry, &request, &cm);
+            windowed_wins += usize::from(row.beats);
+            windowed_total += 1;
+            window_rows.push(row.json);
+        }
+
+        rows.push(Json::obj([
+            ("name", Json::str(entry.name.clone())),
+            ("device", Json::str(entry.device)),
+            ("class", Json::str(entry.class.tag())),
+            ("qubits", Json::num(entry.circuit.num_qubits() as u64)),
+            ("gates", Json::num(entry.circuit.gates().len() as u64)),
+            ("deadline_ms", Json::num(entry.deadline_ms)),
+            ("objective", Json::num(cold.cost.objective)),
+            ("proved_optimal", Json::Bool(cold.proved_optimal)),
+            ("winner", Json::str(&cold.winner)),
+            ("cold_ms", Json::Num(stats::round_ms(cold_ms))),
+            (
+                "warm_p50_ms",
+                Json::Num(stats::round_ms(stats::percentile(&row_warm, 0.50))),
+            ),
+            (
+                "warm_p95_ms",
+                Json::Num(stats::round_ms(stats::percentile(&row_warm, 0.95))),
+            ),
+            (
+                "warm_p99_ms",
+                Json::Num(stats::round_ms(stats::percentile(&row_warm, 0.99))),
+            ),
+            (
+                "warm_hit_rate",
+                Json::Num(warm_hits as f64 / flags.warm_repeats.max(1) as f64),
+            ),
+        ]));
+    }
+
+    let wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
+    let cache = SolveCache::shared().stats();
+    let hits = cache.hits - stats_before.hits;
+    let misses = cache.misses - stats_before.misses;
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+
+    let doc = Json::obj([
+        ("schema", Json::str(ARTIFACT_SCHEMA)),
+        ("schema_version", Json::num(ARTIFACT_SCHEMA_VERSION)),
+        (
+            "corpus_schema_version",
+            Json::num(u64::from(CORPUS_SCHEMA_VERSION)),
+        ),
+        ("manifest_hash", Json::str(hash.clone())),
+        ("smoke", Json::Bool(flags.smoke)),
+        ("warm_repeats", Json::num(flags.warm_repeats as u64)),
+        ("rows", Json::Arr(rows)),
+        (
+            "aggregate",
+            Json::obj([
+                ("rows", Json::num(entries.len() as u64)),
+                ("wall_ms", Json::Num(stats::round_ms(wall_ms))),
+                ("cold", stats::latency_json(&cold_samples)),
+                ("warm", stats::latency_json(&warm_samples)),
+                ("cache_hit_rate", Json::Num((hit_rate * 1e3).round() / 1e3)),
+                ("cache_hits", Json::num(hits)),
+                ("cache_misses", Json::num(misses)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&flags.out, stats::pretty(&doc)).expect("writable output path");
+    println!(
+        "wrote {} ({} rows, cache hit rate {hit_rate:.3})",
+        flags.out,
+        entries.len()
+    );
+
+    if !window_rows.is_empty() {
+        let window_doc = Json::obj([
+            ("schema", Json::str("qxmap.bench_window")),
+            ("schema_version", Json::num(1)),
+            ("manifest_hash", Json::str(hash)),
+            ("device", Json::str("heavy-hex-4")),
+            ("windowed_wins", Json::num(windowed_wins as u64)),
+            ("rows", Json::Arr(window_rows)),
+        ]);
+        std::fs::write(&flags.window_out, stats::pretty(&window_doc))
+            .expect("writable output path");
+        println!(
+            "wrote {} ({windowed_wins}/{windowed_total} windowed wins)",
+            flags.window_out
+        );
+        // The full corpus carries the workloads windowing was built for,
+        // so somewhere it must win; the one-row smoke subset is too
+        // small to make that a hard promise.
+        assert!(
+            flags.smoke || windowed_wins >= 1,
+            "the windowed engine must beat the best pure heuristic on at least one corpus circuit"
+        );
+    }
+}

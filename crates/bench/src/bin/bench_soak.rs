@@ -1,0 +1,387 @@
+//! The serving-tier soak harness: boots the real [`qxmap_serve::Server`]
+//! on a loopback TCP listener, drives `k` concurrent client connections
+//! with a deterministic mix of cold, warm, windowed and invalid traffic,
+//! then snapshots, restarts, and measures the warm-restart hit. Writes
+//! `BENCH_serve.json` — throughput, client-observed latency percentiles,
+//! the daemon's own histogram/deadline/overload counters, and the
+//! warm-restart latency.
+//!
+//! Traffic is deterministic per `--seed` (request kinds and cold-request
+//! cache keys come from a SplitMix64 stream), but thread interleaving is
+//! not: counters like overload rejections vary run to run, which is why
+//! `bench_diff` gates only on throughput, percentiles and the
+//! warm-restart hit.
+//!
+//! Flags:
+//!
+//! * `--smoke` — shorter run for CI (fewer clients and requests);
+//! * `--out PATH` — artifact path (default `BENCH_serve.json`);
+//! * `--clients K` / `--per-client N` / `--seed S` — load shape.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qxmap_bench::stats;
+use qxmap_benchmarks::corpus::{manifest_hash, smoke_corpus, CorpusClass};
+use qxmap_benchmarks::synthetic_circuit;
+use qxmap_map::SolveCache;
+use qxmap_serve::{Json, Server, ServerConfig};
+
+/// SplitMix64: deterministic, seedable, and three lines — the harness
+/// needs reproducible schedules, not statistical quality.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+struct Flags {
+    smoke: bool,
+    out: String,
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+}
+
+fn parse_flags() -> Flags {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let parsed =
+        |name: &str, default: usize| value(name).and_then(|v| v.parse().ok()).unwrap_or(default);
+    Flags {
+        smoke,
+        out: value("--out").unwrap_or_else(|| "BENCH_serve.json".to_string()),
+        clients: parsed("--clients", if smoke { 4 } else { 6 }),
+        per_client: parsed("--per-client", if smoke { 10 } else { 30 }),
+        seed: value("--seed").and_then(|v| v.parse().ok()).unwrap_or(7),
+    }
+}
+
+/// What one request line did, from the client's side.
+#[derive(Clone, Copy, PartialEq)]
+enum Outcome {
+    Result,
+    CacheHit,
+    Rejected,
+    Error,
+}
+
+struct Sample {
+    outcome: Outcome,
+    ms: f64,
+}
+
+/// One request over an open connection; panics on transport failure
+/// (the soak's whole point is that the daemon never drops a reply).
+fn round_trip(writer: &mut TcpStream, reader: &mut impl BufRead, line: &str) -> (Json, f64) {
+    let start = Instant::now();
+    writeln!(writer, "{line}").expect("daemon accepts writes");
+    writer.flush().expect("daemon accepts writes");
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .expect("daemon answers every request");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(!response.is_empty(), "daemon dropped an in-flight reply");
+    (Json::parse(&response).expect("daemon speaks JSON"), ms)
+}
+
+/// The warm pool: requests repeated across clients so the solve cache
+/// answers most of them. Built from the smoke corpus's monolithic rows —
+/// real Table 1 shapes on real devices.
+fn warm_pool() -> Vec<String> {
+    smoke_corpus()
+        .iter()
+        .filter(|e| e.class != CorpusClass::Windowed)
+        .map(|e| {
+            format!(
+                "{{\"type\":\"map\",\"qasm\":{},\"device\":\"{}\",\"deadline_ms\":{}}}",
+                Json::str(qxmap_qasm::to_qasm(&e.circuit)),
+                e.device,
+                e.deadline_ms,
+            )
+        })
+        .collect()
+}
+
+/// A cold request: the warm pool's first circuit under a never-repeated
+/// `seed`, which is part of the solve-cache key — guaranteed miss, same
+/// solve shape every time.
+fn cold_line(qasm: &str, unique_seed: u64) -> String {
+    format!(
+        "{{\"type\":\"map\",\"qasm\":{},\"device\":\"qx5\",\"deadline_ms\":10000,\"seed\":{unique_seed}}}",
+        Json::str(qasm),
+    )
+}
+
+/// A windowed request: a 10-qubit CNOT ladder on linear-12 — past the
+/// exact regime, so it slices and stitches, but small enough to keep the
+/// soak short.
+fn windowed_line() -> String {
+    let mut qasm = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[10];\n");
+    for q in 0..9 {
+        qasm.push_str(&format!("cx q[{}], q[{}];\n", q, q + 1));
+    }
+    format!(
+        "{{\"type\":\"map\",\"qasm\":{},\"device\":\"linear-12\",\
+         \"windowed\":{{\"max_window_qubits\":6}},\"deadline_ms\":30000}}",
+        Json::str(qasm)
+    )
+}
+
+/// Invalid traffic: the daemon must answer each with a structured error
+/// without disturbing its neighbors.
+const INVALID_LINES: &[&str] = &[
+    "this is not json",
+    "{\"type\":\"map\"}",
+    "{\"type\":\"map\",\"qasm\":\"OPENQASM 2.0;\",\"device\":\"atlantis\"}",
+    "{\"type\":\"frobnicate\"}",
+];
+
+fn main() {
+    let flags = parse_flags();
+    let dir = std::env::temp_dir().join(format!("qxmap-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("writable temp dir");
+    let snapshot = dir.join("soak.qxsnap");
+    let _ = std::fs::remove_file(&snapshot);
+
+    // Cold process-wide cache: the soak measures the serving tier, not
+    // leftovers from this process.
+    SolveCache::shared().clear();
+
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        batch_max: 4,
+        snapshot: Some(snapshot.clone()),
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = listener.local_addr().expect("bound address");
+    let accept_loop = std::thread::spawn({
+        let server = Arc::clone(&server);
+        move || server.serve_tcp(listener)
+    });
+
+    let warm = Arc::new(warm_pool());
+    let cold_qasm = Arc::new(qxmap_qasm::to_qasm(&synthetic_circuit(6, 10, 16, 0xACE)));
+    let windowed = Arc::new(windowed_line());
+    println!(
+        "soak: {} clients x {} requests against {addr} (seed {})",
+        flags.clients, flags.per_client, flags.seed
+    );
+
+    let soak_start = Instant::now();
+    let clients: Vec<_> = (0..flags.clients)
+        .map(|client| {
+            let warm = Arc::clone(&warm);
+            let cold_qasm = Arc::clone(&cold_qasm);
+            let windowed = Arc::clone(&windowed);
+            let per_client = flags.per_client;
+            let seed = flags.seed;
+            std::thread::spawn(move || {
+                let mut rng = Rng(seed ^ (client as u64).wrapping_mul(0x9E37_79B9));
+                let stream = TcpStream::connect(addr).expect("daemon is listening");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("socket option");
+                stream.set_nodelay(true).expect("socket option");
+                let mut writer = stream.try_clone().expect("socket clone");
+                let mut reader = BufReader::new(stream);
+                let mut samples: Vec<Sample> = Vec::with_capacity(per_client);
+                for request in 0..per_client {
+                    let roll = rng.next() % 100;
+                    let (line, invalid) = if roll < 50 {
+                        (warm[(rng.next() as usize) % warm.len()].clone(), false)
+                    } else if roll < 75 {
+                        // Masked to 48 bits: the protocol carries
+                        // integers as f64 and rejects values past 2^53.
+                        (cold_line(&cold_qasm, rng.next() & 0xFFFF_FFFF_FFFF), false)
+                    } else if roll < 85 {
+                        ((*windowed).clone(), false)
+                    } else {
+                        (
+                            INVALID_LINES[(client + request) % INVALID_LINES.len()].to_string(),
+                            true,
+                        )
+                    };
+                    let (response, ms) = round_trip(&mut writer, &mut reader, &line);
+                    let outcome = match response.get("type").and_then(Json::as_str) {
+                        Some("result") => {
+                            if response.get("served_from_cache").and_then(Json::as_bool)
+                                == Some(true)
+                            {
+                                Outcome::CacheHit
+                            } else {
+                                Outcome::Result
+                            }
+                        }
+                        Some("error") => {
+                            let code = response.get("code").and_then(Json::as_str);
+                            if code == Some("overloaded") {
+                                Outcome::Rejected
+                            } else {
+                                // Only the deliberately malformed lines
+                                // may error: a structured failure on
+                                // valid traffic is a harness bug worth
+                                // stopping the soak for.
+                                assert!(invalid, "valid request errored: {response}");
+                                Outcome::Error
+                            }
+                        }
+                        other => panic!("unexpected response type {other:?}"),
+                    };
+                    samples.push(Sample { outcome, ms });
+                }
+                samples
+            })
+        })
+        .collect();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for client in clients {
+        samples.extend(client.join().expect("client threads do not panic"));
+    }
+    let wall_s = soak_start.elapsed().as_secs_f64();
+
+    // The daemon's own view, over the same wire.
+    let metrics_stream = TcpStream::connect(addr).expect("daemon is listening");
+    let mut metrics_writer = metrics_stream.try_clone().expect("socket clone");
+    let mut metrics_reader = BufReader::new(metrics_stream);
+    let (metrics, _) = round_trip(
+        &mut metrics_writer,
+        &mut metrics_reader,
+        "{\"type\":\"metrics\"}",
+    );
+    let (ack, _) = round_trip(
+        &mut metrics_writer,
+        &mut metrics_reader,
+        "{\"type\":\"shutdown\"}",
+    );
+    assert_eq!(ack.get("type").and_then(Json::as_str), Some("ok"), "{ack}");
+    accept_loop
+        .join()
+        .expect("accept loop exits on shutdown")
+        .expect("accept loop exits cleanly");
+    let persisted = server
+        .finish()
+        .expect("snapshot write succeeds")
+        .expect("snapshot path configured");
+    assert!(persisted > 0, "the soak must leave a warm snapshot behind");
+
+    // Warm restart: a fresh server over the snapshot answers a repeated
+    // request from cache.
+    SolveCache::shared().clear();
+    let restarted = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        batch_max: 1,
+        snapshot: Some(snapshot.clone()),
+    });
+    let imported = restarted.warm_start().expect("snapshot re-imports");
+    let restart_start = Instant::now();
+    let handled = restarted.handle_line(&warm[0]);
+    let restart_ms = restart_start.elapsed().as_secs_f64() * 1e3;
+    let response = Json::parse(handled.response()).expect("response is JSON");
+    let warm_restart_hit = response.get("served_from_cache").and_then(Json::as_bool) == Some(true);
+    restarted.finish().expect("clean drain");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let count = |o: Outcome| samples.iter().filter(|s| s.outcome == o).count() as u64;
+    let total = samples.len() as u64;
+    let answered_ms: Vec<f64> = samples
+        .iter()
+        .filter(|s| matches!(s.outcome, Outcome::Result | Outcome::CacheHit))
+        .map(|s| s.ms)
+        .collect();
+    assert_eq!(
+        total,
+        (flags.clients * flags.per_client) as u64,
+        "every request line got exactly one reply"
+    );
+    let requests = metrics.get("requests").expect("metrics carry requests");
+    let daemon = |key: &str| requests.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let histogram = metrics.get("latency").expect("metrics carry latency");
+    let throughput = total as f64 / wall_s;
+
+    let doc = Json::obj([
+        ("schema", Json::str("qxmap.bench_serve")),
+        ("schema_version", Json::num(1)),
+        (
+            "manifest_hash",
+            Json::str(format!("{:#018x}", manifest_hash())),
+        ),
+        ("smoke", Json::Bool(flags.smoke)),
+        ("seed", Json::num(flags.seed)),
+        ("clients", Json::num(flags.clients as u64)),
+        ("per_client", Json::num(flags.per_client as u64)),
+        ("wall_s", Json::Num((wall_s * 1e3).round() / 1e3)),
+        (
+            "throughput_rps",
+            Json::Num((throughput * 10.0).round() / 10.0),
+        ),
+        (
+            "requests",
+            Json::obj([
+                ("total", Json::num(total)),
+                ("results", Json::num(count(Outcome::Result))),
+                ("cache_hits", Json::num(count(Outcome::CacheHit))),
+                ("rejected_overload", Json::num(count(Outcome::Rejected))),
+                ("errors", Json::num(count(Outcome::Error))),
+            ]),
+        ),
+        ("latency", stats::latency_json(&answered_ms)),
+        (
+            "daemon",
+            Json::obj([
+                ("received", Json::num(daemon("received"))),
+                ("completed", Json::num(daemon("completed"))),
+                ("served_from_cache", Json::num(daemon("served_from_cache"))),
+                ("rejected_overload", Json::num(daemon("rejected_overload"))),
+                ("deadline_misses", Json::num(daemon("deadline_misses"))),
+                (
+                    "p50_us",
+                    histogram.get("p50_us").cloned().unwrap_or(Json::Null),
+                ),
+                (
+                    "p95_us",
+                    histogram.get("p95_us").cloned().unwrap_or(Json::Null),
+                ),
+                (
+                    "p99_us",
+                    histogram.get("p99_us").cloned().unwrap_or(Json::Null),
+                ),
+            ]),
+        ),
+        (
+            "warm_restart",
+            Json::obj([
+                ("snapshot_entries", Json::num(imported as u64)),
+                ("hit", Json::Bool(warm_restart_hit)),
+                ("latency_ms", Json::Num(stats::round_ms(restart_ms))),
+            ]),
+        ),
+    ]);
+    std::fs::write(&flags.out, stats::pretty(&doc)).expect("writable output path");
+    println!(
+        "wrote {} ({total} requests, {throughput:.1} req/s, warm restart hit: {warm_restart_hit})",
+        flags.out
+    );
+    assert!(
+        warm_restart_hit,
+        "a restart from the soak's snapshot must answer a repeated request from cache"
+    );
+}

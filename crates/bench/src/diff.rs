@@ -1,0 +1,396 @@
+//! The regression gate: compares a committed `BENCH_*.json` baseline
+//! against a fresh run and reports *gross* regressions.
+//!
+//! The gate's job is to catch a broken cache, a 4× latency cliff or a
+//! halved solution quality on every PR — not to detect 10% drift on a
+//! noisy CI runner. Two mechanisms keep it honest:
+//!
+//! * **ratios with noise floors** — a latency only regresses when it
+//!   exceeds *both* `baseline × ratio` and an absolute floor, so
+//!   microsecond-scale numbers (warm cache hits) can triple in scheduler
+//!   noise without tripping the gate;
+//! * **identity checks** — both files must carry the same `schema` and
+//!   corpus [`manifest_hash`](qxmap_benchmarks::corpus::manifest_hash),
+//!   so the gate refuses to compare runs of different corpora instead of
+//!   reporting nonsense. A smoke run compares against a full baseline by
+//!   row-name intersection (the smoke corpus is a marked subset of the
+//!   same manifest).
+
+use qxmap_serve::Json;
+
+/// When a measurement counts as a gross regression. Defaults are
+/// deliberately generous: CI runners are shared and noisy, and a gate
+/// that cries wolf gets deleted.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// A latency regresses when `fresh > baseline × latency_ratio` (and
+    /// exceeds the floor).
+    pub latency_ratio: f64,
+    /// Latencies below this (ms) are noise, never regressions.
+    pub latency_floor_ms: f64,
+    /// A solve cost regresses when
+    /// `fresh objective > baseline × objective_ratio`.
+    pub objective_ratio: f64,
+    /// The cache hit rate regresses when it drops by more than this
+    /// (absolute, 0..1).
+    pub hit_rate_drop: f64,
+    /// Throughput regresses when
+    /// `fresh < baseline × throughput_ratio`.
+    pub throughput_ratio: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            latency_ratio: 4.0,
+            latency_floor_ms: 50.0,
+            objective_ratio: 1.5,
+            hit_rate_drop: 0.25,
+            throughput_ratio: 0.25,
+        }
+    }
+}
+
+/// Compares `fresh` against `baseline` (both parsed `BENCH_*.json`
+/// documents of the same schema) and returns one human-readable line per
+/// gross regression — empty means the gate passes.
+///
+/// # Errors
+///
+/// Returns a description when the two documents are not comparable at
+/// all (missing/mismatched `schema`, mismatched `manifest_hash`, or no
+/// overlapping rows) — an error, not a regression, because the right fix
+/// is regenerating the baseline, not reverting the PR.
+pub fn diff(baseline: &Json, fresh: &Json, t: &Thresholds) -> Result<Vec<String>, String> {
+    let schema = |doc: &Json, which: &str| {
+        doc.get("schema")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{which} document has no \"schema\" field"))
+    };
+    let base_schema = schema(baseline, "baseline")?;
+    let fresh_schema = schema(fresh, "fresh")?;
+    if base_schema != fresh_schema {
+        return Err(format!(
+            "schema mismatch: baseline is {base_schema:?}, fresh is {fresh_schema:?}"
+        ));
+    }
+    fn hash(doc: &Json) -> Option<&str> {
+        doc.get("manifest_hash").and_then(Json::as_str)
+    }
+    match (hash(baseline), hash(fresh)) {
+        (Some(b), Some(f)) if b != f => {
+            return Err(format!(
+                "corpus manifest mismatch: baseline measured {b}, fresh measured {f} \
+                 — regenerate the baseline"
+            ));
+        }
+        _ => {}
+    }
+    match base_schema.as_str() {
+        "qxmap.bench_corpus" => diff_corpus(baseline, fresh, t),
+        "qxmap.bench_serve" => Ok(diff_serve(baseline, fresh, t)),
+        other => Err(format!("unknown schema {other:?}")),
+    }
+}
+
+/// `fresh > max(floor, baseline × ratio)`, with absent fields never
+/// regressing (a baseline predating a field must not fail every PR).
+fn slower(baseline: Option<f64>, fresh: Option<f64>, ratio: f64, floor: f64) -> bool {
+    match (baseline, fresh) {
+        (Some(b), Some(f)) => f > (b * ratio).max(floor),
+        _ => false,
+    }
+}
+
+fn num(doc: &Json, path: &[&str]) -> Option<f64> {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key)?;
+    }
+    v.as_f64()
+}
+
+fn diff_corpus(baseline: &Json, fresh: &Json, t: &Thresholds) -> Result<Vec<String>, String> {
+    fn rows<'a>(doc: &'a Json, which: &str) -> Result<&'a [Json], String> {
+        doc.get("rows")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{which} document has no \"rows\" array"))
+    }
+    let base_rows = rows(baseline, "baseline")?;
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for row in rows(fresh, "fresh")? {
+        let Some(name) = row.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base) = base_rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        compared += 1;
+        let field = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_f64);
+        if let (Some(b), Some(f)) = (field(base, "objective"), field(row, "objective")) {
+            if f > b * t.objective_ratio {
+                regressions.push(format!(
+                    "{name}: solve cost regressed {b} -> {f} (> {}x)",
+                    t.objective_ratio
+                ));
+            }
+        }
+        if slower(
+            field(base, "cold_ms"),
+            field(row, "cold_ms"),
+            t.latency_ratio,
+            t.latency_floor_ms,
+        ) {
+            regressions.push(format!(
+                "{name}: cold solve regressed {:.1} ms -> {:.1} ms (> {}x)",
+                field(base, "cold_ms").unwrap_or(0.0),
+                field(row, "cold_ms").unwrap_or(0.0),
+                t.latency_ratio
+            ));
+        }
+        if slower(
+            field(base, "warm_p95_ms"),
+            field(row, "warm_p95_ms"),
+            t.latency_ratio,
+            t.latency_floor_ms,
+        ) {
+            regressions.push(format!(
+                "{name}: warm p95 regressed {:.3} ms -> {:.3} ms",
+                field(base, "warm_p95_ms").unwrap_or(0.0),
+                field(row, "warm_p95_ms").unwrap_or(0.0),
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("no overlapping rows between baseline and fresh run".to_string());
+    }
+    let rate = |doc: &Json| num(doc, &["aggregate", "cache_hit_rate"]);
+    if let (Some(b), Some(f)) = (rate(baseline), rate(fresh)) {
+        if b - f > t.hit_rate_drop {
+            regressions.push(format!(
+                "cache hit rate regressed {b:.3} -> {f:.3} (drop > {})",
+                t.hit_rate_drop
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+fn diff_serve(baseline: &Json, fresh: &Json, t: &Thresholds) -> Vec<String> {
+    let mut regressions = Vec::new();
+    if let (Some(b), Some(f)) = (
+        num(baseline, &["throughput_rps"]),
+        num(fresh, &["throughput_rps"]),
+    ) {
+        if f < b * t.throughput_ratio {
+            regressions.push(format!(
+                "throughput regressed {b:.1} -> {f:.1} req/s (< {}x baseline)",
+                t.throughput_ratio
+            ));
+        }
+    }
+    for p in ["p50_ms", "p95_ms", "p99_ms"] {
+        if slower(
+            num(baseline, &["latency", p]),
+            num(fresh, &["latency", p]),
+            t.latency_ratio,
+            t.latency_floor_ms,
+        ) {
+            regressions.push(format!(
+                "soak {p} regressed {:.1} -> {:.1} ms (> {}x)",
+                num(baseline, &["latency", p]).unwrap_or(0.0),
+                num(fresh, &["latency", p]).unwrap_or(0.0),
+                t.latency_ratio
+            ));
+        }
+    }
+    let hit = |doc: &Json| {
+        doc.get("warm_restart")
+            .and_then(|w| w.get("hit"))
+            .and_then(Json::as_bool)
+    };
+    if hit(baseline) == Some(true) && hit(fresh) == Some(false) {
+        regressions
+            .push("warm restart no longer serves the repeated request from cache".to_string());
+    }
+    if slower(
+        num(baseline, &["warm_restart", "latency_ms"]),
+        num(fresh, &["warm_restart", "latency_ms"]),
+        t.latency_ratio,
+        t.latency_floor_ms,
+    ) {
+        regressions.push(format!(
+            "warm restart hit latency regressed {:.3} -> {:.3} ms",
+            num(baseline, &["warm_restart", "latency_ms"]).unwrap_or(0.0),
+            num(fresh, &["warm_restart", "latency_ms"]).unwrap_or(0.0),
+        ));
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus_doc(cold_ms: f64, objective: u64, hit_rate: f64) -> Json {
+        Json::obj([
+            ("schema", Json::str("qxmap.bench_corpus")),
+            ("schema_version", Json::num(1)),
+            ("manifest_hash", Json::str("0xabc")),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj([
+                        ("name", Json::str("3_17_13")),
+                        ("objective", Json::num(objective)),
+                        ("cold_ms", Json::Num(cold_ms)),
+                        ("warm_p95_ms", Json::Num(0.02)),
+                    ]),
+                    Json::obj([
+                        ("name", Json::str("ex-1_166")),
+                        ("objective", Json::num(2)),
+                        ("cold_ms", Json::Num(30.0)),
+                        ("warm_p95_ms", Json::Num(0.02)),
+                    ]),
+                ]),
+            ),
+            (
+                "aggregate",
+                Json::obj([("cache_hit_rate", Json::Num(hit_rate))]),
+            ),
+        ])
+    }
+
+    fn serve_doc(throughput: f64, p95: f64, warm_hit: bool) -> Json {
+        Json::obj([
+            ("schema", Json::str("qxmap.bench_serve")),
+            ("schema_version", Json::num(1)),
+            ("manifest_hash", Json::str("0xabc")),
+            ("throughput_rps", Json::Num(throughput)),
+            (
+                "latency",
+                Json::obj([
+                    ("p50_ms", Json::Num(p95 / 2.0)),
+                    ("p95_ms", Json::Num(p95)),
+                    ("p99_ms", Json::Num(p95 * 1.5)),
+                ]),
+            ),
+            (
+                "warm_restart",
+                Json::obj([
+                    ("hit", Json::Bool(warm_hit)),
+                    ("latency_ms", Json::Num(0.4)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let doc = corpus_doc(200.0, 4, 0.8);
+        assert_eq!(
+            diff(&doc, &doc, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
+        let doc = serve_doc(500.0, 40.0, true);
+        assert_eq!(
+            diff(&doc, &doc, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
+    }
+
+    #[test]
+    fn injected_corpus_regressions_are_caught() {
+        let baseline = corpus_doc(200.0, 4, 0.8);
+        // 10x cold latency, doubled solve cost, collapsed hit rate.
+        let fresh = corpus_doc(2000.0, 8, 0.3);
+        let regressions = diff(&baseline, &fresh, &Thresholds::default()).unwrap();
+        assert_eq!(regressions.len(), 3, "{regressions:?}");
+        assert!(regressions.iter().any(|r| r.contains("cold solve")));
+        assert!(regressions.iter().any(|r| r.contains("solve cost")));
+        assert!(regressions.iter().any(|r| r.contains("cache hit rate")));
+    }
+
+    #[test]
+    fn noise_floors_swallow_small_absolute_changes() {
+        let baseline = corpus_doc(5.0, 4, 0.8);
+        // 8x of a 5 ms cold solve is still under the 50 ms floor; a warm
+        // p95 tripling from 20 µs is noise too.
+        let fresh = corpus_doc(40.0, 4, 0.8);
+        assert_eq!(
+            diff(&baseline, &fresh, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
+    }
+
+    #[test]
+    fn injected_serve_regressions_are_caught() {
+        let baseline = serve_doc(500.0, 40.0, true);
+        let fresh = serve_doc(50.0, 400.0, false);
+        let regressions = diff(&baseline, &fresh, &Thresholds::default()).unwrap();
+        assert!(regressions.iter().any(|r| r.contains("throughput")));
+        assert!(regressions.iter().any(|r| r.contains("p95")));
+        assert!(regressions.iter().any(|r| r.contains("warm restart")));
+    }
+
+    #[test]
+    fn incompatible_documents_error_instead_of_regressing() {
+        let corpus = corpus_doc(200.0, 4, 0.8);
+        let serve = serve_doc(500.0, 40.0, true);
+        assert!(diff(&corpus, &serve, &Thresholds::default())
+            .unwrap_err()
+            .contains("schema mismatch"));
+
+        let mut other_corpus = corpus_doc(200.0, 4, 0.8);
+        if let Json::Obj(pairs) = &mut other_corpus {
+            for (k, v) in pairs.iter_mut() {
+                if k == "manifest_hash" {
+                    *v = Json::str("0xdef");
+                }
+            }
+        }
+        assert!(diff(&corpus, &other_corpus, &Thresholds::default())
+            .unwrap_err()
+            .contains("manifest mismatch"));
+
+        assert!(diff(&Json::Null, &corpus, &Thresholds::default()).is_err());
+    }
+
+    #[test]
+    fn disjoint_rows_are_an_error_but_subsets_compare() {
+        let baseline = corpus_doc(200.0, 4, 0.8);
+        let mut renamed = corpus_doc(200.0, 4, 0.8);
+        if let Json::Obj(pairs) = &mut renamed {
+            for (k, v) in pairs.iter_mut() {
+                if k == "rows" {
+                    *v = Json::Arr(vec![Json::obj([("name", Json::str("nope"))])]);
+                }
+            }
+        }
+        assert!(diff(&baseline, &renamed, &Thresholds::default())
+            .unwrap_err()
+            .contains("no overlapping rows"));
+
+        // A smoke run (subset of the baseline's rows) compares cleanly.
+        let mut smoke = corpus_doc(190.0, 4, 0.8);
+        if let Json::Obj(pairs) = &mut smoke {
+            for (k, v) in pairs.iter_mut() {
+                if k == "rows" {
+                    let Json::Arr(rows) = v.clone() else {
+                        unreachable!()
+                    };
+                    *v = Json::Arr(rows[..1].to_vec());
+                }
+            }
+        }
+        assert_eq!(
+            diff(&baseline, &smoke, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
+    }
+}

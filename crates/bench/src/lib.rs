@@ -14,10 +14,28 @@
 //!   baselines, and substrate ablations (SAT engine, swap tables, QASM,
 //!   simulator).
 //!
-//! Both binaries drive the mapping engines through the unified
+//! The **perf-trajectory harness** (see `GUIDE.md`, "Measuring
+//! performance") lives here too:
+//!
+//! * `--bin bench_corpus` — runs the fixed, versioned
+//!   [`qxmap_benchmarks::corpus`] through cold and warm solves and
+//!   writes `BENCH_corpus.json` (plus the windowed-vs-heuristic rows as
+//!   `BENCH_window.json`); `--smoke` restricts to the marked CI subset.
+//! * `--bin bench_soak` — boots the serving tier on loopback, drives
+//!   concurrent mixed traffic under deterministic seeds, and writes
+//!   `BENCH_serve.json` (throughput, percentiles, overload/deadline
+//!   counters, warm-restart hit latency).
+//! * `--bin bench_diff` — compares a committed baseline against a fresh
+//!   run and exits nonzero on gross regression (the CI gate; thresholds
+//!   and noise floors in [`diff::Thresholds`]).
+//!
+//! All binaries drive the mapping engines through the unified
 //! `qxmap-map` request/report surface. Shared helpers live here.
 
 #![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod stats;
 
 use qxmap_arch::{devices, CouplingMap, DeviceModel};
 use qxmap_circuit::Circuit;

@@ -17,6 +17,9 @@
 //!   H/T/CNOT basis (with borrowed-ancilla recursion).
 //! * [`famous`] — classic parameterized families (GHZ, QFT, Toffoli
 //!   chains, ripple adders) for scaling studies.
+//! * [`corpus`] — the fixed, versioned perf-trajectory corpus (named
+//!   circuit × device × deadline entries with a manifest hash) that the
+//!   `qxmap-bench` harness measures into `BENCH_corpus.json`.
 //!
 //! ```
 //! let suite = qxmap_benchmarks::table1_profiles();
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod famous;
 pub mod mct;
 pub mod profiles;

@@ -1,7 +1,7 @@
 //! Property-based tests for workload generation and MCT decomposition.
 
 use proptest::prelude::*;
-use qxmap_benchmarks::{mct, real, synthetic_circuit};
+use qxmap_benchmarks::{famous, mct, real, synthetic_circuit};
 use qxmap_circuit::Circuit;
 
 proptest! {
@@ -54,6 +54,37 @@ proptest! {
             _ => 12,
         };
         prop_assert!(c.num_cnots() >= expected_min);
+    }
+
+    /// `qft_blocks(b, k)` — the bench-corpus windowed workload — is always
+    /// well-formed: exactly `b` strided, qubit-disjoint copies of `qft(k)`,
+    /// with the closed-form gate count per copy
+    /// (`k` H's + 5 gates per controlled phase + `⌊k/2⌋` swaps).
+    #[test]
+    fn qft_blocks_are_disjoint_strided_qfts(blocks in 1usize..6, k in 1usize..7) {
+        let c = famous::qft_blocks(blocks, k);
+        prop_assert_eq!(c.num_qubits(), blocks * k);
+
+        let per_copy = k + 5 * (k * (k - 1) / 2) + k / 2;
+        let gates: Vec<_> = c.gates().to_vec();
+        prop_assert_eq!(gates.len(), blocks * per_copy);
+
+        for (position, gate) in gates.iter().enumerate() {
+            let copy = position / per_copy;
+            let qubits = gate.qubits();
+            prop_assert!(!qubits.is_empty());
+            for &q in &qubits {
+                prop_assert!(q < blocks * k, "qubit {} out of range", q);
+                // Copy `i` touches only the residue class `i (mod blocks)`.
+                prop_assert_eq!(q % blocks, copy, "gate {} strays across copies", position);
+            }
+            // Two-qubit gates never degenerate to a single wire.
+            if qubits.len() == 2 {
+                prop_assert!(qubits[0] != qubits[1]);
+            }
+        }
+        // Determinism: the corpus relies on stable fingerprints.
+        prop_assert_eq!(c, famous::qft_blocks(blocks, k));
     }
 
     /// A generated `.real` netlist of random t1/t2/t3 gates parses and its

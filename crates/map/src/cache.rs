@@ -42,6 +42,7 @@
 //! relative to the risk of serving it to a subtly different request.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -299,11 +300,22 @@ fn approx_entry_bytes(report: &MapReport, canon_to_original: &[usize]) -> usize 
 struct Inner {
     map: HashMap<CacheKey, Entry>,
     tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+}
+
+/// Monitoring counters, kept *outside* the entry mutex so
+/// [`SolveCache::stats`] is a handful of relaxed atomic loads: a metrics
+/// endpoint or soak harness polling stats at high frequency never
+/// contends with — or is blocked behind — an in-flight insert holding
+/// the write lock. Mutators update these while holding the entry lock,
+/// so any torn read a poller could observe is transient by construction.
+#[derive(Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    entries: AtomicUsize,
     /// Sum of the live entries' `approx_bytes`.
-    approx_bytes: usize,
+    approx_bytes: AtomicUsize,
 }
 
 /// A bounded, thread-safe, whole-solve result cache, keyed by (canonical
@@ -314,6 +326,7 @@ struct Inner {
 /// [`crate::map_many`] call.
 pub struct SolveCache {
     inner: Mutex<Inner>,
+    counters: CacheCounters,
     capacity: usize,
 }
 
@@ -322,6 +335,7 @@ impl SolveCache {
     pub fn with_capacity(capacity: usize) -> SolveCache {
         SolveCache {
             inner: Mutex::new(Inner::default()),
+            counters: CacheCounters::default(),
             capacity: capacity.max(1),
         }
     }
@@ -378,11 +392,11 @@ impl SolveCache {
             });
             match hit {
                 Some(found) => {
-                    inner.hits += 1;
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
                     found
                 }
                 None => {
-                    inner.misses += 1;
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
                     return None;
                 }
             }
@@ -433,16 +447,23 @@ impl SolveCache {
             last_used: tick,
         };
         let store = |inner: &mut Inner, key: CacheKey, entry: Entry| {
-            inner.approx_bytes += entry.approx_bytes;
+            self.counters
+                .approx_bytes
+                .fetch_add(entry.approx_bytes, Ordering::Relaxed);
             if let Some(replaced) = inner.map.insert(key, entry) {
-                inner.approx_bytes -= replaced.approx_bytes;
+                self.counters
+                    .approx_bytes
+                    .fetch_sub(replaced.approx_bytes, Ordering::Relaxed);
             }
         };
         if report.proved_optimal {
             store(&mut inner, key.proved_tier(), entry());
         }
         store(&mut inner, key, entry());
-        evict_to_capacity(&mut inner, self.capacity);
+        evict_to_capacity(&mut inner, self.capacity, &self.counters);
+        self.counters
+            .entries
+            .store(inner.map.len(), Ordering::Relaxed);
     }
 
     /// Serializes every held entry — the budget-class entries *and* the
@@ -618,7 +639,9 @@ impl SolveCache {
         let admitted = to_insert.len();
         for (age, (key, canon_to_original, report)) in to_insert.into_iter().enumerate() {
             let bytes = approx_entry_bytes(&report, &canon_to_original);
-            inner.approx_bytes += bytes;
+            self.counters
+                .approx_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
             inner.map.insert(
                 key,
                 Entry {
@@ -629,20 +652,28 @@ impl SolveCache {
                 },
             );
         }
-        evict_to_capacity(&mut inner, self.capacity);
+        evict_to_capacity(&mut inner, self.capacity, &self.counters);
+        self.counters
+            .entries
+            .store(inner.map.len(), Ordering::Relaxed);
         Ok(admitted)
     }
 
     /// Cumulative counters, the current entry count, and the entries'
     /// approximate byte footprint.
+    ///
+    /// This read is a handful of relaxed atomic loads — it never takes
+    /// the cache's entry lock, so a metrics endpoint or a load-test
+    /// harness can poll it at arbitrary frequency without stalling (or
+    /// being stalled by) concurrent lookups and inserts.
     pub fn stats(&self) -> SolveCacheStats {
-        let inner = self.inner.lock().expect("no panics under the lock");
+        let c = &self.counters;
         SolveCacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.map.len(),
-            approx_bytes: inner.approx_bytes,
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            entries: c.entries.load(Ordering::Relaxed),
+            approx_bytes: c.approx_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -650,7 +681,8 @@ impl SolveCache {
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("no panics under the lock");
         inner.map.clear();
-        inner.approx_bytes = 0;
+        self.counters.entries.store(0, Ordering::Relaxed);
+        self.counters.approx_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -666,7 +698,7 @@ impl std::fmt::Debug for SolveCache {
 /// Evicts least-recently-used entries until at most `capacity` remain,
 /// releasing their bytes and counting each eviction — the one eviction
 /// policy, shared by live inserts and snapshot imports.
-fn evict_to_capacity(inner: &mut Inner, capacity: usize) {
+fn evict_to_capacity(inner: &mut Inner, capacity: usize, counters: &CacheCounters) {
     while inner.map.len() > capacity {
         let stalest = inner
             .map
@@ -675,8 +707,10 @@ fn evict_to_capacity(inner: &mut Inner, capacity: usize) {
             .map(|(k, _)| k.clone())
             .expect("over-capacity map is non-empty");
         let evicted = inner.map.remove(&stalest).expect("key came from the map");
-        inner.approx_bytes -= evicted.approx_bytes;
-        inner.evictions += 1;
+        counters
+            .approx_bytes
+            .fetch_sub(evicted.approx_bytes, Ordering::Relaxed);
+        counters.evictions.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -818,6 +852,27 @@ mod tests {
         cache.insert("naive", &request, &hit);
         let again = cache.lookup("naive", &request).expect("hit");
         assert_eq!(again.winner, "cache/naive");
+    }
+
+    #[test]
+    fn stats_reads_complete_while_the_entry_lock_is_held() {
+        // The soak harness and the daemon's metrics endpoint poll
+        // stats() continuously; a read that needed the entry mutex would
+        // stall behind (and add contention to) every in-flight insert.
+        let cache = Arc::new(SolveCache::with_capacity(8));
+        let request = MapRequest::new(paper_example(), devices::ibm_qx4());
+        solve_and_insert(&cache, &request);
+        let _guard = cache.inner.lock().expect("no panics under the lock");
+        let (send, receive) = std::sync::mpsc::channel();
+        let polled = Arc::clone(&cache);
+        std::thread::spawn(move || {
+            let _ = send.send(polled.stats());
+        });
+        let stats = receive
+            .recv_timeout(Duration::from_secs(10))
+            .expect("stats() blocked behind the held entry lock");
+        assert_eq!(stats.entries, 1);
+        assert!(stats.approx_bytes > 0);
     }
 
     #[test]

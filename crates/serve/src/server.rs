@@ -125,8 +125,103 @@ struct Counters {
     errors: AtomicU64,
     rejected_overload: AtomicU64,
     served_from_cache: AtomicU64,
+    /// Mapping jobs that carried a `deadline_ms` and whose end-to-end
+    /// latency (admission wait + solve) exceeded it — the serving tier's
+    /// broken-promise counter. The engines wind down *near* a deadline,
+    /// so a loaded queue, not the solver, is the usual culprit.
+    deadline_misses: AtomicU64,
     total_latency_us: AtomicU64,
     max_latency_us: AtomicU64,
+}
+
+/// Number of power-of-two latency buckets: bucket `i` counts requests
+/// whose end-to-end latency was below `2^i` microseconds (and at or
+/// above the previous bound), spanning 1 µs .. ~2¹⁴ s before the
+/// overflow bucket — bounded, allocation-free, and wide enough that no
+/// real request lands in overflow.
+const LATENCY_BUCKETS: usize = 32;
+
+/// A bounded, lock-free latency histogram: fixed power-of-two buckets
+/// over microseconds, recorded with relaxed atomic increments. The
+/// `metrics` response renders it as `[upper_bound_us, count]` pairs plus
+/// derived p50/p95/p99 (each reported as its bucket's upper bound — a
+/// ≤2× overestimate, which is the right rounding direction for a
+/// latency promise).
+#[derive(Default)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn bucket_of(micros: u64) -> usize {
+        // Bucket i covers [2^(i-1), 2^i) µs (bucket 0 covers {0}); the
+        // last bucket absorbs overflow.
+        ((64 - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    fn record(&self, micros: u64) {
+        self.buckets[LatencyHistogram::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
+        let mut counts = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        counts
+    }
+
+    /// The upper bound (µs) of the bucket containing the `p`-quantile
+    /// sample, from an immutable snapshot so one `metrics` response is
+    /// internally consistent.
+    fn percentile(counts: &[u64; LATENCY_BUCKETS], p: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return LatencyHistogram::upper_bound_us(i);
+            }
+        }
+        LatencyHistogram::upper_bound_us(LATENCY_BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of bucket `i`, in microseconds.
+    fn upper_bound_us(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// `{"count", "p50_us", "p95_us", "p99_us", "buckets": [[upper, n], ...]}`
+    /// with zero buckets elided (the shape stays bounded either way).
+    fn to_json(&self) -> Json {
+        let counts = self.snapshot();
+        let buckets: Vec<Json> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                Json::Arr(vec![
+                    Json::num(LatencyHistogram::upper_bound_us(i)),
+                    Json::num(n),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("count", Json::num(counts.iter().sum::<u64>())),
+            ("p50_us", Json::num(Self::percentile(&counts, 0.50))),
+            ("p95_us", Json::num(Self::percentile(&counts, 0.95))),
+            ("p99_us", Json::num(Self::percentile(&counts, 0.99))),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
 }
 
 /// The batch solver workers run admitted jobs through — injectable so
@@ -146,6 +241,7 @@ pub struct Server {
     queue: Mutex<QueueState>,
     available: Condvar,
     counters: Counters,
+    latency: LatencyHistogram,
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// Connection threads currently between reading a request line and
     /// flushing its response — what [`Server::finish`] waits out so an
@@ -172,6 +268,7 @@ impl Server {
             }),
             available: Condvar::new(),
             counters: Counters::default(),
+            latency: LatencyHistogram::default(),
             busy_lines: AtomicU64::new(0),
             solver,
             config,
@@ -316,6 +413,7 @@ impl Server {
             }
             Request::Map(job) => {
                 self.counters.received.fetch_add(1, Ordering::Relaxed);
+                let deadline = job.request.deadline();
                 let start = Instant::now();
                 let receive = match self.submit(job.request, job.windowed, job.id.clone()) {
                     Ok(receive) => receive,
@@ -326,13 +424,23 @@ impl Server {
                 let result = receive
                     .recv()
                     .expect("workers answer every admitted job before exiting");
-                let latency = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let elapsed = start.elapsed();
+                let latency = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
                 self.counters
                     .total_latency_us
                     .fetch_add(latency, Ordering::Relaxed);
                 self.counters
                     .max_latency_us
                     .fetch_max(latency, Ordering::Relaxed);
+                self.latency.record(latency);
+                // The miss is judged on what the client asked for: the
+                // end-to-end wall clock against the request's own
+                // deadline, queueing included.
+                if deadline.is_some_and(|d| elapsed > d) {
+                    self.counters
+                        .deadline_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 Handled::Reply(match result {
                     Ok(report) => {
                         self.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -398,10 +506,12 @@ impl Server {
                     ("errors", get(&c.errors)),
                     ("rejected_overload", get(&c.rejected_overload)),
                     ("served_from_cache", get(&c.served_from_cache)),
+                    ("deadline_misses", get(&c.deadline_misses)),
                     ("total_latency_us", get(&c.total_latency_us)),
                     ("max_latency_us", get(&c.max_latency_us)),
                 ]),
             ),
+            ("latency".to_string(), self.latency.to_json()),
         ]);
         Json::Obj(pairs)
     }
@@ -492,6 +602,11 @@ impl Server {
             match listener.accept() {
                 Ok((stream, _)) => {
                     stream.set_nonblocking(false)?;
+                    // The protocol is one small line each way; Nagle's
+                    // algorithm would park every response behind a
+                    // delayed ACK (~40 ms) — two orders of magnitude
+                    // over a warm cache hit.
+                    stream.set_nodelay(true)?;
                     let server = Arc::clone(self);
                     // Connection threads are detached deliberately: one
                     // may sit in a blocking read for as long as its
@@ -632,6 +747,83 @@ mod tests {
             qxmap_map::map_many(requests)
         });
         (solver, release)
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_percentiles() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+        let h = LatencyHistogram::default();
+        for us in [10, 10, 10, 10, 10, 10, 10, 10, 10, 2000] {
+            h.record(us);
+        }
+        let counts = h.snapshot();
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        // 10 µs lands in [8, 16); the quantile reports the bucket's
+        // upper bound.
+        assert_eq!(LatencyHistogram::percentile(&counts, 0.50), 15);
+        assert_eq!(LatencyHistogram::percentile(&counts, 0.99), 2047);
+        let json = h.to_json();
+        assert_eq!(json.get("count").and_then(Json::as_u64), Some(10));
+        assert_eq!(json.get("p50_us").and_then(Json::as_u64), Some(15));
+        assert_eq!(json.get("p99_us").and_then(Json::as_u64), Some(2047));
+        let buckets = json.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), 2, "zero buckets are elided");
+        // An empty histogram renders zeros, not NaNs.
+        let empty = LatencyHistogram::default().to_json();
+        assert_eq!(empty.get("p95_us").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn deadline_misses_and_latency_feed_metrics() {
+        // A solver slower than the request's deadline: the response is
+        // still delivered (the engines degrade, they don't fabricate
+        // errors), but the miss is counted and the latency lands in the
+        // histogram.
+        let solver: BatchSolver = Box::new(|requests| {
+            std::thread::sleep(Duration::from_millis(30));
+            qxmap_map::map_many(requests)
+        });
+        let server = Server::start_with_solver(
+            ServerConfig {
+                workers: 1,
+                queue_depth: 8,
+                batch_max: 1,
+                snapshot: None,
+            },
+            solver,
+        );
+        let missed = format!(
+            "{{\"type\":\"map\",\"qasm\":{},\"device\":\"qx4\",\"deadline_ms\":1}}",
+            Json::str(QASM)
+        );
+        server.handle_line(&missed);
+        let metrics = server.metrics_json(None);
+        let requests = metrics.get("requests").unwrap();
+        assert_eq!(
+            requests.get("deadline_misses").and_then(Json::as_u64),
+            Some(1)
+        );
+        let latency = metrics.get("latency").unwrap();
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(1));
+        assert!(
+            latency.get("p50_us").and_then(Json::as_u64).unwrap() >= 30_000,
+            "{latency}"
+        );
+        // A deadline-free request records latency but cannot miss.
+        server.handle_line(&map_line());
+        let metrics = server.metrics_json(None);
+        let requests = metrics.get("requests").unwrap();
+        assert_eq!(
+            requests.get("deadline_misses").and_then(Json::as_u64),
+            Some(1)
+        );
+        let latency = metrics.get("latency").unwrap();
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(2));
+        server.finish().unwrap();
     }
 
     #[test]

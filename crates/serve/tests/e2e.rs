@@ -31,6 +31,11 @@ struct Daemon {
 
 impl Daemon {
     fn boot(snapshot: &std::path::Path) -> Daemon {
+        Daemon::boot_with(snapshot, &[])
+    }
+
+    /// Boots with extra command-line flags (worker/queue shaping).
+    fn boot_with(snapshot: &std::path::Path, extra: &[&str]) -> Daemon {
         let mut child = Command::new(env!("CARGO_BIN_EXE_qxmap-serve"))
             .args([
                 "--listen",
@@ -38,6 +43,7 @@ impl Daemon {
                 "--snapshot",
                 snapshot.to_str().expect("UTF-8 temp path"),
             ])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
@@ -154,6 +160,114 @@ fn windowed_requests_round_trip_with_certificates() {
     assert!(p.get("windows").is_none());
 
     daemon.shutdown_and_wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Floods a deliberately tiny daemon (one worker, queue depth one) with
+/// simultaneous slow requests and asserts the admission queue's promise:
+/// excess load is rejected *immediately* with a structured `overloaded`
+/// error, every connection still receives exactly one reply, admitted
+/// work completes, and shutdown drains cleanly afterwards.
+#[test]
+fn flooding_the_admission_queue_rejects_cleanly_without_dropping_replies() {
+    use std::sync::Barrier;
+
+    let dir = std::env::temp_dir().join(format!("qxmap-serve-e2e-flood-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot: PathBuf = dir.join("solves.qxsnap");
+    let _ = std::fs::remove_file(&snapshot);
+
+    let daemon = std::sync::Arc::new(Daemon::boot_with(
+        &snapshot,
+        &["--workers", "1", "--queue-depth", "1", "--batch", "1"],
+    ));
+    // A windowed 52-qubit map on heavy-hex takes long enough that the
+    // barrier-synchronized flood below lands while the single worker is
+    // busy: one request in flight, one queued, the rest rejected.
+    let line = format!(
+        "{{\"type\":\"map\",\"id\":\"flood\",\"qasm\":{},\"device\":\"heavy-hex-4\",\
+         \"windowed\":true,\"deadline_ms\":60000}}",
+        Json::str(ladder_qasm(52))
+    );
+
+    const CLIENTS: usize = 8;
+    let barrier = std::sync::Arc::new(Barrier::new(CLIENTS));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let daemon = std::sync::Arc::clone(&daemon);
+            let barrier = std::sync::Arc::clone(&barrier);
+            let line = line.clone();
+            std::thread::spawn(move || {
+                // Connect first, then release every request in the same
+                // instant — the flood must overlap the first solve.
+                let stream = TcpStream::connect(&daemon.addr).expect("daemon is listening");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                barrier.wait();
+                writeln!(writer, "{line}").unwrap();
+                writer.flush().unwrap();
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                assert!(!response.is_empty(), "daemon dropped an in-flight reply");
+                Json::parse(&response).expect("response is JSON")
+            })
+        })
+        .collect();
+
+    let mut results = 0usize;
+    let mut rejected = 0usize;
+    for client in clients {
+        let response = client.join().expect("client threads finish");
+        assert_eq!(
+            response.get("id").and_then(Json::as_str),
+            Some("flood"),
+            "every reply echoes its request id: {response}"
+        );
+        match response.get("type").and_then(Json::as_str) {
+            Some("result") => results += 1,
+            Some("error") => {
+                assert_eq!(
+                    response.get("code").and_then(Json::as_str),
+                    Some("overloaded"),
+                    "the only acceptable failure under flood is a \
+                     structured overload rejection: {response}"
+                );
+                rejected += 1;
+            }
+            other => panic!("unexpected response type {other:?}"),
+        }
+    }
+    assert_eq!(results + rejected, CLIENTS, "one reply per connection");
+    assert!(results >= 1, "admitted work completes under flood");
+    assert!(
+        rejected >= 1,
+        "a queue of depth one under {CLIENTS} simultaneous slow requests must shed load"
+    );
+
+    // The daemon's own counters agree with the client-side tally, and
+    // the flood left no queued leftovers.
+    let metrics = daemon.request("{\"type\":\"metrics\"}");
+    let requests = metrics.get("requests").expect("request counters");
+    assert_eq!(
+        requests.get("rejected_overload").and_then(Json::as_u64),
+        Some(rejected as u64),
+        "{metrics}"
+    );
+    assert_eq!(
+        requests.get("completed").and_then(Json::as_u64),
+        Some(results as u64)
+    );
+    let queue = metrics.get("queue").expect("queue state");
+    assert_eq!(queue.get("depth").and_then(Json::as_u64), Some(0));
+    assert_eq!(queue.get("in_flight").and_then(Json::as_u64), Some(0));
+
+    // Clean drain: graceful shutdown still works after the flood.
+    std::sync::Arc::into_inner(daemon)
+        .expect("all clients joined")
+        .shutdown_and_wait();
     std::fs::remove_dir_all(&dir).ok();
 }
 
