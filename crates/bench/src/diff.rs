@@ -169,6 +169,48 @@ fn diff_corpus(baseline: &Json, fresh: &Json, t: &Thresholds) -> Result<Vec<Stri
     if compared == 0 {
         return Err("no overlapping rows between baseline and fresh run".to_string());
     }
+    // Fast-ingest rows ride in a separate `ingest` section; a document
+    // predating the section (or missing a row) simply has nothing to
+    // compare — absence is never a regression.
+    fn ingest(doc: &Json) -> &[Json] {
+        doc.get("ingest").and_then(Json::as_array).unwrap_or(&[])
+    }
+    for row in ingest(fresh) {
+        let Some(name) = row.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base) = ingest(baseline)
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        let field = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_f64);
+        if let (Some(b), Some(f)) = (field(base, "speedup"), field(row, "speedup")) {
+            if f < b * t.throughput_ratio {
+                regressions.push(format!(
+                    "{name}: ingest speedup regressed {b:.1}x -> {f:.1}x \
+                     (< {}x baseline)",
+                    t.throughput_ratio
+                ));
+            }
+        }
+        for key in ["parse_par_ms", "qxbc_decode_ms"] {
+            if slower(
+                field(base, key),
+                field(row, key),
+                t.latency_ratio,
+                t.latency_floor_ms,
+            ) {
+                regressions.push(format!(
+                    "{name}: {key} regressed {:.1} ms -> {:.1} ms (> {}x)",
+                    field(base, key).unwrap_or(0.0),
+                    field(row, key).unwrap_or(0.0),
+                    t.latency_ratio
+                ));
+            }
+        }
+    }
     let rate = |doc: &Json| num(doc, &["aggregate", "cache_hit_rate"]);
     if let (Some(b), Some(f)) = (rate(baseline), rate(fresh)) {
         if b - f > t.hit_rate_drop {
@@ -260,10 +302,31 @@ mod tests {
                 ]),
             ),
             (
+                "ingest",
+                Json::Arr(vec![Json::obj([
+                    ("name", Json::str("ingest_big")),
+                    ("parse_seq_ms", Json::Num(400.0)),
+                    ("parse_par_ms", Json::Num(110.0)),
+                    ("qxbc_decode_ms", Json::Num(40.0)),
+                    ("speedup", Json::Num(10.0)),
+                ])]),
+            ),
+            (
                 "aggregate",
                 Json::obj([("cache_hit_rate", Json::Num(hit_rate))]),
             ),
         ])
+    }
+
+    fn set_ingest(doc: &mut Json, ingest: Json) {
+        let Json::Obj(pairs) = doc else {
+            unreachable!()
+        };
+        for (k, v) in pairs.iter_mut() {
+            if k == "ingest" {
+                *v = ingest.clone();
+            }
+        }
     }
 
     fn serve_doc(throughput: f64, p95: f64, warm_hit: bool) -> Json {
@@ -314,6 +377,48 @@ mod tests {
         assert!(regressions.iter().any(|r| r.contains("cold solve")));
         assert!(regressions.iter().any(|r| r.contains("solve cost")));
         assert!(regressions.iter().any(|r| r.contains("cache hit rate")));
+    }
+
+    #[test]
+    fn ingest_regressions_are_caught_and_absent_sections_tolerated() {
+        let baseline = corpus_doc(200.0, 4, 0.8);
+        // A collapsed ingest speedup (10x -> 1x) and a 10x slower QXBC
+        // decode both trip the gate.
+        let mut fresh = corpus_doc(200.0, 4, 0.8);
+        set_ingest(
+            &mut fresh,
+            Json::Arr(vec![Json::obj([
+                ("name", Json::str("ingest_big")),
+                ("parse_seq_ms", Json::Num(400.0)),
+                ("parse_par_ms", Json::Num(400.0)),
+                ("qxbc_decode_ms", Json::Num(400.0)),
+                ("speedup", Json::Num(1.0)),
+            ])]),
+        );
+        let regressions = diff(&baseline, &fresh, &Thresholds::default()).unwrap();
+        assert!(
+            regressions.iter().any(|r| r.contains("ingest speedup")),
+            "{regressions:?}"
+        );
+        assert!(
+            regressions.iter().any(|r| r.contains("qxbc_decode_ms")),
+            "{regressions:?}"
+        );
+
+        // A baseline predating the ingest section (or a fresh run not
+        // measuring it) compares cleanly — absence never regresses.
+        let mut old_baseline = corpus_doc(200.0, 4, 0.8);
+        set_ingest(&mut old_baseline, Json::Arr(vec![]));
+        assert_eq!(
+            diff(&old_baseline, &fresh, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
+        let mut skipped = corpus_doc(200.0, 4, 0.8);
+        set_ingest(&mut skipped, Json::Arr(vec![]));
+        assert_eq!(
+            diff(&baseline, &skipped, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
     }
 
     #[test]

@@ -107,16 +107,7 @@ impl Circuit {
     /// Returns [`CircuitError`] if any operand is out of range or a
     /// two-qubit gate references the same qubit twice.
     pub fn try_push(&mut self, gate: Gate) -> Result<(), CircuitError> {
-        let ok = match &gate {
-            Gate::One { qubit, .. } => *qubit < self.num_qubits,
-            Gate::Cnot { control, target } => {
-                *control < self.num_qubits && *target < self.num_qubits && control != target
-            }
-            Gate::Swap { a, b } => *a < self.num_qubits && *b < self.num_qubits && a != b,
-            Gate::Barrier(qs) => qs.iter().all(|q| *q < self.num_qubits),
-            Gate::Measure { qubit, clbit } => *qubit < self.num_qubits && *clbit < self.num_clbits,
-        };
-        if ok {
+        if gate.fits(self.num_qubits, self.num_clbits) {
             self.gates.push(gate);
             Ok(())
         } else {

@@ -197,6 +197,22 @@ impl Gate {
         }
     }
 
+    /// Whether every operand index fits a circuit with the given
+    /// register sizes, with two-qubit gates referencing distinct qubits
+    /// — the validation behind `Circuit::try_push`, shared with
+    /// streaming decoders that never materialize a circuit.
+    pub fn fits(&self, num_qubits: usize, num_clbits: usize) -> bool {
+        match self {
+            Gate::One { qubit, .. } => *qubit < num_qubits,
+            Gate::Cnot { control, target } => {
+                *control < num_qubits && *target < num_qubits && control != target
+            }
+            Gate::Swap { a, b } => *a < num_qubits && *b < num_qubits && a != b,
+            Gate::Barrier(qs) => qs.iter().all(|&q| q < num_qubits),
+            Gate::Measure { qubit, clbit } => *qubit < num_qubits && *clbit < num_clbits,
+        }
+    }
+
     /// Whether this gate is a CNOT.
     pub fn is_cnot(&self) -> bool {
         matches!(self, Gate::Cnot { .. })

@@ -51,4 +51,4 @@ pub use draw::draw;
 pub use gate::{Gate, OneQubitKind};
 pub use interaction::InteractionGraph;
 pub use layers::{asap_layers, sequential_layers, Layer};
-pub use skeleton::CircuitSkeleton;
+pub use skeleton::{CircuitSkeleton, SkeletonBuilder};

@@ -74,81 +74,11 @@ impl CircuitSkeleton {
     /// qubits take the remaining labels in ascending index order, so
     /// circuits that differ only in *which* qubits idle still match.
     pub fn of(circuit: &Circuit) -> CircuitSkeleton {
-        let n = circuit.num_qubits();
-        let mut canon: Vec<Option<usize>> = vec![None; n];
-        let mut next = 0usize;
-        let mut tokens = Vec::with_capacity(circuit.gates().len() * 3);
-        {
-            let mut label = |q: usize, canon: &mut Vec<Option<usize>>| -> u64 {
-                let l = *canon[q].get_or_insert_with(|| {
-                    let l = next;
-                    next += 1;
-                    l
-                });
-                l as u64
-            };
-            for gate in circuit.gates() {
-                match gate {
-                    Gate::One { kind, qubit } => {
-                        tokens.push(1);
-                        encode_kind(kind, &mut tokens);
-                        let l = label(*qubit, &mut canon);
-                        tokens.push(l);
-                    }
-                    Gate::Cnot { control, target } => {
-                        tokens.push(2);
-                        let c = label(*control, &mut canon);
-                        let t = label(*target, &mut canon);
-                        tokens.push(c);
-                        tokens.push(t);
-                    }
-                    Gate::Swap { a, b } => {
-                        // A SWAP is symmetric as an operation but its
-                        // stored operand order fixes its CNOT
-                        // decomposition, so the order is kept.
-                        tokens.push(3);
-                        let a = label(*a, &mut canon);
-                        let b = label(*b, &mut canon);
-                        tokens.push(a);
-                        tokens.push(b);
-                    }
-                    Gate::Barrier(qs) => {
-                        // A barrier is a *set* of qubits: labels are
-                        // assigned in stored order (deterministic) but
-                        // emitted sorted, so operand order is irrelevant.
-                        tokens.push(4);
-                        tokens.push(qs.len() as u64);
-                        let mut labels: Vec<u64> =
-                            qs.iter().map(|&q| label(q, &mut canon)).collect();
-                        labels.sort_unstable();
-                        tokens.extend(labels);
-                    }
-                    Gate::Measure { qubit, clbit } => {
-                        tokens.push(5);
-                        let l = label(*qubit, &mut canon);
-                        tokens.push(l);
-                        tokens.push(*clbit as u64);
-                    }
-                }
-            }
+        let mut builder = SkeletonBuilder::new(circuit.num_qubits(), circuit.num_clbits());
+        for gate in circuit.gates() {
+            builder.push(gate);
         }
-        // Idle qubits: remaining labels in ascending index order.
-        let canon = canon
-            .into_iter()
-            .map(|l| {
-                l.unwrap_or_else(|| {
-                    let l = next;
-                    next += 1;
-                    l
-                })
-            })
-            .collect();
-        CircuitSkeleton {
-            num_qubits: n,
-            num_clbits: circuit.num_clbits(),
-            tokens,
-            canon,
-        }
+        builder.finish()
     }
 
     /// Number of logical qubits of the underlying circuit.
@@ -269,6 +199,133 @@ impl CircuitSkeleton {
             from_label[l] = q;
         }
         Some(self.canon.iter().map(|&l| from_label[l]).collect())
+    }
+}
+
+/// Streaming construction of a [`CircuitSkeleton`], one gate at a time.
+///
+/// This is the canonicalization behind [`CircuitSkeleton::of`], exposed
+/// so front-ends (the QASM parser, binary circuit decoders) can compute
+/// a skeleton *during* their single pass over the gate stream without
+/// materializing a [`Circuit`] first — the entry ticket to fingerprint
+/// cache probes that skip circuit construction entirely on a warm hit.
+/// Feeding the builder a circuit's gates in order produces a skeleton
+/// identical to `CircuitSkeleton::of` (which is itself implemented on
+/// top of this builder):
+///
+/// ```
+/// use qxmap_circuit::{Circuit, CircuitSkeleton, SkeletonBuilder};
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1).h(1).cx(1, 2);
+/// let mut b = SkeletonBuilder::new(c.num_qubits(), c.num_clbits());
+/// for gate in c.gates() {
+///     b.push(gate);
+/// }
+/// assert_eq!(b.finish(), CircuitSkeleton::of(&c));
+/// ```
+///
+/// The builder does not validate gates against the register sizes; feed
+/// it the same gate stream a [`Circuit`] would accept.
+#[derive(Debug, Clone)]
+pub struct SkeletonBuilder {
+    num_qubits: usize,
+    num_clbits: usize,
+    tokens: Vec<u64>,
+    canon: Vec<Option<usize>>,
+    next: usize,
+}
+
+impl SkeletonBuilder {
+    /// Starts a skeleton for a circuit with the given register sizes.
+    pub fn new(num_qubits: usize, num_clbits: usize) -> SkeletonBuilder {
+        SkeletonBuilder {
+            num_qubits,
+            num_clbits,
+            tokens: Vec::new(),
+            canon: vec![None; num_qubits],
+            next: 0,
+        }
+    }
+
+    /// Canonical label of original qubit `q`, assigned on first
+    /// appearance.
+    fn label(&mut self, q: usize) -> u64 {
+        let next = &mut self.next;
+        let l = *self.canon[q].get_or_insert_with(|| {
+            let l = *next;
+            *next += 1;
+            l
+        });
+        l as u64
+    }
+
+    /// Appends the next gate of the stream to the canonical form.
+    pub fn push(&mut self, gate: &Gate) {
+        match gate {
+            Gate::One { kind, qubit } => {
+                self.tokens.push(1);
+                encode_kind(kind, &mut self.tokens);
+                let l = self.label(*qubit);
+                self.tokens.push(l);
+            }
+            Gate::Cnot { control, target } => {
+                self.tokens.push(2);
+                let c = self.label(*control);
+                let t = self.label(*target);
+                self.tokens.push(c);
+                self.tokens.push(t);
+            }
+            Gate::Swap { a, b } => {
+                // A SWAP is symmetric as an operation but its stored
+                // operand order fixes its CNOT decomposition, so the
+                // order is kept.
+                self.tokens.push(3);
+                let a = self.label(*a);
+                let b = self.label(*b);
+                self.tokens.push(a);
+                self.tokens.push(b);
+            }
+            Gate::Barrier(qs) => {
+                // A barrier is a *set* of qubits: labels are assigned in
+                // stored order (deterministic) but emitted sorted, so
+                // operand order is irrelevant.
+                self.tokens.push(4);
+                self.tokens.push(qs.len() as u64);
+                let mut labels: Vec<u64> = qs.iter().map(|&q| self.label(q)).collect();
+                labels.sort_unstable();
+                self.tokens.extend(labels);
+            }
+            Gate::Measure { qubit, clbit } => {
+                self.tokens.push(5);
+                let l = self.label(*qubit);
+                self.tokens.push(l);
+                self.tokens.push(*clbit as u64);
+            }
+        }
+    }
+
+    /// Completes the canonicalization: idle qubits take the remaining
+    /// labels in ascending index order.
+    pub fn finish(self) -> CircuitSkeleton {
+        let mut next = self.next;
+        let canon = self
+            .canon
+            .into_iter()
+            .map(|l| {
+                l.unwrap_or_else(|| {
+                    let l = next;
+                    next += 1;
+                    l
+                })
+            })
+            .collect();
+        CircuitSkeleton {
+            num_qubits: self.num_qubits,
+            num_clbits: self.num_clbits,
+            tokens: self.tokens,
+            canon,
+        }
     }
 }
 
@@ -456,6 +513,27 @@ mod tests {
         assert!(CircuitSkeleton::from_parts(2, 0, vec![], vec![0, 0]).is_none());
         assert!(CircuitSkeleton::from_parts(2, 0, vec![], vec![0, 2]).is_none());
         assert!(CircuitSkeleton::from_parts(2, 0, vec![], vec![0]).is_none());
+    }
+
+    #[test]
+    fn streaming_builder_matches_of_gate_by_gate() {
+        let mut c = Circuit::with_clbits(4, 2);
+        c.cx(2, 0).h(3).swap_gate(1, 3).rx(0.25, 2);
+        c.push(Gate::Barrier(vec![3, 0]));
+        c.measure(2, 1);
+        let mut b = SkeletonBuilder::new(c.num_qubits(), c.num_clbits());
+        for gate in c.gates() {
+            b.push(gate);
+        }
+        let streamed = b.finish();
+        let whole = CircuitSkeleton::of(&c);
+        assert_eq!(streamed, whole);
+        assert_eq!(streamed.fingerprint(), whole.fingerprint());
+        assert_eq!(streamed.canonical_labels(), whole.canonical_labels());
+        // Idle qubits still get labels when no gate was ever pushed.
+        let empty = SkeletonBuilder::new(3, 0).finish();
+        assert_eq!(empty, CircuitSkeleton::of(&Circuit::new(3)));
+        assert_eq!(empty.canonical_labels(), &[0, 1, 2]);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use qxmap_arch::Layout;
+use qxmap_arch::{CouplingMap, DeviceModel, Layout};
 use qxmap_circuit::CircuitSkeleton;
 use qxmap_core::Strategy;
 
@@ -153,28 +153,168 @@ pub(crate) fn serve_duplicate(
     Some(report)
 }
 
+/// A cache lookup built from a circuit's canonical skeleton instead of
+/// the circuit itself — the key to the skeleton-first warm path.
+///
+/// A [`MapRequest`] needs a materialized [`qxmap_circuit::Circuit`];
+/// computing one from QASM text pays conversion, gate inlining and a
+/// gate-vector allocation. But the [`SolveCache`] key never looks at the
+/// circuit — only at its [`CircuitSkeleton`], which a single parse pass
+/// can produce directly (`qxmap_qasm::parse_skeleton`). A probe
+/// carries that skeleton plus the same option knobs a request does, with
+/// the same defaults; [`SolveCache::probe`] answers a hit exactly as
+/// [`SolveCache::lookup`] would have for the materialized request, and a
+/// miss falls through to the ordinary solve path bit-for-bit.
+///
+/// ```
+/// use qxmap_arch::devices;
+/// use qxmap_circuit::{paper_example, CircuitSkeleton};
+/// use qxmap_map::{map_one, probe_one, CacheProbe, MapRequest};
+///
+/// let circuit = paper_example();
+/// let probe = CacheProbe::new(CircuitSkeleton::of(&circuit), &devices::ibm_qx4());
+/// assert!(probe_one(&probe).is_none(), "nothing solved yet");
+/// map_one(&MapRequest::new(circuit, devices::ibm_qx4()))?;
+/// let hit = probe_one(&probe).expect("skeleton probe hits the solved entry");
+/// assert!(hit.served_from_cache);
+/// # Ok::<(), qxmap_map::MapperError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheProbe {
+    skeleton: CircuitSkeleton,
+    device_fingerprint: u64,
+    guarantee: Guarantee,
+    strategy: Strategy,
+    use_subsets: bool,
+    conflict_budget: Option<u64>,
+    deadline: Option<Duration>,
+    upper_bound: Option<u64>,
+    seed: u64,
+}
+
+impl CacheProbe {
+    /// A probe for `skeleton` against `device` under the defaults of
+    /// [`MapRequest::new`]: the paper's uniform cost model, best-effort
+    /// guarantee, permutations before every gate, subsets on, no
+    /// budgets, seed 0. Every knob has a builder mirroring the request's.
+    pub fn new(skeleton: CircuitSkeleton, device: &CouplingMap) -> CacheProbe {
+        CacheProbe {
+            skeleton,
+            device_fingerprint: DeviceModel::uniform_fingerprint(
+                device,
+                qxmap_arch::CostModel::default(),
+            ),
+            guarantee: Guarantee::default(),
+            strategy: Strategy::default(),
+            use_subsets: true,
+            conflict_budget: None,
+            deadline: None,
+            upper_bound: None,
+            seed: 0,
+        }
+    }
+
+    /// A probe against an explicit [`DeviceModel`] — matches requests
+    /// built with [`MapRequest::for_model`] (per-edge calibration is
+    /// part of the device fingerprint, so the model identity must come
+    /// from the same place).
+    pub fn for_model(skeleton: CircuitSkeleton, model: &DeviceModel) -> CacheProbe {
+        CacheProbe {
+            device_fingerprint: model.fingerprint(),
+            ..CacheProbe::new(skeleton, model.coupling_map())
+        }
+    }
+
+    /// Mirrors [`MapRequest::with_guarantee`].
+    pub fn with_guarantee(mut self, guarantee: Guarantee) -> CacheProbe {
+        self.guarantee = guarantee;
+        self
+    }
+
+    /// Mirrors [`MapRequest::with_strategy`].
+    pub fn with_strategy(mut self, strategy: Strategy) -> CacheProbe {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Mirrors [`MapRequest::with_subsets`].
+    pub fn with_subsets(mut self, on: bool) -> CacheProbe {
+        self.use_subsets = on;
+        self
+    }
+
+    /// Mirrors [`MapRequest::with_conflict_budget`].
+    pub fn with_conflict_budget(mut self, budget: Option<u64>) -> CacheProbe {
+        self.conflict_budget = budget;
+        self
+    }
+
+    /// Mirrors [`MapRequest::with_deadline`].
+    pub fn with_deadline(mut self, deadline: Duration) -> CacheProbe {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Mirrors [`MapRequest::with_upper_bound`].
+    pub fn with_upper_bound(mut self, bound: Option<u64>) -> CacheProbe {
+        self.upper_bound = bound;
+        self
+    }
+
+    /// Mirrors [`MapRequest::with_seed`].
+    pub fn with_seed(mut self, seed: u64) -> CacheProbe {
+        self.seed = seed;
+        self
+    }
+
+    /// The probe's skeleton (serve-layer logging and tests).
+    pub fn skeleton(&self) -> &CircuitSkeleton {
+        &self.skeleton
+    }
+
+    /// The cache key this probe resolves to under `engine` — field for
+    /// field what [`CacheKey::of`] builds from the materialized request.
+    fn key(&self, engine: &str) -> CacheKey {
+        CacheKey {
+            engine: engine.to_string(),
+            skeleton: self.skeleton.clone(),
+            device: self.device_fingerprint,
+            strategy: encode_strategy(&self.strategy),
+            use_subsets: self.use_subsets,
+            optimal_demanded: self.guarantee == Guarantee::Optimal,
+            upper_bound: self.upper_bound,
+            seed: self.seed,
+            budgets: Some((self.conflict_budget, self.deadline)),
+        }
+    }
+}
+
+/// Encodes a [`Strategy`] as the stable integer sequence cache keys use.
+fn encode_strategy(strategy: &Strategy) -> Vec<usize> {
+    match strategy {
+        Strategy::BeforeEveryGate => vec![0],
+        Strategy::DisjointQubits => vec![1],
+        Strategy::OddGates => vec![2],
+        Strategy::QubitTriangle => vec![3],
+        Strategy::Window(k) => vec![4, *k],
+        Strategy::Custom(points) => {
+            let mut v = Vec::with_capacity(points.len() + 1);
+            v.push(5);
+            v.extend(points.iter().copied());
+            v
+        }
+    }
+}
+
 impl CacheKey {
     fn of(engine: &str, request: &MapRequest, skeleton: CircuitSkeleton) -> CacheKey {
-        let strategy = match request.strategy() {
-            Strategy::BeforeEveryGate => vec![0],
-            Strategy::DisjointQubits => vec![1],
-            Strategy::OddGates => vec![2],
-            Strategy::QubitTriangle => vec![3],
-            Strategy::Window(k) => vec![4, *k],
-            Strategy::Custom(points) => {
-                let mut v = Vec::with_capacity(points.len() + 1);
-                v.push(5);
-                v.extend(points.iter().copied());
-                v
-            }
-        };
         CacheKey {
             engine: engine.to_string(),
             skeleton,
             // The cheap fingerprint path: a cache hit must not pay for
             // the model's all-pairs matrices it will never use.
             device: request.device_fingerprint(),
-            strategy,
+            strategy: encode_strategy(request.strategy()),
             use_subsets: request.use_subsets(),
             optimal_demanded: request.guarantee() == Guarantee::Optimal,
             upper_bound: request.upper_bound(),
@@ -371,7 +511,30 @@ impl SolveCache {
         let start = Instant::now();
         let skeleton = CircuitSkeleton::of(request.circuit());
         let labels: Vec<usize> = skeleton.canonical_labels().to_vec();
-        let mut key = CacheKey::of(engine, request, skeleton);
+        let key = CacheKey::of(engine, request, skeleton);
+        self.lookup_key(key, &labels, start)
+    }
+
+    /// Looks a [`CacheProbe`] up under `engine`'s signature — the
+    /// skeleton-first warm path: the probe carries a circuit's canonical
+    /// skeleton instead of the circuit, so an ingest pipeline that
+    /// computed the skeleton during parsing can ask "was this already
+    /// solved?" without ever materializing a
+    /// [`qxmap_circuit::Circuit`]. Hits are identical to
+    /// [`SolveCache::lookup`] hits (translated layouts, `cache/` winner
+    /// prefix, lookup-time `elapsed`), misses count as misses, and a
+    /// miss-then-[`SolveCache::lookup`] on the materialized circuit
+    /// probes exactly the same key.
+    pub fn probe(&self, engine: &str, probe: &CacheProbe) -> Option<MapReport> {
+        let start = Instant::now();
+        let labels: Vec<usize> = probe.skeleton.canonical_labels().to_vec();
+        self.lookup_key(probe.key(engine), &labels, start)
+    }
+
+    /// The shared hit path of [`SolveCache::lookup`] and
+    /// [`SolveCache::probe`]: proved tier first, then the budget class,
+    /// then layout translation through `labels` outside the lock.
+    fn lookup_key(&self, mut key: CacheKey, labels: &[usize], start: Instant) -> Option<MapReport> {
         let (stored, canon_to_original) = {
             let mut inner = self.inner.lock().expect("no panics under the lock");
             inner.tick += 1;
@@ -1149,6 +1312,90 @@ mod tests {
             assert!(target.import_snapshot(&hostile).is_err(), "{declared}");
             assert_eq!(target.stats().entries, 0);
         }
+    }
+
+    #[test]
+    fn skeleton_probe_matches_request_lookup() {
+        let cache = SolveCache::with_capacity(8);
+        let circuit = paper_example();
+        let cm = devices::ibm_qx4();
+        let request = MapRequest::new(circuit.clone(), cm.clone());
+        let probe = CacheProbe::new(CircuitSkeleton::of(&circuit), &cm);
+        // A probe miss counts as a miss, like a request lookup would.
+        assert!(cache.probe("naive", &probe).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        solve_and_insert(&cache, &request);
+        let via_probe = cache.probe("naive", &probe).expect("probe hit");
+        let via_lookup = cache.lookup("naive", &request).expect("lookup hit");
+        assert!(via_probe.served_from_cache);
+        assert_eq!(via_probe.winner, via_lookup.winner);
+        assert_eq!(via_probe.cost, via_lookup.cost);
+        assert_eq!(via_probe.mapped, via_lookup.mapped);
+        assert_eq!(via_probe.initial_layout, via_lookup.initial_layout);
+        assert_eq!(via_probe.final_layout, via_lookup.final_layout);
+    }
+
+    #[test]
+    fn probe_options_pin_the_same_key_fields_as_requests() {
+        let cache = SolveCache::with_capacity(8);
+        let circuit = paper_example();
+        let cm = devices::ibm_qx4();
+        let skeleton = CircuitSkeleton::of(&circuit);
+        let budgeted = MapRequest::new(circuit.clone(), cm.clone())
+            .with_seed(7)
+            .with_deadline(Duration::from_millis(50));
+        solve_and_insert(&cache, &budgeted);
+        // Matching options hit…
+        let hit = CacheProbe::new(skeleton.clone(), &cm)
+            .with_seed(7)
+            .with_deadline(Duration::from_millis(50));
+        assert!(cache.probe("naive", &hit).is_some());
+        // …and every mismatched knob misses, exactly like a request.
+        assert!(cache
+            .probe(
+                "naive",
+                &CacheProbe::new(skeleton.clone(), &cm).with_seed(7)
+            )
+            .is_none());
+        let wrong_seed =
+            CacheProbe::new(skeleton.clone(), &cm).with_deadline(Duration::from_millis(50));
+        assert!(cache.probe("naive", &wrong_seed).is_none());
+        let wrong_device = CacheProbe::new(skeleton, &devices::ibm_qx2())
+            .with_seed(7)
+            .with_deadline(Duration::from_millis(50));
+        assert!(cache.probe("naive", &wrong_device).is_none());
+    }
+
+    #[test]
+    fn relabeled_skeleton_probe_translates_layouts() {
+        let cache = SolveCache::with_capacity(8);
+        let circuit = paper_example();
+        let cm = devices::ibm_qx4();
+        solve_and_insert(&cache, &MapRequest::new(circuit.clone(), cm.clone()));
+        // Probing with a renamed-register equivalent's skeleton serves
+        // the entry with layouts translated to *that* naming.
+        let sigma = [2usize, 0, 3, 1];
+        let renamed = circuit.map_qubits(circuit.num_qubits(), |q| sigma[q]);
+        let probe = CacheProbe::new(CircuitSkeleton::of(&renamed), &cm);
+        let hit = cache.probe("naive", &probe).expect("relabeled probe hit");
+        hit.verify(&renamed, &cm).expect("translated layouts");
+    }
+
+    #[test]
+    fn probe_for_model_tracks_calibration_fingerprints() {
+        use qxmap_arch::DeviceModel;
+        let cache = SolveCache::with_capacity(8);
+        let circuit = paper_example();
+        let skewed = DeviceModel::new(devices::ibm_qx4()).with_swap_cost(3, 4, 70);
+        let request = MapRequest::for_model(circuit.clone(), skewed.clone());
+        solve_and_insert(&cache, &request);
+        let skeleton = CircuitSkeleton::of(&circuit);
+        let probe = CacheProbe::for_model(skeleton.clone(), &skewed);
+        assert!(cache.probe("naive", &probe).is_some());
+        // The uniform-model probe is a different device identity.
+        assert!(cache
+            .probe("naive", &CacheProbe::new(skeleton, &devices::ibm_qx4()))
+            .is_none());
     }
 
     #[test]

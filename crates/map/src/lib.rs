@@ -72,7 +72,7 @@ mod snapshot;
 
 pub use batch::{map_many, map_many_with};
 pub use cache::{
-    SolveCache, SolveCacheStats, DEFAULT_SOLVE_CACHE_CAPACITY, SOLVE_CACHE_CAPACITY_ENV,
+    CacheProbe, SolveCache, SolveCacheStats, DEFAULT_SOLVE_CACHE_CAPACITY, SOLVE_CACHE_CAPACITY_ENV,
 };
 pub use engine::{Baseline, Engine, ExactEngine, HeuristicEngine};
 pub use error::MapperError;
@@ -105,4 +105,17 @@ pub use snapshot::{snapshot_entry_count, SnapshotError, SNAPSHOT_VERSION};
 /// Propagates the engine's [`MapperError`].
 pub fn map_one(request: &MapRequest) -> Result<MapReport, MapperError> {
     Portfolio::new().run_cached(request)
+}
+
+/// Probes the process-wide [`SolveCache`] for an already-solved answer
+/// under the default [`Portfolio`] engine's signature — the
+/// skeleton-first warm path's entry point. The probe carries only the
+/// circuit's canonical [`qxmap_circuit::CircuitSkeleton`] (computable in
+/// the same pass that parses the QASM text or QXBC bytes), so a hit is
+/// served without ever materializing a [`qxmap_circuit::Circuit`]; a
+/// miss returns `None` and the caller falls through to [`map_one`],
+/// which probes exactly the same key before solving. See
+/// [`CacheProbe`] for an end-to-end example.
+pub fn probe_one(probe: &CacheProbe) -> Option<MapReport> {
+    SolveCache::shared().probe(&Portfolio::new().cache_signature(), probe)
 }

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use qxmap_circuit::{Circuit, Gate, OneQubitKind};
+use qxmap_circuit::{Circuit, CircuitSkeleton, Gate, OneQubitKind, SkeletonBuilder};
 
 use crate::ast::{Arg, GateOp, Program, Statement};
 use crate::parse::ParseQasmError;
@@ -31,76 +31,109 @@ struct Converter {
 /// Returns [`ParseQasmError`] on unknown registers or gates, index or
 /// arity violations, or broadcast-size mismatches.
 pub fn to_circuit(program: &Program) -> Result<Circuit, ParseQasmError> {
-    let mut conv = Converter {
-        qubit_offset: HashMap::new(),
-        clbit_offset: HashMap::new(),
-        num_qubits: 0,
-        num_clbits: 0,
-        gates: HashMap::new(),
-    };
-    // First pass: registers and gate definitions.
-    for stmt in &program.statements {
-        match stmt {
-            Statement::QReg { name, size } => {
-                conv.qubit_offset
-                    .insert(name.clone(), (conv.num_qubits, *size));
-                conv.num_qubits += size;
-            }
-            Statement::CReg { name, size } => {
-                conv.clbit_offset
-                    .insert(name.clone(), (conv.num_clbits, *size));
-                conv.num_clbits += size;
-            }
-            Statement::GateDef {
-                name,
-                params,
-                qargs,
-                body,
-            } => {
-                conv.gates.insert(
-                    name.clone(),
-                    GateDef {
-                        params: params.clone(),
-                        qargs: qargs.clone(),
-                        body: body.clone(),
-                    },
-                );
-            }
-            _ => {}
-        }
-    }
-    // Second pass: applications.
+    let conv = Converter::of(program);
     let mut circuit = Circuit::with_clbits(conv.num_qubits, conv.num_clbits);
-    for stmt in &program.statements {
-        match stmt {
-            Statement::Apply(op) => conv.apply(&mut circuit, op)?,
-            Statement::Measure { qubit, clbit } => {
-                let qs = conv.expand(qubit, &conv.qubit_offset)?;
-                let cs = conv.expand(clbit, &conv.clbit_offset)?;
-                if qs.len() != cs.len() {
-                    return Err(ParseQasmError::new(
-                        None,
-                        format!("measure size mismatch: {qubit} vs {clbit}"),
-                    ));
-                }
-                for (q, c) in qs.into_iter().zip(cs) {
-                    circuit.push(Gate::Measure { qubit: q, clbit: c });
-                }
-            }
-            Statement::Barrier(args) => {
-                let mut qs = Vec::new();
-                for a in args {
-                    qs.extend(conv.expand(a, &conv.qubit_offset)?);
-                }
-                circuit.push(Gate::Barrier(qs));
-            }
-            _ => {}
-        }
-    }
+    conv.run(program, &mut |g| circuit.push(g))?;
+    crate::hooks::note_circuit_built();
     Ok(circuit)
 }
 
+/// Converts a parsed program straight into its canonical
+/// [`CircuitSkeleton`] without materializing a [`Circuit`].
+///
+/// Gates stream into a [`SkeletonBuilder`] as conversion emits them, so
+/// the result (tokens, fingerprint, canonical labels) is identical to
+/// `CircuitSkeleton::of(&to_circuit(program)?)` — the single-pass entry
+/// behind skeleton-first cache probes, where a warm hit never pays for
+/// the circuit's gate vector.
+///
+/// # Errors
+///
+/// Returns exactly the [`ParseQasmError`] that [`to_circuit`] would
+/// return on the same program (both run the same conversion).
+pub fn to_skeleton(program: &Program) -> Result<CircuitSkeleton, ParseQasmError> {
+    let conv = Converter::of(program);
+    let mut builder = SkeletonBuilder::new(conv.num_qubits, conv.num_clbits);
+    conv.run(program, &mut |g| builder.push(&g))?;
+    Ok(builder.finish())
+}
+
 impl Converter {
+    /// First pass: registers and gate definitions.
+    fn of(program: &Program) -> Converter {
+        let mut conv = Converter {
+            qubit_offset: HashMap::new(),
+            clbit_offset: HashMap::new(),
+            num_qubits: 0,
+            num_clbits: 0,
+            gates: HashMap::new(),
+        };
+        for stmt in &program.statements {
+            match stmt {
+                Statement::QReg { name, size } => {
+                    conv.qubit_offset
+                        .insert(name.clone(), (conv.num_qubits, *size));
+                    conv.num_qubits += size;
+                }
+                Statement::CReg { name, size } => {
+                    conv.clbit_offset
+                        .insert(name.clone(), (conv.num_clbits, *size));
+                    conv.num_clbits += size;
+                }
+                Statement::GateDef {
+                    name,
+                    params,
+                    qargs,
+                    body,
+                } => {
+                    conv.gates.insert(
+                        name.clone(),
+                        GateDef {
+                            params: params.clone(),
+                            qargs: qargs.clone(),
+                            body: body.clone(),
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+        conv
+    }
+
+    /// Second pass: applications, streamed into `sink` in program order.
+    /// Every emitted gate is in range by construction ([`Converter::expand`]
+    /// validates indices), so sinks need no validation of their own.
+    fn run(&self, program: &Program, sink: &mut dyn FnMut(Gate)) -> Result<(), ParseQasmError> {
+        for stmt in &program.statements {
+            match stmt {
+                Statement::Apply(op) => self.apply(sink, op)?,
+                Statement::Measure { qubit, clbit } => {
+                    let qs = self.expand(qubit, &self.qubit_offset)?;
+                    let cs = self.expand(clbit, &self.clbit_offset)?;
+                    if qs.len() != cs.len() {
+                        return Err(ParseQasmError::new(
+                            None,
+                            format!("measure size mismatch: {qubit} vs {clbit}"),
+                        ));
+                    }
+                    for (q, c) in qs.into_iter().zip(cs) {
+                        sink(Gate::Measure { qubit: q, clbit: c });
+                    }
+                }
+                Statement::Barrier(args) => {
+                    let mut qs = Vec::new();
+                    for a in args {
+                        qs.extend(self.expand(a, &self.qubit_offset)?);
+                    }
+                    sink(Gate::Barrier(qs));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Expands a register argument to concrete global indices.
     fn expand(
         &self,
@@ -121,7 +154,7 @@ impl Converter {
     }
 
     /// Applies a top-level gate op, broadcasting over registers.
-    fn apply(&self, circuit: &mut Circuit, op: &GateOp) -> Result<(), ParseQasmError> {
+    fn apply(&self, sink: &mut dyn FnMut(Gate), op: &GateOp) -> Result<(), ParseQasmError> {
         let expanded: Vec<Vec<usize>> = op
             .args
             .iter()
@@ -161,7 +194,7 @@ impl Converter {
                     }
                 })
                 .collect();
-            self.emit(circuit, &op.name, &params, &qubits, op.line, 0)?;
+            self.emit(sink, &op.name, &params, &qubits, op.line, 0)?;
         }
         Ok(())
     }
@@ -169,7 +202,7 @@ impl Converter {
     /// Emits one concrete gate application, inlining user definitions.
     fn emit(
         &self,
-        circuit: &mut Circuit,
+        sink: &mut dyn FnMut(Gate),
         name: &str,
         params: &[f64],
         qubits: &[usize],
@@ -274,7 +307,7 @@ impl Converter {
             _ => None,
         };
         if let Some(gate) = known {
-            circuit.push(gate);
+            sink(gate);
             return Ok(());
         }
         // User-defined (or qelib-only) gate: inline its body.
@@ -323,7 +356,7 @@ impl Converter {
                 })
                 .collect::<Result<_, _>>()?;
             self.emit(
-                circuit,
+                sink,
                 &body_op.name,
                 &sub_params,
                 &sub_qubits,
@@ -415,6 +448,26 @@ mod tests {
         assert!(parse("qreg q[1];\nx r[0];").is_err());
         let err = parse("qreg a[2];\nqreg b[3];\nCX a, b;").unwrap_err();
         assert!(err.to_string().contains("broadcast"));
+    }
+
+    #[test]
+    fn skeleton_conversion_matches_circuit_conversion() {
+        let src = format!(
+            "{HEADER}qreg q[3];\ncreg c[2];\nh q;\nccx q[0], q[1], q[2];\n\
+             barrier q;\nmeasure q[0] -> c[1];"
+        );
+        let program = parse_program(&src).unwrap();
+        let skel = super::to_skeleton(&program).unwrap();
+        let full = qxmap_circuit::CircuitSkeleton::of(&to_circuit(&program).unwrap());
+        assert_eq!(skel, full);
+        assert_eq!(skel.fingerprint(), full.fingerprint());
+        assert_eq!(skel.canonical_labels(), full.canonical_labels());
+        // Both conversions fail identically on a bad program.
+        let bad = parse_program("qreg q[1];\nmystery q[0];").unwrap();
+        assert_eq!(
+            super::to_skeleton(&bad).unwrap_err(),
+            to_circuit(&bad).unwrap_err()
+        );
     }
 
     #[test]

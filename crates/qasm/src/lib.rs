@@ -38,25 +38,49 @@
 
 mod ast;
 mod convert;
+pub mod hooks;
 mod lex;
+mod parallel;
 mod parse;
 mod qelib;
+mod qxbc;
 mod write;
 
 pub use ast::{Arg, EvalError, Expr, GateOp, Program, Statement};
-pub use convert::to_circuit;
+pub use convert::{to_circuit, to_skeleton};
+pub use parallel::{
+    parse_program_chunked, parse_program_fast, parse_program_parallel, DEFAULT_PARALLEL_THRESHOLD,
+    PARALLEL_THRESHOLD_ENV,
+};
 pub use parse::{parse_program, ParseQasmError};
+pub use qxbc::{
+    decode_qxbc, decode_qxbc_skeleton, encode_qxbc, QxbcError, QXBC_MAGIC, QXBC_VERSION,
+};
 pub use write::to_qasm;
 
-use qxmap_circuit::Circuit;
+use qxmap_circuit::{Circuit, CircuitSkeleton};
 
-/// Parses OpenQASM 2.0 source into a circuit.
+/// Parses OpenQASM 2.0 source into a circuit, splitting large inputs
+/// across threads (see [`parse_program_fast`]).
 ///
 /// # Errors
 ///
 /// Returns [`ParseQasmError`] on syntax errors, unknown gates or
 /// registers, arity mismatches, or unsupported statements.
 pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
-    let program = parse_program(source)?;
+    let program = parse_program_fast(source)?;
     to_circuit(&program)
+}
+
+/// Parses OpenQASM 2.0 source straight to its canonical
+/// [`CircuitSkeleton`], never materializing a [`Circuit`] — the text
+/// half of the skeleton-first warm path. Accepts and rejects exactly
+/// the sources [`parse`] does, with identical errors.
+///
+/// # Errors
+///
+/// Exactly those of [`parse`].
+pub fn parse_skeleton(source: &str) -> Result<CircuitSkeleton, ParseQasmError> {
+    let program = parse_program_fast(source)?;
+    to_skeleton(&program)
 }

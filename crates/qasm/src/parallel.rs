@@ -1,0 +1,315 @@
+//! Parallel QASM parsing: statement-aligned source splitting.
+//!
+//! OpenQASM 2.0 statements are self-contained — the parser carries no
+//! state from one statement into the next (gate *resolution* happens
+//! later, in conversion). So a cheap sequential pre-scan can split the
+//! source at top-level statement boundaries (`;`, or the `}` closing a
+//! gate body), scoped threads can lex + parse each chunk independently,
+//! and stitching the per-chunk statement lists back together in order
+//! yields the same [`Program`] the sequential parser builds.
+//!
+//! Error parity is part of the contract, not an approximation, and it is
+//! achieved by never *surfacing* a chunk error: if any chunk fails to
+//! parse, the whole source is re-parsed sequentially and that error —
+//! line attribution, phase ordering (the sequential parser tokenizes the
+//! entire document before parsing any of it, so lex errors outrank
+//! earlier parse errors) and all — is returned verbatim. Failure is the
+//! rare path; paying one extra parse there buys byte-for-byte identical
+//! diagnostics on every input. Likewise, when the pre-scan cannot
+//! establish boundaries it trusts (an unterminated string, an unbalanced
+//! `}`), it declines and the whole source goes through the sequential
+//! path directly.
+
+use crate::ast::Program;
+use crate::parse::{parse_chunk, parse_program, ParseQasmError};
+
+/// Sources below this many bytes parse sequentially in
+/// [`parse_program_fast`]: thread spawn and stitch overhead only pays
+/// for itself on large inputs. Override per-process with
+/// [`PARALLEL_THRESHOLD_ENV`].
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// Environment variable overriding [`DEFAULT_PARALLEL_THRESHOLD`] (a
+/// byte count; `0` forces the parallel path for every input).
+pub const PARALLEL_THRESHOLD_ENV: &str = "QXMAP_QASM_PARALLEL_THRESHOLD";
+
+fn parallel_threshold() -> usize {
+    std::env::var(PARALLEL_THRESHOLD_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_PARALLEL_THRESHOLD)
+}
+
+/// Parses QASM source, choosing the parallel path for inputs at or above
+/// the threshold (see [`DEFAULT_PARALLEL_THRESHOLD`]) and the sequential
+/// path below it. Result and errors are identical either way.
+///
+/// # Errors
+///
+/// Exactly those of [`parse_program`].
+pub fn parse_program_fast(source: &str) -> Result<Program, ParseQasmError> {
+    if source.len() >= parallel_threshold() {
+        parse_program_parallel(source)
+    } else {
+        parse_program(source)
+    }
+}
+
+/// Parses QASM source on scoped threads, one statement-aligned chunk per
+/// thread, producing the identical [`Program`] (and identical
+/// [`ParseQasmError`], line included) as [`parse_program`]. Falls back
+/// to the sequential parser when the input cannot be split (too few
+/// statements, or malformed in a way the pre-scan refuses to cut).
+///
+/// # Errors
+///
+/// Exactly those of [`parse_program`].
+pub fn parse_program_parallel(source: &str) -> Result<Program, ParseQasmError> {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    parse_program_chunked(source, threads)
+}
+
+/// [`parse_program_parallel`] with an explicit chunk-count bound —
+/// exposed so tests and benchmarks can force a specific split instead of
+/// inheriting the machine's parallelism.
+///
+/// # Errors
+///
+/// Exactly those of [`parse_program`].
+pub fn parse_program_chunked(source: &str, chunks: usize) -> Result<Program, ParseQasmError> {
+    let Some(plan) = plan_chunks(source, chunks) else {
+        return parse_program(source);
+    };
+
+    let mut results: Vec<Option<Result<Program, ParseQasmError>>> = Vec::new();
+    results.resize_with(plan.len(), || None);
+    std::thread::scope(|scope| {
+        let mut rest = results.as_mut_slice();
+        for (i, chunk) in plan.iter().enumerate() {
+            let (slot, tail) = rest.split_first_mut().expect("one slot per chunk");
+            rest = tail;
+            if i == 0 {
+                // The first chunk parses on this thread: with one chunk
+                // per core, the spawning thread would otherwise idle.
+                *slot = Some(parse_chunk(chunk.text, chunk.start_line, true));
+            } else {
+                scope.spawn(move || {
+                    *slot = Some(parse_chunk(chunk.text, chunk.start_line, false));
+                });
+            }
+        }
+    });
+
+    // Stitch in order. Any chunk failure means the document is
+    // malformed; re-parse sequentially so the reported error is the
+    // canonical one (error line attribution can depend on tokens beyond
+    // a chunk boundary, so a chunk's own error is merely advisory).
+    let mut program = Program::default();
+    for (i, result) in results.into_iter().enumerate() {
+        match result.expect("every chunk was parsed") {
+            Err(_) => return parse_program(source),
+            Ok(chunk) => {
+                if i == 0 {
+                    program.version = chunk.version;
+                }
+                program.statements.extend(chunk.statements);
+            }
+        }
+    }
+    Ok(program)
+}
+
+/// One chunk of the split: a statement-aligned slice of the source and
+/// the 1-based original line its first byte sits on.
+struct Chunk<'a> {
+    text: &'a str,
+    start_line: usize,
+}
+
+/// A top-level statement boundary found by the pre-scan.
+struct Cut {
+    /// Byte offset one past the boundary token (`;` or closing `}`).
+    end: usize,
+    /// 1-based line the boundary token sits on.
+    line: usize,
+}
+
+/// Groups the pre-scanned statement boundaries into at most `chunks`
+/// contiguous chunks. `None` means "parse sequentially": the input has
+/// too few statements to split, or the pre-scan declined.
+fn plan_chunks(source: &str, chunks: usize) -> Option<Vec<Chunk<'_>>> {
+    if chunks < 2 {
+        return None;
+    }
+    let cuts = prescan(source)?;
+    let chunks = chunks.min(cuts.len());
+    if chunks < 2 {
+        return None;
+    }
+    let per_chunk = cuts.len().div_ceil(chunks);
+    let mut plan = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    let mut start_line = 1usize;
+    for group in cuts.chunks(per_chunk) {
+        let last = group.last().expect("chunks() yields non-empty groups");
+        plan.push(Chunk {
+            text: &source[start..last.end],
+            start_line,
+        });
+        start = last.end;
+        start_line = last.line;
+    }
+    // Any tail past the final boundary (trailing comments/whitespace, or
+    // an incomplete final statement) belongs to the last chunk so its
+    // errors surface exactly as the sequential parser would report them.
+    if start < source.len() {
+        let last = plan.last_mut().expect("chunks >= 2");
+        let begin = last.text.as_ptr() as usize - source.as_ptr() as usize;
+        last.text = &source[begin..];
+    }
+    Some(plan)
+}
+
+/// Sequentially scans for top-level statement boundaries, tracking lines
+/// the same way the lexer does. Returns `None` when the source contains
+/// something that prevents trustworthy splitting — an unterminated or
+/// newline-crossing string literal, or an unbalanced `}` — in which case
+/// the caller parses sequentially and the lexer/parser reports the
+/// canonical error.
+fn prescan(source: &str) -> Option<Vec<Cut>> {
+    let bytes = source.as_bytes();
+    let mut cuts = Vec::new();
+    let mut line = 1usize;
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: skip to (not past) the newline so the
+                // line counter above sees it.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        // The lexer rejects both; let it.
+                        Some(b'\n') | None => return None,
+                        Some(_) => i += 1,
+                    }
+                }
+            }
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                // A closing brace with no opener is a guaranteed parse
+                // error; don't guess at boundaries around it.
+                depth = depth.checked_sub(1)?;
+                i += 1;
+                if depth == 0 {
+                    cuts.push(Cut { end: i, line });
+                }
+            }
+            b';' => {
+                i += 1;
+                if depth == 0 {
+                    cuts.push(Cut { end: i, line });
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Some(cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\ncreg c[2];\n\
+                       gate foo(a) x, y { rz(a) x; cx x, y; }\n\
+                       h q[0]; h q[1];\nfoo(pi/2) q[2], q[3];\n// tail comment\n\
+                       barrier q;\nmeasure q[0] -> c[0];\n";
+
+    #[test]
+    fn chunked_parse_matches_sequential() {
+        let seq = parse_program(SRC).unwrap();
+        for chunks in [2, 3, 4, 7, 64] {
+            let par = parse_program_chunked(SRC, chunks).unwrap();
+            assert_eq!(par, seq, "{chunks} chunks");
+        }
+        assert_eq!(parse_program_parallel(SRC).unwrap(), seq);
+    }
+
+    #[test]
+    fn errors_match_sequential_with_lines() {
+        // Parse error mid-document. (The sequential parser attributes
+        // this one to the line after the offending `;`; parity with the
+        // sequential report — not with intuition — is the contract.)
+        let bad = "qreg q[2];\nh q[0];\nqreg r[;\nh q[1];\n";
+        let seq = parse_program(bad).unwrap_err();
+        assert_eq!(seq.line(), Some(4));
+        assert!(seq.to_string().contains("expected integer"));
+        for chunks in [2, 3, 8] {
+            assert_eq!(parse_program_chunked(bad, chunks).unwrap_err(), seq);
+        }
+        // A lex error *after* a parse error wins, as in sequential mode
+        // (the whole document is tokenized before parsing).
+        let lex_after = "qreg q[2];\nqreg r[;\nh q[0];\n@;\n";
+        let seq = parse_program(lex_after).unwrap_err();
+        assert_eq!(seq.line(), Some(4));
+        assert!(seq.to_string().contains("unexpected character"));
+        for chunks in [2, 4] {
+            assert_eq!(parse_program_chunked(lex_after, chunks).unwrap_err(), seq);
+        }
+    }
+
+    #[test]
+    fn mid_document_header_is_not_a_header_in_any_chunk() {
+        let src = "qreg q[1];\nOPENQASM 2.0;\nh q[0];\n";
+        let seq = parse_program(src).unwrap_err();
+        for chunks in [2, 3] {
+            assert_eq!(parse_program_chunked(src, chunks).unwrap_err(), seq);
+        }
+    }
+
+    #[test]
+    fn unsplittable_sources_fall_back() {
+        // Unterminated string: prescan declines, sequential error wins.
+        let bad = "include \"qelib1";
+        assert_eq!(
+            parse_program_chunked(bad, 4).unwrap_err(),
+            parse_program(bad).unwrap_err()
+        );
+        // Stray closing brace.
+        let bad = "}\nqreg q[1];\n";
+        assert_eq!(
+            parse_program_chunked(bad, 4).unwrap_err(),
+            parse_program(bad).unwrap_err()
+        );
+        // A single statement cannot split but still parses.
+        assert_eq!(
+            parse_program_chunked("qreg q[3];", 4).unwrap(),
+            parse_program("qreg q[3];").unwrap()
+        );
+    }
+
+    #[test]
+    fn incomplete_tail_reports_end_of_input_like_sequential() {
+        let src = "qreg q[2];\nh q[0];\ncx q[0], q[1]";
+        let seq = parse_program(src).unwrap_err();
+        assert_eq!(parse_program_chunked(src, 2).unwrap_err(), seq);
+    }
+}

@@ -48,11 +48,36 @@ impl Error for ParseQasmError {}
 ///
 /// Returns [`ParseQasmError`] with line information on malformed input.
 pub fn parse_program(source: &str) -> Result<Program, ParseQasmError> {
-    let tokens = tokenize(source).map_err(|e| ParseQasmError::new(Some(e.line), e.message))?;
+    parse_chunk(source, 1, true)
+}
+
+/// Parses one chunk of a statement-aligned source split: `source` starts
+/// at 1-based line `start_line` of the original document, and only the
+/// first chunk (`allow_header`) may consume an `OPENQASM` header —
+/// anywhere else the keyword lexes as an ordinary identifier, exactly as
+/// the sequential parser treats a mid-document header. Token lines are
+/// shifted so statement line info (and thus conversion errors) report
+/// original-document positions. Chunk *errors* are advisory only: the
+/// parallel driver re-parses the whole source sequentially on any chunk
+/// failure, so the canonical error always comes from [`parse_program`].
+pub(crate) fn parse_chunk(
+    source: &str,
+    start_line: usize,
+    allow_header: bool,
+) -> Result<Program, ParseQasmError> {
+    let offset = start_line.saturating_sub(1);
+    let mut tokens =
+        tokenize(source).map_err(|e| ParseQasmError::new(Some(e.line + offset), e.message))?;
+    if offset > 0 {
+        for t in &mut tokens {
+            t.line += offset;
+        }
+    }
     let mut parser = Parser {
         tokens,
         pos: 0,
         program: Program::default(),
+        allow_header,
     };
     parser.run()?;
     Ok(parser.program)
@@ -62,12 +87,13 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     program: Program,
+    allow_header: bool,
 }
 
 impl Parser {
     fn run(&mut self) -> Result<(), ParseQasmError> {
         // Optional OPENQASM header.
-        if self.peek_ident() == Some("OPENQASM") {
+        if self.allow_header && self.peek_ident() == Some("OPENQASM") {
             self.next();
             let version = match self.next_kind()? {
                 TokenKind::Real(v) => format!("{v:.1}"),

@@ -1,0 +1,186 @@
+//! Fast-ingest properties, pinning the tentpole's equivalence claims:
+//!
+//! * text ↔ QXBC round-trips produce identical circuits, and the
+//!   skeleton-only decoders land on the same canonical skeleton (and
+//!   fingerprint) as the full materializing paths;
+//! * the parallel QASM parser is indistinguishable from the sequential
+//!   one — same program on success, same error (line attribution
+//!   included) on failure — across generated, truncated and corrupted
+//!   sources;
+//! * hostile QXBC bytes (any flip, any truncation, version bumps,
+//!   declared-length bombs) are rejected structurally, with preallocation
+//!   bounded by the actual payload size.
+
+use proptest::prelude::*;
+use qxmap_circuit::{Circuit, CircuitSkeleton, Gate, OneQubitKind};
+use qxmap_qasm::{
+    decode_qxbc, decode_qxbc_skeleton, encode_qxbc, parse_program, parse_program_chunked,
+    QxbcError, QXBC_MAGIC, QXBC_VERSION,
+};
+
+fn kind_strategy() -> impl Strategy<Value = OneQubitKind> {
+    prop_oneof![
+        Just(OneQubitKind::I),
+        Just(OneQubitKind::X),
+        Just(OneQubitKind::Y),
+        Just(OneQubitKind::Z),
+        Just(OneQubitKind::H),
+        Just(OneQubitKind::S),
+        Just(OneQubitKind::Sdg),
+        Just(OneQubitKind::T),
+        Just(OneQubitKind::Tdg),
+        (-10.0f64..10.0).prop_map(OneQubitKind::Rx),
+        (-10.0f64..10.0).prop_map(OneQubitKind::Ry),
+        (-10.0f64..10.0).prop_map(OneQubitKind::Rz),
+        (-10.0f64..10.0).prop_map(OneQubitKind::Phase),
+        (-6.0f64..6.0, -6.0f64..6.0, -6.0f64..6.0).prop_map(|(t, p, l)| OneQubitKind::U(t, p, l)),
+    ]
+}
+
+/// Circuits over every gate family QXBC can frame — including barriers
+/// (variable-length aux records) and measurements (classical bits).
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    (2usize..6, 1usize..4).prop_flat_map(|(n, m)| {
+        let gate = prop_oneof![
+            (kind_strategy(), 0..n).prop_map(|(k, q)| Gate::one(k, q)),
+            (0..n, 1..n).prop_map(move |(c, d)| Gate::Cnot {
+                control: c,
+                target: (c + d) % n,
+            }),
+            (0..n, 1..n).prop_map(move |(a, d)| Gate::Swap { a, b: (a + d) % n }),
+            prop::collection::vec(0..n, 1..4).prop_map(|mut qs| {
+                qs.sort_unstable();
+                qs.dedup();
+                Gate::Barrier(qs)
+            }),
+            (0..n, 0..m).prop_map(|(q, c)| Gate::Measure { qubit: q, clbit: c }),
+        ];
+        prop::collection::vec(gate, 0..25).prop_map(move |gates| {
+            let mut c = Circuit::with_clbits(n, m);
+            c.extend(gates);
+            c
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Text and QXBC are two encodings of the same circuit: the binary
+    /// round-trip is gate-for-gate identical, and all four ingest paths
+    /// (text→circuit, text→skeleton, QXBC→circuit, QXBC→skeleton) agree
+    /// on the canonical skeleton and its fingerprint.
+    #[test]
+    fn qxbc_round_trips_and_all_ingest_paths_agree(c in circuit_strategy()) {
+        let bytes = encode_qxbc(&c);
+        let back = decode_qxbc(&bytes).unwrap();
+        prop_assert_eq!(back.gates(), c.gates());
+        prop_assert_eq!(back.num_qubits(), c.num_qubits());
+        prop_assert_eq!(back.num_clbits(), c.num_clbits());
+        prop_assert_eq!(back.name(), c.name());
+
+        let skel = decode_qxbc_skeleton(&bytes).unwrap();
+        let full = CircuitSkeleton::of(&c);
+        prop_assert_eq!(&skel, &full);
+        prop_assert_eq!(skel.fingerprint(), full.fingerprint());
+
+        let text = qxmap_qasm::to_qasm(&c);
+        let text_skel = qxmap_qasm::parse_skeleton(&text).unwrap();
+        prop_assert_eq!(text_skel.fingerprint(), full.fingerprint());
+    }
+
+    /// The parallel parser is equivalent to the sequential one on valid
+    /// sources, on truncated sources (frequently malformed mid-token)
+    /// and on sources with an injected hostile byte — same `Ok`, or the
+    /// same error with the same line.
+    #[test]
+    fn parallel_parse_is_indistinguishable_from_sequential(
+        c in circuit_strategy(),
+        chunks in 2usize..9,
+        cut in 0usize..1_000_000,
+        idx in 0usize..1_000_000,
+        hostile in prop_oneof![
+            Just(b'}'), Just(b'{'), Just(b';'), Just(b'@'), Just(b'"'), Just(b'['),
+        ],
+    ) {
+        let text = qxmap_qasm::to_qasm(&c);
+        prop_assert_eq!(parse_program_chunked(&text, chunks), parse_program(&text));
+
+        // QASM text is ASCII, so any byte index is a char boundary.
+        let truncated = &text[..cut % (text.len() + 1)];
+        prop_assert_eq!(
+            parse_program_chunked(truncated, chunks),
+            parse_program(truncated)
+        );
+
+        let mut corrupted = text.into_bytes();
+        let i = idx % corrupted.len();
+        corrupted[i] = hostile;
+        let corrupted = String::from_utf8(corrupted).expect("ASCII stays ASCII");
+        prop_assert_eq!(
+            parse_program_chunked(&corrupted, chunks),
+            parse_program(&corrupted)
+        );
+    }
+
+    /// Every checksummed byte matters and every prefix is incomplete:
+    /// any single-byte flip and any strict truncation must be rejected —
+    /// by the circuit decoder and the skeleton decoder alike.
+    #[test]
+    fn any_flip_or_truncation_of_qxbc_is_rejected(
+        c in circuit_strategy(),
+        flip in 0usize..1_000_000,
+        cut in 0usize..1_000_000,
+    ) {
+        let bytes = encode_qxbc(&c);
+        let mut corrupted = bytes.clone();
+        let i = flip % corrupted.len();
+        corrupted[i] ^= 0x10;
+        prop_assert!(decode_qxbc(&corrupted).is_err(), "flip at {} survived", i);
+        prop_assert!(decode_qxbc_skeleton(&corrupted).is_err());
+
+        let cut = cut % bytes.len();
+        prop_assert!(decode_qxbc(&bytes[..cut]).is_err(), "cut to {} survived", cut);
+        prop_assert!(decode_qxbc_skeleton(&bytes[..cut]).is_err());
+    }
+
+    /// A future format version is rejected up front, not misparsed.
+    #[test]
+    fn version_bumps_are_rejected(c in circuit_strategy(), bump in 1u8..=255) {
+        let mut bytes = encode_qxbc(&c);
+        bytes[8] = bytes[8].wrapping_add(bump);
+        let found = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        prop_assert_eq!(
+            decode_qxbc(&bytes).unwrap_err(),
+            QxbcError::VersionMismatch { found, supported: QXBC_VERSION }
+        );
+    }
+}
+
+/// A header that declares billions of gates (or aux words) backed by a
+/// tiny payload must fail from the *declared-vs-available* check before
+/// any allocation — mirroring the snapshot format's length-bomb
+/// discipline.
+#[test]
+fn declared_length_bombs_are_bounded_before_allocation() {
+    for (gate_count, aux_count) in [(u32::MAX, 0u32), (0, u32::MAX), (u32::MAX, u32::MAX)] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(QXBC_MAGIC);
+        bytes.extend_from_slice(&QXBC_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // name length
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // qubits
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // clbits
+        bytes.extend_from_slice(&gate_count.to_le_bytes());
+        bytes.extend_from_slice(&aux_count.to_le_bytes());
+        let start = std::time::Instant::now();
+        assert_eq!(decode_qxbc(&bytes).unwrap_err(), QxbcError::Truncated);
+        assert_eq!(
+            decode_qxbc_skeleton(&bytes).unwrap_err(),
+            QxbcError::Truncated
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "a length bomb must fail by arithmetic, not by allocation"
+        );
+    }
+}

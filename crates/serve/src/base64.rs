@@ -1,0 +1,116 @@
+//! Minimal standard-alphabet base64 (RFC 4648, with `=` padding) for
+//! carrying QXBC binary payloads inside line-delimited JSON. Encoding is
+//! infallible; decoding rejects anything but canonical base64 — wrong
+//! length, stray characters, misplaced padding — with a description,
+//! because a serving daemon treats every payload byte as hostile until
+//! proven otherwise.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `bytes` as standard base64 with padding.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let word = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let sextet = |i: u32| ALPHABET[(word >> (18 - 6 * i)) as usize & 0x3f] as char;
+        out.push(sextet(0));
+        out.push(sextet(1));
+        out.push(if chunk.len() > 1 { sextet(2) } else { '=' });
+        out.push(if chunk.len() > 2 { sextet(3) } else { '=' });
+    }
+    out
+}
+
+/// Decodes canonical, padded base64.
+///
+/// # Errors
+///
+/// Returns a description of the first defect: a length that is not a
+/// multiple of four, a character outside the alphabet, or padding
+/// anywhere but the final one or two positions.
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err("base64 length must be a multiple of 4".to_string());
+    }
+    let padding = bytes.iter().rev().take_while(|&&b| b == b'=').count();
+    if padding > 2 {
+        return Err("more than two padding characters".to_string());
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let mut word = 0u32;
+        let mut octets = 3;
+        for (j, &c) in chunk.iter().enumerate() {
+            let value = if c == b'=' {
+                // Padding is only valid in the last chunk's tail, and a
+                // chunk like `a===` never decodes to whole bytes.
+                if !last || j < 2 || chunk[j..].iter().any(|&t| t != b'=') {
+                    return Err("misplaced base64 padding".to_string());
+                }
+                octets = octets.min(j * 6 / 8);
+                0
+            } else {
+                sextet_of(c).ok_or_else(|| format!("invalid base64 character {:?}", c as char))?
+            };
+            word = (word << 6) | u32::from(value);
+        }
+        out.push((word >> 16) as u8);
+        if octets > 1 {
+            out.push((word >> 8) as u8);
+        }
+        if octets > 2 {
+            out.push(word as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn sextet_of(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_lengths() {
+        // RFC 4648 vectors.
+        for (plain, encoded) in [
+            (&b""[..], ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ] {
+            assert_eq!(encode(plain), encoded);
+            assert_eq!(decode(encoded).unwrap(), plain);
+        }
+        // Every byte value survives.
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["abc", "a===", "ab=c", "====", "ab!d", "Zg==Zg=="] {
+            assert!(decode(bad).is_err(), "{bad}");
+        }
+    }
+}

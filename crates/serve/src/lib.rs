@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod base64;
 pub mod json;
 pub mod proto;
 pub mod server;

@@ -4,7 +4,10 @@
 //! or a TCP connection. Three request types:
 //!
 //! * `{"type": "map", "qasm": "...", "device": ..., ...}` — map an
-//!   OpenQASM 2.0 circuit onto a device. Optional fields: `id` (echoed
+//!   OpenQASM 2.0 circuit onto a device. The circuit may instead arrive
+//!   pre-compiled as `"format": "qxbc"` with a `"qxbc"` field holding
+//!   the base64-encoded [QXBC](qxmap_qasm::decode_qxbc) bytes — the
+//!   daemon skips QASM parsing entirely. Optional fields: `id` (echoed
 //!   verbatim in the response), `deadline_ms`, `conflict_budget`,
 //!   `guarantee` (`"optimal"` / `"best_effort"`), `strategy`
 //!   (`"before_every_gate"`, `"disjoint_qubits"`, `"odd_gates"`,
@@ -35,12 +38,22 @@
 //! failures answer `{"type": "error", "code": ..., "message": ...}`
 //! with one stable code per [`MapperError`] variant plus the transport
 //! codes `parse`, `bad_request`, `overloaded` and `shutting_down`.
+//! QASM syntax and conversion rejections additionally carry a `"line"`
+//! field when the parser attributed the defect to a source line.
+//!
+//! Parsing a `map` request is deliberately *lazy about the circuit*: the
+//! payload is validated and its canonical
+//! [`CircuitSkeleton`] computed in one
+//! pass, but the [`qxmap_circuit::Circuit`] itself is only materialized
+//! by [`MapJob::materialize`] — after the server's skeleton-first
+//! [`MapJob::cache_probe`] has missed the solve cache.
 
 use std::time::Duration;
 
 use qxmap_arch::{calibration, devices, CouplingMap, DeviceModel, Layout};
+use qxmap_circuit::CircuitSkeleton;
 use qxmap_core::{Strategy, MAX_EXACT_QUBITS};
-use qxmap_map::{Guarantee, MapReport, MapRequest, MapperError, WindowCertificate};
+use qxmap_map::{CacheProbe, Guarantee, MapReport, MapRequest, MapperError, WindowCertificate};
 use qxmap_window::WindowOptions;
 
 use crate::json::Json;
@@ -63,15 +76,144 @@ pub enum Request {
 }
 
 /// A fully validated mapping job.
+///
+/// The circuit payload is held in its ingest form (a parsed QASM
+/// statement stream, or raw QXBC bytes) alongside its canonical
+/// skeleton; the [`qxmap_circuit::Circuit`] is only built by
+/// [`MapJob::materialize`], so a solve-cache hit on
+/// [`MapJob::cache_probe`] answers without ever constructing one.
 #[derive(Debug)]
 pub struct MapJob {
     /// The request's `id` field, echoed verbatim in the response.
     pub id: Option<Json>,
-    /// The engine-ready request.
-    pub request: MapRequest,
+    /// The validated-but-unmaterialized circuit payload.
+    ingest: Ingest,
+    /// The canonical skeleton, computed in the same pass that validated
+    /// the payload.
+    skeleton: CircuitSkeleton,
+    /// The validated device.
+    device: ParsedDevice,
+    /// The request options, applied identically to the cache probe and
+    /// the materialized request.
+    options: MapOptions,
     /// When set, the job answers through the window-decomposed engine
     /// with these options instead of the monolithic portfolio.
     pub windowed: Option<WindowOptions>,
+}
+
+/// The circuit payload after validation, before materialization.
+#[derive(Debug)]
+enum Ingest {
+    /// A parsed QASM statement stream (conversion already validated).
+    Text(qxmap_qasm::Program),
+    /// Checksummed QXBC bytes (framing and records already validated).
+    Qxbc(Vec<u8>),
+}
+
+/// Request options in wire form. `None` means "not sent" — both the
+/// probe and the materialized request then keep the library defaults,
+/// which [`CacheProbe`] and [`MapRequest`] pin to the same values.
+#[derive(Debug, Default)]
+struct MapOptions {
+    guarantee: Option<Guarantee>,
+    strategy: Option<Strategy>,
+    subsets: Option<bool>,
+    deadline: Option<Duration>,
+    conflict_budget: Option<u64>,
+    upper_bound: Option<u64>,
+    seed: Option<u64>,
+}
+
+impl MapJob {
+    /// The per-request deadline, if one was sent.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.options.deadline
+    }
+
+    /// The payload's canonical skeleton.
+    pub fn skeleton(&self) -> &CircuitSkeleton {
+        &self.skeleton
+    }
+
+    /// The solve-cache probe for the skeleton-first warm path, or `None`
+    /// for windowed jobs (the windowed engine caches per-window results
+    /// under its own keys, not whole-circuit ones).
+    pub fn cache_probe(&self) -> Option<CacheProbe> {
+        if self.windowed.is_some() {
+            return None;
+        }
+        let mut probe = match &self.device {
+            ParsedDevice::Named(cm) => CacheProbe::new(self.skeleton.clone(), cm),
+            ParsedDevice::Model(model) => CacheProbe::for_model(self.skeleton.clone(), model),
+        };
+        if let Some(g) = self.options.guarantee {
+            probe = probe.with_guarantee(g);
+        }
+        if let Some(s) = &self.options.strategy {
+            probe = probe.with_strategy(s.clone());
+        }
+        if let Some(on) = self.options.subsets {
+            probe = probe.with_subsets(on);
+        }
+        if let Some(d) = self.options.deadline {
+            probe = probe.with_deadline(d);
+        }
+        if let Some(b) = self.options.conflict_budget {
+            probe = probe.with_conflict_budget(Some(b));
+        }
+        if let Some(b) = self.options.upper_bound {
+            probe = probe.with_upper_bound(Some(b));
+        }
+        if let Some(s) = self.options.seed {
+            probe = probe.with_seed(s);
+        }
+        Some(probe)
+    }
+
+    /// Builds the engine-ready [`MapRequest`] — the first (and only)
+    /// point the circuit is materialized.
+    ///
+    /// # Errors
+    ///
+    /// Parsing already validated the payload, so failure here means the
+    /// job was tampered with between parse and materialize; it is still
+    /// reported as a structured rejection rather than a panic.
+    pub fn materialize(&self) -> Result<MapRequest, Rejection> {
+        let circuit = match &self.ingest {
+            Ingest::Text(program) => {
+                qxmap_qasm::to_circuit(program).map_err(|e| invalid_qasm(self.id.clone(), &e))?
+            }
+            Ingest::Qxbc(bytes) => qxmap_qasm::decode_qxbc(bytes).map_err(|e| {
+                Rejection::bad_request(self.id.clone(), format!("invalid QXBC payload: {e}"))
+            })?,
+        };
+        let mut request = match &self.device {
+            ParsedDevice::Named(cm) => MapRequest::new(circuit, cm.clone()),
+            ParsedDevice::Model(model) => MapRequest::for_model(circuit, model.clone()),
+        };
+        if let Some(g) = self.options.guarantee {
+            request = request.with_guarantee(g);
+        }
+        if let Some(s) = &self.options.strategy {
+            request = request.with_strategy(s.clone());
+        }
+        if let Some(on) = self.options.subsets {
+            request = request.with_subsets(on);
+        }
+        if let Some(d) = self.options.deadline {
+            request = request.with_deadline(d);
+        }
+        if let Some(b) = self.options.conflict_budget {
+            request = request.with_conflict_budget(Some(b));
+        }
+        if let Some(b) = self.options.upper_bound {
+            request = request.with_upper_bound(Some(b));
+        }
+        if let Some(s) = self.options.seed {
+            request = request.with_seed(s);
+        }
+        Ok(request)
+    }
 }
 
 /// A structured protocol-level rejection (before any engine ran).
@@ -83,6 +225,8 @@ pub struct Rejection {
     pub message: String,
     /// The offending request's `id`, echoed when it was recoverable.
     pub id: Option<Json>,
+    /// The 1-based source line a QASM parse defect was attributed to.
+    pub line: Option<usize>,
 }
 
 impl Rejection {
@@ -91,7 +235,18 @@ impl Rejection {
             code: "bad_request",
             message: message.into(),
             id,
+            line: None,
         }
+    }
+}
+
+/// A QASM parse/conversion rejection, carrying the parser's line
+/// attribution as a structured field (clients should not have to scrape
+/// it out of the message text).
+fn invalid_qasm(id: Option<Json>, error: &qxmap_qasm::ParseQasmError) -> Rejection {
+    Rejection {
+        line: error.line(),
+        ..Rejection::bad_request(id, format!("invalid QASM: {error}"))
     }
 }
 
@@ -106,6 +261,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
         code: "parse",
         message: format!("malformed JSON: {e}"),
         id: None,
+        line: None,
     })?;
     if value.as_object().is_none() {
         return Err(Rejection::bad_request(
@@ -158,7 +314,9 @@ fn reject_unknown_keys(value: &Json, allowed: &[&str], id: Option<Json>) -> Resu
 const MAP_KEYS: &[&str] = &[
     "type",
     "id",
+    "format",
     "qasm",
+    "qxbc",
     "device",
     "guarantee",
     "strategy",
@@ -174,21 +332,16 @@ fn parse_map(value: &Json, id: Option<Json>) -> Result<MapJob, Rejection> {
     reject_unknown_keys(value, MAP_KEYS, id.clone())?;
     let bad = |message: String| Rejection::bad_request(id.clone(), message);
 
-    let Some(qasm) = value.get("qasm").and_then(Json::as_str) else {
-        return Err(bad("missing string field \"qasm\"".to_string()));
-    };
-    let circuit = qxmap_qasm::parse(qasm).map_err(|e| bad(format!("invalid QASM: {e}")))?;
+    let (ingest, skeleton) = parse_payload(value, &id)?;
 
     let Some(device) = value.get("device") else {
         return Err(bad("missing field \"device\"".to_string()));
     };
-    let mut request = match parse_device(device).map_err(&bad)? {
-        ParsedDevice::Named(cm) => MapRequest::new(circuit, cm),
-        ParsedDevice::Model(model) => MapRequest::for_model(circuit, model),
-    };
+    let device = parse_device(device).map_err(&bad)?;
 
+    let mut options = MapOptions::default();
     if let Some(guarantee) = value.get("guarantee") {
-        request = request.with_guarantee(match guarantee.as_str() {
+        options.guarantee = Some(match guarantee.as_str() {
             Some("optimal") => Guarantee::Optimal,
             Some("best_effort") => Guarantee::BestEffort,
             _ => {
@@ -199,38 +352,38 @@ fn parse_map(value: &Json, id: Option<Json>) -> Result<MapJob, Rejection> {
         });
     }
     if let Some(strategy) = value.get("strategy") {
-        request = request.with_strategy(parse_strategy(strategy).map_err(&bad)?);
+        options.strategy = Some(parse_strategy(strategy).map_err(&bad)?);
     }
     if let Some(subsets) = value.get("subsets") {
         let on = subsets
             .as_bool()
             .ok_or_else(|| bad("\"subsets\" must be a boolean".to_string()))?;
-        request = request.with_subsets(on);
+        options.subsets = Some(on);
     }
     if let Some(deadline) = value.get("deadline_ms") {
         let ms = deadline
             .as_u64()
             .filter(|&ms| ms > 0)
             .ok_or_else(|| bad("\"deadline_ms\" must be a positive integer".to_string()))?;
-        request = request.with_deadline(Duration::from_millis(ms));
+        options.deadline = Some(Duration::from_millis(ms));
     }
     if let Some(budget) = value.get("conflict_budget") {
         let conflicts = budget
             .as_u64()
             .ok_or_else(|| bad("\"conflict_budget\" must be a non-negative integer".to_string()))?;
-        request = request.with_conflict_budget(Some(conflicts));
+        options.conflict_budget = Some(conflicts);
     }
     if let Some(bound) = value.get("upper_bound") {
         let bound = bound
             .as_u64()
             .ok_or_else(|| bad("\"upper_bound\" must be a non-negative integer".to_string()))?;
-        request = request.with_upper_bound(Some(bound));
+        options.upper_bound = Some(bound);
     }
     if let Some(seed) = value.get("seed") {
         let seed = seed
             .as_u64()
             .ok_or_else(|| bad("\"seed\" must be a non-negative integer".to_string()))?;
-        request = request.with_seed(seed);
+        options.seed = Some(seed);
     }
     let windowed = match value.get("windowed") {
         Some(w) => parse_windowed(w).map_err(&bad)?,
@@ -238,9 +391,57 @@ fn parse_map(value: &Json, id: Option<Json>) -> Result<MapJob, Rejection> {
     };
     Ok(MapJob {
         id,
-        request,
+        ingest,
+        skeleton,
+        device,
+        options,
         windowed,
     })
+}
+
+/// Validates the circuit payload (`"qasm"` text by default, base64 QXBC
+/// bytes under `"format": "qxbc"`) and computes its canonical skeleton
+/// in the same pass — without materializing a circuit.
+fn parse_payload(value: &Json, id: &Option<Json>) -> Result<(Ingest, CircuitSkeleton), Rejection> {
+    let bad = |message: String| Rejection::bad_request(id.clone(), message);
+    let format = match value.get("format") {
+        None => "qasm",
+        Some(f) => f
+            .as_str()
+            .filter(|f| ["qasm", "qxbc"].contains(f))
+            .ok_or_else(|| bad("\"format\" must be \"qasm\" or \"qxbc\"".to_string()))?,
+    };
+    if format == "qxbc" {
+        if value.get("qasm").is_some() {
+            return Err(bad(
+                "\"qasm\" and \"format\": \"qxbc\" are mutually exclusive".to_string(),
+            ));
+        }
+        let Some(encoded) = value.get("qxbc").and_then(Json::as_str) else {
+            return Err(bad(
+                "missing string field \"qxbc\" (base64 QXBC bytes)".to_string()
+            ));
+        };
+        let bytes = crate::base64::decode(encoded)
+            .map_err(|e| bad(format!("invalid \"qxbc\" base64: {e}")))?;
+        let skeleton = qxmap_qasm::decode_qxbc_skeleton(&bytes)
+            .map_err(|e| bad(format!("invalid QXBC payload: {e}")))?;
+        Ok((Ingest::Qxbc(bytes), skeleton))
+    } else {
+        if value.get("qxbc").is_some() {
+            return Err(bad(
+                "field \"qxbc\" requires \"format\": \"qxbc\"".to_string()
+            ));
+        }
+        let Some(qasm) = value.get("qasm").and_then(Json::as_str) else {
+            return Err(bad("missing string field \"qasm\"".to_string()));
+        };
+        let program =
+            qxmap_qasm::parse_program_fast(qasm).map_err(|e| invalid_qasm(id.clone(), &e))?;
+        let skeleton =
+            qxmap_qasm::to_skeleton(&program).map_err(|e| invalid_qasm(id.clone(), &e))?;
+        Ok((Ingest::Text(program), skeleton))
+    }
 }
 
 /// `true`, `false`, or `{"max_window_qubits": k, "sat_bridges": b}`.
@@ -271,6 +472,7 @@ fn parse_windowed(value: &Json) -> Result<Option<WindowOptions>, String> {
     Ok(Some(options))
 }
 
+#[derive(Debug)]
 enum ParsedDevice {
     /// A named library device with no calibration: the request keeps the
     /// library's uniform paper cost model.
@@ -586,16 +788,19 @@ pub fn error_response(id: Option<Json>, error: &MapperError) -> Json {
     with_id(id, pairs)
 }
 
-/// Builds an `error` response from a protocol-level rejection.
+/// Builds an `error` response from a protocol-level rejection, with the
+/// parser's source-line attribution as a structured `"line"` field when
+/// one exists.
 pub fn rejection_response(rejection: &Rejection) -> Json {
-    with_id(
-        rejection.id.clone(),
-        vec![
-            ("type".to_string(), Json::str("error")),
-            ("code".to_string(), Json::str(rejection.code)),
-            ("message".to_string(), Json::str(&rejection.message)),
-        ],
-    )
+    let mut pairs = vec![
+        ("type".to_string(), Json::str("error")),
+        ("code".to_string(), Json::str(rejection.code)),
+        ("message".to_string(), Json::str(&rejection.message)),
+    ];
+    if let Some(line) = rejection.line {
+        pairs.push(("line".to_string(), Json::num(line as u64)));
+    }
+    with_id(rejection.id.clone(), pairs)
 }
 
 #[cfg(test)]
@@ -621,11 +826,106 @@ cx q[1], q[2];
         let Request::Map(job) = parse_request(&map_line("")).unwrap() else {
             panic!("not a map request");
         };
-        assert_eq!(job.request.circuit().num_cnots(), 2);
-        assert_eq!(job.request.device().num_qubits(), 5);
-        assert_eq!(job.request.guarantee(), Guarantee::BestEffort);
+        let request = job.materialize().unwrap();
+        assert_eq!(request.circuit().num_cnots(), 2);
+        assert_eq!(request.device().num_qubits(), 5);
+        assert_eq!(request.guarantee(), Guarantee::BestEffort);
         assert!(job.id.is_none());
         assert!(job.windowed.is_none());
+    }
+
+    #[test]
+    fn qxbc_payloads_parse_to_the_same_job() {
+        let Request::Map(text_job) = parse_request(&map_line("")).unwrap() else {
+            panic!("not a map request");
+        };
+        let circuit = qxmap_qasm::parse(QASM).unwrap();
+        let encoded = crate::base64::encode(&qxmap_qasm::encode_qxbc(&circuit));
+        let line = format!(
+            "{{\"type\":\"map\",\"format\":\"qxbc\",\"qxbc\":\"{encoded}\",\"device\":\"qx4\"}}"
+        );
+        let Request::Map(job) = parse_request(&line).unwrap() else {
+            panic!("not a map request");
+        };
+        assert_eq!(job.skeleton(), text_job.skeleton());
+        assert_eq!(
+            job.materialize().unwrap().circuit().gates(),
+            text_job.materialize().unwrap().circuit().gates()
+        );
+    }
+
+    #[test]
+    fn qxbc_payload_defects_reject_structurally() {
+        let circuit = qxmap_qasm::parse(QASM).unwrap();
+        let bytes = qxmap_qasm::encode_qxbc(&circuit);
+        let mut corrupted = bytes.clone();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0x10;
+        let request = |payload: &str, extra: &str| {
+            format!("{{\"type\":\"map\",\"format\":\"qxbc\"{extra},\"qxbc\":\"{payload}\",\"device\":\"qx4\"}}")
+        };
+        for (line, needle) in [
+            (request("!!!not base64!!!", ""), "base64"),
+            (request(&crate::base64::encode(&corrupted), ""), "QXBC"),
+            (request(&crate::base64::encode(&bytes[..9]), ""), "QXBC"),
+            (
+                request(&crate::base64::encode(&bytes), ",\"qasm\":\"x\""),
+                "mutually exclusive",
+            ),
+            (
+                "{\"type\":\"map\",\"format\":\"qxbc\",\"device\":\"qx4\"}".to_string(),
+                "missing string field \"qxbc\"",
+            ),
+            (
+                "{\"type\":\"map\",\"format\":\"elf\",\"qasm\":\"\",\"device\":\"qx4\"}"
+                    .to_string(),
+                "\"format\"",
+            ),
+            (map_line(",\"qxbc\":\"AAAA\"").to_string(), "requires"),
+        ] {
+            let e = parse_request(&line).unwrap_err();
+            assert_eq!(e.code, "bad_request", "{line}");
+            assert!(e.message.contains(needle), "{line} -> {}", e.message);
+            assert!(e.line.is_none());
+        }
+    }
+
+    #[test]
+    fn qasm_parse_rejections_carry_the_source_line() {
+        let line = format!(
+            "{{\"type\":\"map\",\"id\":4,\"qasm\":{},\"device\":\"qx4\"}}",
+            Json::str("qreg q[2];\nnope q[0];\n")
+        );
+        let e = parse_request(&line).unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        assert_eq!(e.line, Some(2));
+        assert!(e.message.contains("unknown gate"));
+        let r = rejection_response(&e);
+        assert_eq!(r.get("line").and_then(Json::as_u64), Some(2));
+        assert_eq!(r.get("id").and_then(Json::as_u64), Some(4));
+        // Non-parse rejections carry no line field.
+        let r = rejection_response(&parse_request("{\"type\":\"map\"}").unwrap_err());
+        assert!(r.get("line").is_none());
+    }
+
+    #[test]
+    fn cache_probe_mirrors_the_materialized_request() {
+        let line = map_line(",\"deadline_ms\":250,\"seed\":3,\"guarantee\":\"optimal\"");
+        let Request::Map(job) = parse_request(&line).unwrap() else {
+            panic!("not a map request");
+        };
+        let probe = job.cache_probe().unwrap();
+        let request = job.materialize().unwrap();
+        // Solve through the request, then the skeleton-only probe must
+        // hit the entry the solve inserted — the fields agree.
+        let report = qxmap_map::map_one(&request).unwrap();
+        let hit = qxmap_map::probe_one(&probe).expect("probe key matches request key");
+        assert_eq!(hit.cost, report.cost);
+        // Windowed jobs never probe whole-circuit.
+        let Request::Map(job) = parse_request(&map_line(",\"windowed\":true")).unwrap() else {
+            panic!("not a map request");
+        };
+        assert!(job.cache_probe().is_none());
     }
 
     #[test]
@@ -677,13 +977,15 @@ cx q[1], q[2];
             panic!("not a map request");
         };
         assert_eq!(job.id, Some(Json::Num(7.0)));
-        assert_eq!(job.request.deadline(), Some(Duration::from_millis(250)));
-        assert_eq!(job.request.conflict_budget(), Some(1000));
-        assert_eq!(job.request.guarantee(), Guarantee::Optimal);
-        assert_eq!(*job.request.strategy(), Strategy::Window(2));
-        assert!(!job.request.use_subsets());
-        assert_eq!(job.request.upper_bound(), Some(9));
-        assert_eq!(job.request.seed(), 3);
+        assert_eq!(job.deadline(), Some(Duration::from_millis(250)));
+        let request = job.materialize().unwrap();
+        assert_eq!(request.deadline(), Some(Duration::from_millis(250)));
+        assert_eq!(request.conflict_budget(), Some(1000));
+        assert_eq!(request.guarantee(), Guarantee::Optimal);
+        assert_eq!(*request.strategy(), Strategy::Window(2));
+        assert!(!request.use_subsets());
+        assert_eq!(request.upper_bound(), Some(9));
+        assert_eq!(request.seed(), 3);
     }
 
     #[test]
@@ -697,8 +999,9 @@ cx q[1], q[2];
         let Request::Map(job) = parse_request(&line).unwrap() else {
             panic!("not a map request");
         };
-        assert_eq!(job.request.device_model().swap_cost(0, 1), Some(21));
-        assert_eq!(job.request.device_model().swap_cost(1, 2), Some(3));
+        let request = job.materialize().unwrap();
+        assert_eq!(request.device_model().swap_cost(0, 1), Some(21));
+        assert_eq!(request.device_model().swap_cost(1, 2), Some(3));
     }
 
     #[test]
@@ -711,7 +1014,8 @@ cx q[1], q[2];
         let Request::Map(job) = parse_request(&line).unwrap() else {
             panic!("not a map request");
         };
-        let model = job.request.device_model();
+        let request = job.materialize().unwrap();
+        let model = request.device_model();
         assert_eq!(model.swap_cost(1, 2), Some(7), "best pair keeps base");
         assert!(model.swap_cost(0, 1).unwrap() > 30, "noisy pair is dear");
     }
@@ -758,6 +1062,7 @@ cx q[1], q[2];
             code: "overloaded",
             message: "queue full".to_string(),
             id: Some(Json::num(9)),
+            line: None,
         };
         let r = rejection_response(&rejection);
         assert_eq!(r.get("type").and_then(Json::as_str), Some("error"));

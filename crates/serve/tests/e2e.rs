@@ -271,6 +271,89 @@ fn flooding_the_admission_queue_rejects_cleanly_without_dropping_replies() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The binary ingest path over the real wire: a QXBC payload answers
+/// with the same result as its QASM twin (warm, straight from the
+/// skeleton probe), and hostile payloads — bad base64, flipped bytes,
+/// truncation — come back as structured `bad_request` rejections, never
+/// a dropped connection. QASM syntax errors carry their source line as
+/// a structured field.
+#[test]
+fn qxbc_payloads_round_trip_and_hostile_ones_reject_structurally() {
+    let dir = std::env::temp_dir().join(format!("qxmap-serve-e2e-qxbc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot: PathBuf = dir.join("solves.qxsnap");
+    let _ = std::fs::remove_file(&snapshot);
+
+    let daemon = Daemon::boot(&snapshot);
+    let first = daemon.request(&map_line());
+    assert_eq!(
+        first.get("type").and_then(Json::as_str),
+        Some("result"),
+        "{first}"
+    );
+
+    // The QXBC form of the same circuit (same options, so the same
+    // cache key) is answered warm from the skeleton-first probe.
+    let bytes = qxmap_qasm::encode_qxbc(&qxmap_qasm::parse(QASM).unwrap());
+    let qxbc_line = |payload: &str| {
+        format!(
+            "{{\"type\":\"map\",\"id\":\"bin\",\"format\":\"qxbc\",\"qxbc\":\"{payload}\",\
+             \"device\":\"qx4\",\"deadline_ms\":30000}}"
+        )
+    };
+    let r = daemon.request(&qxbc_line(&qxmap_serve::base64::encode(&bytes)));
+    assert_eq!(r.get("type").and_then(Json::as_str), Some("result"), "{r}");
+    assert_eq!(r.get("id").and_then(Json::as_str), Some("bin"));
+    assert_eq!(
+        r.get("served_from_cache").and_then(Json::as_bool),
+        Some(true),
+        "the text solve warms the binary path: {r}"
+    );
+    assert_eq!(r.get("cost"), first.get("cost"));
+    assert_eq!(r.get("initial_layout"), first.get("initial_layout"));
+
+    // Hostile payloads: every defect is a structured rejection.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x10;
+    for (line, needle) in [
+        (qxbc_line("@@not base64@@"), "base64"),
+        (qxbc_line(&qxmap_serve::base64::encode(&flipped)), "QXBC"),
+        (
+            qxbc_line(&qxmap_serve::base64::encode(&bytes[..bytes.len() / 3])),
+            "QXBC",
+        ),
+    ] {
+        let e = daemon.request(&line);
+        assert_eq!(e.get("type").and_then(Json::as_str), Some("error"), "{e}");
+        assert_eq!(
+            e.get("code").and_then(Json::as_str),
+            Some("bad_request"),
+            "{e}"
+        );
+        assert_eq!(e.get("id").and_then(Json::as_str), Some("bin"));
+        let message = e.get("message").and_then(Json::as_str).unwrap();
+        assert!(message.contains(needle), "{message}");
+    }
+
+    // A QASM syntax error reports its source line structurally.
+    let bad = format!(
+        "{{\"type\":\"map\",\"id\":\"syn\",\"qasm\":{},\"device\":\"qx4\"}}",
+        Json::str("OPENQASM 2.0;\nqreg q[2];\nmystery q[0];\n")
+    );
+    let e = daemon.request(&bad);
+    assert_eq!(e.get("code").and_then(Json::as_str), Some("bad_request"));
+    assert_eq!(e.get("line").and_then(Json::as_u64), Some(3), "{e}");
+    assert!(e
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("unknown gate"));
+
+    daemon.shutdown_and_wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn restart_serves_warm_cache_hits_from_the_snapshot() {
     let dir = std::env::temp_dir().join(format!("qxmap-serve-e2e-{}", std::process::id()));
