@@ -251,6 +251,25 @@ fn diff_serve(baseline: &Json, fresh: &Json, t: &Thresholds) -> Vec<String> {
             ));
         }
     }
+    // The pipelined warm phase rides in its own section; a baseline
+    // predating it (or a fresh run not measuring it) has nothing to
+    // compare — absence is never a regression.
+    for (key, what) in [
+        ("pipelined_rps", "pipelined warm throughput"),
+        ("speedup", "pipelining speedup"),
+    ] {
+        if let (Some(b), Some(f)) = (
+            num(baseline, &["pipelined", key]),
+            num(fresh, &["pipelined", key]),
+        ) {
+            if f < b * t.throughput_ratio {
+                regressions.push(format!(
+                    "{what} regressed {b:.1} -> {f:.1} (< {}x baseline)",
+                    t.throughput_ratio
+                ));
+            }
+        }
+    }
     let hit = |doc: &Json| {
         doc.get("warm_restart")
             .and_then(|w| w.get("hit"))
@@ -353,6 +372,21 @@ mod tests {
         ])
     }
 
+    fn with_pipelined(mut doc: Json, pipelined_rps: f64, speedup: f64) -> Json {
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push((
+                "pipelined".to_string(),
+                Json::obj([
+                    ("per_client", Json::num(300)),
+                    ("serial_rps", Json::Num(pipelined_rps / speedup)),
+                    ("pipelined_rps", Json::Num(pipelined_rps)),
+                    ("speedup", Json::Num(speedup)),
+                ]),
+            ));
+        }
+        doc
+    }
+
     #[test]
     fn identical_runs_pass() {
         let doc = corpus_doc(200.0, 4, 0.8);
@@ -441,6 +475,37 @@ mod tests {
         assert!(regressions.iter().any(|r| r.contains("throughput")));
         assert!(regressions.iter().any(|r| r.contains("p95")));
         assert!(regressions.iter().any(|r| r.contains("warm restart")));
+    }
+
+    #[test]
+    fn pipelined_collapse_is_caught_and_absent_sections_tolerated() {
+        let baseline = with_pipelined(serve_doc(500.0, 40.0, true), 8000.0, 4.0);
+        // A collapsed pipelined phase — throughput and speedup both far
+        // below the baseline's — trips the gate on both fields.
+        let fresh = with_pipelined(serve_doc(500.0, 40.0, true), 800.0, 0.5);
+        let regressions = diff(&baseline, &fresh, &Thresholds::default()).unwrap();
+        assert!(
+            regressions
+                .iter()
+                .any(|r| r.contains("pipelined warm throughput")),
+            "{regressions:?}"
+        );
+        assert!(
+            regressions.iter().any(|r| r.contains("pipelining speedup")),
+            "{regressions:?}"
+        );
+
+        // A baseline predating the section (or a fresh run without it)
+        // compares cleanly — absence never regresses.
+        let without = serve_doc(500.0, 40.0, true);
+        assert_eq!(
+            diff(&without, &fresh, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
+        assert_eq!(
+            diff(&baseline, &without, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use qxmap_arch::{CouplingMap, DeviceModel, Layout};
@@ -332,8 +332,8 @@ impl CacheKey {
         }
     }
 
-    /// Serializes the key into a snapshot stream.
-    fn write(&self, w: &mut Writer) {
+    /// Serializes the key into a snapshot or journal stream.
+    pub(crate) fn write(&self, w: &mut Writer) {
         w.str(&self.engine);
         snapshot::write_skeleton(w, &self.skeleton);
         w.u64(self.device);
@@ -358,8 +358,8 @@ impl CacheKey {
         }
     }
 
-    /// Deserializes a key from a snapshot stream.
-    fn read(r: &mut Reader<'_>) -> Result<CacheKey, SnapshotError> {
+    /// Deserializes a key from a snapshot or journal stream.
+    pub(crate) fn read(r: &mut Reader<'_>) -> Result<CacheKey, SnapshotError> {
         let engine = r.str()?;
         let skeleton = snapshot::read_skeleton(r)?;
         let device = r.u64()?;
@@ -468,6 +468,10 @@ pub struct SolveCache {
     inner: Mutex<Inner>,
     counters: CacheCounters,
     capacity: usize,
+    /// When a [`crate::Journal`] is attached, every stored entry is also
+    /// sent here (after the entry lock is released) for the background
+    /// writer to append — the response path never touches the file.
+    journal: Mutex<Option<mpsc::Sender<crate::journal::Event>>>,
 }
 
 impl SolveCache {
@@ -477,6 +481,7 @@ impl SolveCache {
             inner: Mutex::new(Inner::default()),
             counters: CacheCounters::default(),
             capacity: capacity.max(1),
+            journal: Mutex::new(None),
         }
     }
 
@@ -600,33 +605,131 @@ impl SolveCache {
         let key = CacheKey::of(engine, request, skeleton);
         let shared_report = Arc::new(report.clone());
         let bytes = approx_entry_bytes(report, &canon_to_original);
-        let mut inner = self.inner.lock().expect("no panics under the lock");
-        inner.tick += 1;
-        let tick = inner.tick;
-        let entry = || Entry {
-            report: Arc::clone(&shared_report),
-            canon_to_original: canon_to_original.clone(),
-            approx_bytes: bytes,
-            last_used: tick,
-        };
-        let store = |inner: &mut Inner, key: CacheKey, entry: Entry| {
-            self.counters
-                .approx_bytes
-                .fetch_add(entry.approx_bytes, Ordering::Relaxed);
-            if let Some(replaced) = inner.map.insert(key, entry) {
+        let journal = self
+            .journal
+            .lock()
+            .expect("no panics under the lock")
+            .clone();
+        let mut journaled: Vec<CacheKey> = Vec::new();
+        {
+            let mut inner = self.inner.lock().expect("no panics under the lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let entry = || Entry {
+                report: Arc::clone(&shared_report),
+                canon_to_original: canon_to_original.clone(),
+                approx_bytes: bytes,
+                last_used: tick,
+            };
+            let store = |inner: &mut Inner, key: CacheKey, entry: Entry| {
                 self.counters
                     .approx_bytes
-                    .fetch_sub(replaced.approx_bytes, Ordering::Relaxed);
+                    .fetch_add(entry.approx_bytes, Ordering::Relaxed);
+                if let Some(replaced) = inner.map.insert(key, entry) {
+                    self.counters
+                        .approx_bytes
+                        .fetch_sub(replaced.approx_bytes, Ordering::Relaxed);
+                }
+            };
+            if report.proved_optimal {
+                if journal.is_some() {
+                    journaled.push(key.proved_tier());
+                }
+                store(&mut inner, key.proved_tier(), entry());
             }
-        };
-        if report.proved_optimal {
-            store(&mut inner, key.proved_tier(), entry());
+            if journal.is_some() {
+                journaled.push(key.clone());
+            }
+            store(&mut inner, key, entry());
+            evict_to_capacity(&mut inner, self.capacity, &self.counters);
+            self.counters
+                .entries
+                .store(inner.map.len(), Ordering::Relaxed);
         }
-        store(&mut inner, key, entry());
+        // Journal notification happens strictly after the entry lock is
+        // released: the caller's response path pays a key clone and two
+        // channel sends at worst, never file IO.
+        if let Some(tx) = journal {
+            for key in journaled {
+                let _ = tx.send(crate::journal::Event::Entry {
+                    key: Box::new(key),
+                    canon_to_original: canon_to_original.clone(),
+                    report: Arc::clone(&shared_report),
+                });
+            }
+        }
+    }
+
+    /// Attaches (or detaches) the journal writer's event channel — every
+    /// subsequent [`SolveCache::insert`] forwards its stored entries.
+    pub(crate) fn set_journal(&self, sender: Option<mpsc::Sender<crate::journal::Event>>) {
+        *self.journal.lock().expect("no panics under the lock") = sender;
+    }
+
+    /// Every held entry — key, correspondence, shared report, recency
+    /// stamp — sorted least-recently-used first: the shared substrate of
+    /// [`SolveCache::export_snapshot`] and journal compaction. The lock
+    /// is held only for the key clones and `Arc` bumps.
+    pub(crate) fn export_entries(&self) -> Vec<(CacheKey, Vec<usize>, Arc<MapReport>, u64)> {
+        let mut entries: Vec<(CacheKey, Vec<usize>, Arc<MapReport>, u64)> = {
+            let inner = self.inner.lock().expect("no panics under the lock");
+            inner
+                .map
+                .iter()
+                .map(|(key, entry)| {
+                    (
+                        key.clone(),
+                        entry.canon_to_original.clone(),
+                        Arc::clone(&entry.report),
+                        entry.last_used,
+                    )
+                })
+                .collect()
+        };
+        entries.sort_by_key(|&(_, _, _, last_used)| last_used);
+        entries
+    }
+
+    /// Admits one already-decoded entry — the journal replay path.
+    /// Unlike [`SolveCache::insert`] the report is trusted as decoded
+    /// (its checksum already passed), but the correspondence table is
+    /// still validated as a permutation because lookups index through it
+    /// unchecked. Returns `Ok(false)` when the key is already live (the
+    /// live entry wins); never forwards to the journal, so replaying a
+    /// file a journal is attached to cannot echo records back into it.
+    pub(crate) fn admit_decoded(
+        &self,
+        key: CacheKey,
+        canon_to_original: Vec<usize>,
+        report: Arc<MapReport>,
+    ) -> Result<bool, SnapshotError> {
+        if let Some(defect) = correspondence_defect(&key, &canon_to_original) {
+            return Err(SnapshotError::Corrupted(defect));
+        }
+        let bytes = approx_entry_bytes(&report, &canon_to_original);
+        let mut inner = self.inner.lock().expect("no panics under the lock");
+        if inner.map.contains_key(&key) {
+            return Ok(false);
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        self.counters
+            .approx_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        inner.map.insert(
+            key,
+            Entry {
+                report,
+                canon_to_original,
+                approx_bytes: bytes,
+                last_used: tick,
+            },
+        );
         evict_to_capacity(&mut inner, self.capacity, &self.counters);
         self.counters
             .entries
             .store(inner.map.len(), Ordering::Relaxed);
+        Ok(true)
     }
 
     /// Serializes every held entry — the budget-class entries *and* the
@@ -645,22 +748,7 @@ impl SolveCache {
         // bump each — and do the real work (deep circuit/layout
         // encoding) outside it, so a live daemon's sub-millisecond
         // lookups never stall behind a multi-megabyte serialization.
-        let mut entries: Vec<(CacheKey, Vec<usize>, Arc<MapReport>, u64)> = {
-            let inner = self.inner.lock().expect("no panics under the lock");
-            inner
-                .map
-                .iter()
-                .map(|(key, entry)| {
-                    (
-                        key.clone(),
-                        entry.canon_to_original.clone(),
-                        Arc::clone(&entry.report),
-                        entry.last_used,
-                    )
-                })
-                .collect()
-        };
-        entries.sort_by_key(|&(_, _, _, last_used)| last_used);
+        let entries = self.export_entries();
         let mut w = Writer::new();
         w.raw(MAGIC);
         w.u32(SNAPSHOT_VERSION);
@@ -757,16 +845,8 @@ impl SolveCache {
             };
             // The correspondence table must be a permutation of the
             // skeleton's labels — lookups index through it unchecked.
-            let n = key.skeleton.num_qubits();
-            if canon_to_original.len() != n {
-                return Err(SnapshotError::Corrupted("correspondence length"));
-            }
-            let mut seen = vec![false; n];
-            for &q in &canon_to_original {
-                if q >= n || seen[q] {
-                    return Err(SnapshotError::Corrupted("correspondence permutation"));
-                }
-                seen[q] = true;
+            if let Some(defect) = correspondence_defect(&key, &canon_to_original) {
+                return Err(SnapshotError::Corrupted(defect));
             }
             decoded.push((key, canon_to_original, report));
         }
@@ -875,6 +955,25 @@ fn evict_to_capacity(inner: &mut Inner, capacity: usize, counters: &CacheCounter
             .fetch_sub(evicted.approx_bytes, Ordering::Relaxed);
         counters.evictions.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Checks a decoded entry's correspondence table against its key's
+/// skeleton: it must be a permutation of the canonical labels, because
+/// lookups index through it unchecked. Shared by the snapshot import and
+/// the journal replay admission.
+fn correspondence_defect(key: &CacheKey, canon_to_original: &[usize]) -> Option<&'static str> {
+    let n = key.skeleton.num_qubits();
+    if canon_to_original.len() != n {
+        return Some("correspondence length");
+    }
+    let mut seen = vec![false; n];
+    for &q in canon_to_original {
+        if q >= n || seen[q] {
+            return Some("correspondence permutation");
+        }
+        seen[q] = true;
+    }
+    None
 }
 
 /// `layout` with its logical axis relabeled: the result places request

@@ -65,6 +65,7 @@ mod batch;
 mod cache;
 mod engine;
 mod error;
+mod journal;
 mod portfolio;
 mod report;
 mod request;
@@ -76,6 +77,9 @@ pub use cache::{
 };
 pub use engine::{Baseline, Engine, ExactEngine, HeuristicEngine};
 pub use error::MapperError;
+pub use journal::{
+    replay_journal, replay_records, Journal, JournalReplay, JOURNAL_MAGIC, JOURNAL_VERSION,
+};
 pub use portfolio::Portfolio;
 pub use report::{CostBreakdown, MapReport, WindowCertificate};
 pub use request::{Guarantee, MapRequest};

@@ -10,6 +10,12 @@ pub struct Program {
     pub version: String,
     /// Top-level statements in source order.
     pub statements: Vec<Statement>,
+    /// Whether the source included the standard library
+    /// (`include "qelib1.inc";`). The library's gate definitions are
+    /// *not* spliced into `statements` — conversion resolves them from
+    /// a table parsed once per process, so a serving daemon does not
+    /// re-parse (or re-clone) ~30 gate bodies on every request.
+    pub includes_qelib: bool,
 }
 
 /// A top-level statement.

@@ -13,12 +13,46 @@ struct GateDef {
     body: Vec<GateOp>,
 }
 
+/// The standard library's gate definitions, parsed once per process.
+/// Programs flag `include "qelib1.inc";` instead of splicing the
+/// library's statements (see [`Program::includes_qelib`]); conversion
+/// falls back to this table, so per-request parsing never pays for the
+/// library again.
+fn qelib_gates() -> &'static HashMap<String, GateDef> {
+    static TABLE: std::sync::OnceLock<HashMap<String, GateDef>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let lib = crate::parse::parse_program(crate::qelib::QELIB1)
+            .expect("the embedded qelib1.inc parses");
+        let mut gates = HashMap::new();
+        for stmt in lib.statements {
+            if let Statement::GateDef {
+                name,
+                params,
+                qargs,
+                body,
+            } = stmt
+            {
+                gates.insert(
+                    name,
+                    GateDef {
+                        params,
+                        qargs,
+                        body,
+                    },
+                );
+            }
+        }
+        gates
+    })
+}
+
 struct Converter {
     qubit_offset: HashMap<String, (usize, usize)>, // name -> (offset, size)
     clbit_offset: HashMap<String, (usize, usize)>,
     num_qubits: usize,
     num_clbits: usize,
     gates: HashMap<String, GateDef>,
+    qelib: bool,
 }
 
 /// Converts a parsed program into a flat circuit.
@@ -67,6 +101,7 @@ impl Converter {
             num_qubits: 0,
             num_clbits: 0,
             gates: HashMap::new(),
+            qelib: program.includes_qelib,
         };
         for stmt in &program.statements {
             match stmt {
@@ -310,10 +345,12 @@ impl Converter {
             sink(gate);
             return Ok(());
         }
-        // User-defined (or qelib-only) gate: inline its body.
+        // User-defined (or qelib-only) gate: inline its body. User
+        // definitions shadow the standard library's.
         let def = self
             .gates
             .get(name)
+            .or_else(|| self.qelib.then(|| qelib_gates().get(name)).flatten())
             .ok_or_else(|| ParseQasmError::new(Some(line), format!("unknown gate `{name}`")))?;
         if def.qargs.len() != qubits.len() {
             return Err(arity_err(def.qargs.len()));

@@ -112,6 +112,7 @@ pub fn parse_program_chunked(source: &str, chunks: usize) -> Result<Program, Par
                 if i == 0 {
                     program.version = chunk.version;
                 }
+                program.includes_qelib |= chunk.includes_qelib;
                 program.statements.extend(chunk.statements);
             }
         }

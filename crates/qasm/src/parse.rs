@@ -5,7 +5,6 @@ use std::fmt;
 
 use crate::ast::{Arg, BinOp, Expr, GateOp, Program, Statement};
 use crate::lex::{tokenize, Token, TokenKind};
-use crate::qelib::QELIB1;
 
 /// A parse (or later conversion) failure, with source line when known.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,8 +138,12 @@ impl Parser {
                 };
                 self.expect(TokenKind::Semicolon)?;
                 if file == "qelib1.inc" {
-                    let lib = parse_program(QELIB1)?;
-                    self.program.statements.extend(lib.statements);
+                    // Only flagged, never spliced: conversion resolves
+                    // the library's definitions from a table parsed once
+                    // per process (see [`Program::includes_qelib`]) —
+                    // re-parsing ~30 gate bodies on every request
+                    // dominated the serving tier's warm-hit path.
+                    self.program.includes_qelib = true;
                 } else {
                     return Err(self.err(format!(
                         "cannot include \"{file}\": only the embedded qelib1.inc is available"
@@ -510,15 +513,21 @@ mod tests {
 
     #[test]
     fn includes_qelib() {
+        // The include is flagged, not spliced: conversion resolves the
+        // standard library from a table parsed once per process.
         let p = parse_program("include \"qelib1.inc\";").unwrap();
-        // The standard library defines a few dozen gates.
-        let defs = p
+        assert!(p.includes_qelib);
+        assert!(p.statements.is_empty());
+        assert!(!parse_program("qreg q[1];").unwrap().includes_qelib);
+        assert!(parse_program("include \"other.inc\";").is_err());
+        // The library itself parses and defines a few dozen gates.
+        let lib = parse_program(crate::qelib::QELIB1).unwrap();
+        let defs = lib
             .statements
             .iter()
             .filter(|s| matches!(s, Statement::GateDef { .. }))
             .count();
         assert!(defs >= 20, "only {defs} gates in qelib1");
-        assert!(parse_program("include \"other.inc\";").is_err());
     }
 
     #[test]

@@ -12,17 +12,24 @@
 //!   and `shutdown` requests; structured error responses with stable
 //!   codes (no serde is vendored, so [`json`] ships a small
 //!   self-contained JSON encode/decode module);
-//! * a **server core** ([`server`]): a bounded admission queue feeding a
-//!   fixed worker pool over [`qxmap_map::map_many`]-style batching, with
-//!   explicit `overloaded` rejection instead of unbounded queueing,
-//!   graceful shutdown that drains admitted work, and a `metrics`
-//!   surface exposing [`qxmap_map::SolveCacheStats`], queue depth and
-//!   request latency counters;
+//! * a **server core** ([`server`]): a bounded, earliest-deadline-first
+//!   admission queue feeding a fixed worker pool over
+//!   [`qxmap_map::map_many`]-style batching, with explicit `overloaded`
+//!   rejection instead of unbounded queueing, `deadline_expired`
+//!   shedding of jobs whose deadline ran out while they waited,
+//!   pipelined connections (many tagged requests in flight, responses
+//!   in completion order), graceful shutdown that drains admitted work,
+//!   and a `metrics` surface exposing [`qxmap_map::SolveCacheStats`],
+//!   queue depth, queue-wait/slack distributions and request latency
+//!   counters;
 //! * **cache persistence**: the daemon snapshots the process-wide
-//!   [`qxmap_map::SolveCache`] on shutdown and warm-starts from the
+//!   [`qxmap_map::SolveCache`] on shutdown, warm-starts from the
 //!   snapshot on boot (the entry keys are stable across processes —
-//!   canonical circuit skeletons × device-model fingerprints), so
-//!   restarts and replicas answer repeated requests in microseconds.
+//!   canonical circuit skeletons × device-model fingerprints), and can
+//!   additionally append every solve to a crash-safe
+//!   [`qxmap_map::Journal`] so even a `kill -9` loses only the unsynced
+//!   tail — restarts and replicas answer repeated requests in
+//!   microseconds.
 //!
 //! The `qxmap-serve` binary wires these together; see the repository
 //! `GUIDE.md` ("Running the server") for protocol examples.
@@ -52,4 +59,4 @@ pub mod server;
 
 pub use json::{Json, JsonError};
 pub use proto::{MapJob, Rejection, Request};
-pub use server::{load_snapshot, save_snapshot, Handled, Server, ServerConfig};
+pub use server::{load_snapshot, save_snapshot, Handled, Server, ServerConfig, WarmStart};

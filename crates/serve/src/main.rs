@@ -2,8 +2,8 @@
 //! line-delimited JSON protocol (see `qxmap_serve::proto`).
 //!
 //! ```text
-//! qxmap-serve [--listen ADDR] [--snapshot PATH]
-//!             [--workers N] [--queue-depth N] [--batch N]
+//! qxmap-serve [--listen ADDR] [--snapshot PATH] [--journal PATH]
+//!             [--workers N] [--queue-depth N] [--batch N] [--pipeline N]
 //! ```
 //!
 //! With `--listen` the daemon binds a TCP listener (use port 0 for an
@@ -14,7 +14,12 @@
 //! the file on boot (a missing file is a cold start; a corrupted or
 //! version-mismatched one is reported and skipped) and persists the
 //! cache back on graceful shutdown (a `shutdown` request, or stdin EOF
-//! in stdio mode).
+//! in stdio mode). With `--journal` it additionally replays the
+//! append-only cache journal on boot (torn or corrupt records are
+//! rejected individually) and appends every new solve to it in the
+//! background, so crash-killed processes lose only the unsynced tail.
+//! `--pipeline` caps how many mapping jobs one connection may have in
+//! flight at once.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -27,8 +32,8 @@ struct Args {
     config: ServerConfig,
 }
 
-const USAGE: &str = "usage: qxmap-serve [--listen ADDR] [--snapshot PATH] \
-                     [--workers N] [--queue-depth N] [--batch N]";
+const USAGE: &str = "usage: qxmap-serve [--listen ADDR] [--snapshot PATH] [--journal PATH] \
+                     [--workers N] [--queue-depth N] [--batch N] [--pipeline N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -44,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--listen" => args.listen = Some(value("--listen")?),
             "--snapshot" => args.config.snapshot = Some(PathBuf::from(value("--snapshot")?)),
+            "--journal" => args.config.journal = Some(PathBuf::from(value("--journal")?)),
             "--workers" => {
                 args.config.workers = parse_positive("--workers", &value("--workers")?)?;
             }
@@ -53,6 +59,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--batch" => {
                 args.config.batch_max = parse_positive("--batch", &value("--batch")?)?;
+            }
+            "--pipeline" => {
+                args.config.pipeline_depth = parse_positive("--pipeline", &value("--pipeline")?)?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
@@ -80,8 +89,28 @@ fn main() -> ExitCode {
 
     let server = Server::start(args.config);
     match server.warm_start() {
-        Ok(0) => {}
-        Ok(entries) => eprintln!("qxmap-serve: warm start with {entries} cached solves"),
+        Ok(warm) => {
+            if warm.snapshot_entries > 0 {
+                eprintln!(
+                    "qxmap-serve: warm start with {} cached solves",
+                    warm.snapshot_entries
+                );
+            }
+            if let Some(replay) = warm.journal {
+                eprintln!(
+                    "qxmap-serve: journal replay admitted {} entries \
+                     ({} rejected{}{})",
+                    replay.admitted,
+                    replay.rejected,
+                    if replay.torn {
+                        ", torn tail truncated"
+                    } else {
+                        ""
+                    },
+                    if replay.reset { ", file reset" } else { "" },
+                );
+            }
+        }
         Err(message) => eprintln!("qxmap-serve: starting cold: {message}"),
     }
 
@@ -109,7 +138,7 @@ fn main() -> ExitCode {
         Ok(Some(entries)) => eprintln!("qxmap-serve: snapshotted {entries} cached solves"),
         Ok(None) => {}
         Err(e) => {
-            eprintln!("qxmap-serve: snapshot write failed: {e}");
+            eprintln!("qxmap-serve: persisting warm state failed: {e}");
             return ExitCode::FAILURE;
         }
     }

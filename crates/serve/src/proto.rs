@@ -16,7 +16,12 @@
 //!   (default options) or `{"max_window_qubits": k, "sat_bridges": b}`
 //!   to answer through the window-decomposed engine
 //!   ([`qxmap_window::WindowedEngine`]), whose response carries a
-//!   `windows` array of per-window optimality certificates.
+//!   `windows` array of per-window optimality certificates. When the
+//!   field is *absent*, the server auto-selects: a best-effort request
+//!   on a device beyond the exact regime
+//!   ([`qxmap_core::MAX_EXACT_QUBITS`]) answers windowed with default
+//!   options, everything else monolithically; `"windowed": false`
+//!   explicitly vetoes the auto-selection.
 //! * `{"type": "metrics"}` — cache statistics, queue state, latency
 //!   counters.
 //! * `{"type": "shutdown"}` — graceful shutdown: queued work finishes,
@@ -37,7 +42,9 @@
 //! elapsed/runtime in microseconds, the mapped circuit as QASM);
 //! failures answer `{"type": "error", "code": ..., "message": ...}`
 //! with one stable code per [`MapperError`] variant plus the transport
-//! codes `parse`, `bad_request`, `overloaded` and `shutting_down`.
+//! codes `parse`, `bad_request`, `overloaded`, `deadline_expired` (the
+//! job's deadline ran out while it waited in the admission queue — it
+//! was shed, never dispatched) and `shutting_down`.
 //! QASM syntax and conversion rejections additionally carry a `"line"`
 //! field when the parser attributed the defect to a source line.
 //!
@@ -96,9 +103,24 @@ pub struct MapJob {
     /// The request options, applied identically to the cache probe and
     /// the materialized request.
     options: MapOptions,
-    /// When set, the job answers through the window-decomposed engine
-    /// with these options instead of the monolithic portfolio.
-    pub windowed: Option<WindowOptions>,
+    /// The request's window-decomposition choice; resolved against the
+    /// device and guarantee by [`MapJob::windowed_options`].
+    pub windowed: WindowedChoice,
+}
+
+/// How a map request chose (or declined to choose) the window-decomposed
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowedChoice {
+    /// No `windowed` field was sent: the server auto-selects — windowed
+    /// with default options for best-effort requests on devices beyond
+    /// the exact regime, monolithic otherwise.
+    Auto,
+    /// `"windowed": false` — an explicit veto; always monolithic, even
+    /// out of regime.
+    Off,
+    /// `"windowed": true` or an options object — always windowed.
+    On(WindowOptions),
 }
 
 /// The circuit payload after validation, before materialization.
@@ -135,11 +157,35 @@ impl MapJob {
         &self.skeleton
     }
 
+    /// Resolves the job's [`WindowedChoice`] against the device and
+    /// guarantee: `Some(options)` answers through the window-decomposed
+    /// engine, `None` through the monolithic portfolio. An explicit
+    /// choice always wins; [`WindowedChoice::Auto`] selects windowed
+    /// exactly when the device is beyond the exact regime
+    /// ([`MAX_EXACT_QUBITS`]) *and* the request does not demand
+    /// [`Guarantee::Optimal`] (the windowed engine cannot certify
+    /// whole-circuit optimality, so optimal requests keep the portfolio
+    /// and its honest `optimality_unavailable` answer).
+    pub fn windowed_options(&self) -> Option<WindowOptions> {
+        match self.windowed {
+            WindowedChoice::On(options) => Some(options),
+            WindowedChoice::Off => None,
+            WindowedChoice::Auto => {
+                let qubits = match &self.device {
+                    ParsedDevice::Named(cm) => cm.num_qubits(),
+                    ParsedDevice::Model(model) => model.num_qubits(),
+                };
+                let optimal = self.options.guarantee == Some(Guarantee::Optimal);
+                (qubits > MAX_EXACT_QUBITS && !optimal).then(WindowOptions::default)
+            }
+        }
+    }
+
     /// The solve-cache probe for the skeleton-first warm path, or `None`
-    /// for windowed jobs (the windowed engine caches per-window results
-    /// under its own keys, not whole-circuit ones).
+    /// for jobs that resolve windowed (the windowed engine caches
+    /// per-window results under its own keys, not whole-circuit ones).
     pub fn cache_probe(&self) -> Option<CacheProbe> {
-        if self.windowed.is_some() {
+        if self.windowed_options().is_some() {
             return None;
         }
         let mut probe = match &self.device {
@@ -387,7 +433,7 @@ fn parse_map(value: &Json, id: Option<Json>) -> Result<MapJob, Rejection> {
     }
     let windowed = match value.get("windowed") {
         Some(w) => parse_windowed(w).map_err(&bad)?,
-        None => None,
+        None => WindowedChoice::Auto,
     };
     Ok(MapJob {
         id,
@@ -444,10 +490,17 @@ fn parse_payload(value: &Json, id: &Option<Json>) -> Result<(Ingest, CircuitSkel
     }
 }
 
-/// `true`, `false`, or `{"max_window_qubits": k, "sat_bridges": b}`.
-fn parse_windowed(value: &Json) -> Result<Option<WindowOptions>, String> {
+/// `true`, `false`, or `{"max_window_qubits": k, "sat_bridges": b}` —
+/// an *absent* field never reaches here (it parses to
+/// [`WindowedChoice::Auto`]), so `false` is a recorded veto, not a
+/// default.
+fn parse_windowed(value: &Json) -> Result<WindowedChoice, String> {
     if let Some(on) = value.as_bool() {
-        return Ok(on.then(WindowOptions::default));
+        return Ok(if on {
+            WindowedChoice::On(WindowOptions::default())
+        } else {
+            WindowedChoice::Off
+        });
     }
     let Some(pairs) = value.as_object() else {
         return Err("\"windowed\" must be a boolean or an options object".to_string());
@@ -469,7 +522,7 @@ fn parse_windowed(value: &Json) -> Result<Option<WindowOptions>, String> {
     if let Some(b) = value.get("sat_bridges") {
         options.sat_bridges = b.as_bool().ok_or("\"sat_bridges\" must be a boolean")?;
     }
-    Ok(Some(options))
+    Ok(WindowedChoice::On(options))
 }
 
 #[derive(Debug)]
@@ -831,7 +884,9 @@ cx q[1], q[2];
         assert_eq!(request.device().num_qubits(), 5);
         assert_eq!(request.guarantee(), Guarantee::BestEffort);
         assert!(job.id.is_none());
-        assert!(job.windowed.is_none());
+        assert_eq!(job.windowed, WindowedChoice::Auto);
+        // qx4 is inside the exact regime, so auto resolves monolithic.
+        assert!(job.windowed_options().is_none());
     }
 
     #[test]
@@ -933,18 +988,20 @@ cx q[1], q[2];
         let Request::Map(job) = parse_request(&map_line(",\"windowed\":true")).unwrap() else {
             panic!("not a map request");
         };
-        assert_eq!(job.windowed, Some(WindowOptions::default()));
+        assert_eq!(job.windowed, WindowedChoice::On(WindowOptions::default()));
+        assert_eq!(job.windowed_options(), Some(WindowOptions::default()));
         let Request::Map(job) = parse_request(&map_line(",\"windowed\":false")).unwrap() else {
             panic!("not a map request");
         };
-        assert!(job.windowed.is_none());
+        assert_eq!(job.windowed, WindowedChoice::Off);
+        assert!(job.windowed_options().is_none());
         let line = map_line(",\"windowed\":{\"max_window_qubits\":4,\"sat_bridges\":true}");
         let Request::Map(job) = parse_request(&line).unwrap() else {
             panic!("not a map request");
         };
         assert_eq!(
             job.windowed,
-            Some(WindowOptions {
+            WindowedChoice::On(WindowOptions {
                 max_window_qubits: 4,
                 sat_bridges: true,
             })
@@ -965,6 +1022,37 @@ cx q[1], q[2];
             assert_eq!(e.code, "bad_request", "{extra}");
             assert!(e.message.contains(needle), "{extra} -> {}", e.message);
         }
+    }
+
+    #[test]
+    fn auto_windowing_selects_out_of_regime_best_effort_requests() {
+        let line = |extra: &str| {
+            format!(
+                "{{\"type\":\"map\",\"qasm\":{},\"device\":\"linear-12\"{extra}}}",
+                Json::str(QASM)
+            )
+        };
+        // Out of regime, best-effort, no explicit knob: auto-windowed —
+        // and therefore no whole-circuit probe.
+        let Request::Map(job) = parse_request(&line("")).unwrap() else {
+            panic!("not a map request");
+        };
+        assert_eq!(job.windowed, WindowedChoice::Auto);
+        assert_eq!(job.windowed_options(), Some(WindowOptions::default()));
+        assert!(job.cache_probe().is_none());
+        // A demanded optimality certificate keeps the portfolio (the
+        // windowed engine cannot certify whole-circuit optimality).
+        let Request::Map(job) = parse_request(&line(",\"guarantee\":\"optimal\"")).unwrap() else {
+            panic!("not a map request");
+        };
+        assert!(job.windowed_options().is_none());
+        assert!(job.cache_probe().is_some());
+        // The explicit veto wins over the regime heuristic.
+        let Request::Map(job) = parse_request(&line(",\"windowed\":false")).unwrap() else {
+            panic!("not a map request");
+        };
+        assert!(job.windowed_options().is_none());
+        assert!(job.cache_probe().is_some());
     }
 
     #[test]

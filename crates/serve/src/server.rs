@@ -1,17 +1,33 @@
-//! The server core: a bounded admission queue feeding a fixed worker
-//! pool, with explicit overload rejection, graceful shutdown, metrics,
-//! and solve-cache snapshot persistence.
+//! The server core: a deadline-aware admission queue feeding a fixed
+//! worker pool, pipelined connections, explicit overload and deadline
+//! shedding, graceful shutdown, metrics, and crash-safe solve-cache
+//! persistence (snapshot plus append-only journal).
 //!
 //! ## Request lifecycle
 //!
-//! A connection thread parses one line into a [`crate::proto::Request`]
-//! and — for mapping jobs — *submits* it to the admission queue. The
-//! queue is bounded: when `queue_depth` jobs are already waiting, the
-//! submission is rejected immediately with a structured `overloaded`
-//! error instead of blocking the client behind an unbounded backlog
-//! (load-shedding at admission keeps tail latency bounded: a client that
-//! gets rejected in microseconds can retry against a replica; a client
-//! stuck in an unbounded queue can only wait).
+//! A connection thread parses each line into a [`crate::proto::Request`]
+//! and — for mapping jobs — *submits* it to the admission queue without
+//! waiting for the answer: connections are **pipelined**. Up to
+//! [`ServerConfig::pipeline_depth`] mapping jobs per connection may be
+//! in flight at once (matched to their requests by `id`), and responses
+//! are written by a dedicated per-connection writer thread in
+//! *completion* order, not submission order — a microsecond warm hit
+//! queued behind an expensive cold solve no longer waits for it. When
+//! the in-flight cap is reached the reader stops consuming input, which
+//! backpressures the client through TCP instead of buffering
+//! unboundedly. Stdio mode stays strictly request/response.
+//!
+//! The admission queue is bounded and **earliest-deadline-first**: jobs
+//! carrying a `deadline_ms` dispatch in deadline order, deadline-less
+//! jobs rank last, and ties (including all deadline-less jobs among
+//! themselves) break FIFO by admission sequence. When `queue_depth`
+//! jobs are already waiting, a submission is rejected immediately with
+//! a structured `overloaded` error instead of blocking the client
+//! behind an unbounded backlog. A job whose deadline has already
+//! expired when a worker dequeues it is *shed* with a structured
+//! `deadline_expired` rejection — it never reaches a solver, so a
+//! loaded queue spends its workers only on jobs that can still answer
+//! in time.
 //!
 //! Admitted jobs are drained by a fixed pool of worker threads, each
 //! pulling up to `batch_max` jobs at a time and solving them through one
@@ -34,8 +50,18 @@
 //! and renamed into place, so a crash mid-write never corrupts the
 //! previous good snapshot; corrupted or version-mismatched snapshots
 //! are rejected at boot and the daemon starts cold.
+//!
+//! Snapshots only cover *graceful* exits. With a journal configured
+//! ([`ServerConfig::journal`]), every solve admitted to the
+//! process-wide cache is also appended to a crash-safe
+//! [`qxmap_map::Journal`] by a background thread off the response path:
+//! a `kill -9` loses at most the unsynced tail of the file, and the
+//! next boot replays it record by record — rejecting torn or corrupt
+//! records individually, keeping everything intact — on top of whatever
+//! the snapshot recovered. A replica may warm-share by tail-following
+//! the same file with [`qxmap_map::replay_records`].
 
-use std::collections::VecDeque;
+use std::collections::BinaryHeap;
 use std::io::{self, BufRead, BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -44,7 +70,9 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use qxmap_map::{Engine as _, MapReport, MapRequest, MapperError, SolveCache};
+use qxmap_map::{
+    Engine as _, Journal, JournalReplay, MapReport, MapRequest, MapperError, SolveCache,
+};
 use qxmap_window::{WindowOptions, WindowedEngine};
 
 use crate::json::Json;
@@ -62,9 +90,19 @@ pub struct ServerConfig {
     /// Most jobs one worker drains into a single [`qxmap_map::map_many`]
     /// batch. Defaults to 8.
     pub batch_max: usize,
+    /// Most mapping jobs one pipelined connection may have in flight at
+    /// once; at the cap the connection's reader stops consuming input
+    /// (TCP backpressure). Defaults to 32.
+    pub pipeline_depth: usize,
     /// Snapshot file for warm starts: imported by
     /// [`Server::warm_start`], written by [`Server::finish`].
     pub snapshot: Option<PathBuf>,
+    /// Append-only cache journal for crash-safe warm state: replayed and
+    /// attached by [`Server::warm_start`], drained by [`Server::finish`].
+    pub journal: Option<PathBuf>,
+    /// Journal records appended between snapshot compactions of the
+    /// journal file. Defaults to 1024.
+    pub journal_compact_after: usize,
 }
 
 impl Default for ServerConfig {
@@ -75,7 +113,10 @@ impl Default for ServerConfig {
                 .unwrap_or(2),
             queue_depth: 64,
             batch_max: 8,
+            pipeline_depth: 32,
             snapshot: None,
+            journal: None,
+            journal_compact_after: 1024,
         }
     }
 }
@@ -101,20 +142,86 @@ impl Handled {
     }
 }
 
-/// One admitted mapping job: the request plus the channel its result
-/// travels back on.
+/// What [`Server::warm_start`] recovered before serving.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WarmStart {
+    /// Entries admitted from the snapshot file.
+    pub snapshot_entries: usize,
+    /// Journal replay summary, when a journal is configured.
+    pub journal: Option<JournalReplay>,
+}
+
+/// How an admitted job left the queue: solved (or failed) by a worker,
+/// or shed because its deadline had already expired at dequeue.
+enum JobOutcome {
+    /// A worker dispatched the job and this is its result (boxed to
+    /// keep the enum small next to `Shed`).
+    Done(Box<Result<MapReport, MapperError>>),
+    /// The job's deadline expired while it waited; it was shed without
+    /// ever reaching a solver, after `waited` in the queue.
+    Shed { waited: Duration },
+}
+
+/// An admitted job's continuation: invoked exactly once, on the worker
+/// thread that dequeued it (pipelined connections render and forward
+/// the response to their writer thread; the synchronous path relays the
+/// outcome over a channel to the blocked caller).
+type Complete = Box<dyn FnOnce(JobOutcome) + Send>;
+
+/// One admitted mapping job, ranked earliest-deadline-first in the
+/// admission heap.
 struct QueuedJob {
     request: MapRequest,
     /// When set, the job answers through the window-decomposed engine
     /// with these options instead of the batch solver.
     windowed: Option<WindowOptions>,
-    respond: mpsc::Sender<Result<MapReport, MapperError>>,
+    /// Absolute point the client's `deadline_ms` runs out; `None` ranks
+    /// after every deadlined job.
+    deadline: Option<Instant>,
+    /// When the job entered the queue (feeds the queue-wait counters
+    /// and the shed rejection's message).
+    enqueued: Instant,
+    /// Admission sequence number: the FIFO tiebreak among equal
+    /// deadlines, and what keeps deadline-less traffic in order.
+    seq: u64,
+    complete: Complete,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &QueuedJob) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &QueuedJob) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &QueuedJob) -> std::cmp::Ordering {
+        // BinaryHeap pops its *greatest* element, so "greater" must mean
+        // "dispatch sooner": an earlier deadline outranks a later one,
+        // any deadline outranks none, and a lower admission sequence
+        // wins ties (FIFO among equals).
+        let by_deadline = match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => b.cmp(&a),
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (None, None) => std::cmp::Ordering::Equal,
+        };
+        by_deadline.then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 struct QueueState {
-    jobs: VecDeque<QueuedJob>,
+    jobs: BinaryHeap<QueuedJob>,
     in_flight: usize,
     shutdown: bool,
+    next_seq: u64,
 }
 
 /// Cumulative request counters (see the `metrics` response).
@@ -124,6 +231,10 @@ struct Counters {
     completed: AtomicU64,
     errors: AtomicU64,
     rejected_overload: AtomicU64,
+    /// Jobs shed at dequeue because their deadline had already expired
+    /// while they waited — answered with `deadline_expired`, never
+    /// dispatched to a solver.
+    rejected_deadline: AtomicU64,
     served_from_cache: AtomicU64,
     /// Mapping jobs that carried a `deadline_ms` and whose end-to-end
     /// latency (admission wait + solve) exceeded it — the serving tier's
@@ -132,6 +243,10 @@ struct Counters {
     deadline_misses: AtomicU64,
     total_latency_us: AtomicU64,
     max_latency_us: AtomicU64,
+    /// Time dispatched jobs spent waiting for a worker (shed jobs are
+    /// excluded; their wait is reported in the rejection itself).
+    queue_wait_total_us: AtomicU64,
+    queue_wait_max_us: AtomicU64,
 }
 
 /// Number of power-of-two latency buckets: bucket `i` counts requests
@@ -226,15 +341,44 @@ impl LatencyHistogram {
 
 /// The batch solver workers run admitted jobs through — injectable so
 /// tests can pin down timing-sensitive behavior (overload, shutdown
-/// draining) with a deterministic solver. Production uses
-/// [`qxmap_map::map_many`].
+/// draining, dispatch order) with a deterministic solver. Production
+/// uses [`qxmap_map::map_many`].
 type BatchSolver = Box<dyn Fn(&[MapRequest]) -> Vec<Result<MapReport, MapperError>> + Send + Sync>;
 
+/// A mapping job after parsing and cache probing: either the response
+/// is already in hand, or the job is ready for the admission queue.
+enum Prepared {
+    /// The response line is ready now (warm probe hit or a structured
+    /// rejection) — nothing entered the queue.
+    Immediate(String),
+    /// The job must go through [`Server::submit`]. The request is
+    /// boxed to keep the enum small next to `Immediate`.
+    Job {
+        request: Box<MapRequest>,
+        windowed: Option<WindowOptions>,
+        id: Option<Json>,
+        start: Instant,
+        deadline: Option<Duration>,
+    },
+}
+
+/// One batch of responses on its way out of a pipelined connection:
+/// newline-terminated text (one or more whole lines — the reader corks
+/// bursts of immediate answers into a single batch), how many lines it
+/// holds (for the busy-lines gauge), and whether the daemon begins
+/// winding down once it has been flushed (the batch ending in the
+/// `shutdown` acknowledgement).
+struct Outgoing {
+    text: String,
+    lines: usize,
+    then_shutdown: bool,
+}
+
 /// The mapping daemon: admission queue, worker pool, metrics, snapshot
-/// persistence. Construct with [`Server::start`], feed it request lines
-/// with [`Server::handle_line`] (or let [`Server::serve_tcp`] /
-/// [`Server::serve_stdio`] do it), and call [`Server::finish`] to drain
-/// and persist on the way out.
+/// and journal persistence. Construct with [`Server::start`], feed it
+/// request lines with [`Server::handle_line`] (or let
+/// [`Server::serve_tcp`] / [`Server::serve_stdio`] do it), and call
+/// [`Server::finish`] to drain and persist on the way out.
 pub struct Server {
     config: ServerConfig,
     solver: BatchSolver,
@@ -243,9 +387,12 @@ pub struct Server {
     counters: Counters,
     latency: LatencyHistogram,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    /// Connection threads currently between reading a request line and
-    /// flushing its response — what [`Server::finish`] waits out so an
-    /// answered job's response is not lost to process exit.
+    /// The attached cache journal, when configured and booted via
+    /// [`Server::warm_start`]; drained and joined by [`Server::finish`].
+    journal: Mutex<Option<Journal>>,
+    /// Responses accepted for delivery but not yet flushed to their
+    /// sockets — what [`Server::finish`] waits out so an answered job's
+    /// response is not lost to process exit.
     busy_lines: AtomicU64,
 }
 
@@ -262,13 +409,15 @@ impl Server {
         let server = Arc::new(Server {
             workers: Mutex::new(Vec::new()),
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                jobs: BinaryHeap::new(),
                 in_flight: 0,
                 shutdown: false,
+                next_seq: 0,
             }),
             available: Condvar::new(),
             counters: Counters::default(),
             latency: LatencyHistogram::default(),
+            journal: Mutex::new(None),
             busy_lines: AtomicU64::new(0),
             solver,
             config,
@@ -282,12 +431,13 @@ impl Server {
         server
     }
 
-    /// One worker: drain up to `batch_max` jobs, solve them as one
-    /// batch, deliver each result, repeat. Exits once shutdown has begun
-    /// *and* the queue is empty — every admitted job is answered.
+    /// One worker: pop up to `batch_max` jobs in deadline order —
+    /// shedding any whose deadline already expired — solve the rest as
+    /// one batch, deliver each outcome, repeat. Exits once shutdown has
+    /// begun *and* the queue is empty — every admitted job is answered.
     fn worker_loop(&self) {
         loop {
-            let batch: Vec<QueuedJob> = {
+            let (batch, shed) = {
                 let mut q = self.queue.lock().expect("no panics under the lock");
                 loop {
                     if !q.jobs.is_empty() {
@@ -298,11 +448,41 @@ impl Server {
                     }
                     q = self.available.wait(q).expect("no panics under the lock");
                 }
-                let n = q.jobs.len().min(self.config.batch_max.max(1));
-                let batch: Vec<QueuedJob> = q.jobs.drain(..n).collect();
+                let now = Instant::now();
+                let mut batch: Vec<QueuedJob> = Vec::new();
+                let mut shed: Vec<QueuedJob> = Vec::new();
+                while batch.len() < self.config.batch_max.max(1) {
+                    let Some(job) = q.jobs.pop() else { break };
+                    if job.deadline.is_some_and(|d| now > d) {
+                        shed.push(job);
+                    } else {
+                        batch.push(job);
+                    }
+                }
                 q.in_flight += batch.len();
-                batch
+                (batch, shed)
             };
+            // Shed callbacks run outside the lock: they render and
+            // deliver the `deadline_expired` rejection.
+            for job in shed {
+                self.counters
+                    .rejected_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                let waited = job.enqueued.elapsed();
+                (job.complete)(JobOutcome::Shed { waited });
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            for job in &batch {
+                let waited = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.counters
+                    .queue_wait_total_us
+                    .fetch_add(waited, Ordering::Relaxed);
+                self.counters
+                    .queue_wait_max_us
+                    .fetch_max(waited, Ordering::Relaxed);
+            }
             // Windowed jobs run through the windowed engine one by one —
             // it does its own window-level cache probing and parallel
             // solving, so batch deduplication adds nothing there. Plain
@@ -331,11 +511,9 @@ impl Server {
             }
             let n = batch.len();
             for (job, result) in batch.into_iter().zip(results) {
-                // A disconnected receiver just means the client went
-                // away; the work still warmed the cache.
-                let _ = job
-                    .respond
-                    .send(result.expect("every admitted job was solved"));
+                (job.complete)(JobOutcome::Done(Box::new(
+                    result.expect("every dispatched job was solved"),
+                )));
             }
             self.queue
                 .lock()
@@ -345,13 +523,17 @@ impl Server {
     }
 
     /// Admits a job or rejects it without blocking. The rejection is the
-    /// protocol's `overloaded` / `shutting_down` error.
+    /// protocol's `overloaded` / `shutting_down` error. On admission,
+    /// `complete` is invoked exactly once — on a worker thread — with
+    /// the job's outcome.
     fn submit(
         &self,
         request: MapRequest,
         windowed: Option<WindowOptions>,
+        deadline: Option<Instant>,
         id: Option<Json>,
-    ) -> Result<mpsc::Receiver<Result<MapReport, MapperError>>, Rejection> {
+        complete: Complete,
+    ) -> Result<(), Rejection> {
         let mut q = self.queue.lock().expect("no panics under the lock");
         if q.shutdown {
             return Err(Rejection {
@@ -375,22 +557,124 @@ impl Server {
                 line: None,
             });
         }
-        let (respond, receive) = mpsc::channel();
-        q.jobs.push_back(QueuedJob {
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.jobs.push(QueuedJob {
             request,
             windowed,
-            respond,
+            deadline,
+            enqueued: Instant::now(),
+            seq,
+            complete,
         });
         drop(q);
         self.available.notify_one();
-        Ok(receive)
+        Ok(())
+    }
+
+    /// Counts, probes and materializes one parsed mapping job: a warm
+    /// probe hit or a malformed payload answers immediately; everything
+    /// else comes back ready for [`Server::submit`].
+    fn prepare_map(&self, job: proto::MapJob) -> Prepared {
+        self.counters.received.fetch_add(1, Ordering::Relaxed);
+        let deadline = job.deadline();
+        let start = Instant::now();
+        // Skeleton-first warm path: the parser already computed the
+        // payload's canonical skeleton, so probe the solve cache before
+        // materializing a circuit or touching the admission queue. A
+        // miss falls through to exactly the path a probe-less request
+        // would take (and the solve's own cache lookup re-checks the
+        // same key).
+        if let Some(report) = job.cache_probe().and_then(|p| qxmap_map::probe_one(&p)) {
+            self.observe_latency(start, deadline);
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .served_from_cache
+                .fetch_add(1, Ordering::Relaxed);
+            return Prepared::Immediate(proto::result_response(job.id, &report).to_string());
+        }
+        let windowed = job.windowed_options();
+        let request = match job.materialize() {
+            Ok(request) => request,
+            Err(rejection) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return Prepared::Immediate(proto::rejection_response(&rejection).to_string());
+            }
+        };
+        Prepared::Job {
+            request: Box::new(request),
+            windowed,
+            id: job.id,
+            start,
+            deadline,
+        }
+    }
+
+    /// Renders an admitted job's outcome as its response line, feeding
+    /// the latency and outcome counters. Shed jobs never enter the
+    /// latency histogram — they did no work and would only flatter the
+    /// percentiles.
+    fn render_map_outcome(
+        &self,
+        id: Option<Json>,
+        start: Instant,
+        deadline: Option<Duration>,
+        outcome: JobOutcome,
+    ) -> String {
+        match outcome {
+            JobOutcome::Done(result) => {
+                self.observe_latency(start, deadline);
+                match *result {
+                    Ok(report) => {
+                        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        if report.served_from_cache {
+                            self.counters
+                                .served_from_cache
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        proto::result_response(id, &report).to_string()
+                    }
+                    Err(error) => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        proto::error_response(id, &error).to_string()
+                    }
+                }
+            }
+            JobOutcome::Shed { waited } => {
+                let rejection = Rejection {
+                    code: "deadline_expired",
+                    message: format!(
+                        "deadline expired after {} ms in the admission queue; \
+                         the job was shed before dispatch",
+                        waited.as_millis()
+                    ),
+                    id,
+                    line: None,
+                };
+                proto::rejection_response(&rejection).to_string()
+            }
+        }
+    }
+
+    /// The `shutdown` acknowledgement line.
+    fn shutdown_ack(id: Option<Json>) -> String {
+        Json::Obj(
+            [
+                ("type".to_string(), Json::str("ok")),
+                ("message".to_string(), Json::str("shutting down")),
+            ]
+            .into_iter()
+            .chain(id.map(|id| ("id".to_string(), id)))
+            .collect(),
+        )
+        .to_string()
     }
 
     /// Handles one request line end to end (parse, admit, wait, render),
     /// returning the response line to write back. Mapping jobs block the
-    /// calling connection thread until their result is ready — the
-    /// protocol is strictly request/response per connection; concurrency
-    /// comes from concurrent connections.
+    /// calling thread until their outcome is ready — this is the
+    /// strictly request/response path used by stdio mode and tests; TCP
+    /// connections go through the pipelined path instead.
     pub fn handle_line(&self, line: &str) -> Handled {
         let request = match proto::parse_request(line) {
             Ok(request) => request,
@@ -401,69 +685,32 @@ impl Server {
         };
         match request {
             Request::Metrics { id } => Handled::Reply(self.metrics_json(id).to_string()),
-            Request::Shutdown { id } => {
-                let ack = Json::Obj(
-                    [
-                        ("type".to_string(), Json::str("ok")),
-                        ("message".to_string(), Json::str("shutting down")),
-                    ]
-                    .into_iter()
-                    .chain(id.map(|id| ("id".to_string(), id)))
-                    .collect(),
-                );
-                Handled::ReplyAndShutdown(ack.to_string())
-            }
-            Request::Map(job) => {
-                self.counters.received.fetch_add(1, Ordering::Relaxed);
-                let deadline = job.deadline();
-                let start = Instant::now();
-                // Skeleton-first warm path: the parser already computed
-                // the payload's canonical skeleton, so probe the solve
-                // cache before materializing a circuit or touching the
-                // admission queue. A miss falls through to exactly the
-                // path a probe-less request would take (and the solve's
-                // own cache lookup re-checks the same key).
-                if let Some(report) = job.cache_probe().and_then(|p| qxmap_map::probe_one(&p)) {
-                    self.observe_latency(start, deadline);
-                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    self.counters
-                        .served_from_cache
-                        .fetch_add(1, Ordering::Relaxed);
-                    return Handled::Reply(proto::result_response(job.id, &report).to_string());
-                }
-                let request = match job.materialize() {
-                    Ok(request) => request,
-                    Err(rejection) => {
-                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                        return Handled::Reply(proto::rejection_response(&rejection).to_string());
-                    }
-                };
-                let receive = match self.submit(request, job.windowed, job.id.clone()) {
-                    Ok(receive) => receive,
-                    Err(rejection) => {
-                        return Handled::Reply(proto::rejection_response(&rejection).to_string())
-                    }
-                };
-                let result = receive
-                    .recv()
-                    .expect("workers answer every admitted job before exiting");
-                self.observe_latency(start, deadline);
-                Handled::Reply(match result {
-                    Ok(report) => {
-                        self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                        if report.served_from_cache {
-                            self.counters
-                                .served_from_cache
-                                .fetch_add(1, Ordering::Relaxed);
+            Request::Shutdown { id } => Handled::ReplyAndShutdown(Server::shutdown_ack(id)),
+            Request::Map(job) => Handled::Reply(match self.prepare_map(*job) {
+                Prepared::Immediate(response) => response,
+                Prepared::Job {
+                    request,
+                    windowed,
+                    id,
+                    start,
+                    deadline,
+                } => {
+                    let absolute = deadline.map(|d| start + d);
+                    let (outcome_tx, outcome_rx) = mpsc::channel();
+                    let complete: Complete = Box::new(move |outcome| {
+                        let _ = outcome_tx.send(outcome);
+                    });
+                    match self.submit(*request, windowed, absolute, id.clone(), complete) {
+                        Err(rejection) => proto::rejection_response(&rejection).to_string(),
+                        Ok(()) => {
+                            let outcome = outcome_rx
+                                .recv()
+                                .expect("workers answer every admitted job before exiting");
+                            self.render_map_outcome(id, start, deadline, outcome)
                         }
-                        proto::result_response(job.id, &report).to_string()
                     }
-                    Err(error) => {
-                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                        proto::error_response(job.id, &error).to_string()
-                    }
-                })
-            }
+                }
+            }),
         }
     }
 
@@ -487,13 +734,28 @@ impl Server {
         }
     }
 
-    /// The `metrics` response: solve-cache statistics, queue state, and
-    /// request/latency counters.
+    /// The `metrics` response: solve-cache statistics, queue state
+    /// (including the waiting jobs' remaining-deadline distribution),
+    /// and request/latency counters.
     pub fn metrics_json(&self, id: Option<Json>) -> Json {
         let cache = SolveCache::shared().stats();
-        let (depth, in_flight) = {
+        let (depth, in_flight, deadlined, slack_min_ms, slack_p50_ms) = {
             let q = self.queue.lock().expect("no panics under the lock");
-            (q.jobs.len(), q.in_flight)
+            let now = Instant::now();
+            // Remaining slack of every *deadlined* waiter, saturating at
+            // zero for already-expired jobs still awaiting shedding.
+            let mut slacks: Vec<u64> = q
+                .jobs
+                .iter()
+                .filter_map(|job| job.deadline)
+                .map(|d| {
+                    u64::try_from(d.saturating_duration_since(now).as_millis()).unwrap_or(u64::MAX)
+                })
+                .collect();
+            slacks.sort_unstable();
+            let min = slacks.first().copied().unwrap_or(0);
+            let p50 = slacks.get(slacks.len() / 2).copied().unwrap_or(0);
+            (q.jobs.len(), q.in_flight, slacks.len(), min, p50)
         };
         let c = &self.counters;
         let get = |a: &AtomicU64| Json::num(a.load(Ordering::Relaxed));
@@ -523,6 +785,11 @@ impl Server {
                     ("capacity", Json::num(self.config.queue_depth as u64)),
                     ("in_flight", Json::num(in_flight as u64)),
                     ("workers", Json::num(self.config.workers.max(1) as u64)),
+                    ("deadlined", Json::num(deadlined as u64)),
+                    ("slack_min_ms", Json::num(slack_min_ms)),
+                    ("slack_p50_ms", Json::num(slack_p50_ms)),
+                    ("wait_total_us", get(&c.queue_wait_total_us)),
+                    ("wait_max_us", get(&c.queue_wait_max_us)),
                 ]),
             ),
             (
@@ -532,6 +799,7 @@ impl Server {
                     ("completed", get(&c.completed)),
                     ("errors", get(&c.errors)),
                     ("rejected_overload", get(&c.rejected_overload)),
+                    ("rejected_deadline", get(&c.rejected_deadline)),
                     ("served_from_cache", get(&c.served_from_cache)),
                     ("deadline_misses", get(&c.deadline_misses)),
                     ("total_latency_us", get(&c.total_latency_us)),
@@ -562,14 +830,15 @@ impl Server {
     }
 
     /// Drains the pool (joining every worker — every admitted job is
-    /// answered first) and snapshots the solve cache to the configured
-    /// path. Returns the number of entries persisted, `None` when no
-    /// snapshot path is configured.
+    /// answered first), drains and detaches the cache journal, and
+    /// snapshots the solve cache to the configured path. Returns the
+    /// number of entries persisted, `None` when no snapshot path is
+    /// configured.
     ///
     /// # Errors
     ///
-    /// Propagates snapshot-write I/O errors; the drain itself cannot
-    /// fail.
+    /// Propagates journal- and snapshot-write I/O errors; the drain
+    /// itself cannot fail.
     pub fn finish(&self) -> io::Result<Option<usize>> {
         self.begin_shutdown();
         let workers = std::mem::take(&mut *self.workers.lock().expect("no panics under the lock"));
@@ -585,32 +854,56 @@ impl Server {
         while self.busy_lines.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
+        let journal = self
+            .journal
+            .lock()
+            .expect("no panics under the lock")
+            .take();
+        if let Some(journal) = journal {
+            journal.finish()?;
+        }
         match &self.config.snapshot {
             None => Ok(None),
             Some(path) => save_snapshot(path).map(Some),
         }
     }
 
-    /// Imports the configured snapshot into the process-wide
-    /// [`SolveCache`], returning how many entries were admitted. A
-    /// missing file is a cold start (`Ok(0)`); a rejected snapshot
-    /// (corrupted, truncated, version-mismatched) is reported as the
-    /// error string and the cache is left untouched — the daemon should
-    /// log it and start cold rather than refuse to boot.
+    /// Recovers warm state into the process-wide [`SolveCache`]: the
+    /// configured snapshot first, then the configured journal — which
+    /// is replayed record by record (torn or corrupt records rejected
+    /// individually) and left attached, so every solve from here on is
+    /// journaled by a background thread until [`Server::finish`]. A
+    /// missing file is a cold start; a rejected snapshot (corrupted,
+    /// truncated, version-mismatched) is reported as the error string
+    /// and the cache is left untouched — the daemon should log it and
+    /// start cold rather than refuse to boot.
     ///
     /// # Errors
     ///
-    /// Returns a description of why the snapshot was rejected.
-    pub fn warm_start(&self) -> Result<usize, String> {
-        let Some(path) = &self.config.snapshot else {
-            return Ok(0);
-        };
-        load_snapshot(path)
+    /// Returns a description of why the snapshot was rejected or the
+    /// journal could not be attached.
+    pub fn warm_start(&self) -> Result<WarmStart, String> {
+        let mut warm = WarmStart::default();
+        if let Some(path) = &self.config.snapshot {
+            warm.snapshot_entries = load_snapshot(path)?;
+        }
+        if let Some(path) = &self.config.journal {
+            let (journal, replay) = Journal::attach(
+                SolveCache::shared(),
+                path,
+                self.config.journal_compact_after,
+            )
+            .map_err(|e| format!("attaching journal {}: {e}", path.display()))?;
+            *self.journal.lock().expect("no panics under the lock") = Some(journal);
+            warm.journal = Some(replay);
+        }
+        Ok(warm)
     }
 
     /// Accept loop: serves connections until shutdown begins, then
     /// returns (call [`Server::finish`] after). Each connection gets a
-    /// thread handling one request line at a time, in order.
+    /// reader thread and a writer thread, pipelining up to
+    /// [`ServerConfig::pipeline_depth`] mapping jobs.
     ///
     /// # Errors
     ///
@@ -649,38 +942,220 @@ impl Server {
         }
     }
 
-    fn serve_connection(&self, stream: TcpStream) {
+    /// Hands a response line to a connection's writer thread, keeping
+    /// the busy-lines gauge exact: the sender accounts for the line and
+    /// the writer releases it after flushing (or discarding, once the
+    /// socket is dead).
+    fn send_out(&self, out: &mpsc::Sender<Outgoing>, mut line: String, then_shutdown: bool) {
+        line.push('\n');
+        self.send_out_batch(out, line, 1, then_shutdown);
+    }
+
+    /// [`Server::send_out`] for a corked batch: `text` is one or more
+    /// whole newline-terminated response lines, accounted as `lines` in
+    /// the busy-lines gauge.
+    fn send_out_batch(
+        &self,
+        out: &mpsc::Sender<Outgoing>,
+        text: String,
+        lines: usize,
+        then_shutdown: bool,
+    ) {
+        self.busy_lines.fetch_add(lines as u64, Ordering::AcqRel);
+        if out
+            .send(Outgoing {
+                text,
+                lines,
+                then_shutdown,
+            })
+            .is_err()
+        {
+            self.busy_lines.fetch_sub(lines as u64, Ordering::AcqRel);
+        }
+    }
+
+    /// One pipelined connection. The reader (this call) parses lines,
+    /// answers what it can immediately, and submits mapping jobs whose
+    /// completions — possibly out of submission order — flow through a
+    /// dedicated writer thread that owns the socket's write half. At
+    /// `pipeline_depth` jobs in flight the reader stops consuming input
+    /// until a completion frees a slot.
+    fn serve_connection(self: &Arc<Server>, stream: TcpStream) {
         let mut writer = match stream.try_clone() {
             Ok(w) => w,
             Err(_) => return,
         };
-        let reader = BufReader::new(stream);
-        for line in reader.lines() {
-            let Ok(line) = line else { return };
-            if line.trim().is_empty() {
-                continue;
+        let (out_tx, out_rx) = mpsc::channel::<Outgoing>();
+        let writer_thread = {
+            let server = Arc::clone(self);
+            std::thread::spawn(move || {
+                let mut dead = false;
+                while let Ok(first) = out_rx.recv() {
+                    // Coalesce the backlog into one write + flush: under
+                    // pipelining completions arrive in bursts, and one
+                    // syscall round per burst (instead of per response)
+                    // is most of the throughput win on a busy box.
+                    let mut batch = vec![first];
+                    while let Ok(more) = out_rx.try_recv() {
+                        batch.push(more);
+                    }
+                    if !dead {
+                        let mut buf = String::new();
+                        for out in &batch {
+                            buf.push_str(&out.text);
+                        }
+                        dead =
+                            !(writer.write_all(buf.as_bytes()).is_ok() && writer.flush().is_ok());
+                    }
+                    for out in &batch {
+                        server
+                            .busy_lines
+                            .fetch_sub(out.lines as u64, Ordering::AcqRel);
+                        if out.then_shutdown {
+                            // An undeliverable ack (client already hung
+                            // up) must not cancel an accepted shutdown.
+                            server.begin_shutdown();
+                        }
+                    }
+                }
+            })
+        };
+        let in_flight = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let cap = self.config.pipeline_depth.max(1);
+        // A large read buffer feeds the cork below: everything the
+        // kernel has for this connection arrives in one syscall, and
+        // the burst of immediate answers it produces leaves as one
+        // batch.
+        let mut reader = BufReader::with_capacity(64 * 1024, stream);
+        // Corked immediate responses: while more complete request lines
+        // sit in the read buffer, answers accumulate here and the
+        // writer thread is woken once per burst, not once per line. A
+        // lone request still flushes immediately (its burst is one
+        // line), but a pipelining client stops paying a writer wakeup —
+        // and, on a saturated core, a preemption — per response.
+        let mut pending = String::new();
+        let mut pending_lines = 0usize;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
             }
-            self.busy_lines.fetch_add(1, Ordering::AcqRel);
-            let handled = self.handle_line(&line);
-            let delivered =
-                writeln!(writer, "{}", handled.response()).is_ok() && writer.flush().is_ok();
-            self.busy_lines.fetch_sub(1, Ordering::AcqRel);
-            if matches!(handled, Handled::ReplyAndShutdown(_)) {
-                // The ack is written *before* wind-down begins so it can
-                // reach the client — but an undeliverable ack (client
-                // already hung up) must not cancel an accepted shutdown.
-                self.begin_shutdown();
-                return;
+            let text = line.trim_end_matches(['\n', '\r']);
+            if !text.trim().is_empty() {
+                match proto::parse_request(text) {
+                    Err(rejection) => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        pending.push_str(&proto::rejection_response(&rejection).to_string());
+                        pending.push('\n');
+                        pending_lines += 1;
+                    }
+                    Ok(Request::Metrics { id }) => {
+                        pending.push_str(&self.metrics_json(id).to_string());
+                        pending.push('\n');
+                        pending_lines += 1;
+                    }
+                    Ok(Request::Shutdown { id }) => {
+                        // Stop reading; in-flight jobs still answer
+                        // through the writer, which begins wind-down
+                        // after flushing the batch ending in this ack.
+                        pending.push_str(&Server::shutdown_ack(id));
+                        pending.push('\n');
+                        self.send_out_batch(&out_tx, pending, pending_lines + 1, true);
+                        drop(out_tx);
+                        let _ = writer_thread.join();
+                        return;
+                    }
+                    Ok(Request::Map(job)) => match self.prepare_map(*job) {
+                        Prepared::Immediate(response) => {
+                            pending.push_str(&response);
+                            pending.push('\n');
+                            pending_lines += 1;
+                        }
+                        Prepared::Job {
+                            request,
+                            windowed,
+                            id,
+                            start,
+                            deadline,
+                        } => {
+                            // About to (possibly) block on a slot:
+                            // release anything corked first.
+                            if pending_lines > 0 {
+                                self.send_out_batch(
+                                    &out_tx,
+                                    std::mem::take(&mut pending),
+                                    std::mem::replace(&mut pending_lines, 0),
+                                    false,
+                                );
+                            }
+                            // Claim an in-flight slot before submitting:
+                            // the completion may fire (and release the
+                            // slot) on a worker thread before submit()
+                            // even returns.
+                            {
+                                let (count, freed) = &*in_flight;
+                                let mut count = count.lock().expect("no panics under the lock");
+                                while *count >= cap {
+                                    count = freed.wait(count).expect("no panics under the lock");
+                                }
+                                *count += 1;
+                            }
+                            let complete: Complete = {
+                                let server = Arc::clone(self);
+                                let out_tx = out_tx.clone();
+                                let in_flight = Arc::clone(&in_flight);
+                                let id = id.clone();
+                                Box::new(move |outcome| {
+                                    let response =
+                                        server.render_map_outcome(id, start, deadline, outcome);
+                                    server.send_out(&out_tx, response, false);
+                                    let (count, freed) = &*in_flight;
+                                    *count.lock().expect("no panics under the lock") -= 1;
+                                    freed.notify_one();
+                                })
+                            };
+                            let absolute = deadline.map(|d| start + d);
+                            if let Err(rejection) =
+                                self.submit(*request, windowed, absolute, id, complete)
+                            {
+                                let (count, freed) = &*in_flight;
+                                *count.lock().expect("no panics under the lock") -= 1;
+                                freed.notify_one();
+                                pending
+                                    .push_str(&proto::rejection_response(&rejection).to_string());
+                                pending.push('\n');
+                                pending_lines += 1;
+                            }
+                        }
+                    },
+                }
             }
-            if !delivered {
-                return;
+            // Uncork once the read buffer holds no further complete
+            // request: the next read_line would block (or at least
+            // syscall), so everything answered this burst ships now.
+            if pending_lines > 0 && !reader.buffer().contains(&b'\n') {
+                self.send_out_batch(
+                    &out_tx,
+                    std::mem::take(&mut pending),
+                    std::mem::replace(&mut pending_lines, 0),
+                    false,
+                );
             }
         }
+        if pending_lines > 0 {
+            self.send_out_batch(&out_tx, pending, pending_lines, false);
+        }
+        drop(out_tx);
+        // In-flight completions hold their own senders; the writer
+        // drains every outstanding response before exiting.
+        let _ = writer_thread.join();
     }
 
     /// Stdio loop: one request line per stdin line, one response line on
-    /// stdout; returns on EOF or a `shutdown` request (call
-    /// [`Server::finish`] after).
+    /// stdout — strictly request/response, no pipelining; returns on EOF
+    /// or a `shutdown` request (call [`Server::finish`] after).
     ///
     /// # Errors
     ///
@@ -761,8 +1236,49 @@ mod tests {
         )
     }
 
-    /// A solver that blocks until released — pins down overload and
-    /// drain behavior without timing races.
+    fn config(workers: usize, queue_depth: usize, batch_max: usize) -> ServerConfig {
+        ServerConfig {
+            workers,
+            queue_depth,
+            batch_max,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn request(seed: u64) -> MapRequest {
+        MapRequest::new(paper_example(), devices::ibm_qx4()).with_seed(seed)
+    }
+
+    /// Submits through a channel-backed completion, mirroring the
+    /// synchronous path: the receiver yields the job's [`JobOutcome`].
+    fn submit_job(
+        server: &Server,
+        request: MapRequest,
+        deadline: Option<Instant>,
+    ) -> Result<mpsc::Receiver<JobOutcome>, Rejection> {
+        let (tx, rx) = mpsc::channel();
+        server
+            .submit(
+                request,
+                None,
+                deadline,
+                None,
+                Box::new(move |outcome| {
+                    let _ = tx.send(outcome);
+                }),
+            )
+            .map(|()| rx)
+    }
+
+    fn done(outcome: JobOutcome) -> Result<MapReport, MapperError> {
+        match outcome {
+            JobOutcome::Done(result) => *result,
+            JobOutcome::Shed { .. } => panic!("job unexpectedly shed"),
+        }
+    }
+
+    /// A solver that blocks until released — pins down overload, drain
+    /// and dispatch-order behavior without timing races.
     fn gated_solver() -> (BatchSolver, mpsc::Sender<()>) {
         let (release, gate) = mpsc::channel::<()>();
         let gate = Mutex::new(gate);
@@ -774,6 +1290,16 @@ mod tests {
             qxmap_map::map_many(requests)
         });
         (solver, release)
+    }
+
+    /// Parks the (single) worker on a gated job so later submissions
+    /// pile up in the queue deterministically.
+    fn occupy_worker(server: &Server) -> mpsc::Receiver<JobOutcome> {
+        let receiver = submit_job(server, request(0), None).expect("admitted");
+        while server.queue.lock().unwrap().in_flight == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        receiver
     }
 
     #[test]
@@ -814,15 +1340,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(30));
             qxmap_map::map_many(requests)
         });
-        let server = Server::start_with_solver(
-            ServerConfig {
-                workers: 1,
-                queue_depth: 8,
-                batch_max: 1,
-                snapshot: None,
-            },
-            solver,
-        );
+        let server = Server::start_with_solver(config(1, 8, 1), solver);
         let missed = format!(
             "{{\"type\":\"map\",\"qasm\":{},\"device\":\"qx4\",\"deadline_ms\":1}}",
             Json::str(QASM)
@@ -856,43 +1374,14 @@ mod tests {
     #[test]
     fn overload_is_rejected_with_a_structured_error() {
         let (solver, release) = gated_solver();
-        let server = Server::start_with_solver(
-            ServerConfig {
-                workers: 1,
-                queue_depth: 1,
-                batch_max: 1,
-                snapshot: None,
-            },
-            solver,
-        );
+        let server = Server::start_with_solver(config(1, 1, 1), solver);
         // First job: admitted, drained by the (gated) worker. Wait until
         // it actually leaves the queue so the depth accounting below is
         // deterministic.
-        let first = server
-            .submit(
-                MapRequest::new(paper_example(), devices::ibm_qx4()),
-                None,
-                None,
-            )
-            .expect("admitted");
-        while server.queue.lock().unwrap().in_flight == 0 {
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        let first = occupy_worker(&server);
         // Second job: waits in the queue (depth 1/1). Third: overloaded.
-        let _second = server
-            .submit(
-                MapRequest::new(paper_example(), devices::ibm_qx4()).with_seed(1),
-                None,
-                None,
-            )
-            .expect("queued");
-        let rejected = server
-            .submit(
-                MapRequest::new(paper_example(), devices::ibm_qx4()).with_seed(2),
-                None,
-                None,
-            )
-            .unwrap_err();
+        let _second = submit_job(&server, request(1), None).expect("queued");
+        let rejected = submit_job(&server, request(2), None).unwrap_err();
         assert_eq!(rejected.code, "overloaded");
         assert!(rejected.message.contains("queue is full"));
         let metrics = server.metrics_json(None);
@@ -904,40 +1393,20 @@ mod tests {
         // Release both batches; graceful shutdown drains everything.
         release.send(()).unwrap();
         release.send(()).unwrap();
-        assert!(first.recv().unwrap().is_ok());
+        assert!(done(first.recv().unwrap()).is_ok());
         server.finish().unwrap();
     }
 
     #[test]
     fn shutdown_drains_admitted_jobs_and_rejects_new_ones() {
         let (solver, release) = gated_solver();
-        let server = Server::start_with_solver(
-            ServerConfig {
-                workers: 1,
-                queue_depth: 8,
-                batch_max: 8,
-                snapshot: None,
-            },
-            solver,
-        );
-        let admitted = server
-            .submit(
-                MapRequest::new(paper_example(), devices::ibm_qx4()),
-                None,
-                None,
-            )
-            .expect("admitted");
+        let server = Server::start_with_solver(config(1, 8, 8), solver);
+        let admitted = submit_job(&server, request(0), None).expect("admitted");
         server.begin_shutdown();
-        let rejected = server
-            .submit(
-                MapRequest::new(paper_example(), devices::ibm_qx4()),
-                None,
-                None,
-            )
-            .unwrap_err();
+        let rejected = submit_job(&server, request(0), None).unwrap_err();
         assert_eq!(rejected.code, "shutting_down");
         release.send(()).unwrap();
-        let report = admitted.recv().unwrap().expect("drained, not dropped");
+        let report = done(admitted.recv().unwrap()).expect("drained, not dropped");
         report
             .verify(&paper_example(), &devices::ibm_qx4())
             .unwrap();
@@ -945,13 +1414,162 @@ mod tests {
     }
 
     #[test]
-    fn handle_line_answers_map_metrics_and_shutdown() {
-        let server = Server::start(ServerConfig {
-            workers: 2,
-            queue_depth: 8,
-            batch_max: 4,
-            snapshot: None,
+    fn earliest_deadline_first_dispatch_with_fifo_among_equals() {
+        let (solver, release) = gated_solver();
+        let server = Server::start_with_solver(config(1, 8, 1), solver);
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let tagged = |tag: &'static str| -> Complete {
+            let order = Arc::clone(&order);
+            Box::new(move |_| order.lock().unwrap().push(tag))
+        };
+        // Park the worker so the next three submissions rank against
+        // each other in the queue rather than dispatching on arrival.
+        server
+            .submit(request(0), None, None, None, tagged("gate"))
+            .unwrap();
+        while server.queue.lock().unwrap().in_flight == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let now = Instant::now();
+        // Submitted in the *worst* order for EDF: no deadline first,
+        // loosest deadline second, tightest last.
+        server
+            .submit(request(1), None, None, None, tagged("none"))
+            .unwrap();
+        server
+            .submit(
+                request(2),
+                None,
+                Some(now + Duration::from_secs(120)),
+                None,
+                tagged("late"),
+            )
+            .unwrap();
+        server
+            .submit(
+                request(3),
+                None,
+                Some(now + Duration::from_secs(30)),
+                None,
+                tagged("soon"),
+            )
+            .unwrap();
+        // While they wait: the metrics queue section reports the
+        // deadlined waiters' remaining-slack distribution.
+        let metrics = server.metrics_json(None);
+        let queue = metrics.get("queue").unwrap();
+        assert_eq!(queue.get("deadlined").and_then(Json::as_u64), Some(2));
+        let min = queue.get("slack_min_ms").and_then(Json::as_u64).unwrap();
+        let p50 = queue.get("slack_p50_ms").and_then(Json::as_u64).unwrap();
+        assert!(min > 20_000 && min <= 30_000, "{min}");
+        assert!(p50 >= min && p50 <= 120_000, "{p50}");
+        for _ in 0..4 {
+            release.send(()).unwrap();
+        }
+        // finish() joins the workers, so every completion has fired.
+        server.finish().unwrap();
+        assert_eq!(*order.lock().unwrap(), ["gate", "soon", "late", "none"]);
+        // Dispatched jobs fed the queue-wait counters.
+        let metrics = server.metrics_json(None);
+        let queue = metrics.get("queue").unwrap();
+        assert!(queue.get("wait_total_us").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn deadline_less_jobs_keep_fifo_order() {
+        let (solver, release) = gated_solver();
+        let server = Server::start_with_solver(config(1, 8, 1), solver);
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let tagged = |tag: &'static str| -> Complete {
+            let order = Arc::clone(&order);
+            Box::new(move |_| order.lock().unwrap().push(tag))
+        };
+        server
+            .submit(request(0), None, None, None, tagged("gate"))
+            .unwrap();
+        while server.queue.lock().unwrap().in_flight == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for tag in ["a", "b", "c"] {
+            server
+                .submit(request(0), None, None, None, tagged(tag))
+                .unwrap();
+        }
+        for _ in 0..4 {
+            release.send(()).unwrap();
+        }
+        server.finish().unwrap();
+        assert_eq!(*order.lock().unwrap(), ["gate", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_at_dequeue_and_never_dispatched() {
+        // A gated solver that also counts every request it is handed:
+        // the shed job must never show up in it.
+        let dispatched = Arc::new(AtomicU64::new(0));
+        let (release, gate) = mpsc::channel::<()>();
+        let gate = Mutex::new(gate);
+        let counter = Arc::clone(&dispatched);
+        let solver: BatchSolver = Box::new(move |requests| {
+            counter.fetch_add(requests.len() as u64, Ordering::Relaxed);
+            gate.lock().unwrap().recv().unwrap();
+            qxmap_map::map_many(requests)
         });
+        let server = Server::start_with_solver(config(1, 8, 1), solver);
+        let first = occupy_worker(&server);
+        // Queue a job whose deadline expires while the worker is still
+        // busy: deterministic, because the worker cannot dequeue it
+        // until the gate below is released — after the sleep.
+        let doomed = submit_job(
+            &server,
+            request(1),
+            Some(Instant::now() + Duration::from_millis(30)),
+        )
+        .expect("admitted");
+        std::thread::sleep(Duration::from_millis(60));
+        release.send(()).unwrap();
+        let JobOutcome::Shed { waited } = doomed.recv().unwrap() else {
+            panic!("the expired job must be shed, not solved");
+        };
+        assert!(waited >= Duration::from_millis(30), "{waited:?}");
+        assert!(done(first.recv().unwrap()).is_ok());
+        // The solver saw exactly the occupying job — the shed job was
+        // never dispatched.
+        assert_eq!(dispatched.load(Ordering::Relaxed), 1);
+        let metrics = server.metrics_json(None);
+        let requests = metrics.get("requests").unwrap();
+        assert_eq!(
+            requests.get("rejected_deadline").and_then(Json::as_u64),
+            Some(1)
+        );
+        // Shed jobs stay out of the latency histogram and the miss
+        // counter: they did no work. (Nothing here went through the
+        // response renderer, so the histogram is empty.)
+        assert_eq!(
+            requests.get("deadline_misses").and_then(Json::as_u64),
+            Some(0)
+        );
+        let latency = metrics.get("latency").unwrap();
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(0));
+        // The rendered rejection is the structured protocol error.
+        let line = server.render_map_outcome(
+            Some(Json::num(7)),
+            Instant::now(),
+            None,
+            JobOutcome::Shed { waited },
+        );
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(
+            parsed.get("code").and_then(Json::as_str),
+            Some("deadline_expired")
+        );
+        assert_eq!(parsed.get("id").and_then(Json::as_u64), Some(7));
+        server.finish().unwrap();
+    }
+
+    #[test]
+    fn handle_line_answers_map_metrics_and_shutdown() {
+        let server = Server::start(config(2, 8, 4));
         let result = server.handle_line(&map_line());
         let parsed = Json::parse(result.response()).unwrap();
         assert_eq!(parsed.get("type").and_then(Json::as_str), Some("result"));
@@ -991,15 +1609,7 @@ mod tests {
         // overload deterministic: depth 1, worker 1, so of three
         // *concurrent* map requests at most two are admitted.
         let (solver, release) = gated_solver();
-        let server = Server::start_with_solver(
-            ServerConfig {
-                workers: 1,
-                queue_depth: 1,
-                batch_max: 1,
-                snapshot: None,
-            },
-            solver,
-        );
+        let server = Server::start_with_solver(config(1, 1, 1), solver);
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let acceptor = {
@@ -1076,6 +1686,109 @@ mod tests {
         assert_eq!(down.get("type").and_then(Json::as_str), Some("ok"));
         acceptor.join().unwrap();
         server.finish().unwrap();
+    }
+
+    #[test]
+    fn pipelined_connections_answer_out_of_order() {
+        // One connection, two requests in flight: a gated map job
+        // submitted first, then a metrics request. The metrics response
+        // must come back *before* the map result — proof the connection
+        // does not serialize on the slow job.
+        let (solver, release) = gated_solver();
+        let server = Server::start_with_solver(config(1, 8, 1), solver);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve_tcp(listener).unwrap())
+        };
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let slow = format!(
+            "{{\"type\":\"map\",\"qasm\":{},\"device\":\"qx4\",\"seed\":555777,\"id\":1}}",
+            Json::str(QASM)
+        );
+        writeln!(writer, "{slow}").unwrap();
+        writeln!(writer, "{{\"type\":\"metrics\",\"id\":2}}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let overtaker = Json::parse(&line).unwrap();
+        assert_eq!(
+            overtaker.get("type").and_then(Json::as_str),
+            Some("metrics"),
+            "the fast response overtakes the gated one: {line}"
+        );
+        assert_eq!(overtaker.get("id").and_then(Json::as_u64), Some(2));
+        release.send(()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let result = Json::parse(&line).unwrap();
+        assert_eq!(result.get("type").and_then(Json::as_str), Some("result"));
+        assert_eq!(result.get("id").and_then(Json::as_u64), Some(1));
+
+        writeln!(writer, "{{\"type\":\"shutdown\"}}").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let down = Json::parse(&line).unwrap();
+        assert_eq!(down.get("type").and_then(Json::as_str), Some("ok"));
+        acceptor.join().unwrap();
+        server.finish().unwrap();
+    }
+
+    #[test]
+    fn journal_wiring_persists_and_replays_across_boots() {
+        let dir = std::env::temp_dir().join(format!(
+            "qxmap-serve-journal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.qxj");
+
+        let journaled = ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            batch_max: 1,
+            journal: Some(path.clone()),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(journaled.clone());
+        let warm = server.warm_start().unwrap();
+        let replay = warm.journal.expect("journal configured");
+        assert_eq!(replay.admitted, 0, "fresh journal has nothing to replay");
+        // A unique seed forces a real solve — and so a journal append.
+        let unique = format!(
+            "{{\"type\":\"map\",\"qasm\":{},\"device\":\"qx4\",\"seed\":31337}}",
+            Json::str(QASM)
+        );
+        let handled = server.handle_line(&unique);
+        assert!(
+            handled.response().contains("\"result\""),
+            "solve succeeded: {}",
+            handled.response()
+        );
+        server.finish().unwrap();
+        let written = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            written > 12,
+            "the drained journal holds at least one record"
+        );
+
+        // A second boot replays the journal; every record is already
+        // live in this process's shared cache, so none are admitted —
+        // and none are rejected either (the file is intact).
+        let second = Server::start(journaled);
+        let warm = second.warm_start().unwrap();
+        let replay = warm.journal.expect("journal configured");
+        assert_eq!(replay.rejected, 0);
+        assert_eq!(replay.admitted, 0, "all records already live in-process");
+        assert!(!replay.torn);
+        assert!(!replay.reset);
+        second.finish().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -149,15 +149,98 @@ fn windowed_requests_round_trip_with_certificates() {
         .unwrap()
         .contains("OPENQASM 2.0"));
 
-    // The same job without the windowed knob answers monolithically,
-    // with no certificate section.
+    // The same job without the windowed knob is best-effort and out of
+    // the exact regime, so the server auto-selects the windowed engine:
+    // the response carries certificates without the client asking.
     let plain = format!(
         "{{\"type\":\"map\",\"qasm\":{},\"device\":\"linear-12\",\"deadline_ms\":30000}}",
         Json::str(ladder_qasm(10))
     );
     let p = daemon.request(&plain);
     assert_eq!(p.get("type").and_then(Json::as_str), Some("result"), "{p}");
-    assert!(p.get("windows").is_none());
+    assert_eq!(
+        p.get("engine").and_then(Json::as_str),
+        Some("windowed"),
+        "out-of-regime best-effort requests auto-window: {p}"
+    );
+    assert!(p.get("windows").is_some());
+
+    // An explicit `"windowed": false` vetoes the auto-selection and
+    // answers monolithically, with no certificate section.
+    let vetoed = format!(
+        "{{\"type\":\"map\",\"qasm\":{},\"device\":\"linear-12\",\
+         \"windowed\":false,\"deadline_ms\":30000}}",
+        Json::str(ladder_qasm(10))
+    );
+    let v = daemon.request(&vetoed);
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("result"), "{v}");
+    assert!(v.get("windows").is_none());
+
+    daemon.shutdown_and_wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Pipelining over the real wire: one connection streams several tagged
+/// requests without waiting, and responses come back in *completion*
+/// order — a slow windowed job submitted first must not block the warm
+/// little jobs queued behind it on the same socket.
+#[test]
+fn pipelined_connections_stream_responses_in_completion_order() {
+    let dir = std::env::temp_dir().join(format!("qxmap-serve-e2e-pipe-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot: PathBuf = dir.join("solves.qxsnap");
+    let _ = std::fs::remove_file(&snapshot);
+
+    let daemon = Daemon::boot_with(&snapshot, &["--workers", "2"]);
+    // Warm the cache so the fast requests are microsecond hits.
+    let warm = daemon.request(&map_line());
+    assert_eq!(warm.get("type").and_then(Json::as_str), Some("result"));
+
+    let stream = TcpStream::connect(&daemon.addr).expect("daemon is listening");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Head-of-line job: a 52-qubit windowed solve that takes seconds.
+    let slow = format!(
+        "{{\"type\":\"map\",\"id\":\"slow\",\"qasm\":{},\"device\":\"heavy-hex-4\",\
+         \"windowed\":true,\"deadline_ms\":60000}}",
+        Json::str(ladder_qasm(52))
+    );
+    writeln!(writer, "{slow}").unwrap();
+    // Then a burst of warm cache hits behind it, all on the same socket.
+    const FAST: usize = 4;
+    for i in 0..FAST {
+        let fast = format!(
+            "{{\"type\":\"map\",\"id\":\"fast-{i}\",\"qasm\":{},\"device\":\"qx4\",\
+             \"deadline_ms\":30000}}",
+            Json::str(QASM)
+        );
+        writeln!(writer, "{fast}").unwrap();
+    }
+    writer.flush().unwrap();
+
+    let mut order = Vec::new();
+    for _ in 0..FAST + 1 {
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let r = Json::parse(&response).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"));
+        assert_eq!(r.get("type").and_then(Json::as_str), Some("result"), "{r}");
+        order.push(r.get("id").and_then(Json::as_str).unwrap().to_string());
+    }
+    assert_eq!(order.len(), FAST + 1, "one reply per pipelined request");
+    let mut sorted = order.clone();
+    sorted.sort();
+    let mut expected: Vec<String> = (0..FAST).map(|i| format!("fast-{i}")).collect();
+    expected.push("slow".to_string());
+    expected.sort();
+    assert_eq!(sorted, expected, "every tagged request was answered");
+    assert_ne!(
+        order[0], "slow",
+        "warm hits overtake the slow head-of-line job: {order:?}"
+    );
 
     daemon.shutdown_and_wait();
     std::fs::remove_dir_all(&dir).ok();

@@ -26,6 +26,7 @@
 //! circuit stays semantically faithful.
 
 use std::collections::BTreeSet;
+use std::time::Duration;
 
 use qxmap_arch::{route, DeviceModel, Permutation};
 use qxmap_circuit::Circuit;
@@ -88,6 +89,14 @@ pub(crate) struct BridgeOutcome {
 /// bystanders one hop, instead of a full device permutation that would
 /// have to put every disturbed wire back.
 ///
+/// `slack` is the request's *live* remaining deadline budget at the
+/// moment this bridge is routed (`None` when the request carries no
+/// deadline). The SAT-optimal path is an opt-in luxury: once the budget
+/// is exhausted, spending SAT time on a bridge would blow the deadline
+/// the per-window split was supposed to protect, so an exhausted slack
+/// falls back to the always-fast chain router even when `sat_bridges`
+/// is set.
+///
 /// The device must be connected (the engine guards this before
 /// stitching).
 pub(crate) fn route_bridge(
@@ -97,14 +106,16 @@ pub(crate) fn route_bridge(
     moves: &[(usize, usize)],
     reserved: &[usize],
     sat_bridges: bool,
+    slack: Option<Duration>,
 ) -> BridgeOutcome {
     #[cfg(debug_assertions)]
     let expected: Vec<(usize, Option<usize>)> =
         moves.iter().map(|&(f, t)| (t, state.occ[f])).collect();
 
     let mut outcome = BridgeOutcome::default();
+    let affordable = sat_bridges && slack.is_none_or(|s| !s.is_zero());
     let routed_optimally =
-        sat_bridges && route_sat(out, model, state, moves, reserved, &mut outcome);
+        affordable && route_sat(out, model, state, moves, reserved, &mut outcome);
     if !routed_optimally {
         route_chains(out, model, state, moves, reserved, &mut outcome);
     }
@@ -575,7 +586,7 @@ mod tests {
         }
         let mut out = Circuit::new(model.num_qubits());
         let before: Vec<Option<usize>> = moves.iter().map(|&(f, _)| state.occ[f]).collect();
-        let outcome = route_bridge(&mut out, model, &mut state, moves, &[], false);
+        let outcome = route_bridge(&mut out, model, &mut state, moves, &[], false, None);
         for (&(_, t), q) in moves.iter().zip(before) {
             assert_eq!(state.occ[t], q);
         }
@@ -604,7 +615,7 @@ mod tests {
         state.occ[2] = Some(0);
         state.pos[0] = Some(2);
         let mut out = Circuit::new(4);
-        route_bridge(&mut out, &model, &mut state, &[], &[2], false);
+        route_bridge(&mut out, &model, &mut state, &[], &[2], false, None);
         assert_eq!(state.occ[2], None);
         assert_eq!(state.pos[0], Some(1)); // displaced to the nearest free slot
     }
@@ -625,10 +636,44 @@ mod tests {
             &[(0, 1), (1, 2), (2, 0)],
             &[],
             true,
+            Some(Duration::from_secs(60)),
         );
         assert_eq!(state.occ[1], Some(0));
         assert_eq!(state.occ[2], Some(1));
         assert_eq!(state.occ[0], Some(2));
         assert!(outcome.swaps >= 2);
+    }
+
+    #[test]
+    fn exhausted_slack_falls_back_to_chain_routing() {
+        // The same 3-cycle requirement, once with the budget gone (the
+        // SAT opt-in must yield) and once with sat_bridges off: both
+        // must route identically — and still satisfy every move.
+        let model = paper_model("ring-5");
+        let run = |sat_bridges: bool, slack: Option<Duration>| {
+            let mut state = StitchState::new(5, 5);
+            for q in 0..3 {
+                state.occ[q] = Some(q);
+                state.pos[q] = Some(q);
+            }
+            let mut out = Circuit::new(5);
+            let outcome = route_bridge(
+                &mut out,
+                &model,
+                &mut state,
+                &[(0, 1), (1, 2), (2, 0)],
+                &[],
+                sat_bridges,
+                slack,
+            );
+            assert_eq!(state.occ[1], Some(0));
+            assert_eq!(state.occ[2], Some(1));
+            assert_eq!(state.occ[0], Some(2));
+            (out, outcome.swaps, outcome.cost)
+        };
+        let (tight, tight_swaps, tight_cost) = run(true, Some(Duration::ZERO));
+        let (chain, chain_swaps, chain_cost) = run(false, None);
+        assert_eq!(tight, chain, "zero slack must take the chain path");
+        assert_eq!((tight_swaps, tight_cost), (chain_swaps, chain_cost));
     }
 }

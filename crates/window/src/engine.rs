@@ -341,6 +341,13 @@ impl WindowedEngine {
                     }
                 }
             }
+            // The SAT-bridge opt-in reads the request's *live* deadline
+            // slack: the per-window budget split only covers the local
+            // solves, so a late-running stitch must not spend SAT time
+            // the deadline no longer has.
+            let slack = request
+                .deadline()
+                .map(|d| d.saturating_sub(started.elapsed()));
             let outcome = bridge::route_bridge(
                 &mut out,
                 model,
@@ -348,6 +355,7 @@ impl WindowedEngine {
                 &moves,
                 &reserved,
                 self.options.sat_bridges,
+                slack,
             );
             for (q, t) in fresh {
                 materialize(&mut state, &mut claimed, q, t);
@@ -579,6 +587,7 @@ mod tests {
     use super::*;
     use qxmap_arch::devices;
     use qxmap_circuit::paper_example;
+    use std::time::Duration;
 
     fn ladder(n: usize) -> Circuit {
         let mut c = Circuit::new(n);
@@ -663,6 +672,35 @@ mod tests {
             WindowedEngine::new().run(&request),
             Err(MapperError::OptimalityUnavailable { .. })
         ));
+    }
+
+    #[test]
+    fn tight_deadlines_route_bridges_without_sat_time() {
+        // A long-range interaction forces a bridge, SAT bridges are
+        // opted in, and the deadline is already effectively spent by
+        // stitch time. The bridge must read the *live* slack — not the
+        // per-window split computed at admission — drop to the chain
+        // router, and still deliver a verifying report.
+        let mut c = ladder(10);
+        c.cx(0, 9);
+        let device = devices::linear(12);
+        let request =
+            MapRequest::new(c.clone(), device.clone()).with_deadline(Duration::from_nanos(1));
+        let engine = WindowedEngine::with_options(WindowOptions {
+            sat_bridges: true,
+            ..WindowOptions::default()
+        });
+        let report = engine.run(&request).expect("deadlines degrade, never fail");
+        report.verify(&c, &device).unwrap();
+        assert!(
+            report
+                .windows
+                .as_ref()
+                .unwrap()
+                .iter()
+                .any(|w| w.bridge_swaps > 0),
+            "the long-range interaction still bridges"
+        );
     }
 
     #[test]
