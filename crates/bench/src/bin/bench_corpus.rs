@@ -1,8 +1,9 @@
 //! The perf-trajectory harness: runs the fixed, versioned
 //! [`qxmap_benchmarks::corpus`] through cold and warm solves and writes
 //! `BENCH_corpus.json` — per-row solve cost, cold latency, warm
-//! p50/p95/p99 and winner engine, plus aggregate latency percentiles and
-//! the solve-cache hit rate. Windowed rows additionally race the
+//! p50/p95/p99, winner engine and the cold solve's per-phase trace
+//! breakdown, plus aggregate latency percentiles and the solve-cache
+//! hit rate. Windowed rows additionally race the
 //! windowed engine against every pure heuristic and emit the
 //! windowed-vs-heuristic trajectory as `BENCH_window.json` (absorbing
 //! the former one-off `bench_window` binary).
@@ -29,6 +30,7 @@ use qxmap_benchmarks::corpus::{
     corpus, manifest_hash, smoke_corpus, CorpusClass, CorpusEntry, CORPUS_SCHEMA_VERSION,
 };
 use qxmap_circuit::{Circuit, CircuitSkeleton};
+use qxmap_core::trace::SpanRecorder;
 use qxmap_map::{map_one, Engine, HeuristicEngine, MapReport, MapRequest, SolveCache};
 use qxmap_serve::Json;
 use qxmap_window::WindowedEngine;
@@ -133,6 +135,37 @@ fn window_row(entry: &CorpusEntry, request: &MapRequest, cm: &CouplingMap) -> Wi
         ]),
         beats,
     }
+}
+
+/// The cold solve's per-phase breakdown: every recorded span path with
+/// its total milliseconds (paths recurring across minimization steps or
+/// windows are summed), straight from the solve's own trace. Rows carry
+/// it so perf PRs can attribute a cold-latency shift to the phase that
+/// moved; [`bench_diff`](../diff.rs) treats an absent breakdown (a
+/// baseline predating this section) as nothing to compare.
+fn phases_json(report: &MapReport, into: &mut Vec<(String, f64)>) -> Json {
+    let mut totals: Vec<(String, u64)> = Vec::new();
+    if let Some(trace) = &report.trace {
+        for span in &trace.spans {
+            match totals.iter_mut().find(|(path, _)| *path == span.path) {
+                Some((_, us)) => *us += span.duration_us,
+                None => totals.push((span.path.clone(), span.duration_us)),
+            }
+        }
+    }
+    Json::Obj(
+        totals
+            .into_iter()
+            .map(|(path, us)| {
+                let ms = us as f64 / 1e3;
+                match into.iter_mut().find(|(p, _)| *p == path) {
+                    Some((_, total)) => *total += ms,
+                    None => into.push((path.clone(), ms)),
+                }
+                (path, Json::Num(stats::round_ms(ms)))
+            })
+            .collect(),
+    )
 }
 
 /// Timing repeats per ingest path; rows record the minimum, because
@@ -263,6 +296,7 @@ fn main() {
     let mut windowed_total = 0usize;
     let mut cold_samples: Vec<f64> = Vec::new();
     let mut warm_samples: Vec<f64> = Vec::new();
+    let mut phase_totals: Vec<(String, f64)> = Vec::new();
 
     println!(
         "corpus run: {} rows ({}), manifest {hash}",
@@ -275,11 +309,15 @@ fn main() {
             .with_deadline(Duration::from_millis(entry.deadline_ms));
 
         // Cold solve: first sight of this (circuit, device, options) key.
+        // It runs traced — a handful of spans over a millisecond-scale
+        // solve is noise — so the row can carry its per-phase breakdown;
+        // the microsecond-scale warm repeats below stay untraced.
+        let traced = request.clone().with_trace(SpanRecorder::new());
         let start = Instant::now();
         let (cold, cold_ms) = match entry.class {
-            CorpusClass::Windowed => timed(&WindowedEngine::new(), &request, &entry.circuit, &cm),
+            CorpusClass::Windowed => timed(&WindowedEngine::new(), &traced, &entry.circuit, &cm),
             _ => {
-                let report = map_one(&request).expect("corpus circuits map");
+                let report = map_one(&traced).expect("corpus circuits map");
                 let ms = start.elapsed().as_secs_f64() * 1e3;
                 report
                     .verify(&entry.circuit, &cm)
@@ -356,6 +394,7 @@ fn main() {
                 "warm_hit_rate",
                 Json::Num(warm_hits as f64 / flags.warm_repeats.max(1) as f64),
             ),
+            ("phases", phases_json(&cold, &mut phase_totals)),
         ]));
     }
 
@@ -423,6 +462,15 @@ fn main() {
                 ("cache_hit_rate", Json::Num((hit_rate * 1e3).round() / 1e3)),
                 ("cache_hits", Json::num(hits)),
                 ("cache_misses", Json::num(misses)),
+                (
+                    "phases",
+                    Json::Obj(
+                        phase_totals
+                            .into_iter()
+                            .map(|(path, ms)| (path, Json::Num(stats::round_ms(ms))))
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
     ]);

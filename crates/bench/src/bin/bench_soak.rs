@@ -3,10 +3,15 @@
 //! with a deterministic mix of cold, warm, windowed and invalid traffic,
 //! then snapshots, restarts, and measures the warm-restart hit. A warm
 //! phase drives identical cache-hit traffic in lockstep and in
-//! pipelined mode to measure the pipelining throughput win. Writes
-//! `BENCH_serve.json` — throughput, client-observed latency percentiles,
-//! the daemon's own histogram/deadline/overload counters, the pipelined
-//! speedup, and the warm-restart latency.
+//! pipelined mode to measure the pipelining throughput win. The daemon
+//! runs with its observability layer live — windowed traffic is traced,
+//! slowlog ring admissions append to a `--trace-log` JSONL file whose
+//! lines must parse, and the untraced warm `handle_line` path is
+//! measured against a trace-off daemon (observability must cost it
+//! under 5%). Writes `BENCH_serve.json` — throughput, client-observed
+//! latency percentiles, the daemon's own histogram/deadline/overload
+//! counters, the pipelined speedup, the warm-restart latency, and the
+//! trace-overhead probe.
 //!
 //! Traffic is deterministic per `--seed` (request kinds and cold-request
 //! cache keys come from a SplitMix64 stream), but thread interleaving is
@@ -143,7 +148,9 @@ fn cold_line(qasm: &str, unique_seed: u64) -> String {
 
 /// A windowed request: a 10-qubit CNOT ladder on linear-12 — past the
 /// exact regime, so it slices and stitches, but small enough to keep the
-/// soak short.
+/// soak short. Traced: windowed solves are the soak's slowest class, so
+/// their slowlog ring admissions exercise the `--trace-log` JSONL path
+/// with full timelines attached.
 fn windowed_line() -> String {
     let mut qasm = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[10];\n");
     for q in 0..9 {
@@ -151,9 +158,39 @@ fn windowed_line() -> String {
     }
     format!(
         "{{\"type\":\"map\",\"qasm\":{},\"device\":\"linear-12\",\
-         \"windowed\":{{\"max_window_qubits\":6}},\"deadline_ms\":30000}}",
+         \"windowed\":{{\"max_window_qubits\":6}},\"trace\":true,\"deadline_ms\":30000}}",
         Json::str(qasm)
     )
+}
+
+/// One timed run of warm-hit `handle_line` calls (µs per request),
+/// in-process so the number is the daemon's own hot path with no socket
+/// in the way. Callers interleave runs across servers and keep each
+/// server's minimum — the minimum rejects scheduler noise, and the
+/// interleaving denies either server a systematically quieter slot.
+fn warm_handle_run_us(server: &Server, line: &str, iters: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _ = server.handle_line(line);
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Primes a server for the overhead probe: asserts the probe line is a
+/// warm hit, then pumps enough requests that the slowlog ring is full
+/// of equal-latency entries (so steady-state probing admits nothing and
+/// the trace log sees no per-request I/O — the same steady state a
+/// long-running daemon serves from).
+fn prime_warm_probe(server: &Server, line: &str) {
+    let first = server.handle_line(line);
+    assert!(
+        first.response().contains("\"served_from_cache\":true"),
+        "the overhead probe must be a warm hit: {}",
+        first.response()
+    );
+    for _ in 0..200 {
+        let _ = server.handle_line(line);
+    }
 }
 
 /// Invalid traffic: the daemon must answer each with a structured error
@@ -253,6 +290,8 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("writable temp dir");
     let snapshot = dir.join("soak.qxsnap");
     let _ = std::fs::remove_file(&snapshot);
+    let trace_log = dir.join("soak-trace.jsonl");
+    let _ = std::fs::remove_file(&trace_log);
 
     // Cold process-wide cache: the soak measures the serving tier, not
     // leftovers from this process.
@@ -263,6 +302,7 @@ fn main() {
         queue_depth: 4,
         batch_max: 4,
         snapshot: Some(snapshot.clone()),
+        trace_log: Some(trace_log.clone()),
         ..ServerConfig::default()
     });
     let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
@@ -418,6 +458,27 @@ fn main() {
         .expect("snapshot path configured");
     assert!(persisted > 0, "the soak must leave a warm snapshot behind");
 
+    // The trace log the daemon left behind: one parseable JSON object
+    // per line (slowlog ring admissions), the slow ones carrying full
+    // timelines from the traced windowed requests.
+    let logged = std::fs::read_to_string(&trace_log).expect("trace log written");
+    let mut trace_log_lines = 0u64;
+    let mut trace_log_traced = 0u64;
+    for line in logged.lines() {
+        let entry =
+            Json::parse(line).unwrap_or_else(|e| panic!("trace log line is not JSON: {e}\n{line}"));
+        assert!(
+            entry.get("latency_us").and_then(Json::as_u64).is_some(),
+            "trace log entries carry latency_us: {line}"
+        );
+        trace_log_traced += u64::from(entry.get("trace").is_some());
+        trace_log_lines += 1;
+    }
+    assert!(
+        trace_log_lines > 0,
+        "slowlog ring admissions must reach the trace log"
+    );
+
     // Warm restart: a fresh server over the snapshot answers a repeated
     // request from cache.
     SolveCache::shared().clear();
@@ -437,6 +498,45 @@ fn main() {
     let restart_ms = restart_start.elapsed().as_secs_f64() * 1e3;
     let response = Json::parse(handled.response()).expect("response is JSON");
     let warm_restart_hit = response.get("served_from_cache").and_then(Json::as_bool) == Some(true);
+
+    // The trace-overhead probe: the restarted server runs without a
+    // trace log; a second fresh server runs with one attached. Both are
+    // freshly booted, share the same process-wide solve cache, and are
+    // probed in interleaved runs, so the only variable left is the
+    // observability layer itself. Untraced requests must not pay for it
+    // — under 5%, or within an absolute few-microsecond noise floor (a
+    // warm hit is ~15 µs; 5% of it is scheduler-noise territory, and
+    // the floor keeps the gate honest the same way `bench_diff`'s
+    // latency floor does).
+    let probe_log = dir.join("probe-trace.jsonl");
+    let observed = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        batch_max: 1,
+        trace_log: Some(probe_log),
+        ..ServerConfig::default()
+    });
+    prime_warm_probe(&restarted, &ping[0]);
+    prime_warm_probe(&observed, &ping[0]);
+    let mut warm_us_plain = f64::INFINITY;
+    let mut warm_us_observed = f64::INFINITY;
+    for _ in 0..3 {
+        warm_us_plain = warm_us_plain.min(warm_handle_run_us(&restarted, &ping[0], 2_000));
+        warm_us_observed = warm_us_observed.min(warm_handle_run_us(&observed, &ping[0], 2_000));
+    }
+    let overhead_pct = (warm_us_observed / warm_us_plain - 1.0) * 100.0;
+    println!(
+        "warm handle_line: {warm_us_plain:.1} us plain, {warm_us_observed:.1} us with \
+         observability ({overhead_pct:+.1}%), trace log {trace_log_lines} lines \
+         ({trace_log_traced} traced)"
+    );
+    assert!(
+        warm_us_observed <= warm_us_plain * 1.05 || warm_us_observed - warm_us_plain <= 5.0,
+        "observability must cost the untraced warm path under 5%: \
+         {warm_us_plain:.1} us -> {warm_us_observed:.1} us"
+    );
+    observed.finish().expect("clean drain");
+
     restarted.finish().expect("clean drain");
     std::fs::remove_dir_all(&dir).ok();
 
@@ -526,6 +626,25 @@ fn main() {
                 ("snapshot_entries", Json::num(imported as u64)),
                 ("hit", Json::Bool(warm_restart_hit)),
                 ("latency_ms", Json::Num(stats::round_ms(restart_ms))),
+            ]),
+        ),
+        (
+            "trace",
+            Json::obj([
+                ("log_lines", Json::num(trace_log_lines)),
+                ("log_lines_traced", Json::num(trace_log_traced)),
+                (
+                    "warm_us_plain",
+                    Json::Num((warm_us_plain * 10.0).round() / 10.0),
+                ),
+                (
+                    "warm_us_with_observability",
+                    Json::Num((warm_us_observed * 10.0).round() / 10.0),
+                ),
+                (
+                    "overhead_pct",
+                    Json::Num((overhead_pct * 10.0).round() / 10.0),
+                ),
             ]),
         ),
     ]);

@@ -165,6 +165,34 @@ fn diff_corpus(baseline: &Json, fresh: &Json, t: &Thresholds) -> Result<Vec<Stri
                 field(row, "warm_p95_ms").unwrap_or(0.0),
             ));
         }
+        // Per-phase breakdowns ride in each row's `phases` object; a
+        // document predating the section — or a phase present on only
+        // one side — has nothing to compare, and absence never
+        // regresses. Phases share the latency noise floor: most are
+        // microseconds, and only a gross cliff in a genuinely expensive
+        // phase should trip the gate.
+        fn phases(doc: &Json) -> &[(String, Json)] {
+            doc.get("phases").and_then(Json::as_object).unwrap_or(&[])
+        }
+        for (phase, fresh_ms) in phases(row) {
+            let base_ms = phases(base)
+                .iter()
+                .find(|(p, _)| p == phase)
+                .and_then(|(_, v)| v.as_f64());
+            if slower(
+                base_ms,
+                fresh_ms.as_f64(),
+                t.latency_ratio,
+                t.latency_floor_ms,
+            ) {
+                regressions.push(format!(
+                    "{name}: phase {phase} regressed {:.1} ms -> {:.1} ms (> {}x)",
+                    base_ms.unwrap_or(0.0),
+                    fresh_ms.as_f64().unwrap_or(0.0),
+                    t.latency_ratio
+                ));
+            }
+        }
     }
     if compared == 0 {
         return Err("no overlapping rows between baseline and fresh run".to_string());
@@ -451,6 +479,73 @@ mod tests {
         set_ingest(&mut skipped, Json::Arr(vec![]));
         assert_eq!(
             diff(&baseline, &skipped, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
+    }
+
+    /// Appends a `phases` object to the named row.
+    fn set_row_phases(doc: &mut Json, row_name: &str, phases: Json) {
+        let Json::Obj(pairs) = doc else {
+            unreachable!()
+        };
+        for (k, v) in pairs.iter_mut() {
+            if k != "rows" {
+                continue;
+            }
+            let Json::Arr(rows) = v else { unreachable!() };
+            for row in rows {
+                let Json::Obj(fields) = row else {
+                    unreachable!()
+                };
+                if fields
+                    .iter()
+                    .any(|(k, v)| k == "name" && v.as_str() == Some(row_name))
+                {
+                    fields.push(("phases".to_string(), phases.clone()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_regressions_are_caught_and_absent_sections_tolerated() {
+        let mut baseline = corpus_doc(200.0, 4, 0.8);
+        set_row_phases(
+            &mut baseline,
+            "3_17_13",
+            Json::obj([("race", Json::Num(100.0)), ("queue", Json::Num(0.02))]),
+        );
+        // The race phase collapses 10x; the microsecond queue phase
+        // triples but stays under the noise floor.
+        let mut fresh = corpus_doc(200.0, 4, 0.8);
+        set_row_phases(
+            &mut fresh,
+            "3_17_13",
+            Json::obj([("race", Json::Num(1000.0)), ("queue", Json::Num(0.06))]),
+        );
+        let regressions = diff(&baseline, &fresh, &Thresholds::default()).unwrap();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("phase race"), "{regressions:?}");
+
+        // A baseline predating the section — or a fresh run without it —
+        // compares cleanly, as does a phase present on only one side.
+        let plain = corpus_doc(200.0, 4, 0.8);
+        assert_eq!(
+            diff(&plain, &fresh, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
+        assert_eq!(
+            diff(&baseline, &plain, &Thresholds::default()).unwrap(),
+            vec![] as Vec<String>
+        );
+        let mut renamed = corpus_doc(200.0, 4, 0.8);
+        set_row_phases(
+            &mut renamed,
+            "3_17_13",
+            Json::obj([("windows", Json::Num(5000.0))]),
+        );
+        assert_eq!(
+            diff(&baseline, &renamed, &Thresholds::default()).unwrap(),
             vec![] as Vec<String>
         );
     }

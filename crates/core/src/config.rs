@@ -11,6 +11,7 @@ use qxmap_sat::MinimizeOptions;
 
 use crate::bound::SharedBound;
 use crate::strategy::Strategy;
+use crate::trace::SpanRecorder;
 
 /// A handle shared between a mapping run and whoever supervises it
 /// (other engines racing it, a batch driver, a caller with a kill
@@ -116,6 +117,10 @@ pub struct MapperConfig {
     /// runs clones of one handle to let them prune (and stop) each
     /// other; the default handle is private to this configuration.
     pub control: SolveControl,
+    /// Trace recorder for per-subset encode/minimize spans
+    /// ([`crate::trace`]). Defaults to the disabled recorder, whose
+    /// recording calls are free no-ops.
+    pub trace: SpanRecorder,
 }
 
 impl MapperConfig {
@@ -145,6 +150,14 @@ impl MapperConfig {
     /// Sets the minimization options (builder style).
     pub fn with_minimize(mut self, minimize: MinimizeOptions) -> MapperConfig {
         self.minimize = minimize;
+        self
+    }
+
+    /// Attaches a trace recorder: per-subset encoding and minimization
+    /// spans (build time, conflicts, interrupt cause) land on it
+    /// (builder style).
+    pub fn with_trace(mut self, trace: SpanRecorder) -> MapperConfig {
+        self.trace = trace;
         self
     }
 

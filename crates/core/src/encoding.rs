@@ -40,6 +40,10 @@ pub struct EncodingStats {
     pub permutations: usize,
     /// Objective terms in Eq. (5).
     pub objective_terms: usize,
+    /// Wall-clock time the encoding took to build, in microseconds —
+    /// the per-subset counter solve traces attach to their `encode`
+    /// spans.
+    pub build_us: u64,
 }
 
 /// A built SAT instance for one mapping subproblem.
@@ -58,6 +62,7 @@ pub(crate) struct Encoding {
     pub objective: Vec<(u64, Lit)>,
     num_logical: usize,
     num_phys: usize,
+    build_time: std::time::Duration,
 }
 
 impl Encoding {
@@ -102,6 +107,7 @@ impl Encoding {
         interrupted: &mut dyn FnMut() -> bool,
     ) -> Option<Encoding> {
         assert!(!skeleton.is_empty(), "trivial circuits bypass the encoding");
+        let build_start = std::time::Instant::now();
         let local_cm = local_model.coupling_map();
         let k_gates = skeleton.len();
         let m = local_cm.num_qubits();
@@ -222,6 +228,7 @@ impl Encoding {
             objective,
             num_logical,
             num_phys: m,
+            build_time: build_start.elapsed(),
         })
     }
 
@@ -234,6 +241,7 @@ impl Encoding {
             change_points: self.y.len(),
             permutations: self.perms.len(),
             objective_terms: self.objective.len(),
+            build_us: u64::try_from(self.build_time.as_micros()).unwrap_or(u64::MAX),
         }
     }
 

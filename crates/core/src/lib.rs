@@ -58,6 +58,7 @@ mod encoding;
 mod solution;
 mod solve;
 mod strategy;
+pub mod trace;
 pub mod verify;
 
 pub use bound::SharedBound;
@@ -66,3 +67,4 @@ pub use encoding::EncodingStats;
 pub use solution::{GatePlacement, MappingResult};
 pub use solve::{ExactMapper, MAX_EXACT_QUBITS};
 pub use strategy::Strategy;
+pub use trace::{SolveTrace, SpanRecorder, TraceSpan};

@@ -137,6 +137,7 @@ impl ExactMapper {
                 change_points: 0,
                 permutations: 0,
                 objective_terms: 0,
+                build_us: 0,
             });
         }
         let all: Vec<usize> = (0..m).collect();
@@ -311,8 +312,10 @@ impl ExactMapper {
                 return;
             }
 
+            let trace = &self.config.trace;
             let local_model = self.model.subgraph_model(subset);
             let table = self.model.costed_table(subset);
+            let mut encode_span = trace.span(&format!("subset{i}/encode"));
             let Some(mut enc) = Encoding::build_interruptible(
                 skeleton,
                 n,
@@ -321,9 +324,15 @@ impl ExactMapper {
                 change_points,
                 &mut || shared.stopped(),
             ) else {
+                encode_span.counter("interrupted", 1);
                 shared.undecided.store(true, Ordering::Relaxed);
                 continue; // the next claim's stop check winds the worker down
             };
+            let enc_stats = enc.stats();
+            encode_span.counter("variables", enc_stats.variables as u64);
+            encode_span.counter("clauses", enc_stats.clauses as u64);
+            encode_span.counter("build_us", enc_stats.build_us);
+            encode_span.end();
             let objective = enc.objective.clone();
             enc.solver.set_interrupt(Some(Arc::clone(&shared.cancel)));
             enc.solver.set_deadline(shared.deadline);
@@ -335,7 +344,24 @@ impl ExactMapper {
                 initial_upper_bound: ub,
                 ..self.config.minimize
             };
-            let minimum = match minimize(&mut enc.solver, &objective, options) {
+            let conflicts_before = enc.solver.stats().conflicts;
+            let mut minimize_span = trace.span(&format!("subset{i}/minimize"));
+            let outcome = minimize(&mut enc.solver, &objective, options);
+            minimize_span.counter("conflicts", enc.solver.stats().conflicts - conflicts_before);
+            match &outcome {
+                Ok(min) => minimize_span.counter("iterations", u64::from(min.iterations)),
+                Err(MinimizeError::Unsatisfiable) => minimize_span.counter("unsat", 1),
+                Err(MinimizeError::BudgetExhausted) => {
+                    minimize_span.counter("budget_exhausted", 1);
+                }
+            }
+            // The interrupt cause of the *last* solver call — on a
+            // budget cut, what actually stopped the search.
+            if let Some(cause) = enc.solver.last_stop_cause() {
+                minimize_span.counter(cause.label(), 1);
+            }
+            minimize_span.end();
+            let minimum = match outcome {
                 Ok(min) => min,
                 // Refuted strictly below `ub`: decided, but only *down to
                 // `ub`* — the floor records how far refutations reach, so

@@ -1,0 +1,105 @@
+//! Property-based tests for the tracing substrate: however phases and
+//! sub-phases are laid out, a finished [`SolveTrace`] is sorted, its
+//! siblings never overlap, and no span outlives the trace itself.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use qxmap_core::trace::SpanRecorder;
+
+/// One synthetic top-level phase: idle gap before it, how long it ran,
+/// and how many sequential children subdivide it.
+fn phase_strategy() -> impl Strategy<Value = (u64, u64, usize)> {
+    (0u64..500, 1u64..1_000, 0usize..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sequentially laid-out phases come back sorted by start, siblings
+    /// at every level stay non-overlapping, and every span (and the
+    /// top-level sum) fits inside the trace's own elapsed time.
+    #[test]
+    fn trace_invariants_hold(phases in prop::collection::vec(phase_strategy(), 1..12)) {
+        let total_us: u64 = phases.iter().map(|&(gap, duration, _)| gap + duration).sum();
+        // Synthetic spans must lie in the past: `finish()` measures
+        // elapsed wall-clock time from the origin, so an origin pushed
+        // back past the layout's total keeps every span inside it.
+        let origin = Instant::now()
+            .checked_sub(Duration::from_micros(total_us + 10))
+            .expect("the machine has been up longer than a few milliseconds");
+        let trace = SpanRecorder::with_origin(origin);
+
+        let mut cursor = 0u64;
+        for (i, &(gap, duration, children)) in phases.iter().enumerate() {
+            cursor += gap;
+            let phase = format!("phase{i}");
+            trace.record(
+                &phase,
+                origin + Duration::from_micros(cursor),
+                Duration::from_micros(duration),
+            );
+            if children > 0 {
+                // Children partition the phase into equal back-to-back
+                // slices (a trailing remainder stays unattributed).
+                let slice = duration / children as u64;
+                for j in 0..children {
+                    if slice == 0 {
+                        break;
+                    }
+                    trace.record(
+                        &format!("{phase}/step{j}"),
+                        origin + Duration::from_micros(cursor + j as u64 * slice),
+                        Duration::from_micros(slice),
+                    );
+                }
+            }
+            cursor += duration;
+        }
+
+        let solve = trace.finish().expect("an enabled recorder yields a trace");
+
+        // Sorted by (start, path).
+        for pair in solve.spans.windows(2) {
+            let key = |s: &qxmap_core::trace::TraceSpan| (s.start_us, s.path.clone());
+            prop_assert!(key(&pair[0]) <= key(&pair[1]), "unsorted: {pair:?}");
+        }
+
+        // Nothing outlives the trace.
+        for span in &solve.spans {
+            prop_assert!(
+                span.end_us() <= solve.elapsed_us,
+                "{} ends at {}us, past elapsed {}us",
+                span.path, span.end_us(), solve.elapsed_us
+            );
+        }
+        prop_assert!(solve.top_level_total_us() <= solve.elapsed_us);
+
+        // Siblings never overlap: top level, then under each phase.
+        let mut parents: Vec<Option<String>> = vec![None];
+        parents.extend((0..phases.len()).map(|i| Some(format!("phase{i}"))));
+        for parent in parents {
+            let siblings = solve.children(parent.as_deref());
+            for pair in siblings.windows(2) {
+                prop_assert!(
+                    pair[0].end_us() <= pair[1].start_us,
+                    "overlap under {parent:?}: {pair:?}"
+                );
+            }
+        }
+
+        // Every phase and every recorded child is present exactly once.
+        prop_assert_eq!(solve.children(None).len(), phases.len());
+        for (i, &(_, duration, children)) in phases.iter().enumerate() {
+            let expected = if children > 0 && duration / children as u64 > 0 {
+                children
+            } else {
+                0
+            };
+            prop_assert_eq!(
+                solve.children(Some(&format!("phase{i}"))).len(),
+                expected
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Pins the disabled-recorder fast path: a [`SpanRecorder::disabled`]
+//! span is a pointer check — no allocation, no clock read — so the
+//! untraced warm serving path pays (close to) nothing for the
+//! instrumentation being compiled in.
+
+use std::time::Instant;
+
+use qxmap_core::trace::SpanRecorder;
+
+const ITERS: u32 = 100_000;
+const RUNS: usize = 5;
+
+/// Nanoseconds per span+event pair, minimum over [`RUNS`] runs (the
+/// minimum filters scheduler noise better than the mean). A fresh
+/// recorder per run keeps the enabled timeline's memory bounded.
+fn ns_per_op(make: impl Fn() -> SpanRecorder) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..RUNS {
+        let trace = make();
+        let started = Instant::now();
+        for i in 0..ITERS {
+            let span = trace.span("bench/section");
+            trace.event("bench/section", "tick", u64::from(i));
+            span.end();
+        }
+        best = best.min(started.elapsed().as_nanos() as u64 / u64::from(ITERS));
+    }
+    best
+}
+
+#[test]
+fn disabled_recorder_costs_nothing_measurable() {
+    let disabled = ns_per_op(SpanRecorder::disabled);
+    let enabled = ns_per_op(SpanRecorder::new);
+    // The enabled path allocates a path string and reads the clock;
+    // the disabled path must be well under it, and cheap in absolute
+    // terms (bounds are generous: the real gap is orders of magnitude).
+    assert!(
+        disabled * 2 <= enabled.max(1),
+        "disabled span ({disabled}ns/op) is not clearly cheaper than enabled ({enabled}ns/op)"
+    );
+    assert!(
+        disabled < 1_000,
+        "disabled span costs {disabled}ns/op — the no-op path regressed"
+    );
+}
+
+#[test]
+fn disabled_recorder_yields_no_trace() {
+    let trace = SpanRecorder::disabled();
+    let span = trace.span("anything");
+    span.end();
+    trace.event("anything", "n", 1);
+    assert!(!trace.is_enabled());
+    assert!(trace.origin().is_none());
+    assert!(trace.finish().is_none());
+}

@@ -129,6 +129,10 @@ impl AStarPlanner {
 }
 
 impl LayerPlanner for AStarPlanner {
+    fn wound_down(&self) -> Option<&'static str> {
+        self.check.cause()
+    }
+
     fn plan(
         &mut self,
         layout: &Layout,

@@ -26,6 +26,14 @@ pub(crate) trait LayerPlanner {
         pairs: &[(usize, usize)],
         model: &DeviceModel,
     ) -> Result<Vec<(usize, usize)>, HeuristicError>;
+
+    /// Why the planner degraded to its wind-down fallback, if it did —
+    /// read once at the end of the run and surfaced as
+    /// [`HeuristicResult::wound_down`]. Planners without a budget never
+    /// wind down.
+    fn wound_down(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// Whether every pair is adjacent (either direction) under `layout`.
@@ -104,6 +112,7 @@ pub(crate) fn run_engine(
         reversals,
         model_cost,
         runtime: start.elapsed(),
+        wound_down: planner.wound_down(),
     })
 }
 

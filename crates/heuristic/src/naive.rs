@@ -93,6 +93,7 @@ impl Mapper for NaiveMapper {
             reversals,
             model_cost,
             runtime: start.elapsed(),
+            wound_down: None,
         })
     }
 }

@@ -189,6 +189,7 @@ impl Mapper for SabreMapper {
             reversals,
             model_cost,
             runtime: start.elapsed(),
+            wound_down: check.cause(),
         })
     }
 }

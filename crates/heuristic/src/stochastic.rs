@@ -132,6 +132,10 @@ impl StochasticPlanner {
 }
 
 impl LayerPlanner for StochasticPlanner {
+    fn wound_down(&self) -> Option<&'static str> {
+        self.check.cause()
+    }
+
     fn plan(
         &mut self,
         layout: &Layout,

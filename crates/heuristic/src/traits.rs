@@ -61,6 +61,12 @@ pub struct HeuristicResult {
     pub model_cost: u64,
     /// Wall-clock mapping time.
     pub runtime: Duration,
+    /// Why the run wound down early, if it did ([`StopCheck::cause`]
+    /// read at result construction): `"deadline"` when the wall-clock
+    /// budget fired, `"cancelled"` when a racing supervisor's stop flag
+    /// did. `None` for runs that completed at full quality — the label
+    /// race timelines attach to degraded racers.
+    pub wound_down: Option<&'static str>,
 }
 
 impl HeuristicResult {
@@ -95,11 +101,25 @@ impl StopCheck {
     /// Whether the deadline or the external stop flag asks the search to
     /// wind down.
     pub fn stopped(&self) -> bool {
-        self.cutoff.is_some_and(|c| Instant::now() >= c)
-            || self
-                .stop
-                .as_ref()
-                .is_some_and(|f| f.load(Ordering::Relaxed))
+        self.cause().is_some()
+    }
+
+    /// Which signal asks the search to wind down right now, as a stable
+    /// label: `"cancelled"` (the external stop flag — reported first,
+    /// since a supervisor's cancel is deliberate) or `"deadline"`.
+    /// `None` while the search may keep going.
+    pub fn cause(&self) -> Option<&'static str> {
+        if self
+            .stop
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+        {
+            return Some("cancelled");
+        }
+        if self.cutoff.is_some_and(|c| Instant::now() >= c) {
+            return Some("deadline");
+        }
+        None
     }
 }
 

@@ -150,6 +150,9 @@ pub(crate) fn serve_duplicate(
     }
     report.served_from_cache = true;
     report.elapsed = start.elapsed();
+    // The representative's trace timeline describes its own request, not
+    // this duplicate's.
+    report.trace = None;
     Some(report)
 }
 
@@ -603,7 +606,12 @@ impl SolveCache {
             canon_to_original[l] = q;
         }
         let key = CacheKey::of(engine, request, skeleton);
-        let shared_report = Arc::new(report.clone());
+        // A stored report must serve *any* future request with the same
+        // key: the solving request's trace timeline is not part of the
+        // answer and is never cached.
+        let mut stored = report.clone();
+        stored.trace = None;
+        let shared_report = Arc::new(stored);
         let bytes = approx_entry_bytes(report, &canon_to_original);
         let journal = self
             .journal

@@ -73,9 +73,16 @@ pub trait Engine: Send + Sync {
         }
         let cache = SolveCache::shared();
         let signature = self.cache_signature();
-        if let Some(hit) = cache.lookup(&signature, request) {
+        if let Some(mut hit) = cache.lookup(&signature, request) {
+            // A traced warm hit reports its own (near-zero) lookup, not
+            // the original solve's timeline — which the cache never
+            // stores.
+            let trace = request.trace();
+            trace.event("cache", "hit", 1);
+            hit.trace = trace.finish();
             return Ok(hit);
         }
+        request.trace().event("cache", "miss", 1);
         let report = self.run(request)?;
         cache.insert(&signature, request, &report);
         Ok(report)
@@ -119,6 +126,10 @@ impl ExactEngine {
             .with_subsets(request.use_subsets() && n < m)
             .with_deadline(request.deadline())
             .with_control(self.control.clone().unwrap_or_default())
+            // Core's per-subset encode/minimize spans nest under this
+            // engine's own span ("exact/subset0/encode", or
+            // "race/exact/…" inside a portfolio race).
+            .with_trace(request.trace().scoped("exact"))
             .with_minimize(
                 MinimizeOptions::default()
                     .with_conflict_budget(request.conflict_budget())
@@ -160,11 +171,18 @@ impl Engine for ExactEngine {
     }
 
     fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
+        let trace = request.trace();
+        let mut span = trace.span(self.name());
         let result = self.mapper_for(request).map(request.circuit())?;
         if request.guarantee() == Guarantee::Optimal && !result.proved_optimal {
             return Err(MapperError::proof_budget_exhausted());
         }
-        Ok(MapReport::from_exact(result, self.name()))
+        span.counter("iterations", u64::from(result.iterations));
+        span.counter("change_points", result.num_change_points as u64);
+        span.end();
+        let mut report = MapReport::from_exact(result, self.name());
+        report.trace = trace.finish();
+        Ok(report)
     }
 }
 
@@ -254,6 +272,8 @@ impl HeuristicEngine {
         let circuit = request.circuit();
         let model = request.device_model();
         let cancel = control.map(SolveControl::cancel_handle);
+        let trace = request.trace();
+        let mut span = trace.span(self.name());
         let result = match self.baseline {
             Baseline::Naive => NaiveMapper::new().map_model(circuit, model)?,
             Baseline::AStar => {
@@ -277,7 +297,15 @@ impl HeuristicEngine {
             }
             Baseline::Stochastic { trials } => run_stochastic_pool(request, trials, control)?,
         };
-        let report = MapReport::from_heuristic(result, self.name());
+        span.counter("model_cost", result.model_cost);
+        if let Some(reason) = result.wound_down {
+            // The race timeline's "who degraded and why": deadline fired
+            // or a supervisor cancelled this racer mid-run.
+            span.counter(reason, 1);
+        }
+        span.end();
+        let mut report = MapReport::from_heuristic(result, self.name());
+        report.trace = trace.finish();
         if let Some(bound) = request.upper_bound() {
             // The declared bound is a hard ceiling for every engine.
             if report.cost.objective >= bound {

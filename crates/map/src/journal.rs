@@ -45,6 +45,7 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -82,6 +83,27 @@ pub struct JournalReplay {
     pub reset: bool,
 }
 
+/// Live counters of an attached journal writer — what the daemon's
+/// `metrics` response reports as journal health alongside the boot-time
+/// [`JournalReplay`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended (and flushed) since attach.
+    pub appended: u64,
+    /// Snapshot compactions of the journal file since attach.
+    pub compactions: u64,
+    /// Filesystem errors the writer hit; after the first, the journal
+    /// stops writing (the error also surfaces via [`Journal::finish`]).
+    pub write_errors: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    appended: AtomicU64,
+    compactions: AtomicU64,
+    write_errors: AtomicU64,
+}
+
 /// An event on the journal writer's queue.
 pub(crate) enum Event {
     /// A freshly stored cache entry to append. The key is boxed so the
@@ -102,6 +124,7 @@ pub struct Journal {
     cache: &'static SolveCache,
     tx: mpsc::Sender<Event>,
     thread: Option<thread::JoinHandle<io::Result<()>>>,
+    stats: Arc<StatsCells>,
 }
 
 impl Journal {
@@ -159,18 +182,31 @@ impl Journal {
 
         let (tx, rx) = mpsc::channel::<Event>();
         let path = path.to_path_buf();
+        let stats = Arc::new(StatsCells::default());
+        let cells = Arc::clone(&stats);
         let thread = thread::Builder::new()
             .name("qxmap-journal".into())
-            .spawn(move || writer_loop(cache, file, &path, compact_after, &rx))?;
+            .spawn(move || writer_loop(cache, file, &path, compact_after, &rx, &cells))?;
         cache.set_journal(Some(tx.clone()));
         Ok((
             Journal {
                 cache,
                 tx,
                 thread: Some(thread),
+                stats,
             },
             replay,
         ))
+    }
+
+    /// The writer's live health counters (relaxed reads — one `metrics`
+    /// response may straddle an append, never torn values).
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            appended: self.stats.appended.load(Ordering::Relaxed),
+            compactions: self.stats.compactions.load(Ordering::Relaxed),
+            write_errors: self.stats.write_errors.load(Ordering::Relaxed),
+        }
     }
 
     /// Detaches the cache, drains every queued record to disk, joins the
@@ -219,6 +255,7 @@ fn writer_loop(
     path: &Path,
     compact_after: usize,
     rx: &mpsc::Receiver<Event>,
+    stats: &StatsCells,
 ) -> io::Result<()> {
     let compact_after = compact_after.max(1);
     let mut since_compact = 0usize;
@@ -240,17 +277,23 @@ fn writer_loop(
         // record is in the OS page cache and survives a `kill -9` of
         // this process (machine-level durability is the snapshot's job).
         if let Err(e) = file.write_all(&record).and_then(|()| file.flush()) {
+            stats.write_errors.fetch_add(1, Ordering::Relaxed);
             failed = Some(e);
             continue;
         }
+        stats.appended.fetch_add(1, Ordering::Relaxed);
         since_compact += 1;
         if since_compact >= compact_after {
             match compact(cache, path) {
                 Ok(compacted) => {
                     file = compacted;
                     since_compact = 0;
+                    stats.compactions.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(e) => failed = Some(e),
+                Err(e) => {
+                    stats.write_errors.fetch_add(1, Ordering::Relaxed);
+                    failed = Some(e);
+                }
             }
         }
     }

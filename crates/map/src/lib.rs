@@ -78,7 +78,8 @@ pub use cache::{
 pub use engine::{Baseline, Engine, ExactEngine, HeuristicEngine};
 pub use error::MapperError;
 pub use journal::{
-    replay_journal, replay_records, Journal, JournalReplay, JOURNAL_MAGIC, JOURNAL_VERSION,
+    replay_journal, replay_records, Journal, JournalReplay, JournalStats, JOURNAL_MAGIC,
+    JOURNAL_VERSION,
 };
 pub use portfolio::Portfolio;
 pub use report::{CostBreakdown, MapReport, WindowCertificate};

@@ -223,6 +223,7 @@ impl Engine for Portfolio {
 
     fn run(&self, request: &MapRequest) -> Result<MapReport, MapperError> {
         let start = Instant::now();
+        let trace = request.trace();
         // One control handle couples the whole race: heuristics tighten
         // its bound as they finish, the exact engine prunes against it
         // mid-run and stops on its cancel flag.
@@ -238,6 +239,11 @@ impl Engine for Portfolio {
         // rebuilding the all-pairs matrices on the heuristic side.
         let plan = self.plan_race(request);
         let pool = plan.pool;
+        for (engine, reason) in &plan.skipped {
+            // Zero-duration events: the timeline names every racer that
+            // never started, and why the scheduler pruned it.
+            trace.event(&format!("race/skip/{engine}"), reason, 1);
+        }
 
         // Heuristic side of the race. Guarantee and upper-bound demands
         // are settled at the portfolio level, not per baseline — an
@@ -249,7 +255,10 @@ impl Engine for Portfolio {
         let heuristic_request = request
             .clone()
             .with_guarantee(Guarantee::BestEffort)
-            .with_upper_bound(None);
+            .with_upper_bound(None)
+            // Racer spans land under "race/<engine>" on the shared
+            // timeline (the engines record their own spans).
+            .with_trace(trace.scoped("race"));
 
         // Exact side, racing concurrently when the device is in regime
         // and the scheduler found it worth starting. It begins from the
@@ -259,6 +268,7 @@ impl Engine for Portfolio {
         let run_exact = plan.run_exact;
         let mut pool_results: Vec<Result<MapReport, MapperError>> = Vec::new();
         let mut exact_outcome: Option<Result<MapReport, MapperError>> = None;
+        let race_start = Instant::now();
         std::thread::scope(|scope| {
             let exact_handle = run_exact.then(|| {
                 let control = control.clone();
@@ -266,7 +276,8 @@ impl Engine for Portfolio {
                     let exact_request = request
                         .clone()
                         .with_guarantee(Guarantee::BestEffort)
-                        .with_upper_bound(None);
+                        .with_upper_bound(None)
+                        .with_trace(trace.scoped("race"));
                     ExactEngine::new().with_control(control).run(&exact_request)
                 })
             });
@@ -283,9 +294,11 @@ impl Engine for Portfolio {
                         let result = engine.run_inner(heuristic_request, Some(control));
                         if let Ok(report) = &result {
                             control.bound().tighten(report.cost.objective);
+                            trace.event("race/bound", engine.name(), report.cost.objective);
                             if report.cost.objective == 0 {
                                 // Provably unbeatable: stop the exact run.
                                 control.cancel();
+                                trace.event("race/cancel", engine.name(), 1);
                             }
                         }
                         result
@@ -299,6 +312,10 @@ impl Engine for Portfolio {
             exact_outcome =
                 exact_handle.map(|h| h.join().expect("the exact engine does not panic"));
         });
+        // The race span is recorded after the scope, not held across it: a
+        // guard moved into `finish` below couldn't be dropped at every
+        // return site.
+        trace.record("race", race_start, race_start.elapsed());
 
         let mut pool_best: Option<MapReport> = None;
         let mut pool_error: Option<MapperError> = None;
@@ -333,6 +350,8 @@ impl Engine for Portfolio {
         // The caller waited for the whole race, not just the winner.
         let finish = |mut report: MapReport| {
             report.elapsed = start.elapsed();
+            trace.event("race/winner", &report.winner, 1);
+            report.trace = trace.finish();
             report
         };
 

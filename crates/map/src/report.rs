@@ -6,7 +6,7 @@ use std::time::Duration;
 use qxmap_arch::{CouplingMap, Layout};
 use qxmap_circuit::Circuit;
 use qxmap_core::verify::{self, VerifyError};
-use qxmap_core::MappingResult;
+use qxmap_core::{MappingResult, SolveTrace};
 use qxmap_heuristic::HeuristicResult;
 
 /// Where the insertion cost of a mapping went.
@@ -124,6 +124,13 @@ pub struct MapReport {
     /// window-decomposed solve, in stitch order. `None` for monolithic
     /// engines.
     pub windows: Option<Vec<WindowCertificate>>,
+    /// The request's phase timeline, when it carried an enabled
+    /// [`crate::MapRequest::with_trace`] recorder — the race spans,
+    /// per-subset solver internals and window/bridge spans of *this*
+    /// run. `None` for untraced requests, and always `None` on reports
+    /// stored in (or served from) the [`crate::SolveCache`]: a cache hit
+    /// reports its own lookup, not the original solve's timeline.
+    pub trace: Option<SolveTrace>,
 }
 
 impl MapReport {
@@ -174,6 +181,7 @@ impl MapReport {
             num_change_points: Some(result.num_change_points),
             iterations: Some(result.iterations),
             windows: None,
+            trace: None,
             mapped: result.mapped,
             initial_layout: result.initial_layout,
             final_layout: result.final_layout,
@@ -206,6 +214,7 @@ impl MapReport {
             num_change_points: None,
             iterations: None,
             windows: None,
+            trace: None,
             mapped: result.mapped,
             initial_layout: result.initial_layout,
             final_layout: result.final_layout,

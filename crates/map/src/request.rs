@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use qxmap_arch::{CostModel, CouplingMap, DeviceModel};
 use qxmap_circuit::Circuit;
-use qxmap_core::Strategy;
+use qxmap_core::{SpanRecorder, Strategy};
 
 /// How strong a result the caller demands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,6 +67,11 @@ pub struct MapRequest {
     deadline: Option<Duration>,
     upper_bound: Option<u64>,
     seed: u64,
+    /// Trace recorder engines report their phase spans to. Defaults to
+    /// the disabled recorder (free no-ops); deliberately **not** part of
+    /// the request's cache identity — traced and untraced requests share
+    /// cache entries.
+    trace: SpanRecorder,
 }
 
 impl MapRequest {
@@ -87,6 +92,7 @@ impl MapRequest {
             deadline: None,
             upper_bound: None,
             seed: 0,
+            trace: SpanRecorder::disabled(),
         }
     }
 
@@ -118,6 +124,7 @@ impl MapRequest {
             deadline: None,
             upper_bound: None,
             seed: 0,
+            trace: SpanRecorder::disabled(),
         }
     }
 
@@ -192,6 +199,34 @@ impl MapRequest {
     /// Seeds randomized engines (the stochastic baseline).
     pub fn with_seed(mut self, seed: u64) -> MapRequest {
         self.seed = seed;
+        self
+    }
+
+    /// Attaches a trace recorder: engines answering this request record
+    /// their phase spans — the portfolio's race timeline, per-subset
+    /// encode/minimize spans, per-window block solves — onto it, and the
+    /// final [`crate::MapReport::trace`] carries the snapshot. Clones of
+    /// the request share the same timeline. The recorder is *not* part
+    /// of the request's cache identity: traced and untraced requests
+    /// share solve-cache entries, and cached reports never carry a stale
+    /// trace.
+    ///
+    /// ```
+    /// use qxmap_arch::devices;
+    /// use qxmap_circuit::paper_example;
+    /// use qxmap_core::SpanRecorder;
+    /// use qxmap_map::{Engine, MapRequest, Portfolio};
+    ///
+    /// let recorder = SpanRecorder::new();
+    /// let request = MapRequest::new(paper_example(), devices::ibm_qx4())
+    ///     .with_trace(recorder);
+    /// let report = Portfolio::new().run(&request)?;
+    /// let trace = report.trace.expect("traced request");
+    /// assert!(trace.spans.iter().any(|s| s.path.starts_with("race")));
+    /// # Ok::<(), qxmap_map::MapperError>(())
+    /// ```
+    pub fn with_trace(mut self, trace: SpanRecorder) -> MapRequest {
+        self.trace = trace;
         self
     }
 
@@ -277,6 +312,11 @@ impl MapRequest {
     /// The seed for randomized engines.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The attached trace recorder (disabled by default).
+    pub fn trace(&self) -> &SpanRecorder {
+        &self.trace
     }
 }
 

@@ -600,6 +600,9 @@ pub(crate) fn read_report(r: &mut Reader<'_>) -> Result<MapReport, SnapshotError
         num_change_points,
         iterations,
         windows,
+        // Traces are per-request and never persisted (the cache strips
+        // them before insert; the codec has no frame for them).
+        trace: None,
     })
 }
 

@@ -55,4 +55,4 @@ pub mod totalizer;
 
 pub use lit::{Lit, Var};
 pub use optimize::{minimize, MinimizeError, MinimizeOptions, MinimizeStrategy, Minimum};
-pub use solver::{Model, SolveResult, Solver, SolverStats};
+pub use solver::{Model, SolveResult, Solver, SolverStats, StopCause};

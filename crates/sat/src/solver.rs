@@ -88,6 +88,33 @@ impl Model {
     }
 }
 
+/// Why the most recent [`Solver::solve`] call came back
+/// [`SolveResult::Unknown`] — the observability counter behind
+/// per-minimization-step traces, distinguishing a cooperative cancel
+/// from an expired wall-clock deadline from an exhausted conflict
+/// budget (per-call or shared pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The cooperative interrupt flag fired ([`Solver::set_interrupt`]).
+    Interrupt,
+    /// The wall-clock deadline passed ([`Solver::set_deadline`]).
+    Deadline,
+    /// The per-call budget ([`Solver::set_conflict_budget`]) or the
+    /// shared pool ([`Solver::set_shared_conflict_pool`]) ran out.
+    ConflictBudget,
+}
+
+impl StopCause {
+    /// Stable label for metrics and trace counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopCause::Interrupt => "interrupt",
+            StopCause::Deadline => "deadline",
+            StopCause::ConflictBudget => "conflict_budget",
+        }
+    }
+}
+
 /// Cumulative search statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
@@ -251,6 +278,7 @@ pub struct Solver {
     shared_conflict_pool: Option<Arc<AtomicU64>>,
     interrupt: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
+    last_stop: Option<StopCause>,
 }
 
 impl Solver {
@@ -345,17 +373,41 @@ impl Solver {
         self.interrupted()
     }
 
+    /// Why the most recent `solve` call returned
+    /// [`SolveResult::Unknown`], or `None` if it produced a verdict (or
+    /// no call ran yet). Refreshed at every `solve` entry.
+    pub fn last_stop_cause(&self) -> Option<StopCause> {
+        self.last_stop
+    }
+
     /// Whether an attached interrupt flag, deadline, or exhausted shared
     /// pool asks this search to stop (does not consume from the pool).
     fn interrupted(&self) -> bool {
-        self.interrupt
+        self.stop_cause_now().is_some()
+    }
+
+    /// Which stop condition currently holds, if any — the interrupt flag
+    /// is reported over the deadline over the shared pool, matching how
+    /// promptly each acts on the search.
+    fn stop_cause_now(&self) -> Option<StopCause> {
+        if self
+            .interrupt
             .as_ref()
             .is_some_and(|f| f.load(Ordering::Relaxed))
-            || self.deadline.is_some_and(|d| Instant::now() >= d)
-            || self
-                .shared_conflict_pool
-                .as_ref()
-                .is_some_and(|p| p.load(Ordering::Relaxed) == 0)
+        {
+            return Some(StopCause::Interrupt);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(StopCause::Deadline);
+        }
+        if self
+            .shared_conflict_pool
+            .as_ref()
+            .is_some_and(|p| p.load(Ordering::Relaxed) == 0)
+        {
+            return Some(StopCause::ConflictBudget);
+        }
+        None
     }
 
     /// Consumes one conflict from the shared pool; `false` if the pool is
@@ -715,10 +767,12 @@ impl Solver {
     /// satisfiability with every assumption literal forced true. The
     /// clause database (including learnt clauses) persists across calls.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.last_stop = None;
         if !self.ok {
             return SolveResult::Unsat;
         }
-        if self.interrupted() {
+        if let Some(cause) = self.stop_cause_now() {
+            self.last_stop = Some(cause);
             return SolveResult::Unknown;
         }
         debug_assert_eq!(self.decision_level(), 0);
@@ -748,10 +802,16 @@ impl Solver {
                 self.cla_inc /= CLAUSE_DECAY;
                 if let Some(budget) = self.conflict_budget {
                     if self.stats.conflicts - budget_start >= budget {
+                        self.last_stop = Some(StopCause::ConflictBudget);
                         break SolveResult::Unknown;
                     }
                 }
-                if !self.consume_shared_conflict() || self.interrupted() {
+                if !self.consume_shared_conflict() {
+                    self.last_stop = Some(StopCause::ConflictBudget);
+                    break SolveResult::Unknown;
+                }
+                if let Some(cause) = self.stop_cause_now() {
+                    self.last_stop = Some(cause);
                     break SolveResult::Unknown;
                 }
                 if self.num_learnts as f64 > self.max_learnts {
@@ -821,6 +881,34 @@ mod tests {
 
     fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
         (0..n).map(|_| s.new_lit()).collect()
+    }
+
+    #[test]
+    fn stop_cause_names_the_budget() {
+        let mut s = pigeonhole(8);
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_stop_cause(), Some(StopCause::ConflictBudget));
+        // Lifting the budget clears the cause along with the verdict.
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.last_stop_cause(), None);
+    }
+
+    #[test]
+    fn stop_cause_names_the_interrupt_and_deadline() {
+        let mut s = Solver::new();
+        let a = s.new_lit();
+        s.add_clause([a]);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Some(flag.clone()));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_stop_cause(), Some(StopCause::Interrupt));
+        assert_eq!(s.last_stop_cause().unwrap().label(), "interrupt");
+        flag.store(false, Ordering::Relaxed);
+        s.set_deadline(Some(Instant::now()));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_stop_cause(), Some(StopCause::Deadline));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! qxmap-serve [--listen ADDR] [--snapshot PATH] [--journal PATH]
 //!             [--workers N] [--queue-depth N] [--batch N] [--pipeline N]
+//!             [--slowlog N] [--trace-log PATH]
 //! ```
 //!
 //! With `--listen` the daemon binds a TCP listener (use port 0 for an
@@ -19,7 +20,9 @@
 //! rejected individually) and appends every new solve to it in the
 //! background, so crash-killed processes lose only the unsynced tail.
 //! `--pipeline` caps how many mapping jobs one connection may have in
-//! flight at once.
+//! flight at once. `--slowlog` sizes the slow-request ring dumped by
+//! `{"type":"slowlog"}` (default 8), and `--trace-log` appends every
+//! ring admission as a JSON line to the given file.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -33,7 +36,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: qxmap-serve [--listen ADDR] [--snapshot PATH] [--journal PATH] \
-                     [--workers N] [--queue-depth N] [--batch N] [--pipeline N]";
+                     [--workers N] [--queue-depth N] [--batch N] [--pipeline N] \
+                     [--slowlog N] [--trace-log PATH]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -62,6 +66,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--pipeline" => {
                 args.config.pipeline_depth = parse_positive("--pipeline", &value("--pipeline")?)?;
+            }
+            "--slowlog" => {
+                args.config.slowlog_capacity = parse_positive("--slowlog", &value("--slowlog")?)?;
+            }
+            "--trace-log" => {
+                args.config.trace_log = Some(PathBuf::from(value("--trace-log")?));
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),

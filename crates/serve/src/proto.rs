@@ -74,6 +74,15 @@ pub enum Request {
     Metrics {
         /// The request's `id`, echoed in the response.
         id: Option<Json>,
+        /// `"format": "prometheus"` asks for text exposition instead of
+        /// the structured JSON snapshot.
+        prometheus: bool,
+    },
+    /// A dump of the slow-request ring: the N slowest completed solves,
+    /// with their traces when the request carried `"trace": true`.
+    Slowlog {
+        /// The request's `id`, echoed in the response.
+        id: Option<Json>,
     },
     /// A graceful-shutdown demand.
     Shutdown {
@@ -144,12 +153,22 @@ struct MapOptions {
     conflict_budget: Option<u64>,
     upper_bound: Option<u64>,
     seed: Option<u64>,
+    trace: bool,
 }
 
 impl MapJob {
     /// The per-request deadline, if one was sent.
     pub fn deadline(&self) -> Option<Duration> {
         self.options.deadline
+    }
+
+    /// Whether the request asked for a `trace` timeline (`"trace": true`).
+    ///
+    /// Deliberately *not* part of [`MapJob::cache_probe`]: tracing never
+    /// affects cache identity, so a traced request still hits the warm
+    /// path (and gets a timeline of the lookup itself).
+    pub fn wants_trace(&self) -> bool {
+        self.options.trace
     }
 
     /// The payload's canonical skeleton.
@@ -319,13 +338,30 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
     let Some(kind) = value.get("type").and_then(Json::as_str) else {
         return Err(Rejection::bad_request(
             id,
-            "missing request field \"type\" (one of \"map\", \"metrics\", \"shutdown\")",
+            "missing request field \"type\" (one of \"map\", \"metrics\", \"slowlog\", \"shutdown\")",
         ));
     };
     match kind {
         "metrics" => {
+            reject_unknown_keys(&value, &["type", "id", "format"], id.clone())?;
+            let prometheus = match value.get("format") {
+                None => false,
+                Some(f) => match f.as_str() {
+                    Some("json") => false,
+                    Some("prometheus") => true,
+                    _ => {
+                        return Err(Rejection::bad_request(
+                            id,
+                            "metrics \"format\" must be \"json\" or \"prometheus\"",
+                        ))
+                    }
+                },
+            };
+            Ok(Request::Metrics { id, prometheus })
+        }
+        "slowlog" => {
             reject_unknown_keys(&value, &["type", "id"], id.clone())?;
-            Ok(Request::Metrics { id })
+            Ok(Request::Slowlog { id })
         }
         "shutdown" => {
             reject_unknown_keys(&value, &["type", "id"], id.clone())?;
@@ -372,6 +408,7 @@ const MAP_KEYS: &[&str] = &[
     "upper_bound",
     "seed",
     "windowed",
+    "trace",
 ];
 
 fn parse_map(value: &Json, id: Option<Json>) -> Result<MapJob, Rejection> {
@@ -430,6 +467,11 @@ fn parse_map(value: &Json, id: Option<Json>) -> Result<MapJob, Rejection> {
             .as_u64()
             .ok_or_else(|| bad("\"seed\" must be a non-negative integer".to_string()))?;
         options.seed = Some(seed);
+    }
+    if let Some(trace) = value.get("trace") {
+        options.trace = trace
+            .as_bool()
+            .ok_or_else(|| bad("\"trace\" must be a boolean".to_string()))?;
     }
     let windowed = match value.get("windowed") {
         Some(w) => parse_windowed(w).map_err(&bad)?,
@@ -743,6 +785,41 @@ fn micros(d: Duration) -> Json {
     Json::num(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
 }
 
+/// Renders a [`SolveTrace`] as the wire `trace` object: its own
+/// `elapsed_us` (measured from the trace origin — line receipt for
+/// server-side traces, so it covers ingest and queue wait on top of the
+/// report's solve-only `elapsed_us`) plus every closed span in start
+/// order.
+pub fn trace_json(trace: &qxmap_core::trace::SolveTrace) -> Json {
+    let spans = trace
+        .spans
+        .iter()
+        .map(|s| {
+            let mut pairs = vec![
+                ("path".to_string(), Json::str(&s.path)),
+                ("start_us".to_string(), Json::num(s.start_us)),
+                ("duration_us".to_string(), Json::num(s.duration_us)),
+            ];
+            if !s.counters.is_empty() {
+                pairs.push((
+                    "counters".to_string(),
+                    Json::Obj(
+                        s.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::num(*v)))
+                            .collect(),
+                    ),
+                ));
+            }
+            Json::Obj(pairs)
+        })
+        .collect();
+    Json::obj([
+        ("elapsed_us", Json::num(trace.elapsed_us)),
+        ("spans", Json::Arr(spans)),
+    ])
+}
+
 /// One per-window optimality certificate of a windowed result.
 fn window_json(w: &WindowCertificate) -> Json {
     let slots = |ps: &[usize]| Json::Arr(ps.iter().map(|&p| Json::num(p as u64)).collect());
@@ -803,6 +880,9 @@ pub fn result_response(id: Option<Json>, report: &MapReport) -> Json {
             "windows".to_string(),
             Json::Arr(windows.iter().map(window_json).collect()),
         ));
+    }
+    if let Some(trace) = &report.trace {
+        pairs.push(("trace".to_string(), trace_json(trace)));
     }
     with_id(id, pairs)
 }

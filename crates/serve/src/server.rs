@@ -61,7 +61,7 @@
 //! the snapshot recovered. A replica may warm-share by tail-following
 //! the same file with [`qxmap_map::replay_records`].
 
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::io::{self, BufRead, BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -70,8 +70,10 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use qxmap_core::trace::{SolveTrace, SpanRecorder};
 use qxmap_map::{
-    Engine as _, Journal, JournalReplay, MapReport, MapRequest, MapperError, SolveCache,
+    Engine as _, Journal, JournalReplay, JournalStats, MapReport, MapRequest, MapperError,
+    SolveCache,
 };
 use qxmap_window::{WindowOptions, WindowedEngine};
 
@@ -103,6 +105,14 @@ pub struct ServerConfig {
     /// Journal records appended between snapshot compactions of the
     /// journal file. Defaults to 1024.
     pub journal_compact_after: usize,
+    /// Entries kept in the slow-request ring — the N slowest completed
+    /// solves, with their traces when the request carried
+    /// `"trace": true`; dumped by `{"type": "slowlog"}`. Defaults to 8;
+    /// 0 disables the ring (and the trace log).
+    pub slowlog_capacity: usize,
+    /// Append slowlog admissions as JSONL to this file (one JSON object
+    /// per line, same shape as the `slowlog` response entries).
+    pub trace_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +127,8 @@ impl Default for ServerConfig {
             snapshot: None,
             journal: None,
             journal_compact_after: 1024,
+            slowlog_capacity: 8,
+            trace_log: None,
         }
     }
 }
@@ -230,7 +242,16 @@ struct Counters {
     received: AtomicU64,
     completed: AtomicU64,
     errors: AtomicU64,
+    /// Lines rejected as malformed JSON (code `parse`).
+    rejected_parse: AtomicU64,
+    /// Structurally valid requests rejected for a semantic defect —
+    /// unknown fields, bad payloads, invalid devices (code
+    /// `bad_request`).
+    rejected_bad_request: AtomicU64,
     rejected_overload: AtomicU64,
+    /// Submissions refused because shutdown had begun (code
+    /// `shutting_down`).
+    rejected_shutdown: AtomicU64,
     /// Jobs shed at dequeue because their deadline had already expired
     /// while they waited — answered with `deadline_expired`, never
     /// dispatched to a solver.
@@ -265,6 +286,9 @@ const LATENCY_BUCKETS: usize = 32;
 #[derive(Default)]
 struct LatencyHistogram {
     buckets: [AtomicU64; LATENCY_BUCKETS],
+    /// Sum of every recorded sample (µs) — the `_sum` series of the
+    /// Prometheus histogram exposition.
+    sum_us: AtomicU64,
 }
 
 impl LatencyHistogram {
@@ -276,6 +300,7 @@ impl LatencyHistogram {
 
     fn record(&self, micros: u64) {
         self.buckets[LatencyHistogram::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
@@ -362,6 +387,120 @@ enum Prepared {
     },
 }
 
+/// One completed solve in the slow-request ring.
+#[derive(Debug, Clone)]
+struct SlowEntry {
+    /// End-to-end latency (parse excluded for queued jobs, included for
+    /// warm hits' ingest), in microseconds.
+    latency_us: u64,
+    /// The request's `id`, when it carried one.
+    id: Option<Json>,
+    engine: String,
+    winner: String,
+    served_from_cache: bool,
+    /// The full timeline, when the request asked for `"trace": true`.
+    trace: Option<SolveTrace>,
+}
+
+/// Renders one slowlog entry — the `slowlog` response's element shape,
+/// and the trace log's JSONL line shape.
+fn slow_entry_json(entry: &SlowEntry) -> Json {
+    let mut pairs = vec![("latency_us".to_string(), Json::num(entry.latency_us))];
+    if let Some(id) = &entry.id {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.extend([
+        ("engine".to_string(), Json::str(&entry.engine)),
+        ("winner".to_string(), Json::str(&entry.winner)),
+        (
+            "served_from_cache".to_string(),
+            Json::Bool(entry.served_from_cache),
+        ),
+    ]);
+    if let Some(trace) = &entry.trace {
+        pairs.push(("trace".to_string(), proto::trace_json(trace)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Escapes a Prometheus label value: backslash, double quote and
+/// newline, per the text exposition format.
+fn prom_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes a metric's `# HELP` / `# TYPE` preamble.
+fn prom_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Writes one sample line, escaping label values.
+fn prom_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: String) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (key, val)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{key}=\"{}\"", prom_escape(val)));
+        }
+        out.push('}');
+    }
+    out.push_str(&format!(" {value}\n"));
+}
+
+/// A single-sample metric: preamble plus one line.
+fn prom_scalar(
+    out: &mut String,
+    name: &str,
+    kind: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    value: String,
+) {
+    prom_header(out, name, kind, help);
+    prom_sample(out, name, labels, value);
+}
+
+/// Renders a [`LatencyHistogram`] in exposition format: every
+/// cumulative `_bucket` bound (zeros included — an empty histogram must
+/// still scrape as a histogram, all zeros), then `_sum` and `_count`.
+/// Bounds are converted from the histogram's microsecond buckets to
+/// Prometheus-conventional seconds.
+fn prom_histogram(out: &mut String, name: &str, help: &str, hist: &LatencyHistogram) {
+    prom_header(out, name, "histogram", help);
+    let counts = hist.snapshot();
+    let mut cumulative = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        cumulative += n;
+        let le = LatencyHistogram::upper_bound_us(i) as f64 / 1e6;
+        prom_sample(
+            out,
+            &format!("{name}_bucket"),
+            &[("le", &format!("{le}"))],
+            cumulative.to_string(),
+        );
+    }
+    prom_sample(
+        out,
+        &format!("{name}_bucket"),
+        &[("le", "+Inf")],
+        cumulative.to_string(),
+    );
+    let sum_s = hist.sum_us.load(Ordering::Relaxed) as f64 / 1e6;
+    out.push_str(&format!("{name}_sum {sum_s}\n{name}_count {cumulative}\n"));
+}
+
 /// One batch of responses on its way out of a pipelined connection:
 /// newline-terminated text (one or more whole lines — the reader corks
 /// bursts of immediate answers into a single batch), how many lines it
@@ -386,6 +525,27 @@ pub struct Server {
     available: Condvar,
     counters: Counters,
     latency: LatencyHistogram,
+    /// Per-phase latency histograms: warm probe hits (end-to-end),
+    /// queue wait at dispatch, and engine solve time of completed jobs.
+    phase_warm_hit: LatencyHistogram,
+    phase_queue_wait: LatencyHistogram,
+    phase_solve: LatencyHistogram,
+    /// Per-engine outcome counters keyed by engine name:
+    /// `(wins, cancellations)`.
+    engine_stats: Mutex<BTreeMap<String, (u64, u64)>>,
+    /// The N slowest completed solves (unordered; sorted at dump time).
+    slowlog: Mutex<Vec<SlowEntry>>,
+    /// The JSONL trace log, when configured and openable.
+    trace_log: Mutex<Option<io::BufWriter<std::fs::File>>>,
+    /// When the server booted (the `metrics` response's `uptime_us`).
+    started: Instant,
+    /// What [`Server::warm_start`] recovered, for the `metrics`
+    /// response's journal-health section.
+    warm: Mutex<WarmStart>,
+    /// The journal writer's final counters, captured by
+    /// [`Server::finish`] before detaching (so a post-drain `metrics`
+    /// read still reports them).
+    journal_final: Mutex<Option<JournalStats>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// The attached cache journal, when configured and booted via
     /// [`Server::warm_start`]; drained and joined by [`Server::finish`].
@@ -406,6 +566,20 @@ impl Server {
 
     /// [`Server::start`] with an injected batch solver (tests).
     pub fn start_with_solver(config: ServerConfig, solver: BatchSolver) -> Arc<Server> {
+        // An unopenable trace log disables the logging, never the
+        // daemon: a full disk at boot should cost observability, not
+        // service.
+        let trace_log = config
+            .trace_log
+            .as_ref()
+            .and_then(|path| {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .ok()
+            })
+            .map(io::BufWriter::new);
         let server = Arc::new(Server {
             workers: Mutex::new(Vec::new()),
             queue: Mutex::new(QueueState {
@@ -417,6 +591,15 @@ impl Server {
             available: Condvar::new(),
             counters: Counters::default(),
             latency: LatencyHistogram::default(),
+            phase_warm_hit: LatencyHistogram::default(),
+            phase_queue_wait: LatencyHistogram::default(),
+            phase_solve: LatencyHistogram::default(),
+            engine_stats: Mutex::new(BTreeMap::new()),
+            slowlog: Mutex::new(Vec::new()),
+            trace_log: Mutex::new(trace_log),
+            started: Instant::now(),
+            warm: Mutex::new(WarmStart::default()),
+            journal_final: Mutex::new(None),
             journal: Mutex::new(None),
             busy_lines: AtomicU64::new(0),
             solver,
@@ -465,9 +648,7 @@ impl Server {
             // Shed callbacks run outside the lock: they render and
             // deliver the `deadline_expired` rejection.
             for job in shed {
-                self.counters
-                    .rejected_deadline
-                    .fetch_add(1, Ordering::Relaxed);
+                self.count_rejection("deadline_expired");
                 let waited = job.enqueued.elapsed();
                 (job.complete)(JobOutcome::Shed { waited });
             }
@@ -475,13 +656,28 @@ impl Server {
                 continue;
             }
             for job in &batch {
-                let waited = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let waited = job.enqueued.elapsed();
+                let waited_us = u64::try_from(waited.as_micros()).unwrap_or(u64::MAX);
                 self.counters
                     .queue_wait_total_us
-                    .fetch_add(waited, Ordering::Relaxed);
+                    .fetch_add(waited_us, Ordering::Relaxed);
                 self.counters
                     .queue_wait_max_us
-                    .fetch_max(waited, Ordering::Relaxed);
+                    .fetch_max(waited_us, Ordering::Relaxed);
+                self.phase_queue_wait.record(waited_us);
+                // Traced jobs get the wait as a `queue` span, with the
+                // EDF slack still on the clock at dispatch.
+                let trace = job.request.trace();
+                if trace.is_enabled() {
+                    let slack_ms = job
+                        .deadline
+                        .map(|d| {
+                            u64::try_from(d.saturating_duration_since(Instant::now()).as_millis())
+                                .unwrap_or(u64::MAX)
+                        })
+                        .unwrap_or(0);
+                    trace.record_with("queue", job.enqueued, waited, &[("slack_ms", slack_ms)]);
+                }
             }
             // Windowed jobs run through the windowed engine one by one —
             // it does its own window-level cache probing and parallel
@@ -536,6 +732,7 @@ impl Server {
     ) -> Result<(), Rejection> {
         let mut q = self.queue.lock().expect("no panics under the lock");
         if q.shutdown {
+            self.count_rejection("shutting_down");
             return Err(Rejection {
                 code: "shutting_down",
                 message: "the server is shutting down and admits no new work".to_string(),
@@ -544,9 +741,7 @@ impl Server {
             });
         }
         if q.jobs.len() >= self.config.queue_depth {
-            self.counters
-                .rejected_overload
-                .fetch_add(1, Ordering::Relaxed);
+            self.count_rejection("overloaded");
             return Err(Rejection {
                 code: "overloaded",
                 message: format!(
@@ -575,39 +770,185 @@ impl Server {
     /// Counts, probes and materializes one parsed mapping job: a warm
     /// probe hit or a malformed payload answers immediately; everything
     /// else comes back ready for [`Server::submit`].
-    fn prepare_map(&self, job: proto::MapJob) -> Prepared {
+    ///
+    /// `parsed` is when the connection started parsing the line — read
+    /// only for lines that mention `"trace"`, so the untraced warm path
+    /// never pays the extra clock read. It becomes the trace origin
+    /// (the wire trace therefore covers ingest and queue wait on top of
+    /// the report's solve-only `elapsed_us`).
+    fn prepare_map(&self, job: proto::MapJob, parsed: Option<Instant>) -> Prepared {
         self.counters.received.fetch_add(1, Ordering::Relaxed);
         let deadline = job.deadline();
         let start = Instant::now();
+        let trace = if job.wants_trace() {
+            let trace = SpanRecorder::with_origin(parsed.unwrap_or(start));
+            if let Some(t0) = parsed {
+                // Parse + skeleton ran before the flag was known; the
+                // connection timed them from line receipt.
+                trace.record("ingest/parse", t0, start.saturating_duration_since(t0));
+            }
+            trace
+        } else {
+            SpanRecorder::disabled()
+        };
         // Skeleton-first warm path: the parser already computed the
         // payload's canonical skeleton, so probe the solve cache before
         // materializing a circuit or touching the admission queue. A
         // miss falls through to exactly the path a probe-less request
         // would take (and the solve's own cache lookup re-checks the
         // same key).
-        if let Some(report) = job.cache_probe().and_then(|p| qxmap_map::probe_one(&p)) {
-            self.observe_latency(start, deadline);
+        let mut probe_span = trace.span("ingest/probe");
+        let probed = job.cache_probe().and_then(|p| qxmap_map::probe_one(&p));
+        probe_span.counter("hit", u64::from(probed.is_some()));
+        probe_span.end();
+        if let Some(mut report) = probed {
+            let latency_us = self.observe_latency(start, deadline);
+            self.phase_warm_hit.record(latency_us);
             self.counters.completed.fetch_add(1, Ordering::Relaxed);
             self.counters
                 .served_from_cache
                 .fetch_add(1, Ordering::Relaxed);
+            self.close_ingest(&trace);
+            report.trace = trace.finish();
+            self.note_slow(SlowEntry {
+                latency_us,
+                id: job.id.clone(),
+                engine: report.engine.clone(),
+                winner: report.winner.clone(),
+                served_from_cache: true,
+                trace: report.trace.clone(),
+            });
             return Prepared::Immediate(proto::result_response(job.id, &report).to_string());
         }
         let windowed = job.windowed_options();
+        let mat_span = trace.span("ingest/materialize");
         let request = match job.materialize() {
             Ok(request) => request,
             Err(rejection) => {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                self.count_rejection(rejection.code);
                 return Prepared::Immediate(proto::rejection_response(&rejection).to_string());
             }
         };
+        mat_span.end();
+        self.close_ingest(&trace);
         Prepared::Job {
-            request: Box::new(request),
+            request: Box::new(request.with_trace(trace)),
             windowed,
             id: job.id,
             start,
             deadline,
         }
+    }
+
+    /// Seals the `ingest` parent span — trace origin (line receipt) to
+    /// now, covering parse, probe and materialization.
+    fn close_ingest(&self, trace: &SpanRecorder) {
+        if let Some(origin) = trace.origin() {
+            trace.record("ingest", origin, origin.elapsed());
+        }
+    }
+
+    /// Bumps the per-reason rejection counter for a structured
+    /// rejection code (unknown codes only feed the aggregate `errors`).
+    fn count_rejection(&self, code: &str) {
+        let cell = match code {
+            "parse" => &self.counters.rejected_parse,
+            "bad_request" => &self.counters.rejected_bad_request,
+            "overloaded" => &self.counters.rejected_overload,
+            "deadline_expired" => &self.counters.rejected_deadline,
+            "shutting_down" => &self.counters.rejected_shutdown,
+            _ => return,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Feeds the per-engine win/cancel counters from a completed
+    /// (non-cached) report. The portfolio's only cancellation path is a
+    /// zero-cost win racing the other engine down, so that is what the
+    /// cancel counter records.
+    fn note_engine(&self, report: &MapReport) {
+        let mut stats = self.engine_stats.lock().expect("no panics under the lock");
+        stats.entry(report.winner.clone()).or_default().0 += 1;
+        if report.engine.starts_with("portfolio") && report.cost.objective == 0 {
+            let cancelled = if report.winner == "exact" {
+                None // the exact engine finishing at 0 needs no cancel
+            } else {
+                Some("exact")
+            };
+            if let Some(name) = cancelled {
+                stats.entry(name.to_string()).or_default().1 += 1;
+            }
+        }
+    }
+
+    /// Admits a completed solve to the slow-request ring when it ranks
+    /// among the N slowest seen, appending admitted entries to the
+    /// trace log (JSONL) when one is configured.
+    fn note_slow(&self, entry: SlowEntry) {
+        let cap = self.config.slowlog_capacity;
+        if cap == 0 {
+            return;
+        }
+        let line = {
+            let mut ring = self.slowlog.lock().expect("no panics under the lock");
+            if ring.len() < cap {
+                ring.push(entry);
+                ring.last().map(slow_entry_json)
+            } else {
+                let i = ring
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.latency_us)
+                    .map(|(i, _)| i)
+                    .expect("ring is non-empty at capacity");
+                if entry.latency_us <= ring[i].latency_us {
+                    return;
+                }
+                ring[i] = entry;
+                Some(slow_entry_json(&ring[i]))
+            }
+        };
+        if let Some(line) = line {
+            self.append_trace_log(&line.to_string());
+        }
+    }
+
+    /// Appends one line to the trace log. A failed write closes the
+    /// log — observability degrades, the daemon keeps serving.
+    fn append_trace_log(&self, line: &str) {
+        let mut guard = self.trace_log.lock().expect("no panics under the lock");
+        if let Some(log) = guard.as_mut() {
+            let ok = writeln!(log, "{line}").is_ok() && log.flush().is_ok();
+            if !ok {
+                *guard = None;
+            }
+        }
+    }
+
+    /// The `slowlog` response: ring entries, slowest first.
+    pub fn slowlog_json(&self, id: Option<Json>) -> Json {
+        let mut entries: Vec<SlowEntry> = self
+            .slowlog
+            .lock()
+            .expect("no panics under the lock")
+            .clone();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.latency_us));
+        let mut pairs = vec![("type".to_string(), Json::str("slowlog"))];
+        if let Some(id) = id {
+            pairs.push(("id".to_string(), id));
+        }
+        pairs.extend([
+            (
+                "capacity".to_string(),
+                Json::num(self.config.slowlog_capacity as u64),
+            ),
+            (
+                "entries".to_string(),
+                Json::Arr(entries.iter().map(slow_entry_json).collect()),
+            ),
+        ]);
+        Json::Obj(pairs)
     }
 
     /// Renders an admitted job's outcome as its response line, feeding
@@ -623,7 +964,7 @@ impl Server {
     ) -> String {
         match outcome {
             JobOutcome::Done(result) => {
-                self.observe_latency(start, deadline);
+                let latency_us = self.observe_latency(start, deadline);
                 match *result {
                     Ok(report) => {
                         self.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -631,7 +972,19 @@ impl Server {
                             self.counters
                                 .served_from_cache
                                 .fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.note_engine(&report);
                         }
+                        self.phase_solve
+                            .record(u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX));
+                        self.note_slow(SlowEntry {
+                            latency_us,
+                            id: id.clone(),
+                            engine: report.engine.clone(),
+                            winner: report.winner.clone(),
+                            served_from_cache: report.served_from_cache,
+                            trace: report.trace.clone(),
+                        });
                         proto::result_response(id, &report).to_string()
                     }
                     Err(error) => {
@@ -676,17 +1029,27 @@ impl Server {
     /// strictly request/response path used by stdio mode and tests; TCP
     /// connections go through the pipelined path instead.
     pub fn handle_line(&self, line: &str) -> Handled {
+        // The extra clock read for ingest attribution is paid only by
+        // lines that could be asking for a trace — the untraced warm
+        // path stays as it was.
+        let parsed = line.contains("\"trace\"").then(Instant::now);
         let request = match proto::parse_request(line) {
             Ok(request) => request,
             Err(rejection) => {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                self.count_rejection(rejection.code);
                 return Handled::Reply(proto::rejection_response(&rejection).to_string());
             }
         };
         match request {
-            Request::Metrics { id } => Handled::Reply(self.metrics_json(id).to_string()),
+            Request::Metrics { id, prometheus } => Handled::Reply(if prometheus {
+                self.metrics_prometheus(id).to_string()
+            } else {
+                self.metrics_json(id).to_string()
+            }),
+            Request::Slowlog { id } => Handled::Reply(self.slowlog_json(id).to_string()),
             Request::Shutdown { id } => Handled::ReplyAndShutdown(Server::shutdown_ack(id)),
-            Request::Map(job) => Handled::Reply(match self.prepare_map(*job) {
+            Request::Map(job) => Handled::Reply(match self.prepare_map(*job, parsed) {
                 Prepared::Immediate(response) => response,
                 Prepared::Job {
                     request,
@@ -714,10 +1077,11 @@ impl Server {
         }
     }
 
-    /// Records one finished map request's end-to-end latency. The
-    /// deadline miss is judged on what the client asked for: the
-    /// wall clock against the request's own deadline, queueing included.
-    fn observe_latency(&self, start: Instant, deadline: Option<Duration>) {
+    /// Records one finished map request's end-to-end latency, returning
+    /// it in microseconds. The deadline miss is judged on what the
+    /// client asked for: the wall clock against the request's own
+    /// deadline, queueing included.
+    fn observe_latency(&self, start: Instant, deadline: Option<Duration>) -> u64 {
         let elapsed = start.elapsed();
         let latency = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
         self.counters
@@ -732,6 +1096,7 @@ impl Server {
                 .deadline_misses
                 .fetch_add(1, Ordering::Relaxed);
         }
+        latency
     }
 
     /// The `metrics` response: solve-cache statistics, queue state
@@ -800,6 +1165,16 @@ impl Server {
                     ("errors", get(&c.errors)),
                     ("rejected_overload", get(&c.rejected_overload)),
                     ("rejected_deadline", get(&c.rejected_deadline)),
+                    (
+                        "rejected",
+                        Json::obj([
+                            ("parse", get(&c.rejected_parse)),
+                            ("bad_request", get(&c.rejected_bad_request)),
+                            ("overloaded", get(&c.rejected_overload)),
+                            ("deadline_expired", get(&c.rejected_deadline)),
+                            ("shutting_down", get(&c.rejected_shutdown)),
+                        ]),
+                    ),
                     ("served_from_cache", get(&c.served_from_cache)),
                     ("deadline_misses", get(&c.deadline_misses)),
                     ("total_latency_us", get(&c.total_latency_us)),
@@ -807,8 +1182,280 @@ impl Server {
                 ]),
             ),
             ("latency".to_string(), self.latency.to_json()),
+            (
+                "phases".to_string(),
+                Json::obj([
+                    ("warm_hit", self.phase_warm_hit.to_json()),
+                    ("queue_wait", self.phase_queue_wait.to_json()),
+                    ("solve", self.phase_solve.to_json()),
+                ]),
+            ),
+            ("engines".to_string(), self.engines_json()),
+            (
+                "uptime_us".to_string(),
+                Json::num(u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)),
+            ),
+            ("version".to_string(), Json::str(env!("CARGO_PKG_VERSION"))),
+        ]);
+        if let Some(journal) = self.journal_health() {
+            pairs.push(("journal".to_string(), journal));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// The per-engine win/cancel counters, as `{"name": {"wins": n,
+    /// "cancels": m}}`.
+    fn engines_json(&self) -> Json {
+        let stats = self.engine_stats.lock().expect("no panics under the lock");
+        Json::Obj(
+            stats
+                .iter()
+                .map(|(name, &(wins, cancels))| {
+                    (
+                        name.clone(),
+                        Json::obj([("wins", Json::num(wins)), ("cancels", Json::num(cancels))]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Journal health for the `metrics` response: boot-time replay
+    /// numbers plus the writer's live (or, after [`Server::finish`],
+    /// final) counters. `None` when no journal is configured.
+    fn journal_health(&self) -> Option<Json> {
+        self.config.journal.as_ref()?;
+        let replay = self
+            .warm
+            .lock()
+            .expect("no panics under the lock")
+            .journal
+            .unwrap_or_default();
+        let stats = {
+            let live = self.journal.lock().expect("no panics under the lock");
+            match live.as_ref() {
+                Some(journal) => journal.stats(),
+                None => self
+                    .journal_final
+                    .lock()
+                    .expect("no panics under the lock")
+                    .unwrap_or_default(),
+            }
+        };
+        Some(Json::obj([
+            ("appended", Json::num(stats.appended)),
+            ("compactions", Json::num(stats.compactions)),
+            ("write_errors", Json::num(stats.write_errors)),
+            ("replay_admitted", Json::num(replay.admitted as u64)),
+            ("replay_rejected", Json::num(replay.rejected as u64)),
+            ("replay_torn", Json::Bool(replay.torn)),
+        ]))
+    }
+
+    /// The `{"type": "metrics", "format": "prometheus"}` response: the
+    /// exposition text (see [`Server::prometheus_text`]) wrapped as the
+    /// `body` of a one-line JSON envelope, keeping the wire protocol
+    /// line-delimited.
+    pub fn metrics_prometheus(&self, id: Option<Json>) -> Json {
+        let mut pairs = vec![("type".to_string(), Json::str("metrics"))];
+        if let Some(id) = id {
+            pairs.push(("id".to_string(), id));
+        }
+        pairs.extend([
+            ("format".to_string(), Json::str("prometheus")),
+            ("body".to_string(), Json::str(self.prometheus_text())),
         ]);
         Json::Obj(pairs)
+    }
+
+    /// Renders the same counters the JSON `metrics` response reports as
+    /// Prometheus text exposition (`# HELP`/`# TYPE` + samples;
+    /// histograms as cumulative buckets in seconds).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let cache = SolveCache::shared().stats();
+        let (depth, in_flight) = {
+            let q = self.queue.lock().expect("no panics under the lock");
+            (q.jobs.len(), q.in_flight)
+        };
+        let c = &self.counters;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        prom_scalar(
+            &mut out,
+            "qxmap_build_info",
+            "gauge",
+            "Constant 1, labeled with the daemon's crate version.",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+            "1".to_string(),
+        );
+        prom_scalar(
+            &mut out,
+            "qxmap_uptime_seconds",
+            "gauge",
+            "Seconds since the daemon booted.",
+            &[],
+            format!("{:.6}", self.started.elapsed().as_secs_f64()),
+        );
+        for (name, help, value) in [
+            (
+                "qxmap_cache_hits_total",
+                "Solve-cache lookup hits.",
+                cache.hits,
+            ),
+            (
+                "qxmap_cache_misses_total",
+                "Solve-cache lookup misses.",
+                cache.misses,
+            ),
+            (
+                "qxmap_cache_evictions_total",
+                "Solve-cache LRU evictions.",
+                cache.evictions,
+            ),
+            (
+                "qxmap_requests_received_total",
+                "Mapping jobs received.",
+                get(&c.received),
+            ),
+            (
+                "qxmap_requests_completed_total",
+                "Mapping jobs answered with a result.",
+                get(&c.completed),
+            ),
+            (
+                "qxmap_requests_errors_total",
+                "Requests answered with an error.",
+                get(&c.errors),
+            ),
+            (
+                "qxmap_requests_cached_total",
+                "Mapping jobs served from the solve cache.",
+                get(&c.served_from_cache),
+            ),
+            (
+                "qxmap_deadline_misses_total",
+                "Completed jobs that overran their own deadline_ms.",
+                get(&c.deadline_misses),
+            ),
+        ] {
+            prom_scalar(&mut out, name, "counter", help, &[], value.to_string());
+        }
+        for (name, help, value) in [
+            (
+                "qxmap_cache_entries",
+                "Solve-cache entries resident.",
+                cache.entries as u64,
+            ),
+            (
+                "qxmap_queue_depth",
+                "Jobs waiting in the admission queue.",
+                depth as u64,
+            ),
+            (
+                "qxmap_queue_in_flight",
+                "Jobs dispatched to workers and not yet answered.",
+                in_flight as u64,
+            ),
+            (
+                "qxmap_workers",
+                "Worker threads.",
+                self.config.workers.max(1) as u64,
+            ),
+        ] {
+            prom_scalar(&mut out, name, "gauge", help, &[], value.to_string());
+        }
+        prom_header(
+            &mut out,
+            "qxmap_requests_rejected_total",
+            "counter",
+            "Requests rejected before any solver ran, by reason.",
+        );
+        for (reason, cell) in [
+            ("parse", &c.rejected_parse),
+            ("bad_request", &c.rejected_bad_request),
+            ("overloaded", &c.rejected_overload),
+            ("deadline_expired", &c.rejected_deadline),
+            ("shutting_down", &c.rejected_shutdown),
+        ] {
+            prom_sample(
+                &mut out,
+                "qxmap_requests_rejected_total",
+                &[("reason", reason)],
+                get(cell).to_string(),
+            );
+        }
+        {
+            let stats = self.engine_stats.lock().expect("no panics under the lock");
+            prom_header(
+                &mut out,
+                "qxmap_engine_wins_total",
+                "counter",
+                "Race wins by engine name.",
+            );
+            for (name, &(wins, _)) in stats.iter() {
+                prom_sample(
+                    &mut out,
+                    "qxmap_engine_wins_total",
+                    &[("engine", name)],
+                    wins.to_string(),
+                );
+            }
+            prom_header(
+                &mut out,
+                "qxmap_engine_cancels_total",
+                "counter",
+                "Engines cancelled mid-race by a zero-cost win.",
+            );
+            for (name, &(_, cancels)) in stats.iter() {
+                prom_sample(
+                    &mut out,
+                    "qxmap_engine_cancels_total",
+                    &[("engine", name)],
+                    cancels.to_string(),
+                );
+            }
+        }
+        if let Some(Json::Obj(journal)) = self.journal_health() {
+            for (key, value) in &journal {
+                let (kind, rendered) = match value {
+                    Json::Bool(b) => ("gauge", u64::from(*b).to_string()),
+                    other => ("counter", other.to_string()),
+                };
+                prom_scalar(
+                    &mut out,
+                    &format!("qxmap_journal_{key}"),
+                    kind,
+                    "Cache-journal health (see the JSON metrics journal section).",
+                    &[],
+                    rendered,
+                );
+            }
+        }
+        prom_histogram(
+            &mut out,
+            "qxmap_request_latency_seconds",
+            "End-to-end mapping-request latency.",
+            &self.latency,
+        );
+        prom_histogram(
+            &mut out,
+            "qxmap_warm_hit_latency_seconds",
+            "Latency of requests answered by the skeleton-first cache probe.",
+            &self.phase_warm_hit,
+        );
+        prom_histogram(
+            &mut out,
+            "qxmap_queue_wait_seconds",
+            "Time dispatched jobs waited in the admission queue.",
+            &self.phase_queue_wait,
+        );
+        prom_histogram(
+            &mut out,
+            "qxmap_solve_seconds",
+            "Engine solve time of completed jobs.",
+            &self.phase_solve,
+        );
+        out
     }
 
     /// Closes admission and wakes the workers; already-admitted jobs
@@ -860,7 +1507,18 @@ impl Server {
             .expect("no panics under the lock")
             .take();
         if let Some(journal) = journal {
+            // Final counters survive the detach so a post-drain
+            // `metrics` read still reports journal health.
+            *self.journal_final.lock().expect("no panics under the lock") = Some(journal.stats());
             journal.finish()?;
+        }
+        if let Some(log) = self
+            .trace_log
+            .lock()
+            .expect("no panics under the lock")
+            .as_mut()
+        {
+            let _ = log.flush();
         }
         match &self.config.snapshot {
             None => Ok(None),
@@ -897,6 +1555,7 @@ impl Server {
             *self.journal.lock().expect("no panics under the lock") = Some(journal);
             warm.journal = Some(replay);
         }
+        *self.warm.lock().expect("no panics under the lock") = warm;
         Ok(warm)
     }
 
@@ -1044,15 +1703,27 @@ impl Server {
             }
             let text = line.trim_end_matches(['\n', '\r']);
             if !text.trim().is_empty() {
+                let parsed = text.contains("\"trace\"").then(Instant::now);
                 match proto::parse_request(text) {
                     Err(rejection) => {
                         self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        self.count_rejection(rejection.code);
                         pending.push_str(&proto::rejection_response(&rejection).to_string());
                         pending.push('\n');
                         pending_lines += 1;
                     }
-                    Ok(Request::Metrics { id }) => {
-                        pending.push_str(&self.metrics_json(id).to_string());
+                    Ok(Request::Metrics { id, prometheus }) => {
+                        let response = if prometheus {
+                            self.metrics_prometheus(id).to_string()
+                        } else {
+                            self.metrics_json(id).to_string()
+                        };
+                        pending.push_str(&response);
+                        pending.push('\n');
+                        pending_lines += 1;
+                    }
+                    Ok(Request::Slowlog { id }) => {
+                        pending.push_str(&self.slowlog_json(id).to_string());
                         pending.push('\n');
                         pending_lines += 1;
                     }
@@ -1067,7 +1738,7 @@ impl Server {
                         let _ = writer_thread.join();
                         return;
                     }
-                    Ok(Request::Map(job)) => match self.prepare_map(*job) {
+                    Ok(Request::Map(job)) => match self.prepare_map(*job, parsed) {
                         Prepared::Immediate(response) => {
                             pending.push_str(&response);
                             pending.push('\n');
@@ -1823,5 +2494,57 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         assert_eq!(load_snapshot(&path), Ok(0));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prom_escape_covers_label_specials() {
+        assert_eq!(prom_escape("plain"), "plain");
+        assert_eq!(prom_escape("back\\slash"), "back\\\\slash");
+        assert_eq!(prom_escape("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(prom_escape("two\nlines"), "two\\nlines");
+
+        let mut out = String::new();
+        prom_sample(&mut out, "m", &[("l", "a\"b\\c\nd")], "1".to_string());
+        assert_eq!(out, "m{l=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn empty_histogram_renders_all_zero_buckets() {
+        let mut out = String::new();
+        prom_histogram(
+            &mut out,
+            "t_seconds",
+            "help text",
+            &LatencyHistogram::default(),
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "# HELP t_seconds help text");
+        assert_eq!(lines[1], "# TYPE t_seconds histogram");
+        let buckets: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.starts_with("t_seconds_bucket"))
+            .copied()
+            .collect();
+        // Every finite bound plus +Inf, all zero.
+        assert_eq!(buckets.len(), LATENCY_BUCKETS + 1);
+        for bucket in &buckets {
+            assert!(bucket.ends_with("} 0"), "{bucket}");
+        }
+        assert_eq!(
+            buckets[buckets.len() - 1],
+            "t_seconds_bucket{le=\"+Inf\"} 0"
+        );
+        assert_eq!(lines[lines.len() - 2], "t_seconds_sum 0");
+        assert_eq!(lines[lines.len() - 1], "t_seconds_count 0");
+
+        // One observation lands in every cumulative bucket at or above
+        // its bound, and feeds the sum.
+        let hist = LatencyHistogram::default();
+        hist.record(1_500); // 1.5ms
+        let mut out = String::new();
+        prom_histogram(&mut out, "t_seconds", "help text", &hist);
+        assert!(out.contains("t_seconds_bucket{le=\"+Inf\"} 1"), "{out}");
+        assert!(out.contains("t_seconds_count 1"), "{out}");
+        assert!(out.contains("t_seconds_sum 0.0015"), "{out}");
     }
 }

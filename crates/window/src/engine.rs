@@ -120,10 +120,38 @@ impl WindowedEngine {
 
         let base = circuit.decompose_swaps();
         let cap = self.options.max_window_qubits.clamp(2, MAX_EXACT_QUBITS);
+        let trace = request.trace();
+        let windows_started = Instant::now();
+        let mut slice_span = trace.span("windows/slice");
         let items = slicer::slice(&base, cap);
+        slice_span.counter("items", items.len() as u64);
+        slice_span.end();
+        let mut plan_span = trace.span("windows/plan");
         let plans = self.plan_regions(request, model, n, &items);
+        plan_span.counter("windows", plans.len() as u64);
+        plan_span.end();
+        // One span covers the whole parallel pool (individual windows
+        // overlap in time, so they report as counters, not spans).
+        let mut solve_span = trace.span("windows/solve");
         let solved = self.solve_windows(&plans)?;
-        let report = self.stitch(request, model, n, m, &base, &items, &plans, solved, started)?;
+        solve_span.counter("windows", solved.len() as u64);
+        solve_span.counter(
+            "cache_hits",
+            solved.iter().filter(|r| r.served_from_cache).count() as u64,
+        );
+        solve_span.end();
+        let mut stitch_span = trace.span("windows/stitch");
+        let mut report =
+            self.stitch(request, model, n, m, &base, &items, &plans, solved, started)?;
+        stitch_span.counter("bridge_swaps", {
+            let windows = report.windows.as_deref().unwrap_or(&[]);
+            windows.iter().map(|w| u64::from(w.bridge_swaps)).sum()
+        });
+        stitch_span.end();
+        // The parent span closes the tree: slice/plan/solve/stitch nest
+        // under one top-level `windows` phase.
+        trace.record("windows", windows_started, windows_started.elapsed());
+        report.trace = trace.finish();
         report
             .verify(circuit, cm)
             .expect("the stitched mapping verifies against the full circuit");
@@ -459,6 +487,9 @@ impl WindowedEngine {
             num_change_points: None,
             iterations: None,
             windows: Some(certs),
+            // The caller (`run_windowed`) attaches the finished timeline
+            // after the stitch span closes.
+            trace: None,
         })
     }
 }
